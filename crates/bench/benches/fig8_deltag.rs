@@ -1,0 +1,134 @@
+//! Criterion version of Exp-1 (Fig. 8(a)–(i)): incremental vs batch as
+//! |ΔG| grows, one group per query class. Scaled down so `cargo bench`
+//! finishes quickly; the `experiments` binary runs the full sweeps.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use igc_bench::workloads;
+use igc_core::incremental::IncrementalAlgorithm;
+use igc_core::work::WorkStats;
+use igc_graph::generator::{random_update_batch, Dataset};
+use igc_iso::{enumerate_matches, IncIso};
+use igc_kws::IncKws;
+use igc_nfa::build_nfa;
+use igc_rpq::{batch as rpq_batch, IncRpq};
+use igc_scc::{tarjan, IncScc};
+
+const SCALE: f64 = 0.02;
+const FRACS: [f64; 2] = [0.05, 0.20];
+
+fn bench_kws(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8a_kws");
+    group.sample_size(10);
+    let g = workloads::dataset(Dataset::DbpediaLike, SCALE);
+    let q = workloads::default_kws();
+    let base = IncKws::new(&g, q.clone());
+    for frac in FRACS {
+        let delta = random_update_batch(&g, (g.edge_count() as f64 * frac) as usize, 0.5, 1);
+        let mut g_post = g.clone();
+        g_post.apply_batch(&delta);
+        group.bench_with_input(BenchmarkId::new("IncKWS", format!("{frac}")), &delta, |b, d| {
+            b.iter_batched(
+                || (base.clone(), g.clone()),
+                |(mut inc, mut gg)| {
+                    gg.apply_batch(d);
+                    inc.apply(&gg, d);
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        group.bench_function(BenchmarkId::new("BLINKS", format!("{frac}")), |b| {
+            b.iter(|| IncKws::new(&g_post, q.clone()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_rpq(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8b_rpq");
+    group.sample_size(10);
+    let g = workloads::dataset(Dataset::DbpediaLike, SCALE);
+    let q = workloads::default_rpq(495);
+    let nfa = build_nfa(&q);
+    let base = IncRpq::new(&g, &q);
+    for frac in FRACS {
+        let delta = random_update_batch(&g, (g.edge_count() as f64 * frac) as usize, 0.5, 2);
+        let mut g_post = g.clone();
+        g_post.apply_batch(&delta);
+        group.bench_with_input(BenchmarkId::new("IncRPQ", format!("{frac}")), &delta, |b, d| {
+            b.iter_batched(
+                || (base.clone(), g.clone()),
+                |(mut inc, mut gg)| {
+                    gg.apply_batch(d);
+                    inc.apply(&gg, d);
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        group.bench_function(BenchmarkId::new("RPQnfa", format!("{frac}")), |b| {
+            b.iter(|| {
+                let mut w = WorkStats::new();
+                rpq_batch::evaluate(&g_post, &nfa, &mut w)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_scc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8c_scc");
+    group.sample_size(10);
+    let g = workloads::dataset(Dataset::Synthetic, SCALE);
+    let base = IncScc::new(&g);
+    for frac in FRACS {
+        let delta = random_update_batch(&g, (g.edge_count() as f64 * frac) as usize, 0.5, 3);
+        let mut g_post = g.clone();
+        g_post.apply_batch(&delta);
+        group.bench_with_input(BenchmarkId::new("IncSCC", format!("{frac}")), &delta, |b, d| {
+            b.iter_batched(
+                || (base.clone(), g.clone()),
+                |(mut inc, mut gg)| {
+                    gg.apply_batch(d);
+                    inc.apply(&gg, d);
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        group.bench_function(BenchmarkId::new("Tarjan", format!("{frac}")), |b| {
+            b.iter(|| tarjan(&g_post))
+        });
+    }
+    group.finish();
+}
+
+fn bench_iso(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8d_iso");
+    group.sample_size(10);
+    let g = workloads::dataset(Dataset::DbpediaLike, SCALE);
+    let p = workloads::default_iso();
+    let base = IncIso::new(&g, p.clone());
+    for frac in FRACS {
+        let delta = random_update_batch(&g, (g.edge_count() as f64 * frac) as usize, 0.5, 4);
+        let mut g_post = g.clone();
+        g_post.apply_batch(&delta);
+        group.bench_with_input(BenchmarkId::new("IncISO", format!("{frac}")), &delta, |b, d| {
+            b.iter_batched(
+                || (base.clone(), g.clone()),
+                |(mut inc, mut gg)| {
+                    gg.apply_batch(d);
+                    inc.apply(&gg, d);
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        group.bench_function(BenchmarkId::new("VF2", format!("{frac}")), |b| {
+            b.iter(|| {
+                let mut w = WorkStats::new();
+                enumerate_matches(&g_post, &p, &mut w)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kws, bench_rpq, bench_scc, bench_iso);
+criterion_main!(benches);

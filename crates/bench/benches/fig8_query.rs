@@ -1,0 +1,89 @@
+//! Criterion version of Exp-2 (Fig. 8(j)–(l)): incremental algorithms as
+//! the query grows, at fixed |ΔG| = 10 %.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use igc_bench::workloads;
+use igc_core::incremental::IncrementalAlgorithm;
+use igc_graph::generator::{random_update_batch, Dataset};
+use igc_iso::IncIso;
+use igc_kws::IncKws;
+use igc_rpq::IncRpq;
+
+const SCALE: f64 = 0.02;
+
+fn bench_kws_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8j_kws_query");
+    group.sample_size(10);
+    let g = workloads::dataset(Dataset::DbpediaLike, SCALE);
+    let delta = random_update_batch(&g, g.edge_count() / 10, 0.5, 11);
+    for (m, b) in [(2u32, 1u32), (4, 3), (6, 5)] {
+        let q = workloads::kws_query(m as usize, b);
+        let base = IncKws::new(&g, q);
+        group.bench_function(BenchmarkId::new("IncKWS", format!("({m},{b})")), |bch| {
+            bch.iter_batched(
+                || (base.clone(), g.clone()),
+                |(mut inc, mut gg)| {
+                    gg.apply_batch(&delta);
+                    inc.apply(&gg, &delta);
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_rpq_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8k_rpq_query");
+    group.sample_size(10);
+    let g = workloads::dataset(Dataset::DbpediaLike, SCALE);
+    let delta = random_update_batch(&g, g.edge_count() / 10, 0.5, 12);
+    for size in [3usize, 5, 7] {
+        let q = workloads::rpq_query(size, 495);
+        let base = IncRpq::new(&g, &q);
+        group.bench_function(BenchmarkId::new("IncRPQ", format!("{size}")), |bch| {
+            bch.iter_batched(
+                || (base.clone(), g.clone()),
+                |(mut inc, mut gg)| {
+                    gg.apply_batch(&delta);
+                    inc.apply(&gg, &delta);
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_iso_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8l_iso_query");
+    group.sample_size(10);
+    let g = workloads::dataset(Dataset::DbpediaLike, SCALE);
+    let delta = random_update_batch(&g, g.edge_count() / 10, 0.5, 13);
+    for n in [3usize, 5, 7] {
+        let p = workloads::iso_pattern(n);
+        let base = IncIso::new(&g, p);
+        group.bench_function(
+            BenchmarkId::new("IncISO", format!("({},{},{})", n, n + 2, n - 2)),
+            |bch| {
+                bch.iter_batched(
+                    || (base.clone(), g.clone()),
+                    |(mut inc, mut gg)| {
+                        gg.apply_batch(&delta);
+                        inc.apply(&gg, &delta);
+                    },
+                    BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_kws_queries,
+    bench_rpq_queries,
+    bench_iso_queries
+);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion version of Exp-3 (Fig. 8(m)–(p)): fixed |ΔG|, growing |G| —
+//! the incremental algorithms must be much flatter in |G| than the batch
+//! baselines.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use igc_bench::workloads;
+use igc_core::incremental::IncrementalAlgorithm;
+use igc_graph::generator::{random_update_batch, Dataset};
+use igc_kws::IncKws;
+use igc_scc::{tarjan, IncScc};
+
+const BASE_SCALE: f64 = 0.02;
+
+fn bench_kws_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8m_kws_scale");
+    group.sample_size(10);
+    // Fixed absolute update count = 10 % of the full-scale edge count.
+    let fixed = workloads::dataset(Dataset::Synthetic, BASE_SCALE).edge_count() / 10;
+    for factor in [0.5, 1.0] {
+        let g = workloads::dataset(Dataset::Synthetic, BASE_SCALE * factor);
+        let delta = random_update_batch(&g, fixed.min(g.edge_count()), 0.5, 21);
+        let q = workloads::default_kws();
+        let base = IncKws::new(&g, q.clone());
+        let mut g_post = g.clone();
+        g_post.apply_batch(&delta);
+        group.bench_function(BenchmarkId::new("IncKWS", format!("{factor}")), |b| {
+            b.iter_batched(
+                || (base.clone(), g.clone()),
+                |(mut inc, mut gg)| {
+                    gg.apply_batch(&delta);
+                    inc.apply(&gg, &delta);
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        group.bench_function(BenchmarkId::new("BLINKS", format!("{factor}")), |b| {
+            b.iter(|| IncKws::new(&g_post, q.clone()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_scc_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8o_scc_scale");
+    group.sample_size(10);
+    let fixed = workloads::dataset(Dataset::Synthetic, BASE_SCALE).edge_count() / 10;
+    for factor in [0.5, 1.0] {
+        let g = workloads::dataset(Dataset::Synthetic, BASE_SCALE * factor);
+        let delta = random_update_batch(&g, fixed.min(g.edge_count()), 0.5, 22);
+        let base = IncScc::new(&g);
+        let mut g_post = g.clone();
+        g_post.apply_batch(&delta);
+        group.bench_function(BenchmarkId::new("IncSCC", format!("{factor}")), |b| {
+            b.iter_batched(
+                || (base.clone(), g.clone()),
+                |(mut inc, mut gg)| {
+                    gg.apply_batch(&delta);
+                    inc.apply(&gg, &delta);
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        group.bench_function(BenchmarkId::new("Tarjan", format!("{factor}")), |b| {
+            b.iter(|| tarjan(&g_post))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kws_scale, bench_scc_scale);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Criterion version of Exp-1(5): unit insertion/deletion response times —
+//! where the paper reports its largest speedups (89×–393× over batch).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use igc_bench::workloads;
+use igc_core::incremental::IncrementalAlgorithm;
+use igc_graph::generator::{random_update_batch, Dataset};
+use igc_iso::IncIso;
+use igc_kws::IncKws;
+use igc_rpq::IncRpq;
+use igc_scc::IncScc;
+
+const SCALE: f64 = 0.02;
+
+fn bench_units(c: &mut Criterion) {
+    let mut group = c.benchmark_group("unit_updates");
+    group.sample_size(10);
+    let g = workloads::dataset(Dataset::DbpediaLike, SCALE);
+    for (kind, rho) in [("insert", 1.0), ("delete", 0.0)] {
+        let delta = random_update_batch(&g, 1, rho, 77);
+
+        let base = IncKws::new(&g, workloads::default_kws());
+        group.bench_function(BenchmarkId::new("IncKWS", kind), |b| {
+            b.iter_batched(
+                || (base.clone(), g.clone()),
+                |(mut inc, mut gg)| {
+                    gg.apply_batch(&delta);
+                    inc.apply(&gg, &delta);
+                },
+                BatchSize::LargeInput,
+            )
+        });
+
+        let q = workloads::default_rpq(495);
+        let base = IncRpq::new(&g, &q);
+        group.bench_function(BenchmarkId::new("IncRPQ", kind), |b| {
+            b.iter_batched(
+                || (base.clone(), g.clone()),
+                |(mut inc, mut gg)| {
+                    gg.apply_batch(&delta);
+                    inc.apply(&gg, &delta);
+                },
+                BatchSize::LargeInput,
+            )
+        });
+
+        let base = IncScc::new(&g);
+        group.bench_function(BenchmarkId::new("IncSCC", kind), |b| {
+            b.iter_batched(
+                || (base.clone(), g.clone()),
+                |(mut inc, mut gg)| {
+                    gg.apply_batch(&delta);
+                    inc.apply(&gg, &delta);
+                },
+                BatchSize::LargeInput,
+            )
+        });
+
+        let base = IncIso::new(&g, workloads::default_iso());
+        group.bench_function(BenchmarkId::new("IncISO", kind), |b| {
+            b.iter_batched(
+                || (base.clone(), g.clone()),
+                |(mut inc, mut gg)| {
+                    gg.apply_batch(&delta);
+                    inc.apply(&gg, &delta);
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_units);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Reproduce the paper's evaluation: print paper-style series for every
+//! panel of Figure 8 and the in-text experiments.
+//!
+//! ```text
+//! experiments [--scale F] [--no-verify] [fig8a fig8b … | all | unit | rho | undoable | locality]
+//! ```
+//!
+//! With no figure arguments, everything runs. `--scale` scales the
+//! datasets (1.0 = the laptop-sized full datasets; default 0.15).
+
+use igc_bench::experiments::{self, ExpConfig, ALL_FIGS};
+
+fn main() {
+    let mut cfg = ExpConfig::default();
+    let mut figs: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = args.next().expect("--scale needs a value");
+                cfg.scale = v.parse().expect("scale must be a float");
+            }
+            "--no-verify" => cfg.verify = false,
+            "all" => figs.extend(ALL_FIGS.iter().map(|s| s.to_string())),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: experiments [--scale F] [--no-verify] [fig8a … fig8p | all | unit | rho | undoable | locality]"
+                );
+                return;
+            }
+            other => figs.push(other.to_string()),
+        }
+    }
+    if figs.is_empty() {
+        figs.extend(ALL_FIGS.iter().map(|s| s.to_string()));
+        figs.extend(["unit", "rho", "undoable", "locality"].map(String::from));
+    }
+
+    println!("# Experiments (scale {}, verify {})\n", cfg.scale, cfg.verify);
+    for fig in figs {
+        let start = std::time::Instant::now();
+        let series = experiments::run(&fig, &cfg);
+        println!("{}", series.render());
+        eprintln!("[{fig} done in {:.1?}]", start.elapsed());
+    }
+}

@@ -1,0 +1,603 @@
+//! One function per figure/table of the paper's evaluation.
+//!
+//! Each data point measures, from a precomputed auxiliary state:
+//! * the grouped incremental algorithm (`Inc*`),
+//! * the one-update-at-a-time variant (`Inc*ⁿ`),
+//! * the batch algorithm recomputing on `G ⊕ ΔG` from scratch,
+//! * for SCC additionally the dynamic baseline `DynSCC`.
+//!
+//! With `verify` on, every point cross-checks the incremental answer
+//! against the batch answer on the updated graph — the harness doubles as
+//! an integration test at experiment scale.
+
+use crate::harness::{pct, time, Row, Series};
+use crate::workloads::{self, GRAPH_SEED};
+use igc_core::incremental::{apply_one_by_one, IncrementalAlgorithm};
+use igc_core::work::WorkStats;
+use igc_graph::generator::{random_update_batch, Dataset};
+use igc_graph::{DynamicGraph, UpdateBatch};
+use igc_iso::{IncIso, Pattern};
+use igc_kws::{batch as kws_batch, IncKws, KwsQuery};
+use igc_nfa::{build_nfa, Regex};
+use igc_rpq::{batch as rpq_batch, IncRpq};
+use igc_scc::{tarjan, DynScc, IncScc};
+
+/// Experiment configuration shared by all figures.
+#[derive(Debug, Clone)]
+pub struct ExpConfig {
+    /// Dataset scale (1.0 = the laptop-sized full datasets of DESIGN.md).
+    pub scale: f64,
+    /// Cross-check incremental answers against batch recomputation.
+    pub verify: bool,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        ExpConfig {
+            scale: 0.15,
+            verify: true,
+        }
+    }
+}
+
+/// The |ΔG| fractions of Exp-1 (5 % … 40 % of |G|'s edges).
+pub const DELTAG_FRACS: [f64; 8] = [0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40];
+
+fn delta_for(g: &DynamicGraph, frac: f64, rho_insert: f64, salt: u64) -> UpdateBatch {
+    let count = ((g.edge_count() as f64) * frac).round() as usize;
+    random_update_batch(g, count.max(1), rho_insert, GRAPH_SEED ^ salt)
+}
+
+// ---------------------------------------------------------------------
+// Per-class measurement points
+// ---------------------------------------------------------------------
+
+/// Measure KWS algorithms on one `(G, ΔG)` instance.
+pub fn kws_point(
+    g: &DynamicGraph,
+    q: &KwsQuery,
+    delta: &UpdateBatch,
+    verify: bool,
+) -> Vec<(&'static str, f64)> {
+    let base = IncKws::new(g, q.clone());
+
+    let mut inc = base.clone();
+    let mut g_inc = g.clone();
+    let (_, t_inc) = time(|| {
+        g_inc.apply_batch(delta);
+        inc.apply(&g_inc, delta);
+    });
+
+    let mut incn = base.clone();
+    let mut g_n = g.clone();
+    let (_, t_incn) = time(|| apply_one_by_one(&mut incn, &mut g_n, delta));
+
+    // The batch baseline pays the full-graph O(m(V log V + E)) cost a
+    // general BLINKS-style engine pays (see kws_batch::compute_kdist_baseline).
+    let (_, t_batch) = time(|| {
+        let mut w = WorkStats::new();
+        kws_batch::compute_kdist_baseline(&g_inc, q, &mut w)
+    });
+    if verify {
+        let fresh = IncKws::new(&g_inc, q.clone());
+        assert_eq!(
+            inc.answer_signature(),
+            fresh.answer_signature(),
+            "IncKWS diverged from batch"
+        );
+        assert_eq!(incn.answer_signature(), fresh.answer_signature());
+    }
+    vec![
+        ("IncKWS", t_inc.as_secs_f64()),
+        ("IncKWSn", t_incn.as_secs_f64()),
+        ("BLINKS", t_batch.as_secs_f64()),
+    ]
+}
+
+/// Measure RPQ algorithms on one instance.
+pub fn rpq_point(
+    g: &DynamicGraph,
+    q: &Regex,
+    delta: &UpdateBatch,
+    verify: bool,
+) -> Vec<(&'static str, f64)> {
+    let base = IncRpq::new(g, q);
+
+    let mut inc = base.clone();
+    let mut g_inc = g.clone();
+    let (_, t_inc) = time(|| {
+        g_inc.apply_batch(delta);
+        inc.apply(&g_inc, delta);
+    });
+
+    let mut incn = base.clone();
+    let mut g_n = g.clone();
+    let (_, t_incn) = time(|| apply_one_by_one(&mut incn, &mut g_n, delta));
+
+    // The batch column rebuilds the full queryable state from scratch on
+    // G ⊕ ΔG (traversal + markings) — the from-scratch response an
+    // incrementalized system would have to pay; the pure answer-only
+    // traversal is what the paper's RPQ_NFA does and is cheaper by a small
+    // constant (see EXPERIMENTS.md).
+    let (fresh, t_batch) = time(|| IncRpq::with_nfa(&g_inc, build_nfa(q)));
+    if verify {
+        assert_eq!(
+            inc.sorted_answer(),
+            fresh.sorted_answer(),
+            "IncRPQ diverged from batch"
+        );
+        assert_eq!(incn.sorted_answer(), fresh.sorted_answer());
+        let mut w = WorkStats::new();
+        let plain = rpq_batch::evaluate(&g_inc, fresh.nfa(), &mut w);
+        assert_eq!(fresh.sorted_answer(), rpq_batch::sorted_answer(&plain));
+    }
+    vec![
+        ("IncRPQ", t_inc.as_secs_f64()),
+        ("IncRPQn", t_incn.as_secs_f64()),
+        ("RPQnfa", t_batch.as_secs_f64()),
+    ]
+}
+
+/// Measure SCC algorithms on one instance.
+pub fn scc_point(g: &DynamicGraph, delta: &UpdateBatch, verify: bool) -> Vec<(&'static str, f64)> {
+    let base = IncScc::new(g);
+
+    let mut inc = base.clone();
+    let mut g_inc = g.clone();
+    let (_, t_inc) = time(|| {
+        g_inc.apply_batch(delta);
+        inc.apply(&g_inc, delta);
+    });
+
+    let mut incn = base.clone();
+    let mut g_n = g.clone();
+    let (_, t_incn) = time(|| apply_one_by_one(&mut incn, &mut g_n, delta));
+
+    let (fresh, t_batch) = time(|| tarjan(&g_inc));
+
+    let mut dyn_scc = DynScc::new(g);
+    let mut g_d = g.clone();
+    let (_, t_dyn) = time(|| apply_one_by_one(&mut dyn_scc, &mut g_d, delta));
+
+    if verify {
+        let canon = fresh.canonical();
+        assert_eq!(inc.components(), canon, "IncSCC diverged from Tarjan");
+        assert_eq!(incn.components(), canon);
+        assert_eq!(dyn_scc.components(), canon);
+    }
+    vec![
+        ("IncSCC", t_inc.as_secs_f64()),
+        ("IncSCCn", t_incn.as_secs_f64()),
+        ("Tarjan", t_batch.as_secs_f64()),
+        ("DynSCC", t_dyn.as_secs_f64()),
+    ]
+}
+
+/// Measure ISO algorithms on one instance.
+pub fn iso_point(
+    g: &DynamicGraph,
+    p: &Pattern,
+    delta: &UpdateBatch,
+    verify: bool,
+) -> Vec<(&'static str, f64)> {
+    let base = IncIso::new(g, p.clone());
+
+    let mut inc = base.clone();
+    let mut g_inc = g.clone();
+    let (_, t_inc) = time(|| {
+        g_inc.apply_batch(delta);
+        inc.apply(&g_inc, delta);
+    });
+
+    let mut incn = base.clone();
+    let mut g_n = g.clone();
+    let (_, t_incn) = time(|| apply_one_by_one(&mut incn, &mut g_n, delta));
+
+    // As with RPQ, the batch column rebuilds the indexed match set (VF2
+    // enumeration + the edge index the maintained state carries).
+    let (fresh, t_batch) = time(|| IncIso::new(&g_inc, p.clone()));
+    if verify {
+        assert_eq!(inc.sorted_matches(), fresh.sorted_matches(), "IncISO diverged from VF2");
+        assert_eq!(incn.sorted_matches(), fresh.sorted_matches());
+    }
+    vec![
+        ("IncISO", t_inc.as_secs_f64()),
+        ("IncISOn", t_incn.as_secs_f64()),
+        ("VF2", t_batch.as_secs_f64()),
+    ]
+}
+
+// ---------------------------------------------------------------------
+// Figure 8(a)–(i): varying |ΔG|
+// ---------------------------------------------------------------------
+
+/// Which query class a figure sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Class {
+    /// Keyword search.
+    Kws,
+    /// Regular path queries.
+    Rpq,
+    /// Strongly connected components.
+    Scc,
+    /// Subgraph isomorphism.
+    Iso,
+}
+
+/// Generic Exp-1 sweep: vary |ΔG| from 5 % to 40 % of |E| at ρ = 1.
+pub fn fig8_deltag(class: Class, data: Dataset, cfg: &ExpConfig, title: &str) -> Series {
+    let g = workloads::dataset(data, cfg.scale);
+    let mut rows = Vec::new();
+    for (i, &frac) in DELTAG_FRACS.iter().enumerate() {
+        let delta = delta_for(&g, frac, 0.5, i as u64);
+        let times = match class {
+            Class::Kws => kws_point(&g, &workloads::default_kws(), &delta, cfg.verify),
+            Class::Rpq => rpq_point(&g, &workloads::default_rpq(data.alphabet()), &delta, cfg.verify),
+            Class::Scc => scc_point(&g, &delta, cfg.verify),
+            Class::Iso => iso_point(&g, &workloads::default_iso(), &delta, cfg.verify),
+        };
+        rows.push(Row {
+            x: pct(frac),
+            times,
+        });
+    }
+    Series {
+        title: title.to_owned(),
+        x_label: "|ΔG|/|G|",
+        unit: "s",
+        rows,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figure 8(j)–(l): varying the query
+// ---------------------------------------------------------------------
+
+/// Fig 8(j): KWS queries `(m, b)` from `(2,1)` to `(6,5)`, |ΔG| = 10 %.
+pub fn fig8j(cfg: &ExpConfig) -> Series {
+    let g = workloads::dataset(Dataset::DbpediaLike, cfg.scale);
+    let delta = delta_for(&g, 0.10, 0.5, 99);
+    let mut rows = Vec::new();
+    for (m, b) in [(2, 1), (3, 2), (4, 3), (5, 4), (6, 5)] {
+        let q = workloads::kws_query(m, b);
+        rows.push(Row {
+            x: format!("({m},{b})"),
+            times: kws_point(&g, &q, &delta, cfg.verify),
+        });
+    }
+    Series {
+        title: "Fig 8(j) Varying Q, KWS (DBpedia-like)".into(),
+        x_label: "(m,b)",
+        unit: "s",
+        rows,
+    }
+}
+
+/// Fig 8(k): RPQ sizes 3…7, |ΔG| = 10 %.
+pub fn fig8k(cfg: &ExpConfig) -> Series {
+    let g = workloads::dataset(Dataset::DbpediaLike, cfg.scale);
+    let delta = delta_for(&g, 0.10, 0.5, 98);
+    let mut rows = Vec::new();
+    for size in 3..=7 {
+        let q = workloads::rpq_query(size, Dataset::DbpediaLike.alphabet());
+        rows.push(Row {
+            x: format!("{size}"),
+            times: rpq_point(&g, &q, &delta, cfg.verify),
+        });
+    }
+    Series {
+        title: "Fig 8(k) Varying Q, RPQ (DBpedia-like)".into(),
+        x_label: "|Q|",
+        unit: "s",
+        rows,
+    }
+}
+
+/// Fig 8(l): ISO patterns `(3,5,1)…(7,9,5)`, |ΔG| = 10 %.
+pub fn fig8l(cfg: &ExpConfig) -> Series {
+    let g = workloads::dataset(Dataset::DbpediaLike, cfg.scale);
+    let delta = delta_for(&g, 0.10, 0.5, 97);
+    let mut rows = Vec::new();
+    for n in 3..=7 {
+        let p = workloads::iso_pattern(n);
+        rows.push(Row {
+            x: format!("({},{},{})", n, p.edge_count(), n - 2),
+            times: iso_point(&g, &p, &delta, cfg.verify),
+        });
+    }
+    Series {
+        title: "Fig 8(l) Varying Q, ISO (DBpedia-like)".into(),
+        x_label: "(|VQ|,|EQ|,dQ)",
+        unit: "s",
+        rows,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figure 8(m)–(p): varying |G|
+// ---------------------------------------------------------------------
+
+/// Generic Exp-3 sweep: scale factors 0.2…1.0 of the synthetic dataset with
+/// a fixed absolute |ΔG| (10 % of the full-scale edge count, mirroring the
+/// paper's fixed 15M updates).
+pub fn fig8_scale(class: Class, cfg: &ExpConfig, title: &str) -> Series {
+    let full_edges = workloads::dataset(Dataset::Synthetic, cfg.scale).edge_count();
+    let fixed_updates = ((full_edges as f64) * 0.10).round() as usize;
+    let mut rows = Vec::new();
+    for factor in [0.2, 0.4, 0.6, 0.8, 1.0] {
+        let g = workloads::dataset(Dataset::Synthetic, cfg.scale * factor);
+        let count = fixed_updates.min(g.edge_count());
+        let delta = random_update_batch(&g, count, 0.5, GRAPH_SEED ^ 0xf1);
+        let times = match class {
+            Class::Kws => kws_point(&g, &workloads::default_kws(), &delta, cfg.verify),
+            Class::Rpq => {
+                rpq_point(&g, &workloads::default_rpq(Dataset::Synthetic.alphabet()), &delta, cfg.verify)
+            }
+            Class::Scc => scc_point(&g, &delta, cfg.verify),
+            Class::Iso => iso_point(&g, &workloads::default_iso(), &delta, cfg.verify),
+        };
+        rows.push(Row {
+            x: format!("{factor}"),
+            times,
+        });
+    }
+    Series {
+        title: title.to_owned(),
+        x_label: "scale factor",
+        unit: "s",
+        rows,
+    }
+}
+
+// ---------------------------------------------------------------------
+// In-text experiments
+// ---------------------------------------------------------------------
+
+/// Exp-1(5): unit updates — one insertion and one deletion per class.
+pub fn unit_updates(cfg: &ExpConfig) -> Series {
+    let g = workloads::dataset(Dataset::DbpediaLike, cfg.scale);
+    let mut rows = Vec::new();
+    for (kind, rho) in [("insert", 1.0), ("delete", 0.0)] {
+        let delta = random_update_batch(&g, 1, rho, GRAPH_SEED ^ 0xabc);
+        let mut times = Vec::new();
+        for (name, t) in kws_point(&g, &workloads::default_kws(), &delta, cfg.verify) {
+            if name != "IncKWSn" {
+                times.push((name, t));
+            }
+        }
+        for (name, t) in rpq_point(&g, &workloads::default_rpq(495), &delta, cfg.verify) {
+            if name != "IncRPQn" {
+                times.push((name, t));
+            }
+        }
+        for (name, t) in scc_point(&g, &delta, cfg.verify) {
+            if name != "IncSCCn" {
+                times.push((name, t));
+            }
+        }
+        for (name, t) in iso_point(&g, &workloads::default_iso(), &delta, cfg.verify) {
+            if name != "IncISOn" {
+                times.push((name, t));
+            }
+        }
+        rows.push(Row {
+            x: kind.to_owned(),
+            times,
+        });
+    }
+    Series {
+        title: "Unit updates (Exp-1(5)): incremental vs batch per class".into(),
+        x_label: "unit update",
+        unit: "s",
+        rows,
+    }
+}
+
+/// ρ-sensitivity: fixed |ΔG| = 10 %, insertion fraction varied.
+pub fn rho_sensitivity(cfg: &ExpConfig) -> Series {
+    let g = workloads::dataset(Dataset::DbpediaLike, cfg.scale);
+    let mut rows = Vec::new();
+    for rho in [0.2, 0.4, 0.5, 0.6, 0.8] {
+        let delta = delta_for(&g, 0.10, rho, (rho * 100.0) as u64);
+        let times = vec![
+            (
+                "IncKWS",
+                kws_point(&g, &workloads::default_kws(), &delta, cfg.verify)[0].1,
+            ),
+            (
+                "IncRPQ",
+                rpq_point(&g, &workloads::default_rpq(495), &delta, cfg.verify)[0].1,
+            ),
+            ("IncSCC", scc_point(&g, &delta, cfg.verify)[0].1),
+            (
+                "IncISO",
+                iso_point(&g, &workloads::default_iso(), &delta, cfg.verify)[0].1,
+            ),
+        ];
+        rows.push(Row {
+            x: format!("{rho}"),
+            times,
+        });
+    }
+    Series {
+        title: "ρ-sensitivity: fixed |ΔG| = 10%, varying insert fraction".into(),
+        x_label: "insert fraction",
+        unit: "s",
+        rows,
+    }
+}
+
+/// Theorem 1 made visible: on the Fig. 9 two-cycle gadget, the first
+/// insertion changes no output (`|CHANGED| = 1`) while the affected
+/// markings grow linearly with the gadget size — the "undoable" shape.
+pub fn undoable_demo() -> Series {
+    let mut rows = Vec::new();
+    for n in [25usize, 50, 100, 200] {
+        let gadget = igc_core::gadgets::two_cycle_gadget(n);
+        let mut interner = gadget.interner.clone();
+        let q = Regex::parse(gadget.query, &mut interner).expect("gadget query parses");
+        let mut g = gadget.graph.clone();
+        let mut inc = IncRpq::new(&g, &q);
+        let before = inc.answer().len();
+        let delta = UpdateBatch::from_updates(vec![gadget.delta1]);
+        g.apply_batch(&delta);
+        inc.apply(&g, &delta);
+        assert_eq!(inc.answer().len(), before, "Δ1 must not change the output");
+        let m = inc.last_metrics();
+        rows.push(Row {
+            x: format!("n={n}"),
+            times: vec![
+                ("CHANGED", m.changed() as f64),
+                ("AFF(markings)", (m.affected.max(1)) as f64),
+            ],
+        });
+    }
+    Series {
+        title: "Undoable (Thm 1): two-cycle gadget — |AFF| grows, |CHANGED| stays 1".into(),
+        x_label: "gadget size",
+        unit: "count",
+        rows,
+    }
+}
+
+/// Localizability check: fixed small |ΔG|, growing |G| — the *work
+/// counters* of IncKWS and IncISO must stay (statistically) flat.
+pub fn locality_demo(cfg: &ExpConfig) -> Series {
+    let mut rows = Vec::new();
+    for factor in [0.25, 0.5, 1.0, 2.0] {
+        let g = workloads::dataset(Dataset::Synthetic, cfg.scale * factor);
+        let delta = random_update_batch(&g, 100, 0.5, GRAPH_SEED ^ 0x10c);
+        let mut g2 = g.clone();
+
+        let mut kws = IncKws::new(&g, workloads::default_kws());
+        kws.reset_work();
+        g2.apply_batch(&delta);
+        kws.apply(&g2, &delta);
+
+        let mut iso = IncIso::new(&g, workloads::default_iso());
+        iso.reset_work();
+        iso.apply(&g2, &delta);
+
+        rows.push(Row {
+            x: format!("{factor}×"),
+            times: vec![
+                ("IncKWS work", kws.work().total() as f64),
+                ("IncISO work", iso.work().total() as f64),
+                ("|G|", g.size() as f64),
+            ],
+        });
+    }
+    Series {
+        title: "Localizable (Thm 3): work vs |G| at fixed |ΔG| = 100 updates".into(),
+        x_label: "graph scale",
+        unit: "ops",
+        rows,
+    }
+}
+
+/// All figure ids understood by [`run`].
+pub const ALL_FIGS: [&str; 16] = [
+    "fig8a", "fig8b", "fig8c", "fig8d", "fig8e", "fig8f", "fig8g", "fig8h", "fig8i", "fig8j",
+    "fig8k", "fig8l", "fig8m", "fig8n", "fig8o", "fig8p",
+];
+
+/// Run one named experiment.
+pub fn run(fig: &str, cfg: &ExpConfig) -> Series {
+    use Class::*;
+    use Dataset::*;
+    match fig {
+        "fig8a" => fig8_deltag(Kws, DbpediaLike, cfg, "Fig 8(a) Varying ΔG, KWS (DBpedia-like)"),
+        "fig8b" => fig8_deltag(Rpq, DbpediaLike, cfg, "Fig 8(b) Varying ΔG, RPQ (DBpedia-like)"),
+        "fig8c" => fig8_deltag(Scc, DbpediaLike, cfg, "Fig 8(c) Varying ΔG, SCC (DBpedia-like)"),
+        "fig8d" => fig8_deltag(Iso, DbpediaLike, cfg, "Fig 8(d) Varying ΔG, ISO (DBpedia-like)"),
+        "fig8e" => fig8_deltag(Kws, LivejournalLike, cfg, "Fig 8(e) Varying ΔG, KWS (liveJ-like)"),
+        "fig8f" => fig8_deltag(Rpq, LivejournalLike, cfg, "Fig 8(f) Varying ΔG, RPQ (liveJ-like)"),
+        "fig8g" => fig8_deltag(Scc, LivejournalLike, cfg, "Fig 8(g) Varying ΔG, SCC (liveJ-like)"),
+        "fig8h" => fig8_deltag(Iso, LivejournalLike, cfg, "Fig 8(h) Varying ΔG, ISO (liveJ-like)"),
+        "fig8i" => fig8_deltag(Scc, Synthetic, cfg, "Fig 8(i) Varying ΔG, SCC (Synthetic)"),
+        "fig8j" => fig8j(cfg),
+        "fig8k" => fig8k(cfg),
+        "fig8l" => fig8l(cfg),
+        "fig8m" => fig8_scale(Kws, cfg, "Fig 8(m) Varying G, KWS (Synthetic)"),
+        "fig8n" => fig8_scale(Rpq, cfg, "Fig 8(n) Varying G, RPQ (Synthetic)"),
+        "fig8o" => fig8_scale(Scc, cfg, "Fig 8(o) Varying G, SCC (Synthetic)"),
+        "fig8p" => fig8_scale(Iso, cfg, "Fig 8(p) Varying G, ISO (Synthetic)"),
+        "unit" => unit_updates(cfg),
+        "rho" => rho_sensitivity(cfg),
+        "undoable" => undoable_demo(),
+        "locality" => locality_demo(cfg),
+        other => panic!("unknown experiment id {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExpConfig {
+        ExpConfig {
+            scale: 0.004,
+            verify: true,
+        }
+    }
+
+    #[test]
+    fn kws_point_verifies_at_tiny_scale() {
+        let cfg = tiny();
+        let g = workloads::dataset(Dataset::DbpediaLike, cfg.scale);
+        let delta = delta_for(&g, 0.10, 0.5, 1);
+        let times = kws_point(&g, &workloads::default_kws(), &delta, true);
+        assert_eq!(times.len(), 3);
+    }
+
+    #[test]
+    fn scc_point_verifies_at_tiny_scale() {
+        let cfg = tiny();
+        let g = workloads::dataset(Dataset::Synthetic, cfg.scale);
+        let delta = delta_for(&g, 0.10, 0.5, 2);
+        let times = scc_point(&g, &delta, true);
+        assert_eq!(times.len(), 4);
+    }
+
+    #[test]
+    fn rpq_and_iso_points_verify_at_tiny_scale() {
+        let cfg = tiny();
+        let g = workloads::dataset(Dataset::Synthetic, cfg.scale);
+        let delta = delta_for(&g, 0.05, 0.5, 3);
+        assert_eq!(
+            rpq_point(&g, &workloads::default_rpq(100), &delta, true).len(),
+            3
+        );
+        assert_eq!(
+            iso_point(&g, &workloads::default_iso(), &delta, true).len(),
+            3
+        );
+    }
+
+    #[test]
+    fn undoable_demo_shows_growth() {
+        let s = undoable_demo();
+        let aff: Vec<f64> = s
+            .rows
+            .iter()
+            .map(|r| r.times.iter().find(|(n, _)| *n == "AFF(markings)").unwrap().1)
+            .collect();
+        assert!(
+            aff.last().unwrap() > &(aff[0] * 2.0),
+            "AFF must grow with the gadget: {aff:?}"
+        );
+        let changed: Vec<f64> = s
+            .rows
+            .iter()
+            .map(|r| r.times.iter().find(|(n, _)| *n == "CHANGED").unwrap().1)
+            .collect();
+        assert!(changed.iter().all(|&c| c == 1.0));
+    }
+
+    #[test]
+    fn run_accepts_all_ids() {
+        // Only check dispatch for the cheap in-text experiments here; the
+        // fig8 sweeps are exercised by the experiments binary.
+        let _ = run("undoable", &tiny());
+    }
+}

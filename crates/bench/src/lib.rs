@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+
+//! Experiment harness reproducing the paper's evaluation (Section 6).
+//!
+//! Every panel of Figure 8 plus the in-text experiments (unit updates,
+//! ρ-sensitivity, optimisation ratios) has a code path here:
+//!
+//! * [`workloads`] — datasets (DESIGN.md §2.4 stand-ins for DBpedia /
+//!   LiveJournal / the synthetic generator) and the query generators the
+//!   paper sweeps (KWS `(m, b)`, RPQ `|Q|`, ISO `(|V_Q|, |E_Q|, d_Q)`),
+//! * [`harness`] — timing and table formatting,
+//! * [`experiments`] — one function per figure; the `experiments` binary
+//!   drives them and prints paper-style series.
+//!
+//! Absolute times differ from the paper (different hardware, scaled-down
+//! graphs); the comparisons of interest are the *shapes*: who wins, where
+//! the crossover sits, how the algorithms scale with `|ΔG|`, `|Q|`, `|G|`.
+
+pub mod experiments;
+pub mod harness;
+pub mod workloads;

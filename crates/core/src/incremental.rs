@@ -1,0 +1,111 @@
+//! The uniform contract implemented by every incremental algorithm.
+
+use crate::work::WorkStats;
+use igc_graph::{DynamicGraph, UpdateBatch};
+
+/// An incremental algorithm `T_Δ` for some query class (Section 2.2).
+///
+/// # Contract
+///
+/// The algorithm is constructed from an initial graph (running its batch
+/// counterpart once to build `Q(G)` and the auxiliary structures). To
+/// process a batch `ΔG`:
+///
+/// 1. the **caller** applies `ΔG` to the graph (`g.apply_batch(delta)`),
+/// 2. then calls [`IncrementalAlgorithm::apply`] with the *post-update*
+///    graph and the batch.
+///
+/// `delta` must be normalized ([`UpdateBatch::normalized`]): the paper
+/// assumes w.l.o.g. that no edge is both inserted and deleted in one batch.
+/// Deletions of absent edges and insertions of present edges must have been
+/// filtered out by the caller (the generator never produces them).
+pub trait IncrementalAlgorithm {
+    /// Process a batch update; `g` already reflects `delta`.
+    fn apply(&mut self, g: &DynamicGraph, delta: &UpdateBatch);
+
+    /// Work accumulated since construction (or the last reset).
+    fn work(&self) -> WorkStats;
+
+    /// Zero the work counters.
+    fn reset_work(&mut self);
+
+    /// Convenience: apply `delta` to `g` and then to `self` in one call.
+    fn apply_updating(&mut self, g: &mut DynamicGraph, delta: &UpdateBatch) {
+        g.apply_batch(delta);
+        self.apply(g, delta);
+    }
+}
+
+/// Drive an incremental algorithm one unit update at a time — the paper's
+/// `Inc*ⁿ` baselines, which forgo the batch-grouping optimisations. Returns
+/// the graph fully updated, with `alg` having processed each unit as a
+/// singleton batch.
+pub fn apply_one_by_one<A: IncrementalAlgorithm>(
+    alg: &mut A,
+    g: &mut DynamicGraph,
+    delta: &UpdateBatch,
+) {
+    for u in delta.iter() {
+        let single = UpdateBatch::from_updates(vec![*u]);
+        g.apply_batch(&single);
+        alg.apply(g, &single);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igc_graph::graph::graph_from;
+    use igc_graph::{NodeId, Update};
+
+    /// A toy incremental algorithm: maintains the edge count.
+    struct EdgeCounter {
+        count: usize,
+        work: WorkStats,
+    }
+
+    impl IncrementalAlgorithm for EdgeCounter {
+        fn apply(&mut self, g: &DynamicGraph, delta: &UpdateBatch) {
+            self.count = g.edge_count();
+            self.work.aux_touched += delta.len() as u64;
+        }
+        fn work(&self) -> WorkStats {
+            self.work
+        }
+        fn reset_work(&mut self) {
+            self.work.reset();
+        }
+    }
+
+    #[test]
+    fn apply_updating_applies_batch_first() {
+        let mut g = graph_from(&[0, 0, 0], &[(0, 1)]);
+        let mut alg = EdgeCounter {
+            count: g.edge_count(),
+            work: WorkStats::new(),
+        };
+        let delta = UpdateBatch::from_updates(vec![
+            Update::insert(NodeId(1), NodeId(2)),
+            Update::delete(NodeId(0), NodeId(1)),
+        ]);
+        alg.apply_updating(&mut g, &delta);
+        assert_eq!(alg.count, 1);
+        assert_eq!(alg.work().aux_touched, 2);
+    }
+
+    #[test]
+    fn one_by_one_processes_each_unit() {
+        let mut g = graph_from(&[0, 0, 0], &[]);
+        let mut alg = EdgeCounter {
+            count: 0,
+            work: WorkStats::new(),
+        };
+        let delta = UpdateBatch::from_updates(vec![
+            Update::insert(NodeId(0), NodeId(1)),
+            Update::insert(NodeId(1), NodeId(2)),
+        ]);
+        apply_one_by_one(&mut alg, &mut g, &delta);
+        assert_eq!(alg.count, 2);
+        assert_eq!(g.edge_count(), 2);
+    }
+}

@@ -1,0 +1,292 @@
+//! Δ-reductions (Section 3): executable `(f, fi, fo)` triples.
+//!
+//! A Δ-reduction from query class `Q1` to `Q2` maps instances, input updates
+//! and output updates in PTIME in `|ΔG1| + |ΔO1|` and `|Q1|`; it preserves
+//! boundedness (Lemma 2), so the unboundedness of SSRP under deletions [38]
+//! transfers to RPQ (and, in the paper's appendix, to SCC).
+//!
+//! This module implements the SSRP → RPQ reduction used in the proof of
+//! Theorem 1: relabel the source node `vs` with `α1` and every other node
+//! with `α2`; then `vi` is reachable from `vs` in `G1` iff `(vs, vi)` is a
+//! match of `Q2 = α1·α2*` in `G2` — because every `α1`-initial path starts
+//! at `vs`. Integration tests run the real RPQ engine over `f(I1)` and check
+//! `fo` against a reachability oracle.
+
+use igc_graph::{DynamicGraph, Label, LabelInterner, NodeId, Update, UpdateBatch};
+
+/// The image of an SSRP instance under the reduction's instance mapping `f`.
+#[derive(Debug, Clone)]
+pub struct SsrpToRpq {
+    /// The relabelled graph `G2` (same nodes and edges as `G1`).
+    pub graph: DynamicGraph,
+    /// Label α1, carried only by the source node.
+    pub alpha1: Label,
+    /// Label α2, carried by every other node.
+    pub alpha2: Label,
+    /// The SSRP source `vs`.
+    pub source: NodeId,
+    /// The query string for `Q2 = α1·α2*` in [`Regex::parse`] syntax.
+    pub query: &'static str,
+}
+
+/// The paper's textual form of `Q2` (parse with the interner returned by
+/// [`ssrp_to_rpq`]).
+pub const SSRP_RPQ_QUERY: &str = "alpha1.alpha2*";
+
+/// Instance mapping `f`: build `(Q2, G2)` from `(G1, vs)`.
+///
+/// Returns the instance together with the interner that resolves `alpha1` /
+/// `alpha2` in [`SSRP_RPQ_QUERY`].
+pub fn ssrp_to_rpq(g1: &DynamicGraph, source: NodeId) -> (SsrpToRpq, LabelInterner) {
+    let mut interner = LabelInterner::new();
+    let alpha1 = interner.intern("alpha1");
+    let alpha2 = interner.intern("alpha2");
+    let mut g2 = DynamicGraph::with_capacity(g1.node_count(), g1.edge_count());
+    for v in g1.nodes() {
+        let l = if v == source { alpha1 } else { alpha2 };
+        g2.add_node(l);
+    }
+    for (u, v) in g1.edges() {
+        g2.insert_edge(u, v);
+    }
+    (
+        SsrpToRpq {
+            graph: g2,
+            alpha1,
+            alpha2,
+            source,
+            query: SSRP_RPQ_QUERY,
+        },
+        interner,
+    )
+}
+
+/// Input-update mapping `fi`: SSRP updates carry over verbatim (node ids are
+/// preserved by `f`; fresh nodes introduced by insertions are labelled α2).
+pub fn map_input_updates(r: &SsrpToRpq, delta1: &UpdateBatch) -> UpdateBatch {
+    delta1
+        .iter()
+        .map(|u| match *u {
+            Update::Insert { from, to, .. } => {
+                Update::insert_labeled(from, to, Some(r.alpha2), Some(r.alpha2))
+            }
+            Update::Delete { from, to } => Update::delete(from, to),
+        })
+        .collect()
+}
+
+/// A unit change to an RPQ answer: a `(source, target)` match added or
+/// removed. Mirrors `ΔO2` without depending on the RPQ crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PairChange {
+    /// The match involved.
+    pub pair: (NodeId, NodeId),
+    /// True when the match was added, false when removed.
+    pub added: bool,
+}
+
+/// A unit change to an SSRP answer: `r(node)` flipped to `reachable`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ReachChange {
+    /// The node whose reachability bit changed.
+    pub node: NodeId,
+    /// The new value of `r(node)`.
+    pub reachable: bool,
+}
+
+/// Output-update mapping `fo`: translate changes of `Q2(G2)` back to changes
+/// of the SSRP answer. Matches not rooted at `vs` cannot occur (all
+/// `α1`-paths start there) and are rejected loudly.
+pub fn map_output_updates(r: &SsrpToRpq, delta_o2: &[PairChange]) -> Vec<ReachChange> {
+    delta_o2
+        .iter()
+        .map(|c| {
+            assert_eq!(
+                c.pair.0, r.source,
+                "Q2 match not rooted at the SSRP source: the reduction image \
+                 admits no such match"
+            );
+            ReachChange {
+                node: c.pair.1,
+                reachable: c.added,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igc_graph::graph::graph_from;
+    use igc_graph::traversal::reachable_from;
+
+    /// Oracle: matches of α1·α2* in the reduction image, computed naively
+    /// from reachability (the defining property of the reduction).
+    fn rpq_matches_oracle(r: &SsrpToRpq) -> Vec<(NodeId, NodeId)> {
+        let reach = reachable_from(&r.graph, r.source);
+        r.graph
+            .nodes()
+            .filter(|v| reach[v.index()])
+            // α1·α2* requires at least one node; (vs, vs) matches only the
+            // single-symbol word α1 ∈ L(α1·α2*): reachable trivially.
+            .map(|v| (r.source, v))
+            .collect()
+    }
+
+    #[test]
+    fn instance_mapping_relabels_only() {
+        let g1 = graph_from(&[9, 9, 9], &[(0, 1), (1, 2)]);
+        let (r, _it) = ssrp_to_rpq(&g1, NodeId(1));
+        assert_eq!(r.graph.node_count(), 3);
+        assert_eq!(r.graph.sorted_edges(), g1.sorted_edges());
+        assert_eq!(r.graph.label(NodeId(1)), r.alpha1);
+        assert_eq!(r.graph.label(NodeId(0)), r.alpha2);
+        assert_eq!(r.graph.label(NodeId(2)), r.alpha2);
+    }
+
+    #[test]
+    fn reduction_defining_property_holds() {
+        // vi reachable from vs in G1 ⟺ (vs, vi) ∈ Q2(G2).
+        let g1 = graph_from(&[0; 6], &[(0, 1), (1, 2), (2, 0), (3, 4)]);
+        let (r, _it) = ssrp_to_rpq(&g1, NodeId(0));
+        let matches = rpq_matches_oracle(&r);
+        let reach = reachable_from(&g1, NodeId(0));
+        for v in g1.nodes() {
+            assert_eq!(matches.contains(&(NodeId(0), v)), reach[v.index()]);
+        }
+    }
+
+    #[test]
+    fn input_updates_map_one_to_one() {
+        let g1 = graph_from(&[0; 3], &[(0, 1)]);
+        let (r, _it) = ssrp_to_rpq(&g1, NodeId(0));
+        let d1 = UpdateBatch::from_updates(vec![
+            Update::insert(NodeId(1), NodeId(2)),
+            Update::delete(NodeId(0), NodeId(1)),
+        ]);
+        let d2 = map_input_updates(&r, &d1);
+        assert_eq!(d2.len(), 2);
+        let edges: Vec<_> = d2.iter().map(|u| (u.is_insert(), u.edge())).collect();
+        assert_eq!(edges[0], (true, (NodeId(1), NodeId(2))));
+        assert_eq!(edges[1], (false, (NodeId(0), NodeId(1))));
+    }
+
+    #[test]
+    fn output_mapping_translates_pairs() {
+        let g1 = graph_from(&[0; 3], &[(0, 1)]);
+        let (r, _it) = ssrp_to_rpq(&g1, NodeId(0));
+        let o = map_output_updates(
+            &r,
+            &[
+                PairChange {
+                    pair: (NodeId(0), NodeId(2)),
+                    added: true,
+                },
+                PairChange {
+                    pair: (NodeId(0), NodeId(1)),
+                    added: false,
+                },
+            ],
+        );
+        assert_eq!(
+            o,
+            vec![
+                ReachChange {
+                    node: NodeId(2),
+                    reachable: true
+                },
+                ReachChange {
+                    node: NodeId(1),
+                    reachable: false
+                },
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not rooted at the SSRP source")]
+    fn output_mapping_rejects_foreign_roots() {
+        let g1 = graph_from(&[0; 3], &[(0, 1)]);
+        let (r, _it) = ssrp_to_rpq(&g1, NodeId(0));
+        map_output_updates(
+            &r,
+            &[PairChange {
+                pair: (NodeId(1), NodeId(2)),
+                added: true,
+            }],
+        );
+    }
+
+    #[test]
+    fn end_to_end_on_random_updates() {
+        // Simulate the full reduction loop with oracles on both sides.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..20 {
+            let n = 8;
+            let mut edges = Vec::new();
+            for u in 0..n {
+                for v in 0..n {
+                    if u != v && rng.gen_bool(0.2) {
+                        edges.push((u, v));
+                    }
+                }
+            }
+            let g1 = graph_from(&vec![0; n as usize], &edges);
+            let (r, _it) = ssrp_to_rpq(&g1, NodeId(0));
+
+            // one random unit update
+            let mut g1b = g1.clone();
+            let del = !edges.is_empty() && rng.gen_bool(0.5);
+            let upd = if del {
+                let (u, v) = edges[rng.gen_range(0..edges.len())];
+                Update::delete(NodeId(u), NodeId(v))
+            } else {
+                Update::insert(NodeId(rng.gen_range(0..n)), NodeId(rng.gen_range(0..n)))
+            };
+            if upd.edge().0 == upd.edge().1 {
+                continue;
+            }
+            g1b.apply(&upd);
+
+            let before = reachable_from(&g1, NodeId(0));
+            let after = reachable_from(&g1b, NodeId(0));
+
+            // ΔO2 from the RPQ side (oracle): pairs added/removed
+            let (r_after, _it2) = ssrp_to_rpq(&g1b, NodeId(0));
+            let m_before: std::collections::HashSet<_> =
+                rpq_matches_oracle(&r).into_iter().collect();
+            let m_after: std::collections::HashSet<_> =
+                rpq_matches_oracle(&r_after).into_iter().collect();
+            let mut delta_o2: Vec<PairChange> = Vec::new();
+            for &p in m_after.difference(&m_before) {
+                delta_o2.push(PairChange {
+                    pair: p,
+                    added: true,
+                });
+            }
+            for &p in m_before.difference(&m_after) {
+                delta_o2.push(PairChange {
+                    pair: p,
+                    added: false,
+                });
+            }
+
+            // fo(ΔO2) must equal the true reachability change.
+            let mapped = map_output_updates(&r, &delta_o2);
+            for c in &mapped {
+                assert_eq!(after[c.node.index()], c.reachable);
+                assert_ne!(before[c.node.index()], c.reachable);
+            }
+            // And it must be complete.
+            let flipped: usize = (0..g1b.node_count())
+                .filter(|&i| {
+                    before.get(i).copied().unwrap_or(false)
+                        != after.get(i).copied().unwrap_or(false)
+                })
+                .count();
+            assert_eq!(flipped, mapped.len());
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! SSRP — single-source reachability to all vertices (Section 3).
+//!
+//! SSRP asks, for a fixed source `vs`, whether every node `vt` is reachable
+//! from `vs`; the answer is a Boolean `r(v)` per node. Ramalingam and Reps
+//! [38] showed its incremental problem is *unbounded under unit deletions*
+//! but *bounded under unit insertions* — the asymmetry the paper highlights,
+//! and the anchor of the Δ-reductions proving Theorem 1.
+//!
+//! This implementation exhibits exactly that profile:
+//! * [`Ssrp::insert_edge`] does work proportional to the newly reachable
+//!   region (which is `O(|ΔO| + deg)` — bounded),
+//! * [`Ssrp::delete_edge`] falls back to recomputation of the reachable set
+//!   when the deleted edge was load-bearing (unbounded, as it must be).
+
+use crate::work::WorkStats;
+use igc_graph::{DynamicGraph, NodeId};
+
+/// Maintained single-source reachability.
+#[derive(Debug, Clone)]
+pub struct Ssrp {
+    source: NodeId,
+    /// `r(v)`: reachable from `source`. Indexed by node id.
+    reach: Vec<bool>,
+    work: WorkStats,
+}
+
+impl Ssrp {
+    /// Compute `r(·)` from scratch on `g`.
+    pub fn new(g: &DynamicGraph, source: NodeId) -> Self {
+        let mut s = Ssrp {
+            source,
+            reach: Vec::new(),
+            work: WorkStats::new(),
+        };
+        s.recompute(g);
+        s
+    }
+
+    /// The query answer: `r(v)` for every node.
+    pub fn reachable(&self) -> &[bool] {
+        &self.reach
+    }
+
+    /// `r(v)` for a single node (false for nodes created after the last
+    /// update that touched them).
+    pub fn is_reachable(&self, v: NodeId) -> bool {
+        self.reach.get(v.index()).copied().unwrap_or(false)
+    }
+
+    /// The fixed source `vs`.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Work counters.
+    pub fn work(&self) -> WorkStats {
+        self.work
+    }
+
+    /// Process `insert (u, v)`; `g` must already contain the edge.
+    ///
+    /// Bounded: if `u` is unreachable or `v` already reachable nothing
+    /// happens; otherwise a BFS from `v` visits only newly reachable nodes —
+    /// each is an output change, so the work is `O(|ΔO| + edges out of ΔO)`.
+    pub fn insert_edge(&mut self, g: &DynamicGraph, u: NodeId, v: NodeId) {
+        self.grow(g);
+        self.work.aux_touched += 2;
+        if !self.reach[u.index()] || self.reach[v.index()] {
+            return;
+        }
+        let mut stack = vec![v];
+        self.reach[v.index()] = true;
+        while let Some(x) = stack.pop() {
+            self.work.nodes_visited += 1;
+            for &y in g.successors(x) {
+                self.work.edges_traversed += 1;
+                if !self.reach[y.index()] {
+                    self.reach[y.index()] = true;
+                    stack.push(y);
+                }
+            }
+        }
+    }
+
+    /// Process `delete (u, v)`; `g` must already lack the edge.
+    ///
+    /// Unbounded: when the deleted edge may have carried reachability
+    /// (`r(u) ∧ r(v)`), the reachable set is recomputed — there is no bound
+    /// on this in `|CHANGED|`, which is the content of the negative result.
+    pub fn delete_edge(&mut self, g: &DynamicGraph, u: NodeId, v: NodeId) {
+        self.grow(g);
+        self.work.aux_touched += 2;
+        if !self.is_reachable(u) || !self.is_reachable(v) {
+            return; // the edge carried no reachability
+        }
+        self.recompute(g);
+    }
+
+    fn recompute(&mut self, g: &DynamicGraph) {
+        self.reach.clear();
+        self.reach.resize(g.node_count(), false);
+        if !g.contains_node(self.source) {
+            return;
+        }
+        let mut stack = vec![self.source];
+        self.reach[self.source.index()] = true;
+        while let Some(x) = stack.pop() {
+            self.work.nodes_visited += 1;
+            for &y in g.successors(x) {
+                self.work.edges_traversed += 1;
+                if !self.reach[y.index()] {
+                    self.reach[y.index()] = true;
+                    stack.push(y);
+                }
+            }
+        }
+    }
+
+    fn grow(&mut self, g: &DynamicGraph) {
+        if self.reach.len() < g.node_count() {
+            self.reach.resize(g.node_count(), false);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igc_graph::graph::graph_from;
+    use igc_graph::traversal::reachable_from;
+
+    #[test]
+    fn batch_matches_oracle() {
+        let g = graph_from(&[0; 5], &[(0, 1), (1, 2), (3, 4)]);
+        let s = Ssrp::new(&g, NodeId(0));
+        assert_eq!(s.reachable(), reachable_from(&g, NodeId(0)).as_slice());
+    }
+
+    #[test]
+    fn insertion_extends_reachability() {
+        let mut g = graph_from(&[0; 5], &[(0, 1), (2, 3), (3, 4)]);
+        let mut s = Ssrp::new(&g, NodeId(0));
+        assert!(!s.is_reachable(NodeId(4)));
+        g.insert_edge(NodeId(1), NodeId(2));
+        s.insert_edge(&g, NodeId(1), NodeId(2));
+        assert_eq!(s.reachable(), reachable_from(&g, NodeId(0)).as_slice());
+        assert!(s.is_reachable(NodeId(4)));
+    }
+
+    #[test]
+    fn insertion_into_unreachable_region_is_cheap() {
+        let mut g = graph_from(&[0; 4], &[(0, 1), (2, 3)]);
+        let mut s = Ssrp::new(&g, NodeId(0));
+        let before = s.work().nodes_visited;
+        g.insert_edge(NodeId(2), NodeId(1));
+        s.insert_edge(&g, NodeId(2), NodeId(1)); // 2 is unreachable
+        assert_eq!(s.work().nodes_visited, before, "no traversal needed");
+        assert_eq!(s.reachable(), reachable_from(&g, NodeId(0)).as_slice());
+    }
+
+    #[test]
+    fn insertion_work_is_bounded_by_output_change() {
+        // Chain 0→1, island 2→3→…→11; insert 1→2: ΔO = 10 nodes.
+        let mut edges = vec![(0, 1)];
+        for i in 2..11 {
+            edges.push((i, i + 1));
+        }
+        let mut g = graph_from(&[0; 12], &edges);
+        let mut s = Ssrp::new(&g, NodeId(0));
+        let w0 = s.work().total();
+        g.insert_edge(NodeId(1), NodeId(2));
+        s.insert_edge(&g, NodeId(1), NodeId(2));
+        let dw = s.work().total() - w0;
+        // 10 newly reachable nodes, ≤ ~3 counters each
+        assert!(dw <= 40, "insertion work {dw} not bounded by change");
+    }
+
+    #[test]
+    fn deletion_splits_reachability() {
+        let mut g = graph_from(&[0; 4], &[(0, 1), (1, 2), (2, 3)]);
+        let mut s = Ssrp::new(&g, NodeId(0));
+        g.delete_edge(NodeId(1), NodeId(2));
+        s.delete_edge(&g, NodeId(1), NodeId(2));
+        assert_eq!(s.reachable(), vec![true, true, false, false].as_slice());
+    }
+
+    #[test]
+    fn deletion_with_alternative_path_keeps_answer() {
+        let mut g = graph_from(&[0; 3], &[(0, 1), (1, 2), (0, 2)]);
+        let mut s = Ssrp::new(&g, NodeId(0));
+        g.delete_edge(NodeId(1), NodeId(2));
+        s.delete_edge(&g, NodeId(1), NodeId(2));
+        assert_eq!(s.reachable(), vec![true, true, true].as_slice());
+    }
+
+    #[test]
+    fn deletion_of_irrelevant_edge_is_cheap() {
+        let mut g = graph_from(&[0; 4], &[(0, 1), (2, 3)]);
+        let mut s = Ssrp::new(&g, NodeId(0));
+        let before = s.work().nodes_visited;
+        g.delete_edge(NodeId(2), NodeId(3));
+        s.delete_edge(&g, NodeId(2), NodeId(3));
+        assert_eq!(s.work().nodes_visited, before);
+    }
+
+    #[test]
+    fn new_nodes_from_updates_are_handled() {
+        let mut g = graph_from(&[0], &[]);
+        let mut s = Ssrp::new(&g, NodeId(0));
+        g.apply(&igc_graph::Update::insert(NodeId(0), NodeId(5)));
+        s.insert_edge(&g, NodeId(0), NodeId(5));
+        assert!(s.is_reachable(NodeId(5)));
+        assert!(!s.is_reachable(NodeId(3)));
+    }
+}

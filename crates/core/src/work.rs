@@ -1,0 +1,134 @@
+//! Work accounting: the empirical counterpart of the paper's cost measures.
+//!
+//! Boundedness (Section 3), localizability (Section 4) and relative
+//! boundedness (Section 5) are all statements about *how much an algorithm
+//! inspects*. Every algorithm in this workspace counts its inspections in a
+//! [`WorkStats`], so those statements become testable: e.g. IncKWS's work for
+//! a fixed `ΔG` must not grow when `|G|` doubles (localizability), and
+//! IncRPQ's work must stay within a constant factor of `|AFF|` (relative
+//! boundedness).
+
+use std::ops::{Add, AddAssign};
+
+/// Counters of the elementary inspections an algorithm performs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkStats {
+    /// Nodes visited (dequeued/popped/expanded).
+    pub nodes_visited: u64,
+    /// Edges (or product-graph edges) traversed.
+    pub edges_traversed: u64,
+    /// Auxiliary-structure entries read or written (kdist entries, markings,
+    /// num/lowlink values, rank updates).
+    pub aux_touched: u64,
+    /// Priority-queue or stack operations.
+    pub queue_ops: u64,
+}
+
+impl WorkStats {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sum of all counters — the scalar "work" used in comparisons.
+    pub fn total(&self) -> u64 {
+        self.nodes_visited + self.edges_traversed + self.aux_touched + self.queue_ops
+    }
+
+    /// Reset all counters to zero.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+impl Add for WorkStats {
+    type Output = WorkStats;
+    fn add(self, rhs: WorkStats) -> WorkStats {
+        WorkStats {
+            nodes_visited: self.nodes_visited + rhs.nodes_visited,
+            edges_traversed: self.edges_traversed + rhs.edges_traversed,
+            aux_touched: self.aux_touched + rhs.aux_touched,
+            queue_ops: self.queue_ops + rhs.queue_ops,
+        }
+    }
+}
+
+impl AddAssign for WorkStats {
+    fn add_assign(&mut self, rhs: WorkStats) {
+        *self = *self + rhs;
+    }
+}
+
+/// The paper's change quantities for one incremental step.
+///
+/// * `|CHANGED| = |ΔG| + |ΔO|` — the classical boundedness yardstick,
+/// * `|AFF|` — the size of the change in the region inspected by the fixed
+///   batch algorithm (relative boundedness, Section 5).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChangeMetrics {
+    /// `|ΔG|`: number of unit updates applied.
+    pub input_updates: u64,
+    /// `|ΔO|`: number of unit changes to the query answer.
+    pub output_changes: u64,
+    /// `|AFF|`: changed auxiliary entries (markings, kdist entries,
+    /// num/lowlink/rank values) — what the batch algorithm would have had to
+    /// re-inspect.
+    pub affected: u64,
+}
+
+impl ChangeMetrics {
+    /// `|CHANGED| = |ΔG| + |ΔO|`.
+    pub fn changed(&self) -> u64 {
+        self.input_updates + self.output_changes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_reset() {
+        let mut w = WorkStats {
+            nodes_visited: 1,
+            edges_traversed: 2,
+            aux_touched: 3,
+            queue_ops: 4,
+        };
+        assert_eq!(w.total(), 10);
+        w.reset();
+        assert_eq!(w.total(), 0);
+    }
+
+    #[test]
+    fn addition_is_componentwise() {
+        let a = WorkStats {
+            nodes_visited: 1,
+            edges_traversed: 2,
+            aux_touched: 3,
+            queue_ops: 4,
+        };
+        let b = WorkStats {
+            nodes_visited: 10,
+            edges_traversed: 20,
+            aux_touched: 30,
+            queue_ops: 40,
+        };
+        let c = a + b;
+        assert_eq!(c.nodes_visited, 11);
+        assert_eq!(c.queue_ops, 44);
+        let mut d = a;
+        d += b;
+        assert_eq!(d, c);
+    }
+
+    #[test]
+    fn changed_is_input_plus_output() {
+        let m = ChangeMetrics {
+            input_updates: 5,
+            output_changes: 7,
+            affected: 100,
+        };
+        assert_eq!(m.changed(), 12);
+    }
+}

@@ -1,0 +1,314 @@
+//! The dynamic labelled directed graph.
+
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::label::Label;
+use crate::node::NodeId;
+use crate::update::{Update, UpdateBatch};
+
+/// A directed edge `(from, to)`.
+pub type Edge = (NodeId, NodeId);
+
+/// A mutable directed graph `G = (V, E, l)` with node labels.
+///
+/// Designed for the paper's update model: unit edge insertions (which may
+/// introduce fresh nodes) and unit edge deletions. Both directions of
+/// adjacency are maintained, since the incremental algorithms of Sections 4–5
+/// propagate changes through *predecessors* (IncKWS, IncRPQ) as well as
+/// successors (IncSCC). Edge membership is O(1) via a hash set; `E` is a set,
+/// so parallel edges are not represented. Self-loops are allowed.
+#[derive(Clone, Default)]
+pub struct DynamicGraph {
+    labels: Vec<Label>,
+    out: Vec<Vec<NodeId>>,
+    inn: Vec<Vec<NodeId>>,
+    edges: FxHashSet<Edge>,
+    by_label: FxHashMap<Label, Vec<NodeId>>,
+}
+
+impl DynamicGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty graph with room for `nodes` nodes and `edges` edges.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        let mut g = DynamicGraph {
+            labels: Vec::with_capacity(nodes),
+            out: Vec::with_capacity(nodes),
+            inn: Vec::with_capacity(nodes),
+            edges: FxHashSet::default(),
+            by_label: FxHashMap::default(),
+        };
+        g.edges.reserve(edges);
+        g
+    }
+
+    /// Add a fresh isolated node with the given label; returns its id.
+    pub fn add_node(&mut self, label: Label) -> NodeId {
+        let id = NodeId::from_index(self.labels.len());
+        self.labels.push(label);
+        self.out.push(Vec::new());
+        self.inn.push(Vec::new());
+        self.by_label.entry(label).or_default().push(id);
+        id
+    }
+
+    /// Number of nodes `|V|`.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of edges `|E|`.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True when `v` is a node of this graph.
+    #[inline]
+    pub fn contains_node(&self, v: NodeId) -> bool {
+        v.index() < self.labels.len()
+    }
+
+    /// The label `l(v)`.
+    #[inline]
+    pub fn label(&self, v: NodeId) -> Label {
+        self.labels[v.index()]
+    }
+
+    /// All nodes carrying `label`, in creation order.
+    pub fn nodes_with_label(&self, label: Label) -> &[NodeId] {
+        self.by_label.get(&label).map_or(&[], |v| v.as_slice())
+    }
+
+    /// True when the edge `(u, v)` is present.
+    #[inline]
+    pub fn contains_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.edges.contains(&(u, v))
+    }
+
+    /// Insert edge `(u, v)`. Returns `true` if the edge was new.
+    ///
+    /// Panics if either endpoint is not a node; use [`DynamicGraph::add_node`]
+    /// first when an update introduces fresh nodes.
+    pub fn insert_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        assert!(
+            self.contains_node(u) && self.contains_node(v),
+            "insert_edge({u:?}, {v:?}): node out of bounds (|V| = {})",
+            self.node_count()
+        );
+        if !self.edges.insert((u, v)) {
+            return false;
+        }
+        self.out[u.index()].push(v);
+        self.inn[v.index()].push(u);
+        true
+    }
+
+    /// Delete edge `(u, v)`. Returns `true` if the edge was present.
+    pub fn delete_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        if !self.edges.remove(&(u, v)) {
+            return false;
+        }
+        let out = &mut self.out[u.index()];
+        let pos = out.iter().position(|&x| x == v).expect("out list desync");
+        out.swap_remove(pos);
+        let inn = &mut self.inn[v.index()];
+        let pos = inn.iter().position(|&x| x == u).expect("in list desync");
+        inn.swap_remove(pos);
+        true
+    }
+
+    /// Successors of `v` (targets of out-edges).
+    #[inline]
+    pub fn successors(&self, v: NodeId) -> &[NodeId] {
+        &self.out[v.index()]
+    }
+
+    /// Predecessors of `v` (sources of in-edges).
+    #[inline]
+    pub fn predecessors(&self, v: NodeId) -> &[NodeId] {
+        &self.inn[v.index()]
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        self.out[v.index()].len()
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        self.inn[v.index()].len()
+    }
+
+    /// Iterate over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.labels.len()).map(NodeId::from_index)
+    }
+
+    /// Iterate over all edges (in unspecified order).
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// All edges as a sorted vector — for deterministic comparisons in tests.
+    pub fn sorted_edges(&self) -> Vec<Edge> {
+        let mut e: Vec<_> = self.edges.iter().copied().collect();
+        e.sort_unstable();
+        e
+    }
+
+    /// Apply a single update, creating referenced nodes on demand for
+    /// insertions (the paper allows `insert e` "possibly with new nodes";
+    /// fresh nodes take labels from [`Update::Insert`]'s optional labels).
+    pub fn apply(&mut self, update: &Update) {
+        match *update {
+            Update::Insert {
+                from,
+                to,
+                from_label,
+                to_label,
+            } => {
+                self.ensure_node(from, from_label);
+                self.ensure_node(to, to_label);
+                self.insert_edge(from, to);
+            }
+            Update::Delete { from, to } => {
+                self.delete_edge(from, to);
+            }
+        }
+    }
+
+    /// Apply every update of a batch in order.
+    pub fn apply_batch(&mut self, batch: &UpdateBatch) {
+        for u in batch.iter() {
+            self.apply(u);
+        }
+    }
+
+    /// Grow the node set so that `v` exists, labelling any intermediate fresh
+    /// nodes with `label` (default `Label(0)` when `None`).
+    fn ensure_node(&mut self, v: NodeId, label: Option<Label>) {
+        while self.labels.len() <= v.index() {
+            self.add_node(label.unwrap_or(Label(0)));
+        }
+    }
+
+    /// Total size `|V| + |E|`, the paper's `|G|`.
+    pub fn size(&self) -> usize {
+        self.node_count() + self.edge_count()
+    }
+}
+
+impl std::fmt::Debug for DynamicGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DynamicGraph")
+            .field("nodes", &self.node_count())
+            .field("edges", &self.edge_count())
+            .finish()
+    }
+}
+
+/// Build a graph from a label slice and an edge list — convenient in tests.
+pub fn graph_from(labels: &[u32], edges: &[(u32, u32)]) -> DynamicGraph {
+    let mut g = DynamicGraph::with_capacity(labels.len(), edges.len());
+    for &l in labels {
+        g.add_node(Label(l));
+    }
+    for &(u, v) in edges {
+        g.insert_edge(NodeId(u), NodeId(v));
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_delete_roundtrip() {
+        let mut g = graph_from(&[0, 1, 2], &[(0, 1), (1, 2)]);
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.contains_edge(NodeId(0), NodeId(1)));
+        assert!(g.delete_edge(NodeId(0), NodeId(1)));
+        assert!(!g.contains_edge(NodeId(0), NodeId(1)));
+        assert_eq!(g.edge_count(), 1);
+        assert!(!g.delete_edge(NodeId(0), NodeId(1)), "double delete");
+        assert!(g.insert_edge(NodeId(0), NodeId(1)));
+        assert!(!g.insert_edge(NodeId(0), NodeId(1)), "duplicate insert");
+    }
+
+    #[test]
+    fn adjacency_both_directions() {
+        let g = graph_from(&[0, 0, 0], &[(0, 1), (0, 2), (1, 2)]);
+        assert_eq!(g.successors(NodeId(0)), &[NodeId(1), NodeId(2)]);
+        assert_eq!(g.predecessors(NodeId(2)), &[NodeId(0), NodeId(1)]);
+        assert_eq!(g.out_degree(NodeId(0)), 2);
+        assert_eq!(g.in_degree(NodeId(2)), 2);
+        assert_eq!(g.in_degree(NodeId(0)), 0);
+    }
+
+    #[test]
+    fn self_loop_supported() {
+        let mut g = graph_from(&[0], &[]);
+        assert!(g.insert_edge(NodeId(0), NodeId(0)));
+        assert!(g.contains_edge(NodeId(0), NodeId(0)));
+        assert_eq!(g.successors(NodeId(0)), &[NodeId(0)]);
+        assert_eq!(g.predecessors(NodeId(0)), &[NodeId(0)]);
+        assert!(g.delete_edge(NodeId(0), NodeId(0)));
+        assert_eq!(g.out_degree(NodeId(0)), 0);
+    }
+
+    #[test]
+    fn label_index_tracks_nodes() {
+        let mut g = DynamicGraph::new();
+        let a = g.add_node(Label(7));
+        let b = g.add_node(Label(7));
+        let c = g.add_node(Label(9));
+        assert_eq!(g.nodes_with_label(Label(7)), &[a, b]);
+        assert_eq!(g.nodes_with_label(Label(9)), &[c]);
+        assert_eq!(g.nodes_with_label(Label(11)), &[] as &[NodeId]);
+    }
+
+    #[test]
+    fn apply_insert_creates_nodes() {
+        let mut g = graph_from(&[0], &[]);
+        g.apply(&Update::insert_labeled(NodeId(0), NodeId(3), None, Some(Label(5))));
+        assert_eq!(g.node_count(), 4);
+        assert!(g.contains_edge(NodeId(0), NodeId(3)));
+        assert_eq!(g.label(NodeId(3)), Label(5));
+        // intermediate fresh nodes take the same (fallback) label
+        assert_eq!(g.label(NodeId(1)), Label(5));
+    }
+
+    #[test]
+    fn apply_delete_of_absent_edge_is_noop() {
+        let mut g = graph_from(&[0, 0], &[(0, 1)]);
+        g.apply(&Update::delete(NodeId(1), NodeId(0)));
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn sorted_edges_deterministic() {
+        let g = graph_from(&[0, 0, 0], &[(2, 0), (0, 1), (1, 2)]);
+        assert_eq!(
+            g.sorted_edges(),
+            vec![
+                (NodeId(0), NodeId(1)),
+                (NodeId(1), NodeId(2)),
+                (NodeId(2), NodeId(0))
+            ]
+        );
+    }
+
+    #[test]
+    fn size_counts_nodes_plus_edges() {
+        let g = graph_from(&[0, 0, 0], &[(0, 1)]);
+        assert_eq!(g.size(), 4);
+    }
+}

@@ -1,0 +1,116 @@
+//! Node labels and label interning.
+//!
+//! The paper's graphs carry a label `l(v)` on every node, drawn from a finite
+//! alphabet Σ (495 symbols for DBpedia, 100 for LiveJournal and the synthetic
+//! generator). Labels are interned to dense `u32` ids so label comparisons on
+//! hot paths are integer compares.
+
+use crate::fxhash::FxHashMap;
+use std::fmt;
+
+/// An interned node label.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Label(pub u32);
+
+impl Label {
+    /// The dense index of this label in its interner.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for Label {
+    fn from(v: u32) -> Self {
+        Label(v)
+    }
+}
+
+/// A two-way map between label strings and interned [`Label`] ids.
+#[derive(Default, Debug, Clone)]
+pub struct LabelInterner {
+    by_name: FxHashMap<String, Label>,
+    names: Vec<String>,
+}
+
+impl LabelInterner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `name`, returning its (possibly pre-existing) id.
+    pub fn intern(&mut self, name: &str) -> Label {
+        if let Some(&l) = self.by_name.get(name) {
+            return l;
+        }
+        let l = Label(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), l);
+        l
+    }
+
+    /// Look up a previously interned label.
+    pub fn get(&self, name: &str) -> Option<Label> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The string for an interned label.
+    pub fn name(&self, label: Label) -> &str {
+        &self.names[label.index()]
+    }
+
+    /// Number of distinct labels interned.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut it = LabelInterner::new();
+        let a = it.intern("person");
+        let b = it.intern("place");
+        let a2 = it.intern("person");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(it.len(), 2);
+    }
+
+    #[test]
+    fn name_lookup() {
+        let mut it = LabelInterner::new();
+        let a = it.intern("person");
+        assert_eq!(it.name(a), "person");
+        assert_eq!(it.get("person"), Some(a));
+        assert_eq!(it.get("unknown"), None);
+    }
+
+    #[test]
+    fn empty_interner() {
+        let it = LabelInterner::new();
+        assert!(it.is_empty());
+        assert_eq!(it.len(), 0);
+    }
+}

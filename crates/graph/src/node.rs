@@ -1,0 +1,65 @@
+//! Node identifiers.
+
+use std::fmt;
+
+/// A node identifier: a dense index into the graph's node arrays.
+///
+/// Node ids are assigned consecutively starting from zero and are never
+/// reused; deleting all edges of a node leaves an isolated node, matching the
+/// paper's update model in which `ΔG` contains only edge updates (insertions
+/// may introduce *new* nodes, deletions never remove them).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The array index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from an array index. Panics if the index exceeds `u32`.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        debug_assert!(i <= u32::MAX as usize);
+        NodeId(i as u32)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        let n = NodeId::from_index(42);
+        assert_eq!(n.index(), 42);
+        assert_eq!(n, NodeId(42));
+        assert_eq!(format!("{n:?}"), "n42");
+        assert_eq!(format!("{n}"), "42");
+    }
+
+    #[test]
+    fn ordering_follows_raw_id() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(NodeId(10) > NodeId(2));
+    }
+}

@@ -1,0 +1,181 @@
+//! Traversal helpers: BFS distances, reachability, connectivity checks.
+//!
+//! These are the shared building blocks for batch algorithms (BLINKS-style
+//! keyword search, the NFA-product RPQ algorithm) and for test oracles.
+
+use crate::graph::DynamicGraph;
+use crate::node::NodeId;
+use std::collections::VecDeque;
+
+/// Distance value for "unreachable"; distances are hop counts.
+pub const INF: u32 = u32::MAX;
+
+/// Directed BFS distances from `source` to every node (hops), `INF` when
+/// unreachable.
+pub fn bfs_distances(g: &DynamicGraph, source: NodeId) -> Vec<u32> {
+    let mut dist = vec![INF; g.node_count()];
+    let mut queue = VecDeque::new();
+    dist[source.index()] = 0;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v.index()];
+        for &w in g.successors(v) {
+            if dist[w.index()] == INF {
+                dist[w.index()] = dv + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// Directed BFS distances *to* `target` from every node (i.e. BFS over
+/// reversed edges).
+pub fn reverse_bfs_distances(g: &DynamicGraph, target: NodeId) -> Vec<u32> {
+    let mut dist = vec![INF; g.node_count()];
+    let mut queue = VecDeque::new();
+    dist[target.index()] = 0;
+    queue.push_back(target);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v.index()];
+        for &w in g.predecessors(v) {
+            if dist[w.index()] == INF {
+                dist[w.index()] = dv + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// The set of nodes reachable from `source` (including `source`), as a
+/// boolean vector — the SSRP answer `r(·)` of Section 3.
+pub fn reachable_from(g: &DynamicGraph, source: NodeId) -> Vec<bool> {
+    let mut seen = vec![false; g.node_count()];
+    let mut stack = vec![source];
+    seen[source.index()] = true;
+    while let Some(v) = stack.pop() {
+        for &w in g.successors(v) {
+            if !seen[w.index()] {
+                seen[w.index()] = true;
+                stack.push(w);
+            }
+        }
+    }
+    seen
+}
+
+/// True when a directed path `from ⇝ to` exists, searching only inside
+/// `allowed` (when `Some`); used by IncSCC⁻ to test whether a deletion splits
+/// a component without leaving it.
+pub fn reaches_within(
+    g: &DynamicGraph,
+    from: NodeId,
+    to: NodeId,
+    allowed: Option<&dyn Fn(NodeId) -> bool>,
+) -> bool {
+    if from == to {
+        return true;
+    }
+    let mut seen = vec![false; g.node_count()];
+    let mut stack = vec![from];
+    seen[from.index()] = true;
+    while let Some(v) = stack.pop() {
+        for &w in g.successors(v) {
+            if seen[w.index()] {
+                continue;
+            }
+            if let Some(pred) = allowed {
+                if !pred(w) {
+                    continue;
+                }
+            }
+            if w == to {
+                return true;
+            }
+            seen[w.index()] = true;
+            stack.push(w);
+        }
+    }
+    false
+}
+
+/// Shortest directed distance `dist(s, t)` in hops, `INF` when unreachable —
+/// the paper's `dist` (Table 1).
+pub fn dist(g: &DynamicGraph, s: NodeId, t: NodeId) -> u32 {
+    if s == t {
+        return 0;
+    }
+    let mut dist = vec![INF; g.node_count()];
+    let mut queue = VecDeque::new();
+    dist[s.index()] = 0;
+    queue.push_back(s);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v.index()];
+        for &w in g.successors(v) {
+            if dist[w.index()] == INF {
+                if w == t {
+                    return dv + 1;
+                }
+                dist[w.index()] = dv + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    INF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::graph_from;
+
+    fn diamond() -> DynamicGraph {
+        // 0 → 1 → 3, 0 → 2 → 3
+        graph_from(&[0; 4], &[(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn bfs_distances_on_diamond() {
+        let g = diamond();
+        let d = bfs_distances(&g, NodeId(0));
+        assert_eq!(d, vec![0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn reverse_bfs_mirrors_forward() {
+        let g = diamond();
+        let d = reverse_bfs_distances(&g, NodeId(3));
+        assert_eq!(d, vec![2, 1, 1, 0]);
+    }
+
+    #[test]
+    fn unreachable_is_inf() {
+        let g = graph_from(&[0, 0], &[]);
+        assert_eq!(bfs_distances(&g, NodeId(0))[1], INF);
+        assert_eq!(dist(&g, NodeId(0), NodeId(1)), INF);
+    }
+
+    #[test]
+    fn reachable_from_is_reflexive_and_directed() {
+        let g = graph_from(&[0, 0, 0], &[(0, 1)]);
+        let r = reachable_from(&g, NodeId(1));
+        assert_eq!(r, vec![false, true, false]);
+    }
+
+    #[test]
+    fn reaches_within_respects_filter() {
+        let g = graph_from(&[0; 4], &[(0, 1), (1, 2), (2, 3)]);
+        assert!(reaches_within(&g, NodeId(0), NodeId(3), None));
+        let block2 = |v: NodeId| v != NodeId(2);
+        assert!(!reaches_within(&g, NodeId(0), NodeId(3), Some(&block2)));
+    }
+
+    #[test]
+    fn dist_matches_bfs() {
+        let g = diamond();
+        assert_eq!(dist(&g, NodeId(0), NodeId(3)), 2);
+        assert_eq!(dist(&g, NodeId(3), NodeId(0)), INF);
+        assert_eq!(dist(&g, NodeId(2), NodeId(2)), 0);
+    }
+}

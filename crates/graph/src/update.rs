@@ -1,0 +1,258 @@
+//! The paper's update model: unit edge insertions/deletions and batches.
+
+use crate::fxhash::FxHashSet;
+use crate::graph::Edge;
+use crate::label::Label;
+use crate::node::NodeId;
+
+/// A unit update to a graph (Section 2.2).
+///
+/// Insertions may reference nodes that do not exist yet ("possibly with new
+/// nodes"); the optional labels say how fresh endpoints are labelled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Update {
+    /// `insert (from, to)`.
+    Insert {
+        /// Source endpoint.
+        from: NodeId,
+        /// Target endpoint.
+        to: NodeId,
+        /// Label for `from` when it is a fresh node.
+        from_label: Option<Label>,
+        /// Label for `to` when it is a fresh node.
+        to_label: Option<Label>,
+    },
+    /// `delete (from, to)`.
+    Delete {
+        /// Source endpoint.
+        from: NodeId,
+        /// Target endpoint.
+        to: NodeId,
+    },
+}
+
+impl Update {
+    /// An insertion between existing nodes.
+    pub fn insert(from: NodeId, to: NodeId) -> Self {
+        Update::Insert {
+            from,
+            to,
+            from_label: None,
+            to_label: None,
+        }
+    }
+
+    /// An insertion that may create labelled fresh endpoints.
+    pub fn insert_labeled(
+        from: NodeId,
+        to: NodeId,
+        from_label: Option<Label>,
+        to_label: Option<Label>,
+    ) -> Self {
+        Update::Insert {
+            from,
+            to,
+            from_label,
+            to_label,
+        }
+    }
+
+    /// A deletion.
+    pub fn delete(from: NodeId, to: NodeId) -> Self {
+        Update::Delete { from, to }
+    }
+
+    /// The updated edge `(from, to)`.
+    pub fn edge(&self) -> Edge {
+        match *self {
+            Update::Insert { from, to, .. } | Update::Delete { from, to } => (from, to),
+        }
+    }
+
+    /// True for insertions.
+    pub fn is_insert(&self) -> bool {
+        matches!(self, Update::Insert { .. })
+    }
+}
+
+/// A batch update `ΔG = (ΔG⁺, ΔG⁻)`: a sequence of unit updates.
+///
+/// The paper assumes w.l.o.g. that no edge is both inserted and deleted in
+/// the same batch; [`UpdateBatch::normalized`] enforces this by cancelling
+/// such pairs and dropping duplicates, keeping first occurrences.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct UpdateBatch {
+    updates: Vec<Update>,
+}
+
+impl UpdateBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from a sequence of unit updates (kept verbatim; call
+    /// [`UpdateBatch::normalized`] to apply the paper's w.l.o.g. assumption).
+    pub fn from_updates(updates: Vec<Update>) -> Self {
+        UpdateBatch { updates }
+    }
+
+    /// Append a unit update.
+    pub fn push(&mut self, u: Update) {
+        self.updates.push(u);
+    }
+
+    /// The unit updates in order.
+    pub fn iter(&self) -> impl Iterator<Item = &Update> {
+        self.updates.iter()
+    }
+
+    /// Number of unit updates, the paper's `|ΔG|`.
+    pub fn len(&self) -> usize {
+        self.updates.len()
+    }
+
+    /// True when the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.updates.is_empty()
+    }
+
+    /// Insertions only (`ΔG⁺`).
+    pub fn insertions(&self) -> impl Iterator<Item = &Update> {
+        self.updates.iter().filter(|u| u.is_insert())
+    }
+
+    /// Deletions only (`ΔG⁻`).
+    pub fn deletions(&self) -> impl Iterator<Item = &Update> {
+        self.updates.iter().filter(|u| !u.is_insert())
+    }
+
+    /// All nodes mentioned by the batch (endpoints of updated edges) —
+    /// the centres of the `d_Q`-neighbourhoods in Section 4.
+    pub fn touched_nodes(&self) -> Vec<NodeId> {
+        let mut seen = FxHashSet::default();
+        let mut out = Vec::new();
+        for u in &self.updates {
+            let (a, b) = u.edge();
+            if seen.insert(a) {
+                out.push(a);
+            }
+            if seen.insert(b) {
+                out.push(b);
+            }
+        }
+        out
+    }
+
+    /// Enforce the paper's assumption: for any edge `e`, the batch contains
+    /// at most one of `insert e` / `delete e`, and contains it at most once.
+    /// An insert+delete pair of the same edge cancels entirely.
+    pub fn normalized(&self) -> UpdateBatch {
+        let mut inserted: FxHashSet<Edge> = FxHashSet::default();
+        let mut deleted: FxHashSet<Edge> = FxHashSet::default();
+        for u in &self.updates {
+            let e = u.edge();
+            if u.is_insert() {
+                inserted.insert(e);
+            } else {
+                deleted.insert(e);
+            }
+        }
+        let conflict: FxHashSet<Edge> = inserted.intersection(&deleted).copied().collect();
+        let mut emitted: FxHashSet<(bool, Edge)> = FxHashSet::default();
+        let updates = self
+            .updates
+            .iter()
+            .filter(|u| !conflict.contains(&u.edge()))
+            .filter(|u| emitted.insert((u.is_insert(), u.edge())))
+            .copied()
+            .collect();
+        UpdateBatch { updates }
+    }
+
+    /// Split into `(ΔG⁻, ΔG⁺)` edge lists — the order the incremental batch
+    /// algorithms process them in.
+    pub fn split_edges(&self) -> (Vec<Edge>, Vec<Edge>) {
+        let deletions = self.deletions().map(Update::edge).collect();
+        let insertions = self.insertions().map(Update::edge).collect();
+        (deletions, insertions)
+    }
+}
+
+impl FromIterator<Update> for UpdateBatch {
+    fn from_iter<T: IntoIterator<Item = Update>>(iter: T) -> Self {
+        UpdateBatch {
+            updates: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a UpdateBatch {
+    type Item = &'a Update;
+    type IntoIter = std::slice::Iter<'a, Update>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.updates.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(a: u32, b: u32) -> (NodeId, NodeId) {
+        (NodeId(a), NodeId(b))
+    }
+
+    #[test]
+    fn normalization_cancels_insert_delete_pairs() {
+        let batch = UpdateBatch::from_updates(vec![
+            Update::insert(NodeId(0), NodeId(1)),
+            Update::delete(NodeId(0), NodeId(1)),
+            Update::insert(NodeId(2), NodeId(3)),
+        ]);
+        let n = batch.normalized();
+        assert_eq!(n.len(), 1);
+        assert_eq!(n.iter().next().unwrap().edge(), e(2, 3));
+    }
+
+    #[test]
+    fn normalization_drops_duplicates() {
+        let batch = UpdateBatch::from_updates(vec![
+            Update::insert(NodeId(0), NodeId(1)),
+            Update::insert(NodeId(0), NodeId(1)),
+            Update::delete(NodeId(5), NodeId(6)),
+            Update::delete(NodeId(5), NodeId(6)),
+        ]);
+        let n = batch.normalized();
+        assert_eq!(n.len(), 2);
+    }
+
+    #[test]
+    fn touched_nodes_unique_in_first_seen_order() {
+        let batch = UpdateBatch::from_updates(vec![
+            Update::insert(NodeId(3), NodeId(1)),
+            Update::delete(NodeId(1), NodeId(2)),
+        ]);
+        assert_eq!(batch.touched_nodes(), vec![NodeId(3), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn split_edges_partitions_by_kind() {
+        let batch = UpdateBatch::from_updates(vec![
+            Update::insert(NodeId(0), NodeId(1)),
+            Update::delete(NodeId(1), NodeId(2)),
+            Update::insert(NodeId(2), NodeId(0)),
+        ]);
+        let (del, ins) = batch.split_edges();
+        assert_eq!(del, vec![e(1, 2)]);
+        assert_eq!(ins, vec![e(0, 1), e(2, 0)]);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let b = UpdateBatch::new();
+        assert!(b.is_empty());
+        assert_eq!(b.normalized().len(), 0);
+        assert!(b.touched_nodes().is_empty());
+    }
+}

@@ -1,0 +1,204 @@
+//! Pattern queries `Q = (V_Q, E_Q, l_Q)`.
+
+use igc_graph::graph::graph_from;
+use igc_graph::{DynamicGraph, NodeId};
+use std::collections::VecDeque;
+
+/// A connected labelled pattern with its precomputed diameter `d_Q` — the
+/// length of the longest shortest path between any two pattern nodes taken
+/// undirected (the paper's locality radius for ISO).
+#[derive(Debug, Clone)]
+pub struct Pattern {
+    graph: DynamicGraph,
+    diameter: usize,
+    /// Matching order for the VF2 search: each node (after the first) is
+    /// adjacent to an earlier one, so candidates always come from mapped
+    /// neighbourhoods.
+    order: Vec<NodeId>,
+}
+
+impl Pattern {
+    /// Build a pattern; panics when the pattern is empty or not weakly
+    /// connected (the locality argument needs connectivity; the paper's
+    /// experiment patterns are connected).
+    pub fn new(graph: DynamicGraph) -> Self {
+        assert!(graph.node_count() > 0, "empty pattern");
+        let diameter = undirected_diameter(&graph)
+            .expect("pattern must be weakly connected for d_Q-locality");
+        let order = connectivity_order(&graph);
+        Pattern {
+            graph,
+            diameter,
+            order,
+        }
+    }
+
+    /// Convenience constructor from raw label ids and edges.
+    pub fn from_parts(labels: &[u32], edges: &[(u32, u32)]) -> Self {
+        Self::new(graph_from(labels, edges))
+    }
+
+    /// The pattern graph.
+    pub fn graph(&self) -> &DynamicGraph {
+        &self.graph
+    }
+
+    /// The diameter `d_Q`.
+    pub fn diameter(&self) -> usize {
+        self.diameter
+    }
+
+    /// Number of pattern nodes `|V_Q|`.
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Number of pattern edges `|E_Q|`.
+    pub fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// The VF2 matching order.
+    pub(crate) fn order(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// A matching order that starts with the given seed nodes and extends
+    /// by connectivity — used by the edge-seeded incremental search.
+    pub(crate) fn order_from(&self, seeds: &[NodeId]) -> Vec<NodeId> {
+        let g = &self.graph;
+        let n = g.node_count();
+        let mut order: Vec<NodeId> = Vec::with_capacity(n);
+        let mut chosen = vec![false; n];
+        for &s in seeds {
+            if !chosen[s.index()] {
+                order.push(s);
+                chosen[s.index()] = true;
+            }
+        }
+        while order.len() < n {
+            let next = g
+                .nodes()
+                .filter(|v| !chosen[v.index()])
+                .find(|&v| {
+                    g.successors(v)
+                        .iter()
+                        .chain(g.predecessors(v))
+                        .any(|w| chosen[w.index()])
+                })
+                .expect("pattern connectivity checked in Pattern::new");
+            order.push(next);
+            chosen[next.index()] = true;
+        }
+        order
+    }
+}
+
+/// Undirected diameter; `None` when the graph is disconnected.
+fn undirected_diameter(g: &DynamicGraph) -> Option<usize> {
+    let n = g.node_count();
+    let mut max_d = 0usize;
+    for s in g.nodes() {
+        let mut dist = vec![usize::MAX; n];
+        let mut q = VecDeque::new();
+        dist[s.index()] = 0;
+        q.push_back(s);
+        let mut seen = 1usize;
+        while let Some(v) = q.pop_front() {
+            let dv = dist[v.index()];
+            max_d = max_d.max(dv);
+            for &w in g.successors(v).iter().chain(g.predecessors(v)) {
+                if dist[w.index()] == usize::MAX {
+                    dist[w.index()] = dv + 1;
+                    seen += 1;
+                    q.push_back(w);
+                }
+            }
+        }
+        if seen != n {
+            return None;
+        }
+    }
+    Some(max_d)
+}
+
+/// A matching order in which every node after the first touches an earlier
+/// node (undirected) — exists iff the pattern is weakly connected.
+fn connectivity_order(g: &DynamicGraph) -> Vec<NodeId> {
+    let n = g.node_count();
+    let mut order = Vec::with_capacity(n);
+    let mut chosen = vec![false; n];
+    // Start from the node with the highest total degree (most selective).
+    let start = g
+        .nodes()
+        .max_by_key(|&v| g.out_degree(v) + g.in_degree(v))
+        .expect("non-empty");
+    order.push(start);
+    chosen[start.index()] = true;
+    while order.len() < n {
+        let next = g
+            .nodes()
+            .filter(|v| !chosen[v.index()])
+            .find(|&v| {
+                g.successors(v)
+                    .iter()
+                    .chain(g.predecessors(v))
+                    .any(|w| chosen[w.index()])
+            })
+            .expect("pattern connectivity checked in Pattern::new");
+        order.push(next);
+        chosen[next.index()] = true;
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diameter_of_path_and_triangle() {
+        let path = Pattern::from_parts(&[0, 1, 2], &[(0, 1), (1, 2)]);
+        assert_eq!(path.diameter(), 2);
+        let tri = Pattern::from_parts(&[0, 0, 0], &[(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(tri.diameter(), 1);
+    }
+
+    #[test]
+    fn single_node_pattern() {
+        let p = Pattern::from_parts(&[5], &[]);
+        assert_eq!(p.diameter(), 0);
+        assert_eq!(p.node_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "weakly connected")]
+    fn disconnected_pattern_rejected() {
+        Pattern::from_parts(&[0, 0], &[]);
+    }
+
+    #[test]
+    fn order_is_connected_prefix() {
+        let p = Pattern::from_parts(&[0, 1, 2, 3], &[(0, 1), (1, 2), (1, 3)]);
+        let order = p.order();
+        assert_eq!(order.len(), 4);
+        for i in 1..order.len() {
+            let v = order[i];
+            let g = p.graph();
+            let touches_earlier = g
+                .successors(v)
+                .iter()
+                .chain(g.predecessors(v))
+                .any(|w| order[..i].contains(w));
+            assert!(touches_earlier, "node {v:?} detached from prefix");
+        }
+    }
+
+    #[test]
+    fn diameter_uses_undirected_distances() {
+        // 0→1, 2→1: directed distances are infinite between 0 and 2, but
+        // undirected diameter is 2.
+        let p = Pattern::from_parts(&[0, 0, 0], &[(0, 1), (2, 1)]);
+        assert_eq!(p.diameter(), 2);
+    }
+}

@@ -1,0 +1,362 @@
+//! VF2-style enumeration of all pattern matches [15].
+//!
+//! The search maps pattern nodes one at a time in a connectivity order;
+//! candidates for each pattern node are drawn from the graph neighbourhoods
+//! of already-mapped nodes, with label and edge-feasibility checks pruning
+//! the branch as early as possible. All embeddings are enumerated and
+//! collapsed to their subgraph identity ([`MatchKey`]).
+
+use crate::pattern::Pattern;
+use igc_core::work::WorkStats;
+use igc_graph::graph::Edge;
+use igc_graph::{DynamicGraph, FxHashSet, NodeId};
+
+/// The identity of a match: the matched subgraph as sorted node and edge
+/// lists (two isomorphic embeddings with the same image are one match).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MatchKey {
+    /// Matched graph nodes, sorted.
+    pub nodes: Vec<NodeId>,
+    /// Images of the pattern edges, sorted.
+    pub edges: Vec<Edge>,
+}
+
+impl MatchKey {
+    /// Build from a complete mapping `h` (pattern node index → graph node).
+    fn from_mapping(pattern: &Pattern, h: &[NodeId]) -> MatchKey {
+        let mut nodes: Vec<NodeId> = h.to_vec();
+        nodes.sort_unstable();
+        let mut edges: Vec<Edge> = pattern
+            .graph()
+            .edges()
+            .map(|(a, b)| (h[a.index()], h[b.index()]))
+            .collect();
+        edges.sort_unstable();
+        MatchKey { nodes, edges }
+    }
+}
+
+/// Enumerate all matches of `pattern` in `g`.
+pub fn enumerate_matches(
+    g: &DynamicGraph,
+    pattern: &Pattern,
+    work: &mut WorkStats,
+) -> FxHashSet<MatchKey> {
+    let mut out = FxHashSet::default();
+    let mut state = State::new(g, pattern, work);
+    state.search(0, &mut out);
+    out
+}
+
+/// Enumerate the matches in which pattern edge `(pa, pb)` maps exactly onto
+/// graph edge `(v, w)` — the edge-anchored search IncISO runs per inserted
+/// edge. Every match created by an insertion must map some pattern edge
+/// onto some inserted edge, so unioning these enumerations over all
+/// inserted edges and pattern edges is complete. The search explores only
+/// neighbourhoods of the seed, so its cost is bounded by the
+/// `d_Q`-neighbourhood content, independent of `|G|`.
+pub fn enumerate_seeded(
+    g: &DynamicGraph,
+    pattern: &Pattern,
+    (pa, pb): (NodeId, NodeId),
+    (v, w): (NodeId, NodeId),
+    work: &mut WorkStats,
+) -> FxHashSet<MatchKey> {
+    let mut out = FxHashSet::default();
+    let pg = pattern.graph();
+    debug_assert!(pg.contains_edge(pa, pb), "seed must be a pattern edge");
+    if pg.label(pa) != g.label(v) || pg.label(pb) != g.label(w) {
+        return out;
+    }
+    // Injectivity at the seed: distinct pattern nodes need distinct images;
+    // a pattern self-loop needs a graph self-loop.
+    if (pa == pb) != (v == w) {
+        return out;
+    }
+    // All pattern edges *between* the two seed nodes must be present.
+    if pg.contains_edge(pb, pa) && !g.contains_edge(w, v) {
+        return out;
+    }
+    let seeds: Vec<NodeId> = if pa == pb { vec![pa] } else { vec![pa, pb] };
+    let order = pattern.order_from(&seeds);
+    let mut state = State::new(g, pattern, work);
+    state.order = order;
+    state.mapping[pa.index()] = Some(v);
+    state.used.insert(v);
+    if pa != pb {
+        state.mapping[pb.index()] = Some(w);
+        state.used.insert(w);
+    }
+    state.search(seeds.len(), &mut out);
+    out
+}
+
+/// Enumerate matches whose *first* (order-wise) pattern node maps into
+/// `seeds` — the restriction IncISO uses on neighbourhood subgraphs is done
+/// by passing the whole (small) subgraph, so this generality also serves
+/// tests that pin a particular anchor node.
+pub fn enumerate_matches_in(
+    g: &DynamicGraph,
+    pattern: &Pattern,
+    seeds: &[NodeId],
+    work: &mut WorkStats,
+) -> FxHashSet<MatchKey> {
+    let mut out = FxHashSet::default();
+    let mut state = State::new(g, pattern, work);
+    state.seeds = Some(seeds.to_vec());
+    state.search(0, &mut out);
+    out
+}
+
+struct State<'a> {
+    g: &'a DynamicGraph,
+    pattern: &'a Pattern,
+    /// The matching order in use (the pattern's default or a seeded one).
+    order: Vec<NodeId>,
+    /// `mapping[q]` = graph node mapped to pattern node `q` (by index).
+    mapping: Vec<Option<NodeId>>,
+    used: FxHashSet<NodeId>,
+    seeds: Option<Vec<NodeId>>,
+    work: &'a mut WorkStats,
+}
+
+impl<'a> State<'a> {
+    fn new(g: &'a DynamicGraph, pattern: &'a Pattern, work: &'a mut WorkStats) -> Self {
+        State {
+            g,
+            pattern,
+            order: pattern.order().to_vec(),
+            mapping: vec![None; pattern.node_count()],
+            used: FxHashSet::default(),
+            seeds: None,
+            work,
+        }
+    }
+
+    fn search(&mut self, depth: usize, out: &mut FxHashSet<MatchKey>) {
+        if depth == self.pattern.node_count() {
+            let h: Vec<NodeId> = self.mapping.iter().map(|m| m.expect("complete")).collect();
+            out.insert(MatchKey::from_mapping(self.pattern, &h));
+            return;
+        }
+        let q = self.order[depth];
+        let candidates = self.candidates(q, depth);
+        for c in candidates {
+            self.work.nodes_visited += 1;
+            if self.feasible(q, c) {
+                self.mapping[q.index()] = Some(c);
+                self.used.insert(c);
+                self.search(depth + 1, out);
+                self.mapping[q.index()] = None;
+                self.used.remove(&c);
+            }
+        }
+    }
+
+    /// Candidate graph nodes for pattern node `q` at the given depth.
+    fn candidates(&mut self, q: NodeId, depth: usize) -> Vec<NodeId> {
+        let pl = self.pattern.graph().label(q);
+        if depth == 0 {
+            let base: Vec<NodeId> = match &self.seeds {
+                Some(s) => s.clone(),
+                None => self.g.nodes_with_label(pl).to_vec(),
+            };
+            return base
+                .into_iter()
+                .filter(|&v| self.g.label(v) == pl)
+                .collect();
+        }
+        // Find a mapped pattern neighbour of q and take the corresponding
+        // graph neighbourhood (direction-aware).
+        let pg = self.pattern.graph();
+        for &p in pg.predecessors(q) {
+            if let Some(gp) = self.mapping[p.index()] {
+                // pattern edge p→q: candidates are successors of h(p)
+                return self
+                    .g
+                    .successors(gp)
+                    .iter()
+                    .copied()
+                    .filter(|&v| self.g.label(v) == pl)
+                    .collect();
+            }
+        }
+        for &s in pg.successors(q) {
+            if let Some(gs) = self.mapping[s.index()] {
+                // pattern edge q→s: candidates are predecessors of h(s)
+                return self
+                    .g
+                    .predecessors(gs)
+                    .iter()
+                    .copied()
+                    .filter(|&v| self.g.label(v) == pl)
+                    .collect();
+            }
+        }
+        unreachable!("connectivity order guarantees a mapped neighbour")
+    }
+
+    /// Injectivity plus full edge feasibility against all mapped nodes.
+    fn feasible(&mut self, q: NodeId, c: NodeId) -> bool {
+        if self.used.contains(&c) {
+            return false;
+        }
+        let pg = self.pattern.graph();
+        for &p in pg.predecessors(q) {
+            if let Some(gp) = self.mapping[p.index()] {
+                self.work.edges_traversed += 1;
+                if !self.g.contains_edge(gp, c) {
+                    return false;
+                }
+            }
+        }
+        for &s in pg.successors(q) {
+            if let Some(gs) = self.mapping[s.index()] {
+                self.work.edges_traversed += 1;
+                if !self.g.contains_edge(c, gs) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igc_graph::graph::graph_from;
+
+    fn count_matches(g: &DynamicGraph, p: &Pattern) -> usize {
+        let mut w = WorkStats::new();
+        enumerate_matches(g, p, &mut w).len()
+    }
+
+    #[test]
+    fn single_edge_pattern() {
+        let g = graph_from(&[0, 1, 1], &[(0, 1), (0, 2)]);
+        let p = Pattern::from_parts(&[0, 1], &[(0, 1)]);
+        assert_eq!(count_matches(&g, &p), 2);
+    }
+
+    #[test]
+    fn labels_must_match() {
+        let g = graph_from(&[0, 2], &[(0, 1)]);
+        let p = Pattern::from_parts(&[0, 1], &[(0, 1)]);
+        assert_eq!(count_matches(&g, &p), 0);
+    }
+
+    #[test]
+    fn direction_matters() {
+        let g = graph_from(&[0, 1], &[(1, 0)]);
+        let p = Pattern::from_parts(&[0, 1], &[(0, 1)]);
+        assert_eq!(count_matches(&g, &p), 0);
+    }
+
+    #[test]
+    fn triangle_automorphisms_collapse() {
+        // A directed 3-cycle with uniform labels has 3 automorphic
+        // embeddings but is one subgraph.
+        let g = graph_from(&[7, 7, 7], &[(0, 1), (1, 2), (2, 0)]);
+        let p = Pattern::from_parts(&[7, 7, 7], &[(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(count_matches(&g, &p), 1);
+    }
+
+    #[test]
+    fn injectivity_enforced() {
+        // Pattern a→a on a single self-loop: h must be injective, so no
+        // match; on a 2-cycle: two matches (0,1) and (1,0).
+        let mut g = graph_from(&[3], &[]);
+        g.insert_edge(NodeId(0), NodeId(0));
+        let p = Pattern::from_parts(&[3, 3], &[(0, 1)]);
+        assert_eq!(count_matches(&g, &p), 0);
+        let g2 = graph_from(&[3, 3], &[(0, 1), (1, 0)]);
+        assert_eq!(count_matches(&g2, &p), 2);
+    }
+
+    #[test]
+    fn non_induced_semantics() {
+        // Pattern is a path a→b→c; the graph also has a chord a→c. The
+        // match exists because extra graph edges are allowed (the match is
+        // the image subgraph, not an induced subgraph).
+        let g = graph_from(&[0, 1, 2], &[(0, 1), (1, 2), (0, 2)]);
+        let p = Pattern::from_parts(&[0, 1, 2], &[(0, 1), (1, 2)]);
+        assert_eq!(count_matches(&g, &p), 1);
+    }
+
+    #[test]
+    fn diamond_pattern_counts() {
+        // Pattern: 0→1, 0→2, 1→3, 2→3 (labels uniform); graph: two stacked
+        // diamonds sharing the middle layer.
+        let p = Pattern::from_parts(&[0; 4], &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let g = graph_from(
+            &[0; 5],
+            &[(0, 1), (0, 2), (1, 3), (2, 3), (1, 4), (2, 4)],
+        );
+        // {0,1,2,3} and {0,1,2,4} — both diamonds.
+        assert_eq!(count_matches(&g, &p), 2);
+    }
+
+    #[test]
+    fn single_node_pattern_matches_each_labelled_node() {
+        let g = graph_from(&[4, 4, 5], &[(0, 1)]);
+        let p = Pattern::from_parts(&[4], &[]);
+        let mut w = WorkStats::new();
+        let m = enumerate_matches(&g, &p, &mut w);
+        assert_eq!(m.len(), 2);
+        assert!(m.iter().all(|k| k.edges.is_empty() && k.nodes.len() == 1));
+    }
+
+    #[test]
+    fn seeded_enumeration_restricts_anchor() {
+        // Seeding with the nodes of one component excludes matches that
+        // live entirely in the other (whichever pattern node anchors).
+        let g = graph_from(&[0, 1, 0, 1], &[(0, 1), (2, 3)]);
+        let p = Pattern::from_parts(&[0, 1], &[(0, 1)]);
+        let mut w = WorkStats::new();
+        let m = enumerate_matches_in(&g, &p, &[NodeId(0), NodeId(1)], &mut w);
+        assert_eq!(m.len(), 1);
+        let key = m.iter().next().unwrap();
+        assert_eq!(key.edges, vec![(NodeId(0), NodeId(1))]);
+        // An empty seed set yields nothing.
+        let none = enumerate_matches_in(&g, &p, &[], &mut w);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn matches_against_bruteforce_on_random_graphs() {
+        use igc_graph::generator::uniform_graph;
+        // Brute force: try all |V|^{|VQ|} mappings for a 3-node pattern.
+        let p = Pattern::from_parts(&[0, 1, 0], &[(0, 1), (1, 2)]);
+        for seed in 0..4 {
+            let g = uniform_graph(12, 30, 2, seed);
+            let mut w = WorkStats::new();
+            let fast = enumerate_matches(&g, &p, &mut w);
+            let mut brute: FxHashSet<MatchKey> = FxHashSet::default();
+            let n = g.node_count() as u32;
+            for a in 0..n {
+                for b in 0..n {
+                    for c in 0..n {
+                        let (a, b, c) = (NodeId(a), NodeId(b), NodeId(c));
+                        if a == b || b == c || a == c {
+                            continue;
+                        }
+                        if g.label(a) == igc_graph::Label(0)
+                            && g.label(b) == igc_graph::Label(1)
+                            && g.label(c) == igc_graph::Label(0)
+                            && g.contains_edge(a, b)
+                            && g.contains_edge(b, c)
+                        {
+                            let mut nodes = vec![a, b, c];
+                            nodes.sort_unstable();
+                            let mut edges = vec![(a, b), (b, c)];
+                            edges.sort_unstable();
+                            brute.insert(MatchKey { nodes, edges });
+                        }
+                    }
+                }
+            }
+            assert_eq!(fast, brute, "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Batch KWS evaluation — the BLINKS-style initial computation.
+//!
+//! One bounded multi-source reverse BFS per keyword fills the
+//! keyword-distance lists; every node whose `m` distances are all within the
+//! bound roots a match. With unit edge weights BFS replaces the Dijkstra of
+//! the general algorithm (`O(m(|V| log |V| + |E|))` in the paper) without
+//! changing what is computed.
+
+use crate::kdist::{Kdist, KdistEntry, UNREACHED};
+use crate::query::KwsQuery;
+use igc_core::work::WorkStats;
+use igc_graph::{DynamicGraph, NodeId};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Compute the keyword-distance lists for `g` from scratch.
+pub fn compute_kdist(g: &DynamicGraph, q: &KwsQuery, work: &mut WorkStats) -> Kdist {
+    let mut kd = Kdist::bottom(g.node_count(), q.m());
+    for (ki, &k) in q.keywords.iter().enumerate() {
+        let mut queue: VecDeque<NodeId> = VecDeque::new();
+        for &p in g.nodes_with_label(k) {
+            kd.set(p, ki, KdistEntry { dist: 0, next: None });
+            queue.push_back(p);
+            work.queue_ops += 1;
+        }
+        while let Some(u) = queue.pop_front() {
+            work.nodes_visited += 1;
+            let du = kd.get(u, ki).dist;
+            if du == q.bound {
+                continue; // change propagation stops at the bound
+            }
+            for &w in g.predecessors(u) {
+                work.edges_traversed += 1;
+                let ew = kd.get(w, ki);
+                if ew.dist > du + 1 {
+                    kd.set(
+                        w,
+                        ki,
+                        KdistEntry {
+                            dist: du + 1,
+                            next: Some(u),
+                        },
+                    );
+                    work.aux_touched += 1;
+                    queue.push_back(w);
+                } else if ew.dist == du + 1 {
+                    // Tie: keep the smallest successor id (the paper's
+                    // "predefined order").
+                    if ew.next.is_some_and(|n| u < n) {
+                        kd.set(
+                            w,
+                            ki,
+                            KdistEntry {
+                                dist: du + 1,
+                                next: Some(u),
+                            },
+                        );
+                        work.aux_touched += 1;
+                    }
+                }
+            }
+        }
+    }
+    kd
+}
+
+/// All match roots under `kd`, sorted.
+pub fn roots(g: &DynamicGraph, q: &KwsQuery, kd: &Kdist) -> Vec<NodeId> {
+    g.nodes().filter(|&v| kd.qualifies(v, q.bound)).collect()
+}
+
+/// The *baseline* batch evaluation used in the experiments: one full-graph
+/// multi-source Dijkstra per keyword — the `O(m(|V| log |V| + |E|))`
+/// algorithm the paper cites for BLINKS-style engines. A general keyword
+/// engine computes complete distance lists (it serves arbitrary bounds and
+/// rankings), so it does not get the bounded-BFS shortcut the *auxiliary*
+/// constructor [`compute_kdist`] uses; distances beyond the bound are
+/// clipped to ⊥ on output so results remain comparable.
+pub fn compute_kdist_baseline(g: &DynamicGraph, q: &KwsQuery, work: &mut WorkStats) -> Kdist {
+    let mut kd = Kdist::bottom(g.node_count(), q.m());
+    for (ki, &k) in q.keywords.iter().enumerate() {
+        let mut dist = vec![UNREACHED; g.node_count()];
+        let mut next: Vec<Option<NodeId>> = vec![None; g.node_count()];
+        let mut heap: BinaryHeap<Reverse<(u32, NodeId)>> = BinaryHeap::new();
+        for &p in g.nodes_with_label(k) {
+            dist[p.index()] = 0;
+            heap.push(Reverse((0, p)));
+            work.queue_ops += 1;
+        }
+        while let Some(Reverse((d, u))) = heap.pop() {
+            work.queue_ops += 1;
+            if dist[u.index()] != d {
+                continue;
+            }
+            work.nodes_visited += 1;
+            for &w in g.predecessors(u) {
+                work.edges_traversed += 1;
+                let cand = d + 1;
+                if cand < dist[w.index()] || (cand == dist[w.index()] && next[w.index()] > Some(u))
+                {
+                    dist[w.index()] = cand;
+                    next[w.index()] = Some(u);
+                    heap.push(Reverse((cand, w)));
+                    work.queue_ops += 1;
+                }
+            }
+        }
+        for v in g.nodes() {
+            if dist[v.index()] <= q.bound {
+                kd.set(
+                    v,
+                    ki,
+                    KdistEntry {
+                        dist: dist[v.index()],
+                        next: next[v.index()],
+                    },
+                );
+            }
+        }
+    }
+    kd
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kdist::{oracle_distances, UNREACHED};
+    use igc_graph::graph::graph_from;
+    use igc_graph::Label;
+
+    fn check_against_oracle(g: &DynamicGraph, q: &KwsQuery) {
+        let mut w = WorkStats::new();
+        let kd = compute_kdist(g, q, &mut w);
+        kd.check_invariants(g, q).expect("kdist invariants");
+        let truth = oracle_distances(g, q);
+        for v in g.nodes() {
+            for (ki, t) in truth.iter().enumerate() {
+                assert_eq!(kd.get(v, ki).dist, t[v.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_example1_graph() {
+        // Figure 2's graph (solid edges plus e2, e5), node ids:
+        // a1=0 d2=1 b2=2 c1=3 b1=4 c2=5 b3=6 a2=7 d1=8 b4=9
+        // labels: a=0, b=1, c=2, d=3
+        let g = graph_from(
+            &[0, 3, 1, 2, 1, 2, 1, 0, 3, 1],
+            &[
+                (3, 0),  // e5: c1→a1  (dotted in the figure)
+                (5, 6),  // e2: c2→b3 (dotted)
+                (0, 1),  // a1→d2
+                (2, 0),  // b2→a1
+                (3, 4),  // c1→b1
+                (4, 0),  // b1→a1 (gives c1 dist 2 to a)
+                (5, 2),  // c2→b2
+                (6, 7),  // b3→a2
+                (7, 8),  // a2→d1
+                (2, 9),  // b2→b4
+                (9, 8),  // b4→d1
+            ],
+        );
+        // Q = (a, d), b = 2 — Example 1.
+        let q = KwsQuery::new(vec![Label(0), Label(3)], 2);
+        let mut w = WorkStats::new();
+        let kd = compute_kdist(&g, &q, &mut w);
+        kd.check_invariants(&g, &q).expect("invariants");
+        // b2 roots a match: dist to a = 1 (b2→a1), dist to d = 2 (b2→b4→d1)
+        assert_eq!(kd.get(NodeId(2), 0).dist, 1);
+        assert_eq!(kd.get(NodeId(2), 1).dist, 2);
+        assert!(kd.qualifies(NodeId(2), 2));
+        // the match tree at b2 before the insertion of e1 (paper Example 1)
+        let r = roots(&g, &q, &kd);
+        assert!(r.contains(&NodeId(2)));
+    }
+
+    #[test]
+    fn node_matching_keyword_has_distance_zero() {
+        let g = graph_from(&[7], &[]);
+        let q = KwsQuery::new(vec![Label(7)], 1);
+        let mut w = WorkStats::new();
+        let kd = compute_kdist(&g, &q, &mut w);
+        assert_eq!(kd.get(NodeId(0), 0).dist, 0);
+        assert_eq!(kd.get(NodeId(0), 0).next, None);
+        assert!(kd.qualifies(NodeId(0), 1));
+    }
+
+    #[test]
+    fn distances_beyond_bound_are_bottom() {
+        let g = graph_from(&[0, 0, 0, 9], &[(0, 1), (1, 2), (2, 3)]);
+        let q = KwsQuery::new(vec![Label(9)], 2);
+        check_against_oracle(&g, &q);
+        let mut w = WorkStats::new();
+        let kd = compute_kdist(&g, &q, &mut w);
+        assert_eq!(kd.get(NodeId(0), 0).dist, UNREACHED);
+        assert_eq!(kd.get(NodeId(1), 0).dist, 2);
+    }
+
+    #[test]
+    fn tie_break_chooses_smallest_successor() {
+        // 0 → 1(k) and 0 → 2(k): both at distance 1; next must be node 1.
+        let g = graph_from(&[0, 9, 9], &[(0, 1), (0, 2)]);
+        let q = KwsQuery::new(vec![Label(9)], 2);
+        let mut w = WorkStats::new();
+        let kd = compute_kdist(&g, &q, &mut w);
+        assert_eq!(kd.get(NodeId(0), 0).next, Some(NodeId(1)));
+    }
+
+    #[test]
+    fn multiple_keywords_independent() {
+        let g = graph_from(&[0, 8, 9], &[(0, 1), (0, 2)]);
+        let q = KwsQuery::new(vec![Label(8), Label(9)], 1);
+        check_against_oracle(&g, &q);
+        let mut w = WorkStats::new();
+        let kd = compute_kdist(&g, &q, &mut w);
+        assert!(kd.qualifies(NodeId(0), 1));
+        assert!(!kd.qualifies(NodeId(1), 1), "node 1 cannot reach label 9");
+    }
+
+    #[test]
+    fn baseline_dijkstra_agrees_with_bounded_bfs() {
+        use igc_graph::generator::uniform_graph;
+        for seed in 0..4 {
+            let g = uniform_graph(60, 180, 6, seed);
+            let q = KwsQuery::new(vec![Label(0), Label(1)], 2);
+            let mut w1 = WorkStats::new();
+            let mut w2 = WorkStats::new();
+            let fast = compute_kdist(&g, &q, &mut w1);
+            let base = compute_kdist_baseline(&g, &q, &mut w2);
+            for v in g.nodes() {
+                for ki in 0..q.m() {
+                    assert_eq!(fast.get(v, ki).dist, base.get(v, ki).dist);
+                }
+            }
+            assert_eq!(roots(&g, &q, &fast), roots(&g, &q, &base));
+        }
+    }
+
+    #[test]
+    fn random_graphs_match_oracle() {
+        use igc_graph::generator::uniform_graph;
+        for seed in 0..5 {
+            let g = uniform_graph(60, 180, 6, seed);
+            let q = KwsQuery::new(vec![Label(0), Label(1), Label(2)], 3);
+            check_against_oracle(&g, &q);
+        }
+    }
+}

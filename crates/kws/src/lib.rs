@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! Keyword search with distinct roots (KWS) — the paper's Section 4.2.
+//!
+//! A query is a list of keywords `(k1 … km)` plus a hop bound `b`. A match
+//! at root `r` is the tree formed by, per keyword, a shortest path (hop
+//! count) from `r` to a node labelled with that keyword, all within `b`
+//! hops; every node whose `m` keyword distances are all `≤ b` roots exactly
+//! one match.
+//!
+//! The incremental problem is **unbounded** (Theorem 1) but **localizable**
+//! (Theorem 3): all changes live inside the `2b`-neighbourhood of `ΔG`.
+//!
+//! * [`kdist`] — the keyword-distance lists `kdist(v)[ki] = (dist, next)`,
+//!   the auxiliary structure every BLINKS-style batch algorithm maintains,
+//! * [`batch`] — batch evaluation: one bounded multi-source reverse BFS per
+//!   keyword (the unit-weight specialisation of the `O(m(V log V + E))`
+//!   algorithm the paper cites),
+//! * [`inc`] — [`IncKws`]: the unit algorithms `IncKWS⁺` (Fig. 1) and
+//!   `IncKWS⁻` (Fig. 3) and the three-phase batch algorithm `IncKWS`, plus
+//!   the paper's "Remark" extension for raising the bound `b` using
+//!   breakpoint snapshots.
+
+pub mod batch;
+pub mod inc;
+pub mod kdist;
+pub mod query;
+
+pub use inc::IncKws;
+pub use kdist::{Kdist, KdistEntry, UNREACHED};
+pub use query::{KwsQuery, MatchTree};

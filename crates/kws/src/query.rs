@@ -1,0 +1,160 @@
+//! KWS queries and match trees.
+
+use igc_graph::{DynamicGraph, Label, NodeId};
+
+/// A keyword query `Q = (k1, …, km)` with hop bound `b` (Section 2.1).
+///
+/// Keywords are node labels; a node "matches keyword `ki`" when its label
+/// equals `ki`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KwsQuery {
+    /// The keywords `k1 … km`.
+    pub keywords: Vec<Label>,
+    /// The hop bound `b` (a positive integer).
+    pub bound: u32,
+}
+
+impl KwsQuery {
+    /// Build a query; panics on an empty keyword list or zero bound, which
+    /// the problem statement excludes.
+    pub fn new(keywords: Vec<Label>, bound: u32) -> Self {
+        assert!(!keywords.is_empty(), "KWS query needs at least one keyword");
+        assert!(bound > 0, "the paper requires a positive bound b");
+        KwsQuery { keywords, bound }
+    }
+
+    /// Number of keywords `m`.
+    pub fn m(&self) -> usize {
+        self.keywords.len()
+    }
+}
+
+/// A materialised match `T(r, p1, …, pm)`: per keyword, the shortest path
+/// from the root to the matched node (the root uniquely determines the
+/// match given the keyword-distance lists).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatchTree {
+    /// The root `r`.
+    pub root: NodeId,
+    /// `paths[i]` is the node sequence from `r` to the node matching `ki`
+    /// (both inclusive; a single node when the root itself matches).
+    pub paths: Vec<Vec<NodeId>>,
+}
+
+impl MatchTree {
+    /// Total weight `Σ dist(r, pi)` of the match.
+    pub fn total_distance(&self) -> u32 {
+        self.paths.iter().map(|p| p.len() as u32 - 1).sum()
+    }
+
+    /// The union of the paths' edges — the tree edge set.
+    pub fn edges(&self) -> Vec<(NodeId, NodeId)> {
+        let mut out = Vec::new();
+        for p in &self.paths {
+            for w in p.windows(2) {
+                let e = (w[0], w[1]);
+                if !out.contains(&e) {
+                    out.push(e);
+                }
+            }
+        }
+        out
+    }
+
+    /// Check this match against the graph and query: every path must exist
+    /// edge-by-edge, end at a node labelled with its keyword, stay within
+    /// the bound, and have minimal length (verified against `dist_oracle`,
+    /// the true bounded distance for that keyword). Used by tests.
+    pub fn validate(
+        &self,
+        g: &DynamicGraph,
+        q: &KwsQuery,
+        dist_oracle: impl Fn(NodeId, usize) -> u32,
+    ) -> Result<(), String> {
+        if self.paths.len() != q.m() {
+            return Err("wrong number of paths".into());
+        }
+        for (i, p) in self.paths.iter().enumerate() {
+            if p.first() != Some(&self.root) {
+                return Err(format!("path {i} does not start at the root"));
+            }
+            let last = *p.last().expect("non-empty path");
+            if g.label(last) != q.keywords[i] {
+                return Err(format!("path {i} ends at a non-matching node"));
+            }
+            for w in p.windows(2) {
+                if !g.contains_edge(w[0], w[1]) {
+                    return Err(format!("path {i} uses a missing edge {:?}→{:?}", w[0], w[1]));
+                }
+            }
+            let len = p.len() as u32 - 1;
+            if len > q.bound {
+                return Err(format!("path {i} exceeds the bound"));
+            }
+            if len != dist_oracle(self.root, i) {
+                return Err(format!(
+                    "path {i} has length {len}, oracle says {}",
+                    dist_oracle(self.root, i)
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igc_graph::graph::graph_from;
+
+    #[test]
+    fn query_construction() {
+        let q = KwsQuery::new(vec![Label(1), Label(2)], 3);
+        assert_eq!(q.m(), 2);
+        assert_eq!(q.bound, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one keyword")]
+    fn empty_query_rejected() {
+        KwsQuery::new(vec![], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive bound")]
+    fn zero_bound_rejected() {
+        KwsQuery::new(vec![Label(1)], 0);
+    }
+
+    #[test]
+    fn match_tree_edges_and_distance() {
+        let t = MatchTree {
+            root: NodeId(0),
+            paths: vec![
+                vec![NodeId(0), NodeId(1), NodeId(2)],
+                vec![NodeId(0), NodeId(1)],
+            ],
+        };
+        assert_eq!(t.total_distance(), 3);
+        let e = t.edges();
+        assert_eq!(e.len(), 2); // (0,1) shared between the two paths
+        assert!(e.contains(&(NodeId(0), NodeId(1))));
+        assert!(e.contains(&(NodeId(1), NodeId(2))));
+    }
+
+    #[test]
+    fn validate_catches_missing_edge() {
+        let g = graph_from(&[5, 6], &[(0, 1)]);
+        let q = KwsQuery::new(vec![Label(6)], 2);
+        let good = MatchTree {
+            root: NodeId(0),
+            paths: vec![vec![NodeId(0), NodeId(1)]],
+        };
+        assert!(good.validate(&g, &q, |_, _| 1).is_ok());
+        let bad = MatchTree {
+            root: NodeId(0),
+            paths: vec![vec![NodeId(0), NodeId(1), NodeId(0)]],
+        };
+        assert!(bad.validate(&g, &q, |_, _| 1).is_err());
+    }
+}

@@ -1,0 +1,246 @@
+//! Glushkov position automaton: a small ε-free NFA from a regular expression.
+//!
+//! Each occurrence of a label in the expression is a *position*; the
+//! automaton has one state per position plus the initial state, so
+//! `|S| = |Q| + 1` — matching the paper's observation (Section 6, Exp-2)
+//! that the NFA size depends only on the number of label occurrences, not on
+//! the number of `·`, `+` or `*` operators.
+
+use crate::nfa::{Nfa, StateId};
+use crate::regex::Regex;
+use igc_graph::{FxHashMap, Label};
+
+/// Per-subexpression Glushkov sets over positions (1-based; 0 is initial).
+struct Info {
+    nullable: bool,
+    first: Vec<StateId>,
+    last: Vec<StateId>,
+}
+
+struct Builder {
+    /// Label of each position; index 0 unused (initial state placeholder).
+    pos_label: Vec<Label>,
+    /// `follow[p]` = positions that may come immediately after `p`.
+    follow: Vec<Vec<StateId>>,
+}
+
+impl Builder {
+    fn walk(&mut self, r: &Regex) -> Info {
+        match r {
+            Regex::Epsilon => Info {
+                nullable: true,
+                first: vec![],
+                last: vec![],
+            },
+            Regex::Symbol(l) => {
+                let p = self.pos_label.len() as StateId;
+                self.pos_label.push(*l);
+                self.follow.push(Vec::new());
+                Info {
+                    nullable: false,
+                    first: vec![p],
+                    last: vec![p],
+                }
+            }
+            Regex::Concat(a, b) => {
+                let ia = self.walk(a);
+                let ib = self.walk(b);
+                for &p in &ia.last {
+                    extend_unique(&mut self.follow[p as usize], &ib.first);
+                }
+                let mut first = ia.first.clone();
+                if ia.nullable {
+                    extend_unique(&mut first, &ib.first);
+                }
+                let mut last = ib.last.clone();
+                if ib.nullable {
+                    extend_unique(&mut last, &ia.last);
+                }
+                Info {
+                    nullable: ia.nullable && ib.nullable,
+                    first,
+                    last,
+                }
+            }
+            Regex::Alt(a, b) => {
+                let ia = self.walk(a);
+                let ib = self.walk(b);
+                let mut first = ia.first;
+                extend_unique(&mut first, &ib.first);
+                let mut last = ia.last;
+                extend_unique(&mut last, &ib.last);
+                Info {
+                    nullable: ia.nullable || ib.nullable,
+                    first,
+                    last,
+                }
+            }
+            Regex::Star(a) => {
+                let ia = self.walk(a);
+                for &p in &ia.last {
+                    let first = ia.first.clone();
+                    extend_unique(&mut self.follow[p as usize], &first);
+                }
+                Info {
+                    nullable: true,
+                    first: ia.first,
+                    last: ia.last,
+                }
+            }
+        }
+    }
+}
+
+fn extend_unique(dst: &mut Vec<StateId>, src: &[StateId]) {
+    for &s in src {
+        if !dst.contains(&s) {
+            dst.push(s);
+        }
+    }
+}
+
+/// Build the Glushkov NFA for `regex`. States: `0` (initial) plus one per
+/// label occurrence; accepting states are the `last` positions, plus the
+/// initial state when the expression is nullable.
+pub fn build_nfa(regex: &Regex) -> Nfa {
+    let mut b = Builder {
+        pos_label: vec![Label(u32::MAX)], // dummy for state 0
+        follow: vec![Vec::new()],
+    };
+    let info = b.walk(regex);
+    let n = b.pos_label.len();
+    let mut delta: Vec<FxHashMap<Label, Vec<StateId>>> = vec![FxHashMap::default(); n];
+
+    // Initial transitions: δ(s0, label(p)) ∋ p for p ∈ first.
+    for &p in &info.first {
+        delta[0]
+            .entry(b.pos_label[p as usize])
+            .or_default()
+            .push(p);
+    }
+    // Interior transitions: δ(q, label(p)) ∋ p for p ∈ follow(q).
+    #[allow(clippy::needless_range_loop)] // `follow` is taken by index to appease borrows
+    for q in 1..n {
+        // Move the follow list out to appease the borrow checker.
+        let follows = std::mem::take(&mut b.follow[q]);
+        for &p in &follows {
+            delta[q]
+                .entry(b.pos_label[p as usize])
+                .or_default()
+                .push(p);
+        }
+    }
+    let mut accepting = vec![false; n];
+    accepting[0] = info.nullable;
+    for &p in &info.last {
+        accepting[p as usize] = true;
+    }
+    Nfa::from_parts(delta, accepting)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igc_graph::LabelInterner;
+
+    fn nfa_of(expr: &str) -> (Nfa, LabelInterner) {
+        let mut it = LabelInterner::new();
+        let r = Regex::parse(expr, &mut it).unwrap();
+        (build_nfa(&r), it)
+    }
+
+    fn word(it: &LabelInterner, s: &str) -> Vec<Label> {
+        s.split_whitespace().map(|t| it.get(t).unwrap()).collect()
+    }
+
+    #[test]
+    fn state_count_is_positions_plus_one() {
+        let (n, _) = nfa_of("c.(b.a+c)*.c");
+        assert_eq!(n.state_count(), 6);
+        let (n, _) = nfa_of("a*");
+        assert_eq!(n.state_count(), 2);
+    }
+
+    #[test]
+    fn paper_example4_language() {
+        let (n, it) = nfa_of("c.(b.a+c)*.c");
+        assert!(n.accepts_word(&word(&it, "c c")));
+        assert!(n.accepts_word(&word(&it, "c b a c")));
+        assert!(n.accepts_word(&word(&it, "c c c b a c")));
+        assert!(!n.accepts_word(&word(&it, "c b c")));
+        assert!(!n.accepts_word(&word(&it, "c")));
+        assert!(!n.accepts_word(&word(&it, "b a")));
+    }
+
+    #[test]
+    fn nullable_expression_accepts_empty() {
+        let (n, _) = nfa_of("a*");
+        assert!(n.accepts_empty());
+        let (n, _) = nfa_of("a");
+        assert!(!n.accepts_empty());
+    }
+
+    #[test]
+    fn alternation_and_star_interaction() {
+        let (n, it) = nfa_of("(a+b)*.c");
+        assert!(n.accepts_word(&word(&it, "c")));
+        assert!(n.accepts_word(&word(&it, "a b a c")));
+        assert!(!n.accepts_word(&word(&it, "a b")));
+    }
+
+    #[test]
+    fn ssrp_reduction_query_shape() {
+        // The Section 3 reduction uses Q2 = α1 · α2*.
+        let (n, it) = nfa_of("alpha1.alpha2*");
+        assert!(n.accepts_word(&word(&it, "alpha1")));
+        assert!(n.accepts_word(&word(&it, "alpha1 alpha2 alpha2")));
+        assert!(!n.accepts_word(&word(&it, "alpha2")));
+    }
+
+    #[test]
+    fn repeated_label_positions_distinct() {
+        // a.a needs two positions even though the label repeats.
+        let (n, it) = nfa_of("a.a");
+        assert_eq!(n.state_count(), 3);
+        assert!(n.accepts_word(&word(&it, "a a")));
+        assert!(!n.accepts_word(&word(&it, "a")));
+        assert!(!n.accepts_word(&word(&it, "a a a")));
+    }
+
+    #[test]
+    fn glushkov_agrees_with_ast_matcher_exhaustively() {
+        // Enumerate all words up to length 4 over {a, b} for several
+        // expressions and compare NFA acceptance with the AST oracle.
+        let exprs = [
+            "a", "a*", "a.b", "a+b", "(a.b)*", "a.(a+b)*", "(a+b).(a+b)",
+            "a*.b*", "(a.b+b.a)*", "%+a.b", "a.a*+b",
+        ];
+        for expr in exprs {
+            let mut it = LabelInterner::new();
+            let a = it.intern("a");
+            let b = it.intern("b");
+            let r = Regex::parse(expr, &mut it).unwrap();
+            let n = build_nfa(&r);
+            let alphabet = [a, b];
+            let mut words: Vec<Vec<Label>> = vec![vec![]];
+            for _ in 0..4 {
+                let mut next = Vec::new();
+                for w in &words {
+                    for &l in &alphabet {
+                        let mut w2 = w.clone();
+                        w2.push(l);
+                        next.push(w2);
+                    }
+                }
+                words.extend(next);
+            }
+            for w in &words {
+                assert_eq!(
+                    n.accepts_word(w),
+                    r.matches(w),
+                    "mismatch for {expr} on {w:?}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+
+//! Regular path query expressions and ε-free NFA construction.
+//!
+//! The paper's batch algorithm for RPQ (`RPQ_NFA`, Section 5.2) first
+//! translates the regular expression `Q ::= ε | α | Q·Q | Q+Q | Q*` into a
+//! *small ε-free NFA* following Hromkovič et al. [29]; the Glushkov position
+//! automaton built here has the same signature (ε-free, `|Q| + 1` states,
+//! where `|Q|` counts label occurrences) and is the standard realisation of
+//! that construction.
+//!
+//! * [`Regex`] — the expression AST, with a parser for the paper's syntax
+//!   (`·` or `.` concatenation, `+` union, `*` star, `()` grouping), and
+//! * [`Nfa`] — the position automaton, exposing the transition function
+//!   `δ(s, α)` the RPQ algorithms traverse.
+
+pub mod glushkov;
+pub mod nfa;
+pub mod regex;
+
+pub use glushkov::build_nfa;
+pub use nfa::{Nfa, StateId};
+pub use regex::{ParseError, Regex};

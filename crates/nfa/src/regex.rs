@@ -1,0 +1,400 @@
+//! The regular path expression AST and its parser.
+
+use igc_graph::{Label, LabelInterner};
+use std::fmt;
+
+/// A regular path query `Q ::= ε | α | Q·Q | Q+Q | Q*` (paper Section 2.1).
+///
+/// Labels are interned [`Label`]s; the matched strings are sequences of
+/// *node* labels along a path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Regex {
+    /// ε — the empty string.
+    Epsilon,
+    /// A single label α ∈ Σ.
+    Symbol(Label),
+    /// Concatenation `Q1 · Q2`.
+    Concat(Box<Regex>, Box<Regex>),
+    /// Union `Q1 + Q2`.
+    Alt(Box<Regex>, Box<Regex>),
+    /// Kleene star `Q*`.
+    Star(Box<Regex>),
+}
+
+impl Regex {
+    /// A single-symbol expression.
+    pub fn symbol(l: Label) -> Regex {
+        Regex::Symbol(l)
+    }
+
+    /// `self · other`.
+    pub fn then(self, other: Regex) -> Regex {
+        Regex::Concat(Box::new(self), Box::new(other))
+    }
+
+    /// `self + other`.
+    pub fn or(self, other: Regex) -> Regex {
+        Regex::Alt(Box::new(self), Box::new(other))
+    }
+
+    /// `self*`.
+    pub fn star(self) -> Regex {
+        Regex::Star(Box::new(self))
+    }
+
+    /// The paper's query size `|Q|`: the number of label occurrences.
+    pub fn size(&self) -> usize {
+        match self {
+            Regex::Epsilon => 0,
+            Regex::Symbol(_) => 1,
+            Regex::Concat(a, b) | Regex::Alt(a, b) => a.size() + b.size(),
+            Regex::Star(a) => a.size(),
+        }
+    }
+
+    /// True when ε ∈ L(Q).
+    pub fn nullable(&self) -> bool {
+        match self {
+            Regex::Epsilon => true,
+            Regex::Symbol(_) => false,
+            Regex::Concat(a, b) => a.nullable() && b.nullable(),
+            Regex::Alt(a, b) => a.nullable() || b.nullable(),
+            Regex::Star(_) => true,
+        }
+    }
+
+    /// Naive membership test `w ∈ L(Q)` — the test oracle for the NFA
+    /// construction. Dynamic programming over sub-spans; fine for the short
+    /// words used in tests, not meant for production matching.
+    pub fn matches(&self, word: &[Label]) -> bool {
+        self.ends_from(word, 0).contains(&word.len())
+    }
+
+    /// All `j` such that this expression matches `word[i..j]`.
+    fn ends_from(&self, word: &[Label], i: usize) -> Vec<usize> {
+        match self {
+            Regex::Epsilon => vec![i],
+            Regex::Symbol(l) => {
+                if i < word.len() && word[i] == *l {
+                    vec![i + 1]
+                } else {
+                    vec![]
+                }
+            }
+            Regex::Concat(a, b) => {
+                let mut out = Vec::new();
+                for m in a.ends_from(word, i) {
+                    for j in b.ends_from(word, m) {
+                        if !out.contains(&j) {
+                            out.push(j);
+                        }
+                    }
+                }
+                out
+            }
+            Regex::Alt(a, b) => {
+                let mut out = a.ends_from(word, i);
+                for j in b.ends_from(word, i) {
+                    if !out.contains(&j) {
+                        out.push(j);
+                    }
+                }
+                out
+            }
+            Regex::Star(a) => {
+                // Fixed point of reachable end positions.
+                let mut out = vec![i];
+                let mut frontier = vec![i];
+                while let Some(m) = frontier.pop() {
+                    for j in a.ends_from(word, m) {
+                        if j > m && !out.contains(&j) {
+                            out.push(j);
+                            frontier.push(j);
+                        }
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Parse the paper's syntax. Labels are identifiers (`[A-Za-z0-9_]+`),
+    /// `.` (or `·`) concatenates, `+` unions, `*` stars, `()` groups, and
+    /// `%` denotes ε. New label names are interned into `interner`.
+    ///
+    /// Example: `"c.(b.a+c)*.c"` is the query of the paper's Example 4.
+    pub fn parse(input: &str, interner: &mut LabelInterner) -> Result<Regex, ParseError> {
+        let mut p = Parser {
+            tokens: tokenize(input)?,
+            pos: 0,
+            interner,
+        };
+        let r = p.alt()?;
+        if p.pos != p.tokens.len() {
+            return Err(ParseError::Trailing(p.pos));
+        }
+        Ok(r)
+    }
+}
+
+/// Parse failure for [`Regex::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// An unexpected character at this byte offset.
+    UnexpectedChar(char),
+    /// Expression ended prematurely.
+    UnexpectedEnd,
+    /// A closing parenthesis without an opener, or similar token misuse.
+    UnexpectedToken(usize),
+    /// Input remained after a complete expression (token index).
+    Trailing(usize),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::UnexpectedChar(c) => write!(f, "unexpected character {c:?}"),
+            ParseError::UnexpectedEnd => write!(f, "unexpected end of expression"),
+            ParseError::UnexpectedToken(i) => write!(f, "unexpected token at position {i}"),
+            ParseError::Trailing(i) => write!(f, "trailing input from token {i}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Token {
+    Ident(String),
+    Dot,
+    Plus,
+    Star,
+    LParen,
+    RParen,
+    Epsilon,
+}
+
+fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
+    let mut out = Vec::new();
+    let mut chars = input.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            ' ' | '\t' | '\n' => {
+                chars.next();
+            }
+            '.' | '·' => {
+                chars.next();
+                out.push(Token::Dot);
+            }
+            '+' => {
+                chars.next();
+                out.push(Token::Plus);
+            }
+            '*' => {
+                chars.next();
+                out.push(Token::Star);
+            }
+            '(' => {
+                chars.next();
+                out.push(Token::LParen);
+            }
+            ')' => {
+                chars.next();
+                out.push(Token::RParen);
+            }
+            '%' => {
+                chars.next();
+                out.push(Token::Epsilon);
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token::Ident(s));
+            }
+            other => return Err(ParseError::UnexpectedChar(other)),
+        }
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    tokens: Vec<Token>,
+    pos: usize,
+    interner: &'a mut LabelInterner,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    /// alt := concat ('+' concat)*
+    fn alt(&mut self) -> Result<Regex, ParseError> {
+        let mut left = self.concat()?;
+        while self.peek() == Some(&Token::Plus) {
+            self.pos += 1;
+            let right = self.concat()?;
+            left = left.or(right);
+        }
+        Ok(left)
+    }
+
+    /// concat := postfix ('.' postfix)*   (explicit dots, per the paper)
+    fn concat(&mut self) -> Result<Regex, ParseError> {
+        let mut left = self.postfix()?;
+        while self.peek() == Some(&Token::Dot) {
+            self.pos += 1;
+            let right = self.postfix()?;
+            left = left.then(right);
+        }
+        Ok(left)
+    }
+
+    /// postfix := atom '*'*
+    fn postfix(&mut self) -> Result<Regex, ParseError> {
+        let mut r = self.atom()?;
+        while self.peek() == Some(&Token::Star) {
+            self.pos += 1;
+            r = r.star();
+        }
+        Ok(r)
+    }
+
+    fn atom(&mut self) -> Result<Regex, ParseError> {
+        match self.tokens.get(self.pos).cloned() {
+            Some(Token::Ident(name)) => {
+                self.pos += 1;
+                Ok(Regex::Symbol(self.interner.intern(&name)))
+            }
+            Some(Token::Epsilon) => {
+                self.pos += 1;
+                Ok(Regex::Epsilon)
+            }
+            Some(Token::LParen) => {
+                self.pos += 1;
+                let inner = self.alt()?;
+                if self.tokens.get(self.pos) != Some(&Token::RParen) {
+                    return Err(ParseError::UnexpectedEnd);
+                }
+                self.pos += 1;
+                Ok(inner)
+            }
+            Some(_) => Err(ParseError::UnexpectedToken(self.pos)),
+            None => Err(ParseError::UnexpectedEnd),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (LabelInterner, Label, Label, Label) {
+        let mut it = LabelInterner::new();
+        let a = it.intern("a");
+        let b = it.intern("b");
+        let c = it.intern("c");
+        (it, a, b, c)
+    }
+
+    #[test]
+    fn parse_paper_example4() {
+        let (mut it, a, b, c) = setup();
+        let q = Regex::parse("c.(b.a+c)*.c", &mut it).unwrap();
+        assert_eq!(q.size(), 5);
+        assert!(q.matches(&[c, c]));
+        assert!(q.matches(&[c, b, a, c]));
+        assert!(q.matches(&[c, c, b, a, c]));
+        assert!(!q.matches(&[c, b, c]));
+        assert!(!q.matches(&[c]));
+    }
+
+    #[test]
+    fn parse_precedence_star_binds_tightest() {
+        let (mut it, a, b, _) = setup();
+        // a + b* == a + (b*)
+        let q = Regex::parse("a+b*", &mut it).unwrap();
+        assert!(q.matches(&[a]));
+        assert!(q.matches(&[]));
+        assert!(q.matches(&[b, b, b]));
+        assert!(!q.matches(&[a, a]));
+    }
+
+    #[test]
+    fn parse_dot_binds_tighter_than_plus() {
+        let (mut it, a, b, c) = setup();
+        // a.b + c == (a.b) + c
+        let q = Regex::parse("a.b+c", &mut it).unwrap();
+        assert!(q.matches(&[a, b]));
+        assert!(q.matches(&[c]));
+        assert!(!q.matches(&[a, c]));
+    }
+
+    #[test]
+    fn parse_epsilon() {
+        let (mut it, a, _, _) = setup();
+        let q = Regex::parse("%+a", &mut it).unwrap();
+        assert!(q.nullable());
+        assert!(q.matches(&[]));
+        assert!(q.matches(&[a]));
+    }
+
+    #[test]
+    fn parse_errors() {
+        let mut it = LabelInterner::new();
+        assert!(Regex::parse("(a", &mut it).is_err());
+        assert!(Regex::parse("a)", &mut it).is_err());
+        assert!(Regex::parse("a +", &mut it).is_err());
+        assert!(Regex::parse("&", &mut it).is_err());
+        assert!(Regex::parse("", &mut it).is_err());
+    }
+
+    #[test]
+    fn parse_multichar_and_unicode_dot() {
+        let mut it = LabelInterner::new();
+        let q = Regex::parse("person · knows", &mut it).unwrap();
+        assert_eq!(q.size(), 2);
+        let p = it.get("person").unwrap();
+        let k = it.get("knows").unwrap();
+        assert!(q.matches(&[p, k]));
+    }
+
+    #[test]
+    fn size_ignores_structure() {
+        let (mut it, ..) = setup();
+        let q = Regex::parse("(a+b)*.(a.a)", &mut it).unwrap();
+        assert_eq!(q.size(), 4);
+    }
+
+    #[test]
+    fn nullable_rules() {
+        let (mut it, ..) = setup();
+        assert!(Regex::parse("a*", &mut it).unwrap().nullable());
+        assert!(!Regex::parse("a.b*", &mut it).unwrap().nullable());
+        assert!(Regex::parse("a*.b*", &mut it).unwrap().nullable());
+        assert!(!Regex::parse("a", &mut it).unwrap().nullable());
+    }
+
+    #[test]
+    fn matcher_star_of_nullable_terminates() {
+        let (mut it, a, _, _) = setup();
+        let q = Regex::parse("(%+a)*", &mut it).unwrap();
+        assert!(q.matches(&[]));
+        assert!(q.matches(&[a, a, a]));
+    }
+
+    #[test]
+    fn builder_api_equivalent_to_parser() {
+        let (mut it, a, b, _) = setup();
+        let built = Regex::symbol(a).then(Regex::symbol(b).star());
+        let parsed = Regex::parse("a.b*", &mut it).unwrap();
+        assert_eq!(built, parsed);
+    }
+}

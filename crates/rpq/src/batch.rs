@@ -1,0 +1,163 @@
+//! `RPQ_NFA` — the batch algorithm the paper incrementalizes [29, 33].
+//!
+//! Phase one translates `Q` into a small ε-free NFA (done by `igc-nfa`);
+//! phase two traverses the intersection graph `G_I = G × M_Q`: node
+//! `(v, s)` is reached from source `u` when some path `u ⇝ v` drives the
+//! automaton from its start configuration to state `s`. The matches are the
+//! pairs `(u, v)` with an accepting state reached at `v`.
+//!
+//! This module is the *marking-free* version used as the baseline and test
+//! oracle; the instrumented version with `dist`/`mpre` markings that IncRPQ
+//! maintains lives in [`crate::marking`].
+
+use igc_core::work::WorkStats;
+use igc_graph::{DynamicGraph, FxHashSet, NodeId};
+use igc_nfa::{Nfa, StateId};
+use std::collections::VecDeque;
+
+/// Evaluate `Q(G)` as a set of `(source, target)` match pairs.
+pub fn evaluate(g: &DynamicGraph, nfa: &Nfa, work: &mut WorkStats) -> FxHashSet<(NodeId, NodeId)> {
+    let mut answer: FxHashSet<(NodeId, NodeId)> = FxHashSet::default();
+    for u in g.nodes() {
+        evaluate_source(g, nfa, u, work, &mut answer);
+    }
+    answer
+}
+
+/// BFS over the product graph for one source node.
+fn evaluate_source(
+    g: &DynamicGraph,
+    nfa: &Nfa,
+    u: NodeId,
+    work: &mut WorkStats,
+    answer: &mut FxHashSet<(NodeId, NodeId)>,
+) {
+    let seeds = nfa.start_states(g.label(u));
+    if seeds.is_empty() {
+        return; // u's label cannot start any word of L(Q)
+    }
+    let mut seen: FxHashSet<(NodeId, StateId)> = FxHashSet::default();
+    let mut queue: VecDeque<(NodeId, StateId)> = VecDeque::new();
+    for &s in seeds {
+        if seen.insert((u, s)) {
+            queue.push_back((u, s));
+            if nfa.is_accepting(s) {
+                answer.insert((u, u));
+            }
+        }
+    }
+    while let Some((x, s)) = queue.pop_front() {
+        work.nodes_visited += 1;
+        for &y in g.successors(x) {
+            let ly = g.label(y);
+            for &t in nfa.next(s, ly) {
+                work.edges_traversed += 1;
+                if seen.insert((y, t)) {
+                    if nfa.is_accepting(t) {
+                        answer.insert((u, y));
+                    }
+                    queue.push_back((y, t));
+                }
+            }
+        }
+    }
+}
+
+/// Sorted matches, for deterministic comparisons.
+pub fn sorted_answer(answer: &FxHashSet<(NodeId, NodeId)>) -> Vec<(NodeId, NodeId)> {
+    let mut v: Vec<_> = answer.iter().copied().collect();
+    v.sort_unstable();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igc_graph::graph::graph_from;
+    use igc_graph::LabelInterner;
+    use igc_nfa::{build_nfa, Regex};
+
+    fn nfa_for(expr: &str, it: &mut LabelInterner) -> Nfa {
+        let q = Regex::parse(expr, it).unwrap();
+        build_nfa(&q)
+    }
+
+    /// Paper Example 4 reconstruction: Q = c·(b·a+c)*·c over a graph where
+    /// c1 ⇝ c2 and c2 ⇝ c2 spell c(ba)*c words.
+    /// Nodes: c1=0, b1=1, a1=2, c2=3, b3=4, a2=5.
+    fn example4() -> (DynamicGraph, Nfa) {
+        let mut it = LabelInterner::new();
+        let a = it.intern("a");
+        let b = it.intern("b");
+        let c = it.intern("c");
+        let g = graph_from(
+            &[c.0, b.0, a.0, c.0, b.0, a.0],
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 3)],
+        );
+        let nfa = nfa_for("c.(b.a+c)*.c", &mut it);
+        (g, nfa)
+    }
+
+    #[test]
+    fn paper_example4_matches() {
+        let (g, nfa) = example4();
+        let mut w = WorkStats::new();
+        let ans = evaluate(&g, &nfa, &mut w);
+        assert_eq!(
+            sorted_answer(&ans),
+            vec![(NodeId(0), NodeId(3)), (NodeId(3), NodeId(3))]
+        );
+    }
+
+    #[test]
+    fn single_node_match() {
+        // Q = c: every c-labelled node matches itself.
+        let mut it = LabelInterner::new();
+        let c = it.intern("c");
+        let d = it.intern("d");
+        let g = graph_from(&[c.0, d.0, c.0], &[(0, 1), (1, 2)]);
+        let nfa = nfa_for("c", &mut it);
+        let mut w = WorkStats::new();
+        let ans = evaluate(&g, &nfa, &mut w);
+        assert_eq!(
+            sorted_answer(&ans),
+            vec![(NodeId(0), NodeId(0)), (NodeId(2), NodeId(2))]
+        );
+    }
+
+    #[test]
+    fn star_handles_cycles_without_divergence() {
+        // A 3-cycle of a-labels with Q = a·a*: every ordered pair matches.
+        let mut it = LabelInterner::new();
+        let a = it.intern("a");
+        let g = graph_from(&[a.0, a.0, a.0], &[(0, 1), (1, 2), (2, 0)]);
+        let nfa = nfa_for("a.a*", &mut it);
+        let mut w = WorkStats::new();
+        let ans = evaluate(&g, &nfa, &mut w);
+        assert_eq!(ans.len(), 9);
+    }
+
+    #[test]
+    fn no_sources_no_matches() {
+        let mut it = LabelInterner::new();
+        let _ = it.intern("a");
+        let b = it.intern("b");
+        let g = graph_from(&[b.0, b.0], &[(0, 1)]);
+        let nfa = nfa_for("a.b", &mut it);
+        let mut w = WorkStats::new();
+        assert!(evaluate(&g, &nfa, &mut w).is_empty());
+    }
+
+    #[test]
+    fn path_label_includes_source() {
+        // Q = a.b matches (u,v) for edge u→v with labels a,b — not b,a.
+        let mut it = LabelInterner::new();
+        let a = it.intern("a");
+        let b = it.intern("b");
+        let g = graph_from(&[a.0, b.0], &[(0, 1), (1, 0)]);
+        let nfa = nfa_for("a.b", &mut it);
+        let mut w = WorkStats::new();
+        let ans = evaluate(&g, &nfa, &mut w);
+        assert_eq!(sorted_answer(&ans), vec![(NodeId(0), NodeId(1))]);
+    }
+}

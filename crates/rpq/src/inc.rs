@@ -1,0 +1,719 @@
+//! IncRPQ — bounded relative to `RPQ_NFA` (Section 5.2, Fig. 5).
+//!
+//! The maintained auxiliary structure is the marking set of the product
+//! graph ([`crate::marking`]); the answer `Q(G)` is derived from markings
+//! with accepting states. A batch update is processed in the same shape as
+//! the batch `IncKWS`:
+//!
+//! 1. **identAff** — walk `mpre` chains forward from deleted product edges
+//!    to find the affected markings,
+//! 2. **potentials** — recompute each affected marking's tentative distance
+//!    from its unaffected predecessors (via the NFA's inverse transitions),
+//! 3. **insertion seeding** — each inserted edge proposes improved or new
+//!    markings from unaffected source markings,
+//! 4. **settle** — one shared priority queue fixes exact distances in
+//!    monotonically increasing order (each affected entry is decided at
+//!    most once), guided by the NFA;
+//! 5. affected markings that never settle are removed, updating `Q(G)`.
+
+use crate::batch;
+use crate::marking::{MarkEntry, MarkKey, Markings, INF_DIST};
+use igc_core::work::{ChangeMetrics, WorkStats};
+use igc_core::IncrementalAlgorithm;
+use igc_graph::{DynamicGraph, FxHashMap, FxHashSet, Label, NodeId, UpdateBatch};
+use igc_nfa::{build_nfa, Nfa, Regex, StateId};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Maintained RPQ state: NFA, markings and the match-pair answer.
+#[derive(Debug, Clone)]
+pub struct IncRpq {
+    nfa: Nfa,
+    /// Inverse transitions: `(l(x), s) → {s′ : s ∈ δ(s′, l(x))}`.
+    rev: FxHashMap<(Label, StateId), Vec<StateId>>,
+    marks: Markings,
+    /// Number of accepting-state markings per (source, node) pair.
+    acc_count: FxHashMap<(NodeId, NodeId), u32>,
+    answer: FxHashSet<(NodeId, NodeId)>,
+    work: WorkStats,
+    metrics: ChangeMetrics,
+}
+
+impl IncRpq {
+    /// Build from a query expression: translate to an NFA, then run the
+    /// instrumented batch traversal to create all markings.
+    pub fn new(g: &DynamicGraph, query: &Regex) -> Self {
+        Self::with_nfa(g, build_nfa(query))
+    }
+
+    /// Build from a pre-constructed NFA.
+    pub fn with_nfa(g: &DynamicGraph, nfa: Nfa) -> Self {
+        let mut rev: FxHashMap<(Label, StateId), Vec<StateId>> = FxHashMap::default();
+        for (s, l, t) in nfa.all_transitions() {
+            rev.entry((l, t)).or_default().push(s);
+        }
+        let mut me = IncRpq {
+            nfa,
+            rev,
+            marks: Markings::new(g.node_count()),
+            acc_count: FxHashMap::default(),
+            answer: FxHashSet::default(),
+            work: WorkStats::new(),
+            metrics: ChangeMetrics::default(),
+        };
+        for u in g.nodes() {
+            me.traverse_source(g, u);
+        }
+        me
+    }
+
+    /// The current answer `Q(G)` as match pairs.
+    pub fn answer(&self) -> &FxHashSet<(NodeId, NodeId)> {
+        &self.answer
+    }
+
+    /// True when `(u, v)` is a match.
+    pub fn contains_pair(&self, u: NodeId, v: NodeId) -> bool {
+        self.answer.contains(&(u, v))
+    }
+
+    /// Sorted matches for deterministic comparisons.
+    pub fn sorted_answer(&self) -> Vec<(NodeId, NodeId)> {
+        batch::sorted_answer(&self.answer)
+    }
+
+    /// Total number of markings (the auxiliary structure size).
+    pub fn mark_count(&self) -> usize {
+        self.marks.len()
+    }
+
+    /// The `(key, dist)` signature of all markings — equality with a fresh
+    /// batch construction is the auxiliary-structure correctness oracle.
+    /// (`mpre` sets are *not* compared: the incremental algorithm maintains
+    /// them as a sound subset; see `marking` module docs.)
+    pub fn marking_signature(&self) -> Vec<(MarkKey, u32)> {
+        let mut v: Vec<(MarkKey, u32)> = Vec::with_capacity(self.marks.len());
+        for n in 0..self.marks.node_count() {
+            let node = NodeId::from_index(n);
+            for (u, s, e) in self.marks.at_node(node) {
+                v.push((
+                    MarkKey {
+                        source: u,
+                        node,
+                        state: s,
+                    },
+                    e.dist,
+                ));
+            }
+        }
+        v.sort_unstable();
+        v
+    }
+
+    /// Change metrics of the last `apply`.
+    pub fn last_metrics(&self) -> ChangeMetrics {
+        self.metrics
+    }
+
+    /// The NFA in use.
+    pub fn nfa(&self) -> &Nfa {
+        &self.nfa
+    }
+
+    // ------------------------------------------------------------------
+    // Construction
+    // ------------------------------------------------------------------
+
+    /// Instrumented product-graph BFS from one source, recording `dist` and
+    /// `mpre` (all shortest predecessors, complete at construction).
+    fn traverse_source(&mut self, g: &DynamicGraph, u: NodeId) {
+        let seeds: Vec<StateId> = self.nfa.start_states(g.label(u)).to_vec();
+        if seeds.is_empty() {
+            return;
+        }
+        let mut queue: VecDeque<(NodeId, StateId)> = VecDeque::new();
+        for s in seeds {
+            let key = MarkKey {
+                source: u,
+                node: u,
+                state: s,
+            };
+            if self.marks.get(key).is_none() {
+                self.create_mark(key, 0, Vec::new());
+                queue.push_back((u, s));
+            }
+        }
+        while let Some((x, s)) = queue.pop_front() {
+            self.work.nodes_visited += 1;
+            let d = self.marks.dist(MarkKey {
+                source: u,
+                node: x,
+                state: s,
+            });
+            for &y in g.successors(x) {
+                let ly = g.label(y);
+                for &t in self.nfa.next(s, ly).to_vec().iter() {
+                    self.work.edges_traversed += 1;
+                    let key = MarkKey {
+                        source: u,
+                        node: y,
+                        state: t,
+                    };
+                    match self.marks.get_mut(key) {
+                        None => {
+                            self.create_mark(key, d + 1, vec![(x, s)]);
+                            queue.push_back((y, t));
+                        }
+                        Some(e) if e.dist == d + 1 => {
+                            if !e.mpre.contains(&(x, s)) {
+                                e.mpre.push((x, s));
+                            }
+                        }
+                        Some(_) => {}
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Answer bookkeeping
+    // ------------------------------------------------------------------
+
+    /// Create a marking, maintaining the accepting-state counters and the
+    /// answer set.
+    fn create_mark(&mut self, key: MarkKey, dist: u32, mpre: Vec<(NodeId, StateId)>) {
+        debug_assert!(self.marks.get(key).is_none());
+        self.marks.set(key, MarkEntry { dist, mpre });
+        self.work.aux_touched += 1;
+        // A created marking is part of AFF: it is data RPQ_NFA inspects on
+        // G⊕ΔG that it did not inspect on G. (apply() resets the metrics,
+        // so construction-time increments are discarded.)
+        self.metrics.affected += 1;
+        if self.nfa.is_accepting(key.state) {
+            let pair = (key.source, key.node);
+            let c = self.acc_count.entry(pair).or_insert(0);
+            *c += 1;
+            if *c == 1 && self.answer.insert(pair) {
+                self.metrics.output_changes += 1;
+            }
+        }
+    }
+
+    /// Remove a marking, maintaining counters and the answer set.
+    fn remove_mark(&mut self, key: MarkKey) {
+        if self.marks.remove(key).is_none() {
+            return;
+        }
+        self.work.aux_touched += 1;
+        if self.nfa.is_accepting(key.state) {
+            let pair = (key.source, key.node);
+            let c = self.acc_count.get_mut(&pair).expect("counted at creation");
+            *c -= 1;
+            if *c == 0 {
+                self.acc_count.remove(&pair);
+                self.answer.remove(&pair);
+                self.metrics.output_changes += 1;
+            }
+        }
+    }
+
+    /// A seed marking `(u, u, s)` exists independently of any edge.
+    fn is_seed(&self, g: &DynamicGraph, key: MarkKey) -> bool {
+        key.node == key.source && self.nfa.start_states(g.label(key.source)).contains(&key.state)
+    }
+
+    // ------------------------------------------------------------------
+    // Incremental phases
+    // ------------------------------------------------------------------
+
+    /// Phase 1 — identAff: remove deleted/invalidated predecessors from
+    /// `mpre` sets; entries whose `mpre` empties are affected, and the
+    /// invalidation cascades along the product graph.
+    fn ident_aff(
+        &mut self,
+        g: &DynamicGraph,
+        deletions: &[(NodeId, NodeId)],
+    ) -> Vec<MarkKey> {
+        let mut affected: FxHashSet<MarkKey> = FxHashSet::default();
+        let mut order: Vec<MarkKey> = Vec::new();
+        let mut stack: Vec<MarkKey> = Vec::new();
+
+        let flag = |key: MarkKey,
+                        affected: &mut FxHashSet<MarkKey>,
+                        order: &mut Vec<MarkKey>,
+                        stack: &mut Vec<MarkKey>| {
+            if affected.insert(key) {
+                order.push(key);
+                stack.push(key);
+            }
+        };
+
+        for &(v, w) in deletions {
+            if !g.contains_node(v) || !g.contains_node(w) {
+                continue;
+            }
+            if v.index() >= self.marks.node_count() || self.marks.none_at_node(v) {
+                continue;
+            }
+            let lw = g.label(w);
+            for (u, s_prime) in self.marks.keys_at_node(v) {
+                for &t in self.nfa.next(s_prime, lw).to_vec().iter() {
+                    self.work.aux_touched += 1;
+                    let key_w = MarkKey {
+                        source: u,
+                        node: w,
+                        state: t,
+                    };
+                    if affected.contains(&key_w) {
+                        continue;
+                    }
+                    let is_seed = self.is_seed(g, key_w);
+                    if let Some(e) = self.marks.get_mut(key_w) {
+                        e.mpre.retain(|&p| p != (v, s_prime));
+                        if e.mpre.is_empty() && !is_seed {
+                            flag(key_w, &mut affected, &mut order, &mut stack);
+                        }
+                    }
+                }
+            }
+        }
+
+        while let Some(key) = stack.pop() {
+            self.work.nodes_visited += 1;
+            let x = key.node;
+            let succs: Vec<NodeId> = g.successors(x).to_vec();
+            for y in succs {
+                let ly = g.label(y);
+                for &t in self.nfa.next(key.state, ly).to_vec().iter() {
+                    self.work.edges_traversed += 1;
+                    let key_y = MarkKey {
+                        source: key.source,
+                        node: y,
+                        state: t,
+                    };
+                    if affected.contains(&key_y) {
+                        continue;
+                    }
+                    let is_seed = self.is_seed(g, key_y);
+                    if let Some(e) = self.marks.get_mut(key_y) {
+                        e.mpre.retain(|&p| p != (x, key.state));
+                        if e.mpre.is_empty() && !is_seed {
+                            flag(key_y, &mut affected, &mut order, &mut stack);
+                        }
+                    }
+                }
+            }
+        }
+        order
+    }
+
+    /// Phase 2 — tentative distances for affected markings from their
+    /// unaffected predecessors (scanning in-neighbours through the inverse
+    /// transition table; see module docs for the `cpre` deviation).
+    fn compute_potentials(
+        &mut self,
+        g: &DynamicGraph,
+        affected: &[MarkKey],
+        affected_set: &FxHashSet<MarkKey>,
+        heap: &mut BinaryHeap<Reverse<(u32, MarkKey)>>,
+    ) {
+        for &key in affected {
+            let lx = g.label(key.node);
+            let mut best = INF_DIST;
+            let mut mpre: Vec<(NodeId, StateId)> = Vec::new();
+            if let Some(states) = self.rev.get(&(lx, key.state)) {
+                let states = states.clone();
+                for &p in g.predecessors(key.node) {
+                    self.work.edges_traversed += 1;
+                    for &s_prime in &states {
+                        let key_p = MarkKey {
+                            source: key.source,
+                            node: p,
+                            state: s_prime,
+                        };
+                        if affected_set.contains(&key_p) {
+                            continue;
+                        }
+                        if let Some(e) = self.marks.get(key_p) {
+                            let cand = e.dist.saturating_add(1);
+                            if cand < best {
+                                best = cand;
+                                mpre.clear();
+                                mpre.push((p, s_prime));
+                            } else if cand == best && !mpre.contains(&(p, s_prime)) {
+                                mpre.push((p, s_prime));
+                            }
+                        }
+                    }
+                }
+            }
+            let e = self.marks.get_mut(key).expect("affected marks persist");
+            e.dist = best;
+            e.mpre = mpre;
+            self.work.aux_touched += 1;
+            if best != INF_DIST {
+                heap.push(Reverse((best, key)));
+                self.work.queue_ops += 1;
+            }
+        }
+    }
+
+    /// Phase 3 — insertion seeding from unaffected source markings.
+    fn seed_insertions(
+        &mut self,
+        g: &DynamicGraph,
+        insertions: &[(NodeId, NodeId)],
+        affected_set: &FxHashSet<MarkKey>,
+        heap: &mut BinaryHeap<Reverse<(u32, MarkKey)>>,
+    ) {
+        for &(v, w) in insertions {
+            if self.marks.none_at_node(v) {
+                continue;
+            }
+            let lw = g.label(w);
+            for (u, s_prime) in self.marks.keys_at_node(v) {
+                let key_v = MarkKey {
+                    source: u,
+                    node: v,
+                    state: s_prime,
+                };
+                if affected_set.contains(&key_v) {
+                    continue; // covered when key_v settles
+                }
+                let dv = self.marks.dist(key_v);
+                for &t in self.nfa.next(s_prime, lw).to_vec().iter() {
+                    self.work.aux_touched += 1;
+                    let key_w = MarkKey {
+                        source: u,
+                        node: w,
+                        state: t,
+                    };
+                    let cand = dv + 1;
+                    self.relax(key_w, cand, (v, s_prime), heap);
+                }
+            }
+        }
+    }
+
+    /// Offer `key` the distance `cand` through predecessor `pre`.
+    fn relax(
+        &mut self,
+        key: MarkKey,
+        cand: u32,
+        pre: (NodeId, StateId),
+        heap: &mut BinaryHeap<Reverse<(u32, MarkKey)>>,
+    ) {
+        match self.marks.get_mut(key) {
+            None => {
+                self.create_mark(key, cand, vec![pre]);
+                heap.push(Reverse((cand, key)));
+                self.work.queue_ops += 1;
+            }
+            Some(e) if cand < e.dist => {
+                e.dist = cand;
+                e.mpre.clear();
+                e.mpre.push(pre);
+                self.work.aux_touched += 1;
+                self.metrics.affected += 1;
+                heap.push(Reverse((cand, key)));
+                self.work.queue_ops += 1;
+            }
+            Some(e) if cand == e.dist => {
+                if !e.mpre.contains(&pre) {
+                    e.mpre.push(pre);
+                }
+            }
+            Some(_) => {}
+        }
+    }
+
+    /// Phase 4 — settle exact distances smallest-first, relaxing product
+    /// successors through the (post-update) graph.
+    fn settle(&mut self, g: &DynamicGraph, heap: &mut BinaryHeap<Reverse<(u32, MarkKey)>>) {
+        while let Some(Reverse((d, key))) = heap.pop() {
+            self.work.queue_ops += 1;
+            if self.marks.dist(key) != d {
+                continue; // stale
+            }
+            self.work.nodes_visited += 1;
+            let succs: Vec<NodeId> = g.successors(key.node).to_vec();
+            for y in succs {
+                let ly = g.label(y);
+                for &t in self.nfa.next(key.state, ly).to_vec().iter() {
+                    self.work.edges_traversed += 1;
+                    let key_y = MarkKey {
+                        source: key.source,
+                        node: y,
+                        state: t,
+                    };
+                    self.relax(key_y, d + 1, (key.node, key.state), heap);
+                }
+            }
+        }
+    }
+}
+
+impl IncrementalAlgorithm for IncRpq {
+    fn apply(&mut self, g: &DynamicGraph, delta: &UpdateBatch) {
+        self.metrics = ChangeMetrics {
+            input_updates: delta.len() as u64,
+            ..Default::default()
+        };
+        // New nodes: create their seed markings.
+        let old_nodes = self.marks.node_count();
+        self.marks.grow(g.node_count());
+        for i in old_nodes..g.node_count() {
+            let u = NodeId::from_index(i);
+            let seeds: Vec<StateId> = self.nfa.start_states(g.label(u)).to_vec();
+            for s in seeds {
+                self.create_mark(
+                    MarkKey {
+                        source: u,
+                        node: u,
+                        state: s,
+                    },
+                    0,
+                    Vec::new(),
+                );
+            }
+        }
+
+        let (deletions, insertions) = delta.split_edges();
+        let affected = self.ident_aff(g, &deletions);
+        let affected_set: FxHashSet<MarkKey> = affected.iter().copied().collect();
+        self.metrics.affected += affected.len() as u64;
+
+        let mut heap: BinaryHeap<Reverse<(u32, MarkKey)>> = BinaryHeap::new();
+        self.compute_potentials(g, &affected, &affected_set, &mut heap);
+        self.seed_insertions(g, &insertions, &affected_set, &mut heap);
+        self.settle(g, &mut heap);
+
+        // Phase 5 — unreachable affected markings disappear.
+        for key in affected {
+            if self.marks.dist(key) == INF_DIST {
+                self.remove_mark(key);
+            }
+        }
+    }
+
+    fn work(&self) -> WorkStats {
+        self.work
+    }
+
+    fn reset_work(&mut self) {
+        self.work.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igc_graph::graph::graph_from;
+    use igc_graph::{LabelInterner, Update};
+
+    fn setup(expr: &str, labels: &[&str], edges: &[(u32, u32)]) -> (DynamicGraph, IncRpq, Regex) {
+        let mut it = LabelInterner::new();
+        let ids: Vec<u32> = labels.iter().map(|l| it.intern(l).0).collect();
+        let g = graph_from(&ids, edges);
+        let q = Regex::parse(expr, &mut it).unwrap();
+        let inc = IncRpq::new(&g, &q);
+        (g, inc, q)
+    }
+
+    /// Oracle: answer equals a marking-free batch run; markings equal a
+    /// fresh instrumented construction.
+    fn assert_matches_batch(inc: &IncRpq, g: &DynamicGraph) {
+        let mut w = WorkStats::new();
+        let fresh_answer = batch::evaluate(g, inc.nfa(), &mut w);
+        assert_eq!(
+            inc.sorted_answer(),
+            batch::sorted_answer(&fresh_answer),
+            "answer diverged from batch RPQ_NFA"
+        );
+        let fresh = IncRpq::with_nfa(g, inc.nfa().clone());
+        assert_eq!(
+            inc.marking_signature(),
+            fresh.marking_signature(),
+            "markings diverged from a fresh construction"
+        );
+    }
+
+    #[test]
+    fn example4_construction() {
+        // c1=0 b1=1 a1=2 c2=3 b3=4 a2=5; Q = c·(b·a+c)*·c
+        let (g, inc, _) = setup(
+            "c.(b.a+c)*.c",
+            &["c", "b", "a", "c", "b", "a"],
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 3)],
+        );
+        assert_eq!(
+            inc.sorted_answer(),
+            vec![(NodeId(0), NodeId(3)), (NodeId(3), NodeId(3))]
+        );
+        assert_matches_batch(&inc, &g);
+    }
+
+    #[test]
+    fn example5_deletion_and_insertion_interleaved() {
+        // Delete the b3-route and insert an alternative in one batch; the
+        // (c2, c2) match must survive through the new path — the paper's
+        // Example 5 behaviour.
+        let (mut g, mut inc, _) = setup(
+            "c.(b.a+c)*.c",
+            // c1 b1 a1 c2 b3 a2 + spare b2(6) a3(7)
+            &["c", "b", "a", "c", "b", "a", "b", "a"],
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 3)],
+        );
+        assert!(inc.contains_pair(NodeId(3), NodeId(3)));
+        let delta = UpdateBatch::from_updates(vec![
+            Update::delete(NodeId(3), NodeId(4)), // cut c2→b3
+            Update::insert(NodeId(3), NodeId(6)), // c2→b2
+            Update::insert(NodeId(6), NodeId(7)), // b2→a3
+            Update::insert(NodeId(7), NodeId(3)), // a3→c2
+        ]);
+        g.apply_batch(&delta);
+        inc.apply(&g, &delta);
+        assert!(inc.contains_pair(NodeId(3), NodeId(3)));
+        assert!(inc.contains_pair(NodeId(0), NodeId(3)));
+        assert_matches_batch(&inc, &g);
+    }
+
+    #[test]
+    fn deletion_removes_match() {
+        let (mut g, mut inc, _) = setup("a.b", &["a", "b"], &[(0, 1)]);
+        assert!(inc.contains_pair(NodeId(0), NodeId(1)));
+        g.delete_edge(NodeId(0), NodeId(1));
+        inc.apply(
+            &g,
+            &UpdateBatch::from_updates(vec![Update::delete(NodeId(0), NodeId(1))]),
+        );
+        assert!(!inc.contains_pair(NodeId(0), NodeId(1)));
+        assert_eq!(inc.answer().len(), 0);
+        assert_matches_batch(&inc, &g);
+    }
+
+    #[test]
+    fn deletion_with_alternative_path_keeps_match() {
+        // two disjoint a→b edges from the same source via different walks:
+        // a(0) → b(1) and a(0) → b(2); query a.b
+        let (mut g, mut inc, _) = setup("a.b", &["a", "b", "b"], &[(0, 1), (0, 2)]);
+        g.delete_edge(NodeId(0), NodeId(1));
+        inc.apply(
+            &g,
+            &UpdateBatch::from_updates(vec![Update::delete(NodeId(0), NodeId(1))]),
+        );
+        assert!(!inc.contains_pair(NodeId(0), NodeId(1)));
+        assert!(inc.contains_pair(NodeId(0), NodeId(2)));
+        assert_matches_batch(&inc, &g);
+    }
+
+    #[test]
+    fn insertion_creates_match_through_star() {
+        let (mut g, mut inc, _) = setup("a.b*.c", &["a", "b", "b", "c"], &[(0, 1), (2, 3)]);
+        assert!(inc.answer().is_empty());
+        g.insert_edge(NodeId(1), NodeId(2));
+        inc.apply(
+            &g,
+            &UpdateBatch::from_updates(vec![Update::insert(NodeId(1), NodeId(2))]),
+        );
+        assert!(inc.contains_pair(NodeId(0), NodeId(3)));
+        assert_matches_batch(&inc, &g);
+    }
+
+    #[test]
+    fn deletion_inside_cycle_keeps_reachability_via_longer_path() {
+        // 3-cycle of a's, query a·a*: deleting one edge keeps some pairs.
+        let (mut g, mut inc, _) = setup("a.a*", &["a", "a", "a"], &[(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(inc.answer().len(), 9);
+        g.delete_edge(NodeId(2), NodeId(0));
+        inc.apply(
+            &g,
+            &UpdateBatch::from_updates(vec![Update::delete(NodeId(2), NodeId(0))]),
+        );
+        // Remaining: path 0→1→2 gives (0,0),(0,1),(0,2),(1,1),(1,2),(2,2)
+        assert_eq!(inc.answer().len(), 6);
+        assert_matches_batch(&inc, &g);
+    }
+
+    #[test]
+    fn new_node_with_seed_match() {
+        // Query "a": a single a-labelled node matches itself on creation.
+        let (mut g, mut inc, _) = setup("a", &["b"], &[]);
+        assert!(inc.answer().is_empty());
+        // Interner order in setup(): "b" = Label(0) (node labels first),
+        // then the query's "a" = Label(1).
+        let delta = UpdateBatch::from_updates(vec![Update::insert_labeled(
+            NodeId(0),
+            NodeId(1),
+            None,
+            Some(igc_graph::Label(1)),
+        )]);
+        g.apply_batch(&delta);
+        inc.apply(&g, &delta);
+        assert!(inc.contains_pair(NodeId(1), NodeId(1)));
+        assert_matches_batch(&inc, &g);
+    }
+
+    #[test]
+    fn self_loop_and_star() {
+        let (mut g, mut inc, _) = setup("a.a*", &["a"], &[]);
+        assert_eq!(inc.answer().len(), 1); // (0,0) via the single symbol
+        g.insert_edge(NodeId(0), NodeId(0));
+        inc.apply(
+            &g,
+            &UpdateBatch::from_updates(vec![Update::insert(NodeId(0), NodeId(0))]),
+        );
+        assert_eq!(inc.answer().len(), 1);
+        assert_matches_batch(&inc, &g);
+    }
+
+    #[test]
+    fn randomized_batches_match_batch_algorithm() {
+        use igc_graph::generator::{random_update_batch, uniform_graph};
+        for seed in 0..6 {
+            let mut g = uniform_graph(30, 90, 3, seed);
+            let mut it = LabelInterner::new();
+            // Labels are numeric strings "0".."2" — intern to ids 0..2 to
+            // align with the generator's label ids.
+            let q = Regex::parse("l0.(l1+l2)*.l2", &mut it).unwrap();
+            // Interner ids follow first-use order: l0→0, l1→1, l2→2 ✓
+            let mut inc = IncRpq::new(&g, &q);
+            assert_matches_batch(&inc, &g);
+            for round in 0..3 {
+                let delta = random_update_batch(&g, 10, 0.5, seed * 7 + round);
+                g.apply_batch(&delta);
+                inc.apply(&g, &delta);
+                assert_matches_batch(&inc, &g);
+            }
+        }
+    }
+
+    #[test]
+    fn randomized_unit_updates_match_batch_algorithm() {
+        use igc_core::incremental::apply_one_by_one;
+        use igc_graph::generator::{random_update_batch, uniform_graph};
+        for seed in 10..14 {
+            let mut g = uniform_graph(25, 60, 3, seed);
+            let mut it = LabelInterner::new();
+            let q = Regex::parse("l0.l1*.l2", &mut it).unwrap();
+            let mut inc = IncRpq::new(&g, &q);
+            let delta = random_update_batch(&g, 8, 0.5, seed);
+            apply_one_by_one(&mut inc, &mut g, &delta);
+            assert_matches_batch(&inc, &g);
+        }
+    }
+
+    #[test]
+    fn work_accumulates_and_resets() {
+        let (mut g, mut inc, _) = setup("a.b", &["a", "b", "b"], &[(0, 1)]);
+        g.insert_edge(NodeId(0), NodeId(2));
+        inc.apply(
+            &g,
+            &UpdateBatch::from_updates(vec![Update::insert(NodeId(0), NodeId(2))]),
+        );
+        assert!(inc.work().total() > 0);
+        inc.reset_work();
+        assert_eq!(inc.work().total(), 0);
+    }
+}

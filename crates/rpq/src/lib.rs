@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! Regular path queries (RPQ) — Section 5.2 of the paper.
+//!
+//! A match of `Q` in `G` is a pair `(u, v)` such that some path from `u` to
+//! `v` spells a word of `L(Q)` in node labels (the label of `u` included).
+//! The incremental problem is **unbounded** (Theorem 1, by Δ-reduction from
+//! SSRP) but **relatively bounded** (Theorem 4): IncRPQ incrementalizes the
+//! batch algorithm `RPQ_NFA` with cost `O(|AFF| log |AFF|)` in the changes
+//! to the data that algorithm inspects — its product-graph markings.
+//!
+//! * [`batch`] — `RPQ_NFA`: translate `Q` to a small ε-free NFA, then
+//!   traverse the intersection (product) graph of `G` and `M_Q`,
+//! * [`marking`] — the auxiliary markings `pmarkᵉ` with `dist`/`mpre`,
+//! * [`inc`] — [`IncRpq`]: affected-marking identification (`identAff`),
+//!   potential recomputation, insertion seeding, and a shared
+//!   priority-queue settle phase mirroring the structure of `IncKWS`.
+
+pub mod batch;
+pub mod inc;
+pub mod marking;
+
+pub use inc::IncRpq;
+pub use marking::{MarkEntry, MarkKey, Markings};

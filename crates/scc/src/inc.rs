@@ -1,0 +1,862 @@
+//! IncSCC — the incremental SCC algorithm of Section 5.3, bounded relative
+//! to Tarjan.
+//!
+//! The auxiliary state is the condensation `Gc` with topological ranks, plus
+//! per-node `num`/`lowlink` values. Unit operations:
+//!
+//! * **Insertion** (`IncSCC⁺`, Fig. 7): intra-scc insertions change nothing
+//!   structurally; inter-scc insertions that respect the rank order only
+//!   bump an edge counter; order-violating insertions trigger a
+//!   bidirectional bounded search (`DFSf`/`DFSb`) over `Gc`, a cycle check by
+//!   Tarjan on the affected region, component merging, and `reallocRank`.
+//! * **Deletion** (`IncSCC⁻`): inter-scc deletions decrement a counter;
+//!   intra-scc deletions first check whether the source still reaches the
+//!   target inside the component (output unchanged), and otherwise re-run
+//!   Tarjan restricted to the old component, splitting it and slotting the
+//!   sub-components' ranks into the gap left by the old rank.
+//! * **Batch** (`IncSCC`): updates are grouped — all intra updates of one
+//!   scc are handled by at most one restricted Tarjan run, and inter
+//!   updates are applied to `Gc` together — which is the optimisation the
+//!   paper credits for the gap between `IncSCC` and `IncSCCⁿ`.
+//!
+//! Deviation noted in DESIGN.md: `num`/`lowlink` are refreshed when a
+//! component's structure changes (split/merge) rather than eagerly on every
+//! intact update; reachability checks use a bounded search inside the
+//! component instead of the full-version `chkReach` propagation (the paper
+//! defers those details to its full version).
+
+use crate::condensation::{Condensation, SccId, RANK_GAP};
+use crate::tarjan::{tarjan, tarjan_restricted};
+use igc_core::work::{ChangeMetrics, WorkStats};
+use igc_core::IncrementalAlgorithm;
+use igc_graph::graph::Edge;
+use igc_graph::{DynamicGraph, FxHashMap, FxHashSet, Label, NodeId, UpdateBatch};
+
+/// Maintained strongly connected components (the answer `SCC(G)`), with the
+/// paper's auxiliary structures.
+#[derive(Debug, Clone)]
+pub struct IncScc {
+    cond: Condensation,
+    /// Per-node DFS number (component-local; refreshed on structure change).
+    num: Vec<u32>,
+    /// Per-node lowlink (component-local).
+    lowlink: Vec<u32>,
+    work: WorkStats,
+    metrics: ChangeMetrics,
+}
+
+impl IncScc {
+    /// Run Tarjan once on `g` and set up the condensation, ranks and
+    /// `num`/`lowlink` — the batch phase of the incrementalization.
+    pub fn new(g: &DynamicGraph) -> Self {
+        let r = tarjan(g);
+        let mut cond = Condensation::new();
+        // Emission order is reverse topological: emission index works as a
+        // rank (sinks lowest), gapped for later splits.
+        let mut ids: Vec<SccId> = Vec::with_capacity(r.components.len());
+        for (i, comp) in r.components.iter().enumerate() {
+            let id = cond.create_scc(comp.clone(), (i as u64 + 1) * RANK_GAP);
+            ids.push(id);
+        }
+        for (u, v) in g.edges() {
+            let a = cond.scc_of(u);
+            let b = cond.scc_of(v);
+            if a != b {
+                cond.add_edge(a, b);
+            }
+        }
+        IncScc {
+            cond,
+            num: r.num,
+            lowlink: r.lowlink,
+            work: WorkStats::new(),
+            metrics: ChangeMetrics::default(),
+        }
+    }
+
+    /// The answer in canonical form (sorted members, sorted component list).
+    pub fn components(&self) -> Vec<Vec<NodeId>> {
+        self.cond.canonical_components()
+    }
+
+    /// Number of strongly connected components.
+    pub fn scc_count(&self) -> usize {
+        self.cond.scc_count()
+    }
+
+    /// The scc id of `v`.
+    pub fn scc_of(&self, v: NodeId) -> SccId {
+        self.cond.scc_of(v)
+    }
+
+    /// True when `u` and `v` are strongly connected.
+    pub fn same_scc(&self, u: NodeId, v: NodeId) -> bool {
+        self.cond.scc_of(u) == self.cond.scc_of(v)
+    }
+
+    /// The topological rank of an scc (decreasing along condensation edges).
+    pub fn rank(&self, id: SccId) -> u64 {
+        self.cond.rank(id)
+    }
+
+    /// `v.num` (component-local DFS order; see module deviation note).
+    pub fn num(&self, v: NodeId) -> u32 {
+        self.num[v.index()]
+    }
+
+    /// `v.lowlink` (component-local).
+    pub fn lowlink(&self, v: NodeId) -> u32 {
+        self.lowlink[v.index()]
+    }
+
+    /// Direct access to the condensation (read-only).
+    pub fn condensation(&self) -> &Condensation {
+        &self.cond
+    }
+
+    /// Change metrics of the most recent [`IncrementalAlgorithm::apply`].
+    pub fn last_metrics(&self) -> ChangeMetrics {
+        self.metrics
+    }
+
+    /// Unit insertion convenience (`IncSCC⁺`); `g` must already contain the
+    /// edge.
+    pub fn insert_edge(&mut self, g: &DynamicGraph, v: NodeId, w: NodeId) {
+        let batch = UpdateBatch::from_updates(vec![igc_graph::Update::insert(v, w)]);
+        self.apply(g, &batch);
+    }
+
+    /// Unit deletion convenience (`IncSCC⁻`); `g` must already lack the edge.
+    pub fn delete_edge(&mut self, g: &DynamicGraph, v: NodeId, w: NodeId) {
+        let batch = UpdateBatch::from_updates(vec![igc_graph::Update::delete(v, w)]);
+        self.apply(g, &batch);
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    /// Track nodes created by the batch as fresh singleton sccs.
+    fn ensure_nodes(&mut self, g: &DynamicGraph) {
+        while self.num.len() < g.node_count() {
+            let v = NodeId::from_index(self.num.len());
+            self.num.push(0);
+            self.lowlink.push(0);
+            let rank = self.cond.fresh_top_rank();
+            self.cond.create_scc(vec![v], rank);
+            self.metrics.output_changes += 1;
+            self.work.aux_touched += 1;
+        }
+    }
+
+    /// Quick intact-check for a single intra deletion: does `v` still reach
+    /// `w` inside the component (post-deletion graph)? Bidirectional BFS —
+    /// forward from `v`, backward from `w`, expanding the smaller frontier —
+    /// so the typical cost is around the square root of the component size
+    /// rather than the whole component.
+    fn still_reaches_within(&mut self, g: &DynamicGraph, id: SccId, v: NodeId, w: NodeId) -> bool {
+        if v == w {
+            return true;
+        }
+        let mut fwd_seen: FxHashSet<NodeId> = FxHashSet::default();
+        let mut bwd_seen: FxHashSet<NodeId> = FxHashSet::default();
+        fwd_seen.insert(v);
+        bwd_seen.insert(w);
+        let mut fwd_frontier = vec![v];
+        let mut bwd_frontier = vec![w];
+        while !fwd_frontier.is_empty() && !bwd_frontier.is_empty() {
+            let forward = fwd_frontier.len() <= bwd_frontier.len();
+            let frontier = if forward {
+                std::mem::take(&mut fwd_frontier)
+            } else {
+                std::mem::take(&mut bwd_frontier)
+            };
+            let mut next = Vec::new();
+            for x in frontier {
+                self.work.nodes_visited += 1;
+                let nbrs = if forward {
+                    g.successors(x)
+                } else {
+                    g.predecessors(x)
+                };
+                for &y in nbrs {
+                    self.work.edges_traversed += 1;
+                    if self.cond.scc_of(y) != id {
+                        continue;
+                    }
+                    if forward {
+                        if bwd_seen.contains(&y) {
+                            return true;
+                        }
+                        if fwd_seen.insert(y) {
+                            next.push(y);
+                        }
+                    } else {
+                        if fwd_seen.contains(&y) {
+                            return true;
+                        }
+                        if bwd_seen.insert(y) {
+                            next.push(y);
+                        }
+                    }
+                }
+            }
+            if forward {
+                fwd_frontier = next;
+            } else {
+                bwd_frontier = next;
+            }
+        }
+        false
+    }
+
+    /// Re-run Tarjan restricted to the (post-update) members of `id`; if the
+    /// component stays whole, refresh `num`/`lowlink`; otherwise split it.
+    /// `pending_ins` are batch insertions not yet reflected in `Gc` — the
+    /// boundary rescan skips them so they are counted exactly once later.
+    fn recompute_component(
+        &mut self,
+        g: &DynamicGraph,
+        id: SccId,
+        pending_ins: &FxHashSet<Edge>,
+    ) {
+        let members: Vec<NodeId> = self.cond.members(id).to_vec();
+        let r = tarjan_restricted(g, &members);
+        self.work.nodes_visited += members.len() as u64;
+        for &v in &members {
+            self.num[v.index()] = r.num[&v];
+            self.lowlink[v.index()] = r.lowlink[&v];
+        }
+        self.work.aux_touched += members.len() as u64;
+        self.metrics.affected += members.len() as u64;
+        if r.components.len() == 1 {
+            return;
+        }
+        // --- Split: slot sub-component ranks into the free window around
+        // the old rank — bounded by the nearest *used* ranks (uniqueness)
+        // and by the old component's neighbours (rank invariant).
+        let k = r.components.len() as u64;
+        let (mut lo, mut step) = self.split_window(id, k);
+        if step == 0 {
+            self.work.aux_touched += self.cond.renumber_ranks() as u64;
+            (lo, step) = self.split_window(id, k);
+            assert!(step > 0, "rank window exhausted even after renumbering");
+        }
+        self.finish_split(g, id, r.components, lo, step, pending_ins);
+    }
+
+    /// The free rank window for splitting `id` into `k` parts: strictly
+    /// between the nearest used ranks around `rank(id)` (so fresh ranks
+    /// collide with nothing) and within the neighbour bounds (so the rank
+    /// invariant holds). Returns `(window_lo, step)`; `step == 0` means the
+    /// gap is exhausted and ranks must be renumbered first.
+    fn split_window(&self, id: SccId, k: u64) -> (u64, u64) {
+        let r_old = self.cond.rank(id);
+        let lo_edges = self
+            .cond
+            .out_edges(id)
+            .map(|(t, _)| self.cond.rank(t))
+            .max()
+            .unwrap_or(0);
+        let hi_edges = self
+            .cond
+            .in_edges(id)
+            .map(|(s, _)| self.cond.rank(s))
+            .min()
+            .unwrap_or(u64::MAX);
+        let lo = lo_edges.max(self.cond.rank_below(r_old).unwrap_or(0));
+        let hi = hi_edges.min(self.cond.rank_above(r_old).unwrap_or(u64::MAX));
+        debug_assert!(lo < r_old && r_old < hi);
+        (lo, (hi - lo) / (k + 1))
+    }
+
+    /// Dissolve `id` and create its sub-components with ranks
+    /// `lo + step·(i+1)` in emission (reverse topological) order, then
+    /// rebuild the condensation edges incident to the new components.
+    fn finish_split(
+        &mut self,
+        g: &DynamicGraph,
+        id: SccId,
+        comps: Vec<Vec<NodeId>>,
+        lo: u64,
+        step: u64,
+        pending_ins: &FxHashSet<Edge>,
+    ) {
+        self.metrics.output_changes += 1 + comps.len() as u64;
+        self.cond.dissolve(id);
+        let mut new_ids: FxHashSet<SccId> = FxHashSet::default();
+        for (i, comp) in comps.into_iter().enumerate() {
+            let rank = lo + step * (i as u64 + 1);
+            let nid = self.cond.create_scc(comp, rank);
+            new_ids.insert(nid);
+            self.work.aux_touched += 1;
+        }
+        // Rebuild incident condensation edges from the post-update graph:
+        // successors of members cover edges leaving the region and edges
+        // between sub-components; predecessors cover edges entering from
+        // outside (inside sources are covered by the successor scan).
+        for &nid in &new_ids {
+            let members: Vec<NodeId> = self.cond.members(nid).to_vec();
+            for x in members {
+                let cx = self.cond.scc_of(x);
+                let mut add: Vec<(SccId, SccId)> = Vec::new();
+                for &y in g.successors(x) {
+                    self.work.edges_traversed += 1;
+                    if pending_ins.contains(&(x, y)) {
+                        continue;
+                    }
+                    let cy = self.cond.scc_of(y);
+                    if cy != cx {
+                        add.push((cx, cy));
+                    }
+                }
+                for &z in g.predecessors(x) {
+                    self.work.edges_traversed += 1;
+                    if pending_ins.contains(&(z, x)) {
+                        continue;
+                    }
+                    let cz = self.cond.scc_of(z);
+                    if cz != cx && !new_ids.contains(&cz) {
+                        add.push((cz, cx));
+                    }
+                }
+                for (a, b) in add {
+                    self.cond.add_edge(a, b);
+                }
+            }
+        }
+        debug_assert_eq!(self.cond.check_invariants(), Ok(()));
+    }
+
+    /// `IncSCC⁺` inter-component case: the inserted condensation edge
+    /// `(a, b)` violates the rank order. Bidirectional bounded search, cycle
+    /// check, merge, `reallocRank`.
+    fn reorder_or_merge(&mut self, g: &DynamicGraph, a: SccId, b: SccId) {
+        let ra = self.cond.rank(a);
+        let rb = self.cond.rank(b);
+        debug_assert!(ra < rb);
+
+        // affr: forward from b, ranks strictly above r(a).
+        let affr = self.bounded_search(b, |r| r > ra, true);
+        // affl: backward from a, ranks strictly below r(b).
+        let affl = self.bounded_search(a, |r| r < rb, false);
+
+        // Region and pool of old ranks.
+        let mut region: Vec<SccId> = Vec::with_capacity(affr.len() + affl.len());
+        let mut in_region: FxHashMap<SccId, u32> = FxHashMap::default();
+        for &x in affr.iter().chain(affl.iter()) {
+            if let std::collections::hash_map::Entry::Vacant(e) = in_region.entry(x) {
+                e.insert(region.len() as u32);
+                region.push(x);
+            }
+        }
+        let mut pool: Vec<u64> = region.iter().map(|x| self.cond.rank(*x)).collect();
+        pool.sort_unstable();
+        self.work.queue_ops += pool.len() as u64;
+
+        // Cycle check: Tarjan over the region sub-condensation + new edge.
+        let mut sub = DynamicGraph::with_capacity(region.len(), region.len() * 2);
+        for _ in &region {
+            sub.add_node(Label(0));
+        }
+        for (&x, &lx) in &in_region {
+            for (t, _) in self.cond.out_edges(x) {
+                if let Some(&lt) = in_region.get(&t) {
+                    sub.insert_edge(NodeId(lx), NodeId(lt));
+                }
+            }
+        }
+        sub.insert_edge(NodeId(in_region[&a]), NodeId(in_region[&b]));
+        let sr = tarjan(&sub);
+        self.work.nodes_visited += region.len() as u64;
+
+        let cycles: Vec<Vec<SccId>> = sr
+            .components
+            .iter()
+            .filter(|c| c.len() > 1)
+            .map(|c| c.iter().map(|l| region[l.index()]).collect())
+            .collect();
+        assert!(
+            cycles.len() <= 1,
+            "a single insertion closes at most one cycle in an acyclic Gc"
+        );
+
+        let merged_set: FxHashSet<SccId> = cycles.first().into_iter().flatten().copied().collect();
+
+        // Merge the cycle (if any) into a fresh component.
+        let merged_id = if let Some(cycle) = cycles.first() {
+            let mut ext_out: FxHashMap<SccId, u32> = FxHashMap::default();
+            let mut ext_in: FxHashMap<SccId, u32> = FxHashMap::default();
+            let mut all_nodes: Vec<NodeId> = Vec::new();
+            for &x in cycle {
+                for (t, c) in self.cond.out_edges(x) {
+                    if !merged_set.contains(&t) {
+                        *ext_out.entry(t).or_insert(0) += c;
+                    }
+                }
+                for (s, c) in self.cond.in_edges(x) {
+                    if !merged_set.contains(&s) {
+                        *ext_in.entry(s).or_insert(0) += c;
+                    }
+                }
+            }
+            for &x in cycle {
+                all_nodes.extend(self.cond.dissolve(x));
+            }
+            self.metrics.output_changes += 1 + cycle.len() as u64;
+            // Rank is assigned below by reallocation; placeholder for now.
+            let nid = self.cond.create_scc(all_nodes, 0);
+            for (t, c) in ext_out {
+                self.cond.add_edge_count(nid, t, c);
+            }
+            for (s, c) in ext_in {
+                self.cond.add_edge_count(s, nid, c);
+            }
+            // Refresh num/lowlink on the merged component.
+            let members: Vec<NodeId> = self.cond.members(nid).to_vec();
+            let r = tarjan_restricted(g, &members);
+            debug_assert_eq!(r.components.len(), 1, "merged region must be one scc");
+            for &v in &members {
+                self.num[v.index()] = r.num[&v];
+                self.lowlink[v.index()] = r.lowlink[&v];
+            }
+            self.work.aux_touched += members.len() as u64;
+            self.metrics.affected += members.len() as u64;
+            Some(nid)
+        } else {
+            None
+        };
+
+        // reallocRank: ascending pool; first the forward region (lowest
+        // ranks), then the merged component, then the backward region —
+        // each pure region keeps its internal old-rank order. Two phases:
+        // release every affected rank, then reassign from the pool, so the
+        // permutation never trips the global-uniqueness guard.
+        let mut pure_affr: Vec<SccId> = affr
+            .iter()
+            .copied()
+            .filter(|x| !merged_set.contains(x))
+            .collect();
+        let mut pure_affl: Vec<SccId> = affl
+            .iter()
+            .copied()
+            .filter(|x| !merged_set.contains(x))
+            .collect();
+        // (affl ∩ affr ⊆ merged cycle, so the pure regions are disjoint.)
+        pure_affr.sort_unstable_by_key(|x| self.cond.rank(*x));
+        pure_affl.sort_unstable_by_key(|x| self.cond.rank(*x));
+        for &x in pure_affr.iter().chain(pure_affl.iter()) {
+            self.cond.take_rank(x);
+        }
+        for (i, &x) in pure_affr.iter().enumerate() {
+            self.cond.set_rank(x, pool[i]);
+            self.work.aux_touched += 1;
+            self.metrics.affected += 1;
+        }
+        if let Some(nid) = merged_id {
+            self.cond.set_rank(nid, pool[pure_affr.len()]);
+            self.work.aux_touched += 1;
+        }
+        let base = pool.len() - pure_affl.len();
+        for (j, &x) in pure_affl.iter().enumerate() {
+            self.cond.set_rank(x, pool[base + j]);
+            self.work.aux_touched += 1;
+            self.metrics.affected += 1;
+        }
+
+        // Finally record the inserted edge in Gc (unless it became internal).
+        let (na, nb) = (
+            merged_id.filter(|_| merged_set.contains(&a)).unwrap_or(a),
+            merged_id.filter(|_| merged_set.contains(&b)).unwrap_or(b),
+        );
+        if na != nb {
+            self.cond.add_edge(na, nb);
+        }
+        debug_assert_eq!(self.cond.check_invariants(), Ok(()));
+    }
+
+    /// DFS over `Gc` from `start` (forward or backward), visiting only nodes
+    /// whose rank satisfies `keep`. Returns the visited set including
+    /// `start`.
+    fn bounded_search(
+        &mut self,
+        start: SccId,
+        keep: impl Fn(u64) -> bool,
+        forward: bool,
+    ) -> Vec<SccId> {
+        let mut seen: FxHashSet<SccId> = FxHashSet::default();
+        let mut order = vec![start];
+        seen.insert(start);
+        let mut stack = vec![start];
+        while let Some(x) = stack.pop() {
+            self.work.nodes_visited += 1;
+            let neighbours: Vec<SccId> = if forward {
+                self.cond.out_edges(x).map(|(t, _)| t).collect()
+            } else {
+                self.cond.in_edges(x).map(|(s, _)| s).collect()
+            };
+            for t in neighbours {
+                self.work.edges_traversed += 1;
+                if keep(self.cond.rank(t)) && seen.insert(t) {
+                    order.push(t);
+                    stack.push(t);
+                }
+            }
+        }
+        order
+    }
+}
+
+impl IncrementalAlgorithm for IncScc {
+    fn apply(&mut self, g: &DynamicGraph, delta: &UpdateBatch) {
+        self.metrics = ChangeMetrics {
+            input_updates: delta.len() as u64,
+            ..Default::default()
+        };
+        self.ensure_nodes(g);
+
+        // Classify by the pre-batch component assignment.
+        let mut intra_del: FxHashMap<SccId, Vec<Edge>> = FxHashMap::default();
+        let mut intra_ins: FxHashMap<SccId, u32> = FxHashMap::default();
+        let mut inter_del: Vec<(SccId, SccId)> = Vec::new();
+        let mut pending_ins: Vec<Edge> = Vec::new();
+        for u in delta.iter() {
+            let (v, w) = u.edge();
+            let a = self.cond.scc_of(v);
+            let b = self.cond.scc_of(w);
+            if u.is_insert() {
+                if a == b {
+                    *intra_ins.entry(a).or_insert(0) += 1;
+                } else {
+                    pending_ins.push((v, w));
+                }
+            } else if a == b {
+                intra_del.entry(a).or_default().push((v, w));
+            } else {
+                inter_del.push((a, b));
+            }
+        }
+        let mut pending_set: FxHashSet<Edge> = pending_ins.iter().copied().collect();
+
+        // (1) Inter-component deletions: counters only; ranks stay valid.
+        for (a, b) in inter_del {
+            self.cond.remove_edge(a, b);
+            self.work.aux_touched += 1;
+        }
+
+        // (2) Intra-component groups: one restricted Tarjan per affected
+        // scc. A single deletion first gets the cheap reachability check;
+        // insertion-only groups cannot change the structure.
+        let mut touched: Vec<SccId> = intra_del.keys().copied().collect();
+        touched.sort_unstable();
+        for id in touched {
+            let dels = &intra_del[&id];
+            if dels.len() == 1 {
+                let (v, w) = dels[0];
+                if self.still_reaches_within(g, id, v, w) {
+                    continue; // component intact, output unchanged
+                }
+            }
+            self.recompute_component(g, id, &pending_set);
+        }
+        // Intra insertions into components untouched above: structure is
+        // unchanged; nothing to do (num/lowlink refresh is lazy, see module
+        // docs). Work is still accounted for the classification pass.
+        self.work.aux_touched += intra_ins.len() as u64;
+
+        // (3) Inter-component insertions, in batch order. Components may
+        // have been split or merged meanwhile, so re-resolve endpoints.
+        for (v, w) in pending_ins {
+            pending_set.remove(&(v, w));
+            let a = self.cond.scc_of(v);
+            let b = self.cond.scc_of(w);
+            if a == b {
+                continue; // became internal through an earlier merge
+            }
+            let ra = self.cond.rank(a);
+            let rb = self.cond.rank(b);
+            self.work.aux_touched += 1;
+            if ra > rb {
+                self.cond.add_edge(a, b);
+            } else {
+                self.reorder_or_merge(g, a, b);
+            }
+        }
+        debug_assert_eq!(self.cond.check_invariants(), Ok(()));
+    }
+
+    fn work(&self) -> WorkStats {
+        self.work
+    }
+
+    fn reset_work(&mut self) {
+        self.work.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igc_graph::graph::graph_from;
+    use igc_graph::Update;
+
+    fn assert_matches_batch(inc: &IncScc, g: &DynamicGraph) {
+        let batch = tarjan(g);
+        assert_eq!(inc.components(), batch.canonical(), "IncSCC diverged from Tarjan");
+        inc.cond.check_invariants().expect("invariants");
+    }
+
+    #[test]
+    fn construction_matches_tarjan() {
+        let g = graph_from(&[0; 6], &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 3)]);
+        let inc = IncScc::new(&g);
+        assert_matches_batch(&inc, &g);
+        assert_eq!(inc.scc_count(), 3);
+    }
+
+    #[test]
+    fn rank_invariant_on_construction() {
+        let g = graph_from(&[0; 5], &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let inc = IncScc::new(&g);
+        for v in g.nodes() {
+            for &w in g.successors(v) {
+                let (a, b) = (inc.scc_of(v), inc.scc_of(w));
+                if a != b {
+                    assert!(inc.rank(a) > inc.rank(b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn insert_respecting_order_is_counter_only() {
+        // 0→1: two singletons; adding 0→1 again via another node pair.
+        let mut g = graph_from(&[0; 3], &[(0, 1), (1, 2)]);
+        let mut inc = IncScc::new(&g);
+        g.insert_edge(NodeId(0), NodeId(2));
+        inc.insert_edge(&g, NodeId(0), NodeId(2));
+        assert_eq!(inc.scc_count(), 3);
+        assert_matches_batch(&inc, &g);
+    }
+
+    #[test]
+    fn insert_closing_two_cycle_merges() {
+        let mut g = graph_from(&[0; 2], &[(0, 1)]);
+        let mut inc = IncScc::new(&g);
+        g.insert_edge(NodeId(1), NodeId(0));
+        inc.insert_edge(&g, NodeId(1), NodeId(0));
+        assert_eq!(inc.scc_count(), 1);
+        assert!(inc.same_scc(NodeId(0), NodeId(1)));
+        assert_matches_batch(&inc, &g);
+    }
+
+    #[test]
+    fn insert_merging_long_chain() {
+        // Chain 0→1→…→5, then close 5→0: all merge into one scc.
+        let mut g = graph_from(&[0; 6], &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let mut inc = IncScc::new(&g);
+        g.insert_edge(NodeId(5), NodeId(0));
+        inc.insert_edge(&g, NodeId(5), NodeId(0));
+        assert_eq!(inc.scc_count(), 1);
+        assert_matches_batch(&inc, &g);
+    }
+
+    #[test]
+    fn paper_example7_merge_via_ranks() {
+        // Two 2-cycles A={0,1}, B={2,3} with A→B; insert B→A ⇒ merge all.
+        let mut g = graph_from(&[0; 4], &[(0, 1), (1, 0), (2, 3), (3, 2), (1, 2)]);
+        let mut inc = IncScc::new(&g);
+        assert_eq!(inc.scc_count(), 2);
+        g.insert_edge(NodeId(3), NodeId(0));
+        inc.insert_edge(&g, NodeId(3), NodeId(0));
+        assert_eq!(inc.scc_count(), 1);
+        assert_matches_batch(&inc, &g);
+    }
+
+    #[test]
+    fn reorder_without_merge_keeps_components() {
+        // a→b, c isolated between them in rank order; insert c→a forcing a
+        // reorder but no cycle.
+        let mut g = graph_from(&[0; 3], &[(0, 1)]);
+        let mut inc = IncScc::new(&g);
+        // Whatever the rank order, inserting 2→0 and then 1→2 forces at
+        // least one violating insertion without creating a cycle.
+        g.insert_edge(NodeId(2), NodeId(0));
+        inc.insert_edge(&g, NodeId(2), NodeId(0));
+        assert_matches_batch(&inc, &g);
+        g.insert_edge(NodeId(1), NodeId(2));
+        inc.insert_edge(&g, NodeId(1), NodeId(2));
+        // 0→1→2→0 is now a cycle through all three.
+        assert_eq!(inc.scc_count(), 1);
+        assert_matches_batch(&inc, &g);
+    }
+
+    #[test]
+    fn delete_inter_component_edge() {
+        let mut g = graph_from(&[0; 4], &[(0, 1), (1, 0), (2, 3), (3, 2), (1, 2)]);
+        let mut inc = IncScc::new(&g);
+        g.delete_edge(NodeId(1), NodeId(2));
+        inc.delete_edge(&g, NodeId(1), NodeId(2));
+        assert_eq!(inc.scc_count(), 2);
+        assert_matches_batch(&inc, &g);
+    }
+
+    #[test]
+    fn delete_intact_intra_edge() {
+        // Triangle plus chord: deleting the chord keeps the scc whole.
+        let mut g = graph_from(&[0; 3], &[(0, 1), (1, 2), (2, 0), (0, 2)]);
+        let mut inc = IncScc::new(&g);
+        g.delete_edge(NodeId(0), NodeId(2));
+        inc.delete_edge(&g, NodeId(0), NodeId(2));
+        assert_eq!(inc.scc_count(), 1);
+        assert_matches_batch(&inc, &g);
+    }
+
+    #[test]
+    fn delete_splitting_cycle() {
+        let mut g = graph_from(&[0; 4], &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let mut inc = IncScc::new(&g);
+        assert_eq!(inc.scc_count(), 1);
+        g.delete_edge(NodeId(2), NodeId(3));
+        inc.delete_edge(&g, NodeId(2), NodeId(3));
+        assert_eq!(inc.scc_count(), 4);
+        assert_matches_batch(&inc, &g);
+    }
+
+    #[test]
+    fn paper_example9_split_into_three() {
+        // An scc where deleting one frond splits it into three components:
+        // 0→1→2→0 and 1→3→1 share node 1; delete 2→0 ⇒ {0} {2} {1,3}.
+        let mut g = graph_from(&[0; 4], &[(0, 1), (1, 2), (2, 0), (1, 3), (3, 1)]);
+        let mut inc = IncScc::new(&g);
+        assert_eq!(inc.scc_count(), 1);
+        g.delete_edge(NodeId(2), NodeId(0));
+        inc.delete_edge(&g, NodeId(2), NodeId(0));
+        assert_eq!(inc.scc_count(), 3);
+        assert_matches_batch(&inc, &g);
+    }
+
+    #[test]
+    fn split_then_merge_round_trip() {
+        let mut g = graph_from(&[0; 4], &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let mut inc = IncScc::new(&g);
+        g.delete_edge(NodeId(1), NodeId(2));
+        inc.delete_edge(&g, NodeId(1), NodeId(2));
+        assert_eq!(inc.scc_count(), 4);
+        g.insert_edge(NodeId(1), NodeId(2));
+        inc.insert_edge(&g, NodeId(1), NodeId(2));
+        assert_eq!(inc.scc_count(), 1);
+        assert_matches_batch(&inc, &g);
+    }
+
+    #[test]
+    fn batch_mixed_updates_match_batch_run() {
+        let mut g = graph_from(
+            &[0; 6],
+            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)],
+        );
+        let mut inc = IncScc::new(&g);
+        let delta = UpdateBatch::from_updates(vec![
+            Update::delete(NodeId(2), NodeId(0)), // split first scc
+            Update::insert(NodeId(5), NodeId(0)), // link back
+            Update::insert(NodeId(0), NodeId(3)), // another inter edge
+            Update::delete(NodeId(4), NodeId(5)), // split second scc
+        ]);
+        g.apply_batch(&delta);
+        inc.apply(&g, &delta);
+        assert_matches_batch(&inc, &g);
+    }
+
+    #[test]
+    fn batch_with_new_nodes() {
+        let mut g = graph_from(&[0; 2], &[(0, 1)]);
+        let mut inc = IncScc::new(&g);
+        let delta = UpdateBatch::from_updates(vec![
+            Update::insert(NodeId(1), NodeId(3)),
+            Update::insert(NodeId(3), NodeId(0)),
+        ]);
+        g.apply_batch(&delta);
+        inc.apply(&g, &delta);
+        assert_eq!(g.node_count(), 4);
+        assert_matches_batch(&inc, &g);
+        // 0→1→3→0 is a cycle; node 2 is an isolated singleton.
+        assert_eq!(inc.scc_count(), 2);
+    }
+
+    #[test]
+    fn self_loop_insertion_is_intra() {
+        let mut g = graph_from(&[0; 2], &[(0, 1)]);
+        let mut inc = IncScc::new(&g);
+        g.insert_edge(NodeId(0), NodeId(0));
+        inc.insert_edge(&g, NodeId(0), NodeId(0));
+        assert_eq!(inc.scc_count(), 2);
+        assert_matches_batch(&inc, &g);
+    }
+
+    #[test]
+    fn work_counters_accumulate() {
+        let mut g = graph_from(&[0; 3], &[(0, 1), (1, 2)]);
+        let mut inc = IncScc::new(&g);
+        g.insert_edge(NodeId(2), NodeId(0));
+        inc.insert_edge(&g, NodeId(2), NodeId(0));
+        assert!(inc.work().total() > 0);
+        inc.reset_work();
+        assert_eq!(inc.work().total(), 0);
+    }
+
+    #[test]
+    fn randomized_against_tarjan() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for trial in 0..30 {
+            let n = 12usize;
+            let mut g = DynamicGraph::new();
+            for _ in 0..n {
+                g.add_node(Label(0));
+            }
+            let mut edges: Vec<Edge> = Vec::new();
+            for u in 0..n as u32 {
+                for v in 0..n as u32 {
+                    if u != v && rng.gen_bool(0.15) {
+                        g.insert_edge(NodeId(u), NodeId(v));
+                        edges.push((NodeId(u), NodeId(v)));
+                    }
+                }
+            }
+            let mut inc = IncScc::new(&g);
+            // Apply 3 random batches of mixed updates.
+            for round in 0..3 {
+                let mut ups = Vec::new();
+                let mut deleted: FxHashSet<Edge> = FxHashSet::default();
+                for _ in 0..4 {
+                    if rng.gen_bool(0.5) && !edges.is_empty() {
+                        let i = rng.gen_range(0..edges.len());
+                        let e = edges.swap_remove(i);
+                        if deleted.insert(e) {
+                            ups.push(Update::delete(e.0, e.1));
+                        }
+                    } else {
+                        let u = NodeId(rng.gen_range(0..n as u32));
+                        let v = NodeId(rng.gen_range(0..n as u32));
+                        if u != v && !g.contains_edge(u, v) && !deleted.contains(&(u, v)) {
+                            ups.push(Update::insert(u, v));
+                            edges.push((u, v));
+                        }
+                    }
+                }
+                let delta = UpdateBatch::from_updates(ups).normalized();
+                g.apply_batch(&delta);
+                inc.apply(&g, &delta);
+                let batch = tarjan(&g);
+                assert_eq!(
+                    inc.components(),
+                    batch.canonical(),
+                    "trial {trial} round {round} diverged"
+                );
+                // Keep `edges` consistent with the graph.
+                edges.retain(|e| g.contains_edge(e.0, e.1));
+            }
+        }
+    }
+}

@@ -1,0 +1,426 @@
+//! Tarjan's SCC algorithm [43], iterative, with the auxiliary values the
+//! paper's incrementalization maintains: `num` (DFS discovery order),
+//! `lowlink`, reverse-topological component emission order, and the DFS edge
+//! classification of Section 5.3 (tree arcs, fronds, reverse fronds,
+//! cross-links).
+
+use igc_graph::{DynamicGraph, FxHashMap, NodeId};
+
+/// Marker for "not yet visited" in `num`.
+pub const UNVISITED: u32 = u32::MAX;
+
+/// Result of a full Tarjan run.
+#[derive(Debug, Clone)]
+pub struct SccResult {
+    /// `comp_of[v]` — index into `components` for node `v`.
+    pub comp_of: Vec<u32>,
+    /// Components in emission order, which is *reverse topological* order of
+    /// the condensation: if scc `A` has an edge to scc `B`, then `B` is
+    /// emitted before `A`. (Tarjan pops a component only after everything it
+    /// can reach is popped.)
+    pub components: Vec<Vec<NodeId>>,
+    /// DFS discovery order `v.num`.
+    pub num: Vec<u32>,
+    /// `v.lowlink`: smallest `num` reachable via tree arcs plus at most one
+    /// frond/cross-link within the same scc.
+    pub lowlink: Vec<u32>,
+}
+
+impl SccResult {
+    /// Number of components.
+    pub fn component_count(&self) -> usize {
+        self.components.len()
+    }
+
+    /// True when `u` and `v` are strongly connected.
+    pub fn same_component(&self, u: NodeId, v: NodeId) -> bool {
+        self.comp_of[u.index()] == self.comp_of[v.index()]
+    }
+
+    /// Components with sorted members, sorted lexicographically — the
+    /// canonical form used to compare algorithms.
+    pub fn canonical(&self) -> Vec<Vec<NodeId>> {
+        let mut comps: Vec<Vec<NodeId>> = self
+            .components
+            .iter()
+            .map(|c| {
+                let mut c = c.clone();
+                c.sort_unstable();
+                c
+            })
+            .collect();
+        comps.sort();
+        comps
+    }
+}
+
+/// Run Tarjan over the whole graph.
+pub fn tarjan(g: &DynamicGraph) -> SccResult {
+    let n = g.node_count();
+    let mut state = State::new(n);
+    for v in g.nodes() {
+        if state.num[v.index()] == UNVISITED {
+            state.dfs(g, v, None);
+        }
+    }
+    SccResult {
+        comp_of: state.comp_of,
+        components: state.components,
+        num: state.num,
+        lowlink: state.lowlink,
+    }
+}
+
+/// Tarjan restricted to the subgraph induced by `nodes` (edges of `g` with
+/// both endpoints in `nodes`). Returns components in reverse topological
+/// order of the *sub*-condensation plus the refreshed `num`/`lowlink` values
+/// for the restricted nodes — this is what IncSCC runs on an affected scc.
+pub fn tarjan_restricted(g: &DynamicGraph, nodes: &[NodeId]) -> RestrictedScc {
+    let mut member: FxHashMap<NodeId, ()> = FxHashMap::default();
+    member.reserve(nodes.len());
+    for &v in nodes {
+        member.insert(v, ());
+    }
+    let n = g.node_count();
+    let mut state = State::new(n);
+    state.restrict = Some(member);
+    for &v in nodes {
+        if state.num[v.index()] == UNVISITED {
+            state.dfs(g, v, None);
+        }
+    }
+    let mut num = FxHashMap::default();
+    let mut lowlink = FxHashMap::default();
+    for &v in nodes {
+        num.insert(v, state.num[v.index()]);
+        lowlink.insert(v, state.lowlink[v.index()]);
+    }
+    RestrictedScc {
+        components: state.components,
+        num,
+        lowlink,
+    }
+}
+
+/// Result of [`tarjan_restricted`].
+#[derive(Debug, Clone)]
+pub struct RestrictedScc {
+    /// Sub-components in reverse topological order (sinks first).
+    pub components: Vec<Vec<NodeId>>,
+    /// Refreshed DFS numbers of the restricted nodes.
+    pub num: FxHashMap<NodeId, u32>,
+    /// Refreshed lowlinks of the restricted nodes.
+    pub lowlink: FxHashMap<NodeId, u32>,
+}
+
+/// Shared iterative-DFS machinery.
+struct State {
+    num: Vec<u32>,
+    lowlink: Vec<u32>,
+    on_stack: Vec<bool>,
+    stack: Vec<NodeId>,
+    comp_of: Vec<u32>,
+    components: Vec<Vec<NodeId>>,
+    counter: u32,
+    restrict: Option<FxHashMap<NodeId, ()>>,
+}
+
+impl State {
+    fn new(n: usize) -> Self {
+        State {
+            num: vec![UNVISITED; n],
+            lowlink: vec![UNVISITED; n],
+            on_stack: vec![false; n],
+            stack: Vec::new(),
+            comp_of: vec![u32::MAX; n],
+            components: Vec::new(),
+            counter: 0,
+            restrict: None,
+        }
+    }
+
+    #[inline]
+    fn allowed(&self, v: NodeId) -> bool {
+        match &self.restrict {
+            None => true,
+            Some(m) => m.contains_key(&v),
+        }
+    }
+
+    /// Iterative Tarjan DFS from `root`.
+    fn dfs(&mut self, g: &DynamicGraph, root: NodeId, _parent_out: Option<NodeId>) {
+        // Frame: (node, index of the next successor to process)
+        let mut frames: Vec<(NodeId, usize)> = Vec::new();
+        self.discover(root);
+        frames.push((root, 0));
+        while let Some(&(v, i)) = frames.last() {
+            let succs = g.successors(v);
+            if i < succs.len() {
+                frames.last_mut().expect("frame just read").1 += 1;
+                let w = succs[i];
+                if !self.allowed(w) {
+                    continue;
+                }
+                if self.num[w.index()] == UNVISITED {
+                    self.discover(w);
+                    frames.push((w, 0));
+                } else if self.on_stack[w.index()] {
+                    let nw = self.num[w.index()];
+                    let lv = &mut self.lowlink[v.index()];
+                    if nw < *lv {
+                        *lv = nw;
+                    }
+                }
+                continue;
+            }
+            // v finished: maybe emit a component, then propagate lowlink.
+            frames.pop();
+            if self.lowlink[v.index()] == self.num[v.index()] {
+                let mut comp = Vec::new();
+                loop {
+                    let w = self.stack.pop().expect("tarjan stack underflow");
+                    self.on_stack[w.index()] = false;
+                    self.comp_of[w.index()] = self.components.len() as u32;
+                    comp.push(w);
+                    if w == v {
+                        break;
+                    }
+                }
+                self.components.push(comp);
+            }
+            if let Some(&(p, _)) = frames.last() {
+                let lv = self.lowlink[v.index()];
+                let lp = &mut self.lowlink[p.index()];
+                if lv < *lp {
+                    *lp = lv;
+                }
+            }
+        }
+    }
+
+    fn discover(&mut self, v: NodeId) {
+        self.num[v.index()] = self.counter;
+        self.lowlink[v.index()] = self.counter;
+        self.counter += 1;
+        self.stack.push(v);
+        self.on_stack[v.index()] = true;
+    }
+}
+
+/// DFS classification of a graph edge (Section 5.3 / Tarjan [43]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// Leads to a node first discovered through this edge.
+    TreeArc,
+    /// Runs from a descendant to an ancestor in the DFS tree.
+    Frond,
+    /// Runs from an ancestor to a (non-child) descendant.
+    ReverseFrond,
+    /// Runs between unrelated subtrees.
+    CrossLink,
+}
+
+/// Classify every edge of `g` with respect to a DFS forest (computed here
+/// over all roots in node order, matching [`tarjan`]'s traversal order).
+pub fn classify_edges(g: &DynamicGraph) -> FxHashMap<(NodeId, NodeId), EdgeKind> {
+    let n = g.node_count();
+    let mut entry = vec![u32::MAX; n];
+    let mut exit = vec![u32::MAX; n];
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    let mut clock = 0u32;
+    for root in g.nodes() {
+        if entry[root.index()] != u32::MAX {
+            continue;
+        }
+        let mut frames: Vec<(NodeId, usize)> = vec![(root, 0)];
+        entry[root.index()] = clock;
+        clock += 1;
+        while let Some(&(v, i)) = frames.last() {
+            let succs = g.successors(v);
+            if i < succs.len() {
+                frames.last_mut().expect("frame just read").1 += 1;
+                let w = succs[i];
+                if entry[w.index()] == u32::MAX {
+                    entry[w.index()] = clock;
+                    clock += 1;
+                    parent[w.index()] = Some(v);
+                    frames.push((w, 0));
+                }
+            } else {
+                exit[v.index()] = clock;
+                clock += 1;
+                frames.pop();
+            }
+        }
+    }
+    let is_ancestor = |a: NodeId, b: NodeId| -> bool {
+        entry[a.index()] <= entry[b.index()] && exit[b.index()] <= exit[a.index()]
+    };
+    let mut out = FxHashMap::default();
+    for (u, v) in g.edges() {
+        let kind = if parent[v.index()] == Some(u) {
+            EdgeKind::TreeArc
+        } else if is_ancestor(v, u) {
+            EdgeKind::Frond
+        } else if is_ancestor(u, v) {
+            EdgeKind::ReverseFrond
+        } else {
+            EdgeKind::CrossLink
+        };
+        out.insert((u, v), kind);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igc_graph::graph::graph_from;
+
+    /// The paper's Fig. 2 graph (Example 6): nodes a1,d2,b2,c1,b1,c2,b3,a2,
+    /// d1,b4 → ids 0..9, with four sccs.
+    /// Edges (solid, without e1..e5): taken from the figure's structure so
+    /// that scc1 = {b4}, scc2 = {b2,c2,b3,a2,d1}-ish splits depend on the
+    /// exact figure; here we use a graph with the same scc *count* profile.
+    fn multi_scc() -> DynamicGraph {
+        // scc A = {0,1,2} (cycle), scc B = {3,4} (2-cycle), scc C = {5},
+        // edges A→B, B→C
+        graph_from(
+            &[0; 6],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (2, 3),
+                (3, 4),
+                (4, 3),
+                (4, 5),
+            ],
+        )
+    }
+
+    #[test]
+    fn finds_components() {
+        let g = multi_scc();
+        let r = tarjan(&g);
+        assert_eq!(r.component_count(), 3);
+        assert!(r.same_component(NodeId(0), NodeId(2)));
+        assert!(r.same_component(NodeId(3), NodeId(4)));
+        assert!(!r.same_component(NodeId(0), NodeId(3)));
+        assert!(!r.same_component(NodeId(4), NodeId(5)));
+    }
+
+    #[test]
+    fn emission_order_is_reverse_topological() {
+        let g = multi_scc();
+        let r = tarjan(&g);
+        // For every edge (u,v) across components, comp(v) emitted earlier.
+        for (u, v) in g.edges() {
+            let cu = r.comp_of[u.index()];
+            let cv = r.comp_of[v.index()];
+            if cu != cv {
+                assert!(cv < cu, "edge {u:?}→{v:?}: comp {cv} should precede {cu}");
+            }
+        }
+    }
+
+    #[test]
+    fn singleton_nodes_are_components() {
+        let g = graph_from(&[0; 3], &[]);
+        let r = tarjan(&g);
+        assert_eq!(r.component_count(), 3);
+    }
+
+    #[test]
+    fn self_loop_is_singleton_component() {
+        let mut g = graph_from(&[0; 2], &[(0, 1)]);
+        g.insert_edge(NodeId(0), NodeId(0));
+        let r = tarjan(&g);
+        assert_eq!(r.component_count(), 2);
+    }
+
+    #[test]
+    fn root_satisfies_lowlink_eq_num() {
+        let g = multi_scc();
+        let r = tarjan(&g);
+        // Exactly one node per component has lowlink == num (the root).
+        for comp in &r.components {
+            let roots = comp
+                .iter()
+                .filter(|v| r.lowlink[v.index()] == r.num[v.index()])
+                .count();
+            assert_eq!(roots, 1);
+        }
+    }
+
+    #[test]
+    fn large_cycle_single_component() {
+        let n = 1000;
+        let edges: Vec<(u32, u32)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        let g = graph_from(&vec![0; n as usize], &edges);
+        let r = tarjan(&g);
+        assert_eq!(r.component_count(), 1);
+        assert_eq!(r.components[0].len(), n as usize);
+    }
+
+    #[test]
+    fn deep_path_does_not_overflow() {
+        // 100k-node path: a recursive implementation would blow the stack.
+        let n = 100_000u32;
+        let edges: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let g = graph_from(&vec![0; n as usize], &edges);
+        let r = tarjan(&g);
+        assert_eq!(r.component_count(), n as usize);
+    }
+
+    #[test]
+    fn restricted_run_ignores_outside_edges() {
+        let g = multi_scc();
+        // Restrict to {0,1,2,3}: edge 3→4 leaves the set, 4→3 enters it, so
+        // 3 is a singleton in the restriction.
+        let r = tarjan_restricted(&g, &[NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+        let mut sizes: Vec<usize> = r.components.iter().map(Vec::len).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 3]);
+        assert!(r.num.contains_key(&NodeId(3)));
+        assert!(!r.num.contains_key(&NodeId(4)));
+    }
+
+    #[test]
+    fn restricted_emission_reverse_topological() {
+        // 5 → 6 → 7 as singletons: sinks first.
+        let g = graph_from(&[0; 8], &[(5, 6), (6, 7)]);
+        let r = tarjan_restricted(&g, &[NodeId(5), NodeId(6), NodeId(7)]);
+        assert_eq!(r.components.len(), 3);
+        let order: Vec<NodeId> = r.components.iter().map(|c| c[0]).collect();
+        assert_eq!(order, vec![NodeId(7), NodeId(6), NodeId(5)]);
+    }
+
+    #[test]
+    fn edge_classification_on_a_tree_with_extras() {
+        //       0
+        //      / \
+        //     1   2
+        //     |
+        //     3
+        // extra: 3→0 (frond), 0→3 (reverse frond), 2→3 (cross, since DFS
+        // visits 1's subtree first).
+        let g = graph_from(
+            &[0; 4],
+            &[(0, 1), (0, 2), (1, 3), (3, 0), (0, 3), (2, 3)],
+        );
+        let k = classify_edges(&g);
+        assert_eq!(k[&(NodeId(0), NodeId(1))], EdgeKind::TreeArc);
+        assert_eq!(k[&(NodeId(1), NodeId(3))], EdgeKind::TreeArc);
+        assert_eq!(k[&(NodeId(3), NodeId(0))], EdgeKind::Frond);
+        assert_eq!(k[&(NodeId(0), NodeId(3))], EdgeKind::ReverseFrond);
+        assert_eq!(k[&(NodeId(2), NodeId(3))], EdgeKind::CrossLink);
+    }
+
+    #[test]
+    fn classification_covers_every_edge() {
+        let g = multi_scc();
+        let k = classify_edges(&g);
+        assert_eq!(k.len(), g.edge_count());
+    }
+}

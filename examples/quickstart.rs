@@ -1,0 +1,81 @@
+//! Quickstart: build a labelled graph, run all four query classes, apply a
+//! batch of updates, and read the incrementally maintained answers.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use incgraph::prelude::*;
+
+fn main() {
+    // A small social/knowledge graph.
+    let mut labels = LabelInterner::new();
+    let person = labels.intern("person");
+    let city = labels.intern("city");
+    let company = labels.intern("company");
+
+    let mut g = DynamicGraph::new();
+    let alice = g.add_node(person);
+    let bob = g.add_node(person);
+    let carol = g.add_node(person);
+    let berlin = g.add_node(city);
+    let acme = g.add_node(company);
+
+    for (a, b) in [
+        (alice, bob),
+        (bob, carol),
+        (carol, alice),
+        (bob, berlin),
+        (carol, acme),
+        (acme, berlin),
+    ] {
+        g.insert_edge(a, b);
+    }
+
+    // --- RPQ: which persons reach a city through person chains? ----------
+    let q = Regex::parse("person.person*.city", &mut labels).unwrap();
+    let mut rpq = IncRpq::new(&g, &q);
+    println!("RPQ person.person*.city matches: {:?}", rpq.sorted_answer());
+
+    // --- SCC: the friendship triangle is one component. -------------------
+    let mut scc = IncScc::new(&g);
+    println!(
+        "SCC count: {} (alice~carol: {})",
+        scc.scc_count(),
+        scc.same_scc(alice, carol)
+    );
+
+    // --- KWS: roots reaching both a city and a company within 2 hops. ----
+    let kws_q = KwsQuery::new(vec![city, company], 2);
+    let mut kws = IncKws::new(&g, kws_q);
+    println!("KWS roots: {:?}", kws.roots());
+
+    // --- ISO: person→person→city path motifs. -----------------------------
+    let pattern = Pattern::from_parts(
+        &[person.0, person.0, city.0],
+        &[(0, 1), (1, 2)],
+    );
+    let mut iso = IncIso::new(&g, pattern);
+    println!("ISO match count: {}", iso.match_count());
+
+    // --- Apply one batch of updates and refresh everything incrementally.
+    let delta = UpdateBatch::from_updates(vec![
+        Update::delete(carol, alice),  // break the triangle
+        Update::insert(alice, berlin), // alice moves next to berlin
+    ]);
+    g.apply_batch(&delta);
+    rpq.apply(&g, &delta);
+    scc.apply(&g, &delta);
+    kws.apply(&g, &delta);
+    iso.apply(&g, &delta);
+
+    println!("--- after ΔG = {{delete carol→alice, insert alice→berlin}} ---");
+    println!("RPQ matches: {:?}", rpq.sorted_answer());
+    println!("SCC count: {}", scc.scc_count());
+    println!("KWS roots: {:?}", kws.roots());
+    println!("ISO match count: {}", iso.match_count());
+    println!(
+        "incremental work this batch (RPQ): {:?} total ops",
+        rpq.work().total()
+    );
+}

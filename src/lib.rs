@@ -1,0 +1,69 @@
+#![warn(missing_docs)]
+
+//! # incgraph — Incremental Graph Computations: Doable and Undoable
+//!
+//! A reproduction of Fan, Hu and Tian (SIGMOD 2017): batch and incremental
+//! algorithms for four graph query classes, together with the paper's two
+//! effectiveness characterisations — *localizability* and *relative
+//! boundedness* — made executable.
+//!
+//! | Query class | Batch algorithm | Incremental | Guarantee |
+//! |---|---|---|---|
+//! | Regular path queries ([`rpq`]) | NFA-product traversal | `IncRpq` | bounded relative to `RPQ_NFA` |
+//! | Strongly connected components ([`scc`]) | Tarjan | `IncScc` | bounded relative to Tarjan |
+//! | Keyword search ([`kws`]) | kdist-list BFS (BLINKS-style) | `IncKws` | localizable (radius `2b`) |
+//! | Subgraph isomorphism ([`iso`]) | VF2 | `IncIso` | localizable (radius `d_Q`) |
+//!
+//! The incremental problems for all four classes are *unbounded* in the
+//! classical sense (Theorem 1); [`core`] contains the Δ-reduction machinery
+//! and gadget families behind those impossibility results.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use incgraph::prelude::*;
+//!
+//! // A small labelled digraph: person(0) → person(1) → city(2)
+//! let mut interner = LabelInterner::new();
+//! let person = interner.intern("person");
+//! let city = interner.intern("city");
+//! let mut g = DynamicGraph::new();
+//! let v0 = g.add_node(person);
+//! let v1 = g.add_node(person);
+//! let v2 = g.add_node(city);
+//! g.insert_edge(v0, v1);
+//! g.insert_edge(v1, v2);
+//!
+//! // Regular path query: person · person · city
+//! let q = Regex::parse("person.person.city", &mut interner).unwrap();
+//! let mut rpq = IncRpq::new(&g, &q);
+//! assert!(rpq.contains_pair(v0, v2));
+//!
+//! // Delete the middle edge incrementally; the match disappears.
+//! let delta = UpdateBatch::from_updates(vec![Update::delete(v1, v2)]);
+//! g.apply_batch(&delta);
+//! rpq.apply(&g, &delta);
+//! assert!(!rpq.contains_pair(v0, v2));
+//! ```
+
+pub use igc_core as core;
+pub use igc_graph as graph;
+pub use igc_iso as iso;
+pub use igc_kws as kws;
+pub use igc_nfa as nfa;
+pub use igc_rpq as rpq;
+pub use igc_scc as scc;
+
+/// The most commonly used types, re-exported for glob import.
+pub mod prelude {
+    pub use igc_core::work::WorkStats;
+    pub use igc_core::IncrementalAlgorithm;
+    pub use igc_graph::{
+        DynamicGraph, Edge, Label, LabelInterner, NodeId, Update, UpdateBatch,
+    };
+    pub use igc_iso::{IncIso, Pattern};
+    pub use igc_kws::{IncKws, KwsQuery};
+    pub use igc_nfa::{Nfa, Regex};
+    pub use igc_rpq::IncRpq;
+    pub use igc_scc::IncScc;
+}

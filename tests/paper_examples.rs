@@ -1,0 +1,195 @@
+//! The paper's running examples, end to end through the facade API.
+//!
+//! Figure 2's exact edge set is not published machine-readably, so each
+//! test reconstructs the *behaviour* the example describes (the full-text
+//! walkthroughs fix distances, affected sets and outputs) on a graph with
+//! the same structure around the relevant nodes.
+
+use incgraph::prelude::*;
+use incgraph::scc::tarjan;
+
+/// Example 1: inserting e1 shortens b2's distance to a d-node from 2 to 1,
+/// the change propagates to c2 where it stops at the bound, and a new match
+/// rooted at c2 appears.
+#[test]
+fn example1_insertion_shortens_and_creates_match() {
+    // labels: a=0, b=1, c=2, d=3
+    // c2(0,c) → b2(1,b) → b4(2,b) → d1(3,d); b2 → a1(4,a); c2 → b3(5,b) → a2(6,a)
+    let mut g = DynamicGraph::new();
+    let c2 = g.add_node(Label(2));
+    let b2 = g.add_node(Label(1));
+    let b4 = g.add_node(Label(1));
+    let d1 = g.add_node(Label(3));
+    let a1 = g.add_node(Label(0));
+    let b3 = g.add_node(Label(1));
+    let a2 = g.add_node(Label(0));
+    for (x, y) in [(c2, b2), (b2, b4), (b4, d1), (b2, a1), (c2, b3), (b3, a2)] {
+        g.insert_edge(x, y);
+    }
+    // Q = (a, d), b = 2.
+    let q = KwsQuery::new(vec![Label(0), Label(3)], 2);
+    let mut kws = IncKws::new(&g, q);
+    // Before: b2 matches (a at 1, d at 2); c2 does not (d at 3 > b ⇒ ⊥).
+    assert!(kws.is_match_root(b2));
+    assert_eq!(kws.kdist().get(b2, 1).dist, 2);
+    assert!(!kws.is_match_root(c2));
+
+    // e1 = (b2, d1): b2's d-distance drops 2 → 1 and c2 becomes a root at 2.
+    g.insert_edge(b2, d1);
+    kws.insert_edge(&g, b2, d1);
+    assert_eq!(kws.kdist().get(b2, 1).dist, 1);
+    assert_eq!(kws.kdist().get(b2, 1).next, Some(d1));
+    assert_eq!(kws.kdist().get(c2, 1).dist, 2);
+    assert!(kws.is_match_root(c2), "the paper's new match T_c2");
+
+    // And the propagation stopped at the bound: the tree at c2 is valid.
+    let t = kws.match_tree(c2);
+    assert_eq!(t.paths[1], vec![c2, b2, d1]);
+}
+
+/// Example 2: deleting the only within-bound route to keyword `a` from c2
+/// destroys the match rooted at c2 — the alternative route's distance
+/// equals the bound at the successor, so c2 would land beyond it.
+#[test]
+fn example2_deletion_removes_match() {
+    // c2 → b3 → a2 (dist 2 to a); alternative via b2 has dist(b2→a) = 2
+    // (b2 → b1 → a1), so c2 via b2 would be 3 > b.
+    let mut g = DynamicGraph::new();
+    let c2 = g.add_node(Label(2));
+    let b3 = g.add_node(Label(1));
+    let a2 = g.add_node(Label(0));
+    let b2 = g.add_node(Label(1));
+    let b1 = g.add_node(Label(1));
+    let a1 = g.add_node(Label(0));
+    for (x, y) in [(c2, b3), (b3, a2), (c2, b2), (b2, b1), (b1, a1)] {
+        g.insert_edge(x, y);
+    }
+    let q = KwsQuery::new(vec![Label(0)], 2);
+    let mut kws = IncKws::new(&g, q);
+    assert!(kws.is_match_root(c2));
+    g.delete_edge(c2, b3);
+    kws.delete_edge(&g, c2, b3);
+    assert!(
+        !kws.is_match_root(c2),
+        "c2 cannot be a root: the surviving successor's distance equals b"
+    );
+}
+
+/// Example 3 (batch interleaving): a deletion invalidating one route and
+/// insertions creating another are decided together — each affected entry's
+/// exact distance is fixed once.
+#[test]
+fn example3_batch_interleaves_deletions_and_insertions() {
+    let mut g = DynamicGraph::new();
+    let c2 = g.add_node(Label(2));
+    let b3 = g.add_node(Label(1));
+    let a2 = g.add_node(Label(0));
+    let b2 = g.add_node(Label(1));
+    let a1 = g.add_node(Label(0));
+    for (x, y) in [(c2, b3), (b3, a2), (c2, b2)] {
+        g.insert_edge(x, y);
+    }
+    let q = KwsQuery::new(vec![Label(0)], 2);
+    let mut kws = IncKws::new(&g, q);
+    assert_eq!(kws.kdist().get(c2, 0).dist, 2); // via b3, a2
+
+    // Delete (c2,b3) and insert (b2,a1) in one batch: the a-distance of c2
+    // is decided once, staying 2 through the new route c2→b2→a1.
+    let delta = UpdateBatch::from_updates(vec![
+        Update::delete(c2, b3),
+        Update::insert(b2, a1),
+    ]);
+    g.apply_batch(&delta);
+    kws.apply(&g, &delta);
+    assert_eq!(kws.kdist().get(c2, 0).dist, 2);
+    assert_eq!(kws.kdist().get(c2, 0).next, Some(b2));
+    assert!(kws.is_match_root(c2));
+}
+
+/// Examples 4 & 5: Q = c·(b·a+c)*·c — batch matches, then a batch update
+/// that splits one accepting path while insertions build another; the
+/// match survives through the rerouted markings.
+#[test]
+fn examples4_and_5_rpq_reroute() {
+    let mut labels = LabelInterner::new();
+    let (a, b, c) = (labels.intern("a"), labels.intern("b"), labels.intern("c"));
+    let mut g = DynamicGraph::new();
+    let c1 = g.add_node(c);
+    let b1 = g.add_node(b);
+    let a1 = g.add_node(a);
+    let c2 = g.add_node(c);
+    let b3 = g.add_node(b);
+    let a2 = g.add_node(a);
+    for (x, y) in [(c1, b1), (b1, a1), (a1, c2), (c2, b3), (b3, a2), (a2, c2)] {
+        g.insert_edge(x, y);
+    }
+    let q = Regex::parse("c.(b.a+c)*.c", &mut labels).unwrap();
+    let mut rpq = IncRpq::new(&g, &q);
+    // Example 4: (c1, c2) and (c2, c2) are the matches.
+    assert_eq!(rpq.sorted_answer(), vec![(c1, c2), (c2, c2)]);
+
+    // Example 5's shape: cut the b3 route, splice in a fresh b·a detour.
+    let b2 = NodeId(g.node_count() as u32);
+    let a3 = NodeId(g.node_count() as u32 + 1);
+    let delta = UpdateBatch::from_updates(vec![
+        Update::delete(c2, b3),
+        Update::insert_labeled(c2, b2, None, Some(b)),
+        Update::insert_labeled(b2, a3, None, Some(a)),
+        Update::insert(a3, c2),
+    ]);
+    g.apply_batch(&delta);
+    rpq.apply(&g, &delta);
+    assert!(
+        rpq.contains_pair(c2, c2),
+        "the accepting state persists through the rerouted path"
+    );
+    assert!(rpq.contains_pair(c1, c2));
+}
+
+/// Example 7: an insertion whose endpoints' topological ranks are out of
+/// order identifies the affected area and merges the components on the
+/// produced cycle.
+#[test]
+fn example7_rank_violation_merges_components() {
+    let mut g = DynamicGraph::new();
+    for _ in 0..4 {
+        g.add_node(Label(0));
+    }
+    let (n0, n1, n2, n3) = (NodeId(0), NodeId(1), NodeId(2), NodeId(3));
+    // scc1 = {0,1}, scc2 = {2,3}, scc1 → scc2.
+    for (x, y) in [(n0, n1), (n1, n0), (n2, n3), (n3, n2), (n1, n2)] {
+        g.insert_edge(x, y);
+    }
+    let mut scc = IncScc::new(&g);
+    assert_eq!(scc.scc_count(), 2);
+    let r_up = scc.rank(scc.scc_of(n0));
+    let r_down = scc.rank(scc.scc_of(n2));
+    assert!(r_up > r_down, "ranks decrease along condensation edges");
+
+    // Insert (b4, b3)-style back edge: ranks out of order ⇒ cycle ⇒ merge.
+    g.insert_edge(n3, n0);
+    scc.insert_edge(&g, n3, n0);
+    assert_eq!(scc.scc_count(), 1);
+    assert_eq!(scc.components(), tarjan(&g).canonical());
+}
+
+/// Example 9: deleting a load-bearing edge splits one scc into three.
+#[test]
+fn example9_deletion_splits_into_three() {
+    let mut g = DynamicGraph::new();
+    for _ in 0..4 {
+        g.add_node(Label(0));
+    }
+    let (c1, a1, b1, x) = (NodeId(0), NodeId(1), NodeId(2), NodeId(3));
+    // One scc: c1→a1→b1→c1 plus a1→x→a1.
+    for (s, t) in [(c1, a1), (a1, b1), (b1, c1), (a1, x), (x, a1)] {
+        g.insert_edge(s, t);
+    }
+    let mut scc = IncScc::new(&g);
+    assert_eq!(scc.scc_count(), 1);
+    g.delete_edge(b1, c1);
+    scc.delete_edge(&g, b1, c1);
+    assert_eq!(scc.scc_count(), 3, "split into {{c1}}, {{b1}}, {{a1, x}}");
+    assert!(scc.same_scc(a1, x));
+    assert_eq!(scc.components(), tarjan(&g).canonical());
+}

@@ -1,0 +1,171 @@
+//! Property-based tests: for arbitrary graphs, queries and update batches,
+//! every incremental algorithm agrees with from-scratch recomputation, and
+//! the core data-structure invariants hold.
+
+use incgraph::graph::graph::graph_from;
+use incgraph::iso::enumerate_matches;
+use incgraph::nfa::build_nfa;
+use incgraph::prelude::*;
+use incgraph::rpq::batch as rpq_batch;
+use incgraph::scc::tarjan;
+use proptest::prelude::*;
+
+/// A small random digraph as (node labels, edge list) with ≤ `n` nodes.
+fn arb_graph(n: u32, max_edges: usize) -> impl Strategy<Value = (Vec<u32>, Vec<(u32, u32)>)> {
+    (2..=n).prop_flat_map(move |nodes| {
+        let labels = proptest::collection::vec(0u32..4, nodes as usize);
+        let edges = proptest::collection::vec(
+            (0..nodes, 0..nodes).prop_filter("no self-loops", |(a, b)| a != b),
+            0..max_edges,
+        );
+        (labels, edges)
+    })
+}
+
+/// A batch of updates against the given node count: deletions reference
+/// arbitrary pairs (absent ones are dropped below), insertions arbitrary
+/// pairs.
+fn arb_updates(nodes: u32, count: usize) -> impl Strategy<Value = Vec<(bool, u32, u32)>> {
+    proptest::collection::vec(
+        (any::<bool>(), 0..nodes, 0..nodes).prop_filter("no self-loops", |(_, a, b)| a != b),
+        0..count,
+    )
+}
+
+/// Make a well-formed batch (deletions of present edges, insertions of
+/// absent ones, normalized) from raw proptest output.
+fn realize_batch(g: &DynamicGraph, raw: &[(bool, u32, u32)]) -> UpdateBatch {
+    let mut batch = UpdateBatch::new();
+    let mut staged = g.clone();
+    for &(insert, a, b) in raw {
+        let (a, b) = (NodeId(a), NodeId(b));
+        if insert && !staged.contains_edge(a, b) {
+            // May reference fresh nodes — `apply` creates them (label 2,
+            // outside the keyword/anchor labels, via the default fallback).
+            let u = Update::insert_labeled(a, b, Some(Label(2)), Some(Label(2)));
+            staged.apply(&u);
+            batch.push(u);
+        } else if !insert && staged.contains_edge(a, b) {
+            staged.delete_edge(a, b);
+            batch.push(Update::delete(a, b));
+        }
+    }
+    batch.normalized()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn scc_incremental_equals_tarjan(
+        (labels, edges) in arb_graph(14, 40),
+        raw in arb_updates(14, 12),
+    ) {
+        let mut g = graph_from(&labels, &edges);
+        let mut inc = IncScc::new(&g);
+        let delta = realize_batch(&g, &raw);
+        g.apply_batch(&delta);
+        inc.apply(&g, &delta);
+        prop_assert_eq!(inc.components(), tarjan(&g).canonical());
+    }
+
+    #[test]
+    fn kws_incremental_equals_batch(
+        (labels, edges) in arb_graph(14, 40),
+        raw in arb_updates(14, 12),
+        bound in 1u32..4,
+    ) {
+        let mut g = graph_from(&labels, &edges);
+        let q = KwsQuery::new(vec![Label(0), Label(1)], bound);
+        let mut inc = IncKws::new(&g, q.clone());
+        let delta = realize_batch(&g, &raw);
+        g.apply_batch(&delta);
+        inc.apply(&g, &delta);
+        let fresh = IncKws::new(&g, q.clone());
+        prop_assert_eq!(inc.answer_signature(), fresh.answer_signature());
+        prop_assert!(inc.kdist().check_invariants(&g, &q).is_ok());
+    }
+
+    #[test]
+    fn rpq_incremental_equals_batch(
+        (labels, edges) in arb_graph(12, 30),
+        raw in arb_updates(12, 10),
+    ) {
+        let mut interner = LabelInterner::new();
+        for i in 0..4 { interner.intern(&format!("l{i}")); }
+        let q = Regex::parse("l0.(l1+l2)*.l3", &mut interner).unwrap();
+        let mut g = graph_from(&labels, &edges);
+        let mut inc = IncRpq::new(&g, &q);
+        let delta = realize_batch(&g, &raw);
+        g.apply_batch(&delta);
+        inc.apply(&g, &delta);
+        let mut w = WorkStats::new();
+        let fresh = rpq_batch::evaluate(&g, &build_nfa(&q), &mut w);
+        prop_assert_eq!(inc.sorted_answer(), rpq_batch::sorted_answer(&fresh));
+        // auxiliary structure equals a fresh construction
+        let rebuilt = IncRpq::new(&g, &q);
+        prop_assert_eq!(inc.marking_signature(), rebuilt.marking_signature());
+    }
+
+    #[test]
+    fn iso_incremental_equals_vf2(
+        (labels, edges) in arb_graph(12, 30),
+        raw in arb_updates(12, 10),
+    ) {
+        let p = Pattern::from_parts(&[0, 1], &[(0, 1)]);
+        let mut g = graph_from(&labels, &edges);
+        let mut inc = IncIso::new(&g, p.clone());
+        let delta = realize_batch(&g, &raw);
+        g.apply_batch(&delta);
+        inc.apply(&g, &delta);
+        let mut w = WorkStats::new();
+        let mut fresh: Vec<_> = enumerate_matches(&g, &p, &mut w).into_iter().collect();
+        fresh.sort();
+        prop_assert_eq!(inc.sorted_matches(), fresh);
+    }
+
+    #[test]
+    fn scc_rank_invariant_survives_batches(
+        (labels, edges) in arb_graph(12, 30),
+        raw in arb_updates(12, 10),
+    ) {
+        let mut g = graph_from(&labels, &edges);
+        let mut inc = IncScc::new(&g);
+        let delta = realize_batch(&g, &raw);
+        g.apply_batch(&delta);
+        inc.apply(&g, &delta);
+        prop_assert!(inc.condensation().check_invariants().is_ok());
+        // Ranks strictly decrease along every inter-component graph edge.
+        for (u, v) in g.edges() {
+            let (a, b) = (inc.scc_of(u), inc.scc_of(v));
+            if a != b {
+                prop_assert!(inc.rank(a) > inc.rank(b));
+            }
+        }
+    }
+
+    #[test]
+    fn update_normalization_is_idempotent(
+        raw in arb_updates(10, 16),
+    ) {
+        let ups: Vec<Update> = raw
+            .iter()
+            .map(|&(ins, a, b)| {
+                if ins {
+                    Update::insert(NodeId(a), NodeId(b))
+                } else {
+                    Update::delete(NodeId(a), NodeId(b))
+                }
+            })
+            .collect();
+        let batch = UpdateBatch::from_updates(ups);
+        let once = batch.normalized();
+        prop_assert_eq!(once.normalized(), once.clone());
+        // No edge appears both inserted and deleted after normalization.
+        let ins: std::collections::HashSet<_> =
+            once.insertions().map(|u| u.edge()).collect();
+        for d in once.deletions() {
+            prop_assert!(!ins.contains(&d.edge()));
+        }
+    }
+}

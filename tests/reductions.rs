@@ -1,0 +1,149 @@
+//! Section 3, executable: the Δ-reduction from SSRP to RPQ run against the
+//! real RPQ engine, and the Fig. 9 two-cycle gadget behind the insertion
+//! lower bound.
+
+use incgraph::core::gadgets::{two_cycle_gadget, v_nodes};
+use incgraph::core::reductions::{
+    map_input_updates, map_output_updates, ssrp_to_rpq, PairChange,
+};
+use incgraph::core::Ssrp;
+use incgraph::graph::generator::{random_update_batch, uniform_graph};
+use incgraph::graph::traversal::reachable_from;
+use incgraph::prelude::*;
+
+/// Run the full Δ-reduction loop with the *real* IncRPQ as the Q2-solver:
+/// fo(ΔO₂) must equal the true change of the SSRP answer.
+#[test]
+fn ssrp_to_rpq_reduction_with_real_engine() {
+    for seed in 0..4u64 {
+        let g1 = uniform_graph(40, 120, 3, seed);
+        let source = NodeId(0);
+        let (red, mut interner) = ssrp_to_rpq(&g1, source);
+        let q2 = Regex::parse(red.query, &mut interner).unwrap();
+
+        // Solve the image instance with IncRPQ.
+        let mut g2 = red.graph.clone();
+        let mut rpq = IncRpq::new(&g2, &q2);
+        let before_pairs = rpq.sorted_answer();
+
+        // Defining property: (vs, vi) ∈ Q2(G2) ⟺ vi reachable from vs.
+        let reach = reachable_from(&g1, source);
+        for v in g1.nodes() {
+            assert_eq!(
+                before_pairs.contains(&(source, v)),
+                reach[v.index()],
+                "defining property violated at {v:?}"
+            );
+        }
+        assert!(before_pairs.iter().all(|&(s, _)| s == source));
+
+        // Apply updates on the SSRP side, mapped through fi.
+        let delta1 = random_update_batch(&g1, 10, 0.5, seed + 50);
+        let delta2 = map_input_updates(&red, &delta1);
+        let mut g1b = g1.clone();
+        g1b.apply_batch(&delta1);
+        g2.apply_batch(&delta2);
+        rpq.apply(&g2, &delta2);
+
+        // ΔO2 from the engine, mapped back through fo.
+        let after_pairs = rpq.sorted_answer();
+        let mut delta_o2: Vec<PairChange> = Vec::new();
+        for &p in &after_pairs {
+            if !before_pairs.contains(&p) {
+                delta_o2.push(PairChange { pair: p, added: true });
+            }
+        }
+        for &p in &before_pairs {
+            if !after_pairs.contains(&p) {
+                delta_o2.push(PairChange { pair: p, added: false });
+            }
+        }
+        let delta_o1 = map_output_updates(&red, &delta_o2);
+
+        // Ground truth on the SSRP side.
+        let before = reachable_from(&g1, source);
+        let after = reachable_from(&g1b, source);
+        for c in &delta_o1 {
+            assert_eq!(after[c.node.index()], c.reachable);
+            assert_ne!(
+                before.get(c.node.index()).copied().unwrap_or(false),
+                c.reachable
+            );
+        }
+        let flipped = (0..g1b.node_count())
+            .filter(|&i| {
+                before.get(i).copied().unwrap_or(false) != after.get(i).copied().unwrap_or(false)
+            })
+            .count();
+        assert_eq!(flipped, delta_o1.len(), "fo(ΔO2) incomplete (seed {seed})");
+
+        // And the maintained SSRP answers the same thing.
+        let mut ssrp = Ssrp::new(&g1, source);
+        let mut g1c = g1.clone();
+        for u in delta1.iter() {
+            let (a, b) = u.edge();
+            g1c.apply(u);
+            if u.is_insert() {
+                ssrp.insert_edge(&g1c, a, b);
+            } else {
+                ssrp.delete_edge(&g1c, a, b);
+            }
+        }
+        assert_eq!(ssrp.reachable(), after.as_slice());
+    }
+}
+
+/// The Fig. 9 gadget: Q(G) = Q(G⊕Δ1) = Q(G⊕Δ2) = ∅ but
+/// Q(G⊕Δ1⊕Δ2) = {(vi, w)} — and the first insertion, whose |CHANGED| is 1,
+/// forces the incremental engine to touch Θ(n) auxiliary data.
+#[test]
+fn two_cycle_gadget_shows_unbounded_aff() {
+    let mut last_aff = 0u64;
+    for n in [10usize, 20, 40] {
+        let gadget = two_cycle_gadget(n);
+        let mut interner = gadget.interner.clone();
+        let q = Regex::parse(gadget.query, &mut interner).unwrap();
+        let mut g = gadget.graph.clone();
+        let mut rpq = IncRpq::new(&g, &q);
+        assert!(rpq.answer().is_empty(), "Q(G) must be empty");
+
+        // Δ1 alone: output unchanged.
+        let d1 = UpdateBatch::from_updates(vec![gadget.delta1]);
+        g.apply_batch(&d1);
+        rpq.apply(&g, &d1);
+        assert!(rpq.answer().is_empty(), "Q(G⊕Δ1) must be empty");
+        let aff1 = rpq.last_metrics().affected;
+        assert_eq!(rpq.last_metrics().changed(), 1, "|CHANGED| = |ΔG| = 1");
+        assert!(
+            aff1 > last_aff,
+            "AFF must grow with n: {aff1} vs previous {last_aff}"
+        );
+        assert!(
+            aff1 as usize >= n,
+            "AFF must be Ω(n): {aff1} for n = {n}"
+        );
+        last_aff = aff1;
+
+        // Δ2 completes the pattern: all 2n v-nodes match.
+        let d2 = UpdateBatch::from_updates(vec![gadget.delta2]);
+        g.apply_batch(&d2);
+        rpq.apply(&g, &d2);
+        let expected: Vec<(NodeId, NodeId)> =
+            v_nodes(&gadget).into_iter().map(|v| (v, gadget.w)).collect();
+        assert_eq!(rpq.sorted_answer(), expected);
+    }
+}
+
+/// Δ2 alone must also leave the answer empty (the adversary's other branch).
+#[test]
+fn two_cycle_gadget_delta2_alone_is_empty() {
+    let gadget = two_cycle_gadget(15);
+    let mut interner = gadget.interner.clone();
+    let q = Regex::parse(gadget.query, &mut interner).unwrap();
+    let mut g = gadget.graph.clone();
+    let mut rpq = IncRpq::new(&g, &q);
+    let d2 = UpdateBatch::from_updates(vec![gadget.delta2]);
+    g.apply_batch(&d2);
+    rpq.apply(&g, &d2);
+    assert!(rpq.answer().is_empty(), "Q(G⊕Δ2) must be empty");
+}
