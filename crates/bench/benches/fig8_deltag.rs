@@ -26,16 +26,20 @@ fn bench_kws(c: &mut Criterion) {
         let delta = random_update_batch(&g, (g.edge_count() as f64 * frac) as usize, 0.5, 1);
         let mut g_post = g.clone();
         g_post.apply_batch(&delta);
-        group.bench_with_input(BenchmarkId::new("IncKWS", format!("{frac}")), &delta, |b, d| {
-            b.iter_batched(
-                || (base.clone(), g.clone()),
-                |(mut inc, mut gg)| {
-                    gg.apply_batch(d);
-                    inc.apply(&gg, d);
-                },
-                BatchSize::LargeInput,
-            )
-        });
+        group.bench_with_input(
+            BenchmarkId::new("IncKWS", format!("{frac}")),
+            &delta,
+            |b, d| {
+                b.iter_batched(
+                    || (base.clone(), g.clone()),
+                    |(mut inc, mut gg)| {
+                        gg.apply_batch(d);
+                        inc.apply(&gg, d);
+                    },
+                    BatchSize::LargeInput,
+                )
+            },
+        );
         group.bench_function(BenchmarkId::new("BLINKS", format!("{frac}")), |b| {
             b.iter(|| IncKws::new(&g_post, q.clone()))
         });
@@ -54,16 +58,20 @@ fn bench_rpq(c: &mut Criterion) {
         let delta = random_update_batch(&g, (g.edge_count() as f64 * frac) as usize, 0.5, 2);
         let mut g_post = g.clone();
         g_post.apply_batch(&delta);
-        group.bench_with_input(BenchmarkId::new("IncRPQ", format!("{frac}")), &delta, |b, d| {
-            b.iter_batched(
-                || (base.clone(), g.clone()),
-                |(mut inc, mut gg)| {
-                    gg.apply_batch(d);
-                    inc.apply(&gg, d);
-                },
-                BatchSize::LargeInput,
-            )
-        });
+        group.bench_with_input(
+            BenchmarkId::new("IncRPQ", format!("{frac}")),
+            &delta,
+            |b, d| {
+                b.iter_batched(
+                    || (base.clone(), g.clone()),
+                    |(mut inc, mut gg)| {
+                        gg.apply_batch(d);
+                        inc.apply(&gg, d);
+                    },
+                    BatchSize::LargeInput,
+                )
+            },
+        );
         group.bench_function(BenchmarkId::new("RPQnfa", format!("{frac}")), |b| {
             b.iter(|| {
                 let mut w = WorkStats::new();
@@ -83,16 +91,20 @@ fn bench_scc(c: &mut Criterion) {
         let delta = random_update_batch(&g, (g.edge_count() as f64 * frac) as usize, 0.5, 3);
         let mut g_post = g.clone();
         g_post.apply_batch(&delta);
-        group.bench_with_input(BenchmarkId::new("IncSCC", format!("{frac}")), &delta, |b, d| {
-            b.iter_batched(
-                || (base.clone(), g.clone()),
-                |(mut inc, mut gg)| {
-                    gg.apply_batch(d);
-                    inc.apply(&gg, d);
-                },
-                BatchSize::LargeInput,
-            )
-        });
+        group.bench_with_input(
+            BenchmarkId::new("IncSCC", format!("{frac}")),
+            &delta,
+            |b, d| {
+                b.iter_batched(
+                    || (base.clone(), g.clone()),
+                    |(mut inc, mut gg)| {
+                        gg.apply_batch(d);
+                        inc.apply(&gg, d);
+                    },
+                    BatchSize::LargeInput,
+                )
+            },
+        );
         group.bench_function(BenchmarkId::new("Tarjan", format!("{frac}")), |b| {
             b.iter(|| tarjan(&g_post))
         });
@@ -110,16 +122,20 @@ fn bench_iso(c: &mut Criterion) {
         let delta = random_update_batch(&g, (g.edge_count() as f64 * frac) as usize, 0.5, 4);
         let mut g_post = g.clone();
         g_post.apply_batch(&delta);
-        group.bench_with_input(BenchmarkId::new("IncISO", format!("{frac}")), &delta, |b, d| {
-            b.iter_batched(
-                || (base.clone(), g.clone()),
-                |(mut inc, mut gg)| {
-                    gg.apply_batch(d);
-                    inc.apply(&gg, d);
-                },
-                BatchSize::LargeInput,
-            )
-        });
+        group.bench_with_input(
+            BenchmarkId::new("IncISO", format!("{frac}")),
+            &delta,
+            |b, d| {
+                b.iter_batched(
+                    || (base.clone(), g.clone()),
+                    |(mut inc, mut gg)| {
+                        gg.apply_batch(d);
+                        inc.apply(&gg, d);
+                    },
+                    BatchSize::LargeInput,
+                )
+            },
+        );
         group.bench_function(BenchmarkId::new("VF2", format!("{frac}")), |b| {
             b.iter(|| {
                 let mut w = WorkStats::new();

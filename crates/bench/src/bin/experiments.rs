@@ -36,7 +36,10 @@ fn main() {
         figs.extend(["unit", "rho", "undoable", "locality"].map(String::from));
     }
 
-    println!("# Experiments (scale {}, verify {})\n", cfg.scale, cfg.verify);
+    println!(
+        "# Experiments (scale {}, verify {})\n",
+        cfg.scale, cfg.verify
+    );
     for fig in figs {
         let start = std::time::Instant::now();
         let series = experiments::run(&fig, &cfg);

@@ -197,7 +197,11 @@ pub fn iso_point(
     // enumeration + the edge index the maintained state carries).
     let (fresh, t_batch) = time(|| IncIso::new(&g_inc, p.clone()));
     if verify {
-        assert_eq!(inc.sorted_matches(), fresh.sorted_matches(), "IncISO diverged from VF2");
+        assert_eq!(
+            inc.sorted_matches(),
+            fresh.sorted_matches(),
+            "IncISO diverged from VF2"
+        );
         assert_eq!(incn.sorted_matches(), fresh.sorted_matches());
     }
     vec![
@@ -232,7 +236,12 @@ pub fn fig8_deltag(class: Class, data: Dataset, cfg: &ExpConfig, title: &str) ->
         let delta = delta_for(&g, frac, 0.5, i as u64);
         let times = match class {
             Class::Kws => kws_point(&g, &workloads::default_kws(), &delta, cfg.verify),
-            Class::Rpq => rpq_point(&g, &workloads::default_rpq(data.alphabet()), &delta, cfg.verify),
+            Class::Rpq => rpq_point(
+                &g,
+                &workloads::default_rpq(data.alphabet()),
+                &delta,
+                cfg.verify,
+            ),
             Class::Scc => scc_point(&g, &delta, cfg.verify),
             Class::Iso => iso_point(&g, &workloads::default_iso(), &delta, cfg.verify),
         };
@@ -330,9 +339,12 @@ pub fn fig8_scale(class: Class, cfg: &ExpConfig, title: &str) -> Series {
         let delta = random_update_batch(&g, count, 0.5, GRAPH_SEED ^ 0xf1);
         let times = match class {
             Class::Kws => kws_point(&g, &workloads::default_kws(), &delta, cfg.verify),
-            Class::Rpq => {
-                rpq_point(&g, &workloads::default_rpq(Dataset::Synthetic.alphabet()), &delta, cfg.verify)
-            }
+            Class::Rpq => rpq_point(
+                &g,
+                &workloads::default_rpq(Dataset::Synthetic.alphabet()),
+                &delta,
+                cfg.verify,
+            ),
             Class::Scc => scc_point(&g, &delta, cfg.verify),
             Class::Iso => iso_point(&g, &workloads::default_iso(), &delta, cfg.verify),
         };
@@ -506,14 +518,54 @@ pub fn run(fig: &str, cfg: &ExpConfig) -> Series {
     use Class::*;
     use Dataset::*;
     match fig {
-        "fig8a" => fig8_deltag(Kws, DbpediaLike, cfg, "Fig 8(a) Varying ΔG, KWS (DBpedia-like)"),
-        "fig8b" => fig8_deltag(Rpq, DbpediaLike, cfg, "Fig 8(b) Varying ΔG, RPQ (DBpedia-like)"),
-        "fig8c" => fig8_deltag(Scc, DbpediaLike, cfg, "Fig 8(c) Varying ΔG, SCC (DBpedia-like)"),
-        "fig8d" => fig8_deltag(Iso, DbpediaLike, cfg, "Fig 8(d) Varying ΔG, ISO (DBpedia-like)"),
-        "fig8e" => fig8_deltag(Kws, LivejournalLike, cfg, "Fig 8(e) Varying ΔG, KWS (liveJ-like)"),
-        "fig8f" => fig8_deltag(Rpq, LivejournalLike, cfg, "Fig 8(f) Varying ΔG, RPQ (liveJ-like)"),
-        "fig8g" => fig8_deltag(Scc, LivejournalLike, cfg, "Fig 8(g) Varying ΔG, SCC (liveJ-like)"),
-        "fig8h" => fig8_deltag(Iso, LivejournalLike, cfg, "Fig 8(h) Varying ΔG, ISO (liveJ-like)"),
+        "fig8a" => fig8_deltag(
+            Kws,
+            DbpediaLike,
+            cfg,
+            "Fig 8(a) Varying ΔG, KWS (DBpedia-like)",
+        ),
+        "fig8b" => fig8_deltag(
+            Rpq,
+            DbpediaLike,
+            cfg,
+            "Fig 8(b) Varying ΔG, RPQ (DBpedia-like)",
+        ),
+        "fig8c" => fig8_deltag(
+            Scc,
+            DbpediaLike,
+            cfg,
+            "Fig 8(c) Varying ΔG, SCC (DBpedia-like)",
+        ),
+        "fig8d" => fig8_deltag(
+            Iso,
+            DbpediaLike,
+            cfg,
+            "Fig 8(d) Varying ΔG, ISO (DBpedia-like)",
+        ),
+        "fig8e" => fig8_deltag(
+            Kws,
+            LivejournalLike,
+            cfg,
+            "Fig 8(e) Varying ΔG, KWS (liveJ-like)",
+        ),
+        "fig8f" => fig8_deltag(
+            Rpq,
+            LivejournalLike,
+            cfg,
+            "Fig 8(f) Varying ΔG, RPQ (liveJ-like)",
+        ),
+        "fig8g" => fig8_deltag(
+            Scc,
+            LivejournalLike,
+            cfg,
+            "Fig 8(g) Varying ΔG, SCC (liveJ-like)",
+        ),
+        "fig8h" => fig8_deltag(
+            Iso,
+            LivejournalLike,
+            cfg,
+            "Fig 8(h) Varying ΔG, ISO (liveJ-like)",
+        ),
         "fig8i" => fig8_deltag(Scc, Synthetic, cfg, "Fig 8(i) Varying ΔG, SCC (Synthetic)"),
         "fig8j" => fig8j(cfg),
         "fig8k" => fig8k(cfg),
@@ -580,7 +632,13 @@ mod tests {
         let aff: Vec<f64> = s
             .rows
             .iter()
-            .map(|r| r.times.iter().find(|(n, _)| *n == "AFF(markings)").unwrap().1)
+            .map(|r| {
+                r.times
+                    .iter()
+                    .find(|(n, _)| *n == "AFF(markings)")
+                    .unwrap()
+                    .1
+            })
             .collect();
         assert!(
             aff.last().unwrap() > &(aff[0] * 2.0),

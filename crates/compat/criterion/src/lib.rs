@@ -1,0 +1,317 @@
+#![warn(missing_docs)]
+
+//! An offline, API-compatible subset of the `criterion` benchmark harness.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the workspace vendors the slice of criterion 0.5 its four bench targets
+//! use: [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BenchmarkId`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Statistics are deliberately simple — per benchmark it runs a short warmup
+//! then `sample_size` timed samples and reports min / median / mean — but
+//! the harness is honest: closures really run and really get timed, so
+//! relative comparisons (incremental vs batch, the only thing the paper's
+//! figures need) are meaningful. Under `cargo test` (criterion-style
+//! `--test` flag) each benchmark body is checked to run once rather than
+//! being measured.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// An opaque value barrier preventing the optimiser from deleting work.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How `iter_batched` amortises setup cost. The stub runs one routine call
+/// per setup call regardless of the hint, which preserves timing semantics
+/// (setup is always excluded from the measurement).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs (one setup per measured call).
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// A two-part benchmark identifier: function name and parameter value.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("IncKWS", "0.05")` displays as `IncKWS/0.05`.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Things accepted where criterion takes `impl Into<BenchmarkId>`-ish names.
+pub trait IntoBenchmarkId {
+    /// The display string for reports.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// The per-benchmark timing driver handed to bench closures.
+pub struct Bencher {
+    /// Number of timed samples to record.
+    sample_size: usize,
+    /// `true` under `cargo test`: run the body once, skip measurement.
+    test_mode: bool,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine`, called once per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warmup.
+        black_box(routine());
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Time `routine` on fresh input from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        if self.test_mode {
+            black_box(routine(setup()));
+            return;
+        }
+        black_box(routine(setup()));
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// A named group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 1, "sample_size must be >= 1");
+        self.sample_size = n;
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        if !self.criterion.matches(&self.name, &id) {
+            return;
+        }
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            test_mode: self.criterion.test_mode,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        if self.criterion.test_mode {
+            println!("test {}/{} ... ok", self.name, id);
+            return;
+        }
+        let mut samples = bencher.samples;
+        if samples.is_empty() {
+            // Bench closure never called iter/iter_batched.
+            println!("{}/{}: no samples", self.name, id);
+            return;
+        }
+        samples.sort();
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        println!(
+            "{}/{}: min {}  median {}  mean {}  ({} samples)",
+            self.name,
+            id,
+            fmt_duration(min),
+            fmt_duration(median),
+            fmt_duration(mean),
+            samples.len()
+        );
+    }
+
+    /// Benchmark `f` under `id`.
+    pub fn bench_function<ID: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: ID,
+        f: F,
+    ) -> &mut Self {
+        self.run(id.into_id(), f);
+        self
+    }
+
+    /// Benchmark `f` under `id` with a borrowed input value.
+    pub fn bench_with_input<ID: IntoBenchmarkId, I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: ID,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run(id.into_id(), |b| f(b, input));
+        self
+    }
+
+    /// End the group (report output is emitted eagerly, so this is a marker).
+    pub fn finish(self) {}
+}
+
+/// The benchmark manager: entry point constructed by [`criterion_main!`].
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        // Criterion-compatible argument subset: cargo passes `--bench` when
+        // benching and `--test` when running bench targets under `cargo
+        // test`; a bare token filters benchmark names. Upstream flags that
+        // take a value must consume it so the value is not mistaken for a
+        // name filter.
+        const VALUE_FLAGS: &[&str] = &[
+            "--sample-size",
+            "--warm-up-time",
+            "--measurement-time",
+            "--save-baseline",
+            "--baseline",
+            "--baseline-lenient",
+            "--load-baseline",
+            "--output-format",
+            "--color",
+            "--plotting-backend",
+            "--significance-level",
+            "--noise-threshold",
+            "--confidence-level",
+            "--sampling-mode",
+            "--nresamples",
+        ];
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                s if VALUE_FLAGS.contains(&s) => {
+                    args.next();
+                }
+                s if s.starts_with('-') => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Criterion { test_mode, filter }
+    }
+}
+
+impl Criterion {
+    fn matches(&self, group: &str, id: &str) -> bool {
+        match &self.filter {
+            None => true,
+            Some(f) => group.contains(f.as_str()) || id.contains(f.as_str()),
+        }
+    }
+
+    /// Open a benchmark group named `name`.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let mut group = self.benchmark_group(name.to_string());
+        group.sample_size(100).bench_function(name, f);
+        group.finish();
+        self
+    }
+}
+
+/// Collect bench functions into a runnable group, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -27,7 +27,7 @@ use igc_graph::{DynamicGraph, LabelInterner, NodeId, Update};
 pub struct TwoCycleGadget {
     /// The gadget graph (two 2n-cycles plus `w`).
     pub graph: DynamicGraph,
-    /// Query string in [`Regex::parse`] syntax: `a1.a1*.a2.a2*.a1.a3`.
+    /// Query string in `Regex::parse` syntax: `a1.a1*.a2.a2*.a1.a3`.
     pub query: &'static str,
     /// Interner resolving `a1`, `a2`, `a3`.
     pub interner: LabelInterner,

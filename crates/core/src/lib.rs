@@ -13,7 +13,7 @@
 //!   the workspace implements,
 //! * [`ssrp`] — single-source reachability to all vertices, the anchor
 //!   problem of the paper's Δ-reductions (unbounded under deletions,
-//!   bounded under insertions [38]),
+//!   bounded under insertions \[38\]),
 //! * [`reductions`] — the Δ-reduction from SSRP to RPQ used in the proof of
 //!   Theorem 1, as executable `(f, fi, fo)` functions,
 //! * [`gadgets`] — the two-cycle instance family of Fig. 9 behind the

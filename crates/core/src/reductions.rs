@@ -2,7 +2,7 @@
 //!
 //! A Δ-reduction from query class `Q1` to `Q2` maps instances, input updates
 //! and output updates in PTIME in `|ΔG1| + |ΔO1|` and `|Q1|`; it preserves
-//! boundedness (Lemma 2), so the unboundedness of SSRP under deletions [38]
+//! boundedness (Lemma 2), so the unboundedness of SSRP under deletions \[38\]
 //! transfers to RPQ (and, in the paper's appendix, to SCC).
 //!
 //! This module implements the SSRP → RPQ reduction used in the proof of
@@ -25,7 +25,7 @@ pub struct SsrpToRpq {
     pub alpha2: Label,
     /// The SSRP source `vs`.
     pub source: NodeId,
-    /// The query string for `Q2 = α1·α2*` in [`Regex::parse`] syntax.
+    /// The query string for `Q2 = α1·α2*` in `Regex::parse` syntax.
     pub query: &'static str,
 }
 

@@ -2,7 +2,7 @@
 //!
 //! SSRP asks, for a fixed source `vs`, whether every node `vt` is reachable
 //! from `vs`; the answer is a Boolean `r(v)` per node. Ramalingam and Reps
-//! [38] showed its incremental problem is *unbounded under unit deletions*
+//! \[38\] showed its incremental problem is *unbounded under unit deletions*
 //! but *bounded under unit insertions* — the asymmetry the paper highlights,
 //! and the anchor of the Δ-reductions proving Theorem 1.
 //!

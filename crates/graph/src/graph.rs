@@ -278,7 +278,12 @@ mod tests {
     #[test]
     fn apply_insert_creates_nodes() {
         let mut g = graph_from(&[0], &[]);
-        g.apply(&Update::insert_labeled(NodeId(0), NodeId(3), None, Some(Label(5))));
+        g.apply(&Update::insert_labeled(
+            NodeId(0),
+            NodeId(3),
+            None,
+            Some(Label(5)),
+        ));
         assert_eq!(g.node_count(), 4);
         assert!(g.contains_edge(NodeId(0), NodeId(3)));
         assert_eq!(g.label(NodeId(3)), Label(5));

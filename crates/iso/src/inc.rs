@@ -331,8 +331,7 @@ mod tests {
         let run = |mut g: DynamicGraph| -> u64 {
             let mut inc = IncIso::new(&g, Pattern::from_parts(&[0, 1], &[(0, 1)]));
             inc.reset_work();
-            let delta =
-                UpdateBatch::from_updates(vec![Update::insert(NodeId(0), NodeId(1))]);
+            let delta = UpdateBatch::from_updates(vec![Update::insert(NodeId(0), NodeId(1))]);
             g.apply_batch(&delta);
             inc.apply(&g, &delta);
             inc.work().total()

@@ -6,12 +6,12 @@
 //! under a label-preserving bijection; matches are identified by the
 //! subgraph (node set + edge set), so automorphic mappings collapse to one
 //! match. Deciding emptiness is NP-complete; the incremental problem is
-//! unbounded even for tree patterns [17] — but **localizable** (Theorem 3):
+//! unbounded even for tree patterns \[17\] — but **localizable** (Theorem 3):
 //! every match created by an insertion lies inside the `d_Q`-neighbourhood
 //! of the inserted edge, where `d_Q` is the pattern diameter.
 //!
 //! * [`pattern`] — connected labelled patterns with their diameter,
-//! * [`vf2`] — VF2-style enumeration of all matches [15],
+//! * [`vf2`] — VF2-style enumeration of all matches \[15\],
 //! * [`inc`] — [`IncIso`]: deletions remove indexed matches; insertions run
 //!   VF2 on the induced `d_Q`-neighbourhood of `ΔG⁺` only.
 

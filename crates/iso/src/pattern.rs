@@ -23,8 +23,8 @@ impl Pattern {
     /// experiment patterns are connected).
     pub fn new(graph: DynamicGraph) -> Self {
         assert!(graph.node_count() > 0, "empty pattern");
-        let diameter = undirected_diameter(&graph)
-            .expect("pattern must be weakly connected for d_Q-locality");
+        let diameter =
+            undirected_diameter(&graph).expect("pattern must be weakly connected for d_Q-locality");
         let order = connectivity_order(&graph);
         Pattern {
             graph,

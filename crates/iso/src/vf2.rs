@@ -1,4 +1,4 @@
-//! VF2-style enumeration of all pattern matches [15].
+//! VF2-style enumeration of all pattern matches \[15\].
 //!
 //! The search maps pattern nodes one at a time in a connectivity order;
 //! candidates for each pattern node are drawn from the graph neighbourhoods
@@ -289,10 +289,7 @@ mod tests {
         // Pattern: 0→1, 0→2, 1→3, 2→3 (labels uniform); graph: two stacked
         // diamonds sharing the middle layer.
         let p = Pattern::from_parts(&[0; 4], &[(0, 1), (0, 2), (1, 3), (2, 3)]);
-        let g = graph_from(
-            &[0; 5],
-            &[(0, 1), (0, 2), (1, 3), (2, 3), (1, 4), (2, 4)],
-        );
+        let g = graph_from(&[0; 5], &[(0, 1), (0, 2), (1, 3), (2, 3), (1, 4), (2, 4)]);
         // {0,1,2,3} and {0,1,2,4} — both diamonds.
         assert_eq!(count_matches(&g, &p), 2);
     }

@@ -19,7 +19,14 @@ pub fn compute_kdist(g: &DynamicGraph, q: &KwsQuery, work: &mut WorkStats) -> Kd
     for (ki, &k) in q.keywords.iter().enumerate() {
         let mut queue: VecDeque<NodeId> = VecDeque::new();
         for &p in g.nodes_with_label(k) {
-            kd.set(p, ki, KdistEntry { dist: 0, next: None });
+            kd.set(
+                p,
+                ki,
+                KdistEntry {
+                    dist: 0,
+                    next: None,
+                },
+            );
             queue.push_back(p);
             work.queue_ops += 1;
         }
@@ -148,17 +155,17 @@ mod tests {
         let g = graph_from(
             &[0, 3, 1, 2, 1, 2, 1, 0, 3, 1],
             &[
-                (3, 0),  // e5: c1→a1  (dotted in the figure)
-                (5, 6),  // e2: c2→b3 (dotted)
-                (0, 1),  // a1→d2
-                (2, 0),  // b2→a1
-                (3, 4),  // c1→b1
-                (4, 0),  // b1→a1 (gives c1 dist 2 to a)
-                (5, 2),  // c2→b2
-                (6, 7),  // b3→a2
-                (7, 8),  // a2→d1
-                (2, 9),  // b2→b4
-                (9, 8),  // b4→d1
+                (3, 0), // e5: c1→a1  (dotted in the figure)
+                (5, 6), // e2: c2→b3 (dotted)
+                (0, 1), // a1→d2
+                (2, 0), // b2→a1
+                (3, 4), // c1→b1
+                (4, 0), // b1→a1 (gives c1 dist 2 to a)
+                (5, 2), // c2→b2
+                (6, 7), // b3→a2
+                (7, 8), // a2→d1
+                (2, 9), // b2→b4
+                (9, 8), // b4→d1
             ],
         );
         // Q = (a, d), b = 2 — Example 1.

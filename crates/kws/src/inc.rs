@@ -146,7 +146,14 @@ impl IncKws {
         if dw >= b || dw + 1 >= self.kd.get(v, ki).dist {
             return;
         }
-        self.kd.set(v, ki, KdistEntry { dist: dw + 1, next: Some(w) });
+        self.kd.set(
+            v,
+            ki,
+            KdistEntry {
+                dist: dw + 1,
+                next: Some(w),
+            },
+        );
         changed.insert(v);
         // Lines 4–8: BFS propagation to ancestors, stopping at the bound.
         let mut queue: VecDeque<NodeId> = VecDeque::new();
@@ -160,7 +167,14 @@ impl IncKws {
             for &p in g.predecessors(u) {
                 self.work.edges_traversed += 1;
                 if du + 1 < self.kd.get(p, ki).dist {
-                    self.kd.set(p, ki, KdistEntry { dist: du + 1, next: Some(u) });
+                    self.kd.set(
+                        p,
+                        ki,
+                        KdistEntry {
+                            dist: du + 1,
+                            next: Some(u),
+                        },
+                    );
                     changed.insert(p);
                     queue.push_back(p);
                     self.work.queue_ops += 1;
@@ -234,7 +248,10 @@ impl IncKws {
                 if dy < b {
                     let cand = dy + 1;
                     if cand < best.dist || (cand == best.dist && Some(y) < best.next) {
-                        best = KdistEntry { dist: cand, next: Some(y) };
+                        best = KdistEntry {
+                            dist: cand,
+                            next: Some(y),
+                        };
                     }
                 }
             }
@@ -275,7 +292,14 @@ impl IncKws {
                 self.work.edges_traversed += 1;
                 let e = self.kd.get(p, ki);
                 if d + 1 < e.dist {
-                    self.kd.set(p, ki, KdistEntry { dist: d + 1, next: Some(u) });
+                    self.kd.set(
+                        p,
+                        ki,
+                        KdistEntry {
+                            dist: d + 1,
+                            next: Some(u),
+                        },
+                    );
                     changed.insert(p);
                     heap.push(Reverse((d + 1, p)));
                     self.work.queue_ops += 1;
@@ -312,7 +336,14 @@ impl IncKws {
                 let dw = self.kd.get(w, ki).dist;
                 self.work.aux_touched += 1;
                 if dw < b && dw + 1 < self.kd.get(v, ki).dist {
-                    self.kd.set(v, ki, KdistEntry { dist: dw + 1, next: Some(w) });
+                    self.kd.set(
+                        v,
+                        ki,
+                        KdistEntry {
+                            dist: dw + 1,
+                            next: Some(w),
+                        },
+                    );
                     changed.insert(v);
                     heap.push(Reverse((dw + 1, v)));
                     self.work.queue_ops += 1;
@@ -378,7 +409,14 @@ impl IncKws {
                     self.work.edges_traversed += 1;
                     let e = self.kd.get(p, ki);
                     if du + 1 < e.dist {
-                        self.kd.set(p, ki, KdistEntry { dist: du + 1, next: Some(u) });
+                        self.kd.set(
+                            p,
+                            ki,
+                            KdistEntry {
+                                dist: du + 1,
+                                next: Some(u),
+                            },
+                        );
                         changed.insert(p);
                         queue.push_back(p);
                     }
@@ -523,7 +561,10 @@ mod tests {
         let w0 = inc.work().total();
         g.delete_edge(NodeId(0), NodeId(2)); // not the selected path
         inc.delete_edge(&g, NodeId(0), NodeId(2));
-        assert!(inc.work().total() - w0 <= 2, "unused deletion must be ~free");
+        assert!(
+            inc.work().total() - w0 <= 2,
+            "unused deletion must be ~free"
+        );
         assert_matches_batch(&inc, &g);
     }
 

@@ -152,9 +152,7 @@ impl Kdist {
                         }
                         let en = self.get(n, ki);
                         if en.dist != e.dist - 1 {
-                            return Err(format!(
-                                "next not on a shortest path at {v:?}[{ki}]"
-                            ));
+                            return Err(format!("next not on a shortest path at {v:?}[{ki}]"));
                         }
                     }
                 }
@@ -202,7 +200,11 @@ pub fn oracle_distances(g: &DynamicGraph, q: &KwsQuery) -> Vec<Vec<u32>> {
                     .map(|&p| traversal::dist(g, v, p))
                     .min()
                     .unwrap_or(traversal::INF);
-                if best > q.bound { t == UNREACHED } else { t == best }
+                if best > q.bound {
+                    t == UNREACHED
+                } else {
+                    t == best
+                }
             })
         });
         ok
@@ -228,9 +230,23 @@ mod tests {
     #[test]
     fn qualifies_requires_all_keywords() {
         let mut k = Kdist::bottom(1, 2);
-        k.set(NodeId(0), 0, KdistEntry { dist: 1, next: None });
+        k.set(
+            NodeId(0),
+            0,
+            KdistEntry {
+                dist: 1,
+                next: None,
+            },
+        );
         assert!(!k.qualifies(NodeId(0), 2));
-        k.set(NodeId(0), 1, KdistEntry { dist: 2, next: None });
+        k.set(
+            NodeId(0),
+            1,
+            KdistEntry {
+                dist: 2,
+                next: None,
+            },
+        );
         assert!(k.qualifies(NodeId(0), 2));
         assert!(!k.qualifies(NodeId(0), 1));
     }
@@ -249,9 +265,30 @@ mod tests {
     #[test]
     fn path_follows_next_chain() {
         let mut k = Kdist::bottom(3, 1);
-        k.set(NodeId(0), 0, KdistEntry { dist: 2, next: Some(NodeId(1)) });
-        k.set(NodeId(1), 0, KdistEntry { dist: 1, next: Some(NodeId(2)) });
-        k.set(NodeId(2), 0, KdistEntry { dist: 0, next: None });
+        k.set(
+            NodeId(0),
+            0,
+            KdistEntry {
+                dist: 2,
+                next: Some(NodeId(1)),
+            },
+        );
+        k.set(
+            NodeId(1),
+            0,
+            KdistEntry {
+                dist: 1,
+                next: Some(NodeId(2)),
+            },
+        );
+        k.set(
+            NodeId(2),
+            0,
+            KdistEntry {
+                dist: 0,
+                next: None,
+            },
+        );
         assert_eq!(k.path(NodeId(0), 0), vec![NodeId(0), NodeId(1), NodeId(2)]);
     }
 }

@@ -84,7 +84,10 @@ impl MatchTree {
             }
             for w in p.windows(2) {
                 if !g.contains_edge(w[0], w[1]) {
-                    return Err(format!("path {i} uses a missing edge {:?}→{:?}", w[0], w[1]));
+                    return Err(format!(
+                        "path {i} uses a missing edge {:?}→{:?}",
+                        w[0], w[1]
+                    ));
                 }
             }
             let len = p.len() as u32 - 1;

@@ -113,10 +113,7 @@ pub fn build_nfa(regex: &Regex) -> Nfa {
 
     // Initial transitions: δ(s0, label(p)) ∋ p for p ∈ first.
     for &p in &info.first {
-        delta[0]
-            .entry(b.pos_label[p as usize])
-            .or_default()
-            .push(p);
+        delta[0].entry(b.pos_label[p as usize]).or_default().push(p);
     }
     // Interior transitions: δ(q, label(p)) ∋ p for p ∈ follow(q).
     #[allow(clippy::needless_range_loop)] // `follow` is taken by index to appease borrows
@@ -124,10 +121,7 @@ pub fn build_nfa(regex: &Regex) -> Nfa {
         // Move the follow list out to appease the borrow checker.
         let follows = std::mem::take(&mut b.follow[q]);
         for &p in &follows {
-            delta[q]
-                .entry(b.pos_label[p as usize])
-                .or_default()
-                .push(p);
+            delta[q].entry(b.pos_label[p as usize]).or_default().push(p);
         }
     }
     let mut accepting = vec![false; n];
@@ -212,8 +206,17 @@ mod tests {
         // Enumerate all words up to length 4 over {a, b} for several
         // expressions and compare NFA acceptance with the AST oracle.
         let exprs = [
-            "a", "a*", "a.b", "a+b", "(a.b)*", "a.(a+b)*", "(a+b).(a+b)",
-            "a*.b*", "(a.b+b.a)*", "%+a.b", "a.a*+b",
+            "a",
+            "a*",
+            "a.b",
+            "a+b",
+            "(a.b)*",
+            "a.(a+b)*",
+            "(a+b).(a+b)",
+            "a*.b*",
+            "(a.b+b.a)*",
+            "%+a.b",
+            "a.a*+b",
         ];
         for expr in exprs {
             let mut it = LabelInterner::new();

@@ -4,7 +4,7 @@
 //!
 //! The paper's batch algorithm for RPQ (`RPQ_NFA`, Section 5.2) first
 //! translates the regular expression `Q ::= ε | α | Q·Q | Q+Q | Q*` into a
-//! *small ε-free NFA* following Hromkovič et al. [29]; the Glushkov position
+//! *small ε-free NFA* following Hromkovič et al. \[29\]; the Glushkov position
 //! automaton built here has the same signature (ε-free, `|Q| + 1` states,
 //! where `|Q|` counts label occurrences) and is the standard realisation of
 //! that construction.

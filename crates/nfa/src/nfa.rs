@@ -111,11 +111,7 @@ impl Nfa {
     /// Every label that appears on some transition (the alphabet actually
     /// used; labels outside this set can never advance the automaton).
     pub fn used_labels(&self) -> Vec<Label> {
-        let mut set: Vec<Label> = self
-            .delta
-            .iter()
-            .flat_map(|m| m.keys().copied())
-            .collect();
+        let mut set: Vec<Label> = self.delta.iter().flat_map(|m| m.keys().copied()).collect();
         set.sort_unstable();
         set.dedup();
         set

@@ -220,7 +220,11 @@ impl IncRpq {
 
     /// A seed marking `(u, u, s)` exists independently of any edge.
     fn is_seed(&self, g: &DynamicGraph, key: MarkKey) -> bool {
-        key.node == key.source && self.nfa.start_states(g.label(key.source)).contains(&key.state)
+        key.node == key.source
+            && self
+                .nfa
+                .start_states(g.label(key.source))
+                .contains(&key.state)
     }
 
     // ------------------------------------------------------------------
@@ -230,19 +234,15 @@ impl IncRpq {
     /// Phase 1 — identAff: remove deleted/invalidated predecessors from
     /// `mpre` sets; entries whose `mpre` empties are affected, and the
     /// invalidation cascades along the product graph.
-    fn ident_aff(
-        &mut self,
-        g: &DynamicGraph,
-        deletions: &[(NodeId, NodeId)],
-    ) -> Vec<MarkKey> {
+    fn ident_aff(&mut self, g: &DynamicGraph, deletions: &[(NodeId, NodeId)]) -> Vec<MarkKey> {
         let mut affected: FxHashSet<MarkKey> = FxHashSet::default();
         let mut order: Vec<MarkKey> = Vec::new();
         let mut stack: Vec<MarkKey> = Vec::new();
 
         let flag = |key: MarkKey,
-                        affected: &mut FxHashSet<MarkKey>,
-                        order: &mut Vec<MarkKey>,
-                        stack: &mut Vec<MarkKey>| {
+                    affected: &mut FxHashSet<MarkKey>,
+                    order: &mut Vec<MarkKey>,
+                    stack: &mut Vec<MarkKey>| {
             if affected.insert(key) {
                 order.push(key);
                 stack.push(key);

@@ -106,10 +106,7 @@ impl Markings {
     }
 
     /// Iterate the `(source, state, entry)` markings of one node.
-    pub fn at_node(
-        &self,
-        v: NodeId,
-    ) -> impl Iterator<Item = (NodeId, StateId, &MarkEntry)> + '_ {
+    pub fn at_node(&self, v: NodeId) -> impl Iterator<Item = (NodeId, StateId, &MarkEntry)> + '_ {
         self.per_node[v.index()]
             .iter()
             .map(|(&(u, s), e)| (u, s, e))
@@ -162,9 +159,27 @@ mod tests {
     #[test]
     fn at_node_iterates_only_that_node() {
         let mut m = Markings::new(2);
-        m.set(key(0, 0, 1), MarkEntry { dist: 0, mpre: vec![] });
-        m.set(key(5, 0, 2), MarkEntry { dist: 3, mpre: vec![] });
-        m.set(key(0, 1, 1), MarkEntry { dist: 1, mpre: vec![] });
+        m.set(
+            key(0, 0, 1),
+            MarkEntry {
+                dist: 0,
+                mpre: vec![],
+            },
+        );
+        m.set(
+            key(5, 0, 2),
+            MarkEntry {
+                dist: 3,
+                mpre: vec![],
+            },
+        );
+        m.set(
+            key(0, 1, 1),
+            MarkEntry {
+                dist: 1,
+                mpre: vec![],
+            },
+        );
         assert_eq!(m.at_node(NodeId(0)).count(), 2);
         assert_eq!(m.at_node(NodeId(1)).count(), 1);
         assert_eq!(m.keys_at_node(NodeId(1)), vec![(NodeId(0), 1)]);
@@ -173,7 +188,13 @@ mod tests {
     #[test]
     fn grow_preserves_entries() {
         let mut m = Markings::new(1);
-        m.set(key(0, 0, 0), MarkEntry { dist: 7, mpre: vec![] });
+        m.set(
+            key(0, 0, 0),
+            MarkEntry {
+                dist: 7,
+                mpre: vec![],
+            },
+        );
         m.grow(5);
         assert_eq!(m.node_count(), 5);
         assert_eq!(m.dist(key(0, 0, 0)), 7);

@@ -62,9 +62,7 @@ impl Condensation {
 
     /// Member nodes of an scc.
     pub fn members(&self, id: SccId) -> &[NodeId] {
-        self.members
-            .get(&id)
-            .map_or(&[], |m| m.as_slice())
+        self.members.get(&id).map_or(&[], |m| m.as_slice())
     }
 
     /// The rank `r(id)`.

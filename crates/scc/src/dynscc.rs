@@ -1,7 +1,7 @@
 //! DynSCC — a dynamic-SCC baseline maintaining per-component certificates.
 //!
 //! The paper's DynSCC combines the incremental algorithm of Haeupler et
-//! al. [26] with the decremental algorithm of Łącki [32]. This baseline is a
+//! al. \[26\] with the decremental algorithm of Łącki \[32\]. This baseline is a
 //! simplification that is faithful *in behaviour*: every non-singleton
 //! component carries a strong-connectivity certificate (a forward spanning
 //! tree from a root plus a backward spanning tree to it). Deleting an edge
@@ -161,8 +161,7 @@ impl IncrementalAlgorithm for DynScc {
         let mut candidates: Vec<(SccId, NodeId, NodeId)> = Vec::new();
         for u in delta.iter() {
             let (v, w) = u.edge();
-            let known =
-                self.inner.condensation().knows(v) && self.inner.condensation().knows(w);
+            let known = self.inner.condensation().knows(v) && self.inner.condensation().knows(w);
             if !u.is_insert() && known && self.inner.scc_of(v) == self.inner.scc_of(w) {
                 candidates.push((self.inner.scc_of(v), v, w));
             } else {
@@ -287,20 +286,17 @@ mod tests {
         // Triangle + chord: the chord is in no spanning tree built from
         // root 0 (forward tree uses 0→1→2... depends; use a clear case).
         // 4-cycle 0→1→2→3→0 plus chord 1→3 and 3→1.
-        let mut g = graph_from(
-            &[0; 4],
-            &[(0, 1), (1, 2), (2, 3), (3, 0), (1, 3), (3, 1)],
-        );
+        let mut g = graph_from(&[0; 4], &[(0, 1), (1, 2), (2, 3), (3, 0), (1, 3), (3, 1)]);
         let mut d = DynScc::new(&g);
         let before = d.work().nodes_visited;
         // Deleting 3→1: forward tree from 0 never uses it (3 is reached via
         // 2 at distance ≥ 2 vs 1→3 chord...); whether fast or slow, the
         // answer must stay correct.
         g.delete_edge(NodeId(3), NodeId(1));
-        d.apply(&g, &UpdateBatch::from_updates(vec![Update::delete(
-            NodeId(3),
-            NodeId(1),
-        )]));
+        d.apply(
+            &g,
+            &UpdateBatch::from_updates(vec![Update::delete(NodeId(3), NodeId(1))]),
+        );
         assert_eq!(d.scc_count(), 1);
         assert_matches_batch(&d, &g);
         let _ = before;
@@ -311,10 +307,10 @@ mod tests {
         let mut g = graph_from(&[0; 3], &[(0, 1), (1, 2), (2, 0)]);
         let mut d = DynScc::new(&g);
         g.delete_edge(NodeId(1), NodeId(2));
-        d.apply(&g, &UpdateBatch::from_updates(vec![Update::delete(
-            NodeId(1),
-            NodeId(2),
-        )]));
+        d.apply(
+            &g,
+            &UpdateBatch::from_updates(vec![Update::delete(NodeId(1), NodeId(2))]),
+        );
         assert_eq!(d.scc_count(), 3);
         assert_matches_batch(&d, &g);
     }
@@ -324,10 +320,10 @@ mod tests {
         let mut g = graph_from(&[0; 4], &[(0, 1), (1, 0), (2, 3), (3, 2), (1, 2)]);
         let mut d = DynScc::new(&g);
         g.insert_edge(NodeId(3), NodeId(0));
-        d.apply(&g, &UpdateBatch::from_updates(vec![Update::insert(
-            NodeId(3),
-            NodeId(0),
-        )]));
+        d.apply(
+            &g,
+            &UpdateBatch::from_updates(vec![Update::insert(NodeId(3), NodeId(0))]),
+        );
         assert_eq!(d.scc_count(), 1);
         assert_matches_batch(&d, &g);
         // the merged component must carry a fresh certificate

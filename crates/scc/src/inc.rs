@@ -214,12 +214,7 @@ impl IncScc {
     /// component stays whole, refresh `num`/`lowlink`; otherwise split it.
     /// `pending_ins` are batch insertions not yet reflected in `Gc` — the
     /// boundary rescan skips them so they are counted exactly once later.
-    fn recompute_component(
-        &mut self,
-        g: &DynamicGraph,
-        id: SccId,
-        pending_ins: &FxHashSet<Edge>,
-    ) {
+    fn recompute_component(&mut self, g: &DynamicGraph, id: SccId, pending_ins: &FxHashSet<Edge>) {
         let members: Vec<NodeId> = self.cond.members(id).to_vec();
         let r = tarjan_restricted(g, &members);
         self.work.nodes_visited += members.len() as u64;
@@ -602,7 +597,11 @@ mod tests {
 
     fn assert_matches_batch(inc: &IncScc, g: &DynamicGraph) {
         let batch = tarjan(g);
-        assert_eq!(inc.components(), batch.canonical(), "IncSCC diverged from Tarjan");
+        assert_eq!(
+            inc.components(),
+            batch.canonical(),
+            "IncSCC diverged from Tarjan"
+        );
         inc.cond.check_invariants().expect("invariants");
     }
 

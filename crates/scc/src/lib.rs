@@ -4,7 +4,7 @@
 //! incremental algorithm IncSCC (Section 5.3 of the paper), and a dynamic
 //! baseline DynSCC.
 //!
-//! * [`tarjan`] — iterative Tarjan with `num`/`lowlink` values, reverse
+//! * [`tarjan`](mod@tarjan) — iterative Tarjan with `num`/`lowlink` values, reverse
 //!   topological emission order and DFS edge classification,
 //! * [`condensation`] — the contracted graph `Gc` with multi-edge counters
 //!   and topological ranks (`r(v) > r(v')` along every edge),
@@ -12,8 +12,8 @@
 //!   cycle merge + `reallocRank`), unit deletions (component split with rank
 //!   gap-filling), and grouped batch updates,
 //! * [`dynscc`] — [`DynScc`]: a certificate-maintaining dynamic SCC baseline
-//!   in the spirit of the paper's combination of Haeupler et al. [26] and
-//!   Łącki [32]; it pays certificate upkeep even when the output is stable,
+//!   in the spirit of the paper's combination of Haeupler et al. \[26\] and
+//!   Łącki \[32\]; it pays certificate upkeep even when the output is stable,
 //!   which is exactly the behaviour the paper measures against.
 
 pub mod condensation;

@@ -1,4 +1,4 @@
-//! Tarjan's SCC algorithm [43], iterative, with the auxiliary values the
+//! Tarjan's SCC algorithm \[43\], iterative, with the auxiliary values the
 //! paper's incrementalization maintains: `num` (DFS discovery order),
 //! `lowlink`, reverse-topological component emission order, and the DFS edge
 //! classification of Section 5.3 (tree arcs, fronds, reverse fronds,
@@ -207,7 +207,7 @@ impl State {
     }
 }
 
-/// DFS classification of a graph edge (Section 5.3 / Tarjan [43]).
+/// DFS classification of a graph edge (Section 5.3 / Tarjan \[43\]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EdgeKind {
     /// Leads to a node first discovered through this edge.
@@ -287,15 +287,7 @@ mod tests {
         // edges A→B, B→C
         graph_from(
             &[0; 6],
-            &[
-                (0, 1),
-                (1, 2),
-                (2, 0),
-                (2, 3),
-                (3, 4),
-                (4, 3),
-                (4, 5),
-            ],
+            &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 3), (4, 5)],
         )
     }
 
@@ -405,10 +397,7 @@ mod tests {
         //     3
         // extra: 3→0 (frond), 0→3 (reverse frond), 2→3 (cross, since DFS
         // visits 1's subtree first).
-        let g = graph_from(
-            &[0; 4],
-            &[(0, 1), (0, 2), (1, 3), (3, 0), (0, 3), (2, 3)],
-        );
+        let g = graph_from(&[0; 4], &[(0, 1), (0, 2), (1, 3), (3, 0), (0, 3), (2, 3)]);
         let k = classify_edges(&g);
         assert_eq!(k[&(NodeId(0), NodeId(1))], EdgeKind::TreeArc);
         assert_eq!(k[&(NodeId(1), NodeId(3))], EdgeKind::TreeArc);

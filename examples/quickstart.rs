@@ -51,10 +51,7 @@ fn main() {
     println!("KWS roots: {:?}", kws.roots());
 
     // --- ISO: person→person→city path motifs. -----------------------------
-    let pattern = Pattern::from_parts(
-        &[person.0, person.0, city.0],
-        &[(0, 1), (1, 2)],
-    );
+    let pattern = Pattern::from_parts(&[person.0, person.0, city.0], &[(0, 1), (1, 2)]);
     let mut iso = IncIso::new(&g, pattern);
     println!("ISO match count: {}", iso.match_count());
 

@@ -58,9 +58,7 @@ pub use igc_scc as scc;
 pub mod prelude {
     pub use igc_core::work::WorkStats;
     pub use igc_core::IncrementalAlgorithm;
-    pub use igc_graph::{
-        DynamicGraph, Edge, Label, LabelInterner, NodeId, Update, UpdateBatch,
-    };
+    pub use igc_graph::{DynamicGraph, Edge, Label, LabelInterner, NodeId, Update, UpdateBatch};
     pub use igc_iso::{IncIso, Pattern};
     pub use igc_kws::{IncKws, KwsQuery};
     pub use igc_nfa::{Nfa, Regex};

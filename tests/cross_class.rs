@@ -65,8 +65,9 @@ fn four_classes_stay_consistent_across_batches() {
 
             // ISO against VF2.
             let mut w = WorkStats::new();
-            let mut fresh_iso: Vec<_> =
-                enumerate_matches(&g, &pattern, &mut w).into_iter().collect();
+            let mut fresh_iso: Vec<_> = enumerate_matches(&g, &pattern, &mut w)
+                .into_iter()
+                .collect();
             fresh_iso.sort();
             assert_eq!(
                 iso.sorted_matches(),

@@ -58,7 +58,11 @@ fn delete_then_reinsert_same_edge_round_trips() {
     let mut rpq = IncRpq::new(&g, &q);
     let mut kws = IncKws::new(&g, KwsQuery::new(vec![Label(1)], 2));
     let mut scc = IncScc::new(&g);
-    let original = (rpq.sorted_answer(), kws.answer_signature(), scc.components());
+    let original = (
+        rpq.sorted_answer(),
+        kws.answer_signature(),
+        scc.components(),
+    );
 
     for _ in 0..3 {
         let del = UpdateBatch::from_updates(vec![Update::delete(a, b)]);
@@ -191,7 +195,10 @@ fn rpq_star_only_query_matches_every_labelled_node() {
     assert!(rpq.contains_pair(x, x));
     assert!(rpq.contains_pair(x, y));
     assert!(!rpq.contains_pair(y, z), "z's label breaks the word");
-    assert!(!rpq.contains_pair(z, z), "ε-acceptance needs a 1-symbol word");
+    assert!(
+        !rpq.contains_pair(z, z),
+        "ε-acceptance needs a 1-symbol word"
+    );
 }
 
 #[test]

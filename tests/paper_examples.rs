@@ -95,10 +95,7 @@ fn example3_batch_interleaves_deletions_and_insertions() {
 
     // Delete (c2,b3) and insert (b2,a1) in one batch: the a-distance of c2
     // is decided once, staying 2 through the new route c2→b2→a1.
-    let delta = UpdateBatch::from_updates(vec![
-        Update::delete(c2, b3),
-        Update::insert(b2, a1),
-    ]);
+    let delta = UpdateBatch::from_updates(vec![Update::delete(c2, b3), Update::insert(b2, a1)]);
     g.apply_batch(&delta);
     kws.apply(&g, &delta);
     assert_eq!(kws.kdist().get(c2, 0).dist, 2);

@@ -3,9 +3,7 @@
 //! lower bound.
 
 use incgraph::core::gadgets::{two_cycle_gadget, v_nodes};
-use incgraph::core::reductions::{
-    map_input_updates, map_output_updates, ssrp_to_rpq, PairChange,
-};
+use incgraph::core::reductions::{map_input_updates, map_output_updates, ssrp_to_rpq, PairChange};
 use incgraph::core::Ssrp;
 use incgraph::graph::generator::{random_update_batch, uniform_graph};
 use incgraph::graph::traversal::reachable_from;
@@ -50,12 +48,18 @@ fn ssrp_to_rpq_reduction_with_real_engine() {
         let mut delta_o2: Vec<PairChange> = Vec::new();
         for &p in &after_pairs {
             if !before_pairs.contains(&p) {
-                delta_o2.push(PairChange { pair: p, added: true });
+                delta_o2.push(PairChange {
+                    pair: p,
+                    added: true,
+                });
             }
         }
         for &p in &before_pairs {
             if !after_pairs.contains(&p) {
-                delta_o2.push(PairChange { pair: p, added: false });
+                delta_o2.push(PairChange {
+                    pair: p,
+                    added: false,
+                });
             }
         }
         let delta_o1 = map_output_updates(&red, &delta_o2);
@@ -118,18 +122,17 @@ fn two_cycle_gadget_shows_unbounded_aff() {
             aff1 > last_aff,
             "AFF must grow with n: {aff1} vs previous {last_aff}"
         );
-        assert!(
-            aff1 as usize >= n,
-            "AFF must be Ω(n): {aff1} for n = {n}"
-        );
+        assert!(aff1 as usize >= n, "AFF must be Ω(n): {aff1} for n = {n}");
         last_aff = aff1;
 
         // Δ2 completes the pattern: all 2n v-nodes match.
         let d2 = UpdateBatch::from_updates(vec![gadget.delta2]);
         g.apply_batch(&d2);
         rpq.apply(&g, &d2);
-        let expected: Vec<(NodeId, NodeId)> =
-            v_nodes(&gadget).into_iter().map(|v| (v, gadget.w)).collect();
+        let expected: Vec<(NodeId, NodeId)> = v_nodes(&gadget)
+            .into_iter()
+            .map(|v| (v, gadget.w))
+            .collect();
         assert_eq!(rpq.sorted_answer(), expected);
     }
 }
