@@ -1,0 +1,105 @@
+//! Engine commit pipeline: all four view classes registered on one
+//! churning generator-built graph, measuring `Engine::commit` end to end
+//! (normalize once → apply ΔG once → fan out to every view).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use igc_bench::workloads;
+use igc_engine::Engine;
+use igc_graph::generator::{random_update_batch, Dataset};
+use igc_graph::{DynamicGraph, Update, UpdateBatch};
+use igc_iso::IncIso;
+use igc_kws::IncKws;
+use igc_rpq::IncRpq;
+use igc_scc::IncScc;
+
+const SCALE: f64 = 0.02;
+
+/// Base state built once: graph plus pre-constructed views (cloned into a
+/// fresh engine per sample, so every measured commit starts identical).
+struct Base {
+    g: DynamicGraph,
+    rpq: IncRpq,
+    scc: IncScc,
+    kws: IncKws,
+    iso: IncIso,
+}
+
+impl Base {
+    fn build() -> Base {
+        let g = workloads::dataset(Dataset::DbpediaLike, SCALE);
+        let rpq = IncRpq::new(&g, &workloads::default_rpq(495));
+        let scc = IncScc::new(&g);
+        let kws = IncKws::new(&g, workloads::default_kws());
+        let iso = IncIso::new(&g, workloads::default_iso());
+        Base {
+            g,
+            rpq,
+            scc,
+            kws,
+            iso,
+        }
+    }
+
+    fn engine(&self) -> Engine {
+        let mut e = Engine::new(self.g.clone());
+        e.register(self.rpq.clone());
+        e.register(self.scc.clone());
+        e.register(self.kws.clone());
+        e.register(self.iso.clone());
+        e
+    }
+}
+
+/// Duplicate every unit update — the denormalized-client shape the commit
+/// pipeline absorbs via its single normalization pass.
+fn pollute(delta: &UpdateBatch) -> UpdateBatch {
+    let mut messy: Vec<Update> = Vec::with_capacity(delta.len() * 2);
+    for u in delta.iter() {
+        messy.push(*u);
+        messy.push(*u);
+    }
+    UpdateBatch::from_updates(messy)
+}
+
+fn bench_engine_commit(c: &mut Criterion) {
+    let base = Base::build();
+    let mut group = c.benchmark_group("engine_commit");
+    group.sample_size(10);
+
+    for units in [1usize, 10, 100] {
+        let delta = random_update_batch(&base.g, units, 0.5, 20_000 + units as u64);
+        group.bench_function(BenchmarkId::new("all_views", units), |b| {
+            b.iter_batched(
+                || base.engine(),
+                |mut engine| engine.commit(&delta),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+
+    // Normalization overhead: the same 100 net units submitted twice over.
+    let delta = random_update_batch(&base.g, 100, 0.5, 20_100);
+    let messy = pollute(&delta);
+    group.bench_function(BenchmarkId::new("all_views_denormalized", 200), |b| {
+        b.iter_batched(
+            || base.engine(),
+            |mut engine| engine.commit(&messy),
+            BatchSize::LargeInput,
+        )
+    });
+
+    // The pipeline floor: normalize + graph apply with zero views.
+    let delta = random_update_batch(&base.g, 100, 0.5, 20_200);
+    group.bench_function(BenchmarkId::new("no_views", 100), |b| {
+        b.iter_batched(
+            || Engine::new(base.g.clone()),
+            |mut engine| engine.commit(&delta),
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_commit);
+criterion_main!(benches);

@@ -1,18 +1,24 @@
 //! Reproduce the paper's evaluation: print paper-style series for every
-//! panel of Figure 8 and the in-text experiments.
+//! panel of Figure 8 and the in-text experiments, plus the multi-view
+//! engine serving trajectory.
 //!
 //! ```text
-//! experiments [--scale F] [--no-verify] [fig8a fig8b … | all | unit | rho | undoable | locality]
+//! experiments [--scale F] [--no-verify] [--json-out PATH]
+//!             [fig8a fig8b … | all | unit | rho | undoable | locality | engine]
 //! ```
 //!
 //! With no figure arguments, everything runs. `--scale` scales the
-//! datasets (1.0 = the laptop-sized full datasets; default 0.15).
+//! datasets (1.0 = the laptop-sized full datasets; default 0.15). The
+//! `engine` experiment additionally writes its per-commit latency series
+//! as machine-readable JSON to `--json-out` (default `BENCH_engine.json`),
+//! so the perf trajectory accumulates across revisions.
 
 use igc_bench::experiments::{self, ExpConfig, ALL_FIGS};
 
 fn main() {
     let mut cfg = ExpConfig::default();
     let mut figs: Vec<String> = Vec::new();
+    let mut json_out = String::from("BENCH_engine.json");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -21,10 +27,14 @@ fn main() {
                 cfg.scale = v.parse().expect("scale must be a float");
             }
             "--no-verify" => cfg.verify = false,
+            "--json-out" => {
+                json_out = args.next().expect("--json-out needs a path");
+            }
             "all" => figs.extend(ALL_FIGS.iter().map(|s| s.to_string())),
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: experiments [--scale F] [--no-verify] [fig8a … fig8p | all | unit | rho | undoable | locality]"
+                    "usage: experiments [--scale F] [--no-verify] [--json-out PATH] \
+                     [fig8a … fig8p | all | unit | rho | undoable | locality | engine]"
                 );
                 return;
             }
@@ -33,7 +43,7 @@ fn main() {
     }
     if figs.is_empty() {
         figs.extend(ALL_FIGS.iter().map(|s| s.to_string()));
-        figs.extend(["unit", "rho", "undoable", "locality"].map(String::from));
+        figs.extend(["unit", "rho", "undoable", "locality", "engine"].map(String::from));
     }
 
     println!(
@@ -42,8 +52,17 @@ fn main() {
     );
     for fig in figs {
         let start = std::time::Instant::now();
-        let series = experiments::run(&fig, &cfg);
-        println!("{}", series.render());
+        if fig == "engine" {
+            let run = experiments::engine_run(&cfg);
+            println!("{}", run.series.render());
+            match std::fs::write(&json_out, &run.json) {
+                Ok(()) => eprintln!("[engine series written to {json_out}]"),
+                Err(e) => eprintln!("[failed to write {json_out}: {e}]"),
+            }
+        } else {
+            let series = experiments::run(&fig, &cfg);
+            println!("{}", series.render());
+        }
         eprintln!("[{fig} done in {:.1?}]", start.elapsed());
     }
 }

@@ -14,6 +14,7 @@ use crate::harness::{pct, time, Row, Series};
 use crate::workloads::{self, GRAPH_SEED};
 use igc_core::incremental::{apply_one_by_one, IncrementalAlgorithm};
 use igc_core::work::WorkStats;
+use igc_engine::Engine;
 use igc_graph::generator::{random_update_batch, Dataset};
 use igc_graph::{DynamicGraph, UpdateBatch};
 use igc_iso::{IncIso, Pattern};
@@ -507,6 +508,127 @@ pub fn locality_demo(cfg: &ExpConfig) -> Series {
     }
 }
 
+// ---------------------------------------------------------------------
+// Engine commit series (multi-view serving trajectory)
+// ---------------------------------------------------------------------
+
+/// Result of the engine experiment: a printable series and the
+/// machine-readable JSON the binary writes to `BENCH_engine.json`, so the
+/// perf trajectory accumulates across PRs.
+#[derive(Debug, Clone)]
+pub struct EngineRun {
+    /// Per-commit latency table for terminal display.
+    pub series: Series,
+    /// The same data as a JSON document (per-commit latency series with
+    /// per-view breakdown and engine totals).
+    pub json: String,
+}
+
+/// Number of commits the engine experiment drives.
+pub const ENGINE_COMMITS: usize = 12;
+
+/// One churning multi-view serving run: all four default views registered
+/// on a DBpedia-like graph, `ENGINE_COMMITS` commits of ~2 % of the edges
+/// each (ρ = 0.5, so the graph size stays stable), per-commit latency
+/// recorded per view. With `verify` on, every view is audited against
+/// from-scratch recomputation after the final commit.
+pub fn engine_run(cfg: &ExpConfig) -> EngineRun {
+    let g = workloads::dataset(Dataset::DbpediaLike, cfg.scale);
+    let mut engine = Engine::new(g);
+    engine.register(IncRpq::new(engine.graph(), &workloads::default_rpq(495)));
+    engine.register(IncScc::new(engine.graph()));
+    engine.register(IncKws::new(engine.graph(), workloads::default_kws()));
+    engine.register(IncIso::new(engine.graph(), workloads::default_iso()));
+
+    // Column labels come from the registry itself, so adding/reordering
+    // views above cannot desynchronize the table. `Row` wants 'static
+    // strs; leaking one small string per view per process run is fine.
+    let view_names: Vec<&'static str> = engine
+        .labels()
+        .iter()
+        .map(|l| &*Box::leak(l.to_string().into_boxed_str()))
+        .collect();
+
+    let mut rows = Vec::new();
+    let mut commits_json: Vec<String> = Vec::new();
+    for i in 0..ENGINE_COMMITS {
+        let count = (((engine.graph().edge_count() as f64) * 0.02).round() as usize).max(1);
+        let delta =
+            random_update_batch(engine.graph(), count, 0.5, GRAPH_SEED ^ (0xe91 + i as u64));
+        let receipt = engine.commit(&delta);
+
+        let mut times: Vec<(&'static str, f64)> = vec![("commit", receipt.elapsed.as_secs_f64())];
+        let mut per_view_json = String::new();
+        for (vi, v) in receipt.per_view.iter().enumerate() {
+            times.push((view_names[vi], v.elapsed.as_secs_f64()));
+            if vi > 0 {
+                per_view_json.push_str(", ");
+            }
+            per_view_json.push_str(&format!(
+                "\"{}\": {{\"latency_s\": {:.9}, \"work\": {}}}",
+                v.label,
+                v.elapsed.as_secs_f64(),
+                v.work.total()
+            ));
+        }
+        commits_json.push(format!(
+            "    {{\"epoch\": {}, \"submitted\": {}, \"applied\": {}, \"dropped\": {}, \
+             \"latency_s\": {:.9}, \"graph_s\": {:.9}, \"per_view\": {{{}}}}}",
+            receipt.epoch,
+            receipt.submitted,
+            receipt.applied,
+            receipt.dropped,
+            receipt.elapsed.as_secs_f64(),
+            receipt.graph_elapsed.as_secs_f64(),
+            per_view_json
+        ));
+        rows.push(Row {
+            x: format!("{}", receipt.epoch),
+            times,
+        });
+    }
+
+    if cfg.verify {
+        if let Err(failures) = engine.verify_all() {
+            panic!("engine views diverged from batch recomputation: {failures:?}");
+        }
+    }
+
+    let labels_json = engine
+        .labels()
+        .iter()
+        .map(|l| format!("\"{l}\""))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let json = format!(
+        "{{\n  \"bench\": \"engine_commit\",\n  \"dataset\": \"dbpedia_like\",\n  \
+         \"scale\": {},\n  \"views\": [{}],\n  \"commits\": [\n{}\n  ],\n  \
+         \"totals\": {{\"commits\": {}, \"units_applied\": {}, \"units_dropped\": {}, \
+         \"latency_s\": {:.9}, \"work\": {}}}\n}}\n",
+        cfg.scale,
+        labels_json,
+        commits_json.join(",\n"),
+        engine.commits(),
+        engine.units_applied(),
+        engine.units_dropped(),
+        engine.total_elapsed().as_secs_f64(),
+        engine.total_work().total()
+    );
+
+    EngineRun {
+        series: Series {
+            title: format!(
+                "Engine: {} commits × 4 views (DBpedia-like), per-commit latency",
+                ENGINE_COMMITS
+            ),
+            x_label: "epoch",
+            unit: "s",
+            rows,
+        },
+        json,
+    }
+}
+
 /// All figure ids understood by [`run`].
 pub const ALL_FIGS: [&str; 16] = [
     "fig8a", "fig8b", "fig8c", "fig8d", "fig8e", "fig8f", "fig8g", "fig8h", "fig8i", "fig8j",
@@ -578,6 +700,7 @@ pub fn run(fig: &str, cfg: &ExpConfig) -> Series {
         "rho" => rho_sensitivity(cfg),
         "undoable" => undoable_demo(),
         "locality" => locality_demo(cfg),
+        "engine" => engine_run(cfg).series,
         other => panic!("unknown experiment id {other:?}"),
     }
 }
@@ -657,5 +780,29 @@ mod tests {
         // Only check dispatch for the cheap in-text experiments here; the
         // fig8 sweeps are exercised by the experiments binary.
         let _ = run("undoable", &tiny());
+    }
+
+    #[test]
+    fn engine_run_emits_series_and_wellformed_json() {
+        let r = engine_run(&tiny());
+        assert_eq!(r.series.rows.len(), ENGINE_COMMITS);
+        // Each row: the total plus one column per registered view.
+        assert_eq!(r.series.rows[0].times.len(), 5);
+        assert!(r.json.contains("\"bench\": \"engine_commit\""));
+        assert!(r
+            .json
+            .contains("\"views\": [\"rpq\", \"scc\", \"kws\", \"iso\"]"));
+        assert!(r.json.contains("\"latency_s\""));
+        assert!(r.json.contains("\"totals\""));
+        // Balanced braces/brackets — a cheap well-formedness check given
+        // no JSON parser is vendored.
+        assert_eq!(
+            r.json.matches('{').count(),
+            r.json.matches('}').count(),
+            "unbalanced braces"
+        );
+        assert_eq!(r.json.matches('[').count(), r.json.matches(']').count());
+        // Commits count in JSON matches the series.
+        assert_eq!(r.json.matches("\"epoch\"").count(), ENGINE_COMMITS);
     }
 }

@@ -1,4 +1,14 @@
-//! The uniform contract implemented by every incremental algorithm.
+//! The uniform contracts implemented by every incremental algorithm.
+//!
+//! Two traits live here:
+//!
+//! * [`IncrementalAlgorithm`] — the original statically-dispatched contract,
+//!   kept for direct per-algorithm use (benchmarks, the paper experiments,
+//!   and the `Inc*ⁿ` one-by-one drivers),
+//! * [`IncView`] — the object-safe *view* contract the multi-view engine
+//!   registry is built on: everything `IncrementalAlgorithm` promises, plus
+//!   a stable name and a from-scratch consistency audit. Every maintained
+//!   query class implements both.
 
 use crate::work::WorkStats;
 use igc_graph::{DynamicGraph, UpdateBatch};
@@ -15,10 +25,13 @@ use igc_graph::{DynamicGraph, UpdateBatch};
 /// 2. then calls [`IncrementalAlgorithm::apply`] with the *post-update*
 ///    graph and the batch.
 ///
-/// `delta` must be normalized ([`UpdateBatch::normalized`]): the paper
-/// assumes w.l.o.g. that no edge is both inserted and deleted in one batch.
-/// Deletions of absent edges and insertions of present edges must have been
-/// filtered out by the caller (the generator never produces them).
+/// `delta` must be normalized: the paper assumes w.l.o.g. that no edge is
+/// both inserted and deleted in one batch, deletions reference present
+/// edges, and insertions reference absent ones. Arbitrary batches can be
+/// made to satisfy all three with one
+/// [`UpdateBatch::normalize_against`] call against the pre-update graph
+/// (the generator produces such batches directly; the engine's commit
+/// pipeline normalizes on behalf of every registered view).
 pub trait IncrementalAlgorithm {
     /// Process a batch update; `g` already reflects `delta`.
     fn apply(&mut self, g: &DynamicGraph, delta: &UpdateBatch);
@@ -34,6 +47,53 @@ pub trait IncrementalAlgorithm {
         g.apply_batch(delta);
         self.apply(g, delta);
     }
+}
+
+/// A standing query maintained incrementally over a shared dynamic graph —
+/// the object-safe contract behind the multi-view engine's registry.
+///
+/// Where [`IncrementalAlgorithm`] documents a *caller-must-prefilter*
+/// protocol (the batch reaching [`IncrementalAlgorithm::apply`] must be
+/// normalized), `IncView` is designed for fan-out from a commit pipeline
+/// that performs normalization exactly once
+/// ([`UpdateBatch::normalize_against`]) before every registered view sees
+/// the delta. The same precondition therefore holds for
+/// [`IncView::apply`]: `delta` is normalized against the pre-update graph,
+/// and `g` already reflects it.
+///
+/// The trait is object-safe on purpose: an engine holds
+/// `Box<dyn IncView>`s of heterogeneous query classes (RPQ, SCC, KWS, ISO,
+/// …) in one registry.
+pub trait IncView {
+    /// A stable human-readable identifier for registry listings, receipts
+    /// and logs (e.g. `"rpq"`, `"scc:communities"`).
+    fn name(&self) -> &str;
+
+    /// Process a committed batch; `g` already reflects `delta`, and `delta`
+    /// is normalized against the pre-commit graph.
+    fn apply(&mut self, g: &DynamicGraph, delta: &UpdateBatch);
+
+    /// Work accumulated since construction (or the last reset).
+    fn work(&self) -> WorkStats;
+
+    /// Zero the work counters.
+    fn reset_work(&mut self);
+
+    /// Consistency audit: recompute the view's answer from scratch on `g`
+    /// (the batch counterpart the incrementalization was derived from) and
+    /// compare. Returns `Err` with a human-readable diagnosis on
+    /// divergence. Expensive — intended for tests, canaries and the
+    /// engine's `verify_all`, not the hot commit path.
+    fn verify_against_batch(&self, g: &DynamicGraph) -> Result<(), String>;
+
+    /// The view as [`Any`](std::any::Any), for snapshot reads of concrete
+    /// view state through a type-erased registry
+    /// (`view.as_any().downcast_ref::<IncRpq>()`).
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Mutable [`Any`](std::any::Any) access (e.g. to raise a KWS bound or
+    /// reset a concrete view in place).
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
 }
 
 /// Drive an incremental algorithm one unit update at a time — the paper's
@@ -90,7 +150,56 @@ mod tests {
         ]);
         alg.apply_updating(&mut g, &delta);
         assert_eq!(alg.count, 1);
-        assert_eq!(alg.work().aux_touched, 2);
+        assert_eq!(IncrementalAlgorithm::work(&alg).aux_touched, 2);
+    }
+
+    impl IncView for EdgeCounter {
+        fn name(&self) -> &str {
+            "edge-counter"
+        }
+        fn apply(&mut self, g: &DynamicGraph, delta: &UpdateBatch) {
+            IncrementalAlgorithm::apply(self, g, delta);
+        }
+        fn work(&self) -> WorkStats {
+            self.work
+        }
+        fn reset_work(&mut self) {
+            self.work.reset();
+        }
+        fn verify_against_batch(&self, g: &DynamicGraph) -> Result<(), String> {
+            if self.count == g.edge_count() {
+                Ok(())
+            } else {
+                Err(format!(
+                    "edge-counter: maintained {} ≠ actual {}",
+                    self.count,
+                    g.edge_count()
+                ))
+            }
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    #[test]
+    fn inc_view_is_object_safe() {
+        let mut g = graph_from(&[0, 0], &[]);
+        let mut view: Box<dyn IncView> = Box::new(EdgeCounter {
+            count: 0,
+            work: WorkStats::new(),
+        });
+        let delta = UpdateBatch::from_updates(vec![Update::insert(NodeId(0), NodeId(1))]);
+        g.apply_batch(&delta);
+        view.apply(&g, &delta);
+        assert_eq!(view.name(), "edge-counter");
+        assert!(view.verify_against_batch(&g).is_ok());
+        g.apply(&Update::insert(NodeId(1), NodeId(0)));
+        let err = view.verify_against_batch(&g).unwrap_err();
+        assert!(err.contains("edge-counter"), "diagnosis names the view");
     }
 
     #[test]

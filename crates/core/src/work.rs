@@ -39,6 +39,18 @@ impl WorkStats {
     pub fn reset(&mut self) {
         *self = Self::default();
     }
+
+    /// Componentwise difference `self - earlier`, saturating at zero — the
+    /// work done between two snapshots of a monotonically accumulating
+    /// counter (saturating so an interleaved `reset` cannot underflow).
+    pub fn since(&self, earlier: &WorkStats) -> WorkStats {
+        WorkStats {
+            nodes_visited: self.nodes_visited.saturating_sub(earlier.nodes_visited),
+            edges_traversed: self.edges_traversed.saturating_sub(earlier.edges_traversed),
+            aux_touched: self.aux_touched.saturating_sub(earlier.aux_touched),
+            queue_ops: self.queue_ops.saturating_sub(earlier.queue_ops),
+        }
+    }
 }
 
 impl Add for WorkStats {
@@ -120,6 +132,29 @@ mod tests {
         let mut d = a;
         d += b;
         assert_eq!(d, c);
+    }
+
+    #[test]
+    fn since_is_saturating_componentwise_difference() {
+        let early = WorkStats {
+            nodes_visited: 1,
+            edges_traversed: 2,
+            aux_touched: 3,
+            queue_ops: 4,
+        };
+        let late = WorkStats {
+            nodes_visited: 5,
+            edges_traversed: 2,
+            aux_touched: 10,
+            queue_ops: 4,
+        };
+        let d = late.since(&early);
+        assert_eq!(d.nodes_visited, 4);
+        assert_eq!(d.edges_traversed, 0);
+        assert_eq!(d.aux_touched, 7);
+        assert_eq!(d.queue_ops, 0);
+        // a reset between snapshots saturates instead of underflowing
+        assert_eq!(WorkStats::new().since(&late).total(), 0);
     }
 
     #[test]

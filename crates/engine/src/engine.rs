@@ -1,0 +1,475 @@
+//! The engine proper: view registry + the ΔG commit pipeline.
+
+use crate::receipt::{CommitReceipt, ViewCommitStats, ViewTotals};
+use igc_core::{IncView, WorkStats};
+use igc_graph::{DynamicGraph, UpdateBatch};
+use std::time::{Duration, Instant};
+
+/// Handle to a registered view, returned by [`Engine::register`]. Stable
+/// for the engine's lifetime (views cannot be deregistered; a production
+/// fork would tombstone instead, to keep receipts meaningful).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ViewId(usize);
+
+impl ViewId {
+    /// The registration index (also this view's position in
+    /// [`CommitReceipt::per_view`]).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A registered view plus its cumulative accounting.
+struct Registered {
+    label: String,
+    view: Box<dyn IncView>,
+    commits: u64,
+    elapsed: Duration,
+    work: WorkStats,
+}
+
+/// The multi-view incremental engine: owns the shared [`DynamicGraph`] and
+/// a registry of type-erased [`IncView`]s, and funnels every update through
+/// one normalize → apply → fan-out commit pipeline. See the
+/// [crate docs](crate) for the pipeline and an example.
+#[derive(Default)]
+pub struct Engine {
+    graph: DynamicGraph,
+    views: Vec<Registered>,
+    commits: u64,
+    units_applied: u64,
+    units_dropped: u64,
+    total_work: WorkStats,
+    total_elapsed: Duration,
+}
+
+impl Engine {
+    /// An engine serving queries over `graph`.
+    pub fn new(graph: DynamicGraph) -> Self {
+        Engine {
+            graph,
+            views: Vec::new(),
+            commits: 0,
+            units_applied: 0,
+            units_dropped: 0,
+            total_work: WorkStats::new(),
+            total_elapsed: Duration::ZERO,
+        }
+    }
+
+    /// The shared graph. Views must be constructed against exactly this
+    /// graph before registration (the usual shape:
+    /// `let v = IncRpq::new(engine.graph(), &query); engine.register(v);`).
+    pub fn graph(&self) -> &DynamicGraph {
+        &self.graph
+    }
+
+    /// The graph's current epoch (update transactions applied, including
+    /// any from before the engine took ownership).
+    pub fn epoch(&self) -> u64 {
+        self.graph.epoch()
+    }
+
+    /// Register a view under its own [`IncView::name`]. The view must
+    /// already be consistent with [`Engine::graph`] — it sees only commits
+    /// from now on.
+    pub fn register<V: IncView + 'static>(&mut self, view: V) -> ViewId {
+        let label = view.name().to_owned();
+        self.register_boxed_labeled(label, Box::new(view))
+    }
+
+    /// Register a view under an explicit registry label — required when one
+    /// query class serves several tenants (e.g. `"rpq:alice"`,
+    /// `"rpq:bob"`).
+    pub fn register_labeled<V: IncView + 'static>(
+        &mut self,
+        label: impl Into<String>,
+        view: V,
+    ) -> ViewId {
+        self.register_boxed_labeled(label.into(), Box::new(view))
+    }
+
+    /// Register an already type-erased view (label defaults to its name).
+    pub fn register_boxed(&mut self, view: Box<dyn IncView>) -> ViewId {
+        let label = view.name().to_owned();
+        self.register_boxed_labeled(label, view)
+    }
+
+    fn register_boxed_labeled(&mut self, label: String, view: Box<dyn IncView>) -> ViewId {
+        assert!(
+            self.views.iter().all(|r| r.label != label),
+            "view label {label:?} already registered"
+        );
+        self.views.push(Registered {
+            label,
+            view,
+            commits: 0,
+            elapsed: Duration::ZERO,
+            work: WorkStats::new(),
+        });
+        ViewId(self.views.len() - 1)
+    }
+
+    /// Number of registered views.
+    pub fn view_count(&self) -> usize {
+        self.views.len()
+    }
+
+    /// Registry labels, in registration order.
+    pub fn labels(&self) -> Vec<&str> {
+        self.views.iter().map(|r| r.label.as_str()).collect()
+    }
+
+    /// Look up a view id by registry label.
+    pub fn find(&self, label: &str) -> Option<ViewId> {
+        self.views.iter().position(|r| r.label == label).map(ViewId)
+    }
+
+    /// The registered view behind `id`, type-erased.
+    pub fn view(&self, id: ViewId) -> &dyn IncView {
+        self.views[id.0].view.as_ref()
+    }
+
+    /// The registered view behind `id`, downcast to its concrete type —
+    /// the snapshot-read path (`engine.view_as::<IncRpq>(id)` then e.g.
+    /// `sorted_answer()`).
+    pub fn view_as<V: 'static>(&self, id: ViewId) -> Option<&V> {
+        self.views[id.0].view.as_any().downcast_ref::<V>()
+    }
+
+    /// Mutable concrete access (e.g. to raise a KWS bound between commits).
+    pub fn view_as_mut<V: 'static>(&mut self, id: ViewId) -> Option<&mut V> {
+        self.views[id.0].view.as_any_mut().downcast_mut::<V>()
+    }
+
+    // ------------------------------------------------------------------
+    // The commit pipeline
+    // ------------------------------------------------------------------
+
+    /// Commit a batch update: normalize it once against the current graph,
+    /// apply ΔG to the graph exactly once (bumping the epoch), then
+    /// propagate the normalized delta to every registered view, in
+    /// registration order.
+    ///
+    /// `batch` may be arbitrary — denormalized, with duplicates,
+    /// insert/delete pairs of the same edge, deletions of absent edges and
+    /// insertions of present edges. Normalization happens here so no caller
+    /// and no view ever re-does it. A batch that normalizes to nothing
+    /// leaves the graph, the epoch and every view untouched
+    /// ([`CommitReceipt::is_noop`]).
+    pub fn commit(&mut self, batch: &UpdateBatch) -> CommitReceipt {
+        let commit_start = Instant::now();
+        let submitted = batch.len();
+        let delta = batch.normalize_against(&self.graph);
+        let applied = delta.len();
+        let dropped = submitted - applied;
+        self.units_dropped += dropped as u64;
+
+        if delta.is_empty() {
+            // Normalization itself was paid for: account its wall-clock
+            // even though no commit (epoch bump, view fan-out) happened.
+            let elapsed = commit_start.elapsed();
+            self.total_elapsed += elapsed;
+            return CommitReceipt {
+                epoch: self.graph.epoch(),
+                submitted,
+                applied: 0,
+                dropped,
+                graph_elapsed: Duration::ZERO,
+                elapsed,
+                per_view: Vec::new(),
+                work: WorkStats::new(),
+            };
+        }
+
+        let graph_start = Instant::now();
+        self.graph.apply_batch(&delta);
+        let graph_elapsed = graph_start.elapsed();
+
+        let mut per_view = Vec::with_capacity(self.views.len());
+        let mut commit_work = WorkStats::new();
+        for r in &mut self.views {
+            let before = r.view.work();
+            let view_start = Instant::now();
+            r.view.apply(&self.graph, &delta);
+            let view_elapsed = view_start.elapsed();
+            let view_work = r.view.work().since(&before);
+            r.commits += 1;
+            r.elapsed += view_elapsed;
+            r.work += view_work;
+            commit_work += view_work;
+            per_view.push(ViewCommitStats {
+                label: r.label.clone(),
+                elapsed: view_elapsed,
+                work: view_work,
+            });
+        }
+
+        self.commits += 1;
+        self.units_applied += applied as u64;
+        self.total_work += commit_work;
+        let elapsed = commit_start.elapsed();
+        self.total_elapsed += elapsed;
+
+        CommitReceipt {
+            epoch: self.graph.epoch(),
+            submitted,
+            applied,
+            dropped,
+            graph_elapsed,
+            elapsed,
+            per_view,
+            work: commit_work,
+        }
+    }
+
+    /// Audit every registered view against a from-scratch batch
+    /// recomputation on the current graph. Returns all divergences as
+    /// `(label, diagnosis)` pairs — empty `Err` never occurs. Expensive;
+    /// meant for tests and canary commits, not the serving path.
+    pub fn verify_all(&self) -> Result<(), Vec<(String, String)>> {
+        let mut failures = Vec::new();
+        for r in &self.views {
+            if let Err(diag) = r.view.verify_against_batch(&self.graph) {
+                failures.push((r.label.clone(), diag));
+            }
+        }
+        if failures.is_empty() {
+            Ok(())
+        } else {
+            Err(failures)
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Cumulative accounting
+    // ------------------------------------------------------------------
+
+    /// Effective (non-no-op) commits processed.
+    pub fn commits(&self) -> u64 {
+        self.commits
+    }
+
+    /// Unit updates applied across all commits (post-normalization).
+    pub fn units_applied(&self) -> u64 {
+        self.units_applied
+    }
+
+    /// Unit updates dropped by normalization across all commits.
+    pub fn units_dropped(&self) -> u64 {
+        self.units_dropped
+    }
+
+    /// Total view work across all commits.
+    pub fn total_work(&self) -> WorkStats {
+        self.total_work
+    }
+
+    /// Total wall-clock time spent inside [`Engine::commit`], including
+    /// the normalization cost of batches that turned out to be no-ops.
+    pub fn total_elapsed(&self) -> Duration {
+        self.total_elapsed
+    }
+
+    /// Cumulative accounting for one view.
+    pub fn view_totals(&self, id: ViewId) -> ViewTotals {
+        let r = &self.views[id.0];
+        ViewTotals {
+            label: r.label.clone(),
+            commits: r.commits,
+            elapsed: r.elapsed,
+            work: r.work,
+        }
+    }
+
+    /// Cumulative accounting for every view, in registration order.
+    pub fn all_view_totals(&self) -> Vec<ViewTotals> {
+        (0..self.views.len())
+            .map(|i| self.view_totals(ViewId(i)))
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("graph", &self.graph)
+            .field("epoch", &self.graph.epoch())
+            .field("views", &self.labels())
+            .field("commits", &self.commits)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igc_graph::graph::graph_from;
+    use igc_graph::{NodeId, Update};
+
+    /// Toy view: maintains the edge count, with a work counter per batch
+    /// unit.
+    struct EdgeCount {
+        name: &'static str,
+        count: usize,
+        work: WorkStats,
+    }
+
+    impl EdgeCount {
+        fn new(name: &'static str, g: &DynamicGraph) -> Self {
+            EdgeCount {
+                name,
+                count: g.edge_count(),
+                work: WorkStats::new(),
+            }
+        }
+    }
+
+    impl IncView for EdgeCount {
+        fn name(&self) -> &str {
+            self.name
+        }
+        fn apply(&mut self, g: &DynamicGraph, delta: &UpdateBatch) {
+            self.count = g.edge_count();
+            self.work.aux_touched += delta.len() as u64;
+        }
+        fn work(&self) -> WorkStats {
+            self.work
+        }
+        fn reset_work(&mut self) {
+            self.work.reset();
+        }
+        fn verify_against_batch(&self, g: &DynamicGraph) -> Result<(), String> {
+            if self.count == g.edge_count() {
+                Ok(())
+            } else {
+                Err(format!("{} vs {}", self.count, g.edge_count()))
+            }
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    fn delta(updates: Vec<Update>) -> UpdateBatch {
+        UpdateBatch::from_updates(updates)
+    }
+
+    #[test]
+    fn commit_normalizes_once_and_fans_out() {
+        let g = graph_from(&[0, 0, 0], &[(0, 1)]);
+        let mut engine = Engine::new(g);
+        let a = engine.register(EdgeCount::new("a", engine.graph()));
+        let b = engine.register_labeled("b", EdgeCount::new("ignored", engine.graph()));
+
+        let receipt = engine.commit(&delta(vec![
+            Update::insert(NodeId(1), NodeId(2)),
+            Update::insert(NodeId(1), NodeId(2)), // duplicate
+            Update::delete(NodeId(2), NodeId(0)), // absent
+            Update::insert(NodeId(0), NodeId(1)), // present
+        ]));
+        assert_eq!(receipt.submitted, 4);
+        assert_eq!(receipt.applied, 1);
+        assert_eq!(receipt.dropped, 3);
+        assert_eq!(receipt.epoch, 1);
+        assert_eq!(receipt.per_view.len(), 2);
+        // Each view saw the *normalized* delta: one unit of work apiece.
+        for v in &receipt.per_view {
+            assert_eq!(v.work.aux_touched, 1);
+        }
+        assert_eq!(receipt.work.aux_touched, 2);
+        assert!(!receipt.is_noop());
+        assert_eq!(engine.view_as::<EdgeCount>(a).unwrap().count, 2);
+        assert_eq!(engine.view_as::<EdgeCount>(b).unwrap().count, 2);
+        assert!(engine.verify_all().is_ok());
+    }
+
+    #[test]
+    fn noop_commit_leaves_everything_untouched() {
+        let g = graph_from(&[0, 0], &[(0, 1)]);
+        let mut engine = Engine::new(g);
+        engine.register(EdgeCount::new("a", engine.graph()));
+        let receipt = engine.commit(&delta(vec![
+            Update::insert(NodeId(0), NodeId(1)), // present
+            Update::delete(NodeId(1), NodeId(0)), // absent
+        ]));
+        assert!(receipt.is_noop());
+        assert_eq!(receipt.epoch, 0, "no-op commit does not bump the epoch");
+        assert_eq!(receipt.dropped, 2);
+        assert!(receipt.per_view.is_empty());
+        assert_eq!(engine.commits(), 0);
+        assert_eq!(engine.units_dropped(), 2);
+    }
+
+    #[test]
+    fn accounting_accumulates_across_commits() {
+        let g = graph_from(&[0, 0, 0, 0], &[]);
+        let mut engine = Engine::new(g);
+        let id = engine.register(EdgeCount::new("a", engine.graph()));
+        engine.commit(&delta(vec![Update::insert(NodeId(0), NodeId(1))]));
+        engine.commit(&delta(vec![
+            Update::insert(NodeId(1), NodeId(2)),
+            Update::insert(NodeId(2), NodeId(3)),
+        ]));
+        assert_eq!(engine.commits(), 2);
+        assert_eq!(engine.units_applied(), 3);
+        assert_eq!(engine.epoch(), 2);
+        let totals = engine.view_totals(id);
+        assert_eq!(totals.commits, 2);
+        assert_eq!(totals.work.aux_touched, 3);
+        assert_eq!(engine.total_work().aux_touched, 3);
+        assert_eq!(engine.all_view_totals().len(), 1);
+    }
+
+    #[test]
+    fn registry_lookup_and_labels() {
+        let mut engine = Engine::new(graph_from(&[0, 0], &[]));
+        let a = engine.register(EdgeCount::new("alpha", engine.graph()));
+        let b = engine.register_labeled("beta", EdgeCount::new("alpha", engine.graph()));
+        assert_eq!(engine.view_count(), 2);
+        assert_eq!(engine.labels(), vec!["alpha", "beta"]);
+        assert_eq!(engine.find("alpha"), Some(a));
+        assert_eq!(engine.find("beta"), Some(b));
+        assert_eq!(engine.find("gamma"), None);
+        assert_eq!(a.index(), 0);
+        assert_eq!(engine.view(b).name(), "alpha", "label ≠ IncView::name");
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn duplicate_labels_rejected() {
+        let mut engine = Engine::new(graph_from(&[0, 0], &[]));
+        engine.register(EdgeCount::new("dup", engine.graph()));
+        engine.register(EdgeCount::new("dup", engine.graph()));
+    }
+
+    #[test]
+    fn verify_all_reports_divergence_per_view() {
+        let mut engine = Engine::new(graph_from(&[0, 0], &[]));
+        engine.register(EdgeCount::new("healthy", engine.graph()));
+        // A view constructed against the *wrong* state diverges immediately.
+        engine.register_labeled(
+            "stale",
+            EdgeCount {
+                name: "stale",
+                count: 99,
+                work: WorkStats::new(),
+            },
+        );
+        let failures = engine.verify_all().unwrap_err();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].0, "stale");
+    }
+
+    #[test]
+    fn view_as_mut_allows_in_place_surgery() {
+        let mut engine = Engine::new(graph_from(&[0, 0], &[]));
+        let id = engine.register(EdgeCount::new("a", engine.graph()));
+        engine.view_as_mut::<EdgeCount>(id).unwrap().count = 7;
+        assert_eq!(engine.view_as::<EdgeCount>(id).unwrap().count, 7);
+        assert!(engine.view_as::<u32>(id).is_none(), "wrong type downcast");
+    }
+}

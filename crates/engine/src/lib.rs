@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! The multi-view incremental engine: one shared dynamic graph, one ΔG
+//! commit pipeline, many registered query views.
+//!
+//! The paper's four incremental algorithms each maintain *one* standing
+//! query over a graph the caller updates by hand. A serving system inverts
+//! that shape: it owns the graph, accepts arbitrary (possibly denormalized)
+//! update batches from clients, and fans each committed ΔG out to *every*
+//! registered view — the incremental-view-maintenance architecture of
+//! Szárnyas's property-graph IVM work, with Fan–Hu–Tian algorithms as the
+//! per-view maintenance procedures.
+//!
+//! [`Engine::commit`] is the whole pipeline:
+//!
+//! 1. **normalize once** —
+//!    [`UpdateBatch::normalize_against`](igc_graph::UpdateBatch::normalize_against)
+//!    drops no-op deletions/insertions, dedupes, and cancels insert/delete
+//!    pairs, so clients never have to pre-filter;
+//! 2. **apply ΔG to the graph exactly once**, bumping the graph
+//!    [epoch](igc_graph::DynamicGraph::epoch);
+//! 3. **propagate** the normalized delta to every registered
+//!    [`IncView`](igc_core::IncView), timing each view and attributing its
+//!    [`WorkStats`](igc_core::WorkStats) delta;
+//! 4. return a [`CommitReceipt`] with per-view and commit-wide totals.
+//!
+//! ```
+//! use igc_engine::Engine;
+//! use igc_graph::{graph::graph_from, NodeId, Update, UpdateBatch};
+//!
+//! let mut engine = Engine::new(graph_from(&[0, 0, 0], &[(0, 1)]));
+//! // (register views here — see `Engine::register`)
+//! let receipt = engine.commit(&UpdateBatch::from_updates(vec![
+//!     Update::insert(NodeId(1), NodeId(2)),
+//!     Update::insert(NodeId(1), NodeId(2)), // duplicate: normalized away
+//!     Update::delete(NodeId(2), NodeId(0)), // absent edge: normalized away
+//! ]));
+//! assert_eq!(receipt.applied, 1);
+//! assert_eq!(receipt.dropped, 2);
+//! assert_eq!(engine.epoch(), 1);
+//! ```
+
+mod engine;
+mod receipt;
+
+pub use engine::{Engine, ViewId};
+pub use receipt::{CommitReceipt, ViewCommitStats, ViewTotals};

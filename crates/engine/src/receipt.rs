@@ -1,0 +1,69 @@
+//! What a commit reports back: per-view and commit-wide cost accounting.
+
+use igc_core::WorkStats;
+use std::time::Duration;
+
+/// Per-view cost of one commit, as recorded in a [`CommitReceipt`].
+#[derive(Debug, Clone)]
+pub struct ViewCommitStats {
+    /// The view's registry label.
+    pub label: String,
+    /// Wall-clock time of this view's `apply`.
+    pub elapsed: Duration,
+    /// Work counters this view accumulated during this commit.
+    pub work: WorkStats,
+}
+
+/// The result of one [`Engine::commit`](crate::Engine::commit): what was
+/// applied, at which graph version, and what it cost — per view and in
+/// total.
+#[derive(Debug, Clone)]
+pub struct CommitReceipt {
+    /// Graph epoch after this commit. An all-no-op batch does not advance
+    /// the epoch; the receipt then reports the current (unchanged) one.
+    pub epoch: u64,
+    /// Unit updates in the batch as submitted.
+    pub submitted: usize,
+    /// Unit updates that survived normalization and were applied.
+    pub applied: usize,
+    /// Unit updates normalization dropped (duplicates, cancelled
+    /// insert/delete pairs, deletes of absent edges, inserts of present
+    /// edges).
+    pub dropped: usize,
+    /// Wall-clock time to apply ΔG to the shared graph.
+    pub graph_elapsed: Duration,
+    /// Total wall-clock commit time: normalization + graph apply + every
+    /// view's apply.
+    pub elapsed: Duration,
+    /// Per-view cost, in registration order.
+    pub per_view: Vec<ViewCommitStats>,
+    /// Sum of all views' work during this commit.
+    pub work: WorkStats,
+}
+
+impl CommitReceipt {
+    /// True when normalization left nothing to do: the graph and every view
+    /// are untouched.
+    pub fn is_noop(&self) -> bool {
+        self.applied == 0
+    }
+
+    /// The slowest view of this commit, if any view ran.
+    pub fn slowest_view(&self) -> Option<&ViewCommitStats> {
+        self.per_view.iter().max_by_key(|v| v.elapsed)
+    }
+}
+
+/// Cumulative per-view accounting across every commit of an engine.
+#[derive(Debug, Clone)]
+pub struct ViewTotals {
+    /// The view's registry label.
+    pub label: String,
+    /// Commits this view has processed (registration-time onwards;
+    /// all-no-op commits are not counted).
+    pub commits: u64,
+    /// Total wall-clock time spent in this view's `apply`.
+    pub elapsed: Duration,
+    /// Total work attributed to this view by the engine's commits.
+    pub work: WorkStats,
+}

@@ -1,0 +1,118 @@
+//! Engine integration: all four paper query classes registered as views on
+//! one shared generator-built graph, driven through the commit pipeline.
+
+use igc_engine::Engine;
+use igc_graph::generator::{random_update_batch, uniform_graph};
+use igc_graph::{Label, LabelInterner, NodeId, Update, UpdateBatch};
+use igc_iso::{IncIso, Pattern};
+use igc_kws::{IncKws, KwsQuery};
+use igc_nfa::Regex;
+use igc_rpq::IncRpq;
+use igc_scc::IncScc;
+
+/// Build an engine over a small uniform graph with all four classes
+/// registered.
+fn engine_with_all_views(nodes: usize, edges: usize, seed: u64) -> Engine {
+    let g = uniform_graph(nodes, edges, 3, seed);
+    let mut engine = Engine::new(g);
+
+    let mut it = LabelInterner::new();
+    // Interner ids follow first-use order: l0→0, l1→1, l2→2, matching the
+    // generator's numeric labels.
+    let q = Regex::parse("l0.(l1+l2)*.l2", &mut it).unwrap();
+    let rpq = IncRpq::new(engine.graph(), &q);
+    engine.register(rpq);
+
+    let scc = IncScc::new(engine.graph());
+    engine.register(scc);
+
+    let kws = IncKws::new(engine.graph(), KwsQuery::new(vec![Label(1), Label(2)], 2));
+    engine.register(kws);
+
+    let iso = IncIso::new(
+        engine.graph(),
+        Pattern::from_parts(&[0, 1, 2], &[(0, 1), (1, 2)]),
+    );
+    engine.register(iso);
+
+    engine
+}
+
+#[test]
+fn four_views_stay_consistent_over_random_commits() {
+    let mut engine = engine_with_all_views(30, 90, 42);
+    assert_eq!(engine.labels(), vec!["rpq", "scc", "kws", "iso"]);
+    for round in 0..5 {
+        let delta = random_update_batch(engine.graph(), 12, 0.5, 1000 + round);
+        let receipt = engine.commit(&delta);
+        assert_eq!(receipt.applied + receipt.dropped, receipt.submitted);
+        assert_eq!(receipt.per_view.len(), 4);
+        if let Err(failures) = engine.verify_all() {
+            panic!("round {round}: views diverged: {failures:?}");
+        }
+    }
+    assert_eq!(engine.commits(), 5);
+    assert!(engine.total_work().total() > 0);
+}
+
+#[test]
+fn denormalized_commits_match_generator_commits() {
+    // The same net updates, submitted once clean and once polluted with
+    // duplicates and no-ops, must leave all views in identical states.
+    let mut clean = engine_with_all_views(25, 60, 7);
+    let mut dirty = engine_with_all_views(25, 60, 7);
+
+    for round in 0..4 {
+        let delta = random_update_batch(clean.graph(), 8, 0.5, 500 + round);
+        let mut polluted: Vec<Update> = Vec::new();
+        for u in delta.iter() {
+            polluted.push(*u);
+            polluted.push(*u); // duplicate every unit
+        }
+        // No-ops against the current graph: deleting an absent edge and
+        // re-inserting a present one.
+        let present = clean.graph().sorted_edges()[0];
+        polluted.push(Update::insert(present.0, present.1));
+        polluted.push(Update::delete(NodeId(0), NodeId(0)));
+
+        let r_clean = clean.commit(&delta);
+        let r_dirty = dirty.commit(&UpdateBatch::from_updates(polluted));
+        assert_eq!(r_clean.applied, r_dirty.applied, "round {round}");
+        assert!(r_dirty.dropped >= r_clean.applied, "round {round}");
+    }
+
+    assert_eq!(
+        clean.graph().sorted_edges(),
+        dirty.graph().sorted_edges(),
+        "graphs diverged"
+    );
+    let rpq_clean = clean.view_as::<IncRpq>(clean.find("rpq").unwrap()).unwrap();
+    let rpq_dirty = dirty.view_as::<IncRpq>(dirty.find("rpq").unwrap()).unwrap();
+    assert_eq!(rpq_clean.sorted_answer(), rpq_dirty.sorted_answer());
+    let iso_clean = clean.view_as::<IncIso>(clean.find("iso").unwrap()).unwrap();
+    let iso_dirty = dirty.view_as::<IncIso>(dirty.find("iso").unwrap()).unwrap();
+    assert_eq!(iso_clean.sorted_matches(), iso_dirty.sorted_matches());
+    assert!(clean.verify_all().is_ok());
+    assert!(dirty.verify_all().is_ok());
+}
+
+#[test]
+fn commits_with_fresh_nodes_propagate_to_all_views() {
+    let mut engine = engine_with_all_views(20, 40, 9);
+    let n = engine.graph().node_count() as u32;
+    // A gap-jumping insertion: creates intermediate default-labelled nodes
+    // and one labelled endpoint.
+    let receipt = engine.commit(&UpdateBatch::from_updates(vec![Update::insert_labeled(
+        NodeId(0),
+        NodeId(n + 2),
+        None,
+        Some(Label(2)),
+    )]));
+    assert_eq!(receipt.applied, 1);
+    assert_eq!(engine.graph().node_count(), n as usize + 3);
+    assert_eq!(engine.graph().label(NodeId(n + 2)), Label(2));
+    assert_eq!(engine.graph().label(NodeId(n)), Label::DEFAULT);
+    if let Err(failures) = engine.verify_all() {
+        panic!("views diverged after fresh-node commit: {failures:?}");
+    }
+}

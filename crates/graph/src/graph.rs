@@ -23,6 +23,11 @@ pub struct DynamicGraph {
     inn: Vec<Vec<NodeId>>,
     edges: FxHashSet<Edge>,
     by_label: FxHashMap<Label, Vec<NodeId>>,
+    /// Version counter: the number of update transactions applied so far
+    /// (each [`DynamicGraph::apply`] and [`DynamicGraph::apply_batch`] call
+    /// counts as one). Construction-time primitives (`add_node`,
+    /// `insert_edge`, `delete_edge`) do not bump it.
+    epoch: u64,
 }
 
 impl DynamicGraph {
@@ -39,6 +44,7 @@ impl DynamicGraph {
             inn: Vec::with_capacity(nodes),
             edges: FxHashSet::default(),
             by_label: FxHashMap::default(),
+            epoch: 0,
         };
         g.edges.reserve(edges);
         g
@@ -162,10 +168,38 @@ impl DynamicGraph {
         e
     }
 
-    /// Apply a single update, creating referenced nodes on demand for
-    /// insertions (the paper allows `insert e` "possibly with new nodes";
-    /// fresh nodes take labels from [`Update::Insert`]'s optional labels).
+    /// The graph's version: how many update transactions ([`apply`] calls
+    /// and [`apply_batch`] calls) have been applied since construction.
+    /// The engine's commit pipeline tags every commit receipt with the
+    /// post-commit epoch.
+    ///
+    /// [`apply`]: DynamicGraph::apply
+    /// [`apply_batch`]: DynamicGraph::apply_batch
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Apply a single update as one transaction (bumps the epoch), creating
+    /// referenced nodes on demand for insertions (the paper allows
+    /// `insert e` "possibly with new nodes"; fresh nodes take labels from
+    /// [`Update::Insert`]'s optional labels).
     pub fn apply(&mut self, update: &Update) {
+        self.apply_update(update);
+        self.epoch += 1;
+    }
+
+    /// Apply every update of a batch in order, as one transaction (the
+    /// epoch advances by exactly one however long the batch is).
+    pub fn apply_batch(&mut self, batch: &UpdateBatch) {
+        for u in batch.iter() {
+            self.apply_update(u);
+        }
+        self.epoch += 1;
+    }
+
+    /// Apply one unit update without advancing the epoch.
+    fn apply_update(&mut self, update: &Update) {
         match *update {
             Update::Insert {
                 from,
@@ -173,8 +207,17 @@ impl DynamicGraph {
                 from_label,
                 to_label,
             } => {
-                self.ensure_node(from, from_label);
-                self.ensure_node(to, to_label);
+                // Create endpoints in ascending id order: otherwise a
+                // lower-id fresh endpoint would first be materialised as
+                // default-labelled padding for the higher one, and its
+                // explicit label silently lost.
+                if from.index() <= to.index() {
+                    self.ensure_node(from, from_label);
+                    self.ensure_node(to, to_label);
+                } else {
+                    self.ensure_node(to, to_label);
+                    self.ensure_node(from, from_label);
+                }
                 self.insert_edge(from, to);
             }
             Update::Delete { from, to } => {
@@ -183,18 +226,16 @@ impl DynamicGraph {
         }
     }
 
-    /// Apply every update of a batch in order.
-    pub fn apply_batch(&mut self, batch: &UpdateBatch) {
-        for u in batch.iter() {
-            self.apply(u);
-        }
-    }
-
-    /// Grow the node set so that `v` exists, labelling any intermediate fresh
-    /// nodes with `label` (default `Label(0)` when `None`).
+    /// Grow the node set so that `v` exists. Only `v` itself takes `label`
+    /// (default [`Label::DEFAULT`] when `None`); any intermediate fresh
+    /// nodes a gap-jumping id implies are labelled [`Label::DEFAULT`] — see
+    /// [`Update::insert_labeled`] for the rule.
     fn ensure_node(&mut self, v: NodeId, label: Option<Label>) {
-        while self.labels.len() <= v.index() {
-            self.add_node(label.unwrap_or(Label(0)));
+        while self.labels.len() < v.index() {
+            self.add_node(Label::DEFAULT);
+        }
+        if self.labels.len() == v.index() {
+            self.add_node(label.unwrap_or(Label::DEFAULT));
         }
     }
 
@@ -287,8 +328,45 @@ mod tests {
         assert_eq!(g.node_count(), 4);
         assert!(g.contains_edge(NodeId(0), NodeId(3)));
         assert_eq!(g.label(NodeId(3)), Label(5));
-        // intermediate fresh nodes take the same (fallback) label
-        assert_eq!(g.label(NodeId(1)), Label(5));
+        // intermediate fresh nodes take the default label, not the
+        // endpoint's: only the endpoint itself is labelled by the update
+        assert_eq!(g.label(NodeId(1)), Label::DEFAULT);
+        assert_eq!(g.label(NodeId(2)), Label::DEFAULT);
+    }
+
+    #[test]
+    fn apply_insert_labels_both_fresh_endpoints_regardless_of_order() {
+        // from > to, both fresh: the lower endpoint must still receive its
+        // explicit label, not be pre-created as padding for the higher one.
+        let mut g = graph_from(&[0], &[]);
+        g.apply(&Update::insert_labeled(
+            NodeId(4),
+            NodeId(3),
+            Some(Label(7)),
+            Some(Label(9)),
+        ));
+        assert_eq!(g.node_count(), 5);
+        assert!(g.contains_edge(NodeId(4), NodeId(3)));
+        assert_eq!(g.label(NodeId(3)), Label(9));
+        assert_eq!(g.label(NodeId(4)), Label(7));
+        assert_eq!(g.label(NodeId(1)), Label::DEFAULT);
+        assert_eq!(g.label(NodeId(2)), Label::DEFAULT);
+    }
+
+    #[test]
+    fn epoch_counts_transactions_not_units() {
+        let mut g = graph_from(&[0, 0, 0], &[]);
+        assert_eq!(g.epoch(), 0, "construction primitives leave epoch at 0");
+        g.apply(&Update::insert(NodeId(0), NodeId(1)));
+        assert_eq!(g.epoch(), 1);
+        let delta = UpdateBatch::from_updates(vec![
+            Update::insert(NodeId(1), NodeId(2)),
+            Update::delete(NodeId(0), NodeId(1)),
+        ]);
+        g.apply_batch(&delta);
+        assert_eq!(g.epoch(), 2, "a batch is one transaction");
+        let cloned = g.clone();
+        assert_eq!(cloned.epoch(), 2);
     }
 
     #[test]

@@ -13,10 +13,22 @@ use std::fmt;
 pub struct Label(pub u32);
 
 impl Label {
+    /// The fallback label given to fresh nodes that an update creates
+    /// without naming a label (and to the intermediate nodes implied by a
+    /// gap-jumping insertion id) — the first interned label, by convention
+    /// the "untyped" symbol of the alphabet.
+    pub const DEFAULT: Label = Label(0);
+
     /// The dense index of this label in its interner.
     #[inline]
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+}
+
+impl Default for Label {
+    fn default() -> Self {
+        Label::DEFAULT
     }
 }
 

@@ -1,7 +1,7 @@
 //! The paper's update model: unit edge insertions/deletions and batches.
 
-use crate::fxhash::FxHashSet;
-use crate::graph::Edge;
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::graph::{DynamicGraph, Edge};
 use crate::label::Label;
 use crate::node::NodeId;
 
@@ -43,6 +43,13 @@ impl Update {
     }
 
     /// An insertion that may create labelled fresh endpoints.
+    ///
+    /// Labelling rule: a label applies to *its endpoint only*. When an
+    /// endpoint id jumps past the current node count, the intermediate
+    /// fresh nodes filling the id gap are created with [`Label::DEFAULT`]
+    /// (they are padding, not part of the inserted edge). `None` labels the
+    /// endpoint itself [`Label::DEFAULT`] too; labels of already-existing
+    /// endpoints are ignored.
     pub fn insert_labeled(
         from: NodeId,
         to: NodeId,
@@ -147,6 +154,10 @@ impl UpdateBatch {
     /// Enforce the paper's assumption: for any edge `e`, the batch contains
     /// at most one of `insert e` / `delete e`, and contains it at most once.
     /// An insert+delete pair of the same edge cancels entirely.
+    ///
+    /// This is the graph-independent half of normalization; see
+    /// [`UpdateBatch::normalize_against`] for the total version that also
+    /// drops updates that are no-ops against a concrete graph.
     pub fn normalized(&self) -> UpdateBatch {
         let mut inserted: FxHashSet<Edge> = FxHashSet::default();
         let mut deleted: FxHashSet<Edge> = FxHashSet::default();
@@ -166,6 +177,76 @@ impl UpdateBatch {
             .filter(|u| !conflict.contains(&u.edge()))
             .filter(|u| emitted.insert((u.is_insert(), u.edge())))
             .copied()
+            .collect();
+        UpdateBatch { updates }
+    }
+
+    /// Total normalization against a concrete graph, faithful to applying
+    /// the batch *in order*: for every edge, only its **last** update in
+    /// the batch decides the net effect (so `[delete e, insert e]` nets to
+    /// an insertion where [`normalized`]'s order-blind w.l.o.g. pair
+    /// cancellation would drop both); net effects that match `g`'s current
+    /// state (deleting an absent edge, inserting a present one) are
+    /// dropped as no-ops. The result applies the same edge-set change as
+    /// the raw batch, contains at most one update per edge, and satisfies
+    /// every precondition the incremental algorithms document — for
+    /// *arbitrary* input batches. It is what `Engine::commit` runs before
+    /// fanning a delta out to views.
+    ///
+    /// When the net effect is an insertion, the emitted update is the
+    /// edge's **first** insert occurrence: sequentially, that is the one
+    /// that creates fresh endpoints (and fixes their labels) — later
+    /// duplicates are no-ops on existing nodes. Insertions referencing
+    /// fresh nodes (ids past `g`'s node count) are kept whenever they are
+    /// the edge's net effect: their edge cannot be present yet. One
+    /// deliberate deviation from literal sequential application: an
+    /// insertion whose net effect is cancelled by a later deletion is
+    /// dropped entirely, so fresh nodes it alone referenced are never
+    /// materialised (no phantom isolated nodes).
+    ///
+    /// [`normalized`]: UpdateBatch::normalized
+    pub fn normalize_against(&self, g: &DynamicGraph) -> UpdateBatch {
+        struct EdgeFate {
+            first_insert: Option<Update>,
+            last_is_insert: bool,
+        }
+        let mut fate: FxHashMap<Edge, EdgeFate> = FxHashMap::default();
+        let mut order: Vec<Edge> = Vec::new();
+        for u in &self.updates {
+            let e = u.edge();
+            match fate.get_mut(&e) {
+                None => {
+                    order.push(e);
+                    fate.insert(
+                        e,
+                        EdgeFate {
+                            first_insert: u.is_insert().then_some(*u),
+                            last_is_insert: u.is_insert(),
+                        },
+                    );
+                }
+                Some(f) => {
+                    if u.is_insert() && f.first_insert.is_none() {
+                        f.first_insert = Some(*u);
+                    }
+                    f.last_is_insert = u.is_insert();
+                }
+            }
+        }
+        let updates = order
+            .into_iter()
+            .filter_map(|e| {
+                let f = &fate[&e];
+                // Net effect per edge: present iff its last update inserts.
+                if f.last_is_insert == g.contains_edge(e.0, e.1) {
+                    return None; // no-op against the current graph
+                }
+                if f.last_is_insert {
+                    f.first_insert // the insert that creates/labels nodes
+                } else {
+                    Some(Update::delete(e.0, e.1))
+                }
+            })
             .collect();
         UpdateBatch { updates }
     }
@@ -254,5 +335,114 @@ mod tests {
         assert!(b.is_empty());
         assert_eq!(b.normalized().len(), 0);
         assert!(b.touched_nodes().is_empty());
+    }
+
+    #[test]
+    fn normalize_against_drops_graph_noops() {
+        use crate::graph::graph_from;
+        let g = graph_from(&[0, 0, 0], &[(0, 1), (1, 2)]);
+        let batch = UpdateBatch::from_updates(vec![
+            Update::insert(NodeId(0), NodeId(1)), // already present → drop
+            Update::delete(NodeId(2), NodeId(0)), // absent → drop
+            Update::insert(NodeId(2), NodeId(1)), // genuinely new → keep
+            Update::delete(NodeId(1), NodeId(2)), // genuinely present → keep
+        ]);
+        let n = batch.normalize_against(&g);
+        assert_eq!(
+            n.iter().copied().collect::<Vec<_>>(),
+            vec![
+                Update::insert(NodeId(2), NodeId(1)),
+                Update::delete(NodeId(1), NodeId(2)),
+            ]
+        );
+    }
+
+    #[test]
+    fn normalize_against_is_total() {
+        use crate::graph::graph_from;
+        let g = graph_from(&[0, 0, 0], &[(0, 1)]);
+        // Duplicates, an insert/delete pair, a no-op delete, and a fresh-node
+        // insertion, all in one arbitrary batch.
+        let batch = UpdateBatch::from_updates(vec![
+            Update::insert(NodeId(1), NodeId(2)),
+            Update::insert(NodeId(1), NodeId(2)), // duplicate → one survives
+            Update::insert(NodeId(2), NodeId(0)), // pairs with delete below
+            Update::delete(NodeId(2), NodeId(0)), // cancelled
+            Update::delete(NodeId(1), NodeId(0)), // absent → drop
+            Update::insert(NodeId(0), NodeId(5)), // fresh node → keep
+        ]);
+        let n = batch.normalize_against(&g);
+        assert_eq!(n.len(), 2);
+        assert!(n.iter().all(Update::is_insert));
+        // Applying the normalized batch equals applying the raw batch.
+        let mut g_raw = g.clone();
+        g_raw.apply_batch(&batch);
+        let mut g_norm = g.clone();
+        g_norm.apply_batch(&n);
+        assert_eq!(g_raw.sorted_edges(), g_norm.sorted_edges());
+        assert_eq!(g_raw.node_count(), g_norm.node_count());
+    }
+
+    #[test]
+    fn normalize_against_is_order_faithful() {
+        use crate::graph::graph_from;
+        let g = graph_from(&[0, 0, 0], &[(0, 1)]);
+        // delete-then-insert of an absent edge is a net insertion (the
+        // client's retry/upsert pattern) — it must survive, where the
+        // order-blind `normalized()` would cancel the pair.
+        let upsert = UpdateBatch::from_updates(vec![
+            Update::delete(NodeId(1), NodeId(2)),
+            Update::insert(NodeId(1), NodeId(2)),
+        ]);
+        assert_eq!(upsert.normalized().len(), 0, "w.l.o.g. view cancels");
+        let n = upsert.normalize_against(&g);
+        assert_eq!(
+            n.iter().copied().collect::<Vec<_>>(),
+            vec![Update::insert(NodeId(1), NodeId(2))]
+        );
+        // insert-then-delete of a present edge is a net deletion.
+        let purge = UpdateBatch::from_updates(vec![
+            Update::insert(NodeId(0), NodeId(1)),
+            Update::delete(NodeId(0), NodeId(1)),
+        ]);
+        let n = purge.normalize_against(&g);
+        assert_eq!(
+            n.iter().copied().collect::<Vec<_>>(),
+            vec![Update::delete(NodeId(0), NodeId(1))]
+        );
+        // In both cases, applying raw and normalized agree on the edge set.
+        for batch in [upsert, purge] {
+            let mut g_raw = g.clone();
+            g_raw.apply_batch(&batch);
+            let mut g_norm = g.clone();
+            g_norm.apply_batch(&batch.normalize_against(&g));
+            assert_eq!(g_raw.sorted_edges(), g_norm.sorted_edges());
+        }
+    }
+
+    #[test]
+    fn normalize_against_keeps_first_insert_labels() {
+        use crate::graph::graph_from;
+        let g = graph_from(&[0], &[]);
+        // A labelled insert followed by an unlabeled duplicate: the first
+        // occurrence creates (and labels) the fresh node sequentially, so
+        // it is the one that must survive normalization.
+        let batch = UpdateBatch::from_updates(vec![
+            Update::insert_labeled(NodeId(0), NodeId(1), None, Some(Label(5))),
+            Update::insert(NodeId(0), NodeId(1)),
+        ]);
+        let n = batch.normalize_against(&g);
+        assert_eq!(n.len(), 1);
+        let mut g_norm = g.clone();
+        g_norm.apply_batch(&n);
+        assert_eq!(g_norm.label(NodeId(1)), Label(5));
+        // delete-then-labelled-insert: net insert, labels intact.
+        let batch = UpdateBatch::from_updates(vec![
+            Update::delete(NodeId(0), NodeId(2)),
+            Update::insert_labeled(NodeId(0), NodeId(2), None, Some(Label(7))),
+        ]);
+        let mut g_norm = g.clone();
+        g_norm.apply_batch(&batch.normalize_against(&g));
+        assert_eq!(g_norm.label(NodeId(2)), Label(7));
     }
 }

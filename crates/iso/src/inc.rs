@@ -195,6 +195,46 @@ impl IncrementalAlgorithm for IncIso {
     }
 }
 
+impl igc_core::IncView for IncIso {
+    fn name(&self) -> &str {
+        "iso"
+    }
+
+    fn apply(&mut self, g: &DynamicGraph, delta: &UpdateBatch) {
+        IncrementalAlgorithm::apply(self, g, delta);
+    }
+
+    fn work(&self) -> WorkStats {
+        self.work
+    }
+
+    fn reset_work(&mut self) {
+        self.work.reset();
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    /// Audit the maintained match set against a fresh VF2 enumeration (with
+    /// its indexes rebuilt from scratch).
+    fn verify_against_batch(&self, g: &DynamicGraph) -> Result<(), String> {
+        let fresh = IncIso::new(g, self.pattern.clone());
+        if self.sorted_matches() != fresh.sorted_matches() {
+            return Err(format!(
+                "iso: maintained match set ({}) diverged from VF2 ({})",
+                self.match_count(),
+                fresh.match_count()
+            ));
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

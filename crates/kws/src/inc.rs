@@ -440,6 +440,34 @@ impl IncrementalAlgorithm for IncKws {
             input_updates: delta.len() as u64,
             ..Default::default()
         };
+        // Fresh nodes introduced by the batch: a node whose own label is a
+        // keyword starts at distance 0 (the base case of compute_kdist).
+        // Seeding must happen before the insertion phases below so the new
+        // entries propagate through the inserted edges — a fresh node is
+        // only reachable through edges of this very batch.
+        let old_nodes = self.kd.node_count();
+        if old_nodes < g.node_count() {
+            self.kd.grow(g.node_count());
+            let mut changed = FxHashSet::default();
+            for i in old_nodes..g.node_count() {
+                let v = NodeId::from_index(i);
+                for ki in 0..self.query.m() {
+                    if g.label(v) == self.query.keywords[ki] {
+                        self.kd.set(
+                            v,
+                            ki,
+                            KdistEntry {
+                                dist: 0,
+                                next: None,
+                            },
+                        );
+                        self.work.aux_touched += 1;
+                    }
+                }
+                changed.insert(v);
+            }
+            self.refresh_roots(g, &changed);
+        }
         // A singleton batch dispatches to the paper's unit algorithms
         // (Figs. 1 and 3); larger batches take the grouped path. Driving
         // updates one at a time therefore reproduces IncKWSⁿ exactly.
@@ -463,6 +491,48 @@ impl IncrementalAlgorithm for IncKws {
     }
 }
 
+impl igc_core::IncView for IncKws {
+    fn name(&self) -> &str {
+        "kws"
+    }
+
+    fn apply(&mut self, g: &DynamicGraph, delta: &UpdateBatch) {
+        IncrementalAlgorithm::apply(self, g, delta);
+    }
+
+    fn work(&self) -> WorkStats {
+        self.work
+    }
+
+    fn reset_work(&mut self) {
+        self.work.reset();
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    /// Audit the answer signature (qualified roots with their distance
+    /// vectors) against a from-scratch batch construction. `next`-pointer
+    /// choices are not compared: equal-length shortest paths are selected
+    /// arbitrarily, and each root's match is determined by its distances.
+    fn verify_against_batch(&self, g: &DynamicGraph) -> Result<(), String> {
+        let fresh = IncKws::new(g, self.query.clone());
+        if self.answer_signature() != fresh.answer_signature() {
+            return Err(format!(
+                "kws: maintained answer ({} roots) diverged from batch recomputation ({} roots)",
+                self.match_count(),
+                fresh.match_count()
+            ));
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -477,6 +547,38 @@ mod tests {
             .expect("kdist invariants");
         let fresh = IncKws::new(g, inc.query.clone());
         assert_eq!(inc.answer_signature(), fresh.answer_signature());
+    }
+
+    #[test]
+    fn fresh_keyword_node_seeds_distance_zero() {
+        // Graph: a(0) → b(1); query keyword 9, bound 2. No matches.
+        let mut g = graph_from(&[0, 0], &[(0, 1)]);
+        let q = KwsQuery::new(vec![Label(9)], 2);
+        let mut inc = IncKws::new(&g, q);
+        assert_eq!(inc.match_count(), 0);
+        // A batch inserts an edge to a fresh node labelled with the
+        // keyword: the fresh node matches itself (dist 0) and both
+        // ancestors come within the bound.
+        let delta = UpdateBatch::from_updates(vec![Update::insert_labeled(
+            NodeId(1),
+            NodeId(2),
+            None,
+            Some(Label(9)),
+        )]);
+        g.apply_batch(&delta);
+        inc.apply(&g, &delta);
+        assert_eq!(inc.roots(), vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_matches_batch(&inc, &g);
+        // Same shape through the multi-unit (grouped batch) path.
+        let delta2 = UpdateBatch::from_updates(vec![
+            Update::insert_labeled(NodeId(2), NodeId(3), None, Some(Label(9))),
+            Update::delete(NodeId(0), NodeId(1)),
+        ]);
+        g.apply_batch(&delta2);
+        inc.apply(&g, &delta2);
+        assert!(inc.is_match_root(NodeId(3)));
+        assert!(!inc.is_match_root(NodeId(0)));
+        assert_matches_batch(&inc, &g);
     }
 
     #[test]

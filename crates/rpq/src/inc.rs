@@ -506,6 +506,56 @@ impl IncrementalAlgorithm for IncRpq {
     }
 }
 
+impl igc_core::IncView for IncRpq {
+    fn name(&self) -> &str {
+        "rpq"
+    }
+
+    fn apply(&mut self, g: &DynamicGraph, delta: &UpdateBatch) {
+        IncrementalAlgorithm::apply(self, g, delta);
+    }
+
+    fn work(&self) -> WorkStats {
+        self.work
+    }
+
+    fn reset_work(&mut self) {
+        self.work.reset();
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    /// Audit both layers of maintained state: the answer against a
+    /// marking-free batch `RPQ_NFA` evaluation, and the auxiliary markings
+    /// against a fresh instrumented construction.
+    fn verify_against_batch(&self, g: &DynamicGraph) -> Result<(), String> {
+        let mut w = WorkStats::new();
+        let fresh_answer = batch::evaluate(g, &self.nfa, &mut w);
+        if self.sorted_answer() != batch::sorted_answer(&fresh_answer) {
+            return Err(format!(
+                "rpq: maintained answer ({} pairs) diverged from batch RPQ_NFA ({} pairs)",
+                self.answer.len(),
+                fresh_answer.len()
+            ));
+        }
+        let fresh = IncRpq::with_nfa(g, self.nfa.clone());
+        if self.marking_signature() != fresh.marking_signature() {
+            return Err(format!(
+                "rpq: markings ({}) diverged from a fresh construction ({})",
+                self.mark_count(),
+                fresh.mark_count()
+            ));
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

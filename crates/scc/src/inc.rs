@@ -589,6 +589,50 @@ impl IncrementalAlgorithm for IncScc {
     }
 }
 
+impl igc_core::IncView for IncScc {
+    fn name(&self) -> &str {
+        "scc"
+    }
+
+    fn apply(&mut self, g: &DynamicGraph, delta: &UpdateBatch) {
+        IncrementalAlgorithm::apply(self, g, delta);
+    }
+
+    fn work(&self) -> WorkStats {
+        self.work
+    }
+
+    fn reset_work(&mut self) {
+        self.work.reset();
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    /// Audit the maintained partition against one fresh Tarjan run, and the
+    /// condensation's structural invariants (rank order, member maps).
+    fn verify_against_batch(&self, g: &DynamicGraph) -> Result<(), String> {
+        if let Err(e) = self.cond.check_invariants() {
+            return Err(format!("scc: condensation invariant violated: {e}"));
+        }
+        let fresh = tarjan(g).canonical();
+        let mine = self.components();
+        if mine != fresh {
+            return Err(format!(
+                "scc: maintained partition ({} sccs) diverged from Tarjan ({} sccs)",
+                mine.len(),
+                fresh.len()
+            ));
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

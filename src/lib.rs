@@ -45,8 +45,44 @@
 //! rpq.apply(&g, &delta);
 //! assert!(!rpq.contains_pair(v0, v2));
 //! ```
+//!
+//! ## The multi-view engine
+//!
+//! For *many* standing queries over *one* shared graph, hand the graph to
+//! an [`engine::Engine`]: it owns the ΔG commit pipeline (normalize once →
+//! apply to the graph once → fan out to every registered view) so callers
+//! never pre-filter batches or coordinate the apply order by hand.
+//!
+//! ```
+//! use incgraph::prelude::*;
+//!
+//! let mut interner = LabelInterner::new();
+//! let person = interner.intern("person");
+//! let mut g = DynamicGraph::new();
+//! let v0 = g.add_node(person);
+//! let v1 = g.add_node(person);
+//! g.insert_edge(v0, v1);
+//!
+//! let mut engine = Engine::new(g);
+//! let q = Regex::parse("person.person", &mut interner).unwrap();
+//! let rpq = IncRpq::new(engine.graph(), &q);
+//! let rpq_id = engine.register(rpq);
+//! let scc_id = engine.register(IncScc::new(engine.graph()));
+//!
+//! // An arbitrary (even denormalized) batch: one commit updates the graph
+//! // and every view, and reports what it cost.
+//! let receipt = engine.commit(&UpdateBatch::from_updates(vec![
+//!     Update::insert(v1, v0),
+//!     Update::insert(v1, v0), // duplicate — normalized away
+//! ]));
+//! assert_eq!((receipt.applied, receipt.dropped, receipt.epoch), (1, 1, 1));
+//! assert!(engine.view_as::<IncRpq>(rpq_id).unwrap().contains_pair(v1, v0));
+//! assert!(engine.view_as::<IncScc>(scc_id).unwrap().same_scc(v0, v1));
+//! assert!(engine.verify_all().is_ok());
+//! ```
 
 pub use igc_core as core;
+pub use igc_engine as engine;
 pub use igc_graph as graph;
 pub use igc_iso as iso;
 pub use igc_kws as kws;
@@ -55,9 +91,16 @@ pub use igc_rpq as rpq;
 pub use igc_scc as scc;
 
 /// The most commonly used types, re-exported for glob import.
+///
+/// [`IncView`](igc_core::IncView) is deliberately *not* here: both traits
+/// share method names (`apply`, `work`), so glob-importing the prelude
+/// alongside it would make direct method calls ambiguous. Import it
+/// explicitly (`use incgraph::core::IncView;`) when implementing a custom
+/// view; registering the built-in views needs no trait import at all.
 pub mod prelude {
     pub use igc_core::work::WorkStats;
     pub use igc_core::IncrementalAlgorithm;
+    pub use igc_engine::{CommitReceipt, Engine, ViewId};
     pub use igc_graph::{DynamicGraph, Edge, Label, LabelInterner, NodeId, Update, UpdateBatch};
     pub use igc_iso::{IncIso, Pattern};
     pub use igc_kws::{IncKws, KwsQuery};

@@ -1,0 +1,93 @@
+//! Cross-view consistency property: all four query classes registered on
+//! one engine, driven by *arbitrary* (denormalized) commits — duplicates,
+//! insert/delete pairs, no-op updates, self-loops, fresh nodes — must agree
+//! with from-scratch batch recomputation after every commit.
+
+use incgraph::graph::graph::graph_from;
+use incgraph::prelude::*;
+use proptest::prelude::*;
+
+/// Build an engine over the given graph with all four classes registered.
+fn engine_with_views(g: DynamicGraph) -> Engine {
+    let mut engine = Engine::new(g);
+    let mut it = LabelInterner::new();
+    // Interner ids follow first-use order: l0→0, l1→1, l2→2, matching the
+    // `i % 3` node labels below.
+    let q = Regex::parse("l0.(l1+l2)*.l2", &mut it).unwrap();
+    engine.register(IncRpq::new(engine.graph(), &q));
+    engine.register(IncScc::new(engine.graph()));
+    engine.register(IncKws::new(
+        engine.graph(),
+        KwsQuery::new(vec![Label(1), Label(2)], 2),
+    ));
+    engine.register(IncIso::new(
+        engine.graph(),
+        Pattern::from_parts(&[0, 1, 2], &[(0, 1), (1, 2)]),
+    ));
+    engine
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn all_views_agree_with_batch_recomputation_after_every_commit(
+        (n, edges, commits) in (8u32..18).prop_flat_map(|n| (
+            Just(n),
+            // Initial edges: arbitrary ordered pairs, duplicates allowed
+            // (the graph's edge set dedupes).
+            proptest::collection::vec(
+                (0..n, 0..n).prop_filter("no initial self-loops", |(a, b)| a != b),
+                10..40,
+            ),
+            // 1–4 commits of raw unit updates. Ids range past n so
+            // insertions create fresh (default-labelled) nodes; nothing
+            // forbids duplicates, insert/delete pairs, no-ops or
+            // self-loops — that is the point.
+            proptest::collection::vec(
+                proptest::collection::vec(
+                    (any::<bool>(), 0..n + 3, 0..n + 3),
+                    1..14,
+                ),
+                1..5,
+            ),
+        ))
+    ) {
+        let labels: Vec<u32> = (0..n).map(|i| i % 3).collect();
+        let g = graph_from(&labels, &edges);
+        let mut engine = engine_with_views(g);
+
+        let mut last_epoch = engine.epoch();
+        for (round, raw) in commits.iter().enumerate() {
+            let batch: UpdateBatch = raw
+                .iter()
+                .map(|&(ins, a, b)| {
+                    if ins {
+                        Update::insert(NodeId(a), NodeId(b))
+                    } else {
+                        Update::delete(NodeId(a), NodeId(b))
+                    }
+                })
+                .collect();
+            let receipt = engine.commit(&batch);
+
+            // Receipt arithmetic is conserved; the epoch advances exactly
+            // when something was applied.
+            prop_assert_eq!(receipt.submitted, raw.len());
+            prop_assert_eq!(receipt.applied + receipt.dropped, receipt.submitted);
+            if receipt.is_noop() {
+                prop_assert_eq!(receipt.epoch, last_epoch);
+            } else {
+                prop_assert_eq!(receipt.epoch, last_epoch + 1);
+                prop_assert_eq!(receipt.per_view.len(), 4);
+            }
+            last_epoch = receipt.epoch;
+
+            // The heart of the property: every registered view equals its
+            // from-scratch batch recomputation on the current graph.
+            if let Err(failures) = engine.verify_all() {
+                panic!("commit {round}: views diverged from batch recomputation: {failures:?}");
+            }
+        }
+    }
+}
