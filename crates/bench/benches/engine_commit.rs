@@ -1,9 +1,14 @@
 //! Engine commit pipeline: all four view classes registered on one
 //! churning generator-built graph, measuring `Engine::commit` end to end
-//! (normalize once → apply ΔG once → fan out to every view).
+//! (normalize once → apply ΔG once → fan out to every view) — plus a
+//! receipt-overhead series (`tiny_views`) that isolates the per-commit
+//! bookkeeping cost: with `Arc<str>` registry labels a receipt entry is a
+//! refcount bump, where the v1 engine cloned every label `String` into
+//! every receipt of every commit.
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use igc_bench::workloads;
+use igc_core::{IncView, WorkStats};
 use igc_engine::Engine;
 use igc_graph::generator::{random_update_batch, Dataset};
 use igc_graph::{DynamicGraph, Update, UpdateBatch};
@@ -13,6 +18,40 @@ use igc_rpq::IncRpq;
 use igc_scc::IncScc;
 
 const SCALE: f64 = 0.02;
+
+/// A view whose `apply` is (almost) free, so a commit over many of them
+/// measures the engine's per-view overhead: timing, work attribution, and
+/// receipt construction (label sharing included).
+#[derive(Clone)]
+struct TinyView {
+    edges: usize,
+}
+
+impl IncView for TinyView {
+    fn name(&self) -> &str {
+        "tiny"
+    }
+    fn apply(&mut self, g: &DynamicGraph, _delta: &UpdateBatch) {
+        self.edges = g.edge_count();
+    }
+    fn work(&self) -> WorkStats {
+        WorkStats::new()
+    }
+    fn reset_work(&mut self) {}
+    fn verify_against_batch(&self, g: &DynamicGraph) -> Result<(), String> {
+        if self.edges == g.edge_count() {
+            Ok(())
+        } else {
+            Err("edge count drifted".into())
+        }
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
 
 /// Base state built once: graph plus pre-constructed views (cloned into a
 /// fresh engine per sample, so every measured commit starts identical).
@@ -42,10 +81,10 @@ impl Base {
 
     fn engine(&self) -> Engine {
         let mut e = Engine::new(self.g.clone());
-        e.register(self.rpq.clone());
-        e.register(self.scc.clone());
-        e.register(self.kws.clone());
-        e.register(self.iso.clone());
+        e.register(self.rpq.clone()).unwrap();
+        e.register(self.scc.clone()).unwrap();
+        e.register(self.kws.clone()).unwrap();
+        e.register(self.iso.clone()).unwrap();
         e
     }
 }
@@ -71,7 +110,7 @@ fn bench_engine_commit(c: &mut Criterion) {
         group.bench_function(BenchmarkId::new("all_views", units), |b| {
             b.iter_batched(
                 || base.engine(),
-                |mut engine| engine.commit(&delta),
+                |mut engine| engine.commit(&delta).unwrap(),
                 BatchSize::LargeInput,
             )
         });
@@ -83,7 +122,7 @@ fn bench_engine_commit(c: &mut Criterion) {
     group.bench_function(BenchmarkId::new("all_views_denormalized", 200), |b| {
         b.iter_batched(
             || base.engine(),
-            |mut engine| engine.commit(&messy),
+            |mut engine| engine.commit(&messy).unwrap(),
             BatchSize::LargeInput,
         )
     });
@@ -93,10 +132,38 @@ fn bench_engine_commit(c: &mut Criterion) {
     group.bench_function(BenchmarkId::new("no_views", 100), |b| {
         b.iter_batched(
             || Engine::new(base.g.clone()),
-            |mut engine| engine.commit(&delta),
+            |mut engine| engine.commit(&delta).unwrap(),
             BatchSize::LargeInput,
         )
     });
+
+    // Receipt overhead: many near-free views with deliberately long labels,
+    // a single-unit delta. Dominated by per-view bookkeeping — under v1
+    // each sample cloned every label String into the receipt; under v2 the
+    // `Arc<str>` labels make each entry a refcount bump.
+    for views in [16usize, 64] {
+        let delta = random_update_batch(&base.g, 1, 0.5, 20_300 + views as u64);
+        group.bench_function(BenchmarkId::new("tiny_views_receipt", views), |b| {
+            b.iter_batched(
+                || {
+                    let mut e = Engine::new(base.g.clone());
+                    let tiny = TinyView {
+                        edges: base.g.edge_count(),
+                    };
+                    for i in 0..views {
+                        e.register_labeled(
+                            format!("tenant:{i:04}:some-descriptive-standing-query-label"),
+                            tiny.clone(),
+                        )
+                        .unwrap();
+                    }
+                    e
+                },
+                |mut engine| engine.commit(&delta).unwrap(),
+                BatchSize::LargeInput,
+            )
+        });
+    }
 
     group.finish();
 }

@@ -527,59 +527,185 @@ pub struct EngineRun {
 /// Number of commits the engine experiment drives.
 pub const ENGINE_COMMITS: usize = 12;
 
-/// One churning multi-view serving run: all four default views registered
-/// on a DBpedia-like graph, `ENGINE_COMMITS` commits of ~2 % of the edges
-/// each (ρ = 0.5, so the graph size stays stable), per-commit latency
-/// recorded per view. With `verify` on, every view is audited against
-/// from-scratch recomputation after the final commit.
+/// A deliberately buggy fifth view registered alongside the four default
+/// ones: panics on its 3rd `apply`, so the serving trajectory exercises —
+/// and `BENCH_engine.json` records — a real quarantine event.
+struct EngineCanary {
+    applies: u64,
+}
+
+impl igc_core::IncView for EngineCanary {
+    fn name(&self) -> &str {
+        "canary"
+    }
+    fn apply(&mut self, _g: &DynamicGraph, _delta: &UpdateBatch) {
+        self.applies += 1;
+        if self.applies == 3 {
+            panic!("canary: deliberate failure on apply #3");
+        }
+    }
+    fn work(&self) -> WorkStats {
+        WorkStats::new()
+    }
+    fn reset_work(&mut self) {}
+    fn verify_against_batch(&self, _g: &DynamicGraph) -> Result<(), String> {
+        Ok(())
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Run `f` with the default panic hook silenced, so the canary's deliberate
+/// (engine-caught) panic does not write a backtrace into the experiment
+/// output. The hook is global process state: a mutex serializes concurrent
+/// users (the library tests run threaded), and a drop guard restores the
+/// previous hook even if `f` itself panics, so a genuine failure elsewhere
+/// keeps its diagnostics.
+fn quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+    use std::panic::PanicHookInfo;
+    use std::sync::{Mutex, MutexGuard};
+    type PrevHook = Box<dyn Fn(&PanicHookInfo<'_>) + Sync + Send>;
+    static HOOK_LOCK: Mutex<()> = Mutex::new(());
+    struct Restore<'a> {
+        prev: Option<PrevHook>,
+        _serialize: MutexGuard<'a, ()>,
+    }
+    impl Drop for Restore<'_> {
+        fn drop(&mut self) {
+            if let Some(prev) = self.prev.take() {
+                std::panic::set_hook(prev);
+            }
+        }
+    }
+    let guard = match HOOK_LOCK.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let _restore = Restore {
+        prev: Some(prev),
+        _serialize: guard,
+    };
+    f()
+}
+
+/// One churning multi-view serving run with the full v2 lifecycle: the four
+/// default views plus a deliberately flaky canary registered on a
+/// DBpedia-like graph, `ENGINE_COMMITS` commits of ~2 % of the edges each
+/// (ρ = 0.5, so the graph size stays stable), per-commit latency recorded
+/// per view. Along the way the canary is quarantined by the engine (commit
+/// 3) and later deregistered; the `iso` view is deregistered mid-run and
+/// lazily re-registered from the live graph a few commits later. All
+/// lifecycle events land in the JSON alongside the latency series. With
+/// `verify` on, every surviving view is audited against from-scratch
+/// recomputation after the final commit.
 pub fn engine_run(cfg: &ExpConfig) -> EngineRun {
     let g = workloads::dataset(Dataset::DbpediaLike, cfg.scale);
     let mut engine = Engine::new(g);
-    engine.register(IncRpq::new(engine.graph(), &workloads::default_rpq(495)));
-    engine.register(IncScc::new(engine.graph()));
-    engine.register(IncKws::new(engine.graph(), workloads::default_kws()));
-    engine.register(IncIso::new(engine.graph(), workloads::default_iso()));
+    engine
+        .register(IncRpq::new(engine.graph(), &workloads::default_rpq(495)))
+        .expect("register rpq");
+    engine
+        .register(IncScc::new(engine.graph()))
+        .expect("register scc");
+    engine
+        .register(IncKws::new(engine.graph(), workloads::default_kws()))
+        .expect("register kws");
+    engine
+        .register(IncIso::new(engine.graph(), workloads::default_iso()))
+        .expect("register iso");
+    engine
+        .register(EngineCanary { applies: 0 })
+        .expect("register canary");
 
     // Column labels come from the registry itself, so adding/reordering
     // views above cannot desynchronize the table. `Row` wants 'static
-    // strs; leaking one small string per view per process run is fine.
+    // strs; leaking one small string per view per process run is fine. The
+    // initial set stays the header for the whole run — lifecycle events
+    // remove and re-add views, and absent views report 0 for that commit.
     let view_names: Vec<&'static str> = engine
         .labels()
-        .iter()
         .map(|l| &*Box::leak(l.to_string().into_boxed_str()))
         .collect();
+    let labels_json = view_names
+        .iter()
+        .map(|l| format!("\"{l}\""))
+        .collect::<Vec<_>>()
+        .join(", ");
 
     let mut rows = Vec::new();
     let mut commits_json: Vec<String> = Vec::new();
     for i in 0..ENGINE_COMMITS {
+        // The lifecycle script, keyed on commit index (epoch = index + 1):
+        // the canary quarantines itself at epoch 3 and is deregistered
+        // before commit 6; iso is deregistered before commit 4 and lazily
+        // re-registered (from the live graph) before commit 8.
+        if i == 4 {
+            let iso = engine.find("iso").expect("iso live");
+            engine.deregister(iso).expect("deregister iso");
+        }
+        if i == 6 {
+            let canary = engine.find("canary").expect("canary live");
+            engine.deregister(canary).expect("deregister canary");
+        }
+        if i == 8 {
+            engine
+                .register_lazy("iso", IncIso::init(workloads::default_iso()))
+                .expect("lazy re-register iso");
+        }
+
         let count = (((engine.graph().edge_count() as f64) * 0.02).round() as usize).max(1);
         let delta =
             random_update_batch(engine.graph(), count, 0.5, GRAPH_SEED ^ (0xe91 + i as u64));
-        let receipt = engine.commit(&delta);
+
+        // Commit 2 (0-based) trips the canary; silence the panic hook for
+        // just that commit.
+        let receipt = if i == 2 {
+            quiet_panics(|| engine.commit(&delta))
+        } else {
+            engine.commit(&delta)
+        }
+        .expect("engine commit");
 
         let mut times: Vec<(&'static str, f64)> = vec![("commit", receipt.elapsed.as_secs_f64())];
         let mut per_view_json = String::new();
-        for (vi, v) in receipt.per_view.iter().enumerate() {
-            times.push((view_names[vi], v.elapsed.as_secs_f64()));
-            if vi > 0 {
-                per_view_json.push_str(", ");
+        for name in &view_names {
+            let v = receipt.per_view.iter().find(|v| &*v.label == *name);
+            times.push((name, v.map_or(0.0, |v| v.elapsed.as_secs_f64())));
+            if let Some(v) = v {
+                if !per_view_json.is_empty() {
+                    per_view_json.push_str(", ");
+                }
+                let quarantined = if v.applied() {
+                    ""
+                } else {
+                    ", \"quarantined\": true"
+                };
+                per_view_json.push_str(&format!(
+                    "\"{}\": {{\"latency_s\": {:.9}, \"work\": {}{}}}",
+                    v.label,
+                    v.elapsed.as_secs_f64(),
+                    v.work.total(),
+                    quarantined
+                ));
             }
-            per_view_json.push_str(&format!(
-                "\"{}\": {{\"latency_s\": {:.9}, \"work\": {}}}",
-                v.label,
-                v.elapsed.as_secs_f64(),
-                v.work.total()
-            ));
         }
         commits_json.push(format!(
             "    {{\"epoch\": {}, \"submitted\": {}, \"applied\": {}, \"dropped\": {}, \
-             \"latency_s\": {:.9}, \"graph_s\": {:.9}, \"per_view\": {{{}}}}}",
+             \"latency_s\": {:.9}, \"graph_s\": {:.9}, \"skipped_quarantined\": {}, \
+             \"per_view\": {{{}}}}}",
             receipt.epoch,
             receipt.submitted,
             receipt.applied,
             receipt.dropped,
             receipt.elapsed.as_secs_f64(),
             receipt.graph_elapsed.as_secs_f64(),
+            receipt.skipped_quarantined,
             per_view_json
         ));
         rows.push(Row {
@@ -590,35 +716,46 @@ pub fn engine_run(cfg: &ExpConfig) -> EngineRun {
 
     if cfg.verify {
         if let Err(failures) = engine.verify_all() {
-            panic!("engine views diverged from batch recomputation: {failures:?}");
+            panic!("engine views diverged from batch recomputation: {failures}");
         }
     }
 
-    let labels_json = engine
-        .labels()
+    let events_json = engine
+        .events()
         .iter()
-        .map(|l| format!("\"{l}\""))
+        .map(|e| {
+            format!(
+                "    {{\"epoch\": {}, \"kind\": \"{}\", \"label\": \"{}\"}}",
+                e.epoch,
+                e.kind.tag(),
+                e.label
+            )
+        })
         .collect::<Vec<_>>()
-        .join(", ");
+        .join(",\n");
     let json = format!(
         "{{\n  \"bench\": \"engine_commit\",\n  \"dataset\": \"dbpedia_like\",\n  \
          \"scale\": {},\n  \"views\": [{}],\n  \"commits\": [\n{}\n  ],\n  \
+         \"events\": [\n{}\n  ],\n  \
          \"totals\": {{\"commits\": {}, \"units_applied\": {}, \"units_dropped\": {}, \
-         \"latency_s\": {:.9}, \"work\": {}}}\n}}\n",
+         \"latency_s\": {:.9}, \"work\": {}, \"retired_views\": {}}}\n}}\n",
         cfg.scale,
         labels_json,
         commits_json.join(",\n"),
+        events_json,
         engine.commits(),
         engine.units_applied(),
         engine.units_dropped(),
         engine.total_elapsed().as_secs_f64(),
-        engine.total_work().total()
+        engine.total_work().total(),
+        engine.retired().len()
     );
 
     EngineRun {
         series: Series {
             title: format!(
-                "Engine: {} commits × 4 views (DBpedia-like), per-commit latency",
+                "Engine: {} commits × 4 views + canary (DBpedia-like), per-commit \
+                 latency, lifecycle mid-run",
                 ENGINE_COMMITS
             ),
             x_label: "epoch",
@@ -783,17 +920,34 @@ mod tests {
     }
 
     #[test]
-    fn engine_run_emits_series_and_wellformed_json() {
+    fn engine_run_emits_series_events_and_wellformed_json() {
         let r = engine_run(&tiny());
         assert_eq!(r.series.rows.len(), ENGINE_COMMITS);
-        // Each row: the total plus one column per registered view.
-        assert_eq!(r.series.rows[0].times.len(), 5);
+        // Each row: the total plus one column per initially registered view
+        // (absent views report 0 for lifecycle-affected commits).
+        assert_eq!(r.series.rows[0].times.len(), 6);
         assert!(r.json.contains("\"bench\": \"engine_commit\""));
         assert!(r
             .json
-            .contains("\"views\": [\"rpq\", \"scc\", \"kws\", \"iso\"]"));
+            .contains("\"views\": [\"rpq\", \"scc\", \"kws\", \"iso\", \"canary\"]"));
         assert!(r.json.contains("\"latency_s\""));
         assert!(r.json.contains("\"totals\""));
+        // The scripted lifecycle is journaled: the canary's quarantine, both
+        // deregistrations, and iso's lazy re-registration.
+        assert!(r
+            .json
+            .contains("\"kind\": \"quarantined\", \"label\": \"canary\""));
+        assert!(r
+            .json
+            .contains("\"kind\": \"deregistered\", \"label\": \"iso\""));
+        assert!(r
+            .json
+            .contains("\"kind\": \"deregistered\", \"label\": \"canary\""));
+        assert!(r
+            .json
+            .contains("\"kind\": \"registered_lazy\", \"label\": \"iso\""));
+        assert!(r.json.contains("\"quarantined\": true"));
+        assert!(r.json.contains("\"retired_views\": 2"));
         // Balanced braces/brackets — a cheap well-formedness check given
         // no JSON parser is vendored.
         assert_eq!(
@@ -802,7 +956,11 @@ mod tests {
             "unbalanced braces"
         );
         assert_eq!(r.json.matches('[').count(), r.json.matches(']').count());
-        // Commits count in JSON matches the series.
-        assert_eq!(r.json.matches("\"epoch\"").count(), ENGINE_COMMITS);
+        // Commits count in JSON matches the series (every event line also
+        // carries an "epoch" key).
+        assert_eq!(
+            r.json.matches("\"epoch\"").count(),
+            ENGINE_COMMITS + r.json.matches("\"kind\"").count()
+        );
     }
 }

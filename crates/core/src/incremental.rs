@@ -64,6 +64,27 @@ pub trait IncrementalAlgorithm {
 /// The trait is object-safe on purpose: an engine holds
 /// `Box<dyn IncView>`s of heterogeneous query classes (RPQ, SCC, KWS, ISO,
 /// …) in one registry.
+///
+/// # Quarantine contract
+///
+/// A view's [`apply`](IncView::apply) may panic (a bug, an unmaintainable
+/// corner case, a poisoned auxiliary structure). The engine drives fan-out
+/// through [`apply_caught`](IncView::apply_caught), which converts the
+/// panic into an `Err` instead of unwinding through the commit pipeline.
+/// The contract is:
+///
+/// * after a panicking `apply`, the view's *logical* state (its answer and
+///   auxiliary structures) may be arbitrarily inconsistent, but reading it
+///   must remain memory-safe — the ordinary guarantee of safe Rust, so any
+///   view written without `unsafe` state manipulation satisfies it for
+///   free;
+/// * the engine never calls `apply`, `verify_against_batch` or hands out
+///   accessors for a quarantined view again; only deregistration (which
+///   drops it) is permitted, so the inconsistency is never observed;
+/// * `work()` may still be read once, immediately after the panic, to
+///   attribute the partial work the view performed before failing; the
+///   engine fences that read too — if `work()` also panics, the view is
+///   quarantined with zero work attributed instead of unwinding.
 pub trait IncView {
     /// A stable human-readable identifier for registry listings, receipts
     /// and logs (e.g. `"rpq"`, `"scc:communities"`).
@@ -72,6 +93,21 @@ pub trait IncView {
     /// Process a committed batch; `g` already reflects `delta`, and `delta`
     /// is normalized against the pre-commit graph.
     fn apply(&mut self, g: &DynamicGraph, delta: &UpdateBatch);
+
+    /// [`apply`](IncView::apply) with panic capture — the engine's fan-out
+    /// seam behind per-view quarantine.
+    ///
+    /// Returns `Err(cause)` when `apply` panicked, with the panic payload
+    /// rendered by [`panic_cause`]. The default implementation wraps the
+    /// call in [`std::panic::catch_unwind`]; the `AssertUnwindSafe` inside
+    /// is justified by the quarantine contract in the [trait
+    /// docs](IncView#quarantine-contract): a view that panicked is never
+    /// used again, so the (safe, but possibly logically inconsistent)
+    /// state the panic left behind is unobservable.
+    fn apply_caught(&mut self, g: &DynamicGraph, delta: &UpdateBatch) -> Result<(), String> {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.apply(g, delta)))
+            .map_err(|payload| panic_cause(payload.as_ref()))
+    }
 
     /// Work accumulated since construction (or the last reset).
     fn work(&self) -> WorkStats;
@@ -94,6 +130,50 @@ pub trait IncView {
     /// Mutable [`Any`](std::any::Any) access (e.g. to raise a KWS bound or
     /// reset a concrete view in place).
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
+/// Render a panic payload (as caught by [`std::panic::catch_unwind`]) into
+/// a human-readable cause for quarantine records and error messages.
+///
+/// `panic!("…")` payloads are `&str` or `String`; anything else (a custom
+/// `panic_any` payload) is reported by its opaque presence only.
+pub fn panic_cause(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// A deferred view constructor: builds a view's *initial* state from
+/// whatever graph it is handed — the seam behind lazy registration, where
+/// the engine passes its own current graph so a view can join mid-stream
+/// (at any epoch) instead of only at engine construction.
+///
+/// This is Liu's "initialization from current state" dual of maintenance:
+/// the builder runs the view's batch counterpart once on the live graph,
+/// after which the engine keeps the view current incrementally.
+///
+/// Every closure `FnOnce(&DynamicGraph) -> V` where `V: IncView` is a
+/// `ViewInit` via the blanket impl, so ad-hoc lambdas work directly; the
+/// algorithm crates also export ready-made ones (`IncRpq::init`,
+/// `IncScc::init`, `IncKws::init`, `IncIso::init`).
+pub trait ViewInit {
+    /// The concrete view type this constructor builds.
+    type View: IncView + 'static;
+
+    /// Build the view, consistent with `g` as of this call.
+    fn build(self, g: &DynamicGraph) -> Self::View;
+}
+
+impl<V: IncView + 'static, F: FnOnce(&DynamicGraph) -> V> ViewInit for F {
+    type View = V;
+
+    fn build(self, g: &DynamicGraph) -> V {
+        self(g)
+    }
 }
 
 /// Drive an incremental algorithm one unit update at a time — the paper's

@@ -25,6 +25,6 @@ pub mod reductions;
 pub mod ssrp;
 pub mod work;
 
-pub use incremental::{IncView, IncrementalAlgorithm};
+pub use incremental::{panic_cause, IncView, IncrementalAlgorithm, ViewInit};
 pub use ssrp::Ssrp;
 pub use work::{ChangeMetrics, WorkStats};

@@ -1,46 +1,73 @@
-//! The engine proper: view registry + the ΔG commit pipeline.
+//! The engine proper: generation-checked view registry, lifecycle
+//! (deregistration, lazy registration, quarantine) and the fallible ΔG
+//! commit pipeline.
 
-use crate::receipt::{CommitReceipt, ViewCommitStats, ViewTotals};
-use igc_core::{IncView, WorkStats};
+use crate::error::{Divergence, EngineError};
+use crate::lifecycle::{LifecycleEvent, LifecycleEventKind, ViewHandle, ViewId, ViewState};
+use crate::receipt::{CommitReceipt, ViewCommitStats, ViewOutcome, ViewTotals};
+use igc_core::{panic_cause, IncView, ViewInit, WorkStats};
 use igc_graph::{DynamicGraph, UpdateBatch};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Handle to a registered view, returned by [`Engine::register`]. Stable
-/// for the engine's lifetime (views cannot be deregistered; a production
-/// fork would tombstone instead, to keep receipts meaningful).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct ViewId(usize);
-
-impl ViewId {
-    /// The registration index (also this view's position in
-    /// [`CommitReceipt::per_view`]).
-    pub fn index(self) -> usize {
-        self.0
-    }
-}
-
-/// A registered view plus its cumulative accounting.
+/// A registered view plus its health and cumulative accounting.
 struct Registered {
-    label: String,
+    label: Arc<str>,
     view: Box<dyn IncView>,
+    state: ViewState,
     commits: u64,
     elapsed: Duration,
     work: WorkStats,
 }
 
+impl Registered {
+    fn totals(&self) -> ViewTotals {
+        ViewTotals {
+            label: self.label.clone(),
+            commits: self.commits,
+            elapsed: self.elapsed,
+            work: self.work,
+        }
+    }
+}
+
+/// One registry slot: its current generation plus the view occupying it
+/// (`None` = tombstone, reusable by a later registration).
+struct Slot {
+    generation: u32,
+    entry: Option<Registered>,
+}
+
+/// Default bound on how far past the current node count a commit may
+/// reference node ids (ids are dense, so the id gap is materialized); see
+/// [`Engine::set_max_fresh_nodes`].
+pub const DEFAULT_MAX_FRESH_NODES: u32 = 1 << 20;
+
 /// The multi-view incremental engine: owns the shared [`DynamicGraph`] and
 /// a registry of type-erased [`IncView`]s, and funnels every update through
 /// one normalize → apply → fan-out commit pipeline. See the
 /// [crate docs](crate) for the pipeline and an example.
+///
+/// Every public entry point taking user input is fallible
+/// ([`EngineError`]); nothing a caller passes in can panic the engine, and
+/// a view whose `apply` panics is quarantined instead of poisoning its
+/// neighbours.
 #[derive(Default)]
 pub struct Engine {
     graph: DynamicGraph,
-    views: Vec<Registered>,
+    slots: Vec<Slot>,
+    /// Tombstoned slot indices available for reuse, LIFO.
+    free: Vec<u32>,
+    /// Final cumulative totals of deregistered views, in retirement order.
+    retired: Vec<ViewTotals>,
+    events: Vec<LifecycleEvent>,
     commits: u64,
     units_applied: u64,
     units_dropped: u64,
     total_work: WorkStats,
     total_elapsed: Duration,
+    max_fresh_nodes: u32,
 }
 
 impl Engine {
@@ -48,18 +75,23 @@ impl Engine {
     pub fn new(graph: DynamicGraph) -> Self {
         Engine {
             graph,
-            views: Vec::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            retired: Vec::new(),
+            events: Vec::new(),
             commits: 0,
             units_applied: 0,
             units_dropped: 0,
             total_work: WorkStats::new(),
             total_elapsed: Duration::ZERO,
+            max_fresh_nodes: DEFAULT_MAX_FRESH_NODES,
         }
     }
 
-    /// The shared graph. Views must be constructed against exactly this
-    /// graph before registration (the usual shape:
-    /// `let v = IncRpq::new(engine.graph(), &query); engine.register(v);`).
+    /// The shared graph. Eagerly registered views must be constructed
+    /// against exactly this graph (the usual shape:
+    /// `let h = engine.register(IncRpq::new(engine.graph(), &query))?;`);
+    /// [`Engine::register_lazy`] does that plumbing for you.
     pub fn graph(&self) -> &DynamicGraph {
         &self.graph
     }
@@ -70,12 +102,31 @@ impl Engine {
         self.graph.epoch()
     }
 
+    /// Bound, in node ids past the current node count, on how large an id a
+    /// commit may reference (default [`DEFAULT_MAX_FRESH_NODES`]). Ids are
+    /// dense, so inserting an edge at id `k` materializes every node up to
+    /// `k`; the bound turns a fat-fingered `NodeId(u32::MAX)` into
+    /// [`EngineError::NodeOutOfBounds`] instead of a multi-gigabyte
+    /// allocation.
+    pub fn set_max_fresh_nodes(&mut self, max: u32) {
+        self.max_fresh_nodes = max;
+    }
+
+    // ------------------------------------------------------------------
+    // Registration and lifecycle
+    // ------------------------------------------------------------------
+
     /// Register a view under its own [`IncView::name`]. The view must
     /// already be consistent with [`Engine::graph`] — it sees only commits
-    /// from now on.
-    pub fn register<V: IncView + 'static>(&mut self, view: V) -> ViewId {
-        let label = view.name().to_owned();
-        self.register_boxed_labeled(label, Box::new(view))
+    /// from now on. Errors with [`EngineError::DuplicateLabel`] if the
+    /// label is currently occupied.
+    pub fn register<V: IncView + 'static>(
+        &mut self,
+        view: V,
+    ) -> Result<ViewHandle<V>, EngineError> {
+        let label = Arc::from(view.name());
+        self.insert(label, Box::new(view), LifecycleEventKind::Registered)
+            .map(ViewHandle::new)
     }
 
     /// Register a view under an explicit registry label — required when one
@@ -83,63 +134,281 @@ impl Engine {
     /// `"rpq:bob"`).
     pub fn register_labeled<V: IncView + 'static>(
         &mut self,
-        label: impl Into<String>,
+        label: impl Into<Arc<str>>,
         view: V,
-    ) -> ViewId {
-        self.register_boxed_labeled(label.into(), Box::new(view))
+    ) -> Result<ViewHandle<V>, EngineError> {
+        self.insert(label.into(), Box::new(view), LifecycleEventKind::Registered)
+            .map(ViewHandle::new)
     }
 
     /// Register an already type-erased view (label defaults to its name).
-    pub fn register_boxed(&mut self, view: Box<dyn IncView>) -> ViewId {
-        let label = view.name().to_owned();
-        self.register_boxed_labeled(label, view)
+    /// The untyped [`ViewId`] supports everything but the typed accessors;
+    /// upgrade with [`Engine::typed`] when the concrete type is known.
+    pub fn register_boxed(&mut self, view: Box<dyn IncView>) -> Result<ViewId, EngineError> {
+        let label = Arc::from(view.name());
+        self.insert(label, view, LifecycleEventKind::Registered)
     }
 
-    fn register_boxed_labeled(&mut self, label: String, view: Box<dyn IncView>) -> ViewId {
-        assert!(
-            self.views.iter().all(|r| r.label != label),
-            "view label {label:?} already registered"
-        );
-        self.views.push(Registered {
-            label,
+    /// Register an already type-erased view under an explicit label.
+    pub fn register_boxed_labeled(
+        &mut self,
+        label: impl Into<Arc<str>>,
+        view: Box<dyn IncView>,
+    ) -> Result<ViewId, EngineError> {
+        self.insert(label.into(), view, LifecycleEventKind::Registered)
+    }
+
+    /// Register a view *lazily*: build its initial state from the engine's
+    /// **current** graph via a [`ViewInit`] (any
+    /// `FnOnce(&DynamicGraph) -> V` closure, or a ready-made constructor
+    /// like `IncRpq::init`), so views can join mid-stream at any epoch
+    /// instead of only at engine construction. The freshly built view is
+    /// consistent as of this call and is maintained incrementally from the
+    /// next commit on.
+    ///
+    /// The duplicate-label check runs *before* the build, so a rejected
+    /// registration never pays for one; a panicking builder yields
+    /// [`EngineError::InitPanicked`] and registers nothing.
+    pub fn register_lazy<I: ViewInit>(
+        &mut self,
+        label: impl Into<Arc<str>>,
+        init: I,
+    ) -> Result<ViewHandle<I::View>, EngineError> {
+        let label: Arc<str> = label.into();
+        if self.label_occupied(&label) {
+            return Err(EngineError::DuplicateLabel { label });
+        }
+        let graph = &self.graph;
+        let view =
+            catch_unwind(AssertUnwindSafe(move || init.build(graph))).map_err(|payload| {
+                EngineError::InitPanicked {
+                    label: label.clone(),
+                    cause: panic_cause(payload.as_ref()),
+                }
+            })?;
+        self.insert(label, Box::new(view), LifecycleEventKind::RegisteredLazy)
+            .map(ViewHandle::new)
+    }
+
+    /// Deregister a view: tombstone its slot (bumping the generation, so
+    /// every outstanding handle to it goes stale), free the label and the
+    /// slot for reuse, and move the view's cumulative totals to
+    /// [`Engine::retired`]. Returns those final totals. Works on
+    /// quarantined views too — deregistration is the quarantine exit.
+    pub fn deregister(&mut self, id: impl Into<ViewId>) -> Result<ViewTotals, EngineError> {
+        let id = id.into();
+        let stale = EngineError::StaleHandle {
+            index: id.index,
+            generation: id.generation,
+        };
+        let Some(slot) = self.slots.get_mut(id.index()) else {
+            return Err(stale);
+        };
+        if slot.generation != id.generation {
+            return Err(stale);
+        }
+        let Some(r) = slot.entry.take() else {
+            return Err(stale);
+        };
+        slot.generation = slot.generation.wrapping_add(1);
+        self.free.push(id.index);
+        let totals = r.totals();
+        self.retired.push(totals.clone());
+        self.events.push(LifecycleEvent {
+            epoch: self.graph.epoch(),
+            kind: LifecycleEventKind::Deregistered,
+            label: r.label,
+        });
+        Ok(totals)
+    }
+
+    fn label_occupied(&self, label: &str) -> bool {
+        self.slots
+            .iter()
+            .any(|s| s.entry.as_ref().is_some_and(|r| &*r.label == label))
+    }
+
+    fn insert(
+        &mut self,
+        label: Arc<str>,
+        view: Box<dyn IncView>,
+        kind: LifecycleEventKind,
+    ) -> Result<ViewId, EngineError> {
+        if self.label_occupied(&label) {
+            return Err(EngineError::DuplicateLabel { label });
+        }
+        let entry = Registered {
+            label: label.clone(),
             view,
+            state: ViewState::Active,
             commits: 0,
             elapsed: Duration::ZERO,
             work: WorkStats::new(),
+        };
+        // Reuse a tombstoned slot when one is free (its generation was
+        // bumped at deregistration, so handles to the old tenant stay
+        // stale); otherwise append a fresh slot.
+        let index = loop {
+            match self.free.pop() {
+                Some(i) => {
+                    if let Some(slot) = self.slots.get_mut(i as usize) {
+                        if slot.entry.is_none() {
+                            slot.entry = Some(entry);
+                            break i;
+                        }
+                    }
+                    // Free-list entry out of sync (cannot happen, but never
+                    // panic): skip it and keep looking.
+                }
+                None => {
+                    self.slots.push(Slot {
+                        generation: 0,
+                        entry: Some(entry),
+                    });
+                    break (self.slots.len() - 1) as u32;
+                }
+            }
+        };
+        let generation = match self.slots.get(index as usize) {
+            Some(s) => s.generation,
+            None => 0,
+        };
+        self.events.push(LifecycleEvent {
+            epoch: self.graph.epoch(),
+            kind,
+            label,
         });
-        ViewId(self.views.len() - 1)
+        Ok(ViewId { index, generation })
     }
 
-    /// Number of registered views.
+    // ------------------------------------------------------------------
+    // Lookup and typed access
+    // ------------------------------------------------------------------
+
+    /// Number of currently registered (live) views, quarantined included.
     pub fn view_count(&self) -> usize {
-        self.views.len()
+        self.slots.iter().filter(|s| s.entry.is_some()).count()
     }
 
-    /// Registry labels, in registration order.
-    pub fn labels(&self) -> Vec<&str> {
-        self.views.iter().map(|r| r.label.as_str()).collect()
+    /// Registry labels of live views, in slot order. Borrows from the
+    /// registry — no per-call allocation (collect if you need a `Vec`).
+    pub fn labels(&self) -> impl Iterator<Item = &str> {
+        self.slots
+            .iter()
+            .filter_map(|s| s.entry.as_ref().map(|r| &*r.label))
     }
 
-    /// Look up a view id by registry label.
+    /// Look up a live view's id by registry label.
     pub fn find(&self, label: &str) -> Option<ViewId> {
-        self.views.iter().position(|r| r.label == label).map(ViewId)
+        self.slots.iter().enumerate().find_map(|(i, s)| {
+            s.entry.as_ref().and_then(|r| {
+                (&*r.label == label).then_some(ViewId {
+                    index: i as u32,
+                    generation: s.generation,
+                })
+            })
+        })
     }
 
-    /// The registered view behind `id`, type-erased.
-    pub fn view(&self, id: ViewId) -> &dyn IncView {
-        self.views[id.0].view.as_ref()
+    /// Upgrade an untyped [`ViewId`] (e.g. from [`Engine::find`]) to a
+    /// typed [`ViewHandle`], checking that the slot really holds a `V`.
+    /// Works on quarantined views (so a recovery path can hold a typed
+    /// handle to deregister).
+    pub fn typed<V: 'static>(&self, id: ViewId) -> Result<ViewHandle<V>, EngineError> {
+        let r = self.occupied(id)?;
+        if r.view.as_any().is::<V>() {
+            Ok(ViewHandle::new(id))
+        } else {
+            Err(EngineError::WrongViewType {
+                label: r.label.clone(),
+                expected: std::any::type_name::<V>(),
+            })
+        }
     }
 
-    /// The registered view behind `id`, downcast to its concrete type —
-    /// the snapshot-read path (`engine.view_as::<IncRpq>(id)` then e.g.
-    /// `sorted_answer()`).
-    pub fn view_as<V: 'static>(&self, id: ViewId) -> Option<&V> {
-        self.views[id.0].view.as_any().downcast_ref::<V>()
+    /// The view behind a typed handle — the snapshot-read path
+    /// (`engine.view(&rpq_handle)?.sorted_answer()`). Errors if the handle
+    /// is stale ([`EngineError::StaleHandle`]) or the view is quarantined
+    /// ([`EngineError::ViewQuarantined`] — a panicked view's state is not
+    /// served).
+    pub fn view<V: 'static>(&self, h: &ViewHandle<V>) -> Result<&V, EngineError> {
+        let r = self.active(h.id)?;
+        r.view
+            .as_any()
+            .downcast_ref::<V>()
+            .ok_or_else(|| EngineError::WrongViewType {
+                label: r.label.clone(),
+                expected: std::any::type_name::<V>(),
+            })
     }
 
-    /// Mutable concrete access (e.g. to raise a KWS bound between commits).
-    pub fn view_as_mut<V: 'static>(&mut self, id: ViewId) -> Option<&mut V> {
-        self.views[id.0].view.as_any_mut().downcast_mut::<V>()
+    /// Mutable concrete access (e.g. to raise a KWS bound between
+    /// commits). Same error conditions as [`Engine::view`].
+    pub fn view_mut<V: 'static>(&mut self, h: &ViewHandle<V>) -> Result<&mut V, EngineError> {
+        let r = self.active_mut(h.id)?;
+        let label = r.label.clone();
+        r.view
+            .as_any_mut()
+            .downcast_mut::<V>()
+            .ok_or(EngineError::WrongViewType {
+                label,
+                expected: std::any::type_name::<V>(),
+            })
+    }
+
+    /// The view behind an untyped id, type-erased. Same error conditions
+    /// as [`Engine::view`].
+    pub fn view_dyn(&self, id: impl Into<ViewId>) -> Result<&dyn IncView, EngineError> {
+        Ok(self.active(id.into())?.view.as_ref())
+    }
+
+    /// A live view's health: [`ViewState::Active`] or
+    /// [`ViewState::Quarantined`] with the panic's epoch and cause.
+    pub fn state(&self, id: impl Into<ViewId>) -> Result<&ViewState, EngineError> {
+        Ok(&self.occupied(id.into())?.state)
+    }
+
+    /// The registry slot behind `id`, live or stale.
+    fn occupied(&self, id: ViewId) -> Result<&Registered, EngineError> {
+        self.slots
+            .get(id.index())
+            .filter(|s| s.generation == id.generation)
+            .and_then(|s| s.entry.as_ref())
+            .ok_or(EngineError::StaleHandle {
+                index: id.index,
+                generation: id.generation,
+            })
+    }
+
+    fn occupied_mut(&mut self, id: ViewId) -> Result<&mut Registered, EngineError> {
+        self.slots
+            .get_mut(id.index())
+            .filter(|s| s.generation == id.generation)
+            .and_then(|s| s.entry.as_mut())
+            .ok_or(EngineError::StaleHandle {
+                index: id.index,
+                generation: id.generation,
+            })
+    }
+
+    /// Like [`Engine::occupied`], but also rejects quarantined views.
+    fn active(&self, id: ViewId) -> Result<&Registered, EngineError> {
+        let r = self.occupied(id)?;
+        match &r.state {
+            ViewState::Active => Ok(r),
+            ViewState::Quarantined { epoch, cause } => Err(EngineError::ViewQuarantined {
+                label: r.label.clone(),
+                epoch: *epoch,
+                cause: cause.clone(),
+            }),
+        }
+    }
+
+    fn active_mut(&mut self, id: ViewId) -> Result<&mut Registered, EngineError> {
+        // Check state through the shared path first to keep the error
+        // construction in one place, then reborrow mutably.
+        self.active(id)?;
+        self.occupied_mut(id)
     }
 
     // ------------------------------------------------------------------
@@ -148,8 +417,8 @@ impl Engine {
 
     /// Commit a batch update: normalize it once against the current graph,
     /// apply ΔG to the graph exactly once (bumping the epoch), then
-    /// propagate the normalized delta to every registered view, in
-    /// registration order.
+    /// propagate the normalized delta to every live active view, in slot
+    /// order.
     ///
     /// `batch` may be arbitrary — denormalized, with duplicates,
     /// insert/delete pairs of the same edge, deletions of absent edges and
@@ -157,7 +426,31 @@ impl Engine {
     /// and no view ever re-does it. A batch that normalizes to nothing
     /// leaves the graph, the epoch and every view untouched
     /// ([`CommitReceipt::is_noop`]).
-    pub fn commit(&mut self, batch: &UpdateBatch) -> CommitReceipt {
+    ///
+    /// Fault isolation: a view whose `apply` panics is caught, marked
+    /// [`ViewState::Quarantined`] at this commit's epoch, reported in the
+    /// receipt ([`ViewOutcome::Quarantined`]) and the lifecycle journal,
+    /// and *skipped* by later commits — the graph, the other views and the
+    /// engine stay fully serviceable.
+    ///
+    /// The only rejected input is a batch whose *insertions* reference node
+    /// ids beyond the admissible range ([`EngineError::NodeOutOfBounds`]);
+    /// such a batch is rejected atomically, before the graph or any view
+    /// sees it. Deletions are exempt: they never materialize nodes, and a
+    /// delete aimed past the graph is just a no-op normalization drops.
+    pub fn commit(&mut self, batch: &UpdateBatch) -> Result<CommitReceipt, EngineError> {
+        let limit = self.graph.node_count() as u64 + self.max_fresh_nodes as u64;
+        for u in batch.iter() {
+            if !u.is_insert() {
+                continue;
+            }
+            let (from, to) = u.edge();
+            let worst = from.max(to);
+            if worst.0 as u64 >= limit {
+                return Err(EngineError::NodeOutOfBounds { node: worst, limit });
+            }
+        }
+
         let commit_start = Instant::now();
         let submitted = batch.len();
         let delta = batch.normalize_against(&self.graph);
@@ -170,7 +463,7 @@ impl Engine {
             // even though no commit (epoch bump, view fan-out) happened.
             let elapsed = commit_start.elapsed();
             self.total_elapsed += elapsed;
-            return CommitReceipt {
+            return Ok(CommitReceipt {
                 epoch: self.graph.epoch(),
                 submitted,
                 applied: 0,
@@ -178,30 +471,66 @@ impl Engine {
                 graph_elapsed: Duration::ZERO,
                 elapsed,
                 per_view: Vec::new(),
+                skipped_quarantined: 0,
                 work: WorkStats::new(),
-            };
+            });
         }
 
         let graph_start = Instant::now();
         self.graph.apply_batch(&delta);
         let graph_elapsed = graph_start.elapsed();
+        let epoch = self.graph.epoch();
 
-        let mut per_view = Vec::with_capacity(self.views.len());
+        let mut per_view = Vec::with_capacity(self.slots.len());
         let mut commit_work = WorkStats::new();
-        for r in &mut self.views {
+        let mut skipped_quarantined = 0usize;
+        for slot in &mut self.slots {
+            let Some(r) = slot.entry.as_mut() else {
+                continue;
+            };
+            if !r.state.is_active() {
+                skipped_quarantined += 1;
+                continue;
+            }
             let before = r.view.work();
             let view_start = Instant::now();
-            r.view.apply(&self.graph, &delta);
+            let result = r.view.apply_caught(&self.graph, &delta);
             let view_elapsed = view_start.elapsed();
-            let view_work = r.view.work().since(&before);
-            r.commits += 1;
+            // After a panicking apply the view's state may be arbitrarily
+            // inconsistent, so even this one post-mortem work() read is
+            // fenced: if it panics too, attribute zero work rather than
+            // unwind out of the commit.
+            let view_work = match &result {
+                Ok(()) => r.view.work().since(&before),
+                Err(_) => catch_unwind(AssertUnwindSafe(|| r.view.work()))
+                    .map_or(WorkStats::new(), |after| after.since(&before)),
+            };
             r.elapsed += view_elapsed;
             r.work += view_work;
             commit_work += view_work;
+            let outcome = match result {
+                Ok(()) => {
+                    r.commits += 1;
+                    ViewOutcome::Applied
+                }
+                Err(cause) => {
+                    r.state = ViewState::Quarantined {
+                        epoch,
+                        cause: cause.clone(),
+                    };
+                    self.events.push(LifecycleEvent {
+                        epoch,
+                        kind: LifecycleEventKind::Quarantined,
+                        label: r.label.clone(),
+                    });
+                    ViewOutcome::Quarantined { cause }
+                }
+            };
             per_view.push(ViewCommitStats {
                 label: r.label.clone(),
                 elapsed: view_elapsed,
                 work: view_work,
+                outcome,
             });
         }
 
@@ -211,34 +540,71 @@ impl Engine {
         let elapsed = commit_start.elapsed();
         self.total_elapsed += elapsed;
 
-        CommitReceipt {
-            epoch: self.graph.epoch(),
+        Ok(CommitReceipt {
+            epoch,
             submitted,
             applied,
             dropped,
             graph_elapsed,
             elapsed,
             per_view,
+            skipped_quarantined,
             work: commit_work,
-        }
+        })
     }
 
-    /// Audit every registered view against a from-scratch batch
-    /// recomputation on the current graph. Returns all divergences as
-    /// `(label, diagnosis)` pairs — empty `Err` never occurs. Expensive;
-    /// meant for tests and canary commits, not the serving path.
-    pub fn verify_all(&self) -> Result<(), Vec<(String, String)>> {
+    // ------------------------------------------------------------------
+    // Audits
+    // ------------------------------------------------------------------
+
+    /// Audit every live *active* view against a from-scratch batch
+    /// recomputation on the current graph (quarantined views are known-bad
+    /// and skipped). Returns [`EngineError::ViewsDiverged`] listing every
+    /// divergence; a panicking audit counts as a divergence, never an
+    /// unwind. Expensive; meant for tests and canary commits, not the
+    /// serving path.
+    pub fn verify_all(&self) -> Result<(), EngineError> {
         let mut failures = Vec::new();
-        for r in &self.views {
-            if let Err(diag) = r.view.verify_against_batch(&self.graph) {
-                failures.push((r.label.clone(), diag));
+        for slot in &self.slots {
+            let Some(r) = slot.entry.as_ref() else {
+                continue;
+            };
+            if !r.state.is_active() {
+                continue;
+            }
+            if let Some(d) = Self::audit(r, &self.graph) {
+                failures.push(d);
             }
         }
         if failures.is_empty() {
             Ok(())
         } else {
-            Err(failures)
+            Err(EngineError::ViewsDiverged { failures })
         }
+    }
+
+    /// Audit a single view. Errors with [`EngineError::StaleHandle`],
+    /// [`EngineError::ViewQuarantined`], or a one-entry
+    /// [`EngineError::ViewsDiverged`].
+    pub fn verify(&self, id: impl Into<ViewId>) -> Result<(), EngineError> {
+        let r = self.active(id.into())?;
+        match Self::audit(r, &self.graph) {
+            None => Ok(()),
+            Some(d) => Err(EngineError::ViewsDiverged { failures: vec![d] }),
+        }
+    }
+
+    fn audit(r: &Registered, graph: &DynamicGraph) -> Option<Divergence> {
+        let result = catch_unwind(AssertUnwindSafe(|| r.view.verify_against_batch(graph)));
+        let diagnosis = match result {
+            Ok(Ok(())) => return None,
+            Ok(Err(diag)) => diag,
+            Err(payload) => format!("audit panicked: {}", panic_cause(payload.as_ref())),
+        };
+        Some(Divergence {
+            label: r.label.clone(),
+            diagnosis,
+        })
     }
 
     // ------------------------------------------------------------------
@@ -260,7 +626,7 @@ impl Engine {
         self.units_dropped
     }
 
-    /// Total view work across all commits.
+    /// Total view work across all commits, retired views included.
     pub fn total_work(&self) -> WorkStats {
         self.total_work
     }
@@ -271,22 +637,30 @@ impl Engine {
         self.total_elapsed
     }
 
-    /// Cumulative accounting for one view.
-    pub fn view_totals(&self, id: ViewId) -> ViewTotals {
-        let r = &self.views[id.0];
-        ViewTotals {
-            label: r.label.clone(),
-            commits: r.commits,
-            elapsed: r.elapsed,
-            work: r.work,
-        }
+    /// Cumulative accounting for one live view.
+    pub fn view_totals(&self, id: impl Into<ViewId>) -> Result<ViewTotals, EngineError> {
+        Ok(self.occupied(id.into())?.totals())
     }
 
-    /// Cumulative accounting for every view, in registration order.
+    /// Cumulative accounting for every live view, in slot order.
     pub fn all_view_totals(&self) -> Vec<ViewTotals> {
-        (0..self.views.len())
-            .map(|i| self.view_totals(ViewId(i)))
+        self.slots
+            .iter()
+            .filter_map(|s| s.entry.as_ref().map(Registered::totals))
             .collect()
+    }
+
+    /// Final cumulative totals of deregistered views, in retirement order —
+    /// [`Engine::deregister`] tombstones the slot but keeps the numbers.
+    pub fn retired(&self) -> &[ViewTotals] {
+        &self.retired
+    }
+
+    /// The lifecycle journal: every registration (eager and lazy),
+    /// deregistration and quarantine, each stamped with the graph epoch it
+    /// happened at, in order.
+    pub fn events(&self) -> &[LifecycleEvent] {
+        &self.events
     }
 }
 
@@ -295,7 +669,7 @@ impl std::fmt::Debug for Engine {
         f.debug_struct("Engine")
             .field("graph", &self.graph)
             .field("epoch", &self.graph.epoch())
-            .field("views", &self.labels())
+            .field("views", &self.labels().collect::<Vec<_>>())
             .field("commits", &self.commits)
             .finish()
     }
@@ -309,6 +683,7 @@ mod tests {
 
     /// Toy view: maintains the edge count, with a work counter per batch
     /// unit.
+    #[derive(Debug)]
     struct EdgeCount {
         name: &'static str,
         count: usize,
@@ -354,36 +729,125 @@ mod tests {
         }
     }
 
+    /// Toy view that panics on its `n`-th apply (1-based), healthy before.
+    #[derive(Debug)]
+    struct PanicOn {
+        n: u64,
+        seen: u64,
+        work: WorkStats,
+    }
+
+    impl PanicOn {
+        fn nth(n: u64) -> Self {
+            PanicOn {
+                n,
+                seen: 0,
+                work: WorkStats::new(),
+            }
+        }
+    }
+
+    impl IncView for PanicOn {
+        fn name(&self) -> &str {
+            "panicky"
+        }
+        fn apply(&mut self, _g: &DynamicGraph, delta: &UpdateBatch) {
+            self.seen += 1;
+            self.work.aux_touched += 1;
+            if self.seen == self.n {
+                panic!("deliberate canary failure on apply #{}", self.seen);
+            }
+            self.work.aux_touched += delta.len() as u64;
+        }
+        fn work(&self) -> WorkStats {
+            self.work
+        }
+        fn reset_work(&mut self) {
+            self.work.reset();
+        }
+        fn verify_against_batch(&self, _g: &DynamicGraph) -> Result<(), String> {
+            Ok(())
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
     fn delta(updates: Vec<Update>) -> UpdateBatch {
         UpdateBatch::from_updates(updates)
+    }
+
+    /// Run `f` with the default panic hook silenced, so deliberate canary
+    /// panics do not clutter test output. The hook is global process
+    /// state: a mutex serializes concurrent users, and a drop guard
+    /// restores the previous hook even if `f` itself panics (a failing
+    /// assertion inside `f` must not mute every later test's diagnostics).
+    fn quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+        use std::panic::PanicHookInfo;
+        use std::sync::{Mutex, MutexGuard};
+        type PrevHook = Box<dyn Fn(&PanicHookInfo<'_>) + Sync + Send>;
+        static HOOK_LOCK: Mutex<()> = Mutex::new(());
+        struct Restore<'a> {
+            prev: Option<PrevHook>,
+            _serialize: MutexGuard<'a, ()>,
+        }
+        impl Drop for Restore<'_> {
+            fn drop(&mut self) {
+                if let Some(prev) = self.prev.take() {
+                    std::panic::set_hook(prev);
+                }
+            }
+        }
+        let guard = match HOOK_LOCK.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let _restore = Restore {
+            prev: Some(prev),
+            _serialize: guard,
+        };
+        f()
     }
 
     #[test]
     fn commit_normalizes_once_and_fans_out() {
         let g = graph_from(&[0, 0, 0], &[(0, 1)]);
         let mut engine = Engine::new(g);
-        let a = engine.register(EdgeCount::new("a", engine.graph()));
-        let b = engine.register_labeled("b", EdgeCount::new("ignored", engine.graph()));
+        let a = engine
+            .register(EdgeCount::new("a", engine.graph()))
+            .unwrap();
+        let b = engine
+            .register_labeled("b", EdgeCount::new("ignored", engine.graph()))
+            .unwrap();
 
-        let receipt = engine.commit(&delta(vec![
-            Update::insert(NodeId(1), NodeId(2)),
-            Update::insert(NodeId(1), NodeId(2)), // duplicate
-            Update::delete(NodeId(2), NodeId(0)), // absent
-            Update::insert(NodeId(0), NodeId(1)), // present
-        ]));
+        let receipt = engine
+            .commit(&delta(vec![
+                Update::insert(NodeId(1), NodeId(2)),
+                Update::insert(NodeId(1), NodeId(2)), // duplicate
+                Update::delete(NodeId(2), NodeId(0)), // absent
+                Update::insert(NodeId(0), NodeId(1)), // present
+            ]))
+            .unwrap();
         assert_eq!(receipt.submitted, 4);
         assert_eq!(receipt.applied, 1);
         assert_eq!(receipt.dropped, 3);
         assert_eq!(receipt.epoch, 1);
         assert_eq!(receipt.per_view.len(), 2);
+        assert_eq!(receipt.skipped_quarantined, 0);
         // Each view saw the *normalized* delta: one unit of work apiece.
         for v in &receipt.per_view {
             assert_eq!(v.work.aux_touched, 1);
+            assert!(v.applied());
         }
         assert_eq!(receipt.work.aux_touched, 2);
         assert!(!receipt.is_noop());
-        assert_eq!(engine.view_as::<EdgeCount>(a).unwrap().count, 2);
-        assert_eq!(engine.view_as::<EdgeCount>(b).unwrap().count, 2);
+        assert_eq!(engine.view(&a).unwrap().count, 2);
+        assert_eq!(engine.view(&b).unwrap().count, 2);
         assert!(engine.verify_all().is_ok());
     }
 
@@ -391,11 +855,15 @@ mod tests {
     fn noop_commit_leaves_everything_untouched() {
         let g = graph_from(&[0, 0], &[(0, 1)]);
         let mut engine = Engine::new(g);
-        engine.register(EdgeCount::new("a", engine.graph()));
-        let receipt = engine.commit(&delta(vec![
-            Update::insert(NodeId(0), NodeId(1)), // present
-            Update::delete(NodeId(1), NodeId(0)), // absent
-        ]));
+        engine
+            .register(EdgeCount::new("a", engine.graph()))
+            .unwrap();
+        let receipt = engine
+            .commit(&delta(vec![
+                Update::insert(NodeId(0), NodeId(1)), // present
+                Update::delete(NodeId(1), NodeId(0)), // absent
+            ]))
+            .unwrap();
         assert!(receipt.is_noop());
         assert_eq!(receipt.epoch, 0, "no-op commit does not bump the epoch");
         assert_eq!(receipt.dropped, 2);
@@ -408,16 +876,22 @@ mod tests {
     fn accounting_accumulates_across_commits() {
         let g = graph_from(&[0, 0, 0, 0], &[]);
         let mut engine = Engine::new(g);
-        let id = engine.register(EdgeCount::new("a", engine.graph()));
-        engine.commit(&delta(vec![Update::insert(NodeId(0), NodeId(1))]));
-        engine.commit(&delta(vec![
-            Update::insert(NodeId(1), NodeId(2)),
-            Update::insert(NodeId(2), NodeId(3)),
-        ]));
+        let id = engine
+            .register(EdgeCount::new("a", engine.graph()))
+            .unwrap();
+        engine
+            .commit(&delta(vec![Update::insert(NodeId(0), NodeId(1))]))
+            .unwrap();
+        engine
+            .commit(&delta(vec![
+                Update::insert(NodeId(1), NodeId(2)),
+                Update::insert(NodeId(2), NodeId(3)),
+            ]))
+            .unwrap();
         assert_eq!(engine.commits(), 2);
         assert_eq!(engine.units_applied(), 3);
         assert_eq!(engine.epoch(), 2);
-        let totals = engine.view_totals(id);
+        let totals = engine.view_totals(id).unwrap();
         assert_eq!(totals.commits, 2);
         assert_eq!(totals.work.aux_touched, 3);
         assert_eq!(engine.total_work().aux_touched, 3);
@@ -427,49 +901,417 @@ mod tests {
     #[test]
     fn registry_lookup_and_labels() {
         let mut engine = Engine::new(graph_from(&[0, 0], &[]));
-        let a = engine.register(EdgeCount::new("alpha", engine.graph()));
-        let b = engine.register_labeled("beta", EdgeCount::new("alpha", engine.graph()));
+        let a = engine
+            .register(EdgeCount::new("alpha", engine.graph()))
+            .unwrap();
+        let b = engine
+            .register_labeled("beta", EdgeCount::new("alpha", engine.graph()))
+            .unwrap();
         assert_eq!(engine.view_count(), 2);
-        assert_eq!(engine.labels(), vec!["alpha", "beta"]);
-        assert_eq!(engine.find("alpha"), Some(a));
-        assert_eq!(engine.find("beta"), Some(b));
+        assert_eq!(engine.labels().collect::<Vec<_>>(), vec!["alpha", "beta"]);
+        assert_eq!(engine.find("alpha"), Some(a.id()));
+        assert_eq!(engine.find("beta"), Some(b.id()));
         assert_eq!(engine.find("gamma"), None);
         assert_eq!(a.index(), 0);
-        assert_eq!(engine.view(b).name(), "alpha", "label ≠ IncView::name");
-    }
-
-    #[test]
-    #[should_panic(expected = "already registered")]
-    fn duplicate_labels_rejected() {
-        let mut engine = Engine::new(graph_from(&[0, 0], &[]));
-        engine.register(EdgeCount::new("dup", engine.graph()));
-        engine.register(EdgeCount::new("dup", engine.graph()));
-    }
-
-    #[test]
-    fn verify_all_reports_divergence_per_view() {
-        let mut engine = Engine::new(graph_from(&[0, 0], &[]));
-        engine.register(EdgeCount::new("healthy", engine.graph()));
-        // A view constructed against the *wrong* state diverges immediately.
-        engine.register_labeled(
-            "stale",
-            EdgeCount {
-                name: "stale",
-                count: 99,
-                work: WorkStats::new(),
-            },
+        assert_eq!(a.generation(), 0);
+        assert_eq!(
+            engine.view_dyn(b).unwrap().name(),
+            "alpha",
+            "label ≠ IncView::name"
         );
-        let failures = engine.verify_all().unwrap_err();
-        assert_eq!(failures.len(), 1);
-        assert_eq!(failures[0].0, "stale");
+        // find → typed round-trips to a working typed handle.
+        let again: ViewHandle<EdgeCount> = engine.typed(engine.find("beta").unwrap()).unwrap();
+        assert_eq!(again, b);
+        assert!(engine.view(&again).is_ok());
+    }
+
+    // ------------------------------------------------------------------
+    // One test per EngineError variant
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn error_duplicate_label() {
+        let mut engine = Engine::new(graph_from(&[0, 0], &[]));
+        engine
+            .register(EdgeCount::new("dup", engine.graph()))
+            .unwrap();
+        let err = engine
+            .register(EdgeCount::new("dup", engine.graph()))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::DuplicateLabel {
+                label: Arc::from("dup")
+            }
+        );
+        assert!(err.to_string().contains("dup"));
+        // The engine is not poisoned: a different label still registers.
+        assert!(engine
+            .register(EdgeCount::new("ok", engine.graph()))
+            .is_ok());
     }
 
     #[test]
-    fn view_as_mut_allows_in_place_surgery() {
+    fn error_stale_handle_after_deregister_and_slot_reuse() {
         let mut engine = Engine::new(graph_from(&[0, 0], &[]));
-        let id = engine.register(EdgeCount::new("a", engine.graph()));
-        engine.view_as_mut::<EdgeCount>(id).unwrap().count = 7;
-        assert_eq!(engine.view_as::<EdgeCount>(id).unwrap().count, 7);
-        assert!(engine.view_as::<u32>(id).is_none(), "wrong type downcast");
+        let a = engine
+            .register(EdgeCount::new("a", engine.graph()))
+            .unwrap();
+        let totals = engine.deregister(a).unwrap();
+        assert_eq!(&*totals.label, "a");
+        assert_eq!(
+            engine.view(&a).unwrap_err(),
+            EngineError::StaleHandle {
+                index: 0,
+                generation: 0
+            }
+        );
+        // The slot is reused by the next registration under a bumped
+        // generation: same index, the stale handle still misses.
+        let b = engine
+            .register(EdgeCount::new("b", engine.graph()))
+            .unwrap();
+        assert_eq!(b.index(), a.index());
+        assert_eq!(b.generation(), 1);
+        assert!(engine.view(&a).is_err());
+        assert!(engine.view(&b).is_ok());
+        assert!(engine.state(a).is_err());
+        assert!(engine.deregister(a).is_err());
+        assert!(engine.view_totals(a).is_err());
+        // The deregistered view's totals stay queryable.
+        assert_eq!(&*engine.retired()[0].label, "a");
+        // The old label is free again.
+        assert!(engine.register(EdgeCount::new("a", engine.graph())).is_ok());
+    }
+
+    #[test]
+    fn error_wrong_view_type() {
+        let mut engine = Engine::new(graph_from(&[0, 0], &[]));
+        let a = engine
+            .register(EdgeCount::new("a", engine.graph()))
+            .unwrap();
+        let err = engine.typed::<PanicOn>(a.id()).unwrap_err();
+        match err {
+            EngineError::WrongViewType { label, expected } => {
+                assert_eq!(&*label, "a");
+                assert!(expected.contains("PanicOn"));
+            }
+            other => panic!("expected WrongViewType, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_view_quarantined_on_access() {
+        quiet_panics(|| {
+            let mut engine = Engine::new(graph_from(&[0, 0], &[]));
+            let p = engine.register(PanicOn::nth(1)).unwrap();
+            engine
+                .commit(&delta(vec![Update::insert(NodeId(0), NodeId(1))]))
+                .unwrap();
+            let err = engine.view(&p).unwrap_err();
+            match err {
+                EngineError::ViewQuarantined {
+                    label,
+                    epoch,
+                    cause,
+                } => {
+                    assert_eq!(&*label, "panicky");
+                    assert_eq!(epoch, 1);
+                    assert!(cause.contains("deliberate canary failure"));
+                }
+                other => panic!("expected ViewQuarantined, got {other:?}"),
+            }
+            assert!(engine.view_dyn(p).is_err());
+            assert!(engine.verify(p).is_err());
+        });
+    }
+
+    #[test]
+    fn error_views_diverged() {
+        let mut engine = Engine::new(graph_from(&[0, 0], &[]));
+        engine
+            .register(EdgeCount::new("healthy", engine.graph()))
+            .unwrap();
+        // A view constructed against the *wrong* state diverges immediately.
+        let stale = engine
+            .register_labeled(
+                "stale",
+                EdgeCount {
+                    name: "stale",
+                    count: 99,
+                    work: WorkStats::new(),
+                },
+            )
+            .unwrap();
+        let err = engine.verify_all().unwrap_err();
+        match &err {
+            EngineError::ViewsDiverged { failures } => {
+                assert_eq!(failures.len(), 1);
+                assert_eq!(&*failures[0].label, "stale");
+            }
+            other => panic!("expected ViewsDiverged, got {other:?}"),
+        }
+        // Single-view verify agrees, and the healthy one passes.
+        assert!(engine.verify(stale).is_err());
+        assert!(engine.verify(engine.find("healthy").unwrap()).is_ok());
+    }
+
+    #[test]
+    fn error_node_out_of_bounds() {
+        let mut engine = Engine::new(graph_from(&[0, 0], &[]));
+        engine
+            .register(EdgeCount::new("a", engine.graph()))
+            .unwrap();
+        let err = engine
+            .commit(&delta(vec![Update::insert(NodeId(0), NodeId(u32::MAX))]))
+            .unwrap_err();
+        match err {
+            EngineError::NodeOutOfBounds { node, limit } => {
+                assert_eq!(node, NodeId(u32::MAX));
+                assert_eq!(limit, 2 + DEFAULT_MAX_FRESH_NODES as u64);
+            }
+            other => panic!("expected NodeOutOfBounds, got {other:?}"),
+        }
+        // Atomic rejection: nothing moved, and the engine still commits.
+        assert_eq!(engine.epoch(), 0);
+        assert_eq!(engine.commits(), 0);
+        assert!(engine.verify_all().is_ok());
+        // Deletions are exempt: they never materialize nodes, so a stale
+        // client deleting far past the graph is a normalization no-op, not
+        // a rejected batch.
+        let receipt = engine
+            .commit(&delta(vec![Update::delete(NodeId(0), NodeId(u32::MAX))]))
+            .unwrap();
+        assert!(receipt.is_noop());
+        engine.set_max_fresh_nodes(u32::MAX);
+        // With the bound lifted, a modest gap-jumping insert is admissible.
+        assert!(engine
+            .commit(&delta(vec![Update::insert(NodeId(0), NodeId(10))]))
+            .is_ok());
+    }
+
+    #[test]
+    fn error_init_panicked() {
+        let mut engine = Engine::new(graph_from(&[0, 0], &[]));
+        let err = quiet_panics(|| {
+            engine
+                .register_lazy("doomed", |_g: &DynamicGraph| -> EdgeCount {
+                    panic!("builder exploded")
+                })
+                .unwrap_err()
+        });
+        match err {
+            EngineError::InitPanicked { label, cause } => {
+                assert_eq!(&*label, "doomed");
+                assert!(cause.contains("builder exploded"));
+            }
+            other => panic!("expected InitPanicked, got {other:?}"),
+        }
+        // Nothing was registered; the label is still free.
+        assert_eq!(engine.view_count(), 0);
+        assert!(engine
+            .register_lazy("doomed", |g: &DynamicGraph| EdgeCount::new("doomed", g))
+            .is_ok());
+    }
+
+    // ------------------------------------------------------------------
+    // Quarantine and lifecycle behaviour
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn quarantined_view_is_skipped_while_others_keep_committing() {
+        quiet_panics(|| {
+            let mut engine = Engine::new(graph_from(&[0, 0, 0, 0], &[]));
+            let healthy = engine
+                .register(EdgeCount::new("a", engine.graph()))
+                .unwrap();
+            let p = engine.register(PanicOn::nth(2)).unwrap();
+
+            let r1 = engine
+                .commit(&delta(vec![Update::insert(NodeId(0), NodeId(1))]))
+                .unwrap();
+            assert!(r1.per_view.iter().all(|v| v.applied()));
+
+            // Commit 2: the canary panics mid-fan-out; the commit succeeds.
+            let r2 = engine
+                .commit(&delta(vec![Update::insert(NodeId(1), NodeId(2))]))
+                .unwrap();
+            assert_eq!(r2.per_view.len(), 2);
+            let quarantined: Vec<_> = r2.newly_quarantined().collect();
+            assert_eq!(quarantined.len(), 1);
+            assert_eq!(&*quarantined[0].label, "panicky");
+            assert!(matches!(
+                engine.state(p).unwrap(),
+                ViewState::Quarantined { epoch: 2, .. }
+            ));
+
+            // Commit 3: the canary is skipped, the healthy view keeps going.
+            let r3 = engine
+                .commit(&delta(vec![Update::insert(NodeId(2), NodeId(3))]))
+                .unwrap();
+            assert_eq!(r3.per_view.len(), 1);
+            assert_eq!(r3.skipped_quarantined, 1);
+            assert_eq!(engine.view(&healthy).unwrap().count, 3);
+            assert!(
+                engine.verify_all().is_ok(),
+                "audit skips the quarantined view"
+            );
+
+            // Recovery: deregister, lazily register a replacement, audit.
+            engine.deregister(p).unwrap();
+            let replacement = engine
+                .register_lazy("panicky", |g: &DynamicGraph| EdgeCount::new("panicky", g))
+                .unwrap();
+            let r4 = engine
+                .commit(&delta(vec![Update::insert(NodeId(3), NodeId(0))]))
+                .unwrap();
+            assert_eq!(r4.per_view.len(), 2);
+            assert_eq!(r4.skipped_quarantined, 0);
+            assert_eq!(engine.view(&replacement).unwrap().count, 4);
+            assert!(engine.verify_all().is_ok());
+        });
+    }
+
+    /// A maximally hostile view: `apply` panics, and afterwards even
+    /// `work()` panics (its state is wrecked). The engine must fence both.
+    #[derive(Debug)]
+    struct PoisonedWork {
+        wrecked: bool,
+    }
+
+    impl IncView for PoisonedWork {
+        fn name(&self) -> &str {
+            "poisoned"
+        }
+        fn apply(&mut self, _g: &DynamicGraph, _delta: &UpdateBatch) {
+            self.wrecked = true;
+            panic!("apply wrecked the state");
+        }
+        fn work(&self) -> WorkStats {
+            if self.wrecked {
+                panic!("work() on wrecked state");
+            }
+            WorkStats::new()
+        }
+        fn reset_work(&mut self) {}
+        fn verify_against_batch(&self, _g: &DynamicGraph) -> Result<(), String> {
+            Ok(())
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    #[test]
+    fn post_panic_work_read_is_fenced_too() {
+        quiet_panics(|| {
+            let mut engine = Engine::new(graph_from(&[0, 0], &[]));
+            let healthy = engine
+                .register(EdgeCount::new("a", engine.graph()))
+                .unwrap();
+            let p = engine.register(PoisonedWork { wrecked: false }).unwrap();
+            let receipt = engine
+                .commit(&delta(vec![Update::insert(NodeId(0), NodeId(1))]))
+                .unwrap();
+            // The wreck is quarantined with zero work attributed; the
+            // commit (and the healthy view) survived both panics.
+            let q: Vec<_> = receipt.newly_quarantined().collect();
+            assert_eq!(q.len(), 1);
+            assert_eq!(q[0].work.total(), 0);
+            assert!(matches!(
+                engine.state(p).unwrap(),
+                ViewState::Quarantined { .. }
+            ));
+            assert_eq!(engine.view(&healthy).unwrap().count, 1);
+            assert!(engine.verify_all().is_ok());
+        });
+    }
+
+    #[test]
+    fn lazy_view_matches_eager_view_bit_for_bit() {
+        let g = graph_from(&[0, 0, 0, 0], &[(0, 1)]);
+        let mut engine = Engine::new(g);
+        let eager = engine
+            .register(EdgeCount::new("eager", engine.graph()))
+            .unwrap();
+
+        engine
+            .commit(&delta(vec![Update::insert(NodeId(1), NodeId(2))]))
+            .unwrap();
+        // Join mid-stream: built from the *current* graph (2 edges).
+        let lazy = engine
+            .register_lazy("lazy", |g: &DynamicGraph| EdgeCount::new("lazy", g))
+            .unwrap();
+        assert_eq!(engine.view(&lazy).unwrap().count, 2);
+
+        // Same commit suffix ⇒ identical answers.
+        engine
+            .commit(&delta(vec![
+                Update::insert(NodeId(2), NodeId(3)),
+                Update::delete(NodeId(0), NodeId(1)),
+            ]))
+            .unwrap();
+        assert_eq!(
+            engine.view(&eager).unwrap().count,
+            engine.view(&lazy).unwrap().count
+        );
+        assert!(engine.verify_all().is_ok());
+        // The latecomer only paid for the commits it saw.
+        assert_eq!(engine.view_totals(lazy).unwrap().commits, 1);
+        assert_eq!(engine.view_totals(eager).unwrap().commits, 2);
+    }
+
+    #[test]
+    fn lifecycle_events_journal_everything_in_order() {
+        quiet_panics(|| {
+            let mut engine = Engine::new(graph_from(&[0, 0, 0], &[]));
+            let a = engine
+                .register(EdgeCount::new("a", engine.graph()))
+                .unwrap();
+            engine.register(PanicOn::nth(1)).unwrap();
+            engine
+                .commit(&delta(vec![Update::insert(NodeId(0), NodeId(1))]))
+                .unwrap();
+            engine.deregister(a).unwrap();
+            engine
+                .register_lazy("late", |g: &DynamicGraph| EdgeCount::new("late", g))
+                .unwrap();
+
+            let got: Vec<(u64, &'static str, &str)> = engine
+                .events()
+                .iter()
+                .map(|e| (e.epoch, e.kind.tag(), &*e.label))
+                .collect();
+            assert_eq!(
+                got,
+                vec![
+                    (0, "registered", "a"),
+                    (0, "registered", "panicky"),
+                    (1, "quarantined", "panicky"),
+                    (1, "deregistered", "a"),
+                    (1, "registered_lazy", "late"),
+                ]
+            );
+        });
+    }
+
+    #[test]
+    fn view_mut_allows_in_place_surgery() {
+        let mut engine = Engine::new(graph_from(&[0, 0], &[]));
+        let id = engine
+            .register(EdgeCount::new("a", engine.graph()))
+            .unwrap();
+        engine.view_mut(&id).unwrap().count = 7;
+        assert_eq!(engine.view(&id).unwrap().count, 7);
+    }
+
+    #[test]
+    fn handles_are_copy_send_and_hashable() {
+        fn assert_send_sync<T: Send + Sync + Copy + std::hash::Hash>() {}
+        assert_send_sync::<ViewHandle<EdgeCount>>();
+        assert_send_sync::<ViewId>();
     }
 }

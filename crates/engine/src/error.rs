@@ -1,0 +1,143 @@
+//! The engine's error surface: every fallible public entry point returns
+//! [`EngineError`] — no `panic!`/`assert!` is reachable from user input.
+
+use igc_graph::NodeId;
+use std::fmt;
+use std::sync::Arc;
+
+/// One view's divergence from from-scratch recomputation, as reported by
+/// [`Engine::verify_all`](crate::Engine::verify_all) inside
+/// [`EngineError::ViewsDiverged`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// The diverged view's registry label.
+    pub label: Arc<str>,
+    /// The view's own diagnosis (or the rendered panic cause, when the
+    /// audit itself panicked).
+    pub diagnosis: String,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.label, self.diagnosis)
+    }
+}
+
+/// Everything that can go wrong at the engine's public API on user input.
+///
+/// Each variant corresponds to one rejected input class; none of them
+/// poison the engine — after any `Err` the engine remains fully usable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A `register*` call reused a label that is currently occupied.
+    /// (Labels of *deregistered* views become available again.)
+    DuplicateLabel {
+        /// The label already in the registry.
+        label: Arc<str>,
+    },
+    /// A handle referenced a slot that no longer holds the view it was
+    /// issued for: the view was deregistered (and the slot possibly reused
+    /// by a later registration, which bumped the slot's generation).
+    StaleHandle {
+        /// The handle's slot index.
+        index: u32,
+        /// The handle's generation (≠ the slot's current generation).
+        generation: u32,
+    },
+    /// A typed accessor named a concrete view type that is not what the
+    /// slot actually holds.
+    WrongViewType {
+        /// The view's registry label.
+        label: Arc<str>,
+        /// The concrete type the caller asked for.
+        expected: &'static str,
+    },
+    /// The view is quarantined: a past `apply` panicked, the engine caught
+    /// it, and the view has been fenced off since. Deregister it (and, if
+    /// wanted, lazily register a replacement built from the current graph).
+    ViewQuarantined {
+        /// The quarantined view's registry label.
+        label: Arc<str>,
+        /// Graph epoch of the commit whose `apply` panicked.
+        epoch: u64,
+        /// The rendered panic payload.
+        cause: String,
+    },
+    /// `verify_all` (or `verify`) found views whose maintained answers
+    /// diverge from from-scratch recomputation on the current graph.
+    ViewsDiverged {
+        /// One entry per diverged view, in slot order.
+        failures: Vec<Divergence>,
+    },
+    /// A commit *insertion* referenced a node id far beyond the current
+    /// graph, which would force allocation of the whole id gap (ids are
+    /// dense). Deletions are exempt — they never materialize nodes, and a
+    /// delete aimed past the graph is a no-op normalization drops. The
+    /// bound is `node_count + max_fresh_nodes`; see
+    /// [`Engine::set_max_fresh_nodes`](crate::Engine::set_max_fresh_nodes).
+    NodeOutOfBounds {
+        /// The offending node id.
+        node: NodeId,
+        /// The first id past the admissible range at commit time.
+        limit: u64,
+    },
+    /// A lazy registration's [`ViewInit`](igc_core::ViewInit) builder
+    /// panicked; nothing was registered.
+    InitPanicked {
+        /// The label the view would have been registered under.
+        label: Arc<str>,
+        /// The rendered panic payload.
+        cause: String,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::DuplicateLabel { label } => {
+                write!(f, "view label {label:?} already registered")
+            }
+            EngineError::StaleHandle { index, generation } => write!(
+                f,
+                "stale view handle (slot {index}, generation {generation}): \
+                 the view was deregistered"
+            ),
+            EngineError::WrongViewType { label, expected } => {
+                write!(f, "view {label:?} is not a {expected}")
+            }
+            EngineError::ViewQuarantined {
+                label,
+                epoch,
+                cause,
+            } => write!(
+                f,
+                "view {label:?} quarantined at epoch {epoch} (apply panicked: {cause})"
+            ),
+            EngineError::ViewsDiverged { failures } => {
+                write!(
+                    f,
+                    "{} view(s) diverged from recomputation: ",
+                    failures.len()
+                )?;
+                for (i, d) in failures.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{d}")?;
+                }
+                Ok(())
+            }
+            EngineError::NodeOutOfBounds { node, limit } => write!(
+                f,
+                "update references node {node:?} beyond the admissible id range \
+                 (< {limit}); raise Engine::set_max_fresh_nodes to allow larger gaps"
+            ),
+            EngineError::InitPanicked { label, cause } => write!(
+                f,
+                "lazy registration of {label:?} failed: view builder panicked: {cause}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}

@@ -1,7 +1,8 @@
 #![warn(missing_docs)]
 
 //! The multi-view incremental engine: one shared dynamic graph, one ΔG
-//! commit pipeline, many registered query views.
+//! commit pipeline, many registered query views — with a full view
+//! lifecycle and per-view fault isolation.
 //!
 //! The paper's four incremental algorithms each maintain *one* standing
 //! query over a graph the caller updates by hand. A serving system inverts
@@ -9,7 +10,13 @@
 //! update batches from clients, and fans each committed ΔG out to *every*
 //! registered view — the incremental-view-maintenance architecture of
 //! Szárnyas's property-graph IVM work, with Fan–Hu–Tian algorithms as the
-//! per-view maintenance procedures.
+//! per-view maintenance procedures. Incremental maintenance only pays off
+//! when views are *long-lived*, so the registry is built for long lives:
+//! views join at any epoch ([`Engine::register_lazy`] builds their initial
+//! state from the current graph — Liu's initialization-from-current-state
+//! dual of maintenance), leave at any epoch ([`Engine::deregister`], with
+//! totals retained), and fail alone (a panicking `apply` quarantines that
+//! view, not the engine).
 //!
 //! [`Engine::commit`] is the whole pipeline:
 //!
@@ -19,29 +26,41 @@
 //!    pairs, so clients never have to pre-filter;
 //! 2. **apply ΔG to the graph exactly once**, bumping the graph
 //!    [epoch](igc_graph::DynamicGraph::epoch);
-//! 3. **propagate** the normalized delta to every registered
-//!    [`IncView`](igc_core::IncView), timing each view and attributing its
-//!    [`WorkStats`](igc_core::WorkStats) delta;
-//! 4. return a [`CommitReceipt`] with per-view and commit-wide totals.
+//! 3. **propagate** the normalized delta to every live active
+//!    [`IncView`](igc_core::IncView), timing each view, attributing its
+//!    [`WorkStats`](igc_core::WorkStats) delta, and catching panics
+//!    (quarantine instead of unwind);
+//! 4. return a [`CommitReceipt`] with per-view outcomes and commit-wide
+//!    totals, labels shared as `Arc<str>` (no per-commit string cloning).
+//!
+//! Every entry point taking user input returns `Result<_, `[`EngineError`]`>`
+//! — duplicate labels, stale handles, wrong-type downcasts, out-of-range
+//! node ids and quarantined-view access are all errors, never panics.
 //!
 //! ```
 //! use igc_engine::Engine;
 //! use igc_graph::{graph::graph_from, NodeId, Update, UpdateBatch};
 //!
 //! let mut engine = Engine::new(graph_from(&[0, 0, 0], &[(0, 1)]));
-//! // (register views here — see `Engine::register`)
-//! let receipt = engine.commit(&UpdateBatch::from_updates(vec![
-//!     Update::insert(NodeId(1), NodeId(2)),
-//!     Update::insert(NodeId(1), NodeId(2)), // duplicate: normalized away
-//!     Update::delete(NodeId(2), NodeId(0)), // absent edge: normalized away
-//! ]));
+//! // (register views here — see `Engine::register` / `register_lazy`)
+//! let receipt = engine
+//!     .commit(&UpdateBatch::from_updates(vec![
+//!         Update::insert(NodeId(1), NodeId(2)),
+//!         Update::insert(NodeId(1), NodeId(2)), // duplicate: normalized away
+//!         Update::delete(NodeId(2), NodeId(0)), // absent edge: normalized away
+//!     ]))
+//!     .unwrap();
 //! assert_eq!(receipt.applied, 1);
 //! assert_eq!(receipt.dropped, 2);
 //! assert_eq!(engine.epoch(), 1);
 //! ```
 
 mod engine;
+mod error;
+mod lifecycle;
 mod receipt;
 
-pub use engine::{Engine, ViewId};
-pub use receipt::{CommitReceipt, ViewCommitStats, ViewTotals};
+pub use engine::{Engine, DEFAULT_MAX_FRESH_NODES};
+pub use error::{Divergence, EngineError};
+pub use lifecycle::{LifecycleEvent, LifecycleEventKind, ViewHandle, ViewId, ViewState};
+pub use receipt::{CommitReceipt, ViewCommitStats, ViewOutcome, ViewTotals};

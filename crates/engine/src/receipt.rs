@@ -1,17 +1,48 @@
-//! What a commit reports back: per-view and commit-wide cost accounting.
+//! What a commit reports back: per-view and commit-wide cost accounting,
+//! including quarantine outcomes.
 
 use igc_core::WorkStats;
+use std::sync::Arc;
 use std::time::Duration;
 
+/// How one view's `apply` ended during a commit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViewOutcome {
+    /// The view processed the delta normally.
+    Applied,
+    /// The view's `apply` panicked; the engine caught it and quarantined
+    /// the view as of this commit's epoch. Later commits skip it.
+    Quarantined {
+        /// The rendered panic payload.
+        cause: String,
+    },
+}
+
 /// Per-view cost of one commit, as recorded in a [`CommitReceipt`].
+///
+/// Only views whose `apply` actually ran appear (already-quarantined views
+/// are skipped and counted in
+/// [`CommitReceipt::skipped_quarantined`]); a view quarantined *by* this
+/// commit appears with [`ViewOutcome::Quarantined`] and the cost it
+/// incurred before panicking.
 #[derive(Debug, Clone)]
 pub struct ViewCommitStats {
-    /// The view's registry label.
-    pub label: String,
+    /// The view's registry label (shared with the registry — cloning a
+    /// receipt bumps a refcount instead of copying strings).
+    pub label: Arc<str>,
     /// Wall-clock time of this view's `apply`.
     pub elapsed: Duration,
     /// Work counters this view accumulated during this commit.
     pub work: WorkStats,
+    /// How the `apply` ended.
+    pub outcome: ViewOutcome,
+}
+
+impl ViewCommitStats {
+    /// True when this view processed the delta normally.
+    pub fn applied(&self) -> bool {
+        self.outcome == ViewOutcome::Applied
+    }
 }
 
 /// The result of one [`Engine::commit`](crate::Engine::commit): what was
@@ -35,9 +66,14 @@ pub struct CommitReceipt {
     /// Total wall-clock commit time: normalization + graph apply + every
     /// view's apply.
     pub elapsed: Duration,
-    /// Per-view cost, in registration order.
+    /// Per-view cost, in slot order, for the views that ran.
     pub per_view: Vec<ViewCommitStats>,
-    /// Sum of all views' work during this commit.
+    /// Views this commit skipped because they were already quarantined by
+    /// an earlier commit. (Zero for no-op commits, where nothing fans
+    /// out.)
+    pub skipped_quarantined: usize,
+    /// Sum of all views' work during this commit (including partial work
+    /// of a view quarantined by this commit).
     pub work: WorkStats,
 }
 
@@ -52,15 +88,20 @@ impl CommitReceipt {
     pub fn slowest_view(&self) -> Option<&ViewCommitStats> {
         self.per_view.iter().max_by_key(|v| v.elapsed)
     }
+
+    /// Views quarantined *by* this commit (their `apply` panicked here).
+    pub fn newly_quarantined(&self) -> impl Iterator<Item = &ViewCommitStats> {
+        self.per_view.iter().filter(|v| !v.applied())
+    }
 }
 
 /// Cumulative per-view accounting across every commit of an engine.
 #[derive(Debug, Clone)]
 pub struct ViewTotals {
     /// The view's registry label.
-    pub label: String,
+    pub label: Arc<str>,
     /// Commits this view has processed (registration-time onwards;
-    /// all-no-op commits are not counted).
+    /// all-no-op commits and skipped/panicked applies are not counted).
     pub commits: u64,
     /// Total wall-clock time spent in this view's `apply`.
     pub elapsed: Duration,

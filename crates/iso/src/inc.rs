@@ -42,6 +42,14 @@ pub struct IncIso {
 }
 
 impl IncIso {
+    /// A deferred constructor ([`ViewInit`](igc_core::ViewInit)) for lazy
+    /// engine registration: VF2 runs on the engine's *current* graph at
+    /// registration time (`engine.register_lazy("iso",
+    /// IncIso::init(pattern))`).
+    pub fn init(pattern: Pattern) -> impl igc_core::ViewInit<View = Self> {
+        move |g: &DynamicGraph| IncIso::new(g, pattern)
+    }
+
     /// Batch-compute `Q(G)` with VF2 and build the indexes.
     pub fn new(g: &DynamicGraph, pattern: Pattern) -> Self {
         let mut me = IncIso {

@@ -46,6 +46,14 @@ pub struct IncKws {
 }
 
 impl IncKws {
+    /// A deferred constructor ([`ViewInit`](igc_core::ViewInit)) for lazy
+    /// engine registration: the kdist lists are computed from the engine's
+    /// *current* graph at registration time
+    /// (`engine.register_lazy("kws:near", IncKws::init(query))`).
+    pub fn init(query: KwsQuery) -> impl igc_core::ViewInit<View = Self> {
+        move |g: &DynamicGraph| IncKws::new(g, query)
+    }
+
     /// Batch-compute `Q(G)` and the auxiliary lists.
     pub fn new(g: &DynamicGraph, query: KwsQuery) -> Self {
         let mut work = WorkStats::new();

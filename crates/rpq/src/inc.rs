@@ -46,6 +46,15 @@ impl IncRpq {
         Self::with_nfa(g, build_nfa(query))
     }
 
+    /// A deferred constructor ([`ViewInit`](igc_core::ViewInit)) for lazy
+    /// engine registration: the view's initial markings are built from the
+    /// engine's *current* graph at registration time, so an RPQ tenant can
+    /// join mid-stream (`engine.register_lazy("rpq:alice",
+    /// IncRpq::init(query))`).
+    pub fn init(query: Regex) -> impl igc_core::ViewInit<View = Self> {
+        move |g: &DynamicGraph| IncRpq::new(g, &query)
+    }
+
     /// Build from a pre-constructed NFA.
     pub fn with_nfa(g: &DynamicGraph, nfa: Nfa) -> Self {
         let mut rev: FxHashMap<(Label, StateId), Vec<StateId>> = FxHashMap::default();

@@ -46,6 +46,13 @@ pub struct IncScc {
 }
 
 impl IncScc {
+    /// A deferred constructor ([`ViewInit`](igc_core::ViewInit)) for lazy
+    /// engine registration: Tarjan runs on the engine's *current* graph at
+    /// registration time (`engine.register_lazy("scc", IncScc::init())`).
+    pub fn init() -> impl igc_core::ViewInit<View = Self> {
+        IncScc::new
+    }
+
     /// Run Tarjan once on `g` and set up the condensation, ranks and
     /// `num`/`lowlink` — the batch phase of the incrementalization.
     pub fn new(g: &DynamicGraph) -> Self {

@@ -52,10 +52,16 @@
 //! an [`engine::Engine`]: it owns the ΔG commit pipeline (normalize once →
 //! apply to the graph once → fan out to every registered view) so callers
 //! never pre-filter batches or coordinate the apply order by hand.
+//! Registration returns a *typed handle* (`ViewHandle<IncRpq>` below), so
+//! snapshot reads need no downcasting; views can also join lazily at any
+//! epoch, be deregistered, and are quarantined — not the whole engine — if
+//! their `apply` panics. Every user-input path returns
+//! `Result<_, EngineError>`.
 //!
 //! ```
 //! use incgraph::prelude::*;
 //!
+//! # fn main() -> Result<(), EngineError> {
 //! let mut interner = LabelInterner::new();
 //! let person = interner.intern("person");
 //! let mut g = DynamicGraph::new();
@@ -65,20 +71,30 @@
 //!
 //! let mut engine = Engine::new(g);
 //! let q = Regex::parse("person.person", &mut interner).unwrap();
-//! let rpq = IncRpq::new(engine.graph(), &q);
-//! let rpq_id = engine.register(rpq);
-//! let scc_id = engine.register(IncScc::new(engine.graph()));
+//! let rpq = engine.register(IncRpq::new(engine.graph(), &q))?;
+//! let scc = engine.register(IncScc::new(engine.graph()))?;
 //!
 //! // An arbitrary (even denormalized) batch: one commit updates the graph
 //! // and every view, and reports what it cost.
 //! let receipt = engine.commit(&UpdateBatch::from_updates(vec![
 //!     Update::insert(v1, v0),
 //!     Update::insert(v1, v0), // duplicate — normalized away
-//! ]));
+//! ]))?;
 //! assert_eq!((receipt.applied, receipt.dropped, receipt.epoch), (1, 1, 1));
-//! assert!(engine.view_as::<IncRpq>(rpq_id).unwrap().contains_pair(v1, v0));
-//! assert!(engine.view_as::<IncScc>(scc_id).unwrap().same_scc(v0, v1));
-//! assert!(engine.verify_all().is_ok());
+//! assert!(engine.view(&rpq)?.contains_pair(v1, v0));
+//! assert!(engine.view(&scc)?.same_scc(v0, v1));
+//!
+//! // A view can join mid-stream: its initial state is built from the
+//! // engine's *current* graph, then maintained incrementally like the rest.
+//! let late = engine.register_lazy("rpq:late", IncRpq::init(q.clone()))?;
+//! assert!(engine.view(&late)?.contains_pair(v1, v0));
+//! engine.verify_all()?;
+//!
+//! // And leave again, with its cumulative totals retained.
+//! engine.deregister(late)?;
+//! assert!(engine.view(&late).is_err(), "handles go stale on deregistration");
+//! # Ok(())
+//! # }
 //! ```
 
 pub use igc_core as core;
@@ -97,10 +113,16 @@ pub use igc_scc as scc;
 /// alongside it would make direct method calls ambiguous. Import it
 /// explicitly (`use incgraph::core::IncView;`) when implementing a custom
 /// view; registering the built-in views needs no trait import at all.
+/// [`ViewInit`](igc_core::ViewInit) is likewise not needed at call sites —
+/// `register_lazy` accepts plain closures and the `Inc*::init` constructors
+/// directly.
 pub mod prelude {
     pub use igc_core::work::WorkStats;
     pub use igc_core::IncrementalAlgorithm;
-    pub use igc_engine::{CommitReceipt, Engine, ViewId};
+    pub use igc_engine::{
+        CommitReceipt, Engine, EngineError, LifecycleEvent, LifecycleEventKind, ViewCommitStats,
+        ViewHandle, ViewId, ViewOutcome, ViewState, ViewTotals,
+    };
     pub use igc_graph::{DynamicGraph, Edge, Label, LabelInterner, NodeId, Update, UpdateBatch};
     pub use igc_iso::{IncIso, Pattern};
     pub use igc_kws::{IncKws, KwsQuery};

@@ -1,30 +1,60 @@
-//! Cross-view consistency property: all four query classes registered on
-//! one engine, driven by *arbitrary* (denormalized) commits — duplicates,
-//! insert/delete pairs, no-op updates, self-loops, fresh nodes — must agree
-//! with from-scratch batch recomputation after every commit.
+//! Cross-view consistency properties for the engine.
+//!
+//! Two properties live here:
+//!
+//! 1. all four query classes registered on one engine, driven by
+//!    *arbitrary* (denormalized) commits — duplicates, insert/delete pairs,
+//!    no-op updates, self-loops, fresh nodes — must agree with from-scratch
+//!    batch recomputation after every commit;
+//! 2. the same under a randomly interleaved *lifecycle*: commits,
+//!    deregistrations and lazy registrations across the 4 view classes,
+//!    with every surviving view audited after every commit (lazy-joined
+//!    views must match from-scratch recomputation exactly, from their very
+//!    first commit).
 
 use incgraph::graph::graph::graph_from;
 use incgraph::prelude::*;
 use proptest::prelude::*;
 
-/// Build an engine over the given graph with all four classes registered.
-fn engine_with_views(g: DynamicGraph) -> Engine {
-    let mut engine = Engine::new(g);
+fn rpq_query() -> Regex {
     let mut it = LabelInterner::new();
     // Interner ids follow first-use order: l0→0, l1→1, l2→2, matching the
     // `i % 3` node labels below.
-    let q = Regex::parse("l0.(l1+l2)*.l2", &mut it).unwrap();
-    engine.register(IncRpq::new(engine.graph(), &q));
-    engine.register(IncScc::new(engine.graph()));
-    engine.register(IncKws::new(
-        engine.graph(),
-        KwsQuery::new(vec![Label(1), Label(2)], 2),
-    ));
-    engine.register(IncIso::new(
-        engine.graph(),
-        Pattern::from_parts(&[0, 1, 2], &[(0, 1), (1, 2)]),
-    ));
+    Regex::parse("l0.(l1+l2)*.l2", &mut it).unwrap()
+}
+
+/// Build an engine over the given graph with all four classes registered.
+fn engine_with_views(g: DynamicGraph) -> Engine {
+    let mut engine = Engine::new(g);
     engine
+        .register(IncRpq::new(engine.graph(), &rpq_query()))
+        .unwrap();
+    engine.register(IncScc::new(engine.graph())).unwrap();
+    engine
+        .register(IncKws::new(
+            engine.graph(),
+            KwsQuery::new(vec![Label(1), Label(2)], 2),
+        ))
+        .unwrap();
+    engine
+        .register(IncIso::new(
+            engine.graph(),
+            Pattern::from_parts(&[0, 1, 2], &[(0, 1), (1, 2)]),
+        ))
+        .unwrap();
+    engine
+}
+
+fn batch_from_raw(raw: &[(bool, u32, u32)]) -> UpdateBatch {
+    raw.iter()
+        .map(|&(ins, a, b)| {
+            if ins {
+                Update::insert(NodeId(a), NodeId(b))
+            } else {
+                Update::delete(NodeId(a), NodeId(b))
+            }
+        })
+        .collect()
 }
 
 proptest! {
@@ -59,17 +89,8 @@ proptest! {
 
         let mut last_epoch = engine.epoch();
         for (round, raw) in commits.iter().enumerate() {
-            let batch: UpdateBatch = raw
-                .iter()
-                .map(|&(ins, a, b)| {
-                    if ins {
-                        Update::insert(NodeId(a), NodeId(b))
-                    } else {
-                        Update::delete(NodeId(a), NodeId(b))
-                    }
-                })
-                .collect();
-            let receipt = engine.commit(&batch);
+            let batch = batch_from_raw(raw);
+            let receipt = engine.commit(&batch).unwrap();
 
             // Receipt arithmetic is conserved; the epoch advances exactly
             // when something was applied.
@@ -86,8 +107,117 @@ proptest! {
             // The heart of the property: every registered view equals its
             // from-scratch batch recomputation on the current graph.
             if let Err(failures) = engine.verify_all() {
-                panic!("commit {round}: views diverged from batch recomputation: {failures:?}");
+                panic!("commit {round}: views diverged from batch recomputation: {failures}");
             }
+        }
+    }
+
+    #[test]
+    fn lifecycle_interleavings_keep_every_surviving_view_consistent(
+        (n, edges, rounds) in (8u32..16).prop_flat_map(|n| (
+            Just(n),
+            proptest::collection::vec(
+                (0..n, 0..n).prop_filter("no initial self-loops", |(a, b)| a != b),
+                10..30,
+            ),
+            // 3–7 rounds; each round: a lifecycle op (0 = none,
+            // 1 = deregister, 2 = lazy-register), a pick that selects the
+            // op's target (view slot / class), and a raw commit batch.
+            proptest::collection::vec(
+                (
+                    0u32..3,
+                    0u32..64,
+                    proptest::collection::vec(
+                        (any::<bool>(), 0..n + 3, 0..n + 3),
+                        1..10,
+                    ),
+                ),
+                3..8,
+            ),
+        ))
+    ) {
+        let labels: Vec<u32> = (0..n).map(|i| i % 3).collect();
+        let g = graph_from(&labels, &edges);
+        let mut engine = engine_with_views(g);
+        // Shadow roster of live labels, kept in sync with the registry.
+        let mut live: Vec<String> =
+            engine.labels().map(str::to_owned).collect();
+        let mut fresh = 0u32;
+
+        for (round, (op, pick, raw)) in rounds.iter().enumerate() {
+            match op {
+                // Deregister a pseudo-randomly picked live view; its label
+                // frees up, its handle goes stale, its totals retire.
+                1 if !live.is_empty() => {
+                    let victim = live.remove((*pick as usize) % live.len());
+                    let id = engine.find(&victim).expect("live view findable");
+                    let retired_before = engine.retired().len();
+                    let totals = engine.deregister(id).unwrap();
+                    prop_assert_eq!(&*totals.label, victim.as_str());
+                    prop_assert_eq!(engine.retired().len(), retired_before + 1);
+                    prop_assert!(engine.find(&victim).is_none());
+                    prop_assert!(engine.view_dyn(id).is_err(), "stale after deregister");
+                }
+                // Lazily register a fresh view of a pseudo-randomly picked
+                // class: its initial state is built from the *current*
+                // graph, mid-stream.
+                2 => {
+                    fresh += 1;
+                    let label = match pick % 4 {
+                        0 => {
+                            let l = format!("rpq:g{fresh}");
+                            engine.register_lazy(l.as_str(), IncRpq::init(rpq_query())).unwrap();
+                            l
+                        }
+                        1 => {
+                            let l = format!("scc:g{fresh}");
+                            engine.register_lazy(l.as_str(), IncScc::init()).unwrap();
+                            l
+                        }
+                        2 => {
+                            let l = format!("kws:g{fresh}");
+                            engine.register_lazy(
+                                l.as_str(),
+                                IncKws::init(KwsQuery::new(vec![Label(1), Label(2)], 2)),
+                            ).unwrap();
+                            l
+                        }
+                        _ => {
+                            let l = format!("iso:g{fresh}");
+                            engine.register_lazy(
+                                l.as_str(),
+                                IncIso::init(Pattern::from_parts(&[0, 1, 2], &[(0, 1), (1, 2)])),
+                            ).unwrap();
+                            l
+                        }
+                    };
+                    live.push(label.clone());
+                    // A lazy joiner is consistent immediately, before its
+                    // first commit: exact match with from-scratch state.
+                    let id = engine.find(&label).expect("lazy view findable");
+                    prop_assert!(engine.verify(id).is_ok(), "lazy view consistent at join");
+                }
+                _ => {}
+            }
+            prop_assert_eq!(engine.view_count(), live.len());
+
+            let receipt = engine.commit(&batch_from_raw(raw)).unwrap();
+            prop_assert_eq!(receipt.applied + receipt.dropped, receipt.submitted);
+            if !receipt.is_noop() {
+                prop_assert_eq!(receipt.per_view.len(), live.len());
+                prop_assert_eq!(receipt.skipped_quarantined, 0);
+            }
+
+            // Audit every surviving view after every commit — lazy joiners
+            // included, against from-scratch recomputation.
+            if let Err(failures) = engine.verify_all() {
+                panic!("round {round}: surviving views diverged: {failures}");
+            }
+            let mut roster: Vec<&str> = live.iter().map(String::as_str).collect();
+            roster.sort_unstable();
+            let mut got: Vec<&str> = engine.labels().collect();
+            got.sort_unstable();
+            prop_assert_eq!(got, roster, "registry roster matches shadow roster");
         }
     }
 }
