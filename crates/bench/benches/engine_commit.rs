@@ -9,7 +9,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use igc_bench::workloads;
 use igc_core::{IncView, WorkStats};
-use igc_engine::Engine;
+use igc_engine::{CommitMode, Engine};
 use igc_graph::generator::{random_update_batch, Dataset};
 use igc_graph::{DynamicGraph, Update, UpdateBatch};
 use igc_iso::IncIso;
@@ -126,6 +126,33 @@ fn bench_engine_commit(c: &mut Criterion) {
             BatchSize::LargeInput,
         )
     });
+
+    // Fan-out modes head to head: the same 100-unit delta committed to the
+    // same four views, sequentially and across worker threads. On a
+    // multi-core host the parallel series should approach the slowest
+    // single view's latency; on a single core it exposes the thread-spawn
+    // overhead instead (both are worth tracking).
+    let delta = random_update_batch(&base.g, 100, 0.5, 20_400);
+    group.bench_function(BenchmarkId::new("fanout_sequential", 100), |b| {
+        b.iter_batched(
+            || base.engine(),
+            |mut engine| engine.commit(&delta).unwrap(),
+            BatchSize::LargeInput,
+        )
+    });
+    for threads in [2usize, 4] {
+        group.bench_function(BenchmarkId::new("fanout_parallel", threads), |b| {
+            b.iter_batched(
+                || {
+                    let mut e = base.engine();
+                    e.set_commit_mode(CommitMode::Parallel { threads });
+                    e
+                },
+                |mut engine| engine.commit(&delta).unwrap(),
+                BatchSize::LargeInput,
+            )
+        });
+    }
 
     // The pipeline floor: normalize + graph apply with zero views.
     let delta = random_update_batch(&base.g, 100, 0.5, 20_200);

@@ -3,15 +3,18 @@
 //! engine serving trajectory.
 //!
 //! ```text
-//! experiments [--scale F] [--no-verify] [--json-out PATH]
+//! experiments [--scale F] [--no-verify] [--threads N] [--json-out PATH]
 //!             [fig8a fig8b … | all | unit | rho | undoable | locality | engine]
 //! ```
 //!
 //! With no figure arguments, everything runs. `--scale` scales the
-//! datasets (1.0 = the laptop-sized full datasets; default 0.15). The
-//! `engine` experiment additionally writes its per-commit latency series
-//! as machine-readable JSON to `--json-out` (default `BENCH_engine.json`),
-//! so the perf trajectory accumulates across revisions.
+//! datasets (1.0 = the laptop-sized full datasets; default 0.15).
+//! `--threads N` makes the `engine` experiment commit with
+//! `CommitMode::Parallel { threads: N }` (default: sequential). The
+//! `engine` experiment additionally writes its per-commit latency series —
+//! including a sequential-vs-parallel comparison — as machine-readable
+//! JSON to `--json-out` (default `BENCH_engine.json`), so the perf
+//! trajectory accumulates across revisions.
 
 use igc_bench::experiments::{self, ExpConfig, ALL_FIGS};
 
@@ -27,13 +30,17 @@ fn main() {
                 cfg.scale = v.parse().expect("scale must be a float");
             }
             "--no-verify" => cfg.verify = false,
+            "--threads" => {
+                let v = args.next().expect("--threads needs a value");
+                cfg.threads = v.parse().expect("threads must be an integer");
+            }
             "--json-out" => {
                 json_out = args.next().expect("--json-out needs a path");
             }
             "all" => figs.extend(ALL_FIGS.iter().map(|s| s.to_string())),
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: experiments [--scale F] [--no-verify] [--json-out PATH] \
+                    "usage: experiments [--scale F] [--no-verify] [--threads N] [--json-out PATH] \
                      [fig8a … fig8p | all | unit | rho | undoable | locality | engine]"
                 );
                 return;

@@ -30,6 +30,10 @@ pub struct ExpConfig {
     pub scale: f64,
     /// Cross-check incremental answers against batch recomputation.
     pub verify: bool,
+    /// Commit fan-out for the `engine` experiment: `0` = sequential,
+    /// `n ≥ 1` = `CommitMode::Parallel { threads: n }` (the `--threads`
+    /// flag of the experiments binary).
+    pub threads: usize,
 }
 
 impl Default for ExpConfig {
@@ -37,6 +41,18 @@ impl Default for ExpConfig {
         ExpConfig {
             scale: 0.15,
             verify: true,
+            threads: 0,
+        }
+    }
+}
+
+/// The [`CommitMode`](igc_engine::CommitMode) an [`ExpConfig`] asks for.
+fn commit_mode(cfg: &ExpConfig) -> igc_engine::CommitMode {
+    if cfg.threads == 0 {
+        igc_engine::CommitMode::Sequential
+    } else {
+        igc_engine::CommitMode::Parallel {
+            threads: cfg.threads,
         }
     }
 }
@@ -527,6 +543,10 @@ pub struct EngineRun {
 /// Number of commits the engine experiment drives.
 pub const ENGINE_COMMITS: usize = 12;
 
+/// Number of lockstep commits in the sequential-vs-parallel comparison
+/// appended to the engine experiment's JSON.
+pub const COMPARE_COMMITS: usize = 8;
+
 /// A deliberately buggy fifth view registered alongside the four default
 /// ones: panics on its 3rd `apply`, so the serving trajectory exercises —
 /// and `BENCH_engine.json` records — a real quarantine event.
@@ -594,6 +614,86 @@ fn quiet_panics<T>(f: impl FnOnce() -> T) -> T {
     f()
 }
 
+/// The sequential-vs-parallel fan-out comparison: the four default views
+/// cloned into two engines over the same starting graph, driven in lockstep
+/// through [`COMPARE_COMMITS`] identical commits — one engine sequential,
+/// one `CommitMode::Parallel`. Records each commit's *view latency sum*
+/// (the fan-out cost parallelism targets; normalization and the graph
+/// apply are mode-independent) plus wall-clock medians and the speedup.
+/// With `verify` on, both engines' receipts are cross-checked for equal
+/// work and the final views audited — the comparison doubles as an
+/// equivalence test at experiment scale.
+///
+/// The parallel side always uses at least 2 workers: a 1-thread "parallel"
+/// engine runs its fan-out inline by construction, and recording a
+/// sequential-vs-sequential pair as a speedup datapoint would pollute the
+/// accumulated trajectory.
+fn engine_compare(cfg: &ExpConfig) -> String {
+    let threads = cfg.threads.max(2);
+    let g = workloads::dataset(Dataset::DbpediaLike, cfg.scale);
+    let rpq = IncRpq::new(&g, &workloads::default_rpq(495));
+    let scc = IncScc::new(&g);
+    let kws = IncKws::new(&g, workloads::default_kws());
+    let iso = IncIso::new(&g, workloads::default_iso());
+    let mut seq = Engine::new(g.clone());
+    let mut par = Engine::new(g);
+    par.set_commit_mode(igc_engine::CommitMode::Parallel { threads });
+    for e in [&mut seq, &mut par] {
+        e.register(rpq.clone()).expect("register rpq");
+        e.register(scc.clone()).expect("register scc");
+        e.register(kws.clone()).expect("register kws");
+        e.register(iso.clone()).expect("register iso");
+    }
+
+    let view_sum = |r: &igc_engine::CommitReceipt| -> f64 {
+        r.per_view.iter().map(|v| v.elapsed.as_secs_f64()).sum()
+    };
+    let mut seq_series: Vec<f64> = Vec::with_capacity(COMPARE_COMMITS);
+    let mut par_series: Vec<f64> = Vec::with_capacity(COMPARE_COMMITS);
+    for i in 0..COMPARE_COMMITS {
+        let count = (((seq.graph().edge_count() as f64) * 0.02).round() as usize).max(1);
+        let delta = random_update_batch(seq.graph(), count, 0.5, GRAPH_SEED ^ (0xc0 + i as u64));
+        let rs = seq.commit(&delta).expect("sequential commit");
+        let rp = par.commit(&delta).expect("parallel commit");
+        if cfg.verify {
+            assert_eq!(rs.work, rp.work, "modes diverged in work at commit {i}");
+            assert_eq!(rs.applied, rp.applied);
+        }
+        seq_series.push(view_sum(&rs));
+        par_series.push(view_sum(&rp));
+    }
+    if cfg.verify {
+        seq.verify_all().expect("sequential views audit clean");
+        par.verify_all().expect("parallel views audit clean");
+    }
+
+    let median = |series: &[f64]| -> f64 {
+        let mut s = series.to_vec();
+        s.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        s[(s.len() - 1) / 2]
+    };
+    let fmt_series = |series: &[f64]| -> String {
+        series
+            .iter()
+            .map(|v| format!("{v:.9}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let (ms, mp) = (median(&seq_series), median(&par_series));
+    format!(
+        "{{\"threads\": {}, \"commits\": {}, \"seq_view_s\": [{}], \"par_view_s\": [{}], \
+         \"seq_view_median_s\": {:.9}, \"par_view_median_s\": {:.9}, \
+         \"speedup_median\": {:.3}}}",
+        threads,
+        COMPARE_COMMITS,
+        fmt_series(&seq_series),
+        fmt_series(&par_series),
+        ms,
+        mp,
+        if mp > 0.0 { ms / mp } else { 0.0 }
+    )
+}
+
 /// One churning multi-view serving run with the full v2 lifecycle: the four
 /// default views plus a deliberately flaky canary registered on a
 /// DBpedia-like graph, `ENGINE_COMMITS` commits of ~2 % of the edges each
@@ -607,6 +707,7 @@ fn quiet_panics<T>(f: impl FnOnce() -> T) -> T {
 pub fn engine_run(cfg: &ExpConfig) -> EngineRun {
     let g = workloads::dataset(Dataset::DbpediaLike, cfg.scale);
     let mut engine = Engine::new(g);
+    engine.set_commit_mode(commit_mode(cfg));
     engine
         .register(IncRpq::new(engine.graph(), &workloads::default_rpq(495)))
         .expect("register rpq");
@@ -733,16 +834,26 @@ pub fn engine_run(cfg: &ExpConfig) -> EngineRun {
         })
         .collect::<Vec<_>>()
         .join(",\n");
+    let (mode_tag, threads) = match engine.commit_mode() {
+        igc_engine::CommitMode::Sequential => ("sequential", 0),
+        igc_engine::CommitMode::Parallel { threads } => ("parallel", threads),
+    };
+    let comparison_json = engine_compare(cfg);
     let json = format!(
         "{{\n  \"bench\": \"engine_commit\",\n  \"dataset\": \"dbpedia_like\",\n  \
-         \"scale\": {},\n  \"views\": [{}],\n  \"commits\": [\n{}\n  ],\n  \
-         \"events\": [\n{}\n  ],\n  \
+         \"scale\": {},\n  \"mode\": \"{}\",\n  \"threads\": {},\n  \
+         \"available_parallelism\": {},\n  \"views\": [{}],\n  \"commits\": [\n{}\n  ],\n  \
+         \"events\": [\n{}\n  ],\n  \"comparison\": {},\n  \
          \"totals\": {{\"commits\": {}, \"units_applied\": {}, \"units_dropped\": {}, \
          \"latency_s\": {:.9}, \"work\": {}, \"retired_views\": {}}}\n}}\n",
         cfg.scale,
+        mode_tag,
+        threads,
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
         labels_json,
         commits_json.join(",\n"),
         events_json,
+        comparison_json,
         engine.commits(),
         engine.units_applied(),
         engine.units_dropped(),
@@ -850,6 +961,7 @@ mod tests {
         ExpConfig {
             scale: 0.004,
             verify: true,
+            threads: 0,
         }
     }
 
@@ -920,6 +1032,20 @@ mod tests {
     }
 
     #[test]
+    fn engine_run_parallel_mode_is_recorded_and_consistent() {
+        let cfg = ExpConfig {
+            threads: 2,
+            ..tiny()
+        };
+        let r = engine_run(&cfg);
+        assert_eq!(r.series.rows.len(), ENGINE_COMMITS);
+        assert!(r.json.contains("\"mode\": \"parallel\""));
+        assert!(r.json.contains("\"threads\": 2"));
+        // verify=true already audited every surviving view against batch
+        // recomputation inside engine_run, under parallel fan-out.
+    }
+
+    #[test]
     fn engine_run_emits_series_events_and_wellformed_json() {
         let r = engine_run(&tiny());
         assert_eq!(r.series.rows.len(), ENGINE_COMMITS);
@@ -948,6 +1074,13 @@ mod tests {
             .contains("\"kind\": \"registered_lazy\", \"label\": \"iso\""));
         assert!(r.json.contains("\"quarantined\": true"));
         assert!(r.json.contains("\"retired_views\": 2"));
+        // Commit-mode provenance and the sequential-vs-parallel comparison.
+        assert!(r.json.contains("\"mode\": \"sequential\""));
+        assert!(r.json.contains("\"threads\": 0"));
+        assert!(r.json.contains("\"available_parallelism\""));
+        assert!(r.json.contains("\"comparison\": {\"threads\": 2"));
+        assert!(r.json.contains("\"seq_view_median_s\""));
+        assert!(r.json.contains("\"speedup_median\""));
         // Balanced braces/brackets — a cheap well-formedness check given
         // no JSON parser is vendored.
         assert_eq!(

@@ -65,6 +65,13 @@ pub trait IncrementalAlgorithm {
 /// `Box<dyn IncView>`s of heterogeneous query classes (RPQ, SCC, KWS, ISO,
 /// …) in one registry.
 ///
+/// `Send` is a supertrait so the engine's commit pipeline may fan a
+/// normalized delta out to views on worker threads (each view is touched by
+/// exactly one thread per commit, against a shared `&DynamicGraph`). Views
+/// built from ordinary owned data satisfy it for free; a view holding
+/// `Rc`/raw-pointer state must be refactored (or wrapped) before it can
+/// register.
+///
 /// # Quarantine contract
 ///
 /// A view's [`apply`](IncView::apply) may panic (a bug, an unmaintainable
@@ -85,7 +92,12 @@ pub trait IncrementalAlgorithm {
 ///   attribute the partial work the view performed before failing; the
 ///   engine fences that read too — if `work()` also panics, the view is
 ///   quarantined with zero work attributed instead of unwinding.
-pub trait IncView {
+///
+/// The contract holds unchanged under parallel fan-out: a panic on a worker
+/// thread is caught on that worker, the commit joins every worker before
+/// journaling, and the quarantine record is identical to what a sequential
+/// commit would have produced.
+pub trait IncView: Send {
     /// A stable human-readable identifier for registry listings, receipts
     /// and logs (e.g. `"rpq"`, `"scc:communities"`).
     fn name(&self) -> &str;

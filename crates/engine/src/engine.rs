@@ -44,6 +44,45 @@ struct Slot {
 /// [`Engine::set_max_fresh_nodes`].
 pub const DEFAULT_MAX_FRESH_NODES: u32 = 1 << 20;
 
+/// How [`Engine::commit`] fans a normalized delta out to the registered
+/// views (step 3 of the pipeline). Views are independent given the
+/// post-commit graph, so the fan-out parallelizes without any coordination
+/// beyond a shared read-only graph handle.
+///
+/// Everything *observable* is mode-independent: view answers, receipts
+/// (ordering, work attribution, outcomes — wall-clock durations aside) and
+/// the quarantine/lifecycle journal are bit-identical between modes,
+/// because workers only run `apply` and the engine merges their results in
+/// slot order after joining every worker. Parallel mode pays a per-commit
+/// thread-spawn cost (tens of µs), so it only wins when at least two views
+/// are individually expensive — see the README's engine section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CommitMode {
+    /// Fan out on the committing thread, in slot order — the default, and
+    /// byte-for-byte the pre-[`CommitMode`] behavior.
+    #[default]
+    Sequential,
+    /// Fan out across `threads` scoped worker threads (round-robin by slot,
+    /// so the two heaviest views land on different workers even when they
+    /// occupy adjacent slots). `threads == 0` means
+    /// [`std::thread::available_parallelism`]; any value is clamped to the
+    /// number of views that actually run.
+    Parallel {
+        /// Worker-thread count (`0` = available parallelism).
+        threads: usize,
+    },
+}
+
+/// What one view's `apply` produced during fan-out, before the engine
+/// merges it into registry state, receipt and journal (in slot order,
+/// identically for both commit modes).
+struct ApplyRecord {
+    slot: usize,
+    elapsed: Duration,
+    work: WorkStats,
+    result: Result<(), String>,
+}
+
 /// The multi-view incremental engine: owns the shared [`DynamicGraph`] and
 /// a registry of type-erased [`IncView`]s, and funnels every update through
 /// one normalize → apply → fan-out commit pipeline. See the
@@ -68,6 +107,7 @@ pub struct Engine {
     total_work: WorkStats,
     total_elapsed: Duration,
     max_fresh_nodes: u32,
+    mode: CommitMode,
 }
 
 impl Engine {
@@ -85,6 +125,7 @@ impl Engine {
             total_work: WorkStats::new(),
             total_elapsed: Duration::ZERO,
             max_fresh_nodes: DEFAULT_MAX_FRESH_NODES,
+            mode: CommitMode::Sequential,
         }
     }
 
@@ -110,6 +151,19 @@ impl Engine {
     /// allocation.
     pub fn set_max_fresh_nodes(&mut self, max: u32) {
         self.max_fresh_nodes = max;
+    }
+
+    /// The current fan-out mode of [`Engine::commit`] (default
+    /// [`CommitMode::Sequential`]).
+    pub fn commit_mode(&self) -> CommitMode {
+        self.mode
+    }
+
+    /// Switch the commit fan-out mode. Takes effect from the next commit;
+    /// safe to toggle between commits at any time (answers, receipts and
+    /// journals do not depend on the mode).
+    pub fn set_commit_mode(&mut self, mode: CommitMode) {
+        self.mode = mode;
     }
 
     // ------------------------------------------------------------------
@@ -417,8 +471,10 @@ impl Engine {
 
     /// Commit a batch update: normalize it once against the current graph,
     /// apply ΔG to the graph exactly once (bumping the epoch), then
-    /// propagate the normalized delta to every live active view, in slot
-    /// order.
+    /// propagate the normalized delta to every live active view — on this
+    /// thread in slot order, or across scoped worker threads under
+    /// [`CommitMode::Parallel`] (see [`Engine::set_commit_mode`]; receipts
+    /// and journals are bit-identical either way).
     ///
     /// `batch` may be arbitrary — denormalized, with duplicates,
     /// insert/delete pairs of the same edge, deletions of absent edges and
@@ -481,10 +537,13 @@ impl Engine {
         let graph_elapsed = graph_start.elapsed();
         let epoch = self.graph.epoch();
 
-        let mut per_view = Vec::with_capacity(self.slots.len());
-        let mut commit_work = WorkStats::new();
+        // Fan-out. Collect the views that run this commit (live and
+        // active), then drive them sequentially or across scoped worker
+        // threads; both paths feed the same slot-ordered merge below, so
+        // everything observable is mode-independent.
+        let mut tasks: Vec<(usize, &mut Registered)> = Vec::new();
         let mut skipped_quarantined = 0usize;
-        for slot in &mut self.slots {
+        for (i, slot) in self.slots.iter_mut().enumerate() {
             let Some(r) = slot.entry.as_mut() else {
                 continue;
             };
@@ -492,23 +551,31 @@ impl Engine {
                 skipped_quarantined += 1;
                 continue;
             }
-            let before = r.view.work();
-            let view_start = Instant::now();
-            let result = r.view.apply_caught(&self.graph, &delta);
-            let view_elapsed = view_start.elapsed();
-            // After a panicking apply the view's state may be arbitrarily
-            // inconsistent, so even this one post-mortem work() read is
-            // fenced: if it panics too, attribute zero work rather than
-            // unwind out of the commit.
-            let view_work = match &result {
-                Ok(()) => r.view.work().since(&before),
-                Err(_) => catch_unwind(AssertUnwindSafe(|| r.view.work()))
-                    .map_or(WorkStats::new(), |after| after.since(&before)),
+            tasks.push((i, r));
+        }
+        let graph = &self.graph;
+        let records: Vec<ApplyRecord> = match self.mode {
+            CommitMode::Sequential => tasks
+                .into_iter()
+                .map(|(slot, r)| Self::run_view(slot, r, graph, &delta))
+                .collect(),
+            CommitMode::Parallel { threads } => {
+                Self::fan_out_parallel(tasks, graph, &delta, threads)
+            }
+        };
+
+        // Merge in slot order — registry accounting, quarantine journal and
+        // receipt entries are produced here and only here.
+        let mut per_view = Vec::with_capacity(records.len());
+        let mut commit_work = WorkStats::new();
+        for rec in records {
+            let Some(r) = self.slots.get_mut(rec.slot).and_then(|s| s.entry.as_mut()) else {
+                continue;
             };
-            r.elapsed += view_elapsed;
-            r.work += view_work;
-            commit_work += view_work;
-            let outcome = match result {
+            r.elapsed += rec.elapsed;
+            r.work += rec.work;
+            commit_work += rec.work;
+            let outcome = match rec.result {
                 Ok(()) => {
                     r.commits += 1;
                     ViewOutcome::Applied
@@ -528,8 +595,8 @@ impl Engine {
             };
             per_view.push(ViewCommitStats {
                 label: r.label.clone(),
-                elapsed: view_elapsed,
-                work: view_work,
+                elapsed: rec.elapsed,
+                work: rec.work,
                 outcome,
             });
         }
@@ -551,6 +618,120 @@ impl Engine {
             skipped_quarantined,
             work: commit_work,
         })
+    }
+
+    /// Drive one view's `apply` and snapshot its cost — the single per-view
+    /// runner behind both commit modes (sequential calls it inline,
+    /// parallel on a worker thread).
+    ///
+    /// Fully fenced: [`IncView::apply_caught`] converts an `apply` panic
+    /// into `Err`, the post-panic `work()` read is fenced per the
+    /// quarantine contract, and the outer `catch_unwind` covers the
+    /// remaining view-code surface (a `work()` that panics even *before*
+    /// `apply`), so no view can unwind a commit — or kill a worker — in
+    /// either mode.
+    fn run_view(
+        slot: usize,
+        r: &mut Registered,
+        graph: &DynamicGraph,
+        delta: &UpdateBatch,
+    ) -> ApplyRecord {
+        let start = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let before = r.view.work();
+            let result = r.view.apply_caught(graph, delta);
+            // After a panicking apply the view's state may be arbitrarily
+            // inconsistent, so even this one post-mortem work() read is
+            // fenced: if it panics too, attribute zero work rather than
+            // unwind out of the commit.
+            let work = match &result {
+                Ok(()) => r.view.work().since(&before),
+                Err(_) => catch_unwind(AssertUnwindSafe(|| r.view.work()))
+                    .map_or(WorkStats::new(), |after| after.since(&before)),
+            };
+            (work, result)
+        }));
+        let elapsed = start.elapsed();
+        let (work, result) = match outcome {
+            Ok(pair) => pair,
+            Err(payload) => (WorkStats::new(), Err(panic_cause(payload.as_ref()))),
+        };
+        ApplyRecord {
+            slot,
+            elapsed,
+            work,
+            result,
+        }
+    }
+
+    /// Parallel fan-out: distribute the active views round-robin over
+    /// scoped worker threads, join them all, and return the records sorted
+    /// back into slot order (so the merge — and with it receipts and the
+    /// quarantine journal — is bit-identical to sequential mode).
+    ///
+    /// Round-robin by task rank keeps adjacent heavy views (the common
+    /// registration order puts them first) on different workers. Worker
+    /// bodies are panic-fenced per view by [`Engine::run_view`]; should a
+    /// worker die anyway, its views are recorded as failed (→ quarantined)
+    /// rather than lost, after every other worker has been joined.
+    fn fan_out_parallel<'a>(
+        tasks: Vec<(usize, &'a mut Registered)>,
+        graph: &DynamicGraph,
+        delta: &UpdateBatch,
+        threads: usize,
+    ) -> Vec<ApplyRecord> {
+        let requested = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            threads
+        };
+        let workers = requested.min(tasks.len());
+        if workers <= 1 {
+            return tasks
+                .into_iter()
+                .map(|(slot, r)| Self::run_view(slot, r, graph, delta))
+                .collect();
+        }
+        let mut buckets: Vec<Vec<(usize, &'a mut Registered)>> =
+            (0..workers).map(|_| Vec::new()).collect();
+        for (k, task) in tasks.into_iter().enumerate() {
+            buckets[k % workers].push(task);
+        }
+        let mut records: Vec<ApplyRecord> = std::thread::scope(|s| {
+            let handles: Vec<_> = buckets
+                .into_iter()
+                .map(|bucket| {
+                    let slots: Vec<usize> = bucket.iter().map(|(slot, _)| *slot).collect();
+                    let handle = s.spawn(move || {
+                        bucket
+                            .into_iter()
+                            .map(|(slot, r)| Self::run_view(slot, r, graph, delta))
+                            .collect::<Vec<ApplyRecord>>()
+                    });
+                    (slots, handle)
+                })
+                .collect();
+            // Join every worker before producing anything — quarantine
+            // journaling happens strictly after the whole fan-out.
+            let mut all = Vec::new();
+            for (slots, handle) in handles {
+                match handle.join() {
+                    Ok(recs) => all.extend(recs),
+                    Err(payload) => {
+                        let cause = panic_cause(payload.as_ref());
+                        all.extend(slots.into_iter().map(|slot| ApplyRecord {
+                            slot,
+                            elapsed: Duration::ZERO,
+                            work: WorkStats::new(),
+                            result: Err(format!("commit worker panicked: {cause}")),
+                        }));
+                    }
+                }
+            }
+            all
+        });
+        records.sort_unstable_by_key(|rec| rec.slot);
+        records
     }
 
     // ------------------------------------------------------------------
@@ -671,6 +852,7 @@ impl std::fmt::Debug for Engine {
             .field("epoch", &self.graph.epoch())
             .field("views", &self.labels().collect::<Vec<_>>())
             .field("commits", &self.commits)
+            .field("mode", &self.mode)
             .finish()
     }
 }
@@ -1313,5 +1495,129 @@ mod tests {
         fn assert_send_sync<T: Send + Sync + Copy + std::hash::Hash>() {}
         assert_send_sync::<ViewHandle<EdgeCount>>();
         assert_send_sync::<ViewId>();
+    }
+
+    // ------------------------------------------------------------------
+    // Parallel fan-out
+    // ------------------------------------------------------------------
+
+    /// Build an engine with `n` edge-count views and run the same 3-commit
+    /// script, returning the receipts.
+    fn run_script(mode: CommitMode, views: usize) -> (Engine, Vec<CommitReceipt>) {
+        let g = graph_from(&[0, 0, 0, 0], &[(0, 1)]);
+        let mut engine = Engine::new(g);
+        engine.set_commit_mode(mode);
+        for i in 0..views {
+            engine
+                .register_labeled(format!("v{i}"), EdgeCount::new("v", engine.graph()))
+                .unwrap();
+        }
+        let script = [
+            delta(vec![
+                Update::insert(NodeId(1), NodeId(2)),
+                Update::insert(NodeId(2), NodeId(3)),
+            ]),
+            delta(vec![
+                Update::delete(NodeId(0), NodeId(1)),
+                Update::insert(NodeId(3), NodeId(0)),
+            ]),
+            delta(vec![Update::insert(NodeId(0), NodeId(2))]),
+        ];
+        let receipts = script.iter().map(|d| engine.commit(d).unwrap()).collect();
+        (engine, receipts)
+    }
+
+    #[test]
+    fn parallel_commit_matches_sequential_bit_for_bit() {
+        let (seq_engine, seq) = run_script(CommitMode::Sequential, 5);
+        for threads in [1usize, 2, 3, 8] {
+            let (par_engine, par) = run_script(CommitMode::Parallel { threads }, 5);
+            assert_eq!(seq.len(), par.len());
+            for (a, b) in seq.iter().zip(&par) {
+                assert_eq!(a.epoch, b.epoch);
+                assert_eq!(a.applied, b.applied);
+                assert_eq!(a.dropped, b.dropped);
+                assert_eq!(a.skipped_quarantined, b.skipped_quarantined);
+                assert_eq!(a.work, b.work);
+                assert_eq!(a.per_view.len(), b.per_view.len());
+                for (x, y) in a.per_view.iter().zip(&b.per_view) {
+                    assert_eq!(x.label, y.label, "slot order must be preserved");
+                    assert_eq!(x.work, y.work);
+                    assert_eq!(x.outcome, y.outcome);
+                }
+            }
+            assert_eq!(seq_engine.total_work(), par_engine.total_work());
+            assert!(par_engine.verify_all().is_ok());
+        }
+    }
+
+    #[test]
+    fn parallel_zero_threads_means_available_parallelism() {
+        let (engine, receipts) = run_script(CommitMode::Parallel { threads: 0 }, 4);
+        assert_eq!(receipts.len(), 3);
+        assert!(engine.verify_all().is_ok());
+        assert_eq!(
+            engine.commit_mode(),
+            CommitMode::Parallel { threads: 0 },
+            "the knob reports what was set, not the resolved count"
+        );
+    }
+
+    #[test]
+    fn parallel_worker_panic_quarantines_like_sequential() {
+        quiet_panics(|| {
+            let run = |mode: CommitMode| {
+                let g = graph_from(&[0, 0, 0, 0], &[]);
+                let mut engine = Engine::new(g);
+                engine.set_commit_mode(mode);
+                engine
+                    .register(EdgeCount::new("a", engine.graph()))
+                    .unwrap();
+                engine.register(PanicOn::nth(2)).unwrap();
+                engine
+                    .register_labeled("b", EdgeCount::new("b", engine.graph()))
+                    .unwrap();
+                let r1 = engine
+                    .commit(&delta(vec![Update::insert(NodeId(0), NodeId(1))]))
+                    .unwrap();
+                let r2 = engine
+                    .commit(&delta(vec![Update::insert(NodeId(1), NodeId(2))]))
+                    .unwrap();
+                let r3 = engine
+                    .commit(&delta(vec![Update::insert(NodeId(2), NodeId(3))]))
+                    .unwrap();
+                (engine, r1, r2, r3)
+            };
+            let (se, s1, s2, s3) = run(CommitMode::Sequential);
+            let (pe, p1, p2, p3) = run(CommitMode::Parallel { threads: 3 });
+            assert!(s1.per_view.iter().all(|v| v.applied()));
+            assert!(p1.per_view.iter().all(|v| v.applied()));
+            for (a, b) in [(&s2, &p2), (&s3, &p3)] {
+                assert_eq!(a.skipped_quarantined, b.skipped_quarantined);
+                let qa: Vec<_> = a.newly_quarantined().map(|v| v.label.clone()).collect();
+                let qb: Vec<_> = b.newly_quarantined().map(|v| v.label.clone()).collect();
+                assert_eq!(qa, qb);
+            }
+            assert_eq!(s2.newly_quarantined().count(), 1);
+            assert_eq!(s3.skipped_quarantined, 1);
+            // Identical quarantine journals (same kinds, labels, epochs).
+            let journal = |e: &Engine| {
+                e.events()
+                    .iter()
+                    .map(|ev| (ev.epoch, ev.kind, ev.label.to_string()))
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(journal(&se), journal(&pe));
+            // Healthy views keep serving in both modes.
+            assert!(se.verify_all().is_ok());
+            assert!(pe.verify_all().is_ok());
+        });
+    }
+
+    #[test]
+    fn parallel_mode_with_more_threads_than_views_is_clamped() {
+        let (engine, receipts) = run_script(CommitMode::Parallel { threads: 64 }, 2);
+        assert_eq!(receipts[0].per_view.len(), 2);
+        assert!(engine.verify_all().is_ok());
     }
 }

@@ -27,9 +27,12 @@
 //! 2. **apply ΔG to the graph exactly once**, bumping the graph
 //!    [epoch](igc_graph::DynamicGraph::epoch);
 //! 3. **propagate** the normalized delta to every live active
-//!    [`IncView`](igc_core::IncView), timing each view, attributing its
+//!    [`IncView`](igc_core::IncView) — sequentially in slot order, or
+//!    across scoped worker threads under [`CommitMode::Parallel`]
+//!    (views are independent given the post-commit graph; the mode changes
+//!    latency only, never results) — timing each view, attributing its
 //!    [`WorkStats`](igc_core::WorkStats) delta, and catching panics
-//!    (quarantine instead of unwind);
+//!    (quarantine instead of unwind, identical in both modes);
 //! 4. return a [`CommitReceipt`] with per-view outcomes and commit-wide
 //!    totals, labels shared as `Arc<str>` (no per-commit string cloning).
 //!
@@ -60,7 +63,7 @@ mod error;
 mod lifecycle;
 mod receipt;
 
-pub use engine::{Engine, DEFAULT_MAX_FRESH_NODES};
+pub use engine::{CommitMode, Engine, DEFAULT_MAX_FRESH_NODES};
 pub use error::{Divergence, EngineError};
 pub use lifecycle::{LifecycleEvent, LifecycleEventKind, ViewHandle, ViewId, ViewState};
 pub use receipt::{CommitReceipt, ViewCommitStats, ViewOutcome, ViewTotals};

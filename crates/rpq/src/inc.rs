@@ -37,6 +37,53 @@ pub struct IncRpq {
     answer: FxHashSet<(NodeId, NodeId)>,
     work: WorkStats,
     metrics: ChangeMetrics,
+    scratch: RpqScratch,
+}
+
+/// Reusable per-`apply` working memory, kept on the view so its capacity
+/// amortizes across commits (the fan-out hot path used to reallocate all of
+/// this — including one `Vec` per product edge traversed — on every
+/// commit). Cleared at the start of each `apply`; contents never carry
+/// semantic state between commits, and the work counters are untouched by
+/// the reuse (see the `work_counters` regression tests).
+#[derive(Debug, Clone, Default)]
+struct RpqScratch {
+    /// The settle queue (phase 4).
+    heap: BinaryHeap<Reverse<(u32, MarkKey)>>,
+    /// Affected markings in flag order (phase 1 output).
+    affected: Vec<MarkKey>,
+    /// The same markings as a set, for O(1) affectedness checks.
+    affected_set: FxHashSet<MarkKey>,
+    /// identAff cascade stack.
+    stack: Vec<MarkKey>,
+    /// NFA successor-state buffer — hoists the per-edge `δ(s, l)` clone.
+    states: Vec<StateId>,
+    /// `(source, state)` buffer for endpoint marking scans.
+    keys: Vec<(NodeId, StateId)>,
+    /// Shortest-predecessor buffer for potential recomputation.
+    mpre: Vec<(NodeId, StateId)>,
+}
+
+impl RpqScratch {
+    /// Empty all buffers, retaining capacity.
+    fn clear(&mut self) {
+        self.heap.clear();
+        self.affected.clear();
+        self.affected_set.clear();
+        self.stack.clear();
+        self.states.clear();
+        self.keys.clear();
+        self.mpre.clear();
+    }
+
+    /// Flag `key` as affected exactly once: record it in flag order and
+    /// push it on the cascade stack.
+    fn flag(&mut self, key: MarkKey) {
+        if self.affected_set.insert(key) {
+            self.affected.push(key);
+            self.stack.push(key);
+        }
+    }
 }
 
 impl IncRpq {
@@ -69,6 +116,7 @@ impl IncRpq {
             answer: FxHashSet::default(),
             work: WorkStats::new(),
             metrics: ChangeMetrics::default(),
+            scratch: RpqScratch::default(),
         };
         for u in g.nodes() {
             me.traverse_source(g, u);
@@ -242,22 +290,9 @@ impl IncRpq {
 
     /// Phase 1 — identAff: remove deleted/invalidated predecessors from
     /// `mpre` sets; entries whose `mpre` empties are affected, and the
-    /// invalidation cascades along the product graph.
-    fn ident_aff(&mut self, g: &DynamicGraph, deletions: &[(NodeId, NodeId)]) -> Vec<MarkKey> {
-        let mut affected: FxHashSet<MarkKey> = FxHashSet::default();
-        let mut order: Vec<MarkKey> = Vec::new();
-        let mut stack: Vec<MarkKey> = Vec::new();
-
-        let flag = |key: MarkKey,
-                    affected: &mut FxHashSet<MarkKey>,
-                    order: &mut Vec<MarkKey>,
-                    stack: &mut Vec<MarkKey>| {
-            if affected.insert(key) {
-                order.push(key);
-                stack.push(key);
-            }
-        };
-
+    /// invalidation cascades along the product graph. Fills
+    /// `scratch.affected` (flag order) and `scratch.affected_set`.
+    fn ident_aff(&mut self, g: &DynamicGraph, deletions: &[(NodeId, NodeId)], sc: &mut RpqScratch) {
         for &(v, w) in deletions {
             if !g.contains_node(v) || !g.contains_node(w) {
                 continue;
@@ -266,92 +301,99 @@ impl IncRpq {
                 continue;
             }
             let lw = g.label(w);
-            for (u, s_prime) in self.marks.keys_at_node(v) {
-                for &t in self.nfa.next(s_prime, lw).to_vec().iter() {
+            sc.keys.clear();
+            sc.keys
+                .extend(self.marks.at_node(v).map(|(u, s, _)| (u, s)));
+            for ki in 0..sc.keys.len() {
+                let (u, s_prime) = sc.keys[ki];
+                sc.states.clear();
+                sc.states.extend_from_slice(self.nfa.next(s_prime, lw));
+                for si in 0..sc.states.len() {
+                    let t = sc.states[si];
                     self.work.aux_touched += 1;
                     let key_w = MarkKey {
                         source: u,
                         node: w,
                         state: t,
                     };
-                    if affected.contains(&key_w) {
+                    if sc.affected_set.contains(&key_w) {
                         continue;
                     }
                     let is_seed = self.is_seed(g, key_w);
                     if let Some(e) = self.marks.get_mut(key_w) {
                         e.mpre.retain(|&p| p != (v, s_prime));
                         if e.mpre.is_empty() && !is_seed {
-                            flag(key_w, &mut affected, &mut order, &mut stack);
+                            sc.flag(key_w);
                         }
                     }
                 }
             }
         }
 
-        while let Some(key) = stack.pop() {
+        while let Some(key) = sc.stack.pop() {
             self.work.nodes_visited += 1;
             let x = key.node;
-            let succs: Vec<NodeId> = g.successors(x).to_vec();
-            for y in succs {
+            for &y in g.successors(x) {
                 let ly = g.label(y);
-                for &t in self.nfa.next(key.state, ly).to_vec().iter() {
+                sc.states.clear();
+                sc.states.extend_from_slice(self.nfa.next(key.state, ly));
+                for si in 0..sc.states.len() {
+                    let t = sc.states[si];
                     self.work.edges_traversed += 1;
                     let key_y = MarkKey {
                         source: key.source,
                         node: y,
                         state: t,
                     };
-                    if affected.contains(&key_y) {
+                    if sc.affected_set.contains(&key_y) {
                         continue;
                     }
                     let is_seed = self.is_seed(g, key_y);
                     if let Some(e) = self.marks.get_mut(key_y) {
                         e.mpre.retain(|&p| p != (x, key.state));
                         if e.mpre.is_empty() && !is_seed {
-                            flag(key_y, &mut affected, &mut order, &mut stack);
+                            sc.flag(key_y);
                         }
                     }
                 }
             }
         }
-        order
     }
 
     /// Phase 2 — tentative distances for affected markings from their
     /// unaffected predecessors (scanning in-neighbours through the inverse
     /// transition table; see module docs for the `cpre` deviation).
-    fn compute_potentials(
-        &mut self,
-        g: &DynamicGraph,
-        affected: &[MarkKey],
-        affected_set: &FxHashSet<MarkKey>,
-        heap: &mut BinaryHeap<Reverse<(u32, MarkKey)>>,
-    ) {
-        for &key in affected {
+    fn compute_potentials(&mut self, g: &DynamicGraph, sc: &mut RpqScratch) {
+        for ai in 0..sc.affected.len() {
+            let key = sc.affected[ai];
             let lx = g.label(key.node);
             let mut best = INF_DIST;
-            let mut mpre: Vec<(NodeId, StateId)> = Vec::new();
+            sc.mpre.clear();
+            sc.states.clear();
             if let Some(states) = self.rev.get(&(lx, key.state)) {
-                let states = states.clone();
+                sc.states.extend_from_slice(states);
+            }
+            if !sc.states.is_empty() {
                 for &p in g.predecessors(key.node) {
                     self.work.edges_traversed += 1;
-                    for &s_prime in &states {
+                    for si in 0..sc.states.len() {
+                        let s_prime = sc.states[si];
                         let key_p = MarkKey {
                             source: key.source,
                             node: p,
                             state: s_prime,
                         };
-                        if affected_set.contains(&key_p) {
+                        if sc.affected_set.contains(&key_p) {
                             continue;
                         }
                         if let Some(e) = self.marks.get(key_p) {
                             let cand = e.dist.saturating_add(1);
                             if cand < best {
                                 best = cand;
-                                mpre.clear();
-                                mpre.push((p, s_prime));
-                            } else if cand == best && !mpre.contains(&(p, s_prime)) {
-                                mpre.push((p, s_prime));
+                                sc.mpre.clear();
+                                sc.mpre.push((p, s_prime));
+                            } else if cand == best && !sc.mpre.contains(&(p, s_prime)) {
+                                sc.mpre.push((p, s_prime));
                             }
                         }
                     }
@@ -359,10 +401,11 @@ impl IncRpq {
             }
             let e = self.marks.get_mut(key).expect("affected marks persist");
             e.dist = best;
-            e.mpre = mpre;
+            e.mpre.clear();
+            e.mpre.extend_from_slice(&sc.mpre);
             self.work.aux_touched += 1;
             if best != INF_DIST {
-                heap.push(Reverse((best, key)));
+                sc.heap.push(Reverse((best, key)));
                 self.work.queue_ops += 1;
             }
         }
@@ -373,25 +416,31 @@ impl IncRpq {
         &mut self,
         g: &DynamicGraph,
         insertions: &[(NodeId, NodeId)],
-        affected_set: &FxHashSet<MarkKey>,
-        heap: &mut BinaryHeap<Reverse<(u32, MarkKey)>>,
+        sc: &mut RpqScratch,
     ) {
         for &(v, w) in insertions {
             if self.marks.none_at_node(v) {
                 continue;
             }
             let lw = g.label(w);
-            for (u, s_prime) in self.marks.keys_at_node(v) {
+            sc.keys.clear();
+            sc.keys
+                .extend(self.marks.at_node(v).map(|(u, s, _)| (u, s)));
+            for ki in 0..sc.keys.len() {
+                let (u, s_prime) = sc.keys[ki];
                 let key_v = MarkKey {
                     source: u,
                     node: v,
                     state: s_prime,
                 };
-                if affected_set.contains(&key_v) {
+                if sc.affected_set.contains(&key_v) {
                     continue; // covered when key_v settles
                 }
                 let dv = self.marks.dist(key_v);
-                for &t in self.nfa.next(s_prime, lw).to_vec().iter() {
+                sc.states.clear();
+                sc.states.extend_from_slice(self.nfa.next(s_prime, lw));
+                for si in 0..sc.states.len() {
+                    let t = sc.states[si];
                     self.work.aux_touched += 1;
                     let key_w = MarkKey {
                         source: u,
@@ -399,7 +448,7 @@ impl IncRpq {
                         state: t,
                     };
                     let cand = dv + 1;
-                    self.relax(key_w, cand, (v, s_prime), heap);
+                    self.relax(key_w, cand, (v, s_prime), &mut sc.heap);
                 }
             }
         }
@@ -439,24 +488,26 @@ impl IncRpq {
 
     /// Phase 4 — settle exact distances smallest-first, relaxing product
     /// successors through the (post-update) graph.
-    fn settle(&mut self, g: &DynamicGraph, heap: &mut BinaryHeap<Reverse<(u32, MarkKey)>>) {
-        while let Some(Reverse((d, key))) = heap.pop() {
+    fn settle(&mut self, g: &DynamicGraph, sc: &mut RpqScratch) {
+        while let Some(Reverse((d, key))) = sc.heap.pop() {
             self.work.queue_ops += 1;
             if self.marks.dist(key) != d {
                 continue; // stale
             }
             self.work.nodes_visited += 1;
-            let succs: Vec<NodeId> = g.successors(key.node).to_vec();
-            for y in succs {
+            for &y in g.successors(key.node) {
                 let ly = g.label(y);
-                for &t in self.nfa.next(key.state, ly).to_vec().iter() {
+                sc.states.clear();
+                sc.states.extend_from_slice(self.nfa.next(key.state, ly));
+                for si in 0..sc.states.len() {
+                    let t = sc.states[si];
                     self.work.edges_traversed += 1;
                     let key_y = MarkKey {
                         source: key.source,
                         node: y,
                         state: t,
                     };
-                    self.relax(key_y, d + 1, (key.node, key.state), heap);
+                    self.relax(key_y, d + 1, (key.node, key.state), &mut sc.heap);
                 }
             }
         }
@@ -469,13 +520,22 @@ impl IncrementalAlgorithm for IncRpq {
             input_updates: delta.len() as u64,
             ..Default::default()
         };
+        // The scratch moves out for the duration of the apply (so the
+        // phases can borrow `self` and the buffers independently) and back
+        // in at the end, carrying its grown capacity to the next commit.
+        let mut sc = std::mem::take(&mut self.scratch);
+        sc.clear();
+
         // New nodes: create their seed markings.
         let old_nodes = self.marks.node_count();
         self.marks.grow(g.node_count());
         for i in old_nodes..g.node_count() {
             let u = NodeId::from_index(i);
-            let seeds: Vec<StateId> = self.nfa.start_states(g.label(u)).to_vec();
-            for s in seeds {
+            sc.states.clear();
+            sc.states
+                .extend_from_slice(self.nfa.start_states(g.label(u)));
+            for si in 0..sc.states.len() {
+                let s = sc.states[si];
                 self.create_mark(
                     MarkKey {
                         source: u,
@@ -489,21 +549,21 @@ impl IncrementalAlgorithm for IncRpq {
         }
 
         let (deletions, insertions) = delta.split_edges();
-        let affected = self.ident_aff(g, &deletions);
-        let affected_set: FxHashSet<MarkKey> = affected.iter().copied().collect();
-        self.metrics.affected += affected.len() as u64;
+        self.ident_aff(g, &deletions, &mut sc);
+        self.metrics.affected += sc.affected.len() as u64;
 
-        let mut heap: BinaryHeap<Reverse<(u32, MarkKey)>> = BinaryHeap::new();
-        self.compute_potentials(g, &affected, &affected_set, &mut heap);
-        self.seed_insertions(g, &insertions, &affected_set, &mut heap);
-        self.settle(g, &mut heap);
+        self.compute_potentials(g, &mut sc);
+        self.seed_insertions(g, &insertions, &mut sc);
+        self.settle(g, &mut sc);
 
         // Phase 5 — unreachable affected markings disappear.
-        for key in affected {
+        for ai in 0..sc.affected.len() {
+            let key = sc.affected[ai];
             if self.marks.dist(key) == INF_DIST {
                 self.remove_mark(key);
             }
         }
+        self.scratch = sc;
     }
 
     fn work(&self) -> WorkStats {
@@ -761,6 +821,78 @@ mod tests {
             apply_one_by_one(&mut inc, &mut g, &delta);
             assert_matches_batch(&inc, &g);
         }
+    }
+
+    /// Buffer-reuse regression: the scratch refactor hoists allocations out
+    /// of the hot loops but must not change what the algorithm *does*. The
+    /// golden counters below were captured from the pre-scratch
+    /// implementation (per-edge `to_vec` clones, per-apply heap/set
+    /// construction) on this exact deterministic scenario; the reused
+    /// buffers must reproduce them to the last unit.
+    #[test]
+    fn work_counters_unchanged_by_buffer_reuse() {
+        use igc_graph::generator::{random_update_batch, uniform_graph};
+        let mut g = uniform_graph(60, 240, 3, 42);
+        let mut it = LabelInterner::new();
+        let q = Regex::parse("l0.(l1+l2)*.l2", &mut it).unwrap();
+        let mut inc = IncRpq::new(&g, &q);
+        inc.reset_work();
+        for round in 0..5u64 {
+            let delta = random_update_batch(&g, 12, 0.5, 1000 + round);
+            g.apply_batch(&delta);
+            IncrementalAlgorithm::apply(&mut inc, &g, &delta);
+        }
+        let w = IncrementalAlgorithm::work(&inc);
+        assert_eq!(
+            w.nodes_visited, 485,
+            "nodes_visited drifted from pre-refactor golden"
+        );
+        assert_eq!(
+            w.edges_traversed, 1736,
+            "edges_traversed drifted from pre-refactor golden"
+        );
+        assert_eq!(
+            w.aux_touched, 869,
+            "aux_touched drifted from pre-refactor golden"
+        );
+        assert_eq!(
+            w.queue_ops, 600,
+            "queue_ops drifted from pre-refactor golden"
+        );
+        assert_eq!(inc.answer().len(), 192);
+        assert_eq!(inc.mark_count(), 966);
+        assert_matches_batch(&inc, &g);
+    }
+
+    /// Scratch contents must be semantically inert: a view whose buffers
+    /// are dirty from earlier commits and a clone whose buffers were wiped
+    /// must do bit-identical work on the next delta.
+    #[test]
+    fn dirty_scratch_equals_clean_scratch() {
+        use igc_graph::generator::{random_update_batch, uniform_graph};
+        let mut g = uniform_graph(40, 140, 3, 7);
+        let mut it = LabelInterner::new();
+        let q = Regex::parse("l0.(l1+l2)*.l2", &mut it).unwrap();
+        let mut dirty = IncRpq::new(&g, &q);
+        for round in 0..3u64 {
+            let delta = random_update_batch(&g, 10, 0.5, 500 + round);
+            g.apply_batch(&delta);
+            IncrementalAlgorithm::apply(&mut dirty, &g, &delta);
+        }
+        let mut clean = dirty.clone();
+        clean.scratch = RpqScratch::default();
+        dirty.reset_work();
+        clean.reset_work();
+        let delta = random_update_batch(&g, 10, 0.5, 999);
+        g.apply_batch(&delta);
+        IncrementalAlgorithm::apply(&mut dirty, &g, &delta);
+        IncrementalAlgorithm::apply(&mut clean, &g, &delta);
+        assert_eq!(
+            IncrementalAlgorithm::work(&dirty),
+            IncrementalAlgorithm::work(&clean)
+        );
+        assert_eq!(dirty.sorted_answer(), clean.sorted_answer());
+        assert_eq!(dirty.marking_signature(), clean.marking_signature());
     }
 
     #[test]

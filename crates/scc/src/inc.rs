@@ -43,7 +43,38 @@ pub struct IncScc {
     lowlink: Vec<u32>,
     work: WorkStats,
     metrics: ChangeMetrics,
+    scratch: SccScratch,
 }
+
+/// Reusable buffers of the bidirectional intact-check BFS, kept on the view
+/// so the per-deletion hot path allocates nothing once warm. Cleared per
+/// check; never carries state between checks.
+#[derive(Debug, Clone, Default)]
+struct SccScratch {
+    fwd_seen: FxHashSet<NodeId>,
+    bwd_seen: FxHashSet<NodeId>,
+    fwd_frontier: Vec<NodeId>,
+    bwd_frontier: Vec<NodeId>,
+    next: Vec<NodeId>,
+}
+
+impl SccScratch {
+    fn clear(&mut self) {
+        self.fwd_seen.clear();
+        self.bwd_seen.clear();
+        self.fwd_frontier.clear();
+        self.bwd_frontier.clear();
+        self.next.clear();
+    }
+}
+
+/// Up to this many deletions inside one component, the intact-check BFS is
+/// tried per deleted edge before falling back to a restricted Tarjan run.
+/// Each check typically costs around √|component|; the full recompute costs
+/// `|component| + |edges|` plus the split's boundary rescan, so a handful
+/// of checks is cheap insurance against the common "big component survives
+/// a batch of internal deletions" case.
+const MAX_INTACT_CHECKS: usize = 8;
 
 impl IncScc {
     /// A deferred constructor ([`ViewInit`](igc_core::ViewInit)) for lazy
@@ -78,6 +109,7 @@ impl IncScc {
             lowlink: r.lowlink,
             work: WorkStats::new(),
             metrics: ChangeMetrics::default(),
+            scratch: SccScratch::default(),
         }
     }
 
@@ -156,30 +188,36 @@ impl IncScc {
         }
     }
 
-    /// Quick intact-check for a single intra deletion: does `v` still reach
+    /// Quick intact-check for one intra deletion: does `v` still reach
     /// `w` inside the component (post-deletion graph)? Bidirectional BFS —
     /// forward from `v`, backward from `w`, expanding the smaller frontier —
     /// so the typical cost is around the square root of the component size
-    /// rather than the whole component.
+    /// rather than the whole component. Seen-sets and frontiers live in
+    /// [`SccScratch`], so a warm view allocates nothing here.
     fn still_reaches_within(&mut self, g: &DynamicGraph, id: SccId, v: NodeId, w: NodeId) -> bool {
         if v == w {
             return true;
         }
-        let mut fwd_seen: FxHashSet<NodeId> = FxHashSet::default();
-        let mut bwd_seen: FxHashSet<NodeId> = FxHashSet::default();
-        fwd_seen.insert(v);
-        bwd_seen.insert(w);
-        let mut fwd_frontier = vec![v];
-        let mut bwd_frontier = vec![w];
-        while !fwd_frontier.is_empty() && !bwd_frontier.is_empty() {
-            let forward = fwd_frontier.len() <= bwd_frontier.len();
-            let frontier = if forward {
-                std::mem::take(&mut fwd_frontier)
+        let mut sc = std::mem::take(&mut self.scratch);
+        sc.clear();
+        sc.fwd_seen.insert(v);
+        sc.bwd_seen.insert(w);
+        sc.fwd_frontier.push(v);
+        sc.bwd_frontier.push(w);
+        while !sc.fwd_frontier.is_empty() && !sc.bwd_frontier.is_empty() {
+            let forward = sc.fwd_frontier.len() <= sc.bwd_frontier.len();
+            sc.next.clear();
+            let level = if forward {
+                sc.fwd_frontier.len()
             } else {
-                std::mem::take(&mut bwd_frontier)
+                sc.bwd_frontier.len()
             };
-            let mut next = Vec::new();
-            for x in frontier {
+            for xi in 0..level {
+                let x = if forward {
+                    sc.fwd_frontier[xi]
+                } else {
+                    sc.bwd_frontier[xi]
+                };
                 self.work.nodes_visited += 1;
                 let nbrs = if forward {
                     g.successors(x)
@@ -192,28 +230,31 @@ impl IncScc {
                         continue;
                     }
                     if forward {
-                        if bwd_seen.contains(&y) {
+                        if sc.bwd_seen.contains(&y) {
+                            self.scratch = sc;
                             return true;
                         }
-                        if fwd_seen.insert(y) {
-                            next.push(y);
+                        if sc.fwd_seen.insert(y) {
+                            sc.next.push(y);
                         }
                     } else {
-                        if fwd_seen.contains(&y) {
+                        if sc.fwd_seen.contains(&y) {
+                            self.scratch = sc;
                             return true;
                         }
-                        if bwd_seen.insert(y) {
-                            next.push(y);
+                        if sc.bwd_seen.insert(y) {
+                            sc.next.push(y);
                         }
                     }
                 }
             }
             if forward {
-                fwd_frontier = next;
+                std::mem::swap(&mut sc.fwd_frontier, &mut sc.next);
             } else {
-                bwd_frontier = next;
+                std::mem::swap(&mut sc.bwd_frontier, &mut sc.next);
             }
         }
+        self.scratch = sc;
         false
     }
 
@@ -547,17 +588,24 @@ impl IncrementalAlgorithm for IncScc {
         }
 
         // (2) Intra-component groups: one restricted Tarjan per affected
-        // scc. A single deletion first gets the cheap reachability check;
-        // insertion-only groups cannot change the structure.
+        // scc at most. Small deletion groups first get the cheap per-edge
+        // reachability check: the component was strongly connected before
+        // the batch, so if every deleted edge's source still reaches its
+        // target *inside the post-update component*, any old internal path
+        // can be patched deletion-by-deletion with those detours (which
+        // themselves avoid the deleted edges) — the component is provably
+        // intact and the restricted Tarjan run is skipped entirely.
+        // Insertion-only groups cannot change the structure.
         let mut touched: Vec<SccId> = intra_del.keys().copied().collect();
         touched.sort_unstable();
         for id in touched {
             let dels = &intra_del[&id];
-            if dels.len() == 1 {
-                let (v, w) = dels[0];
-                if self.still_reaches_within(g, id, v, w) {
-                    continue; // component intact, output unchanged
-                }
+            if dels.len() <= MAX_INTACT_CHECKS
+                && dels
+                    .iter()
+                    .all(|&(v, w)| self.still_reaches_within(g, id, v, w))
+            {
+                continue; // component intact, output unchanged
             }
             self.recompute_component(g, id, &pending_set);
         }

@@ -75,30 +75,98 @@ pub fn tarjan(g: &DynamicGraph) -> SccResult {
 /// both endpoints in `nodes`). Returns components in reverse topological
 /// order of the *sub*-condensation plus the refreshed `num`/`lowlink` values
 /// for the restricted nodes — this is what IncSCC runs on an affected scc.
+///
+/// All DFS state is sized by `|nodes|` via a local dense index, not by
+/// `|V|`: this sits on IncSCC's hot path (every affected-component
+/// recompute), and an earlier implementation that zeroed five
+/// full-graph-sized vectors per call dominated the cost of maintaining
+/// small components inside large graphs. Traversal order — roots in
+/// `nodes` order, successors in adjacency order, non-members skipped — and
+/// therefore the emitted components and `num`/`lowlink` values are
+/// unchanged.
 pub fn tarjan_restricted(g: &DynamicGraph, nodes: &[NodeId]) -> RestrictedScc {
-    let mut member: FxHashMap<NodeId, ()> = FxHashMap::default();
-    member.reserve(nodes.len());
-    for &v in nodes {
-        member.insert(v, ());
+    let n = nodes.len();
+    let mut local: FxHashMap<NodeId, u32> = FxHashMap::default();
+    local.reserve(n);
+    for (i, &v) in nodes.iter().enumerate() {
+        local.insert(v, i as u32);
     }
-    let n = g.node_count();
-    let mut state = State::new(n);
-    state.restrict = Some(member);
-    for &v in nodes {
-        if state.num[v.index()] == UNVISITED {
-            state.dfs(g, v, None);
+    let mut num = vec![UNVISITED; n];
+    let mut lowlink = vec![UNVISITED; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut components: Vec<Vec<NodeId>> = Vec::new();
+    let mut counter = 0u32;
+    // Frame: (local node index, next successor position).
+    let mut frames: Vec<(u32, usize)> = Vec::new();
+    for root in 0..n as u32 {
+        if num[root as usize] != UNVISITED {
+            continue;
+        }
+        num[root as usize] = counter;
+        lowlink[root as usize] = counter;
+        counter += 1;
+        stack.push(root);
+        on_stack[root as usize] = true;
+        frames.push((root, 0));
+        while let Some(&(lv, i)) = frames.last() {
+            let succs = g.successors(nodes[lv as usize]);
+            if i < succs.len() {
+                frames.last_mut().expect("frame just read").1 += 1;
+                let Some(&lw) = local.get(&succs[i]) else {
+                    continue; // successor outside the restriction
+                };
+                if num[lw as usize] == UNVISITED {
+                    num[lw as usize] = counter;
+                    lowlink[lw as usize] = counter;
+                    counter += 1;
+                    stack.push(lw);
+                    on_stack[lw as usize] = true;
+                    frames.push((lw, 0));
+                } else if on_stack[lw as usize] {
+                    let nw = num[lw as usize];
+                    let ll = &mut lowlink[lv as usize];
+                    if nw < *ll {
+                        *ll = nw;
+                    }
+                }
+                continue;
+            }
+            // lv finished: maybe emit a component, then propagate lowlink.
+            frames.pop();
+            if lowlink[lv as usize] == num[lv as usize] {
+                let mut comp = Vec::new();
+                loop {
+                    let w = stack.pop().expect("tarjan stack underflow");
+                    on_stack[w as usize] = false;
+                    comp.push(nodes[w as usize]);
+                    if w == lv {
+                        break;
+                    }
+                }
+                components.push(comp);
+            }
+            if let Some(&(p, _)) = frames.last() {
+                let cur = lowlink[lv as usize];
+                let lp = &mut lowlink[p as usize];
+                if cur < *lp {
+                    *lp = cur;
+                }
+            }
         }
     }
-    let mut num = FxHashMap::default();
-    let mut lowlink = FxHashMap::default();
-    for &v in nodes {
-        num.insert(v, state.num[v.index()]);
-        lowlink.insert(v, state.lowlink[v.index()]);
+    let mut num_map = FxHashMap::default();
+    num_map.reserve(n);
+    let mut lowlink_map = FxHashMap::default();
+    lowlink_map.reserve(n);
+    for (i, &v) in nodes.iter().enumerate() {
+        num_map.insert(v, num[i]);
+        lowlink_map.insert(v, lowlink[i]);
     }
     RestrictedScc {
-        components: state.components,
-        num,
-        lowlink,
+        components,
+        num: num_map,
+        lowlink: lowlink_map,
     }
 }
 
@@ -122,7 +190,6 @@ struct State {
     comp_of: Vec<u32>,
     components: Vec<Vec<NodeId>>,
     counter: u32,
-    restrict: Option<FxHashMap<NodeId, ()>>,
 }
 
 impl State {
@@ -135,15 +202,6 @@ impl State {
             comp_of: vec![u32::MAX; n],
             components: Vec::new(),
             counter: 0,
-            restrict: None,
-        }
-    }
-
-    #[inline]
-    fn allowed(&self, v: NodeId) -> bool {
-        match &self.restrict {
-            None => true,
-            Some(m) => m.contains_key(&v),
         }
     }
 
@@ -158,9 +216,6 @@ impl State {
             if i < succs.len() {
                 frames.last_mut().expect("frame just read").1 += 1;
                 let w = succs[i];
-                if !self.allowed(w) {
-                    continue;
-                }
                 if self.num[w.index()] == UNVISITED {
                     self.discover(w);
                     frames.push((w, 0));

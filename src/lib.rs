@@ -120,8 +120,8 @@ pub mod prelude {
     pub use igc_core::work::WorkStats;
     pub use igc_core::IncrementalAlgorithm;
     pub use igc_engine::{
-        CommitReceipt, Engine, EngineError, LifecycleEvent, LifecycleEventKind, ViewCommitStats,
-        ViewHandle, ViewId, ViewOutcome, ViewState, ViewTotals,
+        CommitMode, CommitReceipt, Engine, EngineError, LifecycleEvent, LifecycleEventKind,
+        ViewCommitStats, ViewHandle, ViewId, ViewOutcome, ViewState, ViewTotals,
     };
     pub use igc_graph::{DynamicGraph, Edge, Label, LabelInterner, NodeId, Update, UpdateBatch};
     pub use igc_iso::{IncIso, Pattern};
