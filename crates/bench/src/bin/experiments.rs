@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! experiments [--scale F] [--no-verify] [--threads N] [--json-out PATH]
+//!             [--log] [--crash-at N] [--log-dir PATH]
 //!             [fig8a fig8b … | all | unit | rho | undoable | locality | engine]
 //! ```
 //!
@@ -15,6 +16,14 @@
 //! including a sequential-vs-parallel comparison — as machine-readable
 //! JSON to `--json-out` (default `BENCH_engine.json`), so the perf
 //! trajectory accumulates across revisions.
+//!
+//! Durability flags (the `engine` experiment): `--log` attaches a
+//! file-backed write-ahead commit log (journal totals, a
+//! replay-throughput series and a background `rpq:bg` build land in the
+//! JSON); `--crash-at N` drops the logged engine after `N` commits,
+//! recovers it from the journal, audits, and serves the rest of the run
+//! (implies `--log`); `--log-dir PATH` keeps the journal at `PATH`
+//! (wiped at start) instead of a throwaway temp directory.
 
 use igc_bench::experiments::{self, ExpConfig, ALL_FIGS};
 
@@ -37,10 +46,21 @@ fn main() {
             "--json-out" => {
                 json_out = args.next().expect("--json-out needs a path");
             }
+            "--log" => cfg.log = true,
+            "--crash-at" => {
+                let v = args.next().expect("--crash-at needs a commit count");
+                cfg.crash_at = Some(v.parse().expect("crash-at must be an integer"));
+                cfg.log = true;
+            }
+            "--log-dir" => {
+                cfg.log_dir = Some(args.next().expect("--log-dir needs a path"));
+                cfg.log = true;
+            }
             "all" => figs.extend(ALL_FIGS.iter().map(|s| s.to_string())),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: experiments [--scale F] [--no-verify] [--threads N] [--json-out PATH] \
+                     [--log] [--crash-at N] [--log-dir PATH] \
                      [fig8a … fig8p | all | unit | rho | undoable | locality | engine]"
                 );
                 return;

@@ -14,14 +14,16 @@ use crate::harness::{pct, time, Row, Series};
 use crate::workloads::{self, GRAPH_SEED};
 use igc_core::incremental::{apply_one_by_one, IncrementalAlgorithm};
 use igc_core::work::WorkStats;
-use igc_engine::Engine;
+use igc_engine::{Engine, ViewHandle};
 use igc_graph::generator::{random_update_batch, Dataset};
 use igc_graph::{DynamicGraph, UpdateBatch};
 use igc_iso::{IncIso, Pattern};
 use igc_kws::{batch as kws_batch, IncKws, KwsQuery};
+use igc_log::{FileBackend, LogBackend};
 use igc_nfa::{build_nfa, Regex};
 use igc_rpq::{batch as rpq_batch, IncRpq};
 use igc_scc::{tarjan, DynScc, IncScc};
+use std::sync::Arc;
 
 /// Experiment configuration shared by all figures.
 #[derive(Debug, Clone)]
@@ -34,6 +36,18 @@ pub struct ExpConfig {
     /// `n ≥ 1` = `CommitMode::Parallel { threads: n }` (the `--threads`
     /// flag of the experiments binary).
     pub threads: usize,
+    /// Attach a durable commit log to the `engine` experiment (`--log`):
+    /// commits journal write-ahead, the run demonstrates a background
+    /// view build, and the JSON gains log/replay-throughput sections.
+    pub log: bool,
+    /// Crash the (logged) engine after this many commits (`--crash-at N`),
+    /// then `Engine::recover` from the journal, re-register the four
+    /// classes, audit, and serve the remaining commits. Implies `log`.
+    pub crash_at: Option<usize>,
+    /// Directory for the file-backed log (`--log-dir`); wiped before the
+    /// run and kept after it. Default: a throwaway temp directory,
+    /// removed when the run ends.
+    pub log_dir: Option<String>,
 }
 
 impl Default for ExpConfig {
@@ -42,6 +56,9 @@ impl Default for ExpConfig {
             scale: 0.15,
             verify: true,
             threads: 0,
+            log: false,
+            crash_at: None,
+            log_dir: None,
         }
     }
 }
@@ -694,6 +711,110 @@ fn engine_compare(cfg: &ExpConfig) -> String {
     )
 }
 
+/// The logged-vs-unlogged lockstep comparison: the four default views
+/// cloned into two engines over the same starting graph, driven through
+/// [`COMPARE_COMMITS`] identical commits — one engine journaling
+/// write-ahead through a file-backed log (checkpoint cadence disabled, so
+/// this pins the pure per-commit WAL cost; checkpoints are an amortized,
+/// cadence-controlled cost reported separately in the `log` section), one
+/// unlogged. Records full commit latencies, medians and the overhead
+/// percentage — the durability PR's "< 5 % at scale 0.15" target made
+/// measurable. With `verify` on, both engines' receipts are cross-checked
+/// and the final views audited.
+fn engine_logged_compare(cfg: &ExpConfig, log_dir: &std::path::Path) -> String {
+    let g = workloads::dataset(Dataset::DbpediaLike, cfg.scale);
+    let rpq = IncRpq::new(&g, &workloads::default_rpq(495));
+    let scc = IncScc::new(&g);
+    let kws = IncKws::new(&g, workloads::default_kws());
+    let iso = IncIso::new(&g, workloads::default_iso());
+    let dir = log_dir.join("logged-compare");
+    let _ = std::fs::remove_dir_all(&dir);
+    let backend: Arc<dyn LogBackend> =
+        Arc::new(FileBackend::new(&dir).expect("create comparison log dir"));
+    let mut plain = Engine::new(g.clone());
+    let mut logged = Engine::new(g)
+        .with_log(backend)
+        .expect("attach comparison log");
+    logged.set_checkpoint_every(0);
+    for e in [&mut plain, &mut logged] {
+        e.register(rpq.clone()).expect("register rpq");
+        e.register(scc.clone()).expect("register scc");
+        e.register(kws.clone()).expect("register kws");
+        e.register(iso.clone()).expect("register iso");
+    }
+
+    let mut plain_series: Vec<f64> = Vec::with_capacity(COMPARE_COMMITS);
+    let mut logged_series: Vec<f64> = Vec::with_capacity(COMPARE_COMMITS);
+    for i in 0..COMPARE_COMMITS {
+        let count = (((plain.graph().edge_count() as f64) * 0.02).round() as usize).max(1);
+        let delta = random_update_batch(plain.graph(), count, 0.5, GRAPH_SEED ^ (0xd00 + i as u64));
+        let ru = plain.commit(&delta).expect("unlogged commit");
+        let rl = logged.commit(&delta).expect("logged commit");
+        if cfg.verify {
+            assert_eq!(ru.work, rl.work, "logging changed view work at commit {i}");
+            assert_eq!(ru.applied, rl.applied);
+            assert_eq!(ru.epoch, rl.epoch);
+        }
+        plain_series.push(ru.elapsed.as_secs_f64());
+        logged_series.push(rl.elapsed.as_secs_f64());
+    }
+    if cfg.verify {
+        plain.verify_all().expect("unlogged views audit clean");
+        logged.verify_all().expect("logged views audit clean");
+    }
+
+    let median = |series: &[f64]| -> f64 {
+        let mut s = series.to_vec();
+        s.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        s[(s.len() - 1) / 2]
+    };
+    let fmt_series = |series: &[f64]| -> String {
+        series
+            .iter()
+            .map(|v| format!("{v:.9}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let (mu, ml) = (median(&plain_series), median(&logged_series));
+    let overhead_pct = if mu > 0.0 {
+        (ml - mu) / mu * 100.0
+    } else {
+        0.0
+    };
+    let json = format!(
+        "{{\"commits\": {}, \"unlogged_s\": [{}], \"logged_s\": [{}], \
+         \"unlogged_median_s\": {:.9}, \"logged_median_s\": {:.9}, \
+         \"overhead_pct\": {:.2}}}",
+        COMPARE_COMMITS,
+        fmt_series(&plain_series),
+        fmt_series(&logged_series),
+        mu,
+        ml,
+        overhead_pct
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    json
+}
+
+/// Checkpoint cadence the logged engine experiment runs with — small
+/// enough that the 12-commit script crosses several checkpoints.
+pub const ENGINE_LOG_CHECKPOINT_EVERY: u64 = 4;
+
+/// Commit index at which the logged (non-crashing) run spawns its
+/// background `rpq:bg` build; it joins after the final commit.
+pub const ENGINE_BACKGROUND_SPAWN_AT: usize = 9;
+
+/// Unique throwaway directory for an auto-managed experiment log.
+fn temp_log_dir() -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "igc-engine-log-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
 /// One churning multi-view serving run with the full v2 lifecycle: the four
 /// default views plus a deliberately flaky canary registered on a
 /// DBpedia-like graph, `ENGINE_COMMITS` commits of ~2 % of the edges each
@@ -704,9 +825,36 @@ fn engine_compare(cfg: &ExpConfig) -> String {
 /// lifecycle events land in the JSON alongside the latency series. With
 /// `verify` on, every surviving view is audited against from-scratch
 /// recomputation after the final commit.
+///
+/// With `cfg.log` the engine journals write-ahead through a file-backed
+/// commit log and the run additionally demonstrates a **background** view
+/// build (`rpq:bg` spawned at commit [`ENGINE_BACKGROUND_SPAWN_AT`],
+/// joined after the last commit, answers cross-checked against the eager
+/// `rpq` view); the JSON gains `log` (journal totals + replay-throughput
+/// series) and `background` sections. With `cfg.crash_at = Some(n)` the
+/// engine is dropped after `n` commits and rebuilt with
+/// [`Engine::recover`]; the four classes re-join lazily from the replayed
+/// graph and the run serves the remaining commits — the JSON records the
+/// crash/recovery in a `recovery` section.
 pub fn engine_run(cfg: &ExpConfig) -> EngineRun {
     let g = workloads::dataset(Dataset::DbpediaLike, cfg.scale);
+    let logging = cfg.log || cfg.crash_at.is_some();
+    // Resolve the log directory: user-specified (wiped, kept) or a
+    // throwaway temp dir (removed at the end of the run).
+    let log_dir = logging.then(|| match &cfg.log_dir {
+        Some(dir) => (std::path::PathBuf::from(dir), false),
+        None => (temp_log_dir(), true),
+    });
+    let backend: Option<Arc<dyn LogBackend>> = log_dir.as_ref().map(|(dir, _)| {
+        let _ = std::fs::remove_dir_all(dir);
+        Arc::new(FileBackend::new(dir).expect("create log directory")) as Arc<dyn LogBackend>
+    });
+
     let mut engine = Engine::new(g);
+    if let Some(b) = &backend {
+        engine = engine.with_log(b.clone()).expect("attach commit log");
+        engine.set_checkpoint_every(ENGINE_LOG_CHECKPOINT_EVERY);
+    }
     engine.set_commit_mode(commit_mode(cfg));
     engine
         .register(IncRpq::new(engine.graph(), &workloads::default_rpq(495)))
@@ -741,23 +889,89 @@ pub fn engine_run(cfg: &ExpConfig) -> EngineRun {
 
     let mut rows = Vec::new();
     let mut commits_json: Vec<String> = Vec::new();
+    let mut recovery_json: Option<String> = None;
+    let mut background: Option<igc_engine::BackgroundBuild<IncRpq>> = None;
     for i in 0..ENGINE_COMMITS {
+        // The crash script: after `crash_at` commits, drop the engine
+        // cold (mid-stream, no farewell checkpoint) and rebuild it purely
+        // from the journal; the four classes re-join lazily from the
+        // replayed graph and the run keeps serving.
+        if cfg.crash_at == Some(i) {
+            let crash_epoch = engine.epoch();
+            drop(std::mem::replace(
+                &mut engine,
+                Engine::new(DynamicGraph::new()),
+            ));
+            let backend = backend.clone().expect("crash requires the log backend");
+            let recover_start = std::time::Instant::now();
+            let mut recovered = Engine::recover(backend).expect("recover from journal");
+            let replay_s = recover_start.elapsed().as_secs_f64();
+            assert_eq!(
+                recovered.epoch(),
+                crash_epoch,
+                "recovered at the crash epoch"
+            );
+            recovered.set_commit_mode(commit_mode(cfg));
+            recovered.set_checkpoint_every(ENGINE_LOG_CHECKPOINT_EVERY);
+            recovered
+                .register_lazy("rpq", IncRpq::init(workloads::default_rpq(495)))
+                .expect("re-register rpq");
+            recovered
+                .register_lazy("scc", IncScc::init())
+                .expect("re-register scc");
+            recovered
+                .register_lazy("kws", IncKws::init(workloads::default_kws()))
+                .expect("re-register kws");
+            recovered
+                .register_lazy("iso", IncIso::init(workloads::default_iso()))
+                .expect("re-register iso");
+            if cfg.verify {
+                recovered
+                    .verify_all()
+                    .expect("recovered views audit clean against recomputation");
+            }
+            let deltas_replayed = recovered.log().map_or(0, |l| l.deltas());
+            recovery_json = Some(format!(
+                "{{\"crash_after_commits\": {i}, \"crash_at_epoch\": {crash_epoch}, \
+                 \"replay_s\": {replay_s:.9}, \"deltas_in_journal\": {deltas_replayed}, \
+                 \"reregistered\": [\"rpq\", \"scc\", \"kws\", \"iso\"], \
+                 \"audit\": \"clean\"}}"
+            ));
+            engine = recovered;
+        }
+
         // The lifecycle script, keyed on commit index (epoch = index + 1):
         // the canary quarantines itself at epoch 3 and is deregistered
         // before commit 6; iso is deregistered before commit 4 and lazily
-        // re-registered (from the live graph) before commit 8.
+        // re-registered (from the live graph) before commit 8. Every step
+        // is guarded on the roster so the script composes with a crash at
+        // any point (post-recovery, the canary stays gone and iso is
+        // already back).
         if i == 4 {
-            let iso = engine.find("iso").expect("iso live");
-            engine.deregister(iso).expect("deregister iso");
+            if let Some(iso) = engine.find("iso") {
+                engine.deregister(iso).expect("deregister iso");
+            }
         }
         if i == 6 {
-            let canary = engine.find("canary").expect("canary live");
-            engine.deregister(canary).expect("deregister canary");
+            if let Some(canary) = engine.find("canary") {
+                engine.deregister(canary).expect("deregister canary");
+            }
         }
-        if i == 8 {
+        if i == 8 && engine.find("iso").is_none() {
             engine
                 .register_lazy("iso", IncIso::init(workloads::default_iso()))
                 .expect("lazy re-register iso");
+        }
+        // The background-build script (logged, non-crashing runs): spawn
+        // an off-path `rpq:bg` build; commits keep flowing below while it
+        // replays the journal on its worker, and it joins after the final
+        // commit.
+        if logging && cfg.crash_at.is_none() && i == ENGINE_BACKGROUND_SPAWN_AT {
+            background = Some(
+                engine
+                    .register_background("rpq:bg", IncRpq::init(workloads::default_rpq(495)))
+                    .expect("spawn background rpq build"),
+            );
         }
 
         let count = (((engine.graph().edge_count() as f64) * 0.02).round() as usize).max(1);
@@ -815,11 +1029,72 @@ pub fn engine_run(cfg: &ExpConfig) -> EngineRun {
         });
     }
 
+    // Join the background build: catch `rpq:bg` up on the log tail and
+    // splice it in, then cross-check it against the eager `rpq` view that
+    // saw every commit live — bit-identical answers or the run fails.
+    let background_json = background.map(|build| {
+        let spawn_epoch = ENGINE_BACKGROUND_SPAWN_AT as u64;
+        let join_start = std::time::Instant::now();
+        let bg = engine.join_background(build).expect("join background rpq");
+        let join_s = join_start.elapsed().as_secs_f64();
+        let eager: ViewHandle<IncRpq> = engine
+            .typed(engine.find("rpq").expect("eager rpq live"))
+            .expect("rpq handle");
+        let identical = engine.view(&bg).expect("bg view").sorted_answer()
+            == engine.view(&eager).expect("eager view").sorted_answer();
+        if cfg.verify {
+            assert!(identical, "background rpq diverged from eager rpq");
+        }
+        format!(
+            "{{\"label\": \"rpq:bg\", \"spawned_before_commit\": {spawn_epoch}, \
+             \"joined_at_epoch\": {}, \"join_s\": {join_s:.9}, \
+             \"matches_eager\": {identical}}}",
+            engine.epoch()
+        )
+    });
+
     if cfg.verify {
         if let Err(failures) = engine.verify_all() {
             panic!("engine views diverged from batch recomputation: {failures}");
         }
     }
+
+    // Journal totals plus a replay-throughput series: rebuild the graph
+    // at 25/50/75/100 % of the logged history and record how fast
+    // checkpoint-restore + tail replay runs.
+    let log_json = engine.log().map(|log| {
+        let replayer = log.replayer();
+        let summary = replayer.summary().expect("log summary");
+        let mut replay_rows = Vec::new();
+        for quarter in [1u64, 2, 3, 4] {
+            let target =
+                summary.first_epoch + (summary.last_epoch - summary.first_epoch) * quarter / 4;
+            let replay_start = std::time::Instant::now();
+            let replayed = replayer.replay_at(target).expect("replay");
+            let elapsed = replay_start.elapsed().as_secs_f64();
+            let units_per_s = if elapsed > 0.0 {
+                replayed.units_applied as f64 / elapsed
+            } else {
+                0.0
+            };
+            replay_rows.push(format!(
+                "{{\"to_epoch\": {target}, \"base\": {}, \"deltas\": {}, \"units\": {}, \
+                 \"elapsed_s\": {elapsed:.9}, \"units_per_s\": {units_per_s:.1}}}",
+                replayed.base_epoch, replayed.deltas_applied, replayed.units_applied
+            ));
+        }
+        format!(
+            "{{\"checkpoint_every\": {}, \"deltas\": {}, \"checkpoints\": {}, \
+             \"units\": {}, \"bytes\": {}, \"torn_tails\": {}, \"replay\": [{}]}}",
+            engine.checkpoint_every(),
+            summary.deltas,
+            summary.checkpoints,
+            summary.units,
+            summary.bytes,
+            summary.torn_tails,
+            replay_rows.join(", ")
+        )
+    });
 
     let events_json = engine
         .events()
@@ -839,14 +1114,30 @@ pub fn engine_run(cfg: &ExpConfig) -> EngineRun {
         igc_engine::CommitMode::Parallel { threads } => ("parallel", threads),
     };
     let comparison_json = engine_compare(cfg);
+    // Durability sections, present only on logged / crashed runs.
+    let mut extra_sections = String::new();
+    if let Some(log) = log_json {
+        extra_sections.push_str(&format!("  \"log\": {log},\n"));
+    }
+    if let Some((dir, _)) = &log_dir {
+        let logged_comparison = engine_logged_compare(cfg, dir);
+        extra_sections.push_str(&format!("  \"logged_comparison\": {logged_comparison},\n"));
+    }
+    if let Some(recovery) = recovery_json {
+        extra_sections.push_str(&format!("  \"recovery\": {recovery},\n"));
+    }
+    if let Some(bg) = background_json {
+        extra_sections.push_str(&format!("  \"background\": {bg},\n"));
+    }
     let json = format!(
         "{{\n  \"bench\": \"engine_commit\",\n  \"dataset\": \"dbpedia_like\",\n  \
-         \"scale\": {},\n  \"mode\": \"{}\",\n  \"threads\": {},\n  \
+         \"scale\": {},\n  \"seed\": {},\n  \"mode\": \"{}\",\n  \"threads\": {},\n  \
          \"available_parallelism\": {},\n  \"views\": [{}],\n  \"commits\": [\n{}\n  ],\n  \
-         \"events\": [\n{}\n  ],\n  \"comparison\": {},\n  \
+         \"events\": [\n{}\n  ],\n  \"comparison\": {},\n{}  \
          \"totals\": {{\"commits\": {}, \"units_applied\": {}, \"units_dropped\": {}, \
          \"latency_s\": {:.9}, \"work\": {}, \"retired_views\": {}}}\n}}\n",
         cfg.scale,
+        GRAPH_SEED,
         mode_tag,
         threads,
         std::thread::available_parallelism().map_or(1, |n| n.get()),
@@ -854,6 +1145,7 @@ pub fn engine_run(cfg: &ExpConfig) -> EngineRun {
         commits_json.join(",\n"),
         events_json,
         comparison_json,
+        extra_sections,
         engine.commits(),
         engine.units_applied(),
         engine.units_dropped(),
@@ -861,6 +1153,14 @@ pub fn engine_run(cfg: &ExpConfig) -> EngineRun {
         engine.total_work().total(),
         engine.retired().len()
     );
+
+    // An auto-managed (temp-dir) journal is torn down with the run; a
+    // user-specified --log-dir is kept for post-mortem replay.
+    if let Some((dir, temporary)) = &log_dir {
+        if *temporary {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
 
     EngineRun {
         series: Series {
@@ -960,8 +1260,7 @@ mod tests {
     fn tiny() -> ExpConfig {
         ExpConfig {
             scale: 0.004,
-            verify: true,
-            threads: 0,
+            ..ExpConfig::default()
         }
     }
 
@@ -1046,6 +1345,59 @@ mod tests {
     }
 
     #[test]
+    fn engine_run_with_log_journals_replays_and_joins_background_view() {
+        let cfg = ExpConfig {
+            log: true,
+            ..tiny()
+        };
+        let r = engine_run(&cfg);
+        assert_eq!(r.series.rows.len(), ENGINE_COMMITS);
+        // Journal totals and the replay-throughput series.
+        assert!(r.json.contains("\"log\": {\"checkpoint_every\": 4"));
+        assert!(r.json.contains("\"replay\": [{\"to_epoch\""));
+        assert!(r.json.contains("\"units_per_s\""));
+        assert!(r.json.contains("\"torn_tails\": 0"));
+        // The lockstep logged-vs-unlogged series pins the WAL overhead.
+        assert!(r.json.contains("\"logged_comparison\": {\"commits\": 8"));
+        assert!(r.json.contains("\"overhead_pct\""));
+        // The background build joined and matched the eager rpq view
+        // (verify=true would have panicked otherwise).
+        assert!(r
+            .json
+            .contains("\"kind\": \"registered_background\", \"label\": \"rpq:bg\""));
+        assert!(r.json.contains("\"matches_eager\": true"));
+        // No crash in this run.
+        assert!(!r.json.contains("\"recovery\""));
+        assert_eq!(r.json.matches('{').count(), r.json.matches('}').count());
+        assert_eq!(r.json.matches('[').count(), r.json.matches(']').count());
+    }
+
+    #[test]
+    fn engine_run_crash_recovers_and_serves_the_rest() {
+        let cfg = ExpConfig {
+            crash_at: Some(6),
+            ..tiny()
+        };
+        let r = engine_run(&cfg);
+        assert_eq!(
+            r.series.rows.len(),
+            ENGINE_COMMITS,
+            "full series despite the crash"
+        );
+        assert!(r.json.contains("\"recovery\": {\"crash_after_commits\": 6"));
+        assert!(r.json.contains("\"crash_at_epoch\": 6"));
+        assert!(r.json.contains("\"audit\": \"clean\""));
+        // Post-recovery lifecycle re-registrations are journaled events.
+        assert!(r
+            .json
+            .contains("\"kind\": \"registered_lazy\", \"label\": \"rpq\""));
+        // The journal keeps growing after recovery: 12 deltas total.
+        assert!(r.json.contains("\"deltas\": 12"));
+        assert_eq!(r.json.matches('{').count(), r.json.matches('}').count());
+        assert_eq!(r.json.matches('[').count(), r.json.matches(']').count());
+    }
+
+    #[test]
     fn engine_run_emits_series_events_and_wellformed_json() {
         let r = engine_run(&tiny());
         assert_eq!(r.series.rows.len(), ENGINE_COMMITS);
@@ -1053,6 +1405,9 @@ mod tests {
         // (absent views report 0 for lifecycle-affected commits).
         assert_eq!(r.series.rows[0].times.len(), 6);
         assert!(r.json.contains("\"bench\": \"engine_commit\""));
+        // The workload RNG seed is recorded, so replay/recovery series are
+        // reproducible run-to-run.
+        assert!(r.json.contains("\"seed\": 20170514"));
         assert!(r
             .json
             .contains("\"views\": [\"rpq\", \"scc\", \"kws\", \"iso\", \"canary\"]"));

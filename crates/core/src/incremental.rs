@@ -172,6 +172,25 @@ pub fn panic_cause(payload: &(dyn std::any::Any + Send)) -> String {
 /// `ViewInit` via the blanket impl, so ad-hoc lambdas work directly; the
 /// algorithm crates also export ready-made ones (`IncRpq::init`,
 /// `IncScc::init`, `IncKws::init`, `IncIso::init`).
+///
+/// # Determinism and the epoch contract
+///
+/// A builder must be a **deterministic function of the graph state** it
+/// is handed (plus its own captured query): two calls on graphs with the
+/// same nodes, labels and edge set must produce views with identical
+/// answers. The durability layer leans on this twice —
+///
+/// * *recovery*: a crashed engine's graph is replayed from the commit log
+///   and views are re-initialized from it; determinism is what makes the
+///   recovered answers bit-identical to the lost ones;
+/// * *background builds*: the builder runs against a **checkpointed**
+///   graph at some epoch `e ≤ now` on a worker thread, and the view is
+///   then caught up by replaying the logged deltas `e+1, e+2, …` — the
+///   incremental-maintenance invariant (`init at e` + suffix ≡ `init at
+///   e'` + shorter suffix) only holds for deterministic builders.
+///
+/// Builders that consult ambient state (clocks, randomness, I/O) break
+/// both equivalences silently; don't.
 pub trait ViewInit {
     /// The concrete view type this constructor builds.
     type View: IncView + 'static;

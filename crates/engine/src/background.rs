@@ -1,0 +1,75 @@
+//! Background view construction: the handle returned by
+//! [`Engine::register_background`](crate::Engine::register_background).
+//!
+//! A background build runs a view's expensive initial construction *off
+//! the commit path*: a worker thread replays the engine's commit log into
+//! a private graph (latest checkpoint + tail), builds the view from that
+//! graph, then keeps catching it up by replaying log records appended by
+//! commits that kept flowing meanwhile. The engine thread finally drains
+//! the last sliver of tail and splices the view into the registry —
+//! [`Engine::join_background`](crate::Engine::join_background).
+
+use igc_graph::DynamicGraph;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// What a background worker hands back: its replayed graph (proof of the
+/// epoch it reached) plus the built, caught-up view. `Err` carries a
+/// rendered cause (log failure or a panicking builder).
+pub(crate) type BuildResult<V> = Result<(DynamicGraph, V), String>;
+
+/// An in-flight background view build. Commits keep flowing while it
+/// runs; hand it back to [`Engine::join_background`] to splice the view
+/// in (blocking only for the initial build if it is still running, plus a
+/// final catch-up over whatever tail remains — typically a few records).
+///
+/// The target label stays **reserved** while this handle is alive: other
+/// registrations of the same label fail with
+/// [`EngineError::DuplicateLabel`](crate::EngineError::DuplicateLabel).
+/// Dropping the handle without joining abandons the build and frees the
+/// label; the detached worker finishes its (read-only) replay and exits.
+///
+/// [`Engine::join_background`]: crate::Engine::join_background
+pub struct BackgroundBuild<V> {
+    label: Arc<str>,
+    /// Reservation token: the engine holds a `Weak` to it, so the label
+    /// frees itself when this handle (or the join that consumed it) drops.
+    _token: Arc<()>,
+    handle: JoinHandle<BuildResult<V>>,
+}
+
+impl<V> BackgroundBuild<V> {
+    pub(crate) fn new(label: Arc<str>, token: Arc<()>, handle: JoinHandle<BuildResult<V>>) -> Self {
+        BackgroundBuild {
+            label,
+            _token: token,
+            handle,
+        }
+    }
+
+    /// The registry label the finished view will occupy.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// True once the worker has finished its build and initial catch-up —
+    /// [`Engine::join_background`](crate::Engine::join_background) will
+    /// not block on the build itself.
+    pub fn is_finished(&self) -> bool {
+        self.handle.is_finished()
+    }
+
+    pub(crate) fn into_parts(self) -> (Arc<str>, JoinHandle<BuildResult<V>>) {
+        (self.label, self.handle)
+    }
+}
+
+impl<V> std::fmt::Debug for BackgroundBuild<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BackgroundBuild")
+            .field("label", &self.label)
+            .field("finished", &self.handle.is_finished())
+            .field("view", &std::any::type_name::<V>())
+            .finish()
+    }
+}

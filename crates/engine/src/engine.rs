@@ -1,14 +1,17 @@
 //! The engine proper: generation-checked view registry, lifecycle
-//! (deregistration, lazy registration, quarantine) and the fallible ΔG
-//! commit pipeline.
+//! (deregistration, lazy registration, background registration,
+//! quarantine), the fallible ΔG commit pipeline, and the durability layer
+//! (write-ahead journaling, checkpoints, crash recovery).
 
+use crate::background::BackgroundBuild;
 use crate::error::{Divergence, EngineError};
 use crate::lifecycle::{LifecycleEvent, LifecycleEventKind, ViewHandle, ViewId, ViewState};
 use crate::receipt::{CommitReceipt, ViewCommitStats, ViewOutcome, ViewTotals};
 use igc_core::{panic_cause, IncView, ViewInit, WorkStats};
 use igc_graph::{DynamicGraph, UpdateBatch};
+use igc_log::{CommitLog, LogBackend};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
 /// A registered view plus its health and cumulative accounting.
@@ -43,6 +46,12 @@ struct Slot {
 /// reference node ids (ids are dense, so the id gap is materialized); see
 /// [`Engine::set_max_fresh_nodes`].
 pub const DEFAULT_MAX_FRESH_NODES: u32 = 1 << 20;
+
+/// Default checkpoint cadence of a logged engine: a full graph snapshot
+/// is journaled after every this-many logged commits, bounding the delta
+/// tail a recovery (or a background build) must replay. See
+/// [`Engine::set_checkpoint_every`].
+pub const DEFAULT_CHECKPOINT_EVERY: u64 = 32;
 
 /// How [`Engine::commit`] fans a normalized delta out to the registered
 /// views (step 3 of the pipeline). Views are independent given the
@@ -108,6 +117,18 @@ pub struct Engine {
     total_elapsed: Duration,
     max_fresh_nodes: u32,
     mode: CommitMode,
+    /// The attached commit log, if any ([`Engine::with_log`] /
+    /// [`Engine::recover`]); commits journal through it write-ahead.
+    log: Option<CommitLog>,
+    /// Checkpoint cadence in logged commits (0 = only explicit
+    /// [`Engine::checkpoint`] calls).
+    checkpoint_every: u64,
+    /// Logged commits since the last checkpoint record.
+    logged_since_checkpoint: u64,
+    /// Labels reserved by in-flight background builds: the `Weak` is dead
+    /// once the corresponding [`BackgroundBuild`] handle is gone, so
+    /// abandoned builds free their label automatically.
+    reserved: Vec<(Arc<str>, Weak<()>)>,
 }
 
 impl Engine {
@@ -126,7 +147,100 @@ impl Engine {
             total_elapsed: Duration::ZERO,
             max_fresh_nodes: DEFAULT_MAX_FRESH_NODES,
             mode: CommitMode::Sequential,
+            log: None,
+            checkpoint_every: DEFAULT_CHECKPOINT_EVERY,
+            logged_since_checkpoint: 0,
+            reserved: Vec::new(),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Durability: journaling, checkpoints, recovery
+    // ------------------------------------------------------------------
+
+    /// Attach a durable commit log on an **empty** backend: every
+    /// subsequent successful commit journals its normalized delta
+    /// *write-ahead* — the record is appended (and its epoch chained)
+    /// before the graph or any view is touched, so a failed append
+    /// rejects the commit atomically and the log never lags the engine.
+    /// An initial checkpoint of the current graph is written immediately
+    /// as the replay base.
+    ///
+    /// Errors with [`EngineError::LogCorrupt`] when the backend already
+    /// holds history (recover from it instead — [`Engine::recover`]) or
+    /// the initial checkpoint cannot be written.
+    pub fn with_log(mut self, backend: Arc<dyn LogBackend>) -> Result<Self, EngineError> {
+        let mut log = CommitLog::create(backend)?;
+        log.append_checkpoint(&self.graph)?;
+        self.log = Some(log);
+        self.logged_since_checkpoint = 0;
+        Ok(self)
+    }
+
+    /// Rebuild an engine from a logged history: open the backend,
+    /// validate checksums and the epoch chain, restore the latest
+    /// checkpoint and replay the delta tail — yielding a graph
+    /// bit-identical (edges, labels, epoch) to the crashed engine's at
+    /// its last *journaled* commit. The log stays attached, so commits
+    /// resume journaling exactly where the old engine stopped.
+    ///
+    /// Views are **not** resurrected — the journal records deltas, not
+    /// view state. Re-register them (typically via
+    /// [`Engine::register_lazy`], whose builder runs against the
+    /// recovered graph): the combination "replayed graph + from-scratch
+    /// init" reproduces each view's answers exactly, since every
+    /// [`ViewInit`] is a deterministic function of the graph.
+    pub fn recover(backend: Arc<dyn LogBackend>) -> Result<Self, EngineError> {
+        let log = CommitLog::open(backend)?;
+        let replayed = log.replayer().latest()?;
+        let mut engine = Engine::new(replayed.graph);
+        // Seed the cadence counter with the existing tail (one delta per
+        // epoch past the last checkpoint): a process that crashes and
+        // recovers more often than it checkpoints must not reset the
+        // counter each time, or no checkpoint is ever written again and
+        // the replay tail grows without bound across restarts.
+        engine.logged_since_checkpoint = log
+            .last_epoch()
+            .unwrap_or(0)
+            .saturating_sub(log.last_checkpoint().unwrap_or(0));
+        engine.log = Some(log);
+        Ok(engine)
+    }
+
+    /// The attached commit log, if any — for stats
+    /// ([`CommitLog::deltas`], [`CommitLog::bytes`], …) and for taking a
+    /// [`Replayer`](igc_log::Replayer) over its backend.
+    pub fn log(&self) -> Option<&CommitLog> {
+        self.log.as_ref()
+    }
+
+    /// Journal a checkpoint of the current graph right now
+    /// ([`EngineError::NoLog`] without an attached log). Also resets the
+    /// cadence counter.
+    pub fn checkpoint(&mut self) -> Result<(), EngineError> {
+        let Some(log) = &mut self.log else {
+            return Err(EngineError::NoLog {
+                operation: "checkpoint",
+            });
+        };
+        log.append_checkpoint(&self.graph)?;
+        self.logged_since_checkpoint = 0;
+        Ok(())
+    }
+
+    /// Set the checkpoint cadence: a graph snapshot is journaled after
+    /// every `n` logged commits (default [`DEFAULT_CHECKPOINT_EVERY`]),
+    /// bounding recovery's replay tail at the cost of snapshot bytes.
+    /// `0` disables automatic checkpoints ([`Engine::checkpoint`] still
+    /// works). No-op without a log.
+    pub fn set_checkpoint_every(&mut self, n: u64) {
+        self.checkpoint_every = n;
+    }
+
+    /// The current checkpoint cadence (logged commits per automatic
+    /// checkpoint; 0 = explicit checkpoints only).
+    pub fn checkpoint_every(&self) -> u64 {
+        self.checkpoint_every
     }
 
     /// The shared graph. Eagerly registered views must be constructed
@@ -244,6 +358,124 @@ impl Engine {
             .map(ViewHandle::new)
     }
 
+    /// Register a view in the **background**: the payoff of the commit
+    /// log. Where [`Engine::register_lazy`] builds the view's initial
+    /// state from the live graph *on the calling thread* (blocking the
+    /// commit path for the whole build), this spawns a worker that
+    /// replays the journal into a private graph (latest checkpoint +
+    /// tail), runs the [`ViewInit`] there, and catches the fresh view up
+    /// by replaying whatever commits landed meanwhile — the engine keeps
+    /// committing (and journaling) throughout. Finish with
+    /// [`Engine::join_background`], which drains the final sliver of tail
+    /// and atomically splices the view into the registry; its answers are
+    /// then bit-identical to an eager registration driven through the
+    /// same commits.
+    ///
+    /// `label` is *reserved* while the returned [`BackgroundBuild`] is
+    /// alive (duplicate registrations fail); dropping the handle abandons
+    /// the build and frees the label. Requires an attached log
+    /// ([`EngineError::NoLog`]); the duplicate-label check runs before
+    /// the worker spawns.
+    pub fn register_background<I>(
+        &mut self,
+        label: impl Into<Arc<str>>,
+        init: I,
+    ) -> Result<BackgroundBuild<I::View>, EngineError>
+    where
+        I: ViewInit + Send + 'static,
+    {
+        let label: Arc<str> = label.into();
+        if self.label_occupied(&label) {
+            return Err(EngineError::DuplicateLabel { label });
+        }
+        let Some(log) = &self.log else {
+            return Err(EngineError::NoLog {
+                operation: "register_background",
+            });
+        };
+        let replayer = log.replayer();
+        let token = Arc::new(());
+        // Opportunistic pruning keeps the reservation list bounded by the
+        // number of *live* builds.
+        self.reserved.retain(|(_, t)| t.strong_count() > 0);
+        self.reserved.push((label.clone(), Arc::downgrade(&token)));
+        let handle = std::thread::spawn(move || {
+            let mut replayed = replayer.latest().map_err(|e| e.to_string())?;
+            let mut view = catch_unwind(AssertUnwindSafe(|| init.build(&replayed.graph)))
+                .map_err(|payload| panic_cause(payload.as_ref()))?;
+            // First catch-up round on the worker: drain the commits that
+            // landed while the initial build ran, off the commit path.
+            replayer
+                .catch_up(&mut replayed.graph, |g, delta| view.apply(g, delta))
+                .map_err(|e| e.to_string())?;
+            Ok((replayed.graph, view))
+        });
+        Ok(BackgroundBuild::new(label, token, handle))
+    }
+
+    /// Complete a background registration: wait for the worker's build
+    /// (instant if [`BackgroundBuild::is_finished`]), replay the few
+    /// records that arrived since its last catch-up round — nothing can
+    /// interleave here, commits need this same `&mut self` — and splice
+    /// the view into the registry under its reserved label, journaled as
+    /// [`LifecycleEventKind::RegisteredBackground`].
+    ///
+    /// A worker that failed (log error, panicking builder or panicking
+    /// catch-up `apply`) surfaces as [`EngineError::InitPanicked`] with
+    /// nothing registered; the label is freed either way.
+    pub fn join_background<V: IncView + 'static>(
+        &mut self,
+        build: BackgroundBuild<V>,
+    ) -> Result<ViewHandle<V>, EngineError> {
+        let (label, handle) = build.into_parts();
+        let (mut g, mut view) = match handle.join() {
+            Ok(Ok(pair)) => pair,
+            Ok(Err(cause)) => return Err(EngineError::InitPanicked { label, cause }),
+            Err(payload) => {
+                return Err(EngineError::InitPanicked {
+                    label,
+                    cause: panic_cause(payload.as_ref()),
+                })
+            }
+        };
+        let Some(log) = &self.log else {
+            return Err(EngineError::NoLog {
+                operation: "join_background",
+            });
+        };
+        // Final catch-up, fenced like any other view code: a panicking
+        // `apply` here must reject the registration, not unwind the
+        // engine.
+        let replayer = log.replayer();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            replayer.catch_up(&mut g, |g_now, delta| view.apply(g_now, delta))
+        }));
+        match caught {
+            Ok(Ok(_)) => {}
+            Ok(Err(e)) => return Err(e.into()),
+            Err(payload) => {
+                return Err(EngineError::InitPanicked {
+                    label,
+                    cause: panic_cause(payload.as_ref()),
+                })
+            }
+        }
+        if g.epoch() != self.graph.epoch() {
+            // The log and the engine disagree on the current epoch — only
+            // possible if the journal was tampered with underneath us.
+            return Err(EngineError::EpochGap {
+                expected: self.graph.epoch(),
+                found: g.epoch(),
+            });
+        }
+        self.insert(
+            label,
+            Box::new(view),
+            LifecycleEventKind::RegisteredBackground,
+        )
+        .map(ViewHandle::new)
+    }
+
     /// Deregister a view: tombstone its slot (bumping the generation, so
     /// every outstanding handle to it goes stale), free the label and the
     /// slot for reuse, and move the view's cumulative totals to
@@ -280,6 +512,13 @@ impl Engine {
         self.slots
             .iter()
             .any(|s| s.entry.as_ref().is_some_and(|r| &*r.label == label))
+            // Labels reserved by live background builds count as occupied;
+            // a dead token means the build handle was dropped (abandoned)
+            // or already joined, freeing the label.
+            || self
+                .reserved
+                .iter()
+                .any(|(l, token)| token.strong_count() > 0 && &**l == label)
     }
 
     fn insert(
@@ -530,6 +769,22 @@ impl Engine {
                 skipped_quarantined: 0,
                 work: WorkStats::new(),
             });
+        }
+
+        // Write-ahead journaling: the normalized delta is appended —
+        // chained to exactly the epoch this commit will produce — before
+        // the graph or any view is touched. A failed append rejects the
+        // commit atomically; a successful one guarantees recovery can
+        // replay this commit even if the process dies mid-fan-out. The
+        // cadence checkpoint snapshots the *pre*-commit graph and goes
+        // down first, so either failure leaves the engine untouched.
+        if let Some(log) = &mut self.log {
+            if self.checkpoint_every > 0 && self.logged_since_checkpoint >= self.checkpoint_every {
+                log.append_checkpoint(&self.graph)?;
+                self.logged_since_checkpoint = 0;
+            }
+            log.append_delta(self.graph.epoch() + 1, &delta)?;
+            self.logged_since_checkpoint += 1;
         }
 
         let graph_start = Instant::now();
@@ -853,6 +1108,7 @@ impl std::fmt::Debug for Engine {
             .field("views", &self.labels().collect::<Vec<_>>())
             .field("commits", &self.commits)
             .field("mode", &self.mode)
+            .field("logged", &self.log.is_some())
             .finish()
     }
 }
@@ -1619,5 +1875,383 @@ mod tests {
         let (engine, receipts) = run_script(CommitMode::Parallel { threads: 64 }, 2);
         assert_eq!(receipts[0].per_view.len(), 2);
         assert!(engine.verify_all().is_ok());
+    }
+
+    // ------------------------------------------------------------------
+    // Durability: journaling, checkpoints, recovery, background builds
+    // ------------------------------------------------------------------
+
+    use igc_log::MemBackend;
+
+    fn mem_backend() -> (MemBackend, Arc<dyn igc_log::LogBackend>) {
+        let mem = MemBackend::new();
+        let arc: Arc<dyn igc_log::LogBackend> = Arc::new(mem.clone());
+        (mem, arc)
+    }
+
+    #[test]
+    fn logged_commits_journal_write_ahead_and_noops_do_not() {
+        let (_, backend) = mem_backend();
+        let mut engine = Engine::new(graph_from(&[0, 0, 0], &[(0, 1)]))
+            .with_log(backend.clone())
+            .unwrap();
+        engine
+            .register(EdgeCount::new("a", engine.graph()))
+            .unwrap();
+        let log = engine.log().expect("log attached");
+        assert_eq!(log.checkpoints(), 1, "initial checkpoint at attach");
+        assert_eq!(log.last_epoch(), Some(0));
+
+        engine
+            .commit(&delta(vec![Update::insert(NodeId(1), NodeId(2))]))
+            .unwrap();
+        // A no-op batch journals nothing (it does not bump the epoch).
+        engine
+            .commit(&delta(vec![Update::insert(NodeId(1), NodeId(2))]))
+            .unwrap();
+        let log = engine.log().unwrap();
+        assert_eq!(log.deltas(), 1);
+        assert_eq!(log.last_epoch(), Some(1));
+
+        // The journaled delta is the *normalized* one.
+        let summary = log.replayer().summary().unwrap();
+        assert_eq!(summary.units, 1);
+    }
+
+    #[test]
+    fn with_log_refuses_a_backend_with_history() {
+        let (_, backend) = mem_backend();
+        let _logged = Engine::new(graph_from(&[0, 0], &[]))
+            .with_log(backend.clone())
+            .unwrap();
+        let err = Engine::new(graph_from(&[0, 0], &[]))
+            .with_log(backend)
+            .unwrap_err();
+        assert!(matches!(err, EngineError::LogCorrupt { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn recover_rebuilds_graph_and_resumes_journaling() {
+        let (_, backend) = mem_backend();
+        let mut engine = Engine::new(graph_from(&[0, 1, 2], &[(0, 1)]))
+            .with_log(backend.clone())
+            .unwrap();
+        engine
+            .commit(&delta(vec![Update::insert(NodeId(1), NodeId(2))]))
+            .unwrap();
+        engine
+            .commit(&delta(vec![
+                Update::delete(NodeId(0), NodeId(1)),
+                Update::insert(NodeId(2), NodeId(0)),
+            ]))
+            .unwrap();
+        let edges = engine.graph().sorted_edges();
+        let epoch = engine.epoch();
+        drop(engine); // crash
+
+        let mut recovered = Engine::recover(backend.clone()).unwrap();
+        assert_eq!(recovered.epoch(), epoch);
+        assert_eq!(recovered.graph().sorted_edges(), edges);
+        assert_eq!(recovered.graph().label(NodeId(1)), igc_graph::Label(1));
+        // Views re-join lazily from the recovered graph and the engine
+        // keeps committing + journaling on the same chain.
+        let h = recovered
+            .register_lazy("a", |g: &DynamicGraph| EdgeCount::new("a", g))
+            .unwrap();
+        recovered
+            .commit(&delta(vec![Update::insert(NodeId(0), NodeId(2))]))
+            .unwrap();
+        assert_eq!(recovered.view(&h).unwrap().count, 3);
+        assert_eq!(recovered.log().unwrap().last_epoch(), Some(epoch + 1));
+        assert!(recovered.verify_all().is_ok());
+        // And a second crash/recovery still works, now spanning records
+        // journaled by both engines.
+        let edges = recovered.graph().sorted_edges();
+        drop(recovered);
+        let twice = Engine::recover(backend).unwrap();
+        assert_eq!(twice.epoch(), epoch + 1);
+        assert_eq!(twice.graph().sorted_edges(), edges);
+    }
+
+    #[test]
+    fn checkpoint_cadence_bounds_the_replay_tail() {
+        let (_, backend) = mem_backend();
+        let mut engine = Engine::new(graph_from(&[0, 0, 0, 0], &[]))
+            .with_log(backend.clone())
+            .unwrap();
+        engine.set_checkpoint_every(3);
+        assert_eq!(engine.checkpoint_every(), 3);
+        for i in 0..8u32 {
+            let (a, b) = (NodeId(i % 4), NodeId((i + 1) % 4));
+            let batch = if engine.graph().contains_edge(a, b) {
+                delta(vec![Update::delete(a, b)])
+            } else {
+                delta(vec![Update::insert(a, b)])
+            };
+            engine.commit(&batch).unwrap();
+        }
+        // Cadence 3 over 8 commits: automatic checkpoints before commits
+        // 4 and 7 (pre-commit snapshots at epochs 3 and 6), plus the
+        // attach-time one.
+        let log = engine.log().unwrap();
+        assert_eq!(log.checkpoints(), 3);
+        assert_eq!(log.deltas(), 8);
+        // Replaying the latest state starts from the newest checkpoint:
+        // at most `cadence` deltas of tail.
+        let replayed = log.replayer().latest().unwrap();
+        assert_eq!(replayed.base_epoch, 6);
+        assert!(replayed.deltas_applied <= 3);
+        assert_eq!(replayed.graph.epoch(), 8);
+
+        // Explicit checkpoint resets the cadence counter.
+        engine.checkpoint().unwrap();
+        assert_eq!(engine.log().unwrap().checkpoints(), 4);
+        assert_eq!(engine.log().unwrap().last_checkpoint(), Some(8));
+    }
+
+    #[test]
+    fn crash_loop_does_not_starve_the_checkpoint_cadence() {
+        // A process that crashes more often than it checkpoints must not
+        // reset the cadence counter on every recovery, or the replay tail
+        // grows without bound across restarts. Script: cadence 3, two
+        // commits per "process lifetime", repeated crash/recover cycles —
+        // checkpoints must keep appearing roughly every 3 deltas.
+        let (_, backend) = mem_backend();
+        let mut engine = Engine::new(graph_from(&[0, 0, 0, 0], &[]))
+            .with_log(backend.clone())
+            .unwrap();
+        engine.set_checkpoint_every(3);
+        let mut commit_round = 0u32;
+        let mut commit_two = |engine: &mut Engine| {
+            for _ in 0..2 {
+                let (a, b) = (NodeId(commit_round % 4), NodeId((commit_round + 1) % 4));
+                let batch = if engine.graph().contains_edge(a, b) {
+                    delta(vec![Update::delete(a, b)])
+                } else {
+                    delta(vec![Update::insert(a, b)])
+                };
+                engine.commit(&batch).unwrap();
+                commit_round += 1;
+            }
+        };
+        commit_two(&mut engine);
+        for _ in 0..3 {
+            drop(engine); // crash after only 2 commits — under the cadence
+            engine = Engine::recover(backend.clone()).unwrap();
+            engine.set_checkpoint_every(3);
+            commit_two(&mut engine);
+        }
+        // 8 deltas at cadence 3 ⇒ the initial checkpoint plus at least
+        // two automatic ones; without the recovery-time counter seeding,
+        // the count stays stuck at 1 forever.
+        let log = engine.log().unwrap();
+        assert_eq!(log.deltas(), 8);
+        assert!(
+            log.checkpoints() >= 3,
+            "cadence starved across crash loop: only {} checkpoint(s) after {} deltas",
+            log.checkpoints(),
+            log.deltas()
+        );
+        // And the bounded tail is what recovery actually enjoys.
+        let replayed = log.replayer().latest().unwrap();
+        assert!(
+            replayed.deltas_applied <= 3,
+            "replay tail {} exceeds the cadence",
+            replayed.deltas_applied
+        );
+    }
+
+    #[test]
+    fn durability_operations_without_a_log_are_precise_errors() {
+        let mut engine = Engine::new(graph_from(&[0, 0], &[]));
+        assert_eq!(
+            engine.checkpoint().unwrap_err(),
+            EngineError::NoLog {
+                operation: "checkpoint"
+            }
+        );
+        let err = engine
+            .register_background("bg", |g: &DynamicGraph| EdgeCount::new("bg", g))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::NoLog {
+                operation: "register_background"
+            }
+        );
+        assert!(engine.log().is_none());
+    }
+
+    #[test]
+    fn background_build_joins_without_blocking_commits() {
+        let (_, backend) = mem_backend();
+        let mut engine = Engine::new(graph_from(&[0, 0, 0, 0], &[(0, 1)]))
+            .with_log(backend)
+            .unwrap();
+        let eager = engine
+            .register_labeled("eager", EdgeCount::new("eager", engine.graph()))
+            .unwrap();
+        engine
+            .commit(&delta(vec![Update::insert(NodeId(1), NodeId(2))]))
+            .unwrap();
+
+        let build = engine
+            .register_background("bg", |g: &DynamicGraph| EdgeCount::new("bg", g))
+            .unwrap();
+        assert_eq!(build.label(), "bg");
+        // The label is reserved while the build is in flight …
+        let dup = engine
+            .register_labeled("bg", EdgeCount::new("dup", engine.graph()))
+            .unwrap_err();
+        assert!(matches!(dup, EngineError::DuplicateLabel { .. }));
+        // … and commits keep flowing meanwhile (the worker reads the log,
+        // never the engine).
+        engine
+            .commit(&delta(vec![Update::insert(NodeId(2), NodeId(3))]))
+            .unwrap();
+        engine
+            .commit(&delta(vec![Update::delete(NodeId(0), NodeId(1))]))
+            .unwrap();
+
+        let bg = engine.join_background(build).unwrap();
+        // Caught up exactly: same answer as the eager view that saw every
+        // commit live.
+        assert_eq!(
+            engine.view(&bg).unwrap().count,
+            engine.view(&eager).unwrap().count
+        );
+        assert!(engine.verify_all().is_ok());
+        // The splice is journaled with its own lifecycle kind at the
+        // current epoch.
+        let last = engine.events().last().unwrap();
+        assert_eq!(last.kind, LifecycleEventKind::RegisteredBackground);
+        assert_eq!(last.epoch, 3);
+        assert_eq!(&*last.label, "bg");
+        // The label is live now; the reservation is gone.
+        assert!(engine.find("bg").is_some());
+
+        // And the joined view is maintained incrementally from here on.
+        engine
+            .commit(&delta(vec![Update::insert(NodeId(3), NodeId(0))]))
+            .unwrap();
+        assert_eq!(engine.view(&bg).unwrap().count, 3);
+    }
+
+    #[test]
+    fn abandoned_background_build_frees_its_label() {
+        let (_, backend) = mem_backend();
+        let mut engine = Engine::new(graph_from(&[0, 0], &[]))
+            .with_log(backend)
+            .unwrap();
+        let build = engine
+            .register_background("bg", |g: &DynamicGraph| EdgeCount::new("bg", g))
+            .unwrap();
+        drop(build); // abandon
+                     // The reservation token is dead: the label registers again.
+        assert!(engine
+            .register_lazy("bg", |g: &DynamicGraph| EdgeCount::new("bg", g))
+            .is_ok());
+    }
+
+    #[test]
+    fn background_build_with_panicking_init_reports_and_registers_nothing() {
+        quiet_panics(|| {
+            let (_, backend) = mem_backend();
+            let mut engine = Engine::new(graph_from(&[0, 0], &[]))
+                .with_log(backend)
+                .unwrap();
+            let build = engine
+                .register_background("doomed", |_g: &DynamicGraph| -> EdgeCount {
+                    panic!("background builder exploded")
+                })
+                .unwrap();
+            let err = engine.join_background(build).unwrap_err();
+            match err {
+                EngineError::InitPanicked { label, cause } => {
+                    assert_eq!(&*label, "doomed");
+                    assert!(cause.contains("background builder exploded"), "{cause}");
+                }
+                other => panic!("expected InitPanicked, got {other:?}"),
+            }
+            assert_eq!(engine.view_count(), 0);
+            // Failure freed the label.
+            assert!(engine
+                .register_lazy("doomed", |g: &DynamicGraph| EdgeCount::new("doomed", g))
+                .is_ok());
+        });
+    }
+
+    /// A backend that can be switched into a failing mode — the fault
+    /// injector behind the commit-atomicity test.
+    #[derive(Debug, Clone, Default)]
+    struct FlakyBackend {
+        inner: MemBackend,
+        failing: Arc<std::sync::atomic::AtomicBool>,
+    }
+
+    impl FlakyBackend {
+        fn fail(&self, on: bool) {
+            self.failing.store(on, std::sync::atomic::Ordering::SeqCst);
+        }
+    }
+
+    impl igc_log::LogBackend for FlakyBackend {
+        fn segments(&self) -> Result<u32, igc_log::LogError> {
+            self.inner.segments()
+        }
+        fn read(&self, segment: u32) -> Result<Vec<u8>, igc_log::LogError> {
+            self.inner.read(segment)
+        }
+        fn append(&self, segment: u32, bytes: &[u8]) -> Result<(), igc_log::LogError> {
+            if self.failing.load(std::sync::atomic::Ordering::SeqCst) {
+                return Err(igc_log::LogError::Io {
+                    operation: "append",
+                    segment,
+                    cause: "injected disk failure".to_owned(),
+                });
+            }
+            self.inner.append(segment, bytes)
+        }
+        fn len(&self, segment: u32) -> Result<u64, igc_log::LogError> {
+            self.inner.len(segment)
+        }
+    }
+
+    #[test]
+    fn failed_log_append_rejects_the_commit_atomically() {
+        let flaky = FlakyBackend::default();
+        let backend: Arc<dyn igc_log::LogBackend> = Arc::new(flaky.clone());
+        let mut engine = Engine::new(graph_from(&[0, 0, 0], &[]))
+            .with_log(backend)
+            .unwrap();
+        let h = engine
+            .register(EdgeCount::new("a", engine.graph()))
+            .unwrap();
+        engine
+            .commit(&delta(vec![Update::insert(NodeId(0), NodeId(1))]))
+            .unwrap();
+
+        // Disk dies: the write-ahead append fails, so the commit is
+        // rejected before the graph or any view saw it.
+        flaky.fail(true);
+        let err = engine
+            .commit(&delta(vec![Update::insert(NodeId(1), NodeId(2))]))
+            .unwrap_err();
+        assert!(matches!(err, EngineError::LogCorrupt { .. }), "{err:?}");
+        assert_eq!(engine.epoch(), 1, "graph untouched");
+        assert_eq!(engine.commits(), 1, "commit counters untouched");
+        assert_eq!(engine.view(&h).unwrap().count, 1, "views untouched");
+        assert!(engine.verify_all().is_ok());
+
+        // Disk back: committing resumes on the same epoch chain, and the
+        // log replays to exactly the engine's state.
+        flaky.fail(false);
+        engine
+            .commit(&delta(vec![Update::insert(NodeId(1), NodeId(2))]))
+            .unwrap();
+        assert_eq!(engine.epoch(), 2);
+        let replayed = engine.log().unwrap().replayer().latest().unwrap();
+        assert_eq!(replayed.graph.epoch(), 2);
+        assert_eq!(replayed.graph.sorted_edges(), engine.graph().sorted_edges());
     }
 }

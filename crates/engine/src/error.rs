@@ -82,13 +82,56 @@ pub enum EngineError {
         limit: u64,
     },
     /// A lazy registration's [`ViewInit`](igc_core::ViewInit) builder
-    /// panicked; nothing was registered.
+    /// panicked (or a background build's worker died); nothing was
+    /// registered.
     InitPanicked {
         /// The label the view would have been registered under.
         label: Arc<str>,
         /// The rendered panic payload.
         cause: String,
     },
+    /// The attached commit log failed — an I/O error, checksum mismatch
+    /// or structural violation (the rendered
+    /// [`LogError`](igc_log::LogError)). On the commit path this rejects
+    /// the commit *atomically*: the append happens before the graph or
+    /// any view is touched, so nothing moved.
+    LogCorrupt {
+        /// The rendered underlying log error.
+        cause: String,
+    },
+    /// Replay or catch-up hit an epoch discontinuity: the log (or the
+    /// state being caught up) skipped epochs, so the chain of commits
+    /// cannot be reconstructed faithfully.
+    EpochGap {
+        /// The epoch the chain required next.
+        expected: u64,
+        /// The epoch actually found.
+        found: u64,
+    },
+    /// A durability operation (checkpointing, background registration,
+    /// …) was invoked on an engine without an attached commit log — see
+    /// [`Engine::with_log`](crate::Engine::with_log) /
+    /// [`Engine::recover`](crate::Engine::recover).
+    NoLog {
+        /// The rejected operation.
+        operation: &'static str,
+    },
+}
+
+impl From<igc_log::LogError> for EngineError {
+    /// Epoch discontinuities keep their precise shape; every other log
+    /// failure (I/O, corruption, empty/non-empty backend misuse) is
+    /// surfaced as [`EngineError::LogCorrupt`] with the rendered cause.
+    fn from(e: igc_log::LogError) -> Self {
+        match e {
+            igc_log::LogError::EpochGap { expected, found } => {
+                EngineError::EpochGap { expected, found }
+            }
+            other => EngineError::LogCorrupt {
+                cause: other.to_string(),
+            },
+        }
+    }
 }
 
 impl fmt::Display for EngineError {
@@ -136,8 +179,174 @@ impl fmt::Display for EngineError {
                 f,
                 "lazy registration of {label:?} failed: view builder panicked: {cause}"
             ),
+            EngineError::LogCorrupt { cause } => {
+                write!(f, "commit log failed: {cause}")
+            }
+            EngineError::EpochGap { expected, found } => write!(
+                f,
+                "commit log epoch gap: expected epoch {expected}, found {found}"
+            ),
+            EngineError::NoLog { operation } => write!(
+                f,
+                "{operation} requires a commit log: attach one with Engine::with_log \
+                 or recover with Engine::recover"
+            ),
         }
     }
 }
 
 impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igc_graph::NodeId;
+
+    /// Satellite of the durability PR: one *table-driven* Display
+    /// round-trip covering **every** variant (PR 3 added per-variant
+    /// construction tests; this one pins the messages). Each row is a
+    /// constructed error plus the fragments its rendered message must
+    /// contain — always including the offending label/epoch/limit, so a
+    /// production log line is actionable without a debugger.
+    ///
+    /// Keep this table in sync with the enum: the `match` below has no
+    /// wildcard arm, so adding a variant without a row fails to compile.
+    #[test]
+    fn every_variant_displays_its_offending_details() {
+        let label: Arc<str> = Arc::from("rpq:tenant-7");
+        let table: Vec<(EngineError, Vec<&str>)> = vec![
+            (
+                EngineError::DuplicateLabel {
+                    label: label.clone(),
+                },
+                vec!["rpq:tenant-7", "already registered"],
+            ),
+            (
+                EngineError::StaleHandle {
+                    index: 3,
+                    generation: 9,
+                },
+                vec!["slot 3", "generation 9", "deregistered"],
+            ),
+            (
+                EngineError::WrongViewType {
+                    label: label.clone(),
+                    expected: "igc_rpq::inc::IncRpq",
+                },
+                vec!["rpq:tenant-7", "igc_rpq::inc::IncRpq"],
+            ),
+            (
+                EngineError::ViewQuarantined {
+                    label: label.clone(),
+                    epoch: 41,
+                    cause: "index out of bounds".into(),
+                },
+                vec!["rpq:tenant-7", "epoch 41", "index out of bounds"],
+            ),
+            (
+                EngineError::ViewsDiverged {
+                    failures: vec![
+                        Divergence {
+                            label: label.clone(),
+                            diagnosis: "17 extra pairs".into(),
+                        },
+                        Divergence {
+                            label: Arc::from("scc"),
+                            diagnosis: "component split missed".into(),
+                        },
+                    ],
+                },
+                vec![
+                    "2 view(s) diverged",
+                    "rpq:tenant-7: 17 extra pairs",
+                    "scc: component split missed",
+                ],
+            ),
+            (
+                EngineError::NodeOutOfBounds {
+                    node: NodeId(1_048_999),
+                    limit: 1_048_578,
+                },
+                vec!["n1048999", "1048578", "set_max_fresh_nodes"],
+            ),
+            (
+                EngineError::InitPanicked {
+                    label: label.clone(),
+                    cause: "builder exploded".into(),
+                },
+                vec!["rpq:tenant-7", "builder exploded"],
+            ),
+            (
+                EngineError::LogCorrupt {
+                    cause: "log corrupt at segment 2 offset 88: checksum mismatch".into(),
+                },
+                vec!["commit log failed", "segment 2 offset 88", "checksum"],
+            ),
+            (
+                EngineError::EpochGap {
+                    expected: 12,
+                    found: 15,
+                },
+                vec!["expected epoch 12", "found 15"],
+            ),
+            (
+                EngineError::NoLog {
+                    operation: "register_background",
+                },
+                vec!["register_background", "Engine::with_log", "Engine::recover"],
+            ),
+        ];
+        for (err, fragments) in &table {
+            // Exhaustiveness guard: every variant must appear in the table
+            // exactly as constructed above. A new variant added to the
+            // enum makes this match non-exhaustive → compile error here.
+            match err {
+                EngineError::DuplicateLabel { .. }
+                | EngineError::StaleHandle { .. }
+                | EngineError::WrongViewType { .. }
+                | EngineError::ViewQuarantined { .. }
+                | EngineError::ViewsDiverged { .. }
+                | EngineError::NodeOutOfBounds { .. }
+                | EngineError::InitPanicked { .. }
+                | EngineError::LogCorrupt { .. }
+                | EngineError::EpochGap { .. }
+                | EngineError::NoLog { .. } => {}
+            }
+            let rendered = err.to_string();
+            for fragment in fragments {
+                assert!(
+                    rendered.contains(fragment),
+                    "{err:?} renders as {rendered:?}, missing {fragment:?}"
+                );
+            }
+        }
+        // Cheap coverage check in the other direction: 10 variants, 10 rows.
+        assert_eq!(table.len(), 10);
+    }
+
+    #[test]
+    fn log_errors_convert_with_precision() {
+        assert_eq!(
+            EngineError::from(igc_log::LogError::EpochGap {
+                expected: 4,
+                found: 9
+            }),
+            EngineError::EpochGap {
+                expected: 4,
+                found: 9
+            }
+        );
+        let converted = EngineError::from(igc_log::LogError::Corrupt {
+            segment: 1,
+            offset: 64,
+            reason: "bad magic".into(),
+        });
+        match &converted {
+            EngineError::LogCorrupt { cause } => {
+                assert!(cause.contains("segment 1"), "{cause}");
+                assert!(cause.contains("bad magic"), "{cause}");
+            }
+            other => panic!("expected LogCorrupt, got {other:?}"),
+        }
+    }
+}

@@ -38,7 +38,21 @@
 //!
 //! Every entry point taking user input returns `Result<_, `[`EngineError`]`>`
 //! — duplicate labels, stale handles, wrong-type downcasts, out-of-range
-//! node ids and quarantined-view access are all errors, never panics.
+//! node ids, quarantined-view access and commit-log failures are all
+//! errors, never panics.
+//!
+//! **Durability** (the `igc_log` integration): [`Engine::with_log`]
+//! attaches a commit log — every successful commit then journals its
+//! normalized delta *write-ahead* (appended, epoch-chained, before the
+//! graph or any view is touched), with periodic graph checkpoints
+//! ([`Engine::set_checkpoint_every`]) bounding the replay tail.
+//! [`Engine::recover`] rebuilds a crashed engine's graph bit-for-bit from
+//! `latest checkpoint + tail replay`, ready for views to re-join via
+//! [`Engine::register_lazy`]. And [`Engine::register_background`] builds
+//! a joining view's initial state *off the commit path* — a worker
+//! replays the journal privately while commits keep flowing — then
+//! [`Engine::join_background`] catches it up on the log tail and splices
+//! it in, answer-identical to an eager registration.
 //!
 //! ```
 //! use igc_engine::Engine;
@@ -58,12 +72,14 @@
 //! assert_eq!(engine.epoch(), 1);
 //! ```
 
+mod background;
 mod engine;
 mod error;
 mod lifecycle;
 mod receipt;
 
-pub use engine::{CommitMode, Engine, DEFAULT_MAX_FRESH_NODES};
+pub use background::BackgroundBuild;
+pub use engine::{CommitMode, Engine, DEFAULT_CHECKPOINT_EVERY, DEFAULT_MAX_FRESH_NODES};
 pub use error::{Divergence, EngineError};
 pub use lifecycle::{LifecycleEvent, LifecycleEventKind, ViewHandle, ViewId, ViewState};
 pub use receipt::{CommitReceipt, ViewCommitStats, ViewOutcome, ViewTotals};

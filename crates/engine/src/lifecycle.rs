@@ -141,6 +141,11 @@ pub enum LifecycleEventKind {
     /// A lazy registration (`register_lazy`): the view's initial state was
     /// built from the engine's graph at this epoch.
     RegisteredLazy,
+    /// A background registration completed
+    /// ([`join_background`](crate::Engine::join_background)): the view's
+    /// initial state was built off the commit path from a checkpointed
+    /// graph, caught up by log-tail replay, and spliced in at this epoch.
+    RegisteredBackground,
     /// A deregistration; the slot became reusable and the view's
     /// cumulative totals moved to [`Engine::retired`](crate::Engine::retired).
     Deregistered,
@@ -150,11 +155,13 @@ pub enum LifecycleEventKind {
 
 impl LifecycleEventKind {
     /// A stable lowercase tag (`"registered"`, `"registered_lazy"`,
-    /// `"deregistered"`, `"quarantined"`) for logs and JSON.
+    /// `"registered_background"`, `"deregistered"`, `"quarantined"`) for
+    /// logs and JSON.
     pub fn tag(self) -> &'static str {
         match self {
             LifecycleEventKind::Registered => "registered",
             LifecycleEventKind::RegisteredLazy => "registered_lazy",
+            LifecycleEventKind::RegisteredBackground => "registered_background",
             LifecycleEventKind::Deregistered => "deregistered",
             LifecycleEventKind::Quarantined => "quarantined",
         }

@@ -180,6 +180,16 @@ impl DynamicGraph {
         self.epoch
     }
 
+    /// Restore the epoch counter on a graph reconstructed from an external
+    /// snapshot (a commit-log checkpoint): the construction primitives that
+    /// rebuilt it do not bump the epoch, so the restorer must re-stamp the
+    /// version the snapshot captured. Replaying logged batches with
+    /// [`DynamicGraph::apply_batch`] then advances it one transaction at a
+    /// time, exactly as the original graph did.
+    pub fn restore_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
     /// Apply a single update as one transaction (bumps the epoch), creating
     /// referenced nodes on demand for insertions (the paper allows
     /// `insert e` "possibly with new nodes"; fresh nodes take labels from

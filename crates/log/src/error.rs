@@ -1,0 +1,105 @@
+//! The log's error surface. Everything the codec, the backends, the
+//! append path and replay can reject is a [`LogError`]; nothing in this
+//! crate panics on bad bytes or bad epochs.
+
+use std::fmt;
+
+/// Everything that can go wrong reading, writing or replaying a commit log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogError {
+    /// A backend I/O operation failed (the rendered `std::io::Error`).
+    Io {
+        /// What the log was doing (`"append"`, `"read segment"`, …).
+        operation: &'static str,
+        /// Which segment was involved.
+        segment: u32,
+        /// The rendered underlying error.
+        cause: String,
+    },
+    /// A record failed structural validation: bad magic, impossible
+    /// length, checksum mismatch, or a payload that does not decode.
+    /// Unlike a torn tail (which recovery tolerates — see
+    /// [`LogSummary::torn_tails`](crate::LogSummary::torn_tails)),
+    /// corruption in the middle of the log is unrecoverable by this crate.
+    Corrupt {
+        /// Segment the bad bytes live in.
+        segment: u32,
+        /// Byte offset of the offending record within the segment.
+        offset: u64,
+        /// What failed to validate.
+        reason: String,
+    },
+    /// Delta-record epochs must advance by exactly one; a gap means
+    /// records were lost (or an append was attempted out of order).
+    EpochGap {
+        /// The epoch the chain required next.
+        expected: u64,
+        /// The epoch actually found (or submitted).
+        found: u64,
+    },
+    /// [`CommitLog::create`](crate::CommitLog::create) requires an empty
+    /// backend — refusing to append onto unrelated history.
+    NotEmpty {
+        /// Segments already present in the backend.
+        segments: u32,
+    },
+    /// [`CommitLog::open`](crate::CommitLog::open) (and recovery) require a
+    /// non-empty log: there is nothing to replay.
+    Empty,
+    /// No checkpoint at or below the requested epoch exists, so replay has
+    /// no base to start from. Every well-formed log starts with one
+    /// (written when the log is attached), so this also flags a delta
+    /// appended before any checkpoint.
+    NoCheckpoint {
+        /// The epoch replay was asked to reach.
+        epoch: u64,
+    },
+    /// The log does not extend to the requested epoch.
+    EpochUnavailable {
+        /// The epoch replay was asked to reach.
+        requested: u64,
+        /// The last epoch the log actually covers.
+        latest: u64,
+    },
+}
+
+impl fmt::Display for LogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogError::Io {
+                operation,
+                segment,
+                cause,
+            } => write!(
+                f,
+                "log I/O failed ({operation}, segment {segment}): {cause}"
+            ),
+            LogError::Corrupt {
+                segment,
+                offset,
+                reason,
+            } => write!(
+                f,
+                "log corrupt at segment {segment} offset {offset}: {reason}"
+            ),
+            LogError::EpochGap { expected, found } => {
+                write!(f, "log epoch gap: expected epoch {expected}, found {found}")
+            }
+            LogError::NotEmpty { segments } => write!(
+                f,
+                "backend already holds {segments} segment(s); a new log requires an empty backend"
+            ),
+            LogError::Empty => write!(f, "log is empty: nothing to open or replay"),
+            LogError::NoCheckpoint { epoch } => write!(
+                f,
+                "no checkpoint at or below epoch {epoch}: replay has no base"
+            ),
+            LogError::EpochUnavailable { requested, latest } => write!(
+                f,
+                "epoch {requested} not in the log (latest logged epoch is {latest})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LogError {}

@@ -1,0 +1,554 @@
+//! The append path: [`CommitLog`] frames records, rotates segments, and
+//! enforces the epoch chain (`checkpoint e₀, delta e₀+1, delta e₀+2, …`)
+//! so that anything it accepts is replayable by construction.
+
+use crate::backend::LogBackend;
+use crate::error::LogError;
+use crate::record::{
+    check_segment_header, read_frame, segment_header, RawFrame, RawFramed, Record,
+    SEGMENT_HEADER_BYTES,
+};
+use igc_graph::{DynamicGraph, UpdateBatch};
+use std::sync::Arc;
+
+/// Default segment-rotation threshold: a new segment starts once the tail
+/// segment reaches this size.
+pub const DEFAULT_SEGMENT_BYTES: u64 = 8 << 20;
+
+/// Everything one full scan of a backend learns. Records come back as
+/// CRC-verified but **undecoded** [`RawFrame`]s — callers decode only
+/// what they need (the chosen replay base, the tail deltas past a
+/// consumer's epoch), so a scan over a long history with many bulky
+/// checkpoint snapshots stays cheap. Shared by [`CommitLog::open`] and
+/// the [`Replayer`](crate::Replayer).
+#[derive(Debug)]
+pub(crate) struct Scan {
+    /// Every complete frame, in log order.
+    pub records: Vec<RawFrame>,
+    /// Torn (incomplete) tails skipped — at most one per segment that was
+    /// once the tail when a crash (or a failed append) hit mid-record.
+    /// Never an error: a torn record was never acknowledged, so no
+    /// committed data lives in it.
+    pub torn_tails: u32,
+    /// Total bytes scanned.
+    pub bytes: u64,
+}
+
+/// Scan and validate every segment of a backend.
+///
+/// Structural failures (bad header, checksum mismatch) are
+/// [`LogError::Corrupt`]; chain violations (a delta whose epoch is not
+/// predecessor + 1, a checkpoint stamped off-chain, a delta before any
+/// checkpoint) are [`LogError::EpochGap`] / [`LogError::Corrupt`].
+/// Incomplete bytes at the *end* of a segment are a torn tail and are
+/// skipped — the shape a crash mid-append leaves behind. Record
+/// *payloads* are not decoded here; a CRC-valid but structurally bad
+/// payload surfaces as `Corrupt` at its deferred decode in replay.
+pub(crate) fn scan(backend: &dyn LogBackend) -> Result<Scan, LogError> {
+    let segments = backend.segments()?;
+    let mut records: Vec<RawFrame> = Vec::new();
+    let mut torn_tails = 0u32;
+    let mut bytes = 0u64;
+    let mut last_epoch: Option<u64> = None;
+    for seg in 0..segments {
+        let buf = backend.read(seg)?;
+        bytes += buf.len() as u64;
+        if buf.len() < SEGMENT_HEADER_BYTES {
+            // A crash between creating the segment and completing its
+            // header write: nothing committed lives here.
+            torn_tails += 1;
+            continue;
+        }
+        let mut pos = check_segment_header(&buf).map_err(|reason| LogError::Corrupt {
+            segment: seg,
+            offset: 0,
+            reason,
+        })?;
+        while pos < buf.len() {
+            match read_frame(&buf, pos, seg).map_err(|reason| LogError::Corrupt {
+                segment: seg,
+                offset: pos as u64,
+                reason,
+            })? {
+                RawFramed::Torn => {
+                    torn_tails += 1;
+                    break; // skip the rest of this segment
+                }
+                RawFramed::Complete(frame, end) => {
+                    match (frame.is_checkpoint, last_epoch) {
+                        (false, None) => {
+                            return Err(LogError::Corrupt {
+                                segment: seg,
+                                offset: pos as u64,
+                                reason: format!(
+                                    "delta record (epoch {}) before any checkpoint",
+                                    frame.epoch
+                                ),
+                            });
+                        }
+                        (false, Some(last)) => {
+                            if frame.epoch != last + 1 {
+                                return Err(LogError::EpochGap {
+                                    expected: last + 1,
+                                    found: frame.epoch,
+                                });
+                            }
+                            last_epoch = Some(frame.epoch);
+                        }
+                        (true, Some(last)) if frame.epoch != last => {
+                            return Err(LogError::Corrupt {
+                                segment: seg,
+                                offset: pos as u64,
+                                reason: format!(
+                                    "checkpoint stamped epoch {} off the chain \
+                                     (current epoch {last})",
+                                    frame.epoch
+                                ),
+                            });
+                        }
+                        (true, _) => {
+                            last_epoch = Some(frame.epoch);
+                        }
+                    }
+                    records.push(frame);
+                    pos = end;
+                }
+            }
+        }
+    }
+    Ok(Scan {
+        records,
+        torn_tails,
+        bytes,
+    })
+}
+
+/// Append-side view of a journal: validates the epoch chain, frames
+/// records, rotates segments, and tracks what a later replay will find.
+///
+/// The write protocol is strict by construction:
+/// * the first record must be a checkpoint (the replay base) —
+///   [`CommitLog::append_delta`] before one is [`LogError::NoCheckpoint`];
+/// * every delta must carry exactly `last epoch + 1`
+///   ([`LogError::EpochGap`] otherwise);
+/// * every checkpoint must be stamped with the current chain epoch.
+///
+/// Reads happen through a [`Replayer`](crate::Replayer) sharing the same
+/// backend (see [`CommitLog::replayer`]) — safe concurrently with appends,
+/// because each append is one atomic backend call.
+#[derive(Debug)]
+pub struct CommitLog {
+    backend: Arc<dyn LogBackend>,
+    segment_bytes: u64,
+    /// Set when the scanned tail segment ended in torn bytes: the next
+    /// write then starts a fresh segment instead of appending after
+    /// garbage (backends have no truncate).
+    force_fresh_segment: bool,
+    last_epoch: Option<u64>,
+    last_checkpoint: Option<u64>,
+    deltas: u64,
+    checkpoints: u64,
+}
+
+impl CommitLog {
+    /// Start a brand-new log on an **empty** backend
+    /// ([`LogError::NotEmpty`] otherwise — a journal never silently
+    /// appends onto unrelated history).
+    pub fn create(backend: Arc<dyn LogBackend>) -> Result<Self, LogError> {
+        let segments = backend.segments()?;
+        if segments != 0 {
+            return Err(LogError::NotEmpty { segments });
+        }
+        Ok(CommitLog {
+            backend,
+            segment_bytes: DEFAULT_SEGMENT_BYTES,
+            force_fresh_segment: false,
+            last_epoch: None,
+            last_checkpoint: None,
+            deltas: 0,
+            checkpoints: 0,
+        })
+    }
+
+    /// Open an existing log: scan every segment, validate checksums and
+    /// the epoch chain, and position the append cursor after the last
+    /// complete record. A torn tail (crash mid-append) is tolerated — the
+    /// next write starts a fresh segment past it. [`LogError::Empty`]
+    /// when there is nothing to open.
+    pub fn open(backend: Arc<dyn LogBackend>) -> Result<Self, LogError> {
+        let scanned = scan(&*backend)?;
+        if scanned.records.is_empty() {
+            return Err(LogError::Empty);
+        }
+        let mut last_epoch = None;
+        let mut last_checkpoint = None;
+        let mut deltas = 0;
+        let mut checkpoints = 0;
+        for r in &scanned.records {
+            if r.is_checkpoint {
+                last_checkpoint = Some(r.epoch);
+                checkpoints += 1;
+            } else {
+                deltas += 1;
+            }
+            last_epoch = Some(r.epoch);
+        }
+        Ok(CommitLog {
+            backend,
+            segment_bytes: DEFAULT_SEGMENT_BYTES,
+            force_fresh_segment: scanned.torn_tails > 0,
+            last_epoch,
+            last_checkpoint,
+            deltas,
+            checkpoints,
+        })
+    }
+
+    /// Set the segment-rotation threshold (default
+    /// [`DEFAULT_SEGMENT_BYTES`]); clamped to at least 1 KiB.
+    pub fn set_segment_bytes(&mut self, bytes: u64) {
+        self.segment_bytes = bytes.max(1024);
+    }
+
+    /// Append a checkpoint of `g`. The first checkpoint establishes the
+    /// replay base; later ones must be stamped with the current chain
+    /// epoch ([`LogError::EpochGap`] otherwise).
+    pub fn append_checkpoint(&mut self, g: &DynamicGraph) -> Result<(), LogError> {
+        if let Some(last) = self.last_epoch {
+            if g.epoch() != last {
+                return Err(LogError::EpochGap {
+                    expected: last,
+                    found: g.epoch(),
+                });
+            }
+        }
+        self.write(&Record::checkpoint_of(g))?;
+        self.last_epoch = Some(g.epoch());
+        self.last_checkpoint = Some(g.epoch());
+        self.checkpoints += 1;
+        Ok(())
+    }
+
+    /// Append one committed normalized batch, stamped with its
+    /// *post*-commit epoch. Must be exactly `last epoch + 1`
+    /// ([`LogError::EpochGap`]), and a checkpoint must already exist
+    /// ([`LogError::NoCheckpoint`]).
+    pub fn append_delta(&mut self, epoch: u64, batch: &UpdateBatch) -> Result<(), LogError> {
+        let Some(last) = self.last_epoch else {
+            return Err(LogError::NoCheckpoint { epoch });
+        };
+        if epoch != last + 1 {
+            return Err(LogError::EpochGap {
+                expected: last + 1,
+                found: epoch,
+            });
+        }
+        self.write(&Record::Delta {
+            epoch,
+            batch: batch.clone(),
+        })?;
+        self.last_epoch = Some(epoch);
+        self.deltas += 1;
+        Ok(())
+    }
+
+    fn write(&mut self, record: &Record) -> Result<(), LogError> {
+        let framed = record.encode_framed();
+        let segments = self.backend.segments()?;
+        let fresh = self.force_fresh_segment
+            || segments == 0
+            || self.backend.len(segments - 1)? >= self.segment_bytes;
+        let result = if fresh {
+            // Header and record go down in one atomic append, so a
+            // concurrent reader (or a crash) never sees a headered-but-
+            // empty segment with committed data pending.
+            let mut bytes = segment_header().to_vec();
+            bytes.extend_from_slice(&framed);
+            self.backend.append(segments, &bytes)
+        } else {
+            self.backend.append(segments - 1, &framed)
+        };
+        match result {
+            Ok(()) => {
+                self.force_fresh_segment = false;
+                Ok(())
+            }
+            Err(e) => {
+                // The failed append may have left *partial* bytes in the
+                // target segment (write_all can die mid-way). Appending
+                // another record after them would bury committed data
+                // behind garbage mid-segment — unrecoverable corruption.
+                // Rotating turns the partial bytes into an ordinary torn
+                // tail every scan skips.
+                self.force_fresh_segment = true;
+                Err(e)
+            }
+        }
+    }
+
+    /// Epoch of the last appended record, if any.
+    pub fn last_epoch(&self) -> Option<u64> {
+        self.last_epoch
+    }
+
+    /// Epoch of the most recent checkpoint, if any.
+    pub fn last_checkpoint(&self) -> Option<u64> {
+        self.last_checkpoint
+    }
+
+    /// Delta records in the log (appended plus pre-existing at open).
+    pub fn deltas(&self) -> u64 {
+        self.deltas
+    }
+
+    /// Checkpoint records in the log (appended plus pre-existing at open).
+    pub fn checkpoints(&self) -> u64 {
+        self.checkpoints
+    }
+
+    /// Total bytes currently stored across all segments.
+    pub fn bytes(&self) -> Result<u64, LogError> {
+        let mut total = 0;
+        for seg in 0..self.backend.segments()? {
+            total += self.backend.len(seg)?;
+        }
+        Ok(total)
+    }
+
+    /// A [`Replayer`](crate::Replayer) over the same backend — safe to
+    /// hand to another thread while this log keeps appending.
+    pub fn replayer(&self) -> crate::Replayer {
+        crate::Replayer::new(self.backend.clone())
+    }
+
+    /// The shared backend handle.
+    pub fn backend(&self) -> Arc<dyn LogBackend> {
+        self.backend.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemBackend;
+    use igc_graph::graph::graph_from;
+    use igc_graph::{NodeId, Update};
+
+    fn delta(updates: Vec<Update>) -> UpdateBatch {
+        UpdateBatch::from_updates(updates)
+    }
+
+    fn backend() -> (MemBackend, Arc<dyn LogBackend>) {
+        let b = MemBackend::new();
+        let arc: Arc<dyn LogBackend> = Arc::new(b.clone());
+        (b, arc)
+    }
+
+    #[test]
+    fn create_requires_empty_backend() {
+        let (mem, arc) = backend();
+        mem.append(0, b"junk").unwrap();
+        assert_eq!(
+            CommitLog::create(arc).unwrap_err(),
+            LogError::NotEmpty { segments: 1 }
+        );
+    }
+
+    #[test]
+    fn append_chain_is_enforced() {
+        let (_, arc) = backend();
+        let mut log = CommitLog::create(arc).unwrap();
+        let b = delta(vec![Update::insert(NodeId(0), NodeId(1))]);
+        // No checkpoint yet: deltas are refused.
+        assert_eq!(
+            log.append_delta(1, &b).unwrap_err(),
+            LogError::NoCheckpoint { epoch: 1 }
+        );
+        let g = graph_from(&[0, 0], &[]);
+        log.append_checkpoint(&g).unwrap();
+        assert_eq!(log.last_epoch(), Some(0));
+        // Epoch must advance by exactly one.
+        assert_eq!(
+            log.append_delta(5, &b).unwrap_err(),
+            LogError::EpochGap {
+                expected: 1,
+                found: 5
+            }
+        );
+        log.append_delta(1, &b).unwrap();
+        log.append_delta(2, &b).unwrap();
+        assert_eq!(log.last_epoch(), Some(2));
+        assert_eq!(log.deltas(), 2);
+        // A checkpoint must be stamped with the current chain epoch.
+        let stale = graph_from(&[0, 0], &[]);
+        assert_eq!(
+            log.append_checkpoint(&stale).unwrap_err(),
+            LogError::EpochGap {
+                expected: 2,
+                found: 0
+            }
+        );
+    }
+
+    #[test]
+    fn open_roundtrips_counters() {
+        let (_, arc) = backend();
+        let mut log = CommitLog::create(arc.clone()).unwrap();
+        let mut g = graph_from(&[0, 0, 0], &[]);
+        log.append_checkpoint(&g).unwrap();
+        for i in 0..3u32 {
+            let b = delta(vec![Update::insert(NodeId(i % 3), NodeId((i + 1) % 3))]);
+            g.apply_batch(&b);
+            log.append_delta(g.epoch(), &b).unwrap();
+        }
+        log.append_checkpoint(&g).unwrap();
+        drop(log);
+
+        let reopened = CommitLog::open(arc).unwrap();
+        assert_eq!(reopened.last_epoch(), Some(3));
+        assert_eq!(reopened.last_checkpoint(), Some(3));
+        assert_eq!(reopened.deltas(), 3);
+        assert_eq!(reopened.checkpoints(), 2);
+    }
+
+    #[test]
+    fn open_empty_is_an_error() {
+        let (_, arc) = backend();
+        assert_eq!(CommitLog::open(arc).unwrap_err(), LogError::Empty);
+    }
+
+    #[test]
+    fn rotation_starts_fresh_segments() {
+        let (mem, arc) = backend();
+        let mut log = CommitLog::create(arc).unwrap();
+        log.set_segment_bytes(1024); // minimum
+        let mut g = graph_from(&[0, 0, 0, 0], &[]);
+        log.append_checkpoint(&g).unwrap();
+        // Enough records to push well past 1 KiB of framed bytes.
+        for i in 0..40u32 {
+            let (a, b) = (NodeId(i % 4), NodeId((i + 1) % 4));
+            let batch = if g.contains_edge(a, b) {
+                delta(vec![Update::delete(a, b)])
+            } else {
+                delta(vec![Update::insert(a, b)])
+            };
+            g.apply_batch(&batch);
+            log.append_delta(g.epoch(), &batch).unwrap();
+        }
+        assert!(
+            mem.segments().unwrap() > 1,
+            "rotation must have produced more than one segment"
+        );
+        // The whole multi-segment chain scans clean.
+        let scanned = scan(&*log.backend()).unwrap();
+        assert_eq!(scanned.records.len(), 41);
+        assert_eq!(scanned.torn_tails, 0);
+    }
+
+    #[test]
+    fn torn_tail_is_skipped_and_writes_rotate_past_it() {
+        let (mem, arc) = backend();
+        let mut log = CommitLog::create(arc.clone()).unwrap();
+        let mut g = graph_from(&[0, 0], &[]);
+        log.append_checkpoint(&g).unwrap();
+        let b = delta(vec![Update::insert(NodeId(0), NodeId(1))]);
+        g.apply_batch(&b);
+        log.append_delta(1, &b).unwrap();
+        // Simulate a crash mid-append: chop the last record in half.
+        let full = mem.len(0).unwrap();
+        mem.truncate_segment(0, full - 5);
+
+        let mut reopened = CommitLog::open(arc.clone()).unwrap();
+        assert_eq!(reopened.last_epoch(), Some(0), "torn delta never committed");
+        // The re-appended delta lands in a fresh segment, past the garbage.
+        reopened.append_delta(1, &b).unwrap();
+        assert_eq!(mem.segments().unwrap(), 2);
+        let scanned = scan(&*arc).unwrap();
+        assert_eq!(scanned.records.len(), 2);
+        assert_eq!(scanned.torn_tails, 1);
+    }
+
+    /// Fault injector: when armed, the next append writes only *half* its
+    /// bytes into the inner store and then reports failure — the shape a
+    /// mid-write `ENOSPC` leaves on disk.
+    #[derive(Debug, Clone, Default)]
+    struct HalfWriteBackend {
+        inner: MemBackend,
+        armed: Arc<std::sync::atomic::AtomicBool>,
+    }
+
+    impl LogBackend for HalfWriteBackend {
+        fn segments(&self) -> Result<u32, LogError> {
+            self.inner.segments()
+        }
+        fn read(&self, segment: u32) -> Result<Vec<u8>, LogError> {
+            self.inner.read(segment)
+        }
+        fn append(&self, segment: u32, bytes: &[u8]) -> Result<(), LogError> {
+            if self.armed.swap(false, std::sync::atomic::Ordering::SeqCst) {
+                self.inner.append(segment, &bytes[..bytes.len() / 2])?;
+                return Err(LogError::Io {
+                    operation: "append",
+                    segment,
+                    cause: "injected mid-write failure".to_owned(),
+                });
+            }
+            self.inner.append(segment, bytes)
+        }
+        fn len(&self, segment: u32) -> Result<u64, LogError> {
+            self.inner.len(segment)
+        }
+    }
+
+    #[test]
+    fn partial_append_failure_rotates_instead_of_corrupting() {
+        let half = HalfWriteBackend::default();
+        let arc: Arc<dyn LogBackend> = Arc::new(half.clone());
+        let mut log = CommitLog::create(arc.clone()).unwrap();
+        let mut g = graph_from(&[0, 0, 0], &[]);
+        log.append_checkpoint(&g).unwrap();
+        let b1 = delta(vec![Update::insert(NodeId(0), NodeId(1))]);
+        g.apply_batch(&b1);
+        log.append_delta(1, &b1).unwrap();
+
+        // A mid-write failure leaves half a record in the tail segment.
+        half.armed.store(true, std::sync::atomic::Ordering::SeqCst);
+        let b2 = delta(vec![Update::insert(NodeId(1), NodeId(2))]);
+        assert!(log.append_delta(2, &b2).is_err());
+        assert_eq!(log.last_epoch(), Some(1), "failed append never committed");
+
+        // The retry must NOT land behind the garbage in the same segment
+        // — it rotates, turning the partial bytes into a skippable torn
+        // tail, and the whole chain stays scannable.
+        g.apply_batch(&b2);
+        log.append_delta(2, &b2).unwrap();
+        assert_eq!(half.inner.segments().unwrap(), 2, "retry rotated");
+        let scanned = scan(&*arc).unwrap();
+        assert_eq!(scanned.records.len(), 3);
+        assert_eq!(scanned.torn_tails, 1);
+        // Reopen + replay sees the full committed history.
+        let reopened = CommitLog::open(arc).unwrap();
+        assert_eq!(reopened.last_epoch(), Some(2));
+        let replayed = reopened.replayer().latest().unwrap();
+        assert_eq!(replayed.graph.epoch(), 2);
+        assert_eq!(replayed.graph.sorted_edges(), g.sorted_edges());
+    }
+
+    #[test]
+    fn corruption_is_detected_not_skipped() {
+        let (mem, arc) = backend();
+        let mut log = CommitLog::create(arc.clone()).unwrap();
+        let mut g = graph_from(&[0, 0], &[]);
+        log.append_checkpoint(&g).unwrap();
+        let b = delta(vec![Update::insert(NodeId(0), NodeId(1))]);
+        g.apply_batch(&b);
+        log.append_delta(1, &b).unwrap();
+        // Flip one payload bit in the middle of the segment.
+        let len = mem.len(0).unwrap();
+        mem.corrupt_byte(0, len / 2, 0x10);
+        match CommitLog::open(arc).unwrap_err() {
+            LogError::Corrupt { segment: 0, .. } => {}
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+}

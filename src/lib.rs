@@ -102,6 +102,7 @@ pub use igc_engine as engine;
 pub use igc_graph as graph;
 pub use igc_iso as iso;
 pub use igc_kws as kws;
+pub use igc_log as log;
 pub use igc_nfa as nfa;
 pub use igc_rpq as rpq;
 pub use igc_scc as scc;
@@ -120,12 +121,14 @@ pub mod prelude {
     pub use igc_core::work::WorkStats;
     pub use igc_core::IncrementalAlgorithm;
     pub use igc_engine::{
-        CommitMode, CommitReceipt, Engine, EngineError, LifecycleEvent, LifecycleEventKind,
-        ViewCommitStats, ViewHandle, ViewId, ViewOutcome, ViewState, ViewTotals,
+        BackgroundBuild, CommitMode, CommitReceipt, Engine, EngineError, LifecycleEvent,
+        LifecycleEventKind, ViewCommitStats, ViewHandle, ViewId, ViewOutcome, ViewState,
+        ViewTotals,
     };
     pub use igc_graph::{DynamicGraph, Edge, Label, LabelInterner, NodeId, Update, UpdateBatch};
     pub use igc_iso::{IncIso, Pattern};
     pub use igc_kws::{IncKws, KwsQuery};
+    pub use igc_log::{CommitLog, FileBackend, LogBackend, LogError, MemBackend, Replayer};
     pub use igc_nfa::{Nfa, Regex};
     pub use igc_rpq::IncRpq;
     pub use igc_scc::IncScc;

@@ -1,6 +1,6 @@
 //! Cross-view consistency properties for the engine.
 //!
-//! Two properties live here:
+//! Three properties live here:
 //!
 //! 1. all four query classes registered on one engine, driven by
 //!    *arbitrary* (denormalized) commits — duplicates, insert/delete pairs,
@@ -10,11 +10,27 @@
 //!    deregistrations and lazy registrations across the 4 view classes,
 //!    with every surviving view audited after every commit (lazy-joined
 //!    views must match from-scratch recomputation exactly, from their very
-//!    first commit).
+//!    first commit);
+//! 3. *crash replay*: a write-ahead-logged engine driven through random
+//!    commit/lifecycle interleavings, crashed (dropped) at a random epoch
+//!    and rebuilt with `Engine::recover` must serve answers bit-identical
+//!    to a twin engine that never crashed — for all four view classes,
+//!    both right after recovery and across the remaining commit stream.
 
 use incgraph::graph::graph::graph_from;
 use incgraph::prelude::*;
 use proptest::prelude::*;
+use std::sync::Arc;
+
+/// The four classes' canonical answers, as one comparison key for the
+/// crash-replay property: (rpq pairs, scc components, kws signature, iso
+/// matches).
+type ClassAnswers = (
+    Vec<(NodeId, NodeId)>,
+    Vec<Vec<NodeId>>,
+    Vec<(NodeId, Vec<u32>)>,
+    Vec<incgraph::iso::MatchKey>,
+);
 
 fn rpq_query() -> Regex {
     let mut it = LabelInterner::new();
@@ -218,6 +234,159 @@ proptest! {
             let mut got: Vec<&str> = engine.labels().collect();
             got.sort_unstable();
             prop_assert_eq!(got, roster, "registry roster matches shadow roster");
+        }
+    }
+
+    #[test]
+    fn crash_replay_recovers_all_four_classes_bit_identically(
+        (n, edges, rounds, crash_pick) in (8u32..16).prop_flat_map(|n| (
+            Just(n),
+            proptest::collection::vec(
+                (0..n, 0..n).prop_filter("no initial self-loops", |(a, b)| a != b),
+                10..30,
+            ),
+            // Each round: a lifecycle op (0 = none, 1 = deregister,
+            // 2 = lazy-register), its target pick, and a raw commit batch
+            // — the same op/commit alphabet as the lifecycle property.
+            proptest::collection::vec(
+                (
+                    0u32..3,
+                    0u32..64,
+                    proptest::collection::vec(
+                        (any::<bool>(), 0..n + 3, 0..n + 3),
+                        1..10,
+                    ),
+                ),
+                3..7,
+            ),
+            any::<u32>(),
+        ))
+    ) {
+        // The canonical answers of the four classes under their
+        // post-crash labels — the bit-identity comparison key.
+        fn class_answers(engine: &Engine) -> Result<ClassAnswers, EngineError> {
+            let rpq: ViewHandle<IncRpq> =
+                engine.typed(engine.find("post:rpq").expect("post:rpq live"))?;
+            let scc: ViewHandle<IncScc> =
+                engine.typed(engine.find("post:scc").expect("post:scc live"))?;
+            let kws: ViewHandle<IncKws> =
+                engine.typed(engine.find("post:kws").expect("post:kws live"))?;
+            let iso: ViewHandle<IncIso> =
+                engine.typed(engine.find("post:iso").expect("post:iso live"))?;
+            Ok((
+                engine.view(&rpq)?.sorted_answer(),
+                engine.view(&scc)?.components(),
+                engine.view(&kws)?.answer_signature(),
+                engine.view(&iso)?.sorted_matches(),
+            ))
+        }
+        /// Register the four classes under `post:` labels (used on both
+        /// engines right after the crash point, so both build from what
+        /// each believes the graph is — the recovered one from replay).
+        fn register_post(engine: &mut Engine) {
+            engine.register_lazy("post:rpq", IncRpq::init(rpq_query())).unwrap();
+            engine.register_lazy("post:scc", IncScc::init()).unwrap();
+            engine.register_lazy(
+                "post:kws",
+                IncKws::init(KwsQuery::new(vec![Label(1), Label(2)], 2)),
+            ).unwrap();
+            engine.register_lazy(
+                "post:iso",
+                IncIso::init(Pattern::from_parts(&[0, 1, 2], &[(0, 1), (1, 2)])),
+            ).unwrap();
+        }
+
+        let labels: Vec<u32> = (0..n).map(|i| i % 3).collect();
+        let g = graph_from(&labels, &edges);
+
+        // Twin trajectories over one script: `durable` journals through a
+        // shared in-memory backend and will crash; `twin` never crashes.
+        let backend = MemBackend::new();
+        let mut durable = Some(
+            Engine::new(g.clone())
+                .with_log(Arc::new(backend.clone()) as Arc<dyn LogBackend>)
+                .unwrap(),
+        );
+        durable.as_mut().unwrap().set_checkpoint_every(2);
+        let mut twin = Engine::new(g);
+        for e in [durable.as_mut().unwrap(), &mut twin] {
+            e.register(IncRpq::new(e.graph(), &rpq_query())).unwrap();
+            e.register(IncScc::new(e.graph())).unwrap();
+        }
+        let mut live: Vec<String> = vec!["rpq".into(), "scc".into()];
+        let mut fresh = 0u32;
+
+        let crash_round = (crash_pick as usize) % rounds.len();
+        let mut recovered: Option<Engine> = None;
+        for (round, (op, pick, raw)) in rounds.iter().enumerate() {
+            if recovered.is_none() {
+                // Pre-crash phase: identical lifecycle script on both.
+                match op {
+                    1 if !live.is_empty() => {
+                        let victim = live.remove((*pick as usize) % live.len());
+                        for e in [durable.as_mut().unwrap(), &mut twin] {
+                            let id = e.find(&victim).expect("live view findable");
+                            e.deregister(id).unwrap();
+                        }
+                    }
+                    2 => {
+                        fresh += 1;
+                        let label = format!("rpq:g{fresh}");
+                        for e in [durable.as_mut().unwrap(), &mut twin] {
+                            e.register_lazy(label.as_str(), IncRpq::init(rpq_query())).unwrap();
+                        }
+                        live.push(label);
+                    }
+                    _ => {}
+                }
+            }
+            let batch = batch_from_raw(raw);
+            let receipt_twin = twin.commit(&batch).unwrap();
+            match (&mut recovered, &mut durable) {
+                (Some(r), _) => {
+                    // Post-crash phase: the recovered engine serves the
+                    // same stream with answers bit-identical to the twin.
+                    let receipt = r.commit(&batch).unwrap();
+                    prop_assert_eq!(receipt.epoch, receipt_twin.epoch);
+                    prop_assert_eq!(class_answers(r).unwrap(), class_answers(&twin).unwrap());
+                }
+                (None, Some(d)) => {
+                    d.commit(&batch).unwrap();
+                }
+                (None, None) => unreachable!("durable lives until the crash"),
+            }
+
+            if recovered.is_none() && round == crash_round {
+                // CRASH: drop the logged engine mid-stream, then rebuild
+                // it purely from the journal.
+                let epoch = durable.as_ref().unwrap().epoch();
+                durable = None;
+                let mut r = Engine::recover(Arc::new(backend.clone()) as Arc<dyn LogBackend>)
+                    .unwrap();
+                prop_assert_eq!(r.epoch(), epoch, "recovered at the crash epoch");
+                prop_assert_eq!(
+                    r.graph().sorted_edges(),
+                    twin.graph().sorted_edges(),
+                    "replayed edge set matches the never-crashed graph"
+                );
+                prop_assert_eq!(r.graph().node_count(), twin.graph().node_count());
+                // Both engines get fresh `post:` views of all 4 classes —
+                // the recovered one builds them from the replayed graph.
+                register_post(&mut r);
+                register_post(&mut twin);
+                prop_assert_eq!(
+                    class_answers(&r).unwrap(),
+                    class_answers(&twin).unwrap(),
+                    "post-recovery answers match immediately"
+                );
+                recovered = Some(r);
+            }
+        }
+        // Final audits: every recovered view also agrees with from-scratch
+        // recomputation on its own graph.
+        let r = recovered.expect("crash point inside the script");
+        if let Err(failures) = r.verify_all() {
+            panic!("recovered views diverged from recomputation: {failures}");
         }
     }
 }
