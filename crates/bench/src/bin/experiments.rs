@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! experiments [--scale F] [--no-verify] [--threads N] [--json-out PATH]
-//!             [--log] [--crash-at N] [--log-dir PATH]
+//!             [--log] [--crash-at N] [--log-dir PATH] [--replicas N]
 //!             [fig8a fig8b … | all | unit | rho | undoable | locality | engine]
 //! ```
 //!
@@ -23,7 +23,11 @@
 //! JSON); `--crash-at N` drops the logged engine after `N` commits,
 //! recovers it from the journal, audits, and serves the rest of the run
 //! (implies `--log`); `--log-dir PATH` keeps the journal at `PATH`
-//! (wiped at start) instead of a throwaway temp directory.
+//! (wiped at start) instead of a throwaway temp directory; `--replicas N`
+//! (implies `--log`) adds a `replication` section to the JSON — read
+//! throughput at 1/2/4 log-shipped replicas, observed tailing lag with
+//! `N` followers under sustained commit load plus backlog drain time,
+//! and journal bytes staying bounded under periodic compaction.
 
 use igc_bench::experiments::{self, ExpConfig, ALL_FIGS};
 
@@ -56,11 +60,16 @@ fn main() {
                 cfg.log_dir = Some(args.next().expect("--log-dir needs a path"));
                 cfg.log = true;
             }
+            "--replicas" => {
+                let v = args.next().expect("--replicas needs a count");
+                cfg.replicas = v.parse().expect("replicas must be an integer");
+                cfg.log = true;
+            }
             "all" => figs.extend(ALL_FIGS.iter().map(|s| s.to_string())),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: experiments [--scale F] [--no-verify] [--threads N] [--json-out PATH] \
-                     [--log] [--crash-at N] [--log-dir PATH] \
+                     [--log] [--crash-at N] [--log-dir PATH] [--replicas N] \
                      [fig8a … fig8p | all | unit | rho | undoable | locality | engine]"
                 );
                 return;

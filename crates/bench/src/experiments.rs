@@ -48,6 +48,12 @@ pub struct ExpConfig {
     /// run and kept after it. Default: a throwaway temp directory,
     /// removed when the run ends.
     pub log_dir: Option<String>,
+    /// Tailing read replicas for the `engine` experiment (`--replicas N`,
+    /// implies `log`): `n ≥ 1` adds a `replication` section to the JSON —
+    /// read throughput at 1/2/4 replicas, observed lag under sustained
+    /// commit load plus backlog drain time, and a journal-boundedness
+    /// series of compactions across checkpoint cadences.
+    pub replicas: usize,
 }
 
 impl Default for ExpConfig {
@@ -59,6 +65,7 @@ impl Default for ExpConfig {
             log: false,
             crash_at: None,
             log_dir: None,
+            replicas: 0,
         }
     }
 }
@@ -800,6 +807,207 @@ fn engine_logged_compare(cfg: &ExpConfig, log_dir: &std::path::Path) -> String {
 /// enough that the 12-commit script crosses several checkpoints.
 pub const ENGINE_LOG_CHECKPOINT_EVERY: u64 = 4;
 
+/// Commits each phase of the replication micro-benchmark drives.
+pub const REPLICATION_COMMITS: usize = 12;
+
+/// Reads each replica thread issues in the read-throughput sweep.
+const REPLICATION_READS: usize = 200;
+
+/// The replication micro-benchmark behind `--replicas N`: a shared
+/// in-memory commit log ships a leader's epochs to tailing [`Replica`]s.
+/// Three phases, one JSON object:
+///
+/// * `read_throughput` — 1/2/4 replicas each serving [`REPLICATION_READS`]
+///   SCC reads from their own thread at their own frontier (no leader
+///   coordination), aggregate reads/s per replica count;
+/// * `lag` — `n` followers tail (catch-up poll loop) on worker threads
+///   while the leader drives [`REPLICATION_COMMITS`] commits; each poll
+///   samples `ReplicaStatus::lag` *before* catching up, recording the
+///   worst observed staleness, plus the wall-clock a deliberately stale
+///   follower needs to drain the full backlog at the end;
+/// * `compaction` — a caught-up pinned follower rides along while the
+///   leader compacts after every checkpoint cadence; journal bytes and
+///   retained segment counts per cadence show the log staying bounded.
+fn engine_replication(cfg: &ExpConfig) -> String {
+    use igc_engine::Replica;
+    use igc_log::MemBackend;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::{Duration, Instant};
+
+    let followers = cfg.replicas.max(1);
+    let build_leader = || {
+        let g = workloads::dataset(Dataset::DbpediaLike, cfg.scale);
+        let backend = MemBackend::new();
+        let mut leader = Engine::new(g)
+            .with_log(Arc::new(backend.clone()) as Arc<dyn LogBackend>)
+            .expect("attach replication log");
+        leader.set_checkpoint_every(ENGINE_LOG_CHECKPOINT_EVERY);
+        leader
+            .register(IncScc::new(leader.graph()))
+            .expect("register scc");
+        (backend, leader)
+    };
+    let commit_one = |leader: &mut Engine, salt: u64| {
+        let count = (((leader.graph().edge_count() as f64) * 0.02).round() as usize).max(1);
+        let delta = random_update_batch(leader.graph(), count, 0.5, GRAPH_SEED ^ (0x5e9 + salt));
+        leader.commit(&delta).expect("leader commit");
+    };
+    let scc_replica = |leader: &mut Engine| {
+        let mut r = leader.replica().expect("attach replica");
+        let h = r.register("scc", IncScc::init()).expect("replica scc");
+        r.catch_up().expect("initial catch-up");
+        (r, h)
+    };
+
+    // Phase 1: read throughput at 1/2/4 replicas, each on its own thread.
+    let mut throughput_rows = Vec::new();
+    for count in [1usize, 2, 4] {
+        let (_backend, mut leader) = build_leader();
+        for i in 0..4 {
+            commit_one(&mut leader, i);
+        }
+        let mut replicas: Vec<_> = (0..count).map(|_| scc_replica(&mut leader)).collect();
+        let start = Instant::now();
+        std::thread::scope(|s| {
+            for pair in replicas.iter_mut() {
+                s.spawn(move || {
+                    let (r, h) = pair;
+                    let mut acc = 0usize;
+                    for _ in 0..REPLICATION_READS {
+                        acc += r.view(h).expect("replica read").components().len();
+                    }
+                    std::hint::black_box(acc);
+                });
+            }
+        });
+        let elapsed = start.elapsed().as_secs_f64();
+        let reads = (count * REPLICATION_READS) as f64;
+        throughput_rows.push(format!(
+            "{{\"replicas\": {count}, \"reads\": {}, \"elapsed_s\": {elapsed:.9}, \
+             \"reads_per_s\": {:.1}}}",
+            reads as u64,
+            if elapsed > 0.0 { reads / elapsed } else { 0.0 }
+        ));
+    }
+
+    // Phase 2: observed lag while followers tail a sustained commit load,
+    // plus the drain time of a follower that slept through all of it.
+    let (_backend, mut leader) = build_leader();
+    let (mut stale, stale_scc) = scc_replica(&mut leader);
+    let mut tailing: Vec<_> = (0..followers).map(|_| scc_replica(&mut leader)).collect();
+    let stop = AtomicBool::new(false);
+    let (observed_max_lag, polls) = std::thread::scope(|s| {
+        let handles: Vec<_> = tailing
+            .iter_mut()
+            .map(|pair| {
+                let stop = &stop;
+                s.spawn(move || {
+                    let (r, _) = pair;
+                    let mut max_lag = 0u64;
+                    let mut polls = 0u64;
+                    loop {
+                        let done = stop.load(Ordering::Acquire);
+                        // Sample staleness first: the lag a reader would
+                        // see right now, before this poll repairs it.
+                        if let Ok(st) = r.status() {
+                            max_lag = max_lag.max(st.lag);
+                        }
+                        r.catch_up().expect("tailing catch-up");
+                        polls += 1;
+                        if done {
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                    (max_lag, polls)
+                })
+            })
+            .collect();
+        for i in 0..REPLICATION_COMMITS {
+            commit_one(&mut leader, 0x100 + i as u64);
+        }
+        stop.store(true, Ordering::Release);
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("tailing thread"))
+            .fold((0u64, 0u64), |(ml, p), (l, q)| (ml.max(l), p + q))
+    });
+    let backlog = stale.status().expect("stale status").lag;
+    let drain_start = Instant::now();
+    stale.catch_up().expect("drain backlog");
+    let drain_ms = drain_start.elapsed().as_secs_f64() * 1e3;
+    let final_lag = stale.status().expect("drained status").lag;
+    let leader_scc: ViewHandle<IncScc> = leader
+        .typed(leader.find("scc").expect("leader scc"))
+        .expect("typed scc handle");
+    assert_eq!(
+        stale.view(&stale_scc).expect("drained view").components(),
+        leader.view(&leader_scc).expect("leader view").components(),
+        "drained follower must agree with the leader"
+    );
+    let lag_json = format!(
+        "{{\"followers\": {followers}, \"commits\": {REPLICATION_COMMITS}, \
+         \"observed_max_lag_epochs\": {observed_max_lag}, \"polls\": {polls}, \
+         \"backlog_epochs\": {backlog}, \"drain_ms\": {drain_ms:.3}, \
+         \"final_lag_epochs\": {final_lag}}}"
+    );
+
+    // Phase 3: compact after every checkpoint cadence with a caught-up
+    // pinned follower attached; the retained journal must stay bounded.
+    let (backend, mut leader) = build_leader();
+    let (mut rider, _rider_scc) = scc_replica(&mut leader);
+    let mut bytes_rows = Vec::new();
+    let mut segment_rows = Vec::new();
+    let (mut dropped_segments, mut dropped_bytes) = (0u64, 0u64);
+    let cadences = 5usize;
+    for cadence in 0..cadences {
+        for i in 0..ENGINE_LOG_CHECKPOINT_EVERY as usize {
+            commit_one(
+                &mut leader,
+                0x200 + (cadence * ENGINE_LOG_CHECKPOINT_EVERY as usize + i) as u64,
+            );
+        }
+        rider.catch_up().expect("rider catch-up");
+        let c = leader.compact_log().expect("compact");
+        dropped_segments += u64::from(c.dropped_segments);
+        dropped_bytes += c.dropped_bytes;
+        bytes_rows.push(leader.log().expect("log").bytes().expect("bytes"));
+        segment_rows.push(c.retained_segments);
+    }
+    let late = Replica::attach(Arc::new(backend.clone()) as Arc<dyn LogBackend>)
+        .expect("post-compaction attach");
+    assert_eq!(
+        late.frontier(),
+        leader.epoch(),
+        "fresh post-compaction replica seeds at the head"
+    );
+    let max_retained = segment_rows.iter().copied().max().unwrap_or(0);
+    let fmt_u64 = |xs: &[u64]| {
+        xs.iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let compaction_json = format!(
+        "{{\"cadences\": {cadences}, \"checkpoint_every\": {ENGINE_LOG_CHECKPOINT_EVERY}, \
+         \"bytes_after_compaction\": [{}], \"retained_segments\": [{}], \
+         \"dropped_segments_total\": {dropped_segments}, \
+         \"dropped_bytes_total\": {dropped_bytes}, \"journal_bounded\": {}}}",
+        fmt_u64(&bytes_rows),
+        segment_rows
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(", "),
+        max_retained <= 2
+    );
+
+    format!(
+        "{{\"read_throughput\": [{}], \"lag\": {lag_json}, \"compaction\": {compaction_json}}}",
+        throughput_rows.join(", ")
+    )
+}
+
 /// Commit index at which the logged (non-crashing) run spawns its
 /// background `rpq:bg` build; it joins after the final commit.
 pub const ENGINE_BACKGROUND_SPAWN_AT: usize = 9;
@@ -836,6 +1044,11 @@ fn temp_log_dir() -> std::path::PathBuf {
 /// [`Engine::recover`]; the four classes re-join lazily from the replayed
 /// graph and the run serves the remaining commits — the JSON records the
 /// crash/recovery in a `recovery` section.
+///
+/// With `cfg.replicas = n ≥ 1` the JSON additionally gains a
+/// `replication` section (see [`engine_replication`](self): read
+/// throughput at 1/2/4 replicas, observed tailing lag plus backlog drain
+/// time, and per-cadence journal bytes under periodic compaction).
 pub fn engine_run(cfg: &ExpConfig) -> EngineRun {
     let g = workloads::dataset(Dataset::DbpediaLike, cfg.scale);
     let logging = cfg.log || cfg.crash_at.is_some();
@@ -1129,6 +1342,10 @@ pub fn engine_run(cfg: &ExpConfig) -> EngineRun {
     if let Some(bg) = background_json {
         extra_sections.push_str(&format!("  \"background\": {bg},\n"));
     }
+    if cfg.replicas > 0 {
+        let replication = engine_replication(cfg);
+        extra_sections.push_str(&format!("  \"replication\": {replication},\n"));
+    }
     let json = format!(
         "{{\n  \"bench\": \"engine_commit\",\n  \"dataset\": \"dbpedia_like\",\n  \
          \"scale\": {},\n  \"seed\": {},\n  \"mode\": \"{}\",\n  \"threads\": {},\n  \
@@ -1368,6 +1585,36 @@ mod tests {
         assert!(r.json.contains("\"matches_eager\": true"));
         // No crash in this run.
         assert!(!r.json.contains("\"recovery\""));
+        assert_eq!(r.json.matches('{').count(), r.json.matches('}').count());
+        assert_eq!(r.json.matches('[').count(), r.json.matches(']').count());
+    }
+
+    #[test]
+    fn engine_run_with_replicas_emits_the_replication_section() {
+        let cfg = ExpConfig {
+            replicas: 2,
+            log: true,
+            ..tiny()
+        };
+        let r = engine_run(&cfg);
+        assert_eq!(r.series.rows.len(), ENGINE_COMMITS);
+        // The three replication phases all land in the JSON.
+        assert!(r
+            .json
+            .contains("\"replication\": {\"read_throughput\": [{\"replicas\": 1"));
+        assert!(r.json.contains("{\"replicas\": 2"));
+        assert!(r.json.contains("{\"replicas\": 4"));
+        assert!(r.json.contains("\"reads_per_s\""));
+        assert!(r.json.contains("\"lag\": {\"followers\": 2"));
+        assert!(r.json.contains("\"observed_max_lag_epochs\""));
+        assert!(r.json.contains("\"drain_ms\""));
+        assert!(r.json.contains("\"final_lag_epochs\": 0"));
+        // A full sleep-through backlog is exactly the commit count.
+        assert!(r
+            .json
+            .contains(&format!("\"backlog_epochs\": {REPLICATION_COMMITS}")));
+        assert!(r.json.contains("\"compaction\": {\"cadences\": 5"));
+        assert!(r.json.contains("\"journal_bounded\": true"));
         assert_eq!(r.json.matches('{').count(), r.json.matches('}').count());
         assert_eq!(r.json.matches('[').count(), r.json.matches(']').count());
     }

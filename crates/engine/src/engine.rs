@@ -7,9 +7,10 @@ use crate::background::BackgroundBuild;
 use crate::error::{Divergence, EngineError};
 use crate::lifecycle::{LifecycleEvent, LifecycleEventKind, ViewHandle, ViewId, ViewState};
 use crate::receipt::{CommitReceipt, ViewCommitStats, ViewOutcome, ViewTotals};
+use crate::replica::Replica;
 use igc_core::{panic_cause, IncView, ViewInit, WorkStats};
 use igc_graph::{DynamicGraph, UpdateBatch};
-use igc_log::{CommitLog, LogBackend};
+use igc_log::{CommitLog, Compaction, LogBackend};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
@@ -241,6 +242,49 @@ impl Engine {
     /// checkpoint; 0 = explicit checkpoints only).
     pub fn checkpoint_every(&self) -> u64 {
         self.checkpoint_every
+    }
+
+    /// Create a **pinned** read replica over this engine's commit log
+    /// ([`EngineError::NoLog`] without one): a follower with its own
+    /// graph and views that tails the journal and serves reads at its
+    /// replay frontier — see [`Replica`] for the model. The replica
+    /// seeds from the newest checkpoint plus the delta tail, so it is
+    /// current as of this call.
+    ///
+    /// The engine registers a [`RetentionPin`](igc_log::RetentionPin)
+    /// for it: [`Engine::compact_log`] will never drop the history this
+    /// follower still needs, however far it falls behind, and dropping
+    /// the replica releases the pin automatically. For followers in
+    /// *other* processes (over a shared
+    /// [`FileBackend`](igc_log::FileBackend) directory), use
+    /// [`Replica::attach`] — unpinned, at the cost of
+    /// [`EngineError::FrontierCompacted`] if compaction outruns them.
+    pub fn replica(&mut self) -> Result<Replica, EngineError> {
+        let Some(log) = &mut self.log else {
+            return Err(EngineError::NoLog {
+                operation: "replica",
+            });
+        };
+        // Pin at the newest checkpoint — exactly the seed base the
+        // attach below will replay from. `&mut self` serializes this
+        // against compact_log, so the pin can never race a compaction.
+        let pin = log.register_pin(log.last_checkpoint().unwrap_or(0));
+        Replica::attach_pinned(log.backend(), Some(pin))
+    }
+
+    /// Compact the commit log ([`EngineError::NoLog`] without one): drop
+    /// every whole segment behind the newest checkpoint that all
+    /// registered (live) replicas have already consumed past — see
+    /// [`CommitLog::compact`]. Bounds journal growth under a steady
+    /// checkpoint cadence; safe to call at any time (a call that can
+    /// drop nothing is a successful no-op).
+    pub fn compact_log(&mut self) -> Result<Compaction, EngineError> {
+        let Some(log) = &mut self.log else {
+            return Err(EngineError::NoLog {
+                operation: "compact_log",
+            });
+        };
+        Ok(log.compact()?)
     }
 
     /// The shared graph. Eagerly registered views must be constructed

@@ -116,6 +116,32 @@ pub enum EngineError {
         /// The rejected operation.
         operation: &'static str,
     },
+    /// A freshness-gated replica read
+    /// ([`Replica::ensure_fresh`](crate::Replica::ensure_fresh)) found
+    /// the replica's replay frontier too far behind the leader's log
+    /// head. Not a fault — the follower just has catching up to do
+    /// ([`Replica::catch_up`](crate::Replica::catch_up)).
+    ReplicaLagging {
+        /// The replica's replay frontier (last consumed epoch).
+        frontier: u64,
+        /// The leader's last journaled epoch.
+        leader_epoch: u64,
+        /// `leader_epoch - frontier`, the lag that exceeded the bound.
+        lag: u64,
+    },
+    /// A replica fell so far behind that
+    /// [`CommitLog::compact`](igc_log::CommitLog::compact) dropped the
+    /// deltas it still needed — possible only for *unpinned* followers
+    /// ([`Replica::attach`](crate::Replica::attach)); followers created
+    /// via [`Engine::replica`](crate::Engine::replica) hold a retention
+    /// pin that prevents this. The replica cannot resume incrementally;
+    /// attach a fresh one (it seeds from the newest checkpoint).
+    FrontierCompacted {
+        /// The replica's replay frontier (last consumed epoch).
+        frontier: u64,
+        /// The oldest delta epoch the log still retains.
+        oldest: u64,
+    },
 }
 
 impl From<igc_log::LogError> for EngineError {
@@ -190,6 +216,21 @@ impl fmt::Display for EngineError {
                 f,
                 "{operation} requires a commit log: attach one with Engine::with_log \
                  or recover with Engine::recover"
+            ),
+            EngineError::ReplicaLagging {
+                frontier,
+                leader_epoch,
+                lag,
+            } => write!(
+                f,
+                "replica lagging: frontier epoch {frontier} is {lag} epoch(s) behind \
+                 the leader (epoch {leader_epoch}); catch_up before reading"
+            ),
+            EngineError::FrontierCompacted { frontier, oldest } => write!(
+                f,
+                "replica frontier (epoch {frontier}) predates the oldest retained \
+                 delta (epoch {oldest}): the history it needs was compacted away; \
+                 attach a fresh replica"
             ),
         }
     }
@@ -295,6 +336,21 @@ mod tests {
                 },
                 vec!["register_background", "Engine::with_log", "Engine::recover"],
             ),
+            (
+                EngineError::ReplicaLagging {
+                    frontier: 90,
+                    leader_epoch: 97,
+                    lag: 7,
+                },
+                vec!["frontier epoch 90", "7 epoch(s) behind", "epoch 97"],
+            ),
+            (
+                EngineError::FrontierCompacted {
+                    frontier: 12,
+                    oldest: 33,
+                },
+                vec!["epoch 12", "epoch 33", "compacted away", "fresh replica"],
+            ),
         ];
         for (err, fragments) in &table {
             // Exhaustiveness guard: every variant must appear in the table
@@ -310,7 +366,9 @@ mod tests {
                 | EngineError::InitPanicked { .. }
                 | EngineError::LogCorrupt { .. }
                 | EngineError::EpochGap { .. }
-                | EngineError::NoLog { .. } => {}
+                | EngineError::NoLog { .. }
+                | EngineError::ReplicaLagging { .. }
+                | EngineError::FrontierCompacted { .. } => {}
             }
             let rendered = err.to_string();
             for fragment in fragments {
@@ -320,8 +378,8 @@ mod tests {
                 );
             }
         }
-        // Cheap coverage check in the other direction: 10 variants, 10 rows.
-        assert_eq!(table.len(), 10);
+        // Cheap coverage check in the other direction: 12 variants, 12 rows.
+        assert_eq!(table.len(), 12);
     }
 
     #[test]

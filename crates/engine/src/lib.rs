@@ -54,6 +54,14 @@
 //! [`Engine::join_background`] catches it up on the log tail and splices
 //! it in, answer-identical to an eager registration.
 //!
+//! **Replication** ([`replica` module](Replica)): [`Engine::replica`]
+//! creates a log-shipped read [`Replica`] — a follower with its own
+//! graph and views that tails the journal ([`Replica::catch_up`] /
+//! [`Replica::tail`]), reports its staleness ([`Replica::status`],
+//! [`Replica::ensure_fresh`]), and holds a retention pin so
+//! [`Engine::compact_log`] — which drops whole log segments behind the
+//! newest checkpoint — never cuts off a live follower's catch-up window.
+//!
 //! ```
 //! use igc_engine::Engine;
 //! use igc_graph::{graph::graph_from, NodeId, Update, UpdateBatch};
@@ -77,9 +85,11 @@ mod engine;
 mod error;
 mod lifecycle;
 mod receipt;
+mod replica;
 
 pub use background::BackgroundBuild;
 pub use engine::{CommitMode, Engine, DEFAULT_CHECKPOINT_EVERY, DEFAULT_MAX_FRESH_NODES};
 pub use error::{Divergence, EngineError};
 pub use lifecycle::{LifecycleEvent, LifecycleEventKind, ViewHandle, ViewId, ViewState};
 pub use receipt::{CommitReceipt, ViewCommitStats, ViewOutcome, ViewTotals};
+pub use replica::{Replica, ReplicaHandle, ReplicaStatus};

@@ -1,0 +1,626 @@
+//! Log-shipped read replicas: follower engines that tail a leader's
+//! commit log and serve view reads at their own replay frontier.
+//!
+//! The leader's [`Engine`](crate::Engine) owns the single-writer commit
+//! pipeline; a [`Replica`] owns nothing but a [`Replayer`] over the same
+//! log, its private [`DynamicGraph`], and its own registered views. It
+//! seeds from the **newest checkpoint** (never genesis — that is the
+//! whole point of the checkpoint cadence), replays normalized deltas in
+//! epoch order, and advances a *frontier*: the last epoch it has fully
+//! consumed. Reads are always internally consistent — graph and every
+//! view agree on the frontier epoch — they are just possibly *stale*,
+//! which [`ReplicaStatus`] quantifies and [`Replica::ensure_fresh`]
+//! gates on.
+//!
+//! Two attachment modes:
+//!
+//! * [`Engine::replica`](crate::Engine::replica) — in-process follower
+//!   (typically over a shared [`MemBackend`](igc_log::MemBackend)). The
+//!   leader registers a [`RetentionPin`] for it, so
+//!   [`Engine::compact_log`](crate::Engine::compact_log) never drops the
+//!   history this follower still needs; the pin advances lock-free on
+//!   every catch-up round and releases automatically when the replica is
+//!   dropped.
+//! * [`Replica::attach`] — cross-process follower (typically over a
+//!   [`FileBackend`](igc_log::FileBackend) pointed at the leader's log
+//!   directory). Unpinned: if it falls behind a compaction it gets
+//!   [`EngineError::FrontierCompacted`] and must re-attach fresh.
+//!
+//! Tail the log from a worker thread with [`Replica::tail`], or drive
+//! [`Replica::catch_up`] by hand. Torn tails, segment rotation and
+//! mid-stream checkpoints are all handled by the scan layer underneath —
+//! a replica simply never observes them.
+//!
+//! ```
+//! use igc_engine::{Engine, Replica};
+//! use igc_graph::{graph::graph_from, NodeId, Update, UpdateBatch};
+//! use igc_log::MemBackend;
+//! use std::sync::Arc;
+//!
+//! let backend = Arc::new(MemBackend::new());
+//! let mut leader = Engine::new(graph_from(&[0, 0, 0], &[(0, 1)]))
+//!     .with_log(backend.clone())
+//!     .unwrap();
+//!
+//! // A pinned in-process follower, serving reads at its own frontier.
+//! let mut replica = leader.replica().unwrap();
+//! leader
+//!     .commit(&UpdateBatch::from_updates(vec![Update::insert(
+//!         NodeId(1),
+//!         NodeId(2),
+//!     )]))
+//!     .unwrap();
+//!
+//! assert_eq!(replica.status().unwrap().lag, 1); // behind by one commit
+//! replica.catch_up().unwrap();
+//! let status = replica.ensure_fresh(0).unwrap(); // now current
+//! assert_eq!(status.frontier_epoch, leader.epoch());
+//! assert!(replica.graph().contains_edge(NodeId(1), NodeId(2)));
+//! ```
+
+use crate::error::{Divergence, EngineError};
+use crate::lifecycle::ViewState;
+use igc_core::{panic_cause, IncView, ViewInit};
+use igc_graph::DynamicGraph;
+use igc_log::{LogBackend, LogError, Replayer, RetentionPin};
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Where a replica stands relative to its leader's log, as of one scan.
+///
+/// `lag` is measured in *epochs* (commits), not bytes: it is exactly the
+/// number of committed deltas the replica has not yet consumed. A replica
+/// that has consumed everything the log holds reports `lag == 0` — the
+/// leader may of course commit again a microsecond later; freshness is
+/// always relative to the scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaStatus {
+    /// The replica's replay frontier: the last epoch it has fully
+    /// consumed (graph and all views agree on this epoch).
+    pub frontier_epoch: u64,
+    /// The leader's last journaled epoch at scan time.
+    pub leader_epoch: u64,
+    /// `leader_epoch - frontier_epoch` (saturating): deltas still to
+    /// replay.
+    pub lag: u64,
+}
+
+/// Typed handle to a view registered on a [`Replica`] — the follower-side
+/// analogue of [`ViewHandle`](crate::ViewHandle). Replicas never
+/// deregister views, so the handle is a plain index with the concrete
+/// type remembered; it is `Copy` and never dangles for the replica it
+/// came from.
+pub struct ReplicaHandle<V> {
+    index: usize,
+    _marker: PhantomData<fn() -> V>,
+}
+
+impl<V> Clone for ReplicaHandle<V> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<V> Copy for ReplicaHandle<V> {}
+impl<V> std::fmt::Debug for ReplicaHandle<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ReplicaHandle({})", self.index)
+    }
+}
+
+/// One registered follower-side view: the view itself plus its health
+/// (a panicking `apply` quarantines the view, exactly like the leader's
+/// fan-out fencing — the replica keeps tailing).
+struct ReplicaSlot {
+    label: Arc<str>,
+    view: Box<dyn IncView>,
+    state: ViewState,
+}
+
+/// A follower engine tailing a leader's commit log. See the
+/// [crate docs](crate) for the replication model and an example.
+pub struct Replica {
+    replayer: Replayer,
+    graph: DynamicGraph,
+    slots: Vec<ReplicaSlot>,
+    /// The leader-registered retention pin, for followers created via
+    /// [`Engine::replica`](crate::Engine::replica); `None` for unpinned
+    /// cross-process attachments.
+    pin: Option<RetentionPin>,
+    /// Epoch of the checkpoint this replica seeded from.
+    seed_base: u64,
+}
+
+impl std::fmt::Debug for Replica {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Replica")
+            .field("frontier", &self.graph.epoch())
+            .field("seed_base", &self.seed_base)
+            .field("views", &self.slots.len())
+            .field("pinned", &self.pin.is_some())
+            .finish()
+    }
+}
+
+impl Replica {
+    /// Attach a follower to a log backend (typically a
+    /// [`FileBackend`](igc_log::FileBackend) over the leader's log
+    /// directory, from another process). Seeds from the **newest
+    /// checkpoint** plus the delta tail — a late joiner never replays
+    /// from genesis. The follower is *unpinned*: the leader's compaction
+    /// does not know about it, so a long-dormant follower can be cut off
+    /// ([`EngineError::FrontierCompacted`] on its next catch-up) and
+    /// must re-attach. In-process followers should prefer
+    /// [`Engine::replica`](crate::Engine::replica), which pins.
+    pub fn attach(backend: Arc<dyn LogBackend>) -> Result<Self, EngineError> {
+        Self::attach_pinned(backend, None)
+    }
+
+    /// Shared attachment path; `pin` present = leader-registered
+    /// follower ([`Engine::replica`](crate::Engine::replica)).
+    pub(crate) fn attach_pinned(
+        backend: Arc<dyn LogBackend>,
+        pin: Option<RetentionPin>,
+    ) -> Result<Self, EngineError> {
+        let replayer = Replayer::new(backend);
+        let replayed = replayer.latest()?;
+        if let Some(pin) = &pin {
+            pin.advance(replayed.graph.epoch());
+        }
+        Ok(Replica {
+            replayer,
+            seed_base: replayed.base_epoch,
+            graph: replayed.graph,
+            slots: Vec::new(),
+            pin,
+        })
+    }
+
+    /// Register a view on this replica: its initial state is built from
+    /// the replica's **current** graph (the replay frontier), then
+    /// maintained incrementally by every subsequent catch-up round —
+    /// the follower-side mirror of
+    /// [`Engine::register_lazy`](crate::Engine::register_lazy). Same
+    /// error surface: [`EngineError::DuplicateLabel`],
+    /// [`EngineError::InitPanicked`].
+    pub fn register<I: ViewInit>(
+        &mut self,
+        label: impl Into<Arc<str>>,
+        init: I,
+    ) -> Result<ReplicaHandle<I::View>, EngineError> {
+        let label: Arc<str> = label.into();
+        if self.slots.iter().any(|s| s.label == label) {
+            return Err(EngineError::DuplicateLabel { label });
+        }
+        let graph = &self.graph;
+        let view =
+            catch_unwind(AssertUnwindSafe(move || init.build(graph))).map_err(|payload| {
+                EngineError::InitPanicked {
+                    label: label.clone(),
+                    cause: panic_cause(payload.as_ref()),
+                }
+            })?;
+        self.slots.push(ReplicaSlot {
+            label,
+            view: Box::new(view),
+            state: ViewState::Active,
+        });
+        Ok(ReplicaHandle {
+            index: self.slots.len() - 1,
+            _marker: PhantomData,
+        })
+    }
+
+    /// Drain everything the log currently holds past this replica's
+    /// frontier: apply each delta to the private graph, then fan it out
+    /// to every active view (post-update, the `IncView::apply`
+    /// contract), then advance the retention pin (if pinned). Returns
+    /// the number of deltas consumed — `0` when already at the head.
+    ///
+    /// Safe to call repeatedly while the leader keeps committing; each
+    /// call consumes whatever is complete at scan time (a record the
+    /// leader is mid-appending shows up as a torn tail this scan ignores
+    /// and the next one sees whole). A view whose `apply` panics is
+    /// quarantined at the offending epoch and skipped from then on; the
+    /// replica itself keeps tailing.
+    ///
+    /// Errors: [`EngineError::FrontierCompacted`] when the log's oldest
+    /// retained delta is already past `frontier + 1` (unpinned follower
+    /// outrun by compaction); [`EngineError::LogCorrupt`] /
+    /// [`EngineError::EpochGap`] on genuine log damage.
+    pub fn catch_up(&mut self) -> Result<u64, EngineError> {
+        let Self {
+            replayer,
+            graph,
+            slots,
+            pin,
+            ..
+        } = self;
+        let applied = replayer.catch_up(graph, |g, delta| {
+            for slot in slots.iter_mut() {
+                if !matches!(slot.state, ViewState::Active) {
+                    continue;
+                }
+                if let Err(cause) = slot.view.apply_caught(g, delta) {
+                    slot.state = ViewState::Quarantined {
+                        epoch: g.epoch(),
+                        cause,
+                    };
+                }
+            }
+        });
+        let applied = match applied {
+            Ok(n) => n,
+            // The chain itself never runs backwards, so a gap with
+            // `found > expected` means the tail we needed was compacted
+            // away underneath an unpinned follower.
+            Err(LogError::EpochGap { expected, found }) if found > expected => {
+                return Err(EngineError::FrontierCompacted {
+                    frontier: expected.saturating_sub(1),
+                    oldest: found,
+                });
+            }
+            Err(e) => return Err(e.into()),
+        };
+        if let Some(pin) = pin {
+            pin.advance(graph.epoch());
+        }
+        Ok(applied)
+    }
+
+    /// Tail the log until `stop` is raised: repeatedly
+    /// [`catch_up`](Replica::catch_up), sleeping `poll` between rounds,
+    /// with one final drain after the stop signal (so everything the
+    /// leader journaled *before* raising `stop` is consumed). Returns
+    /// the total deltas applied. Designed to run on a worker thread:
+    ///
+    /// ```no_run
+    /// # use igc_engine::Replica;
+    /// # use std::sync::atomic::AtomicBool;
+    /// # use std::sync::Arc;
+    /// # use std::time::Duration;
+    /// # let replica: Replica = unimplemented!();
+    /// let stop = Arc::new(AtomicBool::new(false));
+    /// let flag = stop.clone();
+    /// let mut replica = replica;
+    /// let worker = std::thread::spawn(move || {
+    ///     replica.tail(&flag, Duration::from_millis(1)).map(|n| (replica, n))
+    /// });
+    /// // … leader commits …
+    /// stop.store(true, std::sync::atomic::Ordering::Release);
+    /// let (replica, applied) = worker.join().unwrap().unwrap();
+    /// ```
+    pub fn tail(&mut self, stop: &AtomicBool, poll: Duration) -> Result<u64, EngineError> {
+        let mut total = 0;
+        loop {
+            total += self.catch_up()?;
+            if stop.load(Ordering::Acquire) {
+                total += self.catch_up()?;
+                return Ok(total);
+            }
+            std::thread::sleep(poll);
+        }
+    }
+
+    /// Scan the log once and report this replica's position relative to
+    /// the leader's journaled head.
+    pub fn status(&self) -> Result<ReplicaStatus, EngineError> {
+        let summary = self.replayer.summary()?;
+        let frontier_epoch = self.graph.epoch();
+        Ok(ReplicaStatus {
+            frontier_epoch,
+            leader_epoch: summary.last_epoch,
+            lag: summary.last_epoch.saturating_sub(frontier_epoch),
+        })
+    }
+
+    /// [`status`](Replica::status), gated: errors with
+    /// [`EngineError::ReplicaLagging`] when the lag exceeds `max_lag`
+    /// epochs — the bounded-staleness read contract (`max_lag == 0`
+    /// demands the replica has consumed everything journaled at scan
+    /// time).
+    pub fn ensure_fresh(&self, max_lag: u64) -> Result<ReplicaStatus, EngineError> {
+        let status = self.status()?;
+        if status.lag > max_lag {
+            return Err(EngineError::ReplicaLagging {
+                frontier: status.frontier_epoch,
+                leader_epoch: status.leader_epoch,
+                lag: status.lag,
+            });
+        }
+        Ok(status)
+    }
+
+    /// The replica's graph at its replay frontier.
+    pub fn graph(&self) -> &DynamicGraph {
+        &self.graph
+    }
+
+    /// The replay frontier: the last epoch this replica has fully
+    /// consumed.
+    pub fn frontier(&self) -> u64 {
+        self.graph.epoch()
+    }
+
+    /// Epoch of the checkpoint this replica seeded from at attach time —
+    /// a late joiner's base is the newest checkpoint, never genesis.
+    pub fn seed_base(&self) -> u64 {
+        self.seed_base
+    }
+
+    /// Whether this follower holds a leader-side retention pin (created
+    /// via [`Engine::replica`](crate::Engine::replica)).
+    pub fn is_pinned(&self) -> bool {
+        self.pin.is_some()
+    }
+
+    /// Number of registered follower-side views.
+    pub fn view_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Registry labels of the follower-side views, in registration order.
+    pub fn labels(&self) -> impl Iterator<Item = &str> {
+        self.slots.iter().map(|s| &*s.label)
+    }
+
+    /// A registered view's health ([`ViewState::Active`], or
+    /// [`ViewState::Quarantined`] with the panic's epoch and cause).
+    pub fn state<V>(&self, h: &ReplicaHandle<V>) -> Result<&ViewState, EngineError> {
+        self.slot(h.index).map(|s| &s.state)
+    }
+
+    /// The view behind a typed handle — the follower's snapshot-read
+    /// path, consistent with [`Replica::graph`] as of the frontier.
+    /// [`EngineError::ViewQuarantined`] if a past catch-up panicked this
+    /// view.
+    pub fn view<V: 'static>(&self, h: &ReplicaHandle<V>) -> Result<&V, EngineError> {
+        let s = self.slot(h.index)?;
+        if let ViewState::Quarantined { epoch, cause } = &s.state {
+            return Err(EngineError::ViewQuarantined {
+                label: s.label.clone(),
+                epoch: *epoch,
+                cause: cause.clone(),
+            });
+        }
+        s.view
+            .as_any()
+            .downcast_ref::<V>()
+            .ok_or_else(|| EngineError::WrongViewType {
+                label: s.label.clone(),
+                expected: std::any::type_name::<V>(),
+            })
+    }
+
+    /// Consistency audit of every active follower-side view against
+    /// from-scratch recomputation on the replica's graph — the same
+    /// audit as [`Engine::verify_all`](crate::Engine::verify_all), at
+    /// the replica's frontier.
+    pub fn verify_all(&self) -> Result<(), EngineError> {
+        let mut failures = Vec::new();
+        for s in &self.slots {
+            if !matches!(s.state, ViewState::Active) {
+                continue;
+            }
+            match catch_unwind(AssertUnwindSafe(|| {
+                s.view.verify_against_batch(&self.graph)
+            })) {
+                Ok(Ok(())) => {}
+                Ok(Err(diagnosis)) => failures.push(Divergence {
+                    label: s.label.clone(),
+                    diagnosis,
+                }),
+                Err(payload) => failures.push(Divergence {
+                    label: s.label.clone(),
+                    diagnosis: format!("audit panicked: {}", panic_cause(payload.as_ref())),
+                }),
+            }
+        }
+        if failures.is_empty() {
+            Ok(())
+        } else {
+            Err(EngineError::ViewsDiverged { failures })
+        }
+    }
+
+    fn slot(&self, index: usize) -> Result<&ReplicaSlot, EngineError> {
+        self.slots.get(index).ok_or(EngineError::StaleHandle {
+            index: index as u32,
+            generation: 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igc_graph::{graph::graph_from, NodeId, Update, UpdateBatch};
+    use igc_log::{CommitLog, MemBackend};
+
+    /// A minimal follower-side view: counts edges incrementally, recounts
+    /// from scratch for the audit, and can be armed to panic.
+    #[derive(Debug)]
+    struct EdgeCount {
+        edges: i64,
+        panic_at: Option<u64>,
+    }
+
+    impl EdgeCount {
+        fn new(g: &DynamicGraph) -> Self {
+            EdgeCount {
+                edges: g.edge_count() as i64,
+                panic_at: None,
+            }
+        }
+    }
+
+    impl IncView for EdgeCount {
+        fn name(&self) -> &str {
+            "edge-count"
+        }
+        fn apply(&mut self, g: &DynamicGraph, delta: &UpdateBatch) {
+            if self.panic_at == Some(g.epoch()) {
+                panic!("armed at epoch {}", g.epoch());
+            }
+            for u in delta.iter() {
+                self.edges += if u.is_insert() { 1 } else { -1 };
+            }
+        }
+        fn work(&self) -> igc_core::WorkStats {
+            igc_core::WorkStats::new()
+        }
+        fn reset_work(&mut self) {}
+        fn verify_against_batch(&self, g: &DynamicGraph) -> Result<(), String> {
+            if self.edges == g.edge_count() as i64 {
+                Ok(())
+            } else {
+                Err(format!("have {}, graph has {}", self.edges, g.edge_count()))
+            }
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    fn scripted_log() -> (Arc<dyn LogBackend>, DynamicGraph) {
+        let arc: Arc<dyn LogBackend> = Arc::new(MemBackend::new());
+        let mut log = CommitLog::create(arc.clone()).unwrap();
+        let mut g = graph_from(&[0, 1, 2, 0], &[(0, 1)]);
+        log.append_checkpoint(&g).unwrap();
+        for i in 0..4u32 {
+            let b =
+                UpdateBatch::from_updates(vec![Update::insert(NodeId(i % 4), NodeId((i + 2) % 4))]);
+            g.apply_batch(&b);
+            log.append_delta(g.epoch(), &b).unwrap();
+            if i == 1 {
+                log.append_checkpoint(&g).unwrap();
+            }
+        }
+        (arc, g)
+    }
+
+    #[test]
+    fn attach_seeds_from_the_newest_checkpoint_not_genesis() {
+        let (arc, g) = scripted_log();
+        let replica = Replica::attach(arc).unwrap();
+        assert_eq!(replica.frontier(), g.epoch());
+        assert_eq!(replica.seed_base(), 2, "mid-stream checkpoint is the base");
+        assert!(!replica.is_pinned());
+        assert_eq!(replica.graph().sorted_edges(), g.sorted_edges());
+    }
+
+    #[test]
+    fn attach_to_an_empty_backend_is_a_log_error() {
+        let empty: Arc<dyn LogBackend> = Arc::new(MemBackend::new());
+        assert!(matches!(
+            Replica::attach(empty).unwrap_err(),
+            EngineError::LogCorrupt { .. }
+        ));
+    }
+
+    #[test]
+    fn catch_up_maintains_registered_views_and_status_tracks_lag() {
+        let (arc, _) = scripted_log();
+        let mut log = CommitLog::open(arc.clone()).unwrap();
+        let mut replica = Replica::attach(arc).unwrap();
+        let h = replica.register("edges", EdgeCount::new).unwrap();
+        assert_eq!(
+            replica.register("edges", EdgeCount::new).unwrap_err(),
+            EngineError::DuplicateLabel {
+                label: Arc::from("edges")
+            }
+        );
+        replica.verify_all().unwrap();
+
+        // Leader appends two more commits; replica lags by exactly those.
+        let mut g = log.replayer().latest().unwrap().graph;
+        for (from, to) in [(1u32, 0u32), (2, 3)] {
+            let b = UpdateBatch::from_updates(vec![Update::insert(NodeId(from), NodeId(to))]);
+            g.apply_batch(&b);
+            log.append_delta(g.epoch(), &b).unwrap();
+        }
+        let status = replica.status().unwrap();
+        assert_eq!(status.lag, 2);
+        assert!(matches!(
+            replica.ensure_fresh(1).unwrap_err(),
+            EngineError::ReplicaLagging { lag: 2, .. }
+        ));
+        assert_eq!(replica.catch_up().unwrap(), 2);
+        let status = replica.ensure_fresh(0).unwrap();
+        assert_eq!(status.frontier_epoch, g.epoch());
+        assert_eq!(status.lag, 0);
+        assert_eq!(replica.view(&h).unwrap().edges, g.edge_count() as i64);
+        replica.verify_all().unwrap();
+        // Nothing new: catch_up is a cheap no-op.
+        assert_eq!(replica.catch_up().unwrap(), 0);
+    }
+
+    #[test]
+    fn a_panicking_view_is_quarantined_and_the_replica_keeps_tailing() {
+        let (arc, _) = scripted_log();
+        let mut log = CommitLog::open(arc.clone()).unwrap();
+        let mut replica = Replica::attach(arc).unwrap();
+        let healthy = replica.register("healthy", EdgeCount::new).unwrap();
+        let doomed = replica
+            .register("doomed", |g: &DynamicGraph| {
+                let mut v = EdgeCount::new(g);
+                v.panic_at = Some(6); // the second of the two new commits
+                v
+            })
+            .unwrap();
+
+        let mut g = log.replayer().latest().unwrap().graph;
+        for (from, to) in [(1u32, 0u32), (2, 3)] {
+            let b = UpdateBatch::from_updates(vec![Update::insert(NodeId(from), NodeId(to))]);
+            g.apply_batch(&b);
+            log.append_delta(g.epoch(), &b).unwrap();
+        }
+        assert_eq!(replica.catch_up().unwrap(), 2, "tailing survived the panic");
+        assert_eq!(replica.frontier(), g.epoch());
+        assert!(replica.view(&healthy).is_ok());
+        match replica.view(&doomed).unwrap_err() {
+            EngineError::ViewQuarantined { epoch, cause, .. } => {
+                assert_eq!(epoch, 6);
+                assert!(cause.contains("armed at epoch 6"), "{cause}");
+            }
+            other => panic!("expected quarantine, got {other:?}"),
+        }
+        assert!(matches!(
+            replica.state(&doomed).unwrap(),
+            ViewState::Quarantined { .. }
+        ));
+        // The audit skips the quarantined view and passes on the healthy.
+        replica.verify_all().unwrap();
+    }
+
+    #[test]
+    fn tail_drains_until_stopped() {
+        let (arc, _) = scripted_log();
+        let mut log = CommitLog::open(arc.clone()).unwrap();
+        let mut replica = Replica::attach(arc).unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = stop.clone();
+        let worker = std::thread::spawn(move || {
+            replica
+                .tail(&flag, Duration::from_millis(1))
+                .map(|applied| (replica, applied))
+        });
+
+        let mut g = log.replayer().latest().unwrap().graph;
+        for (from, to) in [(1u32, 0u32), (2, 3), (3, 0), (1, 2), (2, 1)] {
+            let b = UpdateBatch::from_updates(vec![Update::insert(NodeId(from), NodeId(to))]);
+            g.apply_batch(&b);
+            log.append_delta(g.epoch(), &b).unwrap();
+        }
+        stop.store(true, Ordering::Release);
+        let (replica, applied) = worker.join().unwrap().unwrap();
+        assert_eq!(applied, 5, "the final drain catches every pre-stop commit");
+        assert_eq!(replica.frontier(), g.epoch());
+        assert_eq!(replica.graph().sorted_edges(), g.sorted_edges());
+    }
+}

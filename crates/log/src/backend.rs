@@ -20,8 +20,14 @@ use std::sync::{Arc, Mutex};
 
 /// Object-safe segment storage. See the [module docs](self) for the
 /// contract.
+///
+/// Segment indices are *historical*: they keep growing monotonically even
+/// after compaction removes old segments, so a follower's notion of
+/// "segment 3" never silently changes meaning. The retained window is
+/// `first_segment()..segments()`.
 pub trait LogBackend: Send + Sync + std::fmt::Debug {
-    /// Number of segments present; valid indices are `0..segments()`.
+    /// One past the newest segment; valid indices are
+    /// `first_segment()..segments()`.
     fn segments(&self) -> Result<u32, LogError>;
 
     /// The full current contents of segment `segment`.
@@ -34,6 +40,41 @@ pub trait LogBackend: Send + Sync + std::fmt::Debug {
 
     /// Current size of segment `segment`, in bytes.
     fn len(&self, segment: u32) -> Result<u64, LogError>;
+
+    /// Index of the oldest *retained* segment (0 until something is
+    /// removed by [`LogBackend::remove_below`]). The default suits
+    /// backends that never compact.
+    fn first_segment(&self) -> Result<u32, LogError> {
+        Ok(0)
+    }
+
+    /// Drop every segment with index `< segment` — the storage half of
+    /// [`CommitLog::compact`](crate::CommitLog::compact). Indices of the
+    /// surviving segments do not shift. Removing already-removed (or
+    /// never-existing) prefixes is a no-op. The default refuses, so a
+    /// custom backend opts in explicitly rather than silently leaking.
+    fn remove_below(&self, segment: u32) -> Result<(), LogError> {
+        Err(LogError::Io {
+            operation: "remove segments",
+            segment,
+            cause: "this backend does not support compaction".to_owned(),
+        })
+    }
+}
+
+/// What a [`MemBackend`] actually stores: the retained segments, the
+/// historical index of the oldest one, and the armed fault injector (if
+/// any).
+#[derive(Debug, Default)]
+struct MemInner {
+    /// Historical index of `segments[0]`; bumps on [`remove_below`]
+    /// (`LogBackend::remove_below`) so retained indices never shift.
+    base: u32,
+    segments: Vec<Vec<u8>>,
+    /// When armed (`Some(keep)`), the next append stores only its first
+    /// `keep` bytes and then reports failure — the shape a mid-write
+    /// `ENOSPC` or crash leaves behind.
+    fail_next_append: Option<usize>,
 }
 
 /// In-memory backend for tests and benchmarks. Cloning shares the
@@ -42,7 +83,7 @@ pub trait LogBackend: Send + Sync + std::fmt::Debug {
 /// engine, recover from the clone.
 #[derive(Debug, Clone, Default)]
 pub struct MemBackend {
-    segments: Arc<Mutex<Vec<Vec<u8>>>>,
+    inner: Arc<Mutex<MemInner>>,
 }
 
 impl MemBackend {
@@ -51,27 +92,40 @@ impl MemBackend {
         Self::default()
     }
 
-    /// Total bytes across all segments (test/bench introspection).
+    /// Total bytes across all retained segments (test/bench
+    /// introspection).
     pub fn total_bytes(&self) -> u64 {
-        self.lock().iter().map(|s| s.len() as u64).sum()
+        self.lock().segments.iter().map(|s| s.len() as u64).sum()
     }
 
     /// Flip one bit of one stored byte — a corruption fault injector for
-    /// tests. Panics (test helper) if the coordinates are out of range.
+    /// tests. Panics (test helper) if the coordinates are out of range or
+    /// the segment was compacted away.
     pub fn corrupt_byte(&self, segment: u32, offset: u64, mask: u8) {
         let mut s = self.lock();
-        s[segment as usize][offset as usize] ^= mask;
+        let i = (segment - s.base) as usize;
+        s.segments[i][offset as usize] ^= mask;
     }
 
     /// Truncate a segment to `keep` bytes — a crash/torn-tail fault
     /// injector for tests.
     pub fn truncate_segment(&self, segment: u32, keep: u64) {
         let mut s = self.lock();
-        s[segment as usize].truncate(keep as usize);
+        let i = (segment - s.base) as usize;
+        s.segments[i].truncate(keep as usize);
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<Vec<u8>>> {
-        match self.segments.lock() {
+    /// Arm a one-shot append fault: the next append stores only its first
+    /// `keep` bytes into the target segment and then returns an I/O error
+    /// — the partial-write shape of a mid-append `ENOSPC` or power cut.
+    /// The write was *not* acknowledged, so a correct writer retries past
+    /// the garbage (see `CommitLog`'s forced rotation).
+    pub fn fail_next_append(&self, keep: usize) {
+        self.lock().fail_next_append = Some(keep);
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, MemInner> {
+        match self.inner.lock() {
             Ok(g) => g,
             // A panic while holding the lock can only leave fully-written
             // segments behind (appends are single extend calls), so the
@@ -81,48 +135,82 @@ impl MemBackend {
     }
 }
 
+fn mem_missing(operation: &'static str, segment: u32) -> LogError {
+    LogError::Io {
+        operation,
+        segment,
+        cause: "no such segment (never written, or compacted away)".to_owned(),
+    }
+}
+
 impl LogBackend for MemBackend {
     fn segments(&self) -> Result<u32, LogError> {
-        Ok(self.lock().len() as u32)
+        let s = self.lock();
+        Ok(s.base + s.segments.len() as u32)
+    }
+
+    fn first_segment(&self) -> Result<u32, LogError> {
+        Ok(self.lock().base)
     }
 
     fn read(&self, segment: u32) -> Result<Vec<u8>, LogError> {
-        self.lock()
-            .get(segment as usize)
+        let s = self.lock();
+        segment
+            .checked_sub(s.base)
+            .and_then(|i| s.segments.get(i as usize))
             .cloned()
-            .ok_or(LogError::Io {
-                operation: "read segment",
-                segment,
-                cause: "no such segment".to_owned(),
-            })
+            .ok_or_else(|| mem_missing("read segment", segment))
     }
 
     fn append(&self, segment: u32, bytes: &[u8]) -> Result<(), LogError> {
         let mut s = self.lock();
-        if segment as usize == s.len() {
-            s.push(bytes.to_vec());
-            Ok(())
-        } else if let Some(seg) = s.get_mut(segment as usize) {
-            seg.extend_from_slice(bytes);
-            Ok(())
-        } else {
-            Err(LogError::Io {
+        let next = s.base + s.segments.len() as u32;
+        if segment < s.base || segment > next {
+            return Err(LogError::Io {
                 operation: "append",
                 segment,
-                cause: format!("segment index past the next fresh one ({})", s.len()),
-            })
+                cause: format!(
+                    "segment index outside the appendable range ({}..={next})",
+                    s.base
+                ),
+            });
         }
+        let (stored, inject_fail) = match s.fail_next_append.take() {
+            Some(keep) => (&bytes[..keep.min(bytes.len())], true),
+            None => (bytes, false),
+        };
+        if segment == next {
+            s.segments.push(stored.to_vec());
+        } else {
+            let i = (segment - s.base) as usize;
+            s.segments[i].extend_from_slice(stored);
+        }
+        if inject_fail {
+            return Err(LogError::Io {
+                operation: "append",
+                segment,
+                cause: "injected mid-write failure".to_owned(),
+            });
+        }
+        Ok(())
     }
 
     fn len(&self, segment: u32) -> Result<u64, LogError> {
-        self.lock()
-            .get(segment as usize)
-            .map(|s| s.len() as u64)
-            .ok_or(LogError::Io {
-                operation: "len",
-                segment,
-                cause: "no such segment".to_owned(),
-            })
+        let s = self.lock();
+        segment
+            .checked_sub(s.base)
+            .and_then(|i| s.segments.get(i as usize))
+            .map(|seg| seg.len() as u64)
+            .ok_or_else(|| mem_missing("len", segment))
+    }
+
+    fn remove_below(&self, segment: u32) -> Result<(), LogError> {
+        let mut s = self.lock();
+        let end = s.base + s.segments.len() as u32;
+        let drop_n = segment.min(end).saturating_sub(s.base);
+        s.segments.drain(..drop_n as usize);
+        s.base += drop_n;
+        Ok(())
     }
 }
 
@@ -139,10 +227,13 @@ pub struct FileBackend {
     /// Shared hint for [`FileBackend::segments`]: the last count this (or
     /// a cloned) handle observed. Always re-verified at the boundary, so
     /// a stale hint — another handle rotated meanwhile — self-corrects;
-    /// it just turns the naive probe-from-zero into an O(1) steady-state
-    /// check instead of one `stat` per segment per call (the append path
-    /// asks for the count on every logged commit).
+    /// it just turns the naive directory listing into an O(1) steady-state
+    /// check instead of one `read_dir` per call (the append path asks for
+    /// the count on every logged commit).
     segments_hint: Arc<std::sync::atomic::AtomicU32>,
+    /// Shared hint for [`FileBackend::first_segment`], verified the same
+    /// way at the other end of the retained window (compaction moves it).
+    first_hint: Arc<std::sync::atomic::AtomicU32>,
 }
 
 impl FileBackend {
@@ -158,6 +249,7 @@ impl FileBackend {
             dir,
             sync_on_append: false,
             segments_hint: Arc::new(std::sync::atomic::AtomicU32::new(0)),
+            first_hint: Arc::new(std::sync::atomic::AtomicU32::new(0)),
         })
     }
 
@@ -184,25 +276,70 @@ impl FileBackend {
             cause: e.to_string(),
         }
     }
+
+    /// List the retained window `(first, end)` by reading the directory —
+    /// the ground truth both hints are verified against. `(0, 0)` for an
+    /// empty directory.
+    fn list(&self) -> Result<(u32, u32), LogError> {
+        let entries = std::fs::read_dir(&self.dir).map_err(|e| LogError::Io {
+            operation: "list segments",
+            segment: 0,
+            cause: format!("{}: {e}", self.dir.display()),
+        })?;
+        let mut first = u32::MAX;
+        let mut end = 0u32;
+        for entry in entries {
+            let entry = entry.map_err(|e| Self::io("list segments", 0, e))?;
+            let name = entry.file_name();
+            let Some(idx) = name
+                .to_str()
+                .and_then(|n| n.strip_prefix("segment-"))
+                .and_then(|n| n.strip_suffix(".igclog"))
+                .and_then(|n| n.parse::<u32>().ok())
+            else {
+                continue; // unrelated file in the directory
+            };
+            first = first.min(idx);
+            end = end.max(idx + 1);
+        }
+        if first == u32::MAX {
+            Ok((0, 0))
+        } else {
+            Ok((first, end))
+        }
+    }
 }
 
 impl LogBackend for FileBackend {
     fn segments(&self) -> Result<u32, LogError> {
         use std::sync::atomic::Ordering;
-        // Segment files are created densely from 0, so the count `n` is
-        // characterized by `exists(n-1) && !exists(n)`. Start from the
-        // shared hint and verify that boundary — O(1) in the steady
-        // state, falling back to a full upward probe only when the hint
-        // is stale-high (segments vanished underneath us).
+        // Segment files are created densely (compaction only removes a
+        // prefix), so the end index `n` is characterized by
+        // `exists(n-1) && !exists(n)`. Start from the shared hint and
+        // verify that boundary — O(1) in the steady state, falling back
+        // to a full directory listing only when the hint is invalid
+        // (fresh handle, or segments vanished underneath us).
         let mut n = self.segments_hint.load(Ordering::Relaxed);
-        if n > 0 && !self.path(n - 1).exists() {
-            n = 0;
-        }
-        while self.path(n).exists() {
-            n += 1;
+        if n > 0 && self.path(n - 1).exists() {
+            while self.path(n).exists() {
+                n += 1;
+            }
+        } else {
+            n = self.list()?.1;
         }
         self.segments_hint.store(n, Ordering::Relaxed);
         Ok(n)
+    }
+
+    fn first_segment(&self) -> Result<u32, LogError> {
+        use std::sync::atomic::Ordering;
+        let hint = self.first_hint.load(Ordering::Relaxed);
+        if self.path(hint).exists() && (hint == 0 || !self.path(hint - 1).exists()) {
+            return Ok(hint);
+        }
+        let (first, _) = self.list()?;
+        self.first_hint.store(first, Ordering::Relaxed);
+        Ok(first)
     }
 
     fn read(&self, segment: u32) -> Result<Vec<u8>, LogError> {
@@ -236,6 +373,24 @@ impl LogBackend for FileBackend {
             .map(|m| m.len())
             .map_err(|e| Self::io("len", segment, e))
     }
+
+    fn remove_below(&self, segment: u32) -> Result<(), LogError> {
+        use std::sync::atomic::Ordering;
+        let first = self.first_segment()?;
+        let end = self.segments()?;
+        let target = segment.min(end);
+        for seg in first..target {
+            match std::fs::remove_file(self.path(seg)) {
+                Ok(()) => {}
+                // Already gone (a concurrent or earlier removal): the goal
+                // state is reached either way.
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(Self::io("remove segment", seg, e)),
+            }
+        }
+        self.first_hint.store(target.max(first), Ordering::Relaxed);
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -244,6 +399,7 @@ mod tests {
 
     fn exercise(backend: &dyn LogBackend) {
         assert_eq!(backend.segments().unwrap(), 0);
+        assert_eq!(backend.first_segment().unwrap(), 0);
         backend.append(0, b"hello ").unwrap();
         backend.append(0, b"world").unwrap();
         assert_eq!(backend.segments().unwrap(), 1);
@@ -257,6 +413,33 @@ mod tests {
         assert!(backend.read(9).is_err());
     }
 
+    /// The compaction half of the contract: indices are historical (they
+    /// never shift), the retained window is `first_segment()..segments()`,
+    /// and removed prefixes are unreadable.
+    fn exercise_compaction(backend: &dyn LogBackend) {
+        for i in 0..4u32 {
+            backend
+                .append(i, format!("segment {i}").as_bytes())
+                .unwrap();
+        }
+        backend.remove_below(2).unwrap();
+        assert_eq!(backend.first_segment().unwrap(), 2);
+        assert_eq!(backend.segments().unwrap(), 4);
+        assert!(backend.read(0).is_err());
+        assert!(backend.read(1).is_err());
+        assert_eq!(backend.read(2).unwrap(), b"segment 2");
+        assert_eq!(backend.read(3).unwrap(), b"segment 3");
+        // Surviving segments keep appending under their historical index,
+        // and new segments keep the dense numbering going.
+        backend.append(3, b"!").unwrap();
+        assert_eq!(backend.read(3).unwrap(), b"segment 3!");
+        backend.append(4, b"segment 4").unwrap();
+        assert_eq!(backend.segments().unwrap(), 5);
+        // Re-removing an already-removed prefix is a no-op.
+        backend.remove_below(2).unwrap();
+        assert_eq!(backend.first_segment().unwrap(), 2);
+    }
+
     #[test]
     fn mem_backend_contract() {
         let b = MemBackend::new();
@@ -267,6 +450,32 @@ mod tests {
         clone.append(1, b"!").unwrap();
         assert_eq!(b.read(1).unwrap(), b"next!");
         assert_eq!(b.total_bytes(), 16);
+    }
+
+    #[test]
+    fn mem_backend_compaction_contract() {
+        exercise_compaction(&MemBackend::new());
+    }
+
+    #[test]
+    fn mem_backend_injected_append_failure_leaves_a_partial_write() {
+        let b = MemBackend::new();
+        b.append(0, b"committed").unwrap();
+        b.fail_next_append(3);
+        let err = b.append(0, b"DOOMED").unwrap_err();
+        assert!(matches!(
+            err,
+            LogError::Io {
+                operation: "append",
+                ..
+            }
+        ));
+        // The partial bytes are there (as on a real device), but the
+        // write was never acknowledged.
+        assert_eq!(b.read(0).unwrap(), b"committedDOO");
+        // The injector is one-shot: the retry goes through.
+        b.append(1, b"retried").unwrap();
+        assert_eq!(b.read(1).unwrap(), b"retried");
     }
 
     #[test]
@@ -284,5 +493,54 @@ mod tests {
         assert_eq!(reopened.segments().unwrap(), 2);
         assert_eq!(reopened.read(0).unwrap(), b"hello world");
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn file_backend_compaction_contract() {
+        let dir = std::env::temp_dir().join(format!(
+            "igc_log_backend_compact_test_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let b = FileBackend::new(&dir).unwrap();
+        exercise_compaction(&b);
+        // A *fresh* handle (hints at zero) sees the compacted window too —
+        // the cross-process attach path of a late-joining replica.
+        let reopened = FileBackend::new(&dir).unwrap();
+        assert_eq!(reopened.first_segment().unwrap(), 2);
+        assert_eq!(reopened.segments().unwrap(), 5);
+        assert_eq!(reopened.read(2).unwrap(), b"segment 2");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn remove_below_default_refuses() {
+        /// A minimal backend that keeps the trait defaults.
+        #[derive(Debug)]
+        struct Plain;
+        impl LogBackend for Plain {
+            fn segments(&self) -> Result<u32, LogError> {
+                Ok(0)
+            }
+            fn read(&self, segment: u32) -> Result<Vec<u8>, LogError> {
+                Err(mem_missing("read segment", segment))
+            }
+            fn append(&self, _segment: u32, _bytes: &[u8]) -> Result<(), LogError> {
+                Ok(())
+            }
+            fn len(&self, _segment: u32) -> Result<u64, LogError> {
+                Ok(0)
+            }
+        }
+        assert_eq!(Plain.first_segment().unwrap(), 0);
+        assert!(matches!(
+            Plain.remove_below(3).unwrap_err(),
+            LogError::Io {
+                operation: "remove segments",
+                segment: 3,
+                ..
+            }
+        ));
     }
 }

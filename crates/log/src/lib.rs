@@ -26,7 +26,14 @@
 //!   anything accepted is replayable by construction; the read side
 //!   rebuilds the graph at any epoch and catches lagging consumers up to
 //!   the head ([`Replayer::catch_up`]) — the seam behind the engine's
-//!   crash recovery and *background* view builds.
+//!   crash recovery, *background* view builds, and log-shipped read
+//!   replicas.
+//! * **Compaction** ([`CommitLog::compact`], [`RetentionPin`]) — every
+//!   checkpoint starts a fresh segment, so whole segments behind the
+//!   newest checkpoint can be dropped once no registered follower
+//!   ([`CommitLog::register_pin`]) still needs them; the journal stays
+//!   bounded under a steady checkpoint cadence while every live
+//!   follower's catch-up window survives.
 //!
 //! ```
 //! use igc_log::{CommitLog, MemBackend, Replayer};
@@ -58,6 +65,6 @@ mod replay;
 
 pub use backend::{FileBackend, LogBackend, MemBackend};
 pub use error::LogError;
-pub use log::{CommitLog, DEFAULT_SEGMENT_BYTES};
+pub use log::{CommitLog, Compaction, RetentionPin, DEFAULT_SEGMENT_BYTES};
 pub use record::Record;
 pub use replay::{LogSummary, Replayed, Replayer};

@@ -9,7 +9,8 @@ use crate::record::{
     SEGMENT_HEADER_BYTES,
 };
 use igc_graph::{DynamicGraph, UpdateBatch};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
 
 /// Default segment-rotation threshold: a new segment starts once the tail
 /// segment reaches this size.
@@ -32,6 +33,8 @@ pub(crate) struct Scan {
     pub torn_tails: u32,
     /// Total bytes scanned.
     pub bytes: u64,
+    /// Retained segments scanned (`segments() - first_segment()`).
+    pub segments: u32,
 }
 
 /// Scan and validate every segment of a backend.
@@ -45,12 +48,13 @@ pub(crate) struct Scan {
 /// *payloads* are not decoded here; a CRC-valid but structurally bad
 /// payload surfaces as `Corrupt` at its deferred decode in replay.
 pub(crate) fn scan(backend: &dyn LogBackend) -> Result<Scan, LogError> {
+    let first = backend.first_segment()?;
     let segments = backend.segments()?;
     let mut records: Vec<RawFrame> = Vec::new();
     let mut torn_tails = 0u32;
     let mut bytes = 0u64;
     let mut last_epoch: Option<u64> = None;
-    for seg in 0..segments {
+    for seg in first..segments {
         let buf = backend.read(seg)?;
         bytes += buf.len() as u64;
         if buf.len() < SEGMENT_HEADER_BYTES {
@@ -120,7 +124,52 @@ pub(crate) fn scan(backend: &dyn LogBackend) -> Result<Scan, LogError> {
         records,
         torn_tails,
         bytes,
+        segments: segments - first,
     })
+}
+
+/// A follower's claim on log history: as long as the pin is alive,
+/// [`CommitLog::compact`] never drops the segments a consumer at
+/// `frontier()` still needs to catch up. Obtained from
+/// [`CommitLog::register_pin`]; advanced (lock-free, from any thread)
+/// after each successful catch-up round; *dropping* every clone of the
+/// pin releases the claim automatically — an abandoned follower cannot
+/// hold the journal hostage.
+#[derive(Debug, Clone)]
+pub struct RetentionPin {
+    frontier: Arc<AtomicU64>,
+}
+
+impl RetentionPin {
+    /// The pinned frontier: the highest epoch this follower has fully
+    /// consumed. Compaction retains every delta past it.
+    pub fn frontier(&self) -> u64 {
+        self.frontier.load(Ordering::Acquire)
+    }
+
+    /// Raise the pinned frontier to `epoch` (monotonic — a lower value is
+    /// ignored, so racing advancers cannot move the pin backwards).
+    pub fn advance(&self, epoch: u64) {
+        self.frontier.fetch_max(epoch, Ordering::AcqRel);
+    }
+}
+
+/// What one [`CommitLog::compact`] call did — the observability record
+/// behind journal-size reporting and the compaction drill in CI.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Compaction {
+    /// Whole segments dropped (0 = nothing was safely droppable).
+    pub dropped_segments: u32,
+    /// Bytes those segments held.
+    pub dropped_bytes: u64,
+    /// Segments still retained after the call.
+    pub retained_segments: u32,
+    /// Epoch of the checkpoint the retained log now starts with — the
+    /// seed base of any replica attaching after this compaction.
+    pub base_epoch: u64,
+    /// The slowest live pin's frontier at decision time (`None` = no live
+    /// pins; compaction was bounded only by the newest checkpoint).
+    pub pinned_frontier: Option<u64>,
 }
 
 /// Append-side view of a journal: validates the epoch chain, frames
@@ -148,6 +197,9 @@ pub struct CommitLog {
     last_checkpoint: Option<u64>,
     deltas: u64,
     checkpoints: u64,
+    /// Live retention pins ([`CommitLog::register_pin`]): `Weak`, so a
+    /// dropped follower releases its claim without telling anyone.
+    pins: Vec<Weak<AtomicU64>>,
 }
 
 impl CommitLog {
@@ -167,6 +219,7 @@ impl CommitLog {
             last_checkpoint: None,
             deltas: 0,
             checkpoints: 0,
+            pins: Vec::new(),
         })
     }
 
@@ -201,6 +254,7 @@ impl CommitLog {
             last_checkpoint,
             deltas,
             checkpoints,
+            pins: Vec::new(),
         })
     }
 
@@ -213,6 +267,12 @@ impl CommitLog {
     /// Append a checkpoint of `g`. The first checkpoint establishes the
     /// replay base; later ones must be stamped with the current chain
     /// epoch ([`LogError::EpochGap`] otherwise).
+    ///
+    /// Every checkpoint **starts a fresh segment**, so each checkpoint is
+    /// the first record of its segment. That alignment is what makes
+    /// [`CommitLog::compact`] clean: a whole-segment prefix can be
+    /// dropped and the retained log still begins with a checkpoint — the
+    /// scan invariant replay relies on.
     pub fn append_checkpoint(&mut self, g: &DynamicGraph) -> Result<(), LogError> {
         if let Some(last) = self.last_epoch {
             if g.epoch() != last {
@@ -222,6 +282,7 @@ impl CommitLog {
                 });
             }
         }
+        self.force_fresh_segment = true;
         self.write(&Record::checkpoint_of(g))?;
         self.last_epoch = Some(g.epoch());
         self.last_checkpoint = Some(g.epoch());
@@ -306,13 +367,101 @@ impl CommitLog {
         self.checkpoints
     }
 
-    /// Total bytes currently stored across all segments.
+    /// Total bytes currently stored across all retained segments.
     pub fn bytes(&self) -> Result<u64, LogError> {
         let mut total = 0;
-        for seg in 0..self.backend.segments()? {
+        for seg in self.backend.first_segment()?..self.backend.segments()? {
             total += self.backend.len(seg)?;
         }
         Ok(total)
+    }
+
+    /// Register a follower's retention pin at `frontier` (the highest
+    /// epoch that follower has already consumed; a brand-new follower
+    /// pins the checkpoint it will seed from). While any clone of the
+    /// returned pin is alive, [`CommitLog::compact`] keeps every segment
+    /// a consumer at the pinned frontier still needs; dropping the pin
+    /// releases the claim. Dead pins are pruned opportunistically, so the
+    /// registry stays bounded by the number of *live* followers.
+    pub fn register_pin(&mut self, frontier: u64) -> RetentionPin {
+        let pin = Arc::new(AtomicU64::new(frontier));
+        self.pins.retain(|w| w.strong_count() > 0);
+        self.pins.push(Arc::downgrade(&pin));
+        RetentionPin { frontier: pin }
+    }
+
+    /// The slowest live pin's frontier, if any follower is registered —
+    /// the epoch compaction must keep reachable.
+    pub fn pinned_frontier(&self) -> Option<u64> {
+        self.pins
+            .iter()
+            .filter_map(|w| w.upgrade())
+            .map(|p| p.load(Ordering::Acquire))
+            .min()
+    }
+
+    /// Drop every whole segment the log no longer needs: segments wholly
+    /// behind the newest *segment-leading* checkpoint whose epoch is at
+    /// or below the slowest live [`RetentionPin`] (no pins → behind the
+    /// newest checkpoint outright). The retained log still starts with a
+    /// checkpoint, so replay, recovery and fresh replica seeding work
+    /// unchanged; every delta past the pinned frontier survives, so no
+    /// live follower's catch-up is ever cut off.
+    ///
+    /// Returns what was dropped and what was retained; a call that finds
+    /// nothing safely droppable is a successful no-op with
+    /// `dropped_segments == 0`. [`LogError::Empty`] on a log with no
+    /// records.
+    pub fn compact(&mut self) -> Result<Compaction, LogError> {
+        let scanned = scan(&*self.backend)?;
+        if scanned.records.is_empty() {
+            return Err(LogError::Empty);
+        }
+        let pinned = self.pinned_frontier();
+        self.pins.retain(|w| w.strong_count() > 0);
+        let horizon = pinned.unwrap_or(u64::MAX);
+        // The newest checkpoint that (a) leads its segment — checkpoints
+        // written since forced rotation all do; legacy mid-segment ones
+        // are simply not eligible boundaries — and (b) a follower at the
+        // pinned frontier could still seed/catch up from.
+        let mut boundary: Option<&RawFrame> = None;
+        for r in &scanned.records {
+            if r.is_checkpoint && r.offset == SEGMENT_HEADER_BYTES as u64 && r.epoch <= horizon {
+                boundary = Some(r);
+            }
+        }
+        let first = self.backend.first_segment()?;
+        let (boundary_seg, base_epoch) = match boundary {
+            Some(r) => (r.segment, r.epoch),
+            None => (first, scanned.records[0].epoch),
+        };
+        let mut dropped_bytes = 0;
+        for seg in first..boundary_seg {
+            dropped_bytes += self.backend.len(seg)?;
+        }
+        if boundary_seg > first {
+            self.backend.remove_below(boundary_seg)?;
+            // Counters now describe only the retained records.
+            self.deltas = 0;
+            self.checkpoints = 0;
+            for r in &scanned.records {
+                if r.segment < boundary_seg {
+                    continue;
+                }
+                if r.is_checkpoint {
+                    self.checkpoints += 1;
+                } else {
+                    self.deltas += 1;
+                }
+            }
+        }
+        Ok(Compaction {
+            dropped_segments: boundary_seg - first,
+            dropped_bytes,
+            retained_segments: self.backend.segments()? - boundary_seg,
+            base_epoch,
+            pinned_frontier: pinned,
+        })
     }
 
     /// A [`Replayer`](crate::Replayer) over the same backend — safe to
@@ -532,6 +681,132 @@ mod tests {
         let replayed = reopened.replayer().latest().unwrap();
         assert_eq!(replayed.graph.epoch(), 2);
         assert_eq!(replayed.graph.sorted_edges(), g.sorted_edges());
+    }
+
+    /// A scripted history with periodic checkpoints: checkpoint at 0,
+    /// then `rounds` rounds of (3 deltas, checkpoint). Returns the shared
+    /// backend, the log and the final graph.
+    fn checkpointed_history(rounds: usize) -> (MemBackend, CommitLog, DynamicGraph) {
+        let (mem, arc) = backend();
+        let mut log = CommitLog::create(arc).unwrap();
+        let mut g = graph_from(&[0, 1, 2, 0], &[]);
+        log.append_checkpoint(&g).unwrap();
+        for round in 0..rounds {
+            for i in 0..3u32 {
+                let (a, b) = (NodeId((round as u32 + i) % 4), NodeId((i + 1) % 4));
+                let batch = if g.contains_edge(a, b) {
+                    delta(vec![Update::delete(a, b)])
+                } else {
+                    delta(vec![Update::insert(a, b)])
+                };
+                g.apply_batch(&batch);
+                log.append_delta(g.epoch(), &batch).unwrap();
+            }
+            log.append_checkpoint(&g).unwrap();
+        }
+        (mem, log, g)
+    }
+
+    #[test]
+    fn every_checkpoint_starts_a_fresh_segment() {
+        let (mem, log, _) = checkpointed_history(3);
+        // 4 checkpoints (epoch 0 + one per round) → 4 segments, each led
+        // by its checkpoint.
+        assert_eq!(mem.segments().unwrap(), 4);
+        let scanned = scan(&*log.backend()).unwrap();
+        for r in &scanned.records {
+            if r.is_checkpoint {
+                assert_eq!(
+                    r.offset, SEGMENT_HEADER_BYTES as u64,
+                    "checkpoint at epoch {} must lead its segment",
+                    r.epoch
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compact_unpinned_keeps_only_the_newest_checkpoint_segment() {
+        let (mem, mut log, g) = checkpointed_history(3);
+        let before = log.bytes().unwrap();
+        let c = log.compact().unwrap();
+        assert_eq!(c.dropped_segments, 3);
+        assert_eq!(c.retained_segments, 1);
+        assert_eq!(c.base_epoch, 9);
+        assert_eq!(c.pinned_frontier, None);
+        assert!(c.dropped_bytes > 0);
+        assert_eq!(log.bytes().unwrap(), before - c.dropped_bytes);
+        assert_eq!(mem.segments().unwrap(), 4, "indices are historical");
+        assert_eq!(log.deltas(), 0, "all deltas were behind the checkpoint");
+        assert_eq!(log.checkpoints(), 1);
+        // The compacted log reopens and replays cleanly…
+        let reopened = CommitLog::open(log.backend()).unwrap();
+        assert_eq!(reopened.last_epoch(), Some(9));
+        let replayed = reopened.replayer().latest().unwrap();
+        assert_eq!(replayed.graph.epoch(), 9);
+        assert_eq!(replayed.graph.sorted_edges(), g.sorted_edges());
+        // …and keeps accepting appends on the same chain.
+        let mut log = reopened;
+        let mut g = g;
+        let b = delta(vec![Update::insert(NodeId(0), NodeId(2))]);
+        g.apply_batch(&b);
+        log.append_delta(g.epoch(), &b).unwrap();
+        // History behind the new base is genuinely gone.
+        assert!(matches!(
+            log.replayer().replay_at(3).unwrap_err(),
+            LogError::NoCheckpoint { epoch: 3 }
+        ));
+        // Compacting again finds nothing to drop.
+        let again = log.compact().unwrap();
+        assert_eq!(again.dropped_segments, 0);
+        assert_eq!(again.base_epoch, 9);
+    }
+
+    #[test]
+    fn retention_pin_blocks_compaction_until_it_advances_or_drops() {
+        let (_, mut log, _) = checkpointed_history(3);
+        // A slow follower still at epoch 2: only history up to the
+        // checkpoint at or below 2 (the genesis checkpoint, segment 0)
+        // may go — i.e. nothing.
+        let pin = log.register_pin(2);
+        assert_eq!(log.pinned_frontier(), Some(2));
+        let c = log.compact().unwrap();
+        assert_eq!(c.dropped_segments, 0);
+        assert_eq!(c.pinned_frontier, Some(2));
+        assert_eq!(c.base_epoch, 0);
+
+        // The follower consumes through epoch 7: the checkpoints at 3 and
+        // 6 both satisfy it, so segments 0 and 1 can go.
+        pin.advance(7);
+        pin.advance(4); // monotonic: lower values are ignored
+        assert_eq!(pin.frontier(), 7);
+        let c = log.compact().unwrap();
+        assert_eq!(c.dropped_segments, 2);
+        assert_eq!(c.base_epoch, 6);
+        assert_eq!(c.pinned_frontier, Some(7));
+
+        // Dropping the pin releases the claim entirely.
+        drop(pin);
+        assert_eq!(log.pinned_frontier(), None);
+        let c = log.compact().unwrap();
+        assert_eq!(c.dropped_segments, 1);
+        assert_eq!(c.base_epoch, 9);
+        assert_eq!(c.retained_segments, 1);
+    }
+
+    #[test]
+    fn slowest_of_several_pins_wins() {
+        let (_, mut log, _) = checkpointed_history(2);
+        let slow = log.register_pin(1);
+        let fast = log.register_pin(6);
+        assert_eq!(log.pinned_frontier(), Some(1));
+        assert_eq!(log.compact().unwrap().dropped_segments, 0);
+        slow.advance(6);
+        let c = log.compact().unwrap();
+        assert_eq!(c.dropped_segments, 2);
+        assert_eq!(c.base_epoch, 6);
+        drop(fast);
+        assert_eq!(log.pinned_frontier(), Some(6));
     }
 
     #[test]

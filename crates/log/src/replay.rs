@@ -31,6 +31,10 @@ pub struct LogSummary {
     pub bytes: u64,
     /// Torn (never-acknowledged, skipped) record tails encountered.
     pub torn_tails: u32,
+    /// Retained segments (compaction removes whole segments, so after a
+    /// [`CommitLog::compact`](crate::CommitLog::compact) this drops while
+    /// total historical indices keep growing).
+    pub segments: u32,
 }
 
 /// A reconstructed graph plus what the reconstruction cost — the numbers
@@ -82,6 +86,7 @@ impl Replayer {
             units: 0,
             bytes: scanned.bytes,
             torn_tails: scanned.torn_tails,
+            segments: scanned.segments,
         };
         for r in &scanned.records {
             if r.is_checkpoint {
@@ -203,9 +208,14 @@ impl Replayer {
     ///
     /// The first applicable delta must be exactly `g.epoch() + 1`
     /// ([`LogError::EpochGap`] otherwise — the consumer's state predates
-    /// the oldest retained tail). A consumer already at or past the head
-    /// applies nothing. Safe to call repeatedly while a writer keeps
-    /// appending; each call drains whatever is complete at scan time.
+    /// the oldest retained tail). A *checkpoint* ahead of `g.epoch()` is
+    /// the same gap: in append order a checkpoint always follows its
+    /// epoch's delta, so reaching one the consumer hasn't caught up to
+    /// means the deltas leading to it were compacted away — reported as
+    /// [`LogError::EpochGap`] even when no delta follows the checkpoint
+    /// yet. A consumer already at or past the head applies nothing. Safe
+    /// to call repeatedly while a writer keeps appending; each call
+    /// drains whatever is complete at scan time.
     pub fn catch_up(
         &self,
         g: &mut DynamicGraph,
@@ -214,8 +224,14 @@ impl Replayer {
         let scanned = scan(&*self.backend)?;
         let mut applied = 0;
         for r in &scanned.records {
-            if r.is_checkpoint || r.epoch <= g.epoch() {
+            if r.epoch <= g.epoch() {
                 continue;
+            }
+            if r.is_checkpoint {
+                return Err(LogError::EpochGap {
+                    expected: g.epoch() + 1,
+                    found: r.epoch,
+                });
             }
             if r.epoch != g.epoch() + 1 {
                 return Err(LogError::EpochGap {
@@ -298,6 +314,9 @@ mod tests {
         assert_eq!(s.units, 7);
         assert_eq!(s.torn_tails, 0);
         assert!(s.bytes > 0);
+        // The mid-way checkpoint rotated: genesis-led segment + one led
+        // by the epoch-3 checkpoint.
+        assert_eq!(s.segments, 2);
     }
 
     #[test]
@@ -390,13 +409,17 @@ mod tests {
 
         let mut stale = graph_from(&[0, 0], &[]);
         stale.restore_epoch(2);
+        // The gap is reported at the base checkpoint itself (epoch 10),
+        // not the first delta past it — so the error fires even on a
+        // freshly-compacted log whose only retained record is the
+        // checkpoint.
         assert_eq!(
             Replayer::new(arc)
                 .catch_up(&mut stale, |_, _| {})
                 .unwrap_err(),
             LogError::EpochGap {
                 expected: 3,
-                found: 11
+                found: 10
             }
         );
     }

@@ -122,13 +122,16 @@ pub mod prelude {
     pub use igc_core::IncrementalAlgorithm;
     pub use igc_engine::{
         BackgroundBuild, CommitMode, CommitReceipt, Engine, EngineError, LifecycleEvent,
-        LifecycleEventKind, ViewCommitStats, ViewHandle, ViewId, ViewOutcome, ViewState,
-        ViewTotals,
+        LifecycleEventKind, Replica, ReplicaHandle, ReplicaStatus, ViewCommitStats, ViewHandle,
+        ViewId, ViewOutcome, ViewState, ViewTotals,
     };
     pub use igc_graph::{DynamicGraph, Edge, Label, LabelInterner, NodeId, Update, UpdateBatch};
     pub use igc_iso::{IncIso, Pattern};
     pub use igc_kws::{IncKws, KwsQuery};
-    pub use igc_log::{CommitLog, FileBackend, LogBackend, LogError, MemBackend, Replayer};
+    pub use igc_log::{
+        CommitLog, Compaction, FileBackend, LogBackend, LogError, MemBackend, Replayer,
+        RetentionPin,
+    };
     pub use igc_nfa::{Nfa, Regex};
     pub use igc_rpq::IncRpq;
     pub use igc_scc::IncScc;

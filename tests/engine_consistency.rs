@@ -15,7 +15,13 @@
 //!    commit/lifecycle interleavings, crashed (dropped) at a random epoch
 //!    and rebuilt with `Engine::recover` must serve answers bit-identical
 //!    to a twin engine that never crashed — for all four view classes,
-//!    both right after recovery and across the remaining commit stream.
+//!    both right after recovery and across the remaining commit stream;
+//! 4. *replication*: log-shipped followers attaching at random epochs
+//!    (one pinned via `Engine::replica`, one unpinned via
+//!    `Replica::attach`) and catching up after every commit must serve
+//!    all four classes bit-identical to the leader *and* to a
+//!    never-replicated twin at every compared frontier — including a
+//!    fresh follower joining after the log has been compacted.
 
 use incgraph::graph::graph::graph_from;
 use incgraph::prelude::*;
@@ -388,5 +394,142 @@ proptest! {
         if let Err(failures) = r.verify_all() {
             panic!("recovered views diverged from recomputation: {failures}");
         }
+    }
+
+    #[test]
+    fn replicas_joining_at_random_epochs_converge_bit_identically(
+        (n, edges, rounds, picks) in (8u32..16).prop_flat_map(|n| (
+            Just(n),
+            proptest::collection::vec(
+                (0..n, 0..n).prop_filter("no initial self-loops", |(a, b)| a != b),
+                10..30,
+            ),
+            // 4–7 rounds of raw (denormalized) commit batches.
+            proptest::collection::vec(
+                proptest::collection::vec(
+                    (any::<bool>(), 0..n + 3, 0..n + 3),
+                    1..10,
+                ),
+                4..8,
+            ),
+            // Two join epochs, one per follower, reduced mod the round
+            // count below.
+            (any::<u32>(), any::<u32>()),
+        ))
+    ) {
+        // A follower's four typed handles, for reading its answers.
+        struct FollowerViews {
+            rpq: ReplicaHandle<IncRpq>,
+            scc: ReplicaHandle<IncScc>,
+            kws: ReplicaHandle<IncKws>,
+            iso: ReplicaHandle<IncIso>,
+        }
+        fn register_follower(r: &mut Replica) -> FollowerViews {
+            FollowerViews {
+                rpq: r.register("rpq", IncRpq::init(rpq_query())).unwrap(),
+                scc: r.register("scc", IncScc::init()).unwrap(),
+                kws: r
+                    .register("kws", IncKws::init(KwsQuery::new(vec![Label(1), Label(2)], 2)))
+                    .unwrap(),
+                iso: r
+                    .register(
+                        "iso",
+                        IncIso::init(Pattern::from_parts(&[0, 1, 2], &[(0, 1), (1, 2)])),
+                    )
+                    .unwrap(),
+            }
+        }
+        fn follower_answers(r: &Replica, v: &FollowerViews) -> ClassAnswers {
+            (
+                r.view(&v.rpq).unwrap().sorted_answer(),
+                r.view(&v.scc).unwrap().components(),
+                r.view(&v.kws).unwrap().answer_signature(),
+                r.view(&v.iso).unwrap().sorted_matches(),
+            )
+        }
+        fn leader_answers(e: &Engine) -> ClassAnswers {
+            let rpq: ViewHandle<IncRpq> = e.typed(e.find("rpq").unwrap()).unwrap();
+            let scc: ViewHandle<IncScc> = e.typed(e.find("scc").unwrap()).unwrap();
+            let kws: ViewHandle<IncKws> = e.typed(e.find("kws").unwrap()).unwrap();
+            let iso: ViewHandle<IncIso> = e.typed(e.find("iso").unwrap()).unwrap();
+            (
+                e.view(&rpq).unwrap().sorted_answer(),
+                e.view(&scc).unwrap().components(),
+                e.view(&kws).unwrap().answer_signature(),
+                e.view(&iso).unwrap().sorted_matches(),
+            )
+        }
+        /// One follower's full convergence check against both references.
+        fn assert_converged(r: &mut Replica, v: &FollowerViews, leader: &Engine, twin: &Engine) {
+            r.catch_up().unwrap();
+            prop_assert_eq!(r.frontier(), leader.epoch(), "follower at the head");
+            prop_assert_eq!(r.status().unwrap().lag, 0);
+            prop_assert_eq!(
+                r.graph().sorted_edges(),
+                leader.graph().sorted_edges(),
+                "follower graph matches the leader"
+            );
+            let got = follower_answers(r, v);
+            prop_assert_eq!(&got, &leader_answers(leader), "follower == leader");
+            prop_assert_eq!(&got, &leader_answers(twin), "follower == never-replicated twin");
+            r.verify_all().unwrap();
+        }
+
+        let labels: Vec<u32> = (0..n).map(|i| i % 3).collect();
+        let g = graph_from(&labels, &edges);
+
+        let backend = MemBackend::new();
+        let mut leader = engine_with_views(g.clone());
+        leader = leader
+            .with_log(Arc::new(backend.clone()) as Arc<dyn LogBackend>)
+            .unwrap();
+        leader.set_checkpoint_every(2);
+        let mut twin = engine_with_views(g);
+
+        let join_a = (picks.0 as usize) % rounds.len();
+        let join_b = (picks.1 as usize) % rounds.len();
+        let mut follower_a: Option<(Replica, FollowerViews)> = None; // pinned
+        let mut follower_b: Option<(Replica, FollowerViews)> = None; // unpinned
+
+        for (round, raw) in rounds.iter().enumerate() {
+            // Followers join *before* this round's commit, at whatever
+            // epoch the leader happens to be at.
+            if round == join_a {
+                let mut r = leader.replica().unwrap();
+                prop_assert!(r.is_pinned());
+                let v = register_follower(&mut r);
+                assert_converged(&mut r, &v, &leader, &twin);
+                follower_a = Some((r, v));
+            }
+            if round == join_b {
+                let mut r =
+                    Replica::attach(Arc::new(backend.clone()) as Arc<dyn LogBackend>).unwrap();
+                prop_assert!(!r.is_pinned());
+                let v = register_follower(&mut r);
+                assert_converged(&mut r, &v, &leader, &twin);
+                follower_b = Some((r, v));
+            }
+
+            let batch = batch_from_raw(raw);
+            let receipt = leader.commit(&batch).unwrap();
+            let receipt_twin = twin.commit(&batch).unwrap();
+            prop_assert_eq!(receipt.epoch, receipt_twin.epoch, "twin trajectories agree");
+
+            for (r, v) in [&mut follower_a, &mut follower_b].into_iter().flatten() {
+                assert_converged(r, v, &leader, &twin);
+            }
+        }
+
+        // Both followers are at the head, so compaction may drop every
+        // segment behind the newest checkpoint — and a *fresh* follower
+        // joining the compacted log must still converge bit-identically.
+        let c = leader.compact_log().unwrap();
+        let mut late = leader.replica().unwrap();
+        prop_assert!(
+            late.seed_base() >= c.base_epoch,
+            "post-compaction joiner seeds at or past the retained base"
+        );
+        let v = register_follower(&mut late);
+        assert_converged(&mut late, &v, &leader, &twin);
     }
 }
