@@ -89,6 +89,49 @@ impl Base {
     }
 }
 
+/// A hot-churn submission stream: 64 batches of 8 raw units, every unit
+/// toggling one edge from a small pool of node pairs shared by the whole
+/// stream — the workload shape the async ingest front door coalesces into
+/// one normalized mega-batch per commit tick (see
+/// `experiments::engine_ingest`).
+fn churn_stream(g: &DynamicGraph) -> Vec<UpdateBatch> {
+    use igc_graph::NodeId;
+    let n = g.node_count() as u64;
+    let mut state = 0x1A6E57u64;
+    let mut next = move || {
+        // splitmix64
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let pool: Vec<(NodeId, NodeId)> = (0..48)
+        .map(|_| {
+            let a = next() % n;
+            let mut b = next() % n;
+            if a == b {
+                b = (b + 1) % n;
+            }
+            (NodeId(a as u32), NodeId(b as u32))
+        })
+        .collect();
+    (0..64)
+        .map(|_| {
+            (0..8)
+                .map(|_| {
+                    let (src, dst) = pool[(next() % 48) as usize];
+                    if next() % 2 == 0 {
+                        Update::insert(src, dst)
+                    } else {
+                        Update::delete(src, dst)
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
 /// Duplicate every unit update — the denormalized-client shape the commit
 /// pipeline absorbs via its single normalization pass.
 fn pollute(delta: &UpdateBatch) -> UpdateBatch {
@@ -153,6 +196,34 @@ fn bench_engine_commit(c: &mut Criterion) {
             )
         });
     }
+
+    // Coalescing head to head: the ingest front door's commit-tick shape.
+    // The same 64-submission hot-churn stream committed as one mega-batch
+    // (one tick coalescing all 64) versus one commit per submission. The
+    // tick's single normalization pass collapses cross-submission churn to
+    // at most one net update per edge, buying back both the per-commit
+    // fixed cost and the view work the same edges' intermediate states
+    // would otherwise incur 64 times over.
+    let stream = churn_stream(&base.g);
+    let mega: UpdateBatch = stream.iter().flat_map(|b| b.iter().copied()).collect();
+    group.bench_function(BenchmarkId::new("coalesced_tick", 64), |b| {
+        b.iter_batched(
+            || base.engine(),
+            |mut engine| engine.commit(&mega).unwrap(),
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function(BenchmarkId::new("per_submission_commits", 64), |b| {
+        b.iter_batched(
+            || base.engine(),
+            |mut engine| {
+                for sub in &stream {
+                    engine.commit(sub).unwrap();
+                }
+            },
+            BatchSize::LargeInput,
+        )
+    });
 
     // Journaling overhead on the hot path: the same 100-unit delta
     // committed to the same four views, with and without a write-ahead

@@ -5,6 +5,7 @@
 //! ```text
 //! experiments [--scale F] [--no-verify] [--threads N] [--json-out PATH]
 //!             [--log] [--crash-at N] [--log-dir PATH] [--replicas N]
+//!             [--ingest N]
 //!             [fig8a fig8b … | all | unit | rho | undoable | locality | engine]
 //! ```
 //!
@@ -28,6 +29,11 @@
 //! throughput at 1/2/4 log-shipped replicas, observed tailing lag with
 //! `N` followers under sustained commit load plus backlog drain time,
 //! and journal bytes staying bounded under periodic compaction.
+//! `--ingest N` adds an `ingest` section: `N` concurrent submitter
+//! threads through the async ingest front door under four arms (durable
+//! every-append vs group-commit, volatile per-submission vs coalesced),
+//! with throughput, p50/p99 submit→receipt latency, fsync-barrier counts
+//! and receipts-match-submissions + journal-replay audits.
 
 use igc_bench::experiments::{self, ExpConfig, ALL_FIGS};
 
@@ -65,11 +71,15 @@ fn main() {
                 cfg.replicas = v.parse().expect("replicas must be an integer");
                 cfg.log = true;
             }
+            "--ingest" => {
+                let v = args.next().expect("--ingest needs a submitter count");
+                cfg.ingest = v.parse().expect("ingest must be an integer");
+            }
             "all" => figs.extend(ALL_FIGS.iter().map(|s| s.to_string())),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: experiments [--scale F] [--no-verify] [--threads N] [--json-out PATH] \
-                     [--log] [--crash-at N] [--log-dir PATH] [--replicas N] \
+                     [--log] [--crash-at N] [--log-dir PATH] [--replicas N] [--ingest N] \
                      [fig8a … fig8p | all | unit | rho | undoable | locality | engine]"
                 );
                 return;

@@ -54,6 +54,13 @@ pub struct ExpConfig {
     /// commit load plus backlog drain time, and a journal-boundedness
     /// series of compactions across checkpoint cadences.
     pub replicas: usize,
+    /// Concurrent submitter threads for the ingest micro-benchmark
+    /// (`--ingest N`): `n ≥ 1` adds an `ingest` section to the JSON —
+    /// four arms (durable every-append / group-commit, volatile
+    /// per-submission / coalesced) with throughput, p50/p99
+    /// submit→receipt latency, fsync-barrier counts, and
+    /// receipts-match-submissions + journal-replay audits.
+    pub ingest: usize,
 }
 
 impl Default for ExpConfig {
@@ -66,6 +73,7 @@ impl Default for ExpConfig {
             crash_at: None,
             log_dir: None,
             replicas: 0,
+            ingest: 0,
         }
     }
 }
@@ -1023,6 +1031,289 @@ fn temp_log_dir() -> std::path::PathBuf {
     ))
 }
 
+/// Submissions each submitter drives in one ingest arm — open loop (each
+/// submitter firehoses its whole stream, then awaits every ticket), the
+/// sustained-backlog shape coalescing and group commit are built for. A
+/// closed loop (one outstanding submission per thread) would measure the
+/// OS scheduler's wake-up convoy instead: on few cores the server and all
+/// submitters serialize, and per-tick latency is dominated by thread
+/// hand-offs rather than by commit or fsync work. The stream is long
+/// enough that commit work dominates the few-millisecond thread
+/// spawn/wake-up floor every arm pays once.
+pub const INGEST_PER_SUBMITTER: usize = 96;
+
+/// Raw units per submission batch in the ingest micro-benchmark.
+const INGEST_UNITS: usize = 8;
+
+/// Node pairs in the shared hot pool the ingest streams churn over.
+const INGEST_HOT_POOL: u64 = 48;
+
+/// Hot-churn ingest streams: every unit toggles one edge drawn from a
+/// small pool of node pairs shared by all submitters. This is the
+/// workload shape the coalescing front door is built for: under hot keys,
+/// the tick's single `normalize_against` pass collapses cross-submission
+/// churn (duplicate inserts, insert/delete flip-flops) to at most one net
+/// update per edge, while per-submission commits pay incremental view
+/// maintenance for every intermediate state the same edges pass through.
+/// (On streams of mostly-disjoint cold updates there is nothing to dedup
+/// and coalescing is a wash — the per-commit fixed cost it saves is small
+/// next to the view work, which is the same either way.)
+fn churn_streams(g: &DynamicGraph, submitters: usize) -> Vec<Vec<UpdateBatch>> {
+    use igc_graph::{NodeId, Update};
+    let n = g.node_count() as u64;
+    let mut state = GRAPH_SEED ^ 0x1A6E57;
+    let mut next = move || {
+        // splitmix64: tiny, deterministic, and plenty for pool sampling.
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let pool: Vec<(NodeId, NodeId)> = (0..INGEST_HOT_POOL)
+        .map(|_| {
+            let a = next() % n;
+            let mut b = next() % n;
+            if a == b {
+                b = (b + 1) % n;
+            }
+            (NodeId(a as u32), NodeId(b as u32))
+        })
+        .collect();
+    (0..submitters)
+        .map(|_| {
+            (0..INGEST_PER_SUBMITTER)
+                .map(|_| {
+                    (0..INGEST_UNITS)
+                        .map(|_| {
+                            let (src, dst) = pool[(next() % INGEST_HOT_POOL) as usize];
+                            if next() % 2 == 0 {
+                                Update::insert(src, dst)
+                            } else {
+                                Update::delete(src, dst)
+                            }
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The ingest micro-benchmark behind `--ingest N`: `N` submitter threads
+/// drive identical pre-generated hot-churn streams (see
+/// [`churn_streams`]) through an
+/// [`IngestServer`](igc_engine::IngestServer) under four arms —
+///
+/// * `durable_every_append`: per-submission commits (`max_coalesce` 1)
+///   with one fsync barrier per WAL record — the classic durable write
+///   path;
+/// * `durable_group_commit`: coalesced ticks plus
+///   [`DurabilityMode::GroupCommit`](igc_log::DurabilityMode) — one
+///   barrier covers a whole tick's records;
+/// * `volatile_per_submission` / `volatile_coalesced`: the same pair
+///   without a log, isolating the coalescing win from the fsync win.
+///
+/// Each arm records wall clock, submissions/s, p50/p99 submit→receipt
+/// latency, commit/append/barrier counts and a receipts-match-submissions
+/// audit; durable arms additionally replay their journal and assert the
+/// recovered graph is bit-identical. The two headline ratios — durable
+/// group-commit vs durable every-append throughput, and coalesced vs
+/// per-submission wall clock — are this subsystem's acceptance numbers.
+fn engine_ingest(cfg: &ExpConfig) -> String {
+    use igc_engine::{IngestConfig, IngestReceipt, IngestServer};
+    use igc_log::DurabilityMode;
+    use std::time::{Duration, Instant};
+
+    let submitters = cfg.ingest.max(1);
+    let g = workloads::dataset(Dataset::DbpediaLike, cfg.scale);
+    // Identical pre-generated hot-churn streams for every arm (see
+    // [`churn_streams`]): submitters race, so none could see a current
+    // graph anyway — the tick's normalization pass is what makes blind
+    // resubmission of hot keys safe, and what coalescing monetizes.
+    let streams: Vec<Vec<UpdateBatch>> = churn_streams(&g, submitters);
+
+    struct ArmOutcome {
+        json: String,
+        wall_s: f64,
+        subs_per_s: f64,
+    }
+
+    let run_arm = |name: &str, durability: Option<DurabilityMode>, max_coalesce: usize| {
+        let mut engine = Engine::new(g.clone());
+        let dir = durability.map(|_| temp_log_dir());
+        let backend: Option<Arc<dyn LogBackend>> = dir.as_ref().map(|d| {
+            let _ = std::fs::remove_dir_all(d);
+            Arc::new(FileBackend::new(d).expect("create ingest log dir")) as Arc<dyn LogBackend>
+        });
+        if let Some(b) = &backend {
+            engine = engine.with_log(b.clone()).expect("attach ingest log");
+            // Cadence checkpoints off: the arms compare append/barrier
+            // costs, not checkpoint amortization.
+            engine.set_checkpoint_every(0);
+        }
+        engine
+            .register(IncRpq::new(engine.graph(), &workloads::default_rpq(495)))
+            .expect("register rpq");
+        engine
+            .register(IncScc::new(engine.graph()))
+            .expect("register scc");
+        if let Some(mode) = durability {
+            engine.set_durability(mode).expect("set durability");
+        }
+
+        let server = IngestServer::spawn_with(
+            engine,
+            IngestConfig {
+                max_coalesce,
+                pipeline: true,
+            },
+        );
+        let start = Instant::now();
+        let per_thread: Vec<(Vec<IngestReceipt>, Vec<Duration>, bool)> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = streams
+                    .iter()
+                    .map(|stream| {
+                        let ingest = server.handle();
+                        scope.spawn(move || {
+                            // Burst the stream, then await: each latency is
+                            // submit→receipt for that submission, queueing
+                            // under backlog included.
+                            let tickets: Vec<_> = stream
+                                .iter()
+                                .map(|batch| {
+                                    let t0 = Instant::now();
+                                    let ticket =
+                                        ingest.submit(batch.clone()).expect("server is up");
+                                    (ticket, t0, batch.len())
+                                })
+                                .collect();
+                            let mut receipts = Vec::with_capacity(stream.len());
+                            let mut latencies = Vec::with_capacity(stream.len());
+                            let mut echoed = true;
+                            for (ticket, t0, units) in tickets {
+                                let receipt = ticket.wait().expect("submission committed");
+                                latencies.push(t0.elapsed());
+                                echoed &= receipt.units == units;
+                                receipts.push(receipt);
+                            }
+                            (receipts, latencies, echoed)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("submitter thread clean"))
+                    .collect()
+            });
+        let wall_s = start.elapsed().as_secs_f64();
+        let engine = server.shutdown().expect("server returns the engine");
+
+        let receipts: Vec<&IngestReceipt> = per_thread.iter().flat_map(|(r, _, _)| r).collect();
+        let mut latencies: Vec<f64> = per_thread
+            .iter()
+            .flat_map(|(_, l, _)| l)
+            .map(|d| d.as_secs_f64())
+            .collect();
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let quantile = |q: f64| latencies[((latencies.len() - 1) as f64 * q).round() as usize];
+        let expected = submitters * INGEST_PER_SUBMITTER;
+        let receipts_match =
+            receipts.len() == expected && per_thread.iter().all(|(_, _, echoed)| *echoed);
+        let total_units: usize = receipts.iter().map(|r| r.units).sum();
+        let widest = receipts.iter().map(|r| r.coalesced).max().unwrap_or(0);
+
+        if cfg.verify {
+            engine.verify_all().expect("ingest arm views audit clean");
+        }
+        // Durable arms: count appends/barriers and prove the journal
+        // replays to the exact served frontier.
+        let (appends, barriers, recover_note) = match engine.log() {
+            Some(log) => {
+                let appends = log.deltas() + log.checkpoints();
+                let barriers = log.syncs();
+                assert_eq!(
+                    log.unsynced_appends(),
+                    0,
+                    "shutdown leaves a barriered tail"
+                );
+                let backend = backend.clone().expect("durable arm has a backend");
+                let recovered = Engine::recover(backend).expect("recover ingest journal");
+                assert_eq!(recovered.epoch(), engine.epoch(), "recovered frontier");
+                let matches = recovered.graph().sorted_edges() == engine.graph().sorted_edges();
+                assert!(
+                    matches,
+                    "ingest journal replay diverged from the served graph"
+                );
+                (
+                    appends,
+                    barriers,
+                    format!(", \"recover_matches\": {matches}"),
+                )
+            }
+            None => (0, 0, String::new()),
+        };
+        if let Some(d) = &dir {
+            let _ = std::fs::remove_dir_all(d);
+        }
+        let subs_per_s = if wall_s > 0.0 {
+            expected as f64 / wall_s
+        } else {
+            0.0
+        };
+        let json = format!(
+            "{{\"arm\": \"{name}\", \"durable\": {}, \"max_coalesce\": {max_coalesce}, \
+             \"submissions\": {expected}, \"units\": {total_units}, \"commits\": {}, \
+             \"epochs\": {}, \"widest_tick\": {widest}, \"wall_s\": {wall_s:.9}, \
+             \"submissions_per_s\": {subs_per_s:.1}, \"p50_submit_to_receipt_s\": {:.9}, \
+             \"p99_submit_to_receipt_s\": {:.9}, \"wal_appends\": {appends}, \
+             \"fsync_barriers\": {barriers}, \
+             \"receipts_match_submissions\": {receipts_match}{recover_note}}}",
+            backend.is_some(),
+            engine.commits(),
+            engine.epoch(),
+            quantile(0.50),
+            quantile(0.99),
+        );
+        ArmOutcome {
+            json,
+            wall_s,
+            subs_per_s,
+        }
+    };
+
+    let every = run_arm("durable_every_append", Some(DurabilityMode::EveryAppend), 1);
+    let group = run_arm(
+        "durable_group_commit",
+        Some(DurabilityMode::GroupCommit {
+            max_batch: 8,
+            max_delay: Duration::from_millis(5),
+        }),
+        64,
+    );
+    let v_per = run_arm("volatile_per_submission", None, 1);
+    let v_coal = run_arm("volatile_coalesced", None, 64);
+
+    let group_speedup = if every.subs_per_s > 0.0 {
+        group.subs_per_s / every.subs_per_s
+    } else {
+        0.0
+    };
+    let coalesce_speedup = if v_coal.wall_s > 0.0 {
+        v_per.wall_s / v_coal.wall_s
+    } else {
+        0.0
+    };
+    format!(
+        "{{\"submitters\": {submitters}, \"per_submitter\": {INGEST_PER_SUBMITTER}, \
+         \"units_per_submission\": {INGEST_UNITS}, \"arms\": [{}, {}, {}, {}], \
+         \"group_commit_speedup_vs_every_append\": {group_speedup:.3}, \
+         \"coalesced_speedup_vs_per_submission\": {coalesce_speedup:.3}}}",
+        every.json, group.json, v_per.json, v_coal.json
+    )
+}
+
 /// One churning multi-view serving run with the full v2 lifecycle: the four
 /// default views plus a deliberately flaky canary registered on a
 /// DBpedia-like graph, `ENGINE_COMMITS` commits of ~2 % of the edges each
@@ -1049,6 +1340,12 @@ fn temp_log_dir() -> std::path::PathBuf {
 /// `replication` section (see [`engine_replication`](self): read
 /// throughput at 1/2/4 replicas, observed tailing lag plus backlog drain
 /// time, and per-cadence journal bytes under periodic compaction).
+///
+/// With `cfg.ingest = n ≥ 1` the JSON additionally gains an `ingest`
+/// section (see [`engine_ingest`](self)): `n` concurrent submitters
+/// driven through the async front door under four durability/coalescing
+/// arms, with throughput, p50/p99 submit→receipt latency and
+/// receipts-match-submissions audits.
 pub fn engine_run(cfg: &ExpConfig) -> EngineRun {
     let g = workloads::dataset(Dataset::DbpediaLike, cfg.scale);
     let logging = cfg.log || cfg.crash_at.is_some();
@@ -1345,6 +1642,10 @@ pub fn engine_run(cfg: &ExpConfig) -> EngineRun {
     if cfg.replicas > 0 {
         let replication = engine_replication(cfg);
         extra_sections.push_str(&format!("  \"replication\": {replication},\n"));
+    }
+    if cfg.ingest > 0 {
+        let ingest = engine_ingest(cfg);
+        extra_sections.push_str(&format!("  \"ingest\": {ingest},\n"));
     }
     let json = format!(
         "{{\n  \"bench\": \"engine_commit\",\n  \"dataset\": \"dbpedia_like\",\n  \

@@ -6,13 +6,14 @@
 use crate::background::BackgroundBuild;
 use crate::error::{Divergence, EngineError};
 use crate::lifecycle::{LifecycleEvent, LifecycleEventKind, ViewHandle, ViewId, ViewState};
+use crate::pool::{drive_apply, InFlightView, PoolRecord, PoolTask, WorkerPool};
 use crate::receipt::{CommitReceipt, ViewCommitStats, ViewOutcome, ViewTotals};
 use crate::replica::Replica;
 use igc_core::{panic_cause, IncView, ViewInit, WorkStats};
 use igc_graph::{DynamicGraph, UpdateBatch};
-use igc_log::{CommitLog, Compaction, LogBackend};
+use igc_log::{CommitLog, Compaction, DurabilityMode, LogBackend};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Weak};
+use std::sync::{mpsc, Arc, Weak};
 use std::time::{Duration, Instant};
 
 /// A registered view plus its health and cumulative accounting.
@@ -63,20 +64,23 @@ pub const DEFAULT_CHECKPOINT_EVERY: u64 = 32;
 /// (ordering, work attribution, outcomes — wall-clock durations aside) and
 /// the quarantine/lifecycle journal are bit-identical between modes,
 /// because workers only run `apply` and the engine merges their results in
-/// slot order after joining every worker. Parallel mode pays a per-commit
-/// thread-spawn cost (tens of µs), so it only wins when at least two views
-/// are individually expensive — see the README's engine section.
+/// slot order after collecting every record. Parallel mode dispatches to a
+/// **persistent worker pool** (parked threads fed over a channel — built
+/// lazily on the first parallel commit and reused after, so the per-commit
+/// thread-spawn cost the first scoped implementation paid is gone); it
+/// wins when at least two views are individually expensive — see the
+/// README's engine section.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum CommitMode {
     /// Fan out on the committing thread, in slot order — the default, and
     /// byte-for-byte the pre-[`CommitMode`] behavior.
     #[default]
     Sequential,
-    /// Fan out across `threads` scoped worker threads (round-robin by slot,
-    /// so the two heaviest views land on different workers even when they
-    /// occupy adjacent slots). `threads == 0` means
-    /// [`std::thread::available_parallelism`]; any value is clamped to the
-    /// number of views that actually run.
+    /// Fan out across the persistent pool's `threads` workers (tasks are
+    /// pulled from a shared channel, so load balances itself — a worker
+    /// that drew a cheap view just pulls the next task). `threads == 0`
+    /// means [`std::thread::available_parallelism`]; `1` degenerates to
+    /// sequential fan-out without touching the pool.
     Parallel {
         /// Worker-thread count (`0` = available parallelism).
         threads: usize,
@@ -93,6 +97,54 @@ struct ApplyRecord {
     result: Result<(), String>,
 }
 
+/// Step 1 of a commit, detached from steps 2–4: the batch has been
+/// admission-checked, normalized against the graph it will apply to, and
+/// (on a logged engine) journaled write-ahead — but the graph and the
+/// views have not been touched. Produced by [`Engine::prepare`], consumed
+/// by [`Engine::apply_prepared`]; [`Engine::commit`] is exactly the two
+/// back to back.
+///
+/// The split exists for *pipelining*: while commit *n*'s fan-out is in
+/// flight on the worker pool, the committing thread can already prepare
+/// commit *n+1* (normalize + WAL-append overlap with view work). A
+/// `PreparedCommit` is pinned to the epoch it was normalized at —
+/// applying it after any other commit landed is an
+/// [`EngineError::EpochGap`].
+///
+/// On a logged engine the journal may run one record ahead of the graph
+/// while a `PreparedCommit` is outstanding; that is ordinary redo
+/// semantics — if the process dies there, [`Engine::recover`] replays the
+/// record and the commit is complete. Dropping a prepared commit without
+/// applying it leaves that redo record behind: the *live* engine will
+/// reject the next prepare with an epoch-chain error, and recovery is the
+/// (lossless) way back.
+#[derive(Debug)]
+pub struct PreparedCommit {
+    delta: UpdateBatch,
+    submitted: usize,
+    prepare_elapsed: Duration,
+    base_epoch: u64,
+}
+
+impl PreparedCommit {
+    /// Whether normalization dropped every unit — applying this commit
+    /// will bump nothing and touch no view ([`CommitReceipt::is_noop`]).
+    pub fn is_noop(&self) -> bool {
+        self.delta.is_empty()
+    }
+
+    /// Units surviving normalization (what the graph and views will see).
+    pub fn units(&self) -> usize {
+        self.delta.len()
+    }
+
+    /// The graph epoch this commit was normalized against; applying it
+    /// from any other epoch is rejected.
+    pub fn base_epoch(&self) -> u64 {
+        self.base_epoch
+    }
+}
+
 /// The multi-view incremental engine: owns the shared [`DynamicGraph`] and
 /// a registry of type-erased [`IncView`]s, and funnels every update through
 /// one normalize → apply → fan-out commit pipeline. See the
@@ -104,7 +156,12 @@ struct ApplyRecord {
 /// neighbours.
 #[derive(Default)]
 pub struct Engine {
-    graph: DynamicGraph,
+    /// The shared graph, behind an `Arc` so an in-flight parallel fan-out
+    /// can keep reading it while the committing thread *prepares* the
+    /// next tick (normalization reads the graph; only
+    /// [`Engine::apply_prepared`] mutates it, via [`Arc::make_mut`] once
+    /// every outstanding read handle is gone).
+    graph: Arc<DynamicGraph>,
     slots: Vec<Slot>,
     /// Tombstoned slot indices available for reuse, LIFO.
     free: Vec<u32>,
@@ -118,6 +175,10 @@ pub struct Engine {
     total_elapsed: Duration,
     max_fresh_nodes: u32,
     mode: CommitMode,
+    /// The persistent fan-out worker pool: built lazily on the first
+    /// parallel commit, reused across commits, rebuilt only when the
+    /// resolved thread count changes or a worker died.
+    pool: Option<WorkerPool>,
     /// The attached commit log, if any ([`Engine::with_log`] /
     /// [`Engine::recover`]); commits journal through it write-ahead.
     log: Option<CommitLog>,
@@ -136,7 +197,7 @@ impl Engine {
     /// An engine serving queries over `graph`.
     pub fn new(graph: DynamicGraph) -> Self {
         Engine {
-            graph,
+            graph: Arc::new(graph),
             slots: Vec::new(),
             free: Vec::new(),
             retired: Vec::new(),
@@ -148,6 +209,7 @@ impl Engine {
             total_elapsed: Duration::ZERO,
             max_fresh_nodes: DEFAULT_MAX_FRESH_NODES,
             mode: CommitMode::Sequential,
+            pool: None,
             log: None,
             checkpoint_every: DEFAULT_CHECKPOINT_EVERY,
             logged_since_checkpoint: 0,
@@ -285,6 +347,40 @@ impl Engine {
             });
         };
         Ok(log.compact()?)
+    }
+
+    /// Set the attached log's [`DurabilityMode`] — when journal appends
+    /// reach durable storage: never beyond the page cache
+    /// ([`DurabilityMode::None`], the default), one fsync barrier per
+    /// record ([`DurabilityMode::EveryAppend`]), or batched group-commit
+    /// barriers ([`DurabilityMode::GroupCommit`]: one fsync covering every
+    /// record since the last barrier, issued when the window's
+    /// `max_batch`/`max_delay` closes). Takes effect from the next append;
+    /// [`EngineError::NoLog`] without an attached log.
+    pub fn set_durability(&mut self, mode: DurabilityMode) -> Result<(), EngineError> {
+        let Some(log) = &mut self.log else {
+            return Err(EngineError::NoLog {
+                operation: "set_durability",
+            });
+        };
+        log.set_durability(mode);
+        Ok(())
+    }
+
+    /// Force a durability barrier right now: fsync every journal record
+    /// appended since the last barrier (a no-op when nothing is pending).
+    /// The explicit flush for quiesce points — e.g. the ingest server
+    /// calls this before parking on an empty queue, so "queue drained"
+    /// always implies "everything accepted is durable" under group
+    /// commit. [`EngineError::NoLog`] without an attached log.
+    pub fn sync_log(&mut self) -> Result<(), EngineError> {
+        let Some(log) = &mut self.log else {
+            return Err(EngineError::NoLog {
+                operation: "sync_log",
+            });
+        };
+        log.sync()?;
+        Ok(())
     }
 
     /// The shared graph. Eagerly registered views must be constructed
@@ -778,6 +874,16 @@ impl Engine {
     /// sees it. Deletions are exempt: they never materialize nodes, and a
     /// delete aimed past the graph is just a no-op normalization drops.
     pub fn commit(&mut self, batch: &UpdateBatch) -> Result<CommitReceipt, EngineError> {
+        let prepared = self.prepare(batch)?;
+        let (receipt, _) = self.apply_prepared(prepared, None)?;
+        Ok(receipt)
+    }
+
+    /// Admission check shared by [`Engine::prepare`] and the ingest
+    /// server (which validates each submission *before* coalescing it, so
+    /// one fat-fingered batch is rejected alone instead of poisoning a
+    /// whole commit tick).
+    pub(crate) fn admit(&self, batch: &UpdateBatch) -> Result<(), EngineError> {
         let limit = self.graph.node_count() as u64 + self.max_fresh_nodes as u64;
         for u in batch.iter() {
             if !u.is_insert() {
@@ -789,20 +895,94 @@ impl Engine {
                 return Err(EngineError::NodeOutOfBounds { node: worst, limit });
             }
         }
+        Ok(())
+    }
 
-        let commit_start = Instant::now();
+    /// Step 1 of [`Engine::commit`], detachable: admission-check and
+    /// normalize `batch` against the current graph, and — on a logged
+    /// engine, for a non-no-op delta — journal it write-ahead (cadence
+    /// checkpoint first, then the delta chained to exactly the epoch
+    /// applying it will produce). The graph and the views are untouched;
+    /// consume the result with [`Engine::apply_prepared`].
+    ///
+    /// A failed append rejects the commit atomically; a successful one
+    /// guarantees recovery can replay this commit even if the process
+    /// dies before (or during) the apply. The cadence checkpoint
+    /// snapshots the *pre*-commit graph and goes down first, so either
+    /// failure leaves the engine untouched.
+    pub fn prepare(&mut self, batch: &UpdateBatch) -> Result<PreparedCommit, EngineError> {
+        self.admit(batch)?;
+        let start = Instant::now();
         let submitted = batch.len();
         let delta = batch.normalize_against(&self.graph);
+        self.units_dropped += (submitted - delta.len()) as u64;
+        if !delta.is_empty() {
+            if let Some(log) = &mut self.log {
+                if self.checkpoint_every > 0
+                    && self.logged_since_checkpoint >= self.checkpoint_every
+                {
+                    log.append_checkpoint(&self.graph)?;
+                    self.logged_since_checkpoint = 0;
+                }
+                log.append_delta(self.graph.epoch() + 1, &delta)?;
+                self.logged_since_checkpoint += 1;
+            }
+        }
+        Ok(PreparedCommit {
+            delta,
+            submitted,
+            prepare_elapsed: start.elapsed(),
+            base_epoch: self.graph.epoch(),
+        })
+    }
+
+    /// Steps 2–4 of [`Engine::commit`]: apply a [`PreparedCommit`]'s
+    /// delta to the graph (bumping the epoch), fan it out to every live
+    /// active view, and merge the records — in slot order, identically
+    /// for both commit modes — into the receipt, registry accounting and
+    /// quarantine journal.
+    ///
+    /// When `next` is given, the *following* commit is prepared inside
+    /// this call and its outcome returned — and under
+    /// [`CommitMode::Parallel`] that preparation (normalize + WAL append)
+    /// runs **while this commit's fan-out is still in flight** on the
+    /// worker pool. Write-ahead ordering per commit is preserved: every
+    /// delta is journaled before the graph applies it; the only overlap
+    /// is tick *n+1*'s append with tick *n*'s view work, which the log's
+    /// epoch chain keeps ordered. Errors from preparing `next` belong to
+    /// the next commit and are returned in the nested `Result`, never
+    /// conflated with this commit's.
+    ///
+    /// Errors with [`EngineError::EpochGap`] if another commit landed
+    /// since [`Engine::prepare`] (the delta was normalized against a
+    /// graph that no longer exists; nothing is applied).
+    pub fn apply_prepared(
+        &mut self,
+        prepared: PreparedCommit,
+        next: Option<&UpdateBatch>,
+    ) -> Result<(CommitReceipt, Option<Result<PreparedCommit, EngineError>>), EngineError> {
+        if prepared.base_epoch != self.graph.epoch() {
+            return Err(EngineError::EpochGap {
+                expected: prepared.base_epoch,
+                found: self.graph.epoch(),
+            });
+        }
+        let apply_start = Instant::now();
+        let PreparedCommit {
+            delta,
+            submitted,
+            prepare_elapsed,
+            ..
+        } = prepared;
         let applied = delta.len();
         let dropped = submitted - applied;
-        self.units_dropped += dropped as u64;
 
         if delta.is_empty() {
             // Normalization itself was paid for: account its wall-clock
             // even though no commit (epoch bump, view fan-out) happened.
-            let elapsed = commit_start.elapsed();
+            let elapsed = prepare_elapsed + apply_start.elapsed();
             self.total_elapsed += elapsed;
-            return Ok(CommitReceipt {
+            let receipt = CommitReceipt {
                 epoch: self.graph.epoch(),
                 submitted,
                 applied: 0,
@@ -812,55 +992,142 @@ impl Engine {
                 per_view: Vec::new(),
                 skipped_quarantined: 0,
                 work: WorkStats::new(),
-            });
-        }
-
-        // Write-ahead journaling: the normalized delta is appended —
-        // chained to exactly the epoch this commit will produce — before
-        // the graph or any view is touched. A failed append rejects the
-        // commit atomically; a successful one guarantees recovery can
-        // replay this commit even if the process dies mid-fan-out. The
-        // cadence checkpoint snapshots the *pre*-commit graph and goes
-        // down first, so either failure leaves the engine untouched.
-        if let Some(log) = &mut self.log {
-            if self.checkpoint_every > 0 && self.logged_since_checkpoint >= self.checkpoint_every {
-                log.append_checkpoint(&self.graph)?;
-                self.logged_since_checkpoint = 0;
-            }
-            log.append_delta(self.graph.epoch() + 1, &delta)?;
-            self.logged_since_checkpoint += 1;
+            };
+            let next_prepared = next.map(|b| self.prepare(b));
+            return Ok((receipt, next_prepared));
         }
 
         let graph_start = Instant::now();
-        self.graph.apply_batch(&delta);
+        // Ref count is 1 on the quiescent path, so this mutates in place;
+        // if a dead worker still holds a graph handle, make_mut falls back
+        // to a clone instead of blocking or panicking.
+        Arc::make_mut(&mut self.graph).apply_batch(&delta);
         let graph_elapsed = graph_start.elapsed();
         let epoch = self.graph.epoch();
+        let delta = Arc::new(delta);
 
-        // Fan-out. Collect the views that run this commit (live and
-        // active), then drive them sequentially or across scoped worker
-        // threads; both paths feed the same slot-ordered merge below, so
-        // everything observable is mode-independent.
-        let mut tasks: Vec<(usize, &mut Registered)> = Vec::new();
-        let mut skipped_quarantined = 0usize;
-        for (i, slot) in self.slots.iter_mut().enumerate() {
-            let Some(r) = slot.entry.as_mut() else {
-                continue;
-            };
-            if !r.state.is_active() {
-                skipped_quarantined += 1;
-                continue;
-            }
-            tasks.push((i, r));
-        }
-        let graph = &self.graph;
-        let records: Vec<ApplyRecord> = match self.mode {
-            CommitMode::Sequential => tasks
-                .into_iter()
-                .map(|(slot, r)| Self::run_view(slot, r, graph, &delta))
-                .collect(),
+        let threads = match self.mode {
+            CommitMode::Sequential => 1,
             CommitMode::Parallel { threads } => {
-                Self::fan_out_parallel(tasks, graph, &delta, threads)
+                if threads == 0 {
+                    std::thread::available_parallelism().map_or(1, |n| n.get())
+                } else {
+                    threads
+                }
             }
+        };
+
+        // Fan-out. Both paths feed the same slot-ordered merge below, so
+        // everything observable is mode-independent.
+        let mut skipped_quarantined = 0usize;
+        let mut records: Vec<ApplyRecord> = Vec::new();
+        let next_prepared = if threads <= 1 {
+            // Sequential: drive every view inline in slot order, then
+            // prepare the next tick (no overlap to exploit on one thread).
+            let graph = Arc::clone(&self.graph);
+            for (i, slot) in self.slots.iter_mut().enumerate() {
+                let Some(r) = slot.entry.as_mut() else {
+                    continue;
+                };
+                if !r.state.is_active() {
+                    skipped_quarantined += 1;
+                    continue;
+                }
+                let (elapsed, work, result) = drive_apply(r.view.as_mut(), &graph, &delta);
+                records.push(ApplyRecord {
+                    slot: i,
+                    elapsed,
+                    work,
+                    result,
+                });
+            }
+            next.map(|b| self.prepare(b))
+        } else {
+            self.ensure_pool(threads);
+            // Dispatch: take each active view out of its slot (leaving an
+            // InFlightView placeholder) and hand it to the pool. A pool
+            // whose workers are all gone fails the send and hands the
+            // task back — run it inline, so a wounded pool degrades to
+            // sequential fan-out instead of losing commits.
+            let (reply_tx, reply_rx) = mpsc::channel::<PoolRecord>();
+            let mut outstanding: Vec<usize> = Vec::new();
+            for (i, slot) in self.slots.iter_mut().enumerate() {
+                let Some(r) = slot.entry.as_mut() else {
+                    continue;
+                };
+                if !r.state.is_active() {
+                    skipped_quarantined += 1;
+                    continue;
+                }
+                let task = PoolTask {
+                    slot: i,
+                    view: std::mem::replace(&mut r.view, Box::new(InFlightView)),
+                    graph: Arc::clone(&self.graph),
+                    delta: Arc::clone(&delta),
+                    reply: reply_tx.clone(),
+                };
+                let submit = match &self.pool {
+                    Some(pool) => pool.submit(task),
+                    None => Err(task), // ensure_pool failed: inline
+                };
+                match submit {
+                    Ok(()) => outstanding.push(i),
+                    Err(mut task) => {
+                        let (elapsed, work, result) =
+                            drive_apply(task.view.as_mut(), &task.graph, &task.delta);
+                        r.view = task.view;
+                        records.push(ApplyRecord {
+                            slot: i,
+                            elapsed,
+                            work,
+                            result,
+                        });
+                    }
+                }
+            }
+            // Our own reply sender must go before the collect loop: once
+            // every worker-held clone is gone too (task finished or
+            // worker died), recv disconnects instead of hanging forever.
+            drop(reply_tx);
+
+            // *** The pipeline overlap: prepare the next tick while the
+            // pool is still applying this one. Prepare only reads the
+            // (post-apply) graph and writes the log — disjoint from
+            // everything the workers touch.
+            let next_prepared = next.map(|b| self.prepare(b));
+
+            // Collect every dispatched record, putting each view back in
+            // its slot. Disconnection with tasks still outstanding means
+            // worker death ate them: their slots keep the placeholder and
+            // are quarantined below, exactly like a panicked view.
+            while !outstanding.is_empty() {
+                match reply_rx.recv() {
+                    Ok(rec) => {
+                        outstanding.retain(|&s| s != rec.slot);
+                        if let Some(r) = self.slots.get_mut(rec.slot).and_then(|s| s.entry.as_mut())
+                        {
+                            r.view = rec.view;
+                        }
+                        records.push(ApplyRecord {
+                            slot: rec.slot,
+                            elapsed: rec.elapsed,
+                            work: rec.work,
+                            result: rec.result,
+                        });
+                    }
+                    Err(_) => break,
+                }
+            }
+            for slot in outstanding {
+                records.push(ApplyRecord {
+                    slot,
+                    elapsed: Duration::ZERO,
+                    work: WorkStats::new(),
+                    result: Err("commit worker died mid-apply (view state lost in flight)".into()),
+                });
+            }
+            records.sort_unstable_by_key(|rec| rec.slot);
+            next_prepared
         };
 
         // Merge in slot order — registry accounting, quarantine journal and
@@ -903,134 +1170,36 @@ impl Engine {
         self.commits += 1;
         self.units_applied += applied as u64;
         self.total_work += commit_work;
-        let elapsed = commit_start.elapsed();
+        let elapsed = prepare_elapsed + apply_start.elapsed();
         self.total_elapsed += elapsed;
 
-        Ok(CommitReceipt {
-            epoch,
-            submitted,
-            applied,
-            dropped,
-            graph_elapsed,
-            elapsed,
-            per_view,
-            skipped_quarantined,
-            work: commit_work,
-        })
+        Ok((
+            CommitReceipt {
+                epoch,
+                submitted,
+                applied,
+                dropped,
+                graph_elapsed,
+                elapsed,
+                per_view,
+                skipped_quarantined,
+                work: commit_work,
+            },
+            next_prepared,
+        ))
     }
 
-    /// Drive one view's `apply` and snapshot its cost — the single per-view
-    /// runner behind both commit modes (sequential calls it inline,
-    /// parallel on a worker thread).
-    ///
-    /// Fully fenced: [`IncView::apply_caught`] converts an `apply` panic
-    /// into `Err`, the post-panic `work()` read is fenced per the
-    /// quarantine contract, and the outer `catch_unwind` covers the
-    /// remaining view-code surface (a `work()` that panics even *before*
-    /// `apply`), so no view can unwind a commit — or kill a worker — in
-    /// either mode.
-    fn run_view(
-        slot: usize,
-        r: &mut Registered,
-        graph: &DynamicGraph,
-        delta: &UpdateBatch,
-    ) -> ApplyRecord {
-        let start = Instant::now();
-        let outcome = catch_unwind(AssertUnwindSafe(|| {
-            let before = r.view.work();
-            let result = r.view.apply_caught(graph, delta);
-            // After a panicking apply the view's state may be arbitrarily
-            // inconsistent, so even this one post-mortem work() read is
-            // fenced: if it panics too, attribute zero work rather than
-            // unwind out of the commit.
-            let work = match &result {
-                Ok(()) => r.view.work().since(&before),
-                Err(_) => catch_unwind(AssertUnwindSafe(|| r.view.work()))
-                    .map_or(WorkStats::new(), |after| after.since(&before)),
-            };
-            (work, result)
-        }));
-        let elapsed = start.elapsed();
-        let (work, result) = match outcome {
-            Ok(pair) => pair,
-            Err(payload) => (WorkStats::new(), Err(panic_cause(payload.as_ref()))),
+    /// Make sure the persistent pool exists at the resolved size with all
+    /// workers alive; build/rebuild it otherwise (dropping a previous
+    /// pool joins its workers first, so two pools never coexist).
+    fn ensure_pool(&mut self, threads: usize) {
+        let rebuild = match &self.pool {
+            Some(p) => p.size() != threads || p.wounded(),
+            None => true,
         };
-        ApplyRecord {
-            slot,
-            elapsed,
-            work,
-            result,
+        if rebuild {
+            self.pool = Some(WorkerPool::new(threads));
         }
-    }
-
-    /// Parallel fan-out: distribute the active views round-robin over
-    /// scoped worker threads, join them all, and return the records sorted
-    /// back into slot order (so the merge — and with it receipts and the
-    /// quarantine journal — is bit-identical to sequential mode).
-    ///
-    /// Round-robin by task rank keeps adjacent heavy views (the common
-    /// registration order puts them first) on different workers. Worker
-    /// bodies are panic-fenced per view by [`Engine::run_view`]; should a
-    /// worker die anyway, its views are recorded as failed (→ quarantined)
-    /// rather than lost, after every other worker has been joined.
-    fn fan_out_parallel<'a>(
-        tasks: Vec<(usize, &'a mut Registered)>,
-        graph: &DynamicGraph,
-        delta: &UpdateBatch,
-        threads: usize,
-    ) -> Vec<ApplyRecord> {
-        let requested = if threads == 0 {
-            std::thread::available_parallelism().map_or(1, |n| n.get())
-        } else {
-            threads
-        };
-        let workers = requested.min(tasks.len());
-        if workers <= 1 {
-            return tasks
-                .into_iter()
-                .map(|(slot, r)| Self::run_view(slot, r, graph, delta))
-                .collect();
-        }
-        let mut buckets: Vec<Vec<(usize, &'a mut Registered)>> =
-            (0..workers).map(|_| Vec::new()).collect();
-        for (k, task) in tasks.into_iter().enumerate() {
-            buckets[k % workers].push(task);
-        }
-        let mut records: Vec<ApplyRecord> = std::thread::scope(|s| {
-            let handles: Vec<_> = buckets
-                .into_iter()
-                .map(|bucket| {
-                    let slots: Vec<usize> = bucket.iter().map(|(slot, _)| *slot).collect();
-                    let handle = s.spawn(move || {
-                        bucket
-                            .into_iter()
-                            .map(|(slot, r)| Self::run_view(slot, r, graph, delta))
-                            .collect::<Vec<ApplyRecord>>()
-                    });
-                    (slots, handle)
-                })
-                .collect();
-            // Join every worker before producing anything — quarantine
-            // journaling happens strictly after the whole fan-out.
-            let mut all = Vec::new();
-            for (slots, handle) in handles {
-                match handle.join() {
-                    Ok(recs) => all.extend(recs),
-                    Err(payload) => {
-                        let cause = panic_cause(payload.as_ref());
-                        all.extend(slots.into_iter().map(|slot| ApplyRecord {
-                            slot,
-                            elapsed: Duration::ZERO,
-                            work: WorkStats::new(),
-                            result: Err(format!("commit worker panicked: {cause}")),
-                        }));
-                    }
-                }
-            }
-            all
-        });
-        records.sort_unstable_by_key(|rec| rec.slot);
-        records
     }
 
     // ------------------------------------------------------------------
@@ -1158,7 +1327,7 @@ impl std::fmt::Debug for Engine {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use igc_graph::graph::graph_from;
     use igc_graph::{NodeId, Update};
@@ -1267,7 +1436,7 @@ mod tests {
     /// state: a mutex serializes concurrent users, and a drop guard
     /// restores the previous hook even if `f` itself panics (a failing
     /// assertion inside `f` must not mute every later test's diagnostics).
-    fn quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+    pub(crate) fn quiet_panics<T>(f: impl FnOnce() -> T) -> T {
         use std::panic::PanicHookInfo;
         use std::sync::{Mutex, MutexGuard};
         type PrevHook = Box<dyn Fn(&PanicHookInfo<'_>) + Sync + Send>;

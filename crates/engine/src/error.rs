@@ -142,6 +142,16 @@ pub enum EngineError {
         /// The oldest delta epoch the log still retains.
         oldest: u64,
     },
+    /// A submission was handed to an [`Ingest`](crate::Ingest) handle whose
+    /// server has already shut down — the commit-tick loop is gone and
+    /// nothing will ever drain the queue. Spawn a fresh
+    /// [`IngestServer`](crate::IngestServer) and resubmit.
+    IngestClosed,
+    /// An awaited [`IngestTicket`](crate::IngestTicket) will never resolve:
+    /// the ingest server dropped the submission without committing it
+    /// (it was still queued when the server shut down, or the server
+    /// thread died). The update batch was **not** applied.
+    SubmissionDropped,
 }
 
 impl From<igc_log::LogError> for EngineError {
@@ -231,6 +241,16 @@ impl fmt::Display for EngineError {
                 "replica frontier (epoch {frontier}) predates the oldest retained \
                  delta (epoch {oldest}): the history it needs was compacted away; \
                  attach a fresh replica"
+            ),
+            EngineError::IngestClosed => write!(
+                f,
+                "ingest server is shut down: the submission was not accepted; \
+                 spawn a fresh IngestServer and resubmit"
+            ),
+            EngineError::SubmissionDropped => write!(
+                f,
+                "ingest submission dropped before commit: the server shut down \
+                 (or died) with the batch still queued; the batch was not applied"
             ),
         }
     }
@@ -351,6 +371,14 @@ mod tests {
                 },
                 vec!["epoch 12", "epoch 33", "compacted away", "fresh replica"],
             ),
+            (
+                EngineError::IngestClosed,
+                vec!["shut down", "not accepted", "resubmit"],
+            ),
+            (
+                EngineError::SubmissionDropped,
+                vec!["dropped before commit", "still queued", "not applied"],
+            ),
         ];
         for (err, fragments) in &table {
             // Exhaustiveness guard: every variant must appear in the table
@@ -368,7 +396,9 @@ mod tests {
                 | EngineError::EpochGap { .. }
                 | EngineError::NoLog { .. }
                 | EngineError::ReplicaLagging { .. }
-                | EngineError::FrontierCompacted { .. } => {}
+                | EngineError::FrontierCompacted { .. }
+                | EngineError::IngestClosed
+                | EngineError::SubmissionDropped => {}
             }
             let rendered = err.to_string();
             for fragment in fragments {
@@ -378,8 +408,8 @@ mod tests {
                 );
             }
         }
-        // Cheap coverage check in the other direction: 12 variants, 12 rows.
-        assert_eq!(table.len(), 12);
+        // Cheap coverage check in the other direction: 14 variants, 14 rows.
+        assert_eq!(table.len(), 14);
     }
 
     #[test]

@@ -1,0 +1,532 @@
+//! The async ingest front door: many concurrent submitters, one
+//! commit-tick loop, one coalesced ΔG per tick.
+//!
+//! The paper's economics make batching the highest-leverage throughput
+//! win available: incremental maintenance cost scales with the *net*
+//! delta, not with how many submissions carried it, and
+//! [`UpdateBatch::normalize_against`] is order-faithful
+//! (last-update-per-edge), so concatenating pending submissions in
+//! arrival order and normalizing **once** is semantics-preserving —
+//! bit-identical graph and view answers to committing each submission on
+//! its own (property-tested in `tests/engine_consistency.rs`).
+//!
+//! Shape: [`IngestServer::spawn`] moves the [`Engine`] onto a dedicated
+//! commit-tick thread and hands out clonable [`Ingest`] handles. Each
+//! [`Ingest::submit`] enqueues an [`UpdateBatch`] and returns an
+//! [`IngestTicket`] the submitter can await for its [`IngestReceipt`]
+//! (assigned epoch + the shared [`CommitReceipt`] of the tick that
+//! carried it). The tick loop drains everything pending (up to
+//! [`IngestConfig::max_coalesce`]), coalesces it into one mega-batch,
+//! and drives the engine's [prepare](Engine::prepare) /
+//! [apply](Engine::apply_prepared) split so that — with
+//! [`IngestConfig::pipeline`] on — tick *n+1*'s normalization and
+//! WAL-append overlap tick *n*'s view fan-out.
+//!
+//! Durability composes: [`IngestServer::set_durability`] flips the
+//! engine log's [`DurabilityMode`] mid-run, and the loop issues an
+//! explicit [`Engine::sync_log`] barrier whenever it is about to park on
+//! an empty queue (and once more at shutdown), so "queue drained" always
+//! implies "everything accepted is durable" under group commit.
+
+use crate::engine::{Engine, PreparedCommit};
+use crate::error::EngineError;
+use crate::receipt::CommitReceipt;
+use igc_graph::UpdateBatch;
+use igc_log::DurabilityMode;
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// What flows from handles to the server thread.
+enum Msg {
+    Submit(Submission),
+    SetDurability(DurabilityMode),
+    Shutdown,
+}
+
+/// One client submission: the batch plus the channel its receipt goes
+/// back on.
+struct Submission {
+    batch: UpdateBatch,
+    reply: Sender<Result<IngestReceipt, EngineError>>,
+}
+
+/// A submission waiting for its tick to commit (its batch has already
+/// been folded into the staged mega-batch).
+struct Waiter {
+    units: usize,
+    reply: Sender<Result<IngestReceipt, EngineError>>,
+}
+
+/// Tuning for an [`IngestServer`]'s commit-tick loop.
+#[derive(Debug, Clone, Copy)]
+pub struct IngestConfig {
+    /// Most submissions coalesced into one commit tick (clamped to ≥ 1;
+    /// `1` degenerates to one-commit-per-submission, the useful baseline
+    /// arm for benchmarks). Default 64.
+    pub max_coalesce: usize,
+    /// Whether tick *n+1*'s prepare (normalize + WAL append) may overlap
+    /// tick *n*'s view fan-out ([`Engine::apply_prepared`]'s pipelining).
+    /// Observable results are identical either way. Default `true`.
+    pub pipeline: bool,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        IngestConfig {
+            max_coalesce: 64,
+            pipeline: true,
+        }
+    }
+}
+
+/// What a submitter gets back for one accepted submission, once the tick
+/// that carried it commits.
+#[derive(Debug, Clone)]
+pub struct IngestReceipt {
+    /// Graph epoch assigned to the commit tick this submission rode in
+    /// (all submissions of one tick share it).
+    pub epoch: u64,
+    /// Unit count of *this* submission as submitted (pre-normalization —
+    /// the tick's shared receipt holds the post-normalization totals).
+    pub units: usize,
+    /// How many submissions were coalesced into the tick.
+    pub coalesced: usize,
+    /// The full receipt of the carrying commit, shared by every
+    /// submitter of the tick.
+    pub commit: Arc<CommitReceipt>,
+}
+
+/// A clonable submission handle to a running [`IngestServer`]. Cheap to
+/// clone (one channel sender); any number of threads can submit
+/// concurrently.
+#[derive(Clone)]
+pub struct Ingest {
+    tx: Sender<Msg>,
+}
+
+impl Ingest {
+    /// Enqueue a batch for the next commit tick. Returns immediately
+    /// with a ticket to await; errors with [`EngineError::IngestClosed`]
+    /// if the server is gone (the batch was not accepted).
+    pub fn submit(&self, batch: UpdateBatch) -> Result<IngestTicket, EngineError> {
+        let (reply, rx) = mpsc::channel();
+        self.tx
+            .send(Msg::Submit(Submission { batch, reply }))
+            .map_err(|_| EngineError::IngestClosed)?;
+        Ok(IngestTicket { rx })
+    }
+}
+
+impl std::fmt::Debug for Ingest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ingest").finish_non_exhaustive()
+    }
+}
+
+/// The awaitable half of one submission: resolves to the submission's
+/// [`IngestReceipt`] once its tick commits, to the error that rejected
+/// it (e.g. [`EngineError::NodeOutOfBounds`] at admission, or a log
+/// failure at its tick's prepare), or to
+/// [`EngineError::SubmissionDropped`] if the server shut down with the
+/// submission still queued.
+#[derive(Debug)]
+pub struct IngestTicket {
+    rx: Receiver<Result<IngestReceipt, EngineError>>,
+}
+
+impl IngestTicket {
+    /// Block until the submission's tick commits (or fails).
+    pub fn wait(self) -> Result<IngestReceipt, EngineError> {
+        match self.rx.recv() {
+            Ok(result) => result,
+            Err(_) => Err(EngineError::SubmissionDropped),
+        }
+    }
+
+    /// Non-blocking poll: `None` while the tick is still pending.
+    pub fn try_wait(&self) -> Option<Result<IngestReceipt, EngineError>> {
+        match self.rx.try_recv() {
+            Ok(result) => Some(result),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(EngineError::SubmissionDropped)),
+        }
+    }
+}
+
+/// The commit-tick loop's owner: moves the [`Engine`] onto a dedicated
+/// thread at [`IngestServer::spawn`] and gives it back at
+/// [`IngestServer::shutdown`] (after draining every already-queued
+/// submission and issuing a final durability barrier). Dropping the
+/// server without calling `shutdown` also drains and joins — the engine
+/// is then simply discarded with the thread.
+#[derive(Debug)]
+pub struct IngestServer {
+    tx: Sender<Msg>,
+    thread: Option<JoinHandle<Engine>>,
+}
+
+impl IngestServer {
+    /// Spawn the commit-tick loop with default [`IngestConfig`].
+    pub fn spawn(engine: Engine) -> Self {
+        Self::spawn_with(engine, IngestConfig::default())
+    }
+
+    /// Spawn the commit-tick loop with explicit tuning. (In the
+    /// vanishingly unlikely case the OS refuses the thread, the server
+    /// is closed from birth: every submit fails with
+    /// [`EngineError::IngestClosed`].)
+    pub fn spawn_with(engine: Engine, config: IngestConfig) -> Self {
+        let (tx, rx) = mpsc::channel();
+        let thread = std::thread::Builder::new()
+            .name("igc-ingest".into())
+            .spawn(move || Self::serve(engine, &rx, config))
+            .ok();
+        IngestServer { tx, thread }
+    }
+
+    /// A fresh submission handle (clone it freely across threads).
+    pub fn handle(&self) -> Ingest {
+        Ingest {
+            tx: self.tx.clone(),
+        }
+    }
+
+    /// Flip the engine log's [`DurabilityMode`] mid-run. Applied by the
+    /// tick loop in queue order, so the switch lands on a clean tick
+    /// boundary; on an engine without a log it is a no-op. Errors with
+    /// [`EngineError::IngestClosed`] if the server is gone.
+    pub fn set_durability(&self, mode: DurabilityMode) -> Result<(), EngineError> {
+        self.tx
+            .send(Msg::SetDurability(mode))
+            .map_err(|_| EngineError::IngestClosed)
+    }
+
+    /// Stop the loop and take the engine back: already-queued
+    /// submissions are committed and their tickets resolved first
+    /// (submissions arriving *after* this call resolve as
+    /// [`EngineError::SubmissionDropped`]), then a final
+    /// [`Engine::sync_log`] barrier runs. Errors with
+    /// [`EngineError::IngestClosed`] only if the server thread died —
+    /// then the engine is lost with it.
+    pub fn shutdown(mut self) -> Result<Engine, EngineError> {
+        let _ = self.tx.send(Msg::Shutdown);
+        match self.thread.take() {
+            Some(h) => h.join().map_err(|_| EngineError::IngestClosed),
+            None => Err(EngineError::IngestClosed),
+        }
+    }
+
+    /// The tick loop. One iteration = gather a group (blocking only when
+    /// idle with nothing staged), then either stage it (prepare) or
+    /// apply the previously staged tick — preparing the new group *while
+    /// the staged tick's fan-out is in flight* when pipelining is on.
+    fn serve(mut engine: Engine, rx: &Receiver<Msg>, config: IngestConfig) -> Engine {
+        let max_coalesce = config.max_coalesce.max(1);
+        let mut closing = false;
+        let mut staged: Option<(PreparedCommit, Vec<Waiter>)> = None;
+        loop {
+            let mut group: Vec<Submission> = Vec::new();
+            if staged.is_none() && !closing {
+                // About to park: close any open group-commit window so
+                // everything accepted so far is durable while we idle.
+                if engine.log().is_some_and(|l| l.unsynced_appends() > 0) {
+                    let _ = engine.sync_log();
+                }
+                match rx.recv() {
+                    Ok(msg) => Self::accept(msg, &mut engine, &mut group, &mut closing),
+                    Err(_) => closing = true,
+                }
+            }
+            while group.len() < max_coalesce && !closing {
+                match rx.try_recv() {
+                    Ok(msg) => Self::accept(msg, &mut engine, &mut group, &mut closing),
+                    Err(mpsc::TryRecvError::Empty) => break,
+                    Err(mpsc::TryRecvError::Disconnected) => {
+                        closing = true;
+                        break;
+                    }
+                }
+            }
+            match (staged.take(), group.is_empty()) {
+                (None, true) => {
+                    if closing {
+                        break;
+                    }
+                }
+                (None, false) => {
+                    staged = Self::stage(&mut engine, group);
+                }
+                (Some((prepared, waiters)), _) => {
+                    let next = (!group.is_empty()).then(|| Self::bundle(group));
+                    let pipelined = if config.pipeline {
+                        next.as_ref().map(|(mega, _)| mega)
+                    } else {
+                        None
+                    };
+                    match engine.apply_prepared(prepared, pipelined) {
+                        Ok((receipt, piped)) => {
+                            Self::resolve(waiters, &receipt);
+                            if let Some((mega, next_waiters)) = next {
+                                // `piped` is the pipelined prepare result;
+                                // with pipelining off, prepare here instead.
+                                let prep = match piped {
+                                    Some(result) => result,
+                                    None => engine.prepare(&mega),
+                                };
+                                match prep {
+                                    Ok(p) => staged = Some((p, next_waiters)),
+                                    Err(e) => Self::reject(next_waiters, &e),
+                                }
+                            }
+                        }
+                        Err(e) => {
+                            // Unreachable in this single-driver loop
+                            // (EpochGap needs an interleaved commit), but
+                            // never lose a waiter to an invariant.
+                            Self::reject(waiters, &e);
+                            if let Some((mega, next_waiters)) = next {
+                                match engine.prepare(&mega) {
+                                    Ok(p) => staged = Some((p, next_waiters)),
+                                    Err(e) => Self::reject(next_waiters, &e),
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Final barrier: everything accepted is durable before the engine
+        // is handed back (or discarded).
+        if engine.log().is_some() {
+            let _ = engine.sync_log();
+        }
+        engine
+    }
+
+    /// Route one queue message. Submissions are admission-checked *here*,
+    /// per submission, so one out-of-bounds batch is rejected alone
+    /// instead of poisoning the whole coalesced tick. Submissions
+    /// arriving after shutdown began are dropped (their tickets resolve
+    /// as [`EngineError::SubmissionDropped`] when the reply sender goes).
+    fn accept(msg: Msg, engine: &mut Engine, group: &mut Vec<Submission>, closing: &mut bool) {
+        match msg {
+            Msg::Submit(sub) => {
+                if *closing {
+                    return;
+                }
+                match engine.admit(&sub.batch) {
+                    Ok(()) => group.push(sub),
+                    Err(e) => {
+                        let _ = sub.reply.send(Err(e));
+                    }
+                }
+            }
+            Msg::SetDurability(mode) => {
+                // No-op (not an error) on an engine without a log: the
+                // knob is durability *policy*, and no log means there is
+                // nothing to make durable.
+                let _ = engine.set_durability(mode);
+            }
+            Msg::Shutdown => *closing = true,
+        }
+    }
+
+    /// Coalesce a group into one mega-batch (arrival order, so the
+    /// order-faithful normalization sees exactly the sequential history)
+    /// plus the waiters to resolve when its tick commits.
+    fn bundle(group: Vec<Submission>) -> (UpdateBatch, Vec<Waiter>) {
+        let mut mega = UpdateBatch::new();
+        let mut waiters = Vec::with_capacity(group.len());
+        for sub in group {
+            for u in sub.batch.iter() {
+                mega.push(*u);
+            }
+            waiters.push(Waiter {
+                units: sub.batch.len(),
+                reply: sub.reply,
+            });
+        }
+        (mega, waiters)
+    }
+
+    /// Prepare a freshly gathered group as the staged tick.
+    fn stage(engine: &mut Engine, group: Vec<Submission>) -> Option<(PreparedCommit, Vec<Waiter>)> {
+        let (mega, waiters) = Self::bundle(group);
+        match engine.prepare(&mega) {
+            Ok(p) => Some((p, waiters)),
+            Err(e) => {
+                Self::reject(waiters, &e);
+                None
+            }
+        }
+    }
+
+    fn resolve(waiters: Vec<Waiter>, receipt: &CommitReceipt) {
+        let commit = Arc::new(receipt.clone());
+        let coalesced = waiters.len();
+        for w in waiters {
+            let _ = w.reply.send(Ok(IngestReceipt {
+                epoch: commit.epoch,
+                units: w.units,
+                coalesced,
+                commit: Arc::clone(&commit),
+            }));
+        }
+    }
+
+    fn reject(waiters: Vec<Waiter>, e: &EngineError) {
+        for w in waiters {
+            let _ = w.reply.send(Err(e.clone()));
+        }
+    }
+}
+
+impl Drop for IngestServer {
+    /// Best-effort orderly stop: request shutdown (drains the queue,
+    /// final durability barrier) and join, discarding the engine. Use
+    /// [`IngestServer::shutdown`] to get the engine back instead.
+    fn drop(&mut self) {
+        let _ = self.tx.send(Msg::Shutdown);
+        if let Some(h) = self.thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igc_graph::graph::graph_from;
+    use igc_graph::{NodeId, Update};
+
+    fn batch(updates: Vec<Update>) -> UpdateBatch {
+        UpdateBatch::from_updates(updates)
+    }
+
+    #[test]
+    fn submissions_commit_and_tickets_resolve() {
+        let engine = Engine::new(graph_from(&[0, 0, 0, 0], &[]));
+        let server = IngestServer::spawn(engine);
+        let ingest = server.handle();
+        let t1 = ingest
+            .submit(batch(vec![Update::insert(NodeId(0), NodeId(1))]))
+            .unwrap();
+        let t2 = ingest
+            .submit(batch(vec![Update::insert(NodeId(1), NodeId(2))]))
+            .unwrap();
+        let r1 = t1.wait().unwrap();
+        let r2 = t2.wait().unwrap();
+        assert!(r1.epoch >= 1 && r2.epoch >= r1.epoch);
+        assert_eq!(r1.units, 1);
+        let engine = server.shutdown().unwrap();
+        assert_eq!(engine.graph().edge_count(), 2);
+        assert_eq!(engine.units_applied(), 2);
+    }
+
+    #[test]
+    fn coalescing_merges_pending_submissions_into_one_tick() {
+        // max_coalesce is plenty and the server can't start a tick while
+        // we hold the queue: submit everything first, then watch the
+        // receipts — at least the later ones must share a tick (the first
+        // may slip into its own tick if the loop wakes early, so assert
+        // on totals, not an exact grouping).
+        let engine = Engine::new(graph_from(&[0; 16], &[]));
+        let server = IngestServer::spawn(engine);
+        let ingest = server.handle();
+        let tickets: Vec<IngestTicket> = (0..8u32)
+            .map(|i| {
+                ingest
+                    .submit(batch(vec![Update::insert(NodeId(i), NodeId(i + 1))]))
+                    .unwrap()
+            })
+            .collect();
+        let receipts: Vec<IngestReceipt> = tickets.into_iter().map(|t| t.wait().unwrap()).collect();
+        let max_epoch = receipts.iter().map(|r| r.epoch).max().unwrap();
+        assert!(
+            max_epoch <= 8,
+            "8 submissions must take at most 8 ticks, took {max_epoch}"
+        );
+        let engine = server.shutdown().unwrap();
+        assert_eq!(engine.graph().edge_count(), 8);
+        assert_eq!(engine.epoch(), max_epoch);
+        // Every receipt's shared commit receipt covers its submission.
+        for r in receipts {
+            assert!(r.coalesced >= 1);
+            assert!(r.commit.applied >= r.units);
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_submission_is_rejected_alone() {
+        let mut engine = Engine::new(graph_from(&[0, 0], &[]));
+        engine.set_max_fresh_nodes(4);
+        let server = IngestServer::spawn(engine);
+        let ingest = server.handle();
+        let bad = ingest
+            .submit(batch(vec![Update::insert(NodeId(0), NodeId(1_000_000))]))
+            .unwrap();
+        let good = ingest
+            .submit(batch(vec![Update::insert(NodeId(0), NodeId(1))]))
+            .unwrap();
+        assert!(matches!(
+            bad.wait(),
+            Err(EngineError::NodeOutOfBounds { .. })
+        ));
+        assert!(good.wait().is_ok(), "good submission must not be poisoned");
+        let engine = server.shutdown().unwrap();
+        assert_eq!(engine.graph().edge_count(), 1);
+    }
+
+    #[test]
+    fn closed_server_errors_are_precise() {
+        let engine = Engine::new(graph_from(&[0, 0], &[]));
+        let server = IngestServer::spawn(engine);
+        let ingest = server.handle();
+        let _engine = server.shutdown().unwrap();
+        // The server is gone: submit fails with IngestClosed.
+        let err = ingest
+            .submit(batch(vec![Update::insert(NodeId(0), NodeId(1))]))
+            .unwrap_err();
+        assert_eq!(err, EngineError::IngestClosed);
+    }
+
+    #[test]
+    fn try_wait_polls_without_blocking() {
+        let engine = Engine::new(graph_from(&[0, 0], &[]));
+        let server = IngestServer::spawn(engine);
+        let ticket = server
+            .handle()
+            .submit(batch(vec![Update::insert(NodeId(0), NodeId(1))]))
+            .unwrap();
+        loop {
+            match ticket.try_wait() {
+                None => std::thread::yield_now(),
+                Some(result) => {
+                    assert_eq!(result.unwrap().epoch, 1);
+                    break;
+                }
+            }
+        }
+        drop(server);
+    }
+
+    #[test]
+    fn shutdown_drains_already_queued_submissions() {
+        let engine = Engine::new(graph_from(&[0; 32], &[]));
+        let server = IngestServer::spawn(engine);
+        let ingest = server.handle();
+        let tickets: Vec<IngestTicket> = (0..16u32)
+            .map(|i| {
+                ingest
+                    .submit(batch(vec![Update::insert(NodeId(i), NodeId(i + 1))]))
+                    .unwrap()
+            })
+            .collect();
+        let engine = server.shutdown().unwrap();
+        assert_eq!(engine.graph().edge_count(), 16, "queued work was drained");
+        for t in tickets {
+            t.wait().unwrap();
+        }
+    }
+}

@@ -28,7 +28,7 @@
 //!    [epoch](igc_graph::DynamicGraph::epoch);
 //! 3. **propagate** the normalized delta to every live active
 //!    [`IncView`](igc_core::IncView) — sequentially in slot order, or
-//!    across scoped worker threads under [`CommitMode::Parallel`]
+//!    across a persistent worker pool under [`CommitMode::Parallel`]
 //!    (views are independent given the post-commit graph; the mode changes
 //!    latency only, never results) — timing each view, attributing its
 //!    [`WorkStats`](igc_core::WorkStats) delta, and catching panics
@@ -53,6 +53,18 @@
 //! replays the journal privately while commits keep flowing — then
 //! [`Engine::join_background`] catches it up on the log tail and splices
 //! it in, answer-identical to an eager registration.
+//!
+//! **Ingest** ([`ingest` module](IngestServer)): the async front door
+//! for heavy write traffic. [`IngestServer::spawn`] moves the engine onto
+//! a commit-tick thread; concurrent clients clone an [`Ingest`] handle,
+//! submit batches, and await [`IngestTicket`]s for their receipts. Each
+//! tick coalesces everything pending into one normalized mega-batch
+//! (order-faithful normalization makes that bit-identical to
+//! per-submission commits), [`Engine::prepare`]/[`Engine::apply_prepared`]
+//! pipeline tick *n+1*'s WAL append with tick *n*'s fan-out, and
+//! [`DurabilityMode`](igc_log::DurabilityMode) group-commit batches
+//! fsyncs across a tick's records — one barrier instead of one per
+//! submission ([`Engine::set_durability`]).
 //!
 //! **Replication** ([`replica` module](Replica)): [`Engine::replica`]
 //! creates a log-shipped read [`Replica`] — a follower with its own
@@ -83,13 +95,18 @@
 mod background;
 mod engine;
 mod error;
+mod ingest;
 mod lifecycle;
+mod pool;
 mod receipt;
 mod replica;
 
 pub use background::BackgroundBuild;
-pub use engine::{CommitMode, Engine, DEFAULT_CHECKPOINT_EVERY, DEFAULT_MAX_FRESH_NODES};
+pub use engine::{
+    CommitMode, Engine, PreparedCommit, DEFAULT_CHECKPOINT_EVERY, DEFAULT_MAX_FRESH_NODES,
+};
 pub use error::{Divergence, EngineError};
+pub use ingest::{Ingest, IngestConfig, IngestReceipt, IngestServer, IngestTicket};
 pub use lifecycle::{LifecycleEvent, LifecycleEventKind, ViewHandle, ViewId, ViewState};
 pub use receipt::{CommitReceipt, ViewCommitStats, ViewOutcome, ViewTotals};
 pub use replica::{Replica, ReplicaHandle, ReplicaStatus};

@@ -60,6 +60,16 @@ pub trait LogBackend: Send + Sync + std::fmt::Debug {
             cause: "this backend does not support compaction".to_owned(),
         })
     }
+
+    /// Flush segment `segment` to durable storage — the barrier half of
+    /// group commit ([`CommitLog::set_durability`](crate::CommitLog::set_durability)).
+    /// After it returns, every byte previously appended to that segment
+    /// must survive power loss. Backends with no durability boundary
+    /// beyond the append itself ([`MemBackend`]) keep the default no-op.
+    fn sync(&self, segment: u32) -> Result<(), LogError> {
+        let _ = segment;
+        Ok(())
+    }
 }
 
 /// What a [`MemBackend`] actually stores: the retained segments, the
@@ -218,8 +228,11 @@ impl LogBackend for MemBackend {
 /// `<dir>/segment-<i:05>.igclog`. Appends go through a single
 /// `O_APPEND` write per record; `sync_on_append` additionally issues
 /// `sync_data` after each (off by default — the journal then survives
-/// process crashes but rides the OS page cache across power loss, the
-/// usual group-commit trade-off).
+/// process crashes but rides the OS page cache across power loss).
+/// Prefer expressing durability as policy on the log instead:
+/// [`CommitLog::set_durability`](crate::CommitLog::set_durability) drives
+/// the [`LogBackend::sync`] barrier per append, per group-commit window,
+/// or never — without paying one fsync per record when batching suffices.
 #[derive(Debug, Clone)]
 pub struct FileBackend {
     dir: PathBuf,
@@ -390,6 +403,22 @@ impl LogBackend for FileBackend {
         }
         self.first_hint.store(target.max(first), Ordering::Relaxed);
         Ok(())
+    }
+
+    fn sync(&self, segment: u32) -> Result<(), LogError> {
+        // One open + sync_data per *barrier*, not per append — the whole
+        // point of group commit. A missing file means the segment was
+        // compacted away between the append and the barrier (only possible
+        // for non-tail segments whose bytes a checkpoint already
+        // superseded), so there is nothing left to make durable.
+        match std::fs::OpenOptions::new()
+            .read(true)
+            .open(self.path(segment))
+        {
+            Ok(f) => f.sync_data().map_err(|e| Self::io("sync", segment, e)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(Self::io("sync", segment, e)),
+        }
     }
 }
 

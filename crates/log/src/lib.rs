@@ -28,6 +28,11 @@
 //!   the head ([`Replayer::catch_up`]) — the seam behind the engine's
 //!   crash recovery, *background* view builds, and log-shipped read
 //!   replicas.
+//! * **Durability policy** ([`DurabilityMode`], [`CommitLog::sync`]) —
+//!   when appends reach durable storage: never (page cache), per record,
+//!   or batched group-commit barriers — one backend `sync` covering every
+//!   record appended since the last barrier, issued when the window's
+//!   `max_batch`/`max_delay` closes.
 //! * **Compaction** ([`CommitLog::compact`], [`RetentionPin`]) — every
 //!   checkpoint starts a fresh segment, so whole segments behind the
 //!   newest checkpoint can be dropped once no registered follower
@@ -65,6 +70,6 @@ mod replay;
 
 pub use backend::{FileBackend, LogBackend, MemBackend};
 pub use error::LogError;
-pub use log::{CommitLog, Compaction, RetentionPin, DEFAULT_SEGMENT_BYTES};
+pub use log::{CommitLog, Compaction, DurabilityMode, RetentionPin, DEFAULT_SEGMENT_BYTES};
 pub use record::Record;
 pub use replay::{LogSummary, Replayed, Replayer};

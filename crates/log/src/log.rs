@@ -11,10 +11,50 @@ use crate::record::{
 use igc_graph::{DynamicGraph, UpdateBatch};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
 
 /// Default segment-rotation threshold: a new segment starts once the tail
 /// segment reaches this size.
 pub const DEFAULT_SEGMENT_BYTES: u64 = 8 << 20;
+
+/// When appended records are flushed to durable storage
+/// ([`CommitLog::set_durability`]). The policy drives
+/// [`LogBackend::sync`] barriers; on backends with no durability boundary
+/// ([`MemBackend`](crate::MemBackend)) every mode degenerates to `None`.
+///
+/// | mode | fsyncs | survives power loss | typical use |
+/// |------|--------|--------------------:|-------------|
+/// | `None` | never | no (page cache) | tests, replay targets |
+/// | `GroupCommit` | one per window | after the window's barrier | high-throughput ingest |
+/// | `EveryAppend` | one per record | every acknowledged record | strict durability |
+///
+/// `GroupCommit { max_batch, max_delay }` issues one barrier covering
+/// every record appended since the previous barrier, as soon as either
+/// `max_batch` unsynced appends accumulate or the oldest unsynced append
+/// is `max_delay` old — the classic group-commit window. Call
+/// [`CommitLog::sync`] to force an early barrier (e.g. before handing a
+/// durability guarantee to a client, or at shutdown).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DurabilityMode {
+    /// Never issue barriers: appended records ride the OS page cache
+    /// (they survive a process crash, not power loss). The default, and
+    /// byte-for-byte the pre-[`DurabilityMode`] behavior.
+    #[default]
+    None,
+    /// Batch barriers: one [`LogBackend::sync`] per window covering every
+    /// record appended since the last one.
+    GroupCommit {
+        /// Barrier after this many unsynced appends (clamped to ≥ 1).
+        max_batch: u64,
+        /// …or once the oldest unsynced append is this old, whichever
+        /// comes first (checked at append time; quiet periods flush via
+        /// [`CommitLog::sync`]).
+        max_delay: Duration,
+    },
+    /// Barrier after every append — maximal durability, one fsync per
+    /// record.
+    EveryAppend,
+}
 
 /// Everything one full scan of a backend learns. Records come back as
 /// CRC-verified but **undecoded** [`RawFrame`]s — callers decode only
@@ -200,6 +240,20 @@ pub struct CommitLog {
     /// Live retention pins ([`CommitLog::register_pin`]): `Weak`, so a
     /// dropped follower releases its claim without telling anyone.
     pins: Vec<Weak<AtomicU64>>,
+    /// When appends reach durable storage (default
+    /// [`DurabilityMode::None`]).
+    durability: DurabilityMode,
+    /// Segments appended to since the last barrier, in append order
+    /// (usually one; two straddling a rotation).
+    dirty: Vec<u32>,
+    /// Records appended since the last barrier.
+    unsynced: u64,
+    /// When the oldest unsynced record was appended — the group-commit
+    /// `max_delay` clock.
+    first_unsynced: Option<Instant>,
+    /// Barriers issued so far (for observability: fsyncs ÷ appends is the
+    /// measured group-commit batching factor).
+    syncs: u64,
 }
 
 impl CommitLog {
@@ -220,6 +274,11 @@ impl CommitLog {
             deltas: 0,
             checkpoints: 0,
             pins: Vec::new(),
+            durability: DurabilityMode::None,
+            dirty: Vec::new(),
+            unsynced: 0,
+            first_unsynced: None,
+            syncs: 0,
         })
     }
 
@@ -255,6 +314,11 @@ impl CommitLog {
             deltas,
             checkpoints,
             pins: Vec::new(),
+            durability: DurabilityMode::None,
+            dirty: Vec::new(),
+            unsynced: 0,
+            first_unsynced: None,
+            syncs: 0,
         })
     }
 
@@ -319,6 +383,7 @@ impl CommitLog {
         let fresh = self.force_fresh_segment
             || segments == 0
             || self.backend.len(segments - 1)? >= self.segment_bytes;
+        let target = if fresh { segments } else { segments - 1 };
         let result = if fresh {
             // Header and record go down in one atomic append, so a
             // concurrent reader (or a crash) never sees a headered-but-
@@ -332,7 +397,7 @@ impl CommitLog {
         match result {
             Ok(()) => {
                 self.force_fresh_segment = false;
-                Ok(())
+                self.apply_durability(target)
             }
             Err(e) => {
                 // The failed append may have left *partial* bytes in the
@@ -345,6 +410,84 @@ impl CommitLog {
                 Err(e)
             }
         }
+    }
+
+    /// Post-append durability bookkeeping: mark `segment` dirty, then
+    /// barrier now ([`DurabilityMode::EveryAppend`]), barrier when the
+    /// group-commit window closes, or do nothing
+    /// ([`DurabilityMode::None`]).
+    fn apply_durability(&mut self, segment: u32) -> Result<(), LogError> {
+        if self.dirty.last() != Some(&segment) {
+            self.dirty.push(segment);
+        }
+        self.unsynced += 1;
+        if self.first_unsynced.is_none() {
+            self.first_unsynced = Some(Instant::now());
+        }
+        let due = match self.durability {
+            DurabilityMode::None => false,
+            DurabilityMode::EveryAppend => true,
+            DurabilityMode::GroupCommit {
+                max_batch,
+                max_delay,
+            } => {
+                self.unsynced >= max_batch.max(1)
+                    || self
+                        .first_unsynced
+                        .is_some_and(|t| t.elapsed() >= max_delay)
+            }
+        };
+        if due {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// The current durability policy (default [`DurabilityMode::None`]).
+    pub fn durability(&self) -> DurabilityMode {
+        self.durability
+    }
+
+    /// Set when appended records are flushed to durable storage. Takes
+    /// effect from the next append; switching to a *stricter* mode does
+    /// not retroactively flush — call [`CommitLog::sync`] after the
+    /// switch if the pending window must land first.
+    pub fn set_durability(&mut self, mode: DurabilityMode) {
+        self.durability = mode;
+    }
+
+    /// Force a durability barrier right now: [`LogBackend::sync`] every
+    /// segment appended to since the last barrier, oldest first. A no-op
+    /// (and no `syncs()` increment) when nothing is pending. On failure
+    /// the un-flushed segments stay pending, so a later barrier retries
+    /// them.
+    pub fn sync(&mut self) -> Result<(), LogError> {
+        if self.dirty.is_empty() {
+            self.unsynced = 0;
+            self.first_unsynced = None;
+            return Ok(());
+        }
+        while let Some(&seg) = self.dirty.first() {
+            self.backend.sync(seg)?;
+            self.dirty.remove(0);
+        }
+        self.unsynced = 0;
+        self.first_unsynced = None;
+        self.syncs += 1;
+        Ok(())
+    }
+
+    /// Durability barriers issued so far ([`CommitLog::sync`] calls that
+    /// flushed something, explicit or policy-driven). `syncs() ÷
+    /// appended records` is the measured group-commit batching factor.
+    pub fn syncs(&self) -> u64 {
+        self.syncs
+    }
+
+    /// Records appended since the last barrier (0 under
+    /// [`DurabilityMode::EveryAppend`] once the append returns).
+    pub fn unsynced_appends(&self) -> u64 {
+        self.unsynced
     }
 
     /// Epoch of the last appended record, if any.
@@ -807,6 +950,157 @@ mod tests {
         assert_eq!(c.base_epoch, 6);
         drop(fast);
         assert_eq!(log.pinned_frontier(), Some(6));
+    }
+
+    /// A backend that counts `sync` barriers and remembers how many bytes
+    /// each barrier covered since the previous one.
+    #[derive(Debug, Clone, Default)]
+    struct SyncCountingBackend {
+        inner: MemBackend,
+        syncs: Arc<std::sync::atomic::AtomicU64>,
+    }
+
+    impl LogBackend for SyncCountingBackend {
+        fn segments(&self) -> Result<u32, LogError> {
+            self.inner.segments()
+        }
+        fn read(&self, segment: u32) -> Result<Vec<u8>, LogError> {
+            self.inner.read(segment)
+        }
+        fn append(&self, segment: u32, bytes: &[u8]) -> Result<(), LogError> {
+            self.inner.append(segment, bytes)
+        }
+        fn len(&self, segment: u32) -> Result<u64, LogError> {
+            self.inner.len(segment)
+        }
+        fn sync(&self, _segment: u32) -> Result<(), LogError> {
+            self.syncs.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            Ok(())
+        }
+    }
+
+    /// A scripted run of `n` deltas against a sync-counting backend under
+    /// the given durability mode; returns backend-observed sync calls and
+    /// the log's own barrier count.
+    fn durability_run(mode: DurabilityMode, n: u32) -> (SyncCountingBackend, CommitLog) {
+        let counting = SyncCountingBackend::default();
+        let arc: Arc<dyn LogBackend> = Arc::new(counting.clone());
+        let mut log = CommitLog::create(arc).unwrap();
+        log.set_durability(mode);
+        let mut g = graph_from(&[0, 0, 0], &[]);
+        log.append_checkpoint(&g).unwrap();
+        for i in 0..n {
+            let (a, b) = (NodeId(i % 3), NodeId((i + 1) % 3));
+            let batch = if g.contains_edge(a, b) {
+                delta(vec![Update::delete(a, b)])
+            } else {
+                delta(vec![Update::insert(a, b)])
+            };
+            g.apply_batch(&batch);
+            log.append_delta(g.epoch(), &batch).unwrap();
+        }
+        (counting, log)
+    }
+
+    #[test]
+    fn every_append_mode_barriers_each_record() {
+        let (backend, log) = durability_run(DurabilityMode::EveryAppend, 6);
+        // 1 checkpoint + 6 deltas, one barrier each.
+        assert_eq!(log.syncs(), 7);
+        assert_eq!(
+            backend.syncs.load(std::sync::atomic::Ordering::SeqCst),
+            7,
+            "one backend sync per record"
+        );
+        assert_eq!(log.unsynced_appends(), 0);
+    }
+
+    #[test]
+    fn group_commit_batches_barriers_by_max_batch() {
+        let mode = DurabilityMode::GroupCommit {
+            max_batch: 4,
+            max_delay: Duration::from_secs(3600), // never by time in-test
+        };
+        let (backend, mut log) = durability_run(mode, 6);
+        // 7 appends with a barrier every 4th: barriers after appends 4 and
+        // 8 → only one fired, 3 records still pending.
+        assert_eq!(log.syncs(), 1);
+        assert_eq!(backend.syncs.load(std::sync::atomic::Ordering::SeqCst), 1);
+        assert_eq!(log.unsynced_appends(), 3);
+        // An explicit barrier flushes the pending window…
+        log.sync().unwrap();
+        assert_eq!(log.syncs(), 2);
+        assert_eq!(log.unsynced_appends(), 0);
+        // …and a barrier with nothing pending is a counted no-op.
+        log.sync().unwrap();
+        assert_eq!(log.syncs(), 2);
+    }
+
+    #[test]
+    fn group_commit_max_delay_closes_a_stale_window() {
+        let counting = SyncCountingBackend::default();
+        let arc: Arc<dyn LogBackend> = Arc::new(counting.clone());
+        let mut log = CommitLog::create(arc).unwrap();
+        log.set_durability(DurabilityMode::GroupCommit {
+            max_batch: 1_000_000,
+            max_delay: Duration::ZERO, // every window is instantly stale
+        });
+        let mut g = graph_from(&[0, 0], &[]);
+        log.append_checkpoint(&g).unwrap();
+        let b = delta(vec![Update::insert(NodeId(0), NodeId(1))]);
+        g.apply_batch(&b);
+        log.append_delta(1, &b).unwrap();
+        // max_batch is unreachable, but the zero max_delay forces a
+        // barrier at each append.
+        assert_eq!(log.syncs(), 2);
+        assert_eq!(log.unsynced_appends(), 0);
+    }
+
+    #[test]
+    fn durability_none_never_barriers_but_explicit_sync_flushes() {
+        let (backend, mut log) = durability_run(DurabilityMode::None, 5);
+        assert_eq!(log.syncs(), 0);
+        assert_eq!(backend.syncs.load(std::sync::atomic::Ordering::SeqCst), 0);
+        assert_eq!(log.unsynced_appends(), 6);
+        log.sync().unwrap();
+        assert_eq!(log.syncs(), 1);
+        assert!(backend.syncs.load(std::sync::atomic::Ordering::SeqCst) >= 1);
+        assert_eq!(log.unsynced_appends(), 0);
+    }
+
+    #[test]
+    fn barriers_cover_rotated_segments_too() {
+        let counting = SyncCountingBackend::default();
+        let arc: Arc<dyn LogBackend> = Arc::new(counting.clone());
+        let mut log = CommitLog::create(arc.clone()).unwrap();
+        log.set_segment_bytes(1024);
+        log.set_durability(DurabilityMode::GroupCommit {
+            max_batch: 1_000_000,
+            max_delay: Duration::from_secs(3600),
+        });
+        let mut g = graph_from(&[0, 0, 0, 0], &[]);
+        log.append_checkpoint(&g).unwrap();
+        for i in 0..40u32 {
+            let (a, b) = (NodeId(i % 4), NodeId((i + 1) % 4));
+            let batch = if g.contains_edge(a, b) {
+                delta(vec![Update::delete(a, b)])
+            } else {
+                delta(vec![Update::insert(a, b)])
+            };
+            g.apply_batch(&batch);
+            log.append_delta(g.epoch(), &batch).unwrap();
+        }
+        assert!(arc.segments().unwrap() > 1, "the run must have rotated");
+        // One explicit barrier covers every dirty segment of the window.
+        log.sync().unwrap();
+        assert_eq!(log.syncs(), 1);
+        let backend_syncs = counting.syncs.load(std::sync::atomic::Ordering::SeqCst) as u32;
+        assert_eq!(
+            backend_syncs,
+            arc.segments().unwrap(),
+            "each appended segment got exactly one backend sync"
+        );
+        assert_eq!(log.unsynced_appends(), 0);
     }
 
     #[test]

@@ -68,13 +68,18 @@ impl SccScratch {
     }
 }
 
-/// Up to this many deletions inside one component, the intact-check BFS is
-/// tried per deleted edge before falling back to a restricted Tarjan run.
-/// Each check typically costs around √|component|; the full recompute costs
-/// `|component| + |edges|` plus the split's boundary rescan, so a handful
-/// of checks is cheap insurance against the common "big component survives
-/// a batch of internal deletions" case.
-const MAX_INTACT_CHECKS: usize = 8;
+/// Work budget for the per-deletion intact-check BFS, as a multiple of the
+/// component's member count. The fallback restricted Tarjan costs about
+/// `|Vc| + |Ec|`; with the datasets' typical density `|Ec| ≈ 4·|Vc|`, a
+/// budget of `5·|Vc|` nodes-plus-edges lets the checks spend up to roughly
+/// one recompute's worth of work proving the component intact before
+/// falling back — so the slow path is at most ~2× the old cost, while a
+/// wide coalesced batch of internal deletions that leaves the component
+/// strongly connected (the common case) skips the `O(|Vc|)` recompute for
+/// a few √|Vc| probes. The intact argument itself is count-independent:
+/// if every deleted edge's endpoints still reach inside the post-update
+/// component, old paths can be patched deletion-by-deletion.
+const INTACT_CHECK_BUDGET_FACTOR: u64 = 5;
 
 impl IncScc {
     /// A deferred constructor ([`ViewInit`](igc_core::ViewInit)) for lazy
@@ -588,23 +593,33 @@ impl IncrementalAlgorithm for IncScc {
         }
 
         // (2) Intra-component groups: one restricted Tarjan per affected
-        // scc at most. Small deletion groups first get the cheap per-edge
+        // scc at most. Deletion groups first get the cheap per-edge
         // reachability check: the component was strongly connected before
         // the batch, so if every deleted edge's source still reaches its
         // target *inside the post-update component*, any old internal path
         // can be patched deletion-by-deletion with those detours (which
         // themselves avoid the deleted edges) — the component is provably
-        // intact and the restricted Tarjan run is skipped entirely.
+        // intact and the restricted Tarjan run is skipped entirely. The
+        // checks are work-bounded, not count-bounded (see
+        // [`INTACT_CHECK_BUDGET_FACTOR`]): they run until they either prove
+        // the component intact, disprove one deletion, or spend about one
+        // recompute's worth of work — whichever comes first.
         // Insertion-only groups cannot change the structure.
         let mut touched: Vec<SccId> = intra_del.keys().copied().collect();
         touched.sort_unstable();
         for id in touched {
             let dels = &intra_del[&id];
-            if dels.len() <= MAX_INTACT_CHECKS
-                && dels
-                    .iter()
-                    .all(|&(v, w)| self.still_reaches_within(g, id, v, w))
-            {
+            let budget = INTACT_CHECK_BUDGET_FACTOR * self.cond.members(id).len() as u64;
+            let spent_before = self.work.nodes_visited + self.work.edges_traversed;
+            let mut intact = true;
+            for &(v, w) in dels {
+                let spent = self.work.nodes_visited + self.work.edges_traversed - spent_before;
+                if spent > budget || !self.still_reaches_within(g, id, v, w) {
+                    intact = false;
+                    break;
+                }
+            }
+            if intact {
                 continue; // component intact, output unchanged
             }
             self.recompute_component(g, id, &pending_set);

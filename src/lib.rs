@@ -121,16 +121,17 @@ pub mod prelude {
     pub use igc_core::work::WorkStats;
     pub use igc_core::IncrementalAlgorithm;
     pub use igc_engine::{
-        BackgroundBuild, CommitMode, CommitReceipt, Engine, EngineError, LifecycleEvent,
-        LifecycleEventKind, Replica, ReplicaHandle, ReplicaStatus, ViewCommitStats, ViewHandle,
-        ViewId, ViewOutcome, ViewState, ViewTotals,
+        BackgroundBuild, CommitMode, CommitReceipt, Engine, EngineError, Ingest, IngestConfig,
+        IngestReceipt, IngestServer, IngestTicket, LifecycleEvent, LifecycleEventKind,
+        PreparedCommit, Replica, ReplicaHandle, ReplicaStatus, ViewCommitStats, ViewHandle, ViewId,
+        ViewOutcome, ViewState, ViewTotals,
     };
     pub use igc_graph::{DynamicGraph, Edge, Label, LabelInterner, NodeId, Update, UpdateBatch};
     pub use igc_iso::{IncIso, Pattern};
     pub use igc_kws::{IncKws, KwsQuery};
     pub use igc_log::{
-        CommitLog, Compaction, FileBackend, LogBackend, LogError, MemBackend, Replayer,
-        RetentionPin,
+        CommitLog, Compaction, DurabilityMode, FileBackend, LogBackend, LogError, MemBackend,
+        Replayer, RetentionPin,
     };
     pub use igc_nfa::{Nfa, Regex};
     pub use igc_rpq::IncRpq;

@@ -21,7 +21,20 @@
 //!    `Replica::attach`) and catching up after every commit must serve
 //!    all four classes bit-identical to the leader *and* to a
 //!    never-replicated twin at every compared frontier — including a
-//!    fresh follower joining after the log has been compacted.
+//!    fresh follower joining after the log has been compacted;
+//! 5. *coalescing*: random submission streams grouped into arbitrary
+//!    commit ticks (each tick concatenating its submissions in arrival
+//!    order, exactly like the ingest front door) and driven through the
+//!    pipelined `prepare`/`apply_prepared` path on a WAL-logged,
+//!    pool-fanned engine must answer bit-identical to a twin that commits
+//!    every submission individually — for all four view classes, with a
+//!    deliberately panicking canary view quarantined on both sides, and
+//!    with recovery from the journal landing on the same frontier;
+//! 6. *crash mid-tick*: a torn WAL append inside a coalesced tick must
+//!    fail that commit atomically; recovery lands on a clean epoch
+//!    boundary (never a partially applied mega-batch) and retrying the
+//!    tick lands it exactly once, converging back to the per-submission
+//!    twin.
 
 use incgraph::graph::graph::graph_from;
 use incgraph::prelude::*;
@@ -77,6 +90,123 @@ fn batch_from_raw(raw: &[(bool, u32, u32)]) -> UpdateBatch {
             }
         })
         .collect()
+}
+
+/// Concatenate a tick group's submissions in arrival order — exactly what
+/// the ingest loop's coalescer does before the engine normalizes once.
+fn coalesce(group: &[UpdateBatch]) -> UpdateBatch {
+    group.iter().flat_map(|b| b.iter().copied()).collect()
+}
+
+/// Split per-client submissions into tick groups: bit `i % 64` of `mask`
+/// decides whether submission `i` starts a new tick.
+fn split_groups(batches: &[UpdateBatch], mask: u64) -> Vec<Vec<UpdateBatch>> {
+    let mut groups: Vec<Vec<UpdateBatch>> = vec![Vec::new()];
+    for (i, b) in batches.iter().enumerate() {
+        if i > 0 && (mask >> (i % 64)) & 1 == 1 {
+            groups.push(Vec::new());
+        }
+        groups.last_mut().unwrap().push(b.clone());
+    }
+    groups
+}
+
+/// Canonical four-class answers under the default registration labels
+/// (the names `engine_with_views` registers under).
+fn four_class_answers(e: &Engine) -> ClassAnswers {
+    let rpq: ViewHandle<IncRpq> = e.typed(e.find("rpq").unwrap()).unwrap();
+    let scc: ViewHandle<IncScc> = e.typed(e.find("scc").unwrap()).unwrap();
+    let kws: ViewHandle<IncKws> = e.typed(e.find("kws").unwrap()).unwrap();
+    let iso: ViewHandle<IncIso> = e.typed(e.find("iso").unwrap()).unwrap();
+    (
+        e.view(&rpq).unwrap().sorted_answer(),
+        e.view(&scc).unwrap().components(),
+        e.view(&kws).unwrap().answer_signature(),
+        e.view(&iso).unwrap().sorted_matches(),
+    )
+}
+
+/// Re-register the four classes under their default labels from the
+/// engine's *current* graph — the post-recovery re-join step.
+fn register_four_lazily(engine: &mut Engine) {
+    engine
+        .register_lazy("rpq", IncRpq::init(rpq_query()))
+        .unwrap();
+    engine.register_lazy("scc", IncScc::init()).unwrap();
+    engine
+        .register_lazy(
+            "kws",
+            IncKws::init(KwsQuery::new(vec![Label(1), Label(2)], 2)),
+        )
+        .unwrap();
+    engine
+        .register_lazy(
+            "iso",
+            IncIso::init(Pattern::from_parts(&[0, 1, 2], &[(0, 1), (1, 2)])),
+        )
+        .unwrap();
+}
+
+/// A deliberately faulty view: panics on its first apply and is
+/// quarantined by the engine. Rides on both engines in the coalescing
+/// property so bit-identity is pinned *under quarantine* too.
+#[derive(Debug, Default)]
+struct Canary {
+    applies: u64,
+}
+
+impl incgraph::core::IncView for Canary {
+    fn name(&self) -> &str {
+        "canary"
+    }
+    fn apply(&mut self, _g: &DynamicGraph, _delta: &UpdateBatch) {
+        self.applies += 1;
+        if self.applies == 1 {
+            panic!("deliberate canary failure");
+        }
+    }
+    fn work(&self) -> WorkStats {
+        WorkStats::default()
+    }
+    fn reset_work(&mut self) {}
+    fn verify_against_batch(&self, _g: &DynamicGraph) -> Result<(), String> {
+        Ok(())
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Run `f` with panic messages suppressed — the canary's deliberate panics
+/// (caught and quarantined by the engine) would otherwise spam the test
+/// output. The hook is process-global, so swaps are serialized.
+fn quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+    use std::panic::PanicHookInfo;
+    use std::sync::{Mutex, MutexGuard};
+    type PrevHook = Box<dyn Fn(&PanicHookInfo<'_>) + Sync + Send>;
+    static HOOK_LOCK: Mutex<()> = Mutex::new(());
+    struct Restore<'a> {
+        prev: Option<PrevHook>,
+        _serialize: MutexGuard<'a, ()>,
+    }
+    impl Drop for Restore<'_> {
+        fn drop(&mut self) {
+            if let Some(prev) = self.prev.take() {
+                std::panic::set_hook(prev);
+            }
+        }
+    }
+    let guard = Restore {
+        _serialize: HOOK_LOCK.lock().unwrap_or_else(|p| p.into_inner()),
+        prev: Some(std::panic::take_hook()),
+    };
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = f();
+    drop(guard);
+    out
 }
 
 proptest! {
@@ -531,5 +661,216 @@ proptest! {
         );
         let v = register_follower(&mut late);
         assert_converged(&mut late, &v, &leader, &twin);
+    }
+
+    #[test]
+    fn coalesced_ticks_match_per_submission_commits_bit_identically(
+        (n, edges, subs, mask) in (8u32..14).prop_flat_map(|n| (
+            Just(n),
+            proptest::collection::vec(
+                (0..n, 0..n).prop_filter("no initial self-loops", |(a, b)| a != b),
+                10..30,
+            ),
+            // 4–10 client submissions of raw unit updates — the streams the
+            // ingest front door would coalesce. Duplicates, insert/delete
+            // pairs, no-ops and fresh nodes all allowed, as ever.
+            proptest::collection::vec(
+                proptest::collection::vec(
+                    (any::<bool>(), 0..n + 3, 0..n + 3),
+                    1..8,
+                ),
+                4..11,
+            ),
+            any::<u64>(),
+        ))
+    ) {
+        let labels: Vec<u32> = (0..n).map(|i| i % 3).collect();
+        let g = graph_from(&labels, &edges);
+
+        // A: WAL-logged, pool-fanned, commits coalesced mega-batches
+        // through the pipelined prepare/apply_prepared driver (tick n+1's
+        // WAL append in flight during tick n's fan-out). B: a twin that
+        // never coalesces — one plain commit per submission.
+        let backend = MemBackend::new();
+        let mut a = {
+            let mut a = engine_with_views(g.clone())
+                .with_log(Arc::new(backend.clone()) as Arc<dyn LogBackend>)
+                .unwrap();
+            a.set_checkpoint_every(3);
+            a.set_commit_mode(CommitMode::Parallel { threads: 2 });
+            a
+        };
+        let mut b = engine_with_views(g);
+        // A canary that panics on its first apply rides on both engines:
+        // coalescing equality must hold under a quarantined view too.
+        a.register(Canary::default()).unwrap();
+        b.register(Canary::default()).unwrap();
+
+        let batches: Vec<UpdateBatch> = subs.iter().map(|raw| batch_from_raw(raw)).collect();
+        let groups = split_groups(&batches, mask);
+        let megas: Vec<UpdateBatch> = groups.iter().map(|g| coalesce(g)).collect();
+
+        let (ticks_a, commits_b) = quiet_panics(|| {
+            // Pipelined driver: prepare tick 0, then every apply carries
+            // the next tick's prepare in flight.
+            let mut ticks_a = 0u64;
+            let mut staged = a.prepare(&megas[0]).unwrap();
+            for next in megas.iter().skip(1) {
+                let (receipt, piped) = a.apply_prepared(staged, Some(next)).unwrap();
+                ticks_a += u64::from(!receipt.is_noop());
+                staged = piped.expect("pipelined prepare was requested").unwrap();
+            }
+            let (receipt, tail) = a.apply_prepared(staged, None).unwrap();
+            ticks_a += u64::from(!receipt.is_noop());
+            prop_assert!(tail.is_none(), "no prepare requested on the last tick");
+
+            // Twin: one commit per submission, same arrival order.
+            let mut commits_b = 0u64;
+            for sub in &batches {
+                commits_b += u64::from(!b.commit(sub).unwrap().is_noop());
+            }
+            (ticks_a, commits_b)
+        });
+
+        // The heart of the property: identical graphs and bit-identical
+        // answers for all four classes, despite different tick boundaries
+        // (epochs legitimately differ — one bump per non-noop tick vs one
+        // per non-noop submission).
+        prop_assert_eq!(a.epoch(), ticks_a);
+        prop_assert_eq!(b.epoch(), commits_b);
+        prop_assert_eq!(a.graph().sorted_edges(), b.graph().sorted_edges());
+        prop_assert_eq!(a.graph().node_count(), b.graph().node_count());
+        prop_assert_eq!(four_class_answers(&a), four_class_answers(&b));
+        a.verify_all().unwrap();
+        b.verify_all().unwrap();
+
+        // The canary quarantined at each engine's first non-noop commit.
+        // (A whole tick can normalize to a no-op even when its member
+        // submissions don't — e.g. an insert/delete pair coalesced away —
+        // so each side is gated on its own non-noop count.)
+        for (e, nonnoop) in [(&a, ticks_a), (&b, commits_b)] {
+            if nonnoop > 0 {
+                let canary = e.find("canary").expect("canary stays registered");
+                prop_assert!(
+                    matches!(e.state(canary).unwrap(), ViewState::Quarantined { .. }),
+                    "canary quarantined after the first non-noop commit"
+                );
+            }
+        }
+
+        // The journal recorded whole mega-batches: recovery lands on A's
+        // exact frontier — no re-split or torn ticks.
+        let r = Engine::recover(Arc::new(backend.clone()) as Arc<dyn LogBackend>).unwrap();
+        prop_assert_eq!(r.epoch(), a.epoch());
+        prop_assert_eq!(r.graph().sorted_edges(), a.graph().sorted_edges());
+        prop_assert_eq!(r.graph().node_count(), a.graph().node_count());
+    }
+
+    #[test]
+    fn crash_mid_tick_recovers_to_a_clean_epoch_boundary(
+        (n, edges, subs, mask, (crash_pick, keep)) in (8u32..14).prop_flat_map(|n| (
+            Just(n),
+            proptest::collection::vec(
+                (0..n, 0..n).prop_filter("no initial self-loops", |(a, b)| a != b),
+                10..30,
+            ),
+            proptest::collection::vec(
+                proptest::collection::vec(
+                    (any::<bool>(), 0..n + 3, 0..n + 3),
+                    1..8,
+                ),
+                4..9,
+            ),
+            any::<u64>(),
+            // Crash-tick pick, and how many bytes of the torn record the
+            // fault keeps: 0 (nothing hit the backend) up past
+            // whole-record size (fully written but never acknowledged).
+            (any::<u32>(), 0usize..64),
+        ))
+    ) {
+        let labels: Vec<u32> = (0..n).map(|i| i % 3).collect();
+        let g = graph_from(&labels, &edges);
+
+        let backend = MemBackend::new();
+        let mut a = engine_with_views(g.clone())
+            .with_log(Arc::new(backend.clone()) as Arc<dyn LogBackend>)
+            .unwrap();
+        a.set_checkpoint_every(2);
+        let mut b = engine_with_views(g);
+
+        let batches: Vec<UpdateBatch> = subs.iter().map(|raw| batch_from_raw(raw)).collect();
+        let groups = split_groups(&batches, mask);
+        let megas: Vec<UpdateBatch> = groups.iter().map(|g| coalesce(g)).collect();
+
+        let crash_group = (crash_pick as usize) % megas.len();
+        // The injector arms at the chosen tick but only fires on the first
+        // *append* — no-op ticks never touch the log and slide through.
+        let mut armed = false;
+        for (k, mega) in megas.iter().enumerate() {
+            if k == crash_group {
+                backend.fail_next_append(keep);
+                armed = true;
+            }
+            let epoch_before = a.epoch();
+            match a.commit(mega) {
+                Ok(receipt) => {
+                    if armed {
+                        prop_assert!(
+                            receipt.is_noop(),
+                            "an armed fault must fail the first real append"
+                        );
+                    }
+                }
+                Err(_) => {
+                    prop_assert!(armed, "only the injected tear may fail a commit");
+                    armed = false;
+                    // All-or-nothing: the torn tick moved nothing — not the
+                    // graph, not the epoch, not a single view.
+                    prop_assert_eq!(a.epoch(), epoch_before);
+                    // CRASH: drop the wounded engine, rebuild from the
+                    // journal alone. Recovery must land on an epoch
+                    // *boundary*: either the record never became durable
+                    // (torn tail, skipped) or — when the fault kept every
+                    // byte — it is replayed whole. A partially applied
+                    // mega-batch is impossible either way.
+                    let mut r =
+                        Engine::recover(Arc::new(backend.clone()) as Arc<dyn LogBackend>)
+                            .unwrap();
+                    prop_assert!(
+                        r.epoch() == epoch_before || r.epoch() == epoch_before + 1,
+                        "recovered epoch {} is a clean boundary around pre-tick epoch {}",
+                        r.epoch(),
+                        epoch_before
+                    );
+                    r.set_checkpoint_every(2);
+                    register_four_lazily(&mut r);
+                    // Retrying the whole tick is idempotent under
+                    // normalization: it lands exactly once whether or not
+                    // the replay already carried it.
+                    r.commit(mega).unwrap();
+                    prop_assert_eq!(
+                        r.epoch(),
+                        epoch_before + 1,
+                        "the torn tick lands exactly once after retry"
+                    );
+                    a = r;
+                }
+            }
+            for sub in &groups[k] {
+                b.commit(sub).unwrap();
+            }
+            prop_assert_eq!(a.graph().sorted_edges(), b.graph().sorted_edges());
+        }
+
+        prop_assert_eq!(a.graph().node_count(), b.graph().node_count());
+        prop_assert_eq!(four_class_answers(&a), four_class_answers(&b));
+        a.verify_all().unwrap();
+        b.verify_all().unwrap();
+
+        // And the journal is still coherent end-to-end: a second recovery
+        // (over the rotated-past torn bytes) reaches the same frontier.
+        let r2 = Engine::recover(Arc::new(backend.clone()) as Arc<dyn LogBackend>).unwrap();
+        prop_assert_eq!(r2.epoch(), a.epoch());
+        prop_assert_eq!(r2.graph().sorted_edges(), a.graph().sorted_edges());
     }
 }
