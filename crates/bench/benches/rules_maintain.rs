@@ -1,0 +1,98 @@
+//! Rule-view maintenance: incremental `IncRules` versus from-scratch
+//! re-evaluation on the windowed attack-graph stream.
+//!
+//! Three arms per phase:
+//!
+//! * `incremental` — clone a warm view, apply the tick's coalesced batch;
+//! * `scratch_seminaive` — rebuild `IncRules` from scratch on the
+//!   post-tick graph (the semi-naive from-scratch baseline);
+//! * `scratch_naive` — run the naive fixpoint oracle on the post-tick
+//!   graph (what a non-incremental evaluator would pay).
+//!
+//! Phases: `slide` (one steady-state window tick: a cohort in, a cohort
+//! out) and `storm` (half the window retracted in one coalesced batch) —
+//! the deletion-heavy regime the support-counting machinery exists for.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use igc_bench::workloads::{attack_program, WindowedStream};
+use igc_core::IncrementalAlgorithm;
+use igc_graph::{DynamicGraph, UpdateBatch};
+use igc_rules::{naive_fixpoint, IncRules, Program};
+
+const NODES: usize = 400;
+const WINDOW: usize = 8;
+const PER_TICK: usize = 400;
+const SEED: u64 = 0x5EED_2017;
+
+/// A warm window: graph + stream after `WINDOW + 3` ticks, with the view
+/// caught up, plus one prepared delta (`tick` or `storm`) and the graph
+/// state after that delta.
+struct Warm {
+    program: Program,
+    g_before: DynamicGraph,
+    view: IncRules,
+    delta: UpdateBatch,
+    g_after: DynamicGraph,
+}
+
+fn warm(storm: bool) -> Warm {
+    let (program, _, _) = attack_program();
+    let (mut g, mut ws) = WindowedStream::new(NODES, WINDOW, PER_TICK, SEED);
+    let mut view = IncRules::new(&g, program.clone());
+    for _ in 0..WINDOW + 3 {
+        let delta = ws.next_batch();
+        g.apply_batch(&delta);
+        view.apply(&g, &delta);
+    }
+    let g_before = g.clone();
+    let delta = if storm {
+        ws.storm(WINDOW / 2)
+    } else {
+        ws.next_batch()
+    };
+    g.apply_batch(&delta);
+    Warm {
+        program,
+        g_before,
+        view,
+        delta,
+        g_after: g,
+    }
+}
+
+fn bench_phase(c: &mut Criterion, phase: &str, storm: bool) {
+    let w = warm(storm);
+    let mut group = c.benchmark_group(format!("rules_maintain/{phase}"));
+
+    group.bench_function("incremental", |b| {
+        b.iter_batched(
+            || w.view.clone(),
+            |mut view| {
+                view.apply(&w.g_after, &w.delta);
+                view
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("scratch_seminaive", |b| {
+        b.iter(|| IncRules::new(&w.g_after, w.program.clone()))
+    });
+    group.bench_function("scratch_naive", |b| {
+        b.iter(|| naive_fixpoint(&w.g_after, &w.program))
+    });
+    group.finish();
+
+    // Keep the warm state honest: the cloned view must still be exact.
+    let mut check = w.view.clone();
+    check.apply(&w.g_after, &w.delta);
+    assert!(w.g_before.edge_count() > 0);
+    igc_core::IncView::verify_against_batch(&check, &w.g_after).expect("warm view audits clean");
+}
+
+fn rules_maintain(c: &mut Criterion) {
+    bench_phase(c, "slide", false);
+    bench_phase(c, "storm", true);
+}
+
+criterion_group!(benches, rules_maintain);
+criterion_main!(benches);

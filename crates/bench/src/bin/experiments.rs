@@ -5,7 +5,7 @@
 //! ```text
 //! experiments [--scale F] [--no-verify] [--threads N] [--json-out PATH]
 //!             [--log] [--crash-at N] [--log-dir PATH] [--replicas N]
-//!             [--ingest N]
+//!             [--ingest N] [--rules N]
 //!             [fig8a fig8b … | all | unit | rho | undoable | locality | engine]
 //! ```
 //!
@@ -34,6 +34,11 @@
 //! every-append vs group-commit, volatile per-submission vs coalesced),
 //! with throughput, p50/p99 submit→receipt latency, fsync-barrier counts
 //! and receipts-match-submissions + journal-replay audits.
+//! `--rules N` adds a `rules` section: an `igc_rules` attack-graph view
+//! over a sliding-window edge stream — window fill, `N` steady-state
+//! slide ticks, then a deletion storm retracting half the window in one
+//! coalesced batch, with per-commit latency, derivation counters, oracle
+//! audits, and the storm-phase speedup over from-scratch re-evaluation.
 
 use igc_bench::experiments::{self, ExpConfig, ALL_FIGS};
 
@@ -75,11 +80,16 @@ fn main() {
                 let v = args.next().expect("--ingest needs a submitter count");
                 cfg.ingest = v.parse().expect("ingest must be an integer");
             }
+            "--rules" => {
+                let v = args.next().expect("--rules needs a slide-tick count");
+                cfg.rules = v.parse().expect("rules must be an integer");
+            }
             "all" => figs.extend(ALL_FIGS.iter().map(|s| s.to_string())),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: experiments [--scale F] [--no-verify] [--threads N] [--json-out PATH] \
                      [--log] [--crash-at N] [--log-dir PATH] [--replicas N] [--ingest N] \
+                     [--rules N] \
                      [fig8a … fig8p | all | unit | rho | undoable | locality | engine]"
                 );
                 return;

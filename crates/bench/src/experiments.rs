@@ -61,6 +61,13 @@ pub struct ExpConfig {
     /// submit→receipt latency, fsync-barrier counts, and
     /// receipts-match-submissions + journal-replay audits.
     pub ingest: usize,
+    /// Slide ticks for the rule-view micro-benchmark (`--rules N`):
+    /// `n ≥ 1` adds a `rules` section to the JSON — an [`igc_rules`]
+    /// attack-graph view over a sliding-window edge stream, with
+    /// per-commit latency for insert-heavy (fill) and deletion-storm
+    /// phases, maintenance counters, oracle audits, and the storm-phase
+    /// speedup over from-scratch re-evaluation.
+    pub rules: usize,
 }
 
 impl Default for ExpConfig {
@@ -74,6 +81,7 @@ impl Default for ExpConfig {
             log_dir: None,
             replicas: 0,
             ingest: 0,
+            rules: 0,
         }
     }
 }
@@ -1314,6 +1322,163 @@ fn engine_ingest(cfg: &ExpConfig) -> String {
     )
 }
 
+/// Window length (ticks) of the `--rules N` windowed-streaming workload.
+pub const RULES_WINDOW: usize = 8;
+
+/// Backbone size of the `--rules N` workload, as a multiple of the churn
+/// region's host count: the persistent infrastructure graph the window
+/// storm must *not* make the view re-derive.
+pub const RULES_BACKBONE_FACTOR: usize = 48;
+
+/// The rule-view micro-benchmark behind `--rules N`: an [`IncRules`] view
+/// maintaining the attack-reachability program over a sliding-window edge
+/// stream ([`workloads::WindowedStream`]), committed through its own
+/// engine. Three phases, one JSON object:
+///
+/// * `fill` — [`RULES_WINDOW`] insert-only ticks populate the window
+///   (per-commit latency, derived-fact census, oracle audit);
+/// * `slide` — `N` steady-state ticks, each one coalesced batch carrying a
+///   cohort of insertions *and* the retracted cohort that slid out
+///   (per-commit latency plus the view's maintenance counters);
+/// * `storm` — half the window retracted in a single coalesced batch,
+///   timed against from-scratch re-evaluation of the post-storm graph
+///   (naive fixpoint and semi-naive rebuild baselines) — the headline
+///   `speedup_vs_naive` number.
+///
+/// The graph is a persistent backbone ([`RULES_BACKBONE_FACTOR`] × the
+/// churn region, entry-anchored corridors that never slide out) with the
+/// windowed churn riding in a disjoint host range — the streaming shape
+/// the "undoable" side targets: storms retract transient edges only, so
+/// incremental work stays bounded by the affected window facts while the
+/// from-scratch baselines re-derive the whole database.
+///
+/// Every phase ends in `verify_all`, so each `audit` field is a real
+/// incremental-vs-oracle comparison, not a checksum. The workload `seed`,
+/// window and backbone parameters are recorded so a run is reproducible
+/// from its JSON alone.
+fn engine_rules(cfg: &ExpConfig) -> String {
+    use igc_rules::{naive_fixpoint, IncRules};
+    use std::time::Instant;
+
+    let slide_ticks = cfg.rules.max(1);
+    let nodes = ((4000.0 * cfg.scale).round() as usize).max(64);
+    let per_tick = nodes; // mean degree ≈ RULES_WINDOW once the window fills
+    let backbone = RULES_BACKBONE_FACTOR * nodes;
+    let seed = GRAPH_SEED ^ 0x201e5;
+    let (program, _exec, goal) = workloads::attack_program();
+    let (g, mut ws) =
+        workloads::WindowedStream::with_backbone(backbone, nodes, RULES_WINDOW, per_tick, seed);
+    let backbone_edges = g.edge_count();
+
+    let mut engine = Engine::new(g);
+    engine.set_commit_mode(commit_mode(cfg));
+    let rules = engine
+        .register(IncRules::new(engine.graph(), program.clone()))
+        .expect("register rules view");
+    let audit = |engine: &mut Engine| -> String {
+        if !cfg.verify {
+            return "\"skipped\"".to_owned();
+        }
+        match engine.verify_all() {
+            Ok(()) => "\"pass\"".to_owned(),
+            Err(e) => format!("\"fail: {e}\""),
+        }
+    };
+
+    // Phase 1: fill the window, insert-only ticks.
+    let mut fill_s = Vec::with_capacity(RULES_WINDOW);
+    for _ in 0..RULES_WINDOW {
+        let delta = ws.next_batch();
+        let t = Instant::now();
+        engine.commit(&delta).expect("fill commit");
+        fill_s.push(t.elapsed().as_secs_f64());
+    }
+    let (fill_facts, fill_goals) = {
+        let view = engine.view(&rules).expect("rules view");
+        (view.derived_count(), view.facts_of(goal).len())
+    };
+    let fill_audit = audit(&mut engine);
+
+    // Phase 2: steady-state slides — every commit is a coalesced
+    // insert-cohort + retract-cohort batch.
+    let mut slide_s = Vec::with_capacity(slide_ticks);
+    let mut slide_delta = igc_rules::RulesDelta::default();
+    for _ in 0..slide_ticks {
+        let delta = ws.next_batch();
+        let t = Instant::now();
+        engine.commit(&delta).expect("slide commit");
+        slide_s.push(t.elapsed().as_secs_f64());
+        let d = engine.view(&rules).expect("rules view").last_delta();
+        slide_delta.facts_added += d.facts_added;
+        slide_delta.facts_removed += d.facts_removed;
+        slide_delta.overdeleted += d.overdeleted;
+        slide_delta.rederived += d.rederived;
+        slide_delta.repairs += d.repairs;
+    }
+    let slide_audit = audit(&mut engine);
+
+    // Phase 3: the deletion storm — half the window out in one batch.
+    let live_before = engine.graph().edge_count();
+    let storm = ws.storm(RULES_WINDOW / 2);
+    let deleted = storm.len();
+    let t = Instant::now();
+    engine.commit(&storm).expect("storm commit");
+    let storm_s = t.elapsed().as_secs_f64();
+    let storm_delta = engine.view(&rules).expect("rules view").last_delta();
+    let storm_audit = audit(&mut engine);
+
+    // From-scratch baselines on the post-storm graph.
+    let t = Instant::now();
+    let oracle = naive_fixpoint(engine.graph(), &program);
+    let naive_s = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let rebuilt = IncRules::new(engine.graph(), program.clone());
+    let seminaive_s = t.elapsed().as_secs_f64();
+    assert_eq!(
+        rebuilt.derived_count(),
+        oracle.facts.len(),
+        "from-scratch baselines disagree"
+    );
+
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len().max(1) as f64;
+    let max = |xs: &[f64]| xs.iter().cloned().fold(0.0f64, f64::max);
+    let ratio = |num: f64, den: f64| if den > 0.0 { num / den } else { 0.0 };
+    format!(
+        "{{\"program\": \"attack_graph\", \"seed\": {seed}, \"nodes\": {nodes}, \
+         \"backbone_nodes\": {backbone}, \"backbone_edges\": {backbone_edges}, \
+         \"window_ticks\": {RULES_WINDOW}, \"edges_per_tick\": {per_tick}, \
+         \"slide_ticks\": {slide_ticks}, \
+         \"fill\": {{\"commits\": {RULES_WINDOW}, \"mean_commit_s\": {:.9}, \
+         \"max_commit_s\": {:.9}, \"derived_facts\": {fill_facts}, \
+         \"goals_reached\": {fill_goals}, \"audit\": {fill_audit}}}, \
+         \"slide\": {{\"commits\": {slide_ticks}, \"mean_commit_s\": {:.9}, \
+         \"max_commit_s\": {:.9}, \"facts_added\": {}, \"facts_removed\": {}, \
+         \"overdeleted\": {}, \"rederived\": {}, \"repairs\": {}, \
+         \"audit\": {slide_audit}}}, \
+         \"storm\": {{\"live_edges_before\": {live_before}, \"deleted_edges\": {deleted}, \
+         \"commit_s\": {storm_s:.9}, \"scratch_naive_s\": {naive_s:.9}, \
+         \"scratch_seminaive_s\": {seminaive_s:.9}, \"speedup_vs_naive\": {:.2}, \
+         \"speedup_vs_seminaive\": {:.2}, \"facts_removed\": {}, \"overdeleted\": {}, \
+         \"rederived\": {}, \"audit\": {storm_audit}}}, \
+         \"derived_facts_final\": {}}}",
+        mean(&fill_s),
+        max(&fill_s),
+        mean(&slide_s),
+        max(&slide_s),
+        slide_delta.facts_added,
+        slide_delta.facts_removed,
+        slide_delta.overdeleted,
+        slide_delta.rederived,
+        slide_delta.repairs,
+        ratio(naive_s, storm_s),
+        ratio(seminaive_s, storm_s),
+        storm_delta.facts_removed,
+        storm_delta.overdeleted,
+        storm_delta.rederived,
+        rebuilt.derived_count(),
+    )
+}
+
 /// One churning multi-view serving run with the full v2 lifecycle: the four
 /// default views plus a deliberately flaky canary registered on a
 /// DBpedia-like graph, `ENGINE_COMMITS` commits of ~2 % of the edges each
@@ -1346,6 +1511,12 @@ fn engine_ingest(cfg: &ExpConfig) -> String {
 /// driven through the async front door under four durability/coalescing
 /// arms, with throughput, p50/p99 submit→receipt latency and
 /// receipts-match-submissions audits.
+///
+/// With `cfg.rules = n ≥ 1` the JSON additionally gains a `rules` section
+/// (see [`engine_rules`](self)): an `IncRules` attack-graph view over a
+/// sliding-window edge stream — fill/slide/deletion-storm phases with
+/// per-commit latency, maintenance counters, oracle audits, and the
+/// storm-phase speedup over from-scratch re-evaluation.
 pub fn engine_run(cfg: &ExpConfig) -> EngineRun {
     let g = workloads::dataset(Dataset::DbpediaLike, cfg.scale);
     let logging = cfg.log || cfg.crash_at.is_some();
@@ -1647,6 +1818,10 @@ pub fn engine_run(cfg: &ExpConfig) -> EngineRun {
         let ingest = engine_ingest(cfg);
         extra_sections.push_str(&format!("  \"ingest\": {ingest},\n"));
     }
+    if cfg.rules > 0 {
+        let rules = engine_rules(cfg);
+        extra_sections.push_str(&format!("  \"rules\": {rules},\n"));
+    }
     let json = format!(
         "{{\n  \"bench\": \"engine_commit\",\n  \"dataset\": \"dbpedia_like\",\n  \
          \"scale\": {},\n  \"seed\": {},\n  \"mode\": \"{}\",\n  \"threads\": {},\n  \
@@ -1916,6 +2091,35 @@ mod tests {
             .contains(&format!("\"backlog_epochs\": {REPLICATION_COMMITS}")));
         assert!(r.json.contains("\"compaction\": {\"cadences\": 5"));
         assert!(r.json.contains("\"journal_bounded\": true"));
+        assert_eq!(r.json.matches('{').count(), r.json.matches('}').count());
+        assert_eq!(r.json.matches('[').count(), r.json.matches(']').count());
+    }
+
+    #[test]
+    fn engine_run_with_rules_emits_the_rules_section() {
+        let cfg = ExpConfig { rules: 3, ..tiny() };
+        let r = engine_run(&cfg);
+        assert_eq!(r.series.rows.len(), ENGINE_COMMITS);
+        // All three phases with their audits, plus the reproducibility
+        // parameters (seed + window geometry).
+        assert!(r.json.contains("\"rules\": {\"program\": \"attack_graph\""));
+        assert!(r
+            .json
+            .contains(&format!("\"seed\": {}", GRAPH_SEED ^ 0x201e5)));
+        assert!(r
+            .json
+            .contains(&format!("\"window_ticks\": {RULES_WINDOW}")));
+        assert!(r.json.contains("\"slide_ticks\": 3"));
+        assert!(r.json.contains("\"fill\": {\"commits\""));
+        assert!(r.json.contains("\"slide\": {\"commits\": 3"));
+        assert!(r.json.contains("\"storm\": {\"live_edges_before\""));
+        assert!(r.json.contains("\"speedup_vs_naive\""));
+        assert_eq!(
+            r.json.matches("\"audit\": \"pass\"").count(),
+            3,
+            "all three rules phases audit against the oracle:\n{}",
+            r.json
+        );
         assert_eq!(r.json.matches('{').count(), r.json.matches('}').count());
         assert_eq!(r.json.matches('[').count(), r.json.matches(']').count());
     }

@@ -171,7 +171,7 @@ pub fn panic_cause(payload: &(dyn std::any::Any + Send)) -> String {
 /// Every closure `FnOnce(&DynamicGraph) -> V` where `V: IncView` is a
 /// `ViewInit` via the blanket impl, so ad-hoc lambdas work directly; the
 /// algorithm crates also export ready-made ones (`IncRpq::init`,
-/// `IncScc::init`, `IncKws::init`, `IncIso::init`).
+/// `IncScc::init`, `IncKws::init`, `IncIso::init`, `IncRules::init`).
 ///
 /// # Determinism and the epoch contract
 ///

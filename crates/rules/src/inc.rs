@@ -1,0 +1,963 @@
+//! `IncRules` — incremental maintenance of a rule program's derived facts.
+//!
+//! # Algorithm
+//!
+//! The view keeps, for every derived fact, a **support count**: the number
+//! of valid rule instantiations deriving it in the current database.
+//! Maintenance under a normalized batch `ΔG` runs three phases:
+//!
+//! 1. **Deletion (counting) pass** — deleted edges, then derived facts
+//!    whose support hits zero, stream through a worklist one token at a
+//!    time. Processing a token enumerates, per rule, the instantiations it
+//!    participates in (semi-naive: the token pinned at one body position,
+//!    the rest joined against the current view) and decrements the heads.
+//!    Count-zero heads are genuinely underivable and propagate; heads whose
+//!    count stays positive are *suspects* — their remaining support may be
+//!    cyclic (a fact "deriving itself" through a dependency cycle, which a
+//!    pure counting scheme would incorrectly keep alive).
+//! 2. **Repair (DRed-style over-delete/re-derive)** — suspects that still
+//!    hold an all-base-body derivation are definitely alive and are
+//!    cleared. The remaining seeds are closed under "supports" into the
+//!    affected set `D`, all of `D` is tentatively removed, and `D` is
+//!    re-derived semi-naively from the surviving facts — exactly the facts
+//!    with well-founded support come back, with exact recomputed counts.
+//!    The whole phase is bounded by `D` (facts depending on the suspects),
+//!    never the database.
+//! 3. **Insertion pass** — fresh node-label facts and inserted edges
+//!    stream through the same worklist machinery with increments instead
+//!    of decrements; derived facts whose count leaves zero become visible
+//!    and propagate.
+//!
+//! Exactly-once counting uses the pin discipline documented in
+//! `crate::eval`. Both directions are *bounded by affected facts*: work
+//! is proportional to the instantiations the changed facts participate in,
+//! not to the database or to from-scratch re-evaluation (the
+//! deletion-storm regression tests in `igc_bench` assert this on work
+//! counters).
+
+use crate::ast::{PredId, Program};
+use crate::eval::{
+    bind_pinned, for_each_instantiation, head_fact, ordered_body, Bind, Fact, FactView, Pin, Token,
+};
+use crate::naive::naive_fixpoint;
+use igc_core::work::{ChangeMetrics, WorkStats};
+use igc_core::{IncView, IncrementalAlgorithm, ViewInit};
+use igc_graph::fxhash::{FxHashMap, FxHashSet};
+use igc_graph::{DynamicGraph, Edge, Label, NodeId, UpdateBatch};
+use std::collections::VecDeque;
+
+/// Per-`apply` maintenance counters — the observable shape of one delta:
+/// how much was retracted outright, how much the repair phase had to
+/// over-delete and re-derive, and whether repair ran at all.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RulesDelta {
+    /// Derived facts that became true.
+    pub facts_added: u64,
+    /// Derived facts that became false (including repair casualties).
+    pub facts_removed: u64,
+    /// Facts decremented but left alive — candidates for cyclic support.
+    pub suspects: u64,
+    /// Facts tentatively removed by the repair phase (`|D|`).
+    pub overdeleted: u64,
+    /// Over-deleted facts that proved well-founded and came back.
+    pub rederived: u64,
+    /// Number of repair phases that actually ran (0 or 1 per apply).
+    pub repairs: u64,
+}
+
+/// Visible derived facts, positionally indexed, plus support counts.
+#[derive(Clone, Debug, Default)]
+struct FactStore {
+    by_pred: Vec<FxHashSet<Fact>>,
+    index: FxHashMap<(PredId, u8, NodeId), FxHashSet<Fact>>,
+    support: FxHashMap<Fact, u32>,
+}
+
+impl FactStore {
+    fn new(preds: usize) -> FactStore {
+        FactStore {
+            by_pred: vec![FxHashSet::default(); preds],
+            index: FxHashMap::default(),
+            support: FxHashMap::default(),
+        }
+    }
+
+    fn visible(&self, f: &Fact) -> bool {
+        self.by_pred[f.pred.0 as usize].contains(f)
+    }
+
+    fn insert_visible(&mut self, f: Fact) {
+        self.by_pred[f.pred.0 as usize].insert(f);
+        for (i, &n) in f.args().iter().enumerate() {
+            self.index
+                .entry((f.pred, i as u8, n))
+                .or_default()
+                .insert(f);
+        }
+    }
+
+    fn remove_visible(&mut self, f: &Fact) {
+        self.by_pred[f.pred.0 as usize].remove(f);
+        for (i, &n) in f.args().iter().enumerate() {
+            if let Some(set) = self.index.get_mut(&(f.pred, i as u8, n)) {
+                set.remove(f);
+                if set.is_empty() {
+                    self.index.remove(&(f.pred, i as u8, n));
+                }
+            }
+        }
+    }
+}
+
+/// The in-transition visibility overlay for one `apply`: the graph already
+/// reflects the whole batch, so inserted edges and fresh nodes are hidden
+/// until their token is processed, and deleted edges stay visible until
+/// theirs is.
+#[derive(Debug, Default)]
+struct Pending {
+    /// Inserted edges not yet revealed.
+    ins_edges: FxHashSet<Edge>,
+    /// Deleted edges not yet hidden (gone from the graph, still visible).
+    del_edges: FxHashSet<Edge>,
+    del_out: FxHashMap<NodeId, Vec<NodeId>>,
+    del_in: FxHashMap<NodeId, Vec<NodeId>>,
+    /// Nodes below this id existed before the batch (label facts visible).
+    node_floor: usize,
+    /// Fresh nodes whose label fact has been revealed.
+    revealed: FxHashSet<NodeId>,
+}
+
+struct ApplyView<'a> {
+    g: &'a DynamicGraph,
+    store: &'a FactStore,
+    p: &'a Pending,
+}
+
+impl FactView for ApplyView<'_> {
+    fn edge(&self, u: NodeId, v: NodeId) -> bool {
+        (self.g.contains_edge(u, v) && !self.p.ins_edges.contains(&(u, v)))
+            || self.p.del_edges.contains(&(u, v))
+    }
+    fn for_succ(&self, u: NodeId, f: &mut dyn FnMut(NodeId)) {
+        if u.index() < self.g.node_count() {
+            for &w in self.g.successors(u) {
+                if !self.p.ins_edges.contains(&(u, w)) {
+                    f(w);
+                }
+            }
+        }
+        if let Some(ws) = self.p.del_out.get(&u) {
+            for &w in ws {
+                if self.p.del_edges.contains(&(u, w)) {
+                    f(w);
+                }
+            }
+        }
+    }
+    fn for_pred_nodes(&self, v: NodeId, f: &mut dyn FnMut(NodeId)) {
+        if v.index() < self.g.node_count() {
+            for &u in self.g.predecessors(v) {
+                if !self.p.ins_edges.contains(&(u, v)) {
+                    f(u);
+                }
+            }
+        }
+        if let Some(us) = self.p.del_in.get(&v) {
+            for &u in us {
+                if self.p.del_edges.contains(&(u, v)) {
+                    f(u);
+                }
+            }
+        }
+    }
+    fn for_edges(&self, f: &mut dyn FnMut(NodeId, NodeId)) {
+        for (u, v) in self.g.edges() {
+            if !self.p.ins_edges.contains(&(u, v)) {
+                f(u, v);
+            }
+        }
+        for &(u, v) in &self.p.del_edges {
+            f(u, v);
+        }
+    }
+    fn node(&self, v: NodeId) -> bool {
+        v.index() < self.p.node_floor || self.p.revealed.contains(&v)
+    }
+    fn label_of(&self, v: NodeId) -> Option<Label> {
+        (self.node(v) && v.index() < self.g.node_count()).then(|| self.g.label(v))
+    }
+    fn for_label(&self, l: Label, f: &mut dyn FnMut(NodeId)) {
+        for &v in self.g.nodes_with_label(l) {
+            if self.node(v) {
+                f(v);
+            }
+        }
+    }
+    fn fact(&self, f: &Fact) -> bool {
+        self.store.visible(f)
+    }
+    fn for_pred_facts(&self, p: PredId, f: &mut dyn FnMut(&Fact)) {
+        for fact in &self.store.by_pred[p.0 as usize] {
+            f(fact);
+        }
+    }
+    fn for_pred_facts_bound(&self, p: PredId, pos: usize, n: NodeId, f: &mut dyn FnMut(&Fact)) {
+        if let Some(set) = self.store.index.get(&(p, pos as u8, n)) {
+            for fact in set {
+                f(fact);
+            }
+        }
+    }
+}
+
+/// One maintenance pass's working borrows.
+struct Pass<'a> {
+    prog: &'a Program,
+    g: &'a DynamicGraph,
+    store: &'a mut FactStore,
+    pend: &'a mut Pending,
+    work: &'a mut WorkStats,
+    delta: &'a mut RulesDelta,
+}
+
+impl Pass<'_> {
+    /// Heads of every instantiation the token participates in, one entry
+    /// per instantiation (the pin discipline makes the multiset exact).
+    fn pinned_heads(&mut self, token: &Token, out: &mut Vec<Fact>) {
+        let view = ApplyView {
+            g: self.g,
+            store: &*self.store,
+            p: &*self.pend,
+        };
+        for rule in self.prog.rules() {
+            for (j, atom) in rule.body.iter().enumerate() {
+                let mut bind = Bind::new();
+                if bind_pinned(&view, atom, token, &mut bind) {
+                    let pin = Pin { pos: j, token };
+                    for_each_instantiation(
+                        &view,
+                        &rule.body,
+                        &mut bind,
+                        0,
+                        Some(&pin),
+                        self.work,
+                        &mut |b| {
+                            out.push(head_fact(rule, b));
+                            true
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Number of instantiations deriving exactly `f` in the current view.
+    fn count_derivations(&mut self, f: &Fact) -> u32 {
+        let view = ApplyView {
+            g: self.g,
+            store: &*self.store,
+            p: &*self.pend,
+        };
+        let mut count = 0u32;
+        for rule in self.prog.rules() {
+            if rule.head_pred != f.pred {
+                continue;
+            }
+            let mut bind = Bind::new();
+            if rule
+                .head_args
+                .iter()
+                .zip(f.args())
+                .all(|(t, n)| bind.try_set(t, *n).is_some())
+            {
+                let body = ordered_body(&rule.body, &bind);
+                for_each_instantiation(&view, &body, &mut bind, 0, None, self.work, &mut |_| {
+                    count += 1;
+                    true
+                });
+            }
+        }
+        count
+    }
+
+    /// Does `f` have a derivation through a rule whose body is all base
+    /// atoms? Such support cannot be cyclic, so the suspect is definitely
+    /// still derivable and need not seed the repair phase.
+    fn base_witness(&mut self, f: &Fact) -> bool {
+        let view = ApplyView {
+            g: self.g,
+            store: &*self.store,
+            p: &*self.pend,
+        };
+        for &ri in self.prog.all_base_rules(f.pred) {
+            let rule = &self.prog.rules()[ri];
+            let mut bind = Bind::new();
+            if rule
+                .head_args
+                .iter()
+                .zip(f.args())
+                .all(|(t, n)| bind.try_set(t, *n).is_some())
+            {
+                let body = ordered_body(&rule.body, &bind);
+                let mut found = false;
+                for_each_instantiation(&view, &body, &mut bind, 0, None, self.work, &mut |_| {
+                    found = true;
+                    false
+                });
+                if found {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// The insertion worklist: reveal each token, then count the
+    /// instantiations it completes; facts whose support leaves zero become
+    /// visible and join the queue.
+    fn run_insertion(&mut self, queue: &mut VecDeque<Token>) {
+        let mut buf: Vec<Fact> = Vec::new();
+        while let Some(tok) = queue.pop_front() {
+            self.work.queue_ops += 1;
+            self.work.nodes_visited += 1;
+            match tok {
+                Token::Edge(u, v) => {
+                    self.pend.ins_edges.remove(&(u, v));
+                }
+                Token::Node(v) => {
+                    self.pend.revealed.insert(v);
+                }
+                Token::Derived(f) => {
+                    self.store.insert_visible(f);
+                    self.delta.facts_added += 1;
+                }
+            }
+            buf.clear();
+            self.pinned_heads(&tok, &mut buf);
+            for &h in &buf {
+                self.work.aux_touched += 1;
+                let c = {
+                    let e = self.store.support.entry(h).or_insert(0);
+                    *e += 1;
+                    *e
+                };
+                if c == 1 && !self.store.visible(&h) {
+                    queue.push_back(Token::Derived(h));
+                    self.work.queue_ops += 1;
+                }
+            }
+        }
+    }
+
+    /// The deletion worklist: count the instantiations each token still
+    /// completes, decrement their heads, then hide the token. Count-zero
+    /// heads join the queue; survivors are reported as suspects.
+    fn run_deletion(&mut self, queue: &mut VecDeque<Token>, suspects: &mut FxHashSet<Fact>) {
+        let mut buf: Vec<Fact> = Vec::new();
+        while let Some(tok) = queue.pop_front() {
+            self.work.queue_ops += 1;
+            self.work.nodes_visited += 1;
+            buf.clear();
+            self.pinned_heads(&tok, &mut buf);
+            for &h in &buf {
+                self.work.aux_touched += 1;
+                let c = self
+                    .store
+                    .support
+                    .get_mut(&h)
+                    .expect("decremented head has a support entry");
+                *c = c.checked_sub(1).expect("support count underflow");
+                if *c == 0 {
+                    queue.push_back(Token::Derived(h));
+                    self.work.queue_ops += 1;
+                } else {
+                    suspects.insert(h);
+                }
+            }
+            match tok {
+                Token::Edge(u, v) => {
+                    self.pend.del_edges.remove(&(u, v));
+                }
+                Token::Node(_) => unreachable!("node-label facts are never deleted"),
+                Token::Derived(f) => {
+                    self.store.remove_visible(&f);
+                    self.store.support.remove(&f);
+                    suspects.remove(&f);
+                    self.delta.facts_removed += 1;
+                }
+            }
+        }
+    }
+
+    /// DRed-style repair: close the uncleared suspects under "supports",
+    /// tentatively drop the closure, and re-derive it from surviving facts
+    /// with exact recomputed counts.
+    fn repair(&mut self, suspects: FxHashSet<Fact>) {
+        self.delta.suspects += suspects.len() as u64;
+        let mut seeds: Vec<Fact> = suspects
+            .into_iter()
+            .filter(|f| self.store.visible(f))
+            .collect();
+        seeds.retain(|f| !self.base_witness(f));
+        if seeds.is_empty() {
+            return;
+        }
+        seeds.sort_unstable();
+        self.delta.repairs += 1;
+
+        // Over-delete closure: everything with a derivation through a seed.
+        let mut d: FxHashSet<Fact> = seeds.iter().copied().collect();
+        let mut dq: VecDeque<Fact> = seeds.into();
+        let mut buf: Vec<Fact> = Vec::new();
+        while let Some(f) = dq.pop_front() {
+            self.work.queue_ops += 1;
+            buf.clear();
+            self.pinned_heads(&Token::Derived(f), &mut buf);
+            for &h in &buf {
+                if self.store.visible(&h) && d.insert(h) {
+                    dq.push_back(h);
+                    self.work.queue_ops += 1;
+                }
+            }
+        }
+        let mut d_list: Vec<Fact> = d.into_iter().collect();
+        d_list.sort_unstable();
+        self.delta.overdeleted += d_list.len() as u64;
+        for f in &d_list {
+            self.store.remove_visible(f);
+            self.store.support.remove(f);
+        }
+
+        // Re-derive: ground counts from the D-free database, then let the
+        // insertion machinery propagate. Only D facts can be (re)derived
+        // here — anything else with a derivation through D would have been
+        // in the closure.
+        let mut queue: VecDeque<Token> = VecDeque::new();
+        for f in &d_list {
+            let c0 = self.count_derivations(f);
+            if c0 > 0 {
+                self.store.support.insert(*f, c0);
+                queue.push_back(Token::Derived(*f));
+                self.work.queue_ops += 1;
+            }
+        }
+        let before_added = self.delta.facts_added;
+        self.run_insertion(&mut queue);
+        // Revived facts never logically left the answer: undo their
+        // "added" accounting; the rest of D is permanently retracted.
+        let revived = self.delta.facts_added - before_added;
+        self.delta.facts_added = before_added;
+        self.delta.rederived += revived;
+        self.delta.facts_removed += d_list.len() as u64 - revived;
+    }
+}
+
+/// An incrementally maintained rule view: the derived facts of a compiled
+/// [`Program`] over the engine's shared graph, kept exact under edge
+/// insertions *and* deletions (see the module docs for the algorithm).
+#[derive(Clone, Debug)]
+pub struct IncRules {
+    program: Program,
+    store: FactStore,
+    known_nodes: usize,
+    work: WorkStats,
+    metrics: ChangeMetrics,
+    last: RulesDelta,
+}
+
+impl IncRules {
+    /// Build the view from scratch on `g` (a semi-naive from-scratch
+    /// evaluation: every node and edge streams through the insertion
+    /// machinery).
+    pub fn new(g: &DynamicGraph, program: Program) -> IncRules {
+        let mut me = IncRules {
+            store: FactStore::new(program.pred_count()),
+            program,
+            known_nodes: 0,
+            work: WorkStats::new(),
+            metrics: ChangeMetrics::default(),
+            last: RulesDelta::default(),
+        };
+        let mut pend = Pending {
+            ins_edges: g.edges().collect(),
+            node_floor: 0,
+            ..Pending::default()
+        };
+        let edges = g.sorted_edges();
+        let mut queue: VecDeque<Token> = (0..g.node_count())
+            .map(|i| Token::Node(NodeId::from_index(i)))
+            .chain(edges.into_iter().map(|(u, v)| Token::Edge(u, v)))
+            .collect();
+        let mut pass = Pass {
+            prog: &me.program,
+            g,
+            store: &mut me.store,
+            pend: &mut pend,
+            work: &mut me.work,
+            delta: &mut me.last,
+        };
+        pass.run_insertion(&mut queue);
+        me.known_nodes = g.node_count();
+        me.last = RulesDelta::default();
+        me
+    }
+
+    /// A deferred constructor for lazy registration
+    /// ([`Engine::register_lazy`](../igc_engine), recovery, background
+    /// builds, replica tailing): captures the program, builds from
+    /// whatever graph the engine hands it. Deterministic, as the
+    /// [`ViewInit`] contract requires.
+    pub fn init(program: Program) -> impl ViewInit<View = IncRules> {
+        move |g: &DynamicGraph| IncRules::new(g, program)
+    }
+
+    /// The compiled program this view maintains.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Whether `pred(args)` is currently derived.
+    pub fn holds(&self, pred: PredId, args: &[NodeId]) -> bool {
+        self.store.visible(&Fact::new(pred, args))
+    }
+
+    /// `pred(args)`'s support count (0 when not derived).
+    pub fn support(&self, pred: PredId, args: &[NodeId]) -> u32 {
+        self.store
+            .support
+            .get(&Fact::new(pred, args))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Total number of derived facts.
+    pub fn derived_count(&self) -> usize {
+        self.store.support.len()
+    }
+
+    /// The derived facts of one predicate, sorted.
+    pub fn facts_of(&self, pred: PredId) -> Vec<Fact> {
+        let mut v: Vec<Fact> = self.store.by_pred[pred.0 as usize]
+            .iter()
+            .copied()
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Every derived fact, sorted — the canonical answer signature
+    /// bit-identity tests compare.
+    pub fn sorted_facts(&self) -> Vec<Fact> {
+        let mut v: Vec<Fact> = self.store.support.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The maintenance counters of the most recent `apply`.
+    pub fn last_delta(&self) -> RulesDelta {
+        self.last
+    }
+
+    /// Cumulative paper-style change metrics.
+    pub fn metrics(&self) -> ChangeMetrics {
+        self.metrics
+    }
+
+    fn do_apply(&mut self, g: &DynamicGraph, delta: &UpdateBatch) {
+        self.last = RulesDelta::default();
+        let (mut dels, mut ins) = delta.split_edges();
+        dels.sort_unstable();
+        ins.sort_unstable();
+        let mut del_out: FxHashMap<NodeId, Vec<NodeId>> = FxHashMap::default();
+        let mut del_in: FxHashMap<NodeId, Vec<NodeId>> = FxHashMap::default();
+        for &(u, v) in &dels {
+            del_out.entry(u).or_default().push(v);
+            del_in.entry(v).or_default().push(u);
+        }
+        let mut pend = Pending {
+            ins_edges: ins.iter().copied().collect(),
+            del_edges: dels.iter().copied().collect(),
+            del_out,
+            del_in,
+            node_floor: self.known_nodes,
+            revealed: FxHashSet::default(),
+        };
+        let mut pass = Pass {
+            prog: &self.program,
+            g,
+            store: &mut self.store,
+            pend: &mut pend,
+            work: &mut self.work,
+            delta: &mut self.last,
+        };
+        let mut suspects: FxHashSet<Fact> = FxHashSet::default();
+        let mut dq: VecDeque<Token> = dels.iter().map(|&(u, v)| Token::Edge(u, v)).collect();
+        pass.run_deletion(&mut dq, &mut suspects);
+        pass.repair(suspects);
+        let mut iq: VecDeque<Token> = (self.known_nodes..g.node_count())
+            .map(|i| Token::Node(NodeId::from_index(i)))
+            .chain(ins.iter().map(|&(u, v)| Token::Edge(u, v)))
+            .collect();
+        pass.run_insertion(&mut iq);
+        self.known_nodes = g.node_count();
+        self.metrics.input_updates += delta.len() as u64;
+        self.metrics.output_changes += self.last.facts_added + self.last.facts_removed;
+        self.metrics.affected += self.last.facts_added
+            + self.last.facts_removed
+            + self.last.suspects
+            + self.last.overdeleted;
+    }
+
+    fn audit(&self, g: &DynamicGraph) -> Result<(), String> {
+        let oracle = naive_fixpoint(g, &self.program);
+        if oracle.facts.len() != self.store.support.len() {
+            return Err(format!(
+                "rules: maintained {} facts ≠ oracle {}",
+                self.store.support.len(),
+                oracle.facts.len()
+            ));
+        }
+        for (f, c) in &oracle.facts {
+            match self.store.support.get(f) {
+                Some(c2) if c2 == c => {}
+                Some(c2) => {
+                    return Err(format!(
+                        "rules: {}{:?} has support {c2} ≠ oracle {c}",
+                        self.program.pred_name(f.pred),
+                        f.args()
+                    ));
+                }
+                None => {
+                    return Err(format!(
+                        "rules: missing fact {}{:?}",
+                        self.program.pred_name(f.pred),
+                        f.args()
+                    ));
+                }
+            }
+        }
+        for f in self.store.support.keys() {
+            if !self.store.visible(f) {
+                return Err(format!(
+                    "rules: supported fact {}{:?} is not visible",
+                    self.program.pred_name(f.pred),
+                    f.args()
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl IncrementalAlgorithm for IncRules {
+    fn apply(&mut self, g: &DynamicGraph, delta: &UpdateBatch) {
+        self.do_apply(g, delta);
+    }
+    fn work(&self) -> WorkStats {
+        self.work
+    }
+    fn reset_work(&mut self) {
+        self.work.reset();
+    }
+}
+
+impl IncView for IncRules {
+    fn name(&self) -> &str {
+        "rules"
+    }
+    fn apply(&mut self, g: &DynamicGraph, delta: &UpdateBatch) {
+        self.do_apply(g, delta);
+    }
+    fn work(&self) -> WorkStats {
+        self.work
+    }
+    fn reset_work(&mut self) {
+        self.work.reset();
+    }
+    fn verify_against_batch(&self, g: &DynamicGraph) -> Result<(), String> {
+        self.audit(g)
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{v, Atom, RuleSet};
+    use igc_graph::generator::{random_update_batch, uniform_graph};
+    use igc_graph::graph::graph_from;
+    use igc_graph::Update;
+
+    const ENTRY: Label = Label(1);
+    const VULN: Label = Label(2);
+    const CRITICAL: Label = Label(3);
+
+    /// The anchored attack-reachability program: code execution spreads
+    /// from entry points along edges into vulnerable or critical hosts.
+    fn attack_program() -> (Program, PredId, PredId) {
+        let mut rs = RuleSet::new();
+        let exec = rs.predicate("exec", 1).unwrap();
+        let goal = rs.predicate("goal", 1).unwrap();
+        rs.rule(exec, &[v(0)], vec![Atom::has_label(v(0), ENTRY)])
+            .unwrap();
+        rs.rule(
+            exec,
+            &[v(1)],
+            vec![
+                Atom::pred(exec, &[v(0)]),
+                Atom::edge(v(0), v(1)),
+                Atom::has_label(v(1), VULN),
+            ],
+        )
+        .unwrap();
+        rs.rule(
+            exec,
+            &[v(1)],
+            vec![
+                Atom::pred(exec, &[v(0)]),
+                Atom::edge(v(0), v(1)),
+                Atom::has_label(v(1), CRITICAL),
+            ],
+        )
+        .unwrap();
+        rs.rule(
+            goal,
+            &[v(0)],
+            vec![Atom::pred(exec, &[v(0)]), Atom::has_label(v(0), CRITICAL)],
+        )
+        .unwrap();
+        (rs.compile().unwrap(), exec, goal)
+    }
+
+    fn reach_program() -> (Program, PredId) {
+        let mut rs = RuleSet::new();
+        let reach = rs.predicate("reach", 2).unwrap();
+        rs.rule(reach, &[v(0), v(1)], vec![Atom::edge(v(0), v(1))])
+            .unwrap();
+        rs.rule(
+            reach,
+            &[v(0), v(2)],
+            vec![Atom::pred(reach, &[v(0), v(1)]), Atom::edge(v(1), v(2))],
+        )
+        .unwrap();
+        (rs.compile().unwrap(), reach)
+    }
+
+    fn step(g: &mut DynamicGraph, view: &mut IncRules, updates: Vec<Update>) {
+        let delta = UpdateBatch::from_updates(updates).normalize_against(g);
+        g.apply_batch(&delta);
+        IncrementalAlgorithm::apply(view, g, &delta);
+        IncView::verify_against_batch(view, g).unwrap();
+    }
+
+    #[test]
+    fn attack_chain_insert_and_delete() {
+        let (program, exec, goal) = attack_program();
+        // 0:entry → 1:vuln → 2:vuln → 3:critical, with a bystander 4.
+        let mut g = graph_from(&[1, 2, 2, 3, 0], &[(0, 1), (1, 2), (2, 3), (0, 4), (4, 3)]);
+        let mut view = IncRules::new(&g, program);
+        IncView::verify_against_batch(&view, &g).unwrap();
+        assert!(view.holds(goal, &[NodeId(3)]));
+        assert!(!view.holds(exec, &[NodeId(4)]), "label 0 is not vulnerable");
+        assert_eq!(view.derived_count(), 5); // exec(0..=3), goal(3)
+
+        // Cutting 1→2 severs the only chain to the critical host.
+        step(
+            &mut g,
+            &mut view,
+            vec![Update::delete(NodeId(1), NodeId(2))],
+        );
+        assert!(!view.holds(goal, &[NodeId(3)]));
+        assert_eq!(view.sorted_facts().len(), 2); // exec(0), exec(1)
+        assert_eq!(view.last_delta().facts_removed, 3);
+        assert_eq!(
+            view.last_delta().repairs,
+            0,
+            "chain retraction needs no repair"
+        );
+
+        // A direct edge into the critical host restores the goal.
+        step(
+            &mut g,
+            &mut view,
+            vec![Update::insert(NodeId(0), NodeId(3))],
+        );
+        assert!(view.holds(goal, &[NodeId(3)]));
+        assert_eq!(view.support(exec, &[NodeId(0)]), 1);
+    }
+
+    #[test]
+    fn cyclic_support_is_torn_down() {
+        // exec(y) ⇐ entry(y);  exec(y) ⇐ exec(x) ∧ edge(x,y).
+        let mut rs = RuleSet::new();
+        let exec = rs.predicate("exec", 1).unwrap();
+        rs.rule(exec, &[v(0)], vec![Atom::has_label(v(0), ENTRY)])
+            .unwrap();
+        rs.rule(
+            exec,
+            &[v(1)],
+            vec![Atom::pred(exec, &[v(0)]), Atom::edge(v(0), v(1))],
+        )
+        .unwrap();
+        let program = rs.compile().unwrap();
+        // Entry 0 feeds the 2-cycle 1⇄2. After cutting 0→1 the cycle's
+        // facts mutually support each other — pure counting would leak
+        // them; the repair phase must tear the cycle down.
+        let mut g = graph_from(&[1, 0, 0], &[(0, 1), (1, 2), (2, 1)]);
+        let mut view = IncRules::new(&g, program);
+        assert_eq!(view.support(exec, &[NodeId(1)]), 2); // from 0 and from 2
+
+        step(
+            &mut g,
+            &mut view,
+            vec![Update::delete(NodeId(0), NodeId(1))],
+        );
+        assert_eq!(view.sorted_facts(), vec![Fact::new(exec, &[NodeId(0)])]);
+        let d = view.last_delta();
+        assert_eq!(d.repairs, 1, "cyclic support must trigger repair");
+        assert_eq!(d.overdeleted, 2, "exec(1) and exec(2)");
+        assert_eq!(d.rederived, 0);
+        assert_eq!(d.facts_removed, 2);
+    }
+
+    #[test]
+    fn repair_rederives_well_founded_facts() {
+        let (program, exec) = {
+            let (p, e, _) = attack_program();
+            (p, e)
+        };
+        // Two entries feed the vuln cycle 2⇄3; cutting one entry edge
+        // decrements but must not retract anything (the other entry keeps
+        // the cycle well-founded). Facts over-deleted by repair — if any —
+        // must come back.
+        let mut g = graph_from(&[1, 1, 2, 2], &[(0, 2), (1, 3), (2, 3), (3, 2)]);
+        let mut view = IncRules::new(&g, program);
+        assert_eq!(view.derived_count(), 4); // exec(0), exec(1), exec(2), exec(3)
+
+        step(
+            &mut g,
+            &mut view,
+            vec![Update::delete(NodeId(0), NodeId(2))],
+        );
+        assert_eq!(view.derived_count(), 4, "still derivable via entry 1");
+        assert_eq!(view.last_delta().facts_removed, 0);
+        // exec(2) now has exactly one derivation: exec(3) ∧ edge(3,2).
+        assert_eq!(view.support(exec, &[NodeId(2)]), 1);
+    }
+
+    #[test]
+    fn nullary_predicate_counts_instantiations() {
+        let mut rs = RuleSet::new();
+        let nonempty = rs.predicate("nonempty", 0).unwrap();
+        rs.rule(nonempty, &[], vec![Atom::edge(v(0), v(1))])
+            .unwrap();
+        let program = rs.compile().unwrap();
+        let mut g = graph_from(&[0, 0, 0], &[(0, 1), (1, 2)]);
+        let mut view = IncRules::new(&g, program);
+        assert_eq!(view.support(nonempty, &[]), 2);
+
+        step(
+            &mut g,
+            &mut view,
+            vec![Update::delete(NodeId(0), NodeId(1))],
+        );
+        assert_eq!(view.support(nonempty, &[]), 1);
+        step(
+            &mut g,
+            &mut view,
+            vec![Update::delete(NodeId(1), NodeId(2))],
+        );
+        assert!(!view.holds(nonempty, &[]));
+        assert_eq!(view.derived_count(), 0);
+    }
+
+    #[test]
+    fn fresh_nodes_join_the_derivation() {
+        let (program, _, goal) = attack_program();
+        let mut g = graph_from(&[1, 2], &[(0, 1)]);
+        let mut view = IncRules::new(&g, program);
+        assert_eq!(view.derived_count(), 2);
+
+        // A fresh critical node attached to the vuln frontier.
+        step(
+            &mut g,
+            &mut view,
+            vec![Update::insert_labeled(
+                NodeId(1),
+                NodeId(2),
+                None,
+                Some(CRITICAL),
+            )],
+        );
+        assert!(view.holds(goal, &[NodeId(2)]));
+    }
+
+    #[test]
+    fn randomized_streams_match_oracle() {
+        let (program, _) = reach_program();
+        let mut g = uniform_graph(25, 50, 3, 11);
+        let mut view = IncRules::new(&g, program);
+        IncView::verify_against_batch(&view, &g).unwrap();
+        for i in 0..30u64 {
+            let mut batch = random_update_batch(&g, 8, 0.5, 1000 + i);
+            if i % 7 == 3 {
+                // Occasionally attach a fresh node so node-growth paths
+                // are exercised under the same audit.
+                let fresh = NodeId::from_index(g.node_count());
+                batch.push(Update::insert_labeled(
+                    NodeId((i % 20) as u32),
+                    fresh,
+                    None,
+                    Some(Label((i % 3) as u32)),
+                ));
+            }
+            let delta = batch.normalize_against(&g);
+            g.apply_batch(&delta);
+            IncrementalAlgorithm::apply(&mut view, &g, &delta);
+            IncView::verify_against_batch(&view, &g).unwrap_or_else(|e| panic!("round {i}: {e}"));
+        }
+    }
+
+    #[test]
+    fn randomized_attack_streams_match_oracle() {
+        let (program, _, _) = attack_program();
+        let mut g = uniform_graph(40, 90, 4, 5);
+        let mut view = IncRules::new(&g, program);
+        IncView::verify_against_batch(&view, &g).unwrap();
+        for i in 0..30u64 {
+            let delta = random_update_batch(&g, 10, 0.4, 2000 + i).normalize_against(&g);
+            g.apply_batch(&delta);
+            IncrementalAlgorithm::apply(&mut view, &g, &delta);
+            IncView::verify_against_batch(&view, &g).unwrap_or_else(|e| panic!("round {i}: {e}"));
+        }
+    }
+
+    #[test]
+    fn rebuilt_twin_matches_incremental_state() {
+        // The ViewInit contract: a view rebuilt from scratch on the final
+        // graph is bit-identical (facts AND counts) to the incrementally
+        // maintained one — recovery and replica paths depend on this.
+        let (program, _) = reach_program();
+        let mut g = uniform_graph(20, 40, 3, 21);
+        let mut view = IncRules::new(&g, program.clone());
+        for i in 0..10u64 {
+            let delta = random_update_batch(&g, 6, 0.5, 3000 + i).normalize_against(&g);
+            g.apply_batch(&delta);
+            IncrementalAlgorithm::apply(&mut view, &g, &delta);
+        }
+        let twin = IncRules::new(&g, program);
+        assert_eq!(view.sorted_facts(), twin.sorted_facts());
+        for f in view.sorted_facts() {
+            assert_eq!(
+                view.support(f.pred, f.args()),
+                twin.support(f.pred, f.args()),
+                "support mismatch on {f:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! The from-scratch naive fixpoint evaluator — the audit oracle.
+//!
+//! Textbook bottom-up evaluation: apply every rule against the full
+//! database until no new fact appears, then count each fact's derivations
+//! (valid rule instantiations) in one final pass. Deliberately a *separate*
+//! code path from the incremental evaluator's token machinery — apart from
+//! the shared join primitive it shares no transition logic — so
+//! [`IncRules::verify_against_batch`](crate::IncRules) comparing the two is
+//! a genuine cross-check, not a tautology.
+
+use crate::ast::{PredId, Program};
+use crate::eval::{for_each_instantiation, head_fact, Bind, Fact, FactView};
+use igc_core::work::WorkStats;
+use igc_graph::fxhash::{FxHashMap, FxHashSet};
+use igc_graph::{DynamicGraph, Label, NodeId};
+
+/// The result of a from-scratch evaluation: every derived fact with its
+/// derivation count, plus the work the evaluation performed (the
+/// "re-evaluation cost" yardstick the deletion-storm tests compare
+/// incremental maintenance against).
+#[derive(Clone, Debug)]
+pub struct NaiveEval {
+    /// Derived facts with their support counts (number of valid rule
+    /// instantiations in the fixpoint database).
+    pub facts: FxHashMap<Fact, u32>,
+    /// Join work performed across all rounds.
+    pub work: WorkStats,
+}
+
+impl NaiveEval {
+    /// The facts, sorted — a canonical answer signature.
+    pub fn sorted_facts(&self) -> Vec<Fact> {
+        let mut v: Vec<Fact> = self.facts.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+struct NaiveView<'a> {
+    g: &'a DynamicGraph,
+    by_pred: &'a [Vec<Fact>],
+    present: &'a FxHashMap<Fact, u32>,
+}
+
+impl FactView for NaiveView<'_> {
+    fn edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.g.contains_edge(u, v)
+    }
+    fn for_succ(&self, u: NodeId, f: &mut dyn FnMut(NodeId)) {
+        if u.index() < self.g.node_count() {
+            for &w in self.g.successors(u) {
+                f(w);
+            }
+        }
+    }
+    fn for_pred_nodes(&self, v: NodeId, f: &mut dyn FnMut(NodeId)) {
+        if v.index() < self.g.node_count() {
+            for &u in self.g.predecessors(v) {
+                f(u);
+            }
+        }
+    }
+    fn for_edges(&self, f: &mut dyn FnMut(NodeId, NodeId)) {
+        for (u, v) in self.g.edges() {
+            f(u, v);
+        }
+    }
+    fn node(&self, v: NodeId) -> bool {
+        v.index() < self.g.node_count()
+    }
+    fn label_of(&self, v: NodeId) -> Option<Label> {
+        (v.index() < self.g.node_count()).then(|| self.g.label(v))
+    }
+    fn for_label(&self, l: Label, f: &mut dyn FnMut(NodeId)) {
+        for &v in self.g.nodes_with_label(l) {
+            f(v);
+        }
+    }
+    fn fact(&self, f: &Fact) -> bool {
+        self.present.contains_key(f)
+    }
+    fn for_pred_facts(&self, p: PredId, f: &mut dyn FnMut(&Fact)) {
+        for fact in &self.by_pred[p.0 as usize] {
+            f(fact);
+        }
+    }
+    fn for_pred_facts_bound(&self, p: PredId, pos: usize, n: NodeId, f: &mut dyn FnMut(&Fact)) {
+        for fact in &self.by_pred[p.0 as usize] {
+            if fact.args()[pos] == n {
+                f(fact);
+            }
+        }
+    }
+}
+
+/// Evaluate `program` on `g` from scratch: naive fixpoint, then one
+/// counting pass over the fixpoint database.
+pub fn naive_fixpoint(g: &DynamicGraph, program: &Program) -> NaiveEval {
+    let mut present: FxHashMap<Fact, u32> = FxHashMap::default();
+    let mut by_pred: Vec<Vec<Fact>> = vec![Vec::new(); program.pred_count()];
+    let mut work = WorkStats::new();
+    loop {
+        let mut fresh: FxHashSet<Fact> = FxHashSet::default();
+        {
+            let view = NaiveView {
+                g,
+                by_pred: &by_pred,
+                present: &present,
+            };
+            for rule in program.rules() {
+                let mut bind = Bind::new();
+                for_each_instantiation(
+                    &view,
+                    &rule.body,
+                    &mut bind,
+                    0,
+                    None,
+                    &mut work,
+                    &mut |b| {
+                        let h = head_fact(rule, b);
+                        if !present.contains_key(&h) {
+                            fresh.insert(h);
+                        }
+                        true
+                    },
+                );
+            }
+        }
+        if fresh.is_empty() {
+            break;
+        }
+        for f in fresh {
+            present.insert(f, 0);
+            by_pred[f.pred.0 as usize].push(f);
+        }
+    }
+    // Counting pass: derivations per fact in the fixpoint database.
+    {
+        let view = NaiveView {
+            g,
+            by_pred: &by_pred,
+            present: &present,
+        };
+        let mut counts: FxHashMap<Fact, u32> = FxHashMap::default();
+        for rule in program.rules() {
+            let mut bind = Bind::new();
+            for_each_instantiation(&view, &rule.body, &mut bind, 0, None, &mut work, &mut |b| {
+                *counts.entry(head_fact(rule, b)).or_insert(0) += 1;
+                true
+            });
+        }
+        for (f, c) in counts {
+            *present.get_mut(&f).expect("counted fact is in fixpoint") = c;
+        }
+    }
+    NaiveEval {
+        facts: present,
+        work,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{v, Atom, RuleSet};
+    use igc_graph::graph::graph_from;
+
+    #[test]
+    fn transitive_closure_on_a_path_and_cycle() {
+        let mut rs = RuleSet::new();
+        let reach = rs.predicate("reach", 2).unwrap();
+        rs.rule(reach, &[v(0), v(1)], vec![Atom::edge(v(0), v(1))])
+            .unwrap();
+        rs.rule(
+            reach,
+            &[v(0), v(2)],
+            vec![Atom::pred(reach, &[v(0), v(1)]), Atom::edge(v(1), v(2))],
+        )
+        .unwrap();
+        let p = rs.compile().unwrap();
+
+        // Path 0→1→2: three reach facts.
+        let g = graph_from(&[0, 0, 0], &[(0, 1), (1, 2)]);
+        let eval = naive_fixpoint(&g, &p);
+        assert_eq!(eval.facts.len(), 3);
+        assert!(eval
+            .facts
+            .contains_key(&Fact::new(reach, &[NodeId(0), NodeId(2)])));
+
+        // 3-cycle: reach is the full 3×3 relation.
+        let g = graph_from(&[0, 0, 0], &[(0, 1), (1, 2), (2, 0)]);
+        let eval = naive_fixpoint(&g, &p);
+        assert_eq!(eval.facts.len(), 9);
+        // reach(0,1) has exactly two derivations: base edge 0→1, and
+        // reach(0,0) ∧ edge(0,1).
+        assert_eq!(eval.facts[&Fact::new(reach, &[NodeId(0), NodeId(1)])], 2);
+    }
+
+    #[test]
+    fn label_atoms_filter_derivations() {
+        let mut rs = RuleSet::new();
+        let hot = rs.predicate("hot", 1).unwrap();
+        rs.rule(
+            hot,
+            &[v(1)],
+            vec![Atom::edge(v(0), v(1)), Atom::has_label(v(1), Label(7))],
+        )
+        .unwrap();
+        let p = rs.compile().unwrap();
+        let g = graph_from(&[0, 7, 7, 0], &[(0, 1), (0, 2), (0, 3), (1, 2)]);
+        let eval = naive_fixpoint(&g, &p);
+        let facts = eval.sorted_facts();
+        assert_eq!(facts.len(), 2, "{facts:?}");
+        // hot(2) has two in-edges from 0 and 1 → two derivations.
+        assert_eq!(eval.facts[&Fact::new(hot, &[NodeId(2)])], 2);
+        assert_eq!(eval.facts[&Fact::new(hot, &[NodeId(1)])], 1);
+    }
+}

@@ -13,6 +13,7 @@
 //! | Strongly connected components ([`scc`]) | Tarjan | `IncScc` | bounded relative to Tarjan |
 //! | Keyword search ([`kws`]) | kdist-list BFS (BLINKS-style) | `IncKws` | localizable (radius `2b`) |
 //! | Subgraph isomorphism ([`iso`]) | VF2 | `IncIso` | localizable (radius `d_Q`) |
+//! | Delta-rule (Datalog) views ([`rules`]) | naive fixpoint | `IncRules` | bounded by affected facts (support counting + DRed repair) |
 //!
 //! The incremental problems for all four classes are *unbounded* in the
 //! classical sense (Theorem 1); [`core`] contains the Δ-reduction machinery
@@ -105,6 +106,7 @@ pub use igc_kws as kws;
 pub use igc_log as log;
 pub use igc_nfa as nfa;
 pub use igc_rpq as rpq;
+pub use igc_rules as rules;
 pub use igc_scc as scc;
 
 /// The most commonly used types, re-exported for glob import.
@@ -135,5 +137,6 @@ pub mod prelude {
     };
     pub use igc_nfa::{Nfa, Regex};
     pub use igc_rpq::IncRpq;
+    pub use igc_rules::{v, Atom, Fact, IncRules, PredId, Program, RuleError, RuleSet};
     pub use igc_scc::IncScc;
 }

@@ -2,24 +2,25 @@
 //!
 //! Three properties live here:
 //!
-//! 1. all four query classes registered on one engine, driven by
+//! 1. all five query classes (rpq, scc, kws, iso, and the delta-rule
+//!    views of `igc_rules`) registered on one engine, driven by
 //!    *arbitrary* (denormalized) commits — duplicates, insert/delete pairs,
 //!    no-op updates, self-loops, fresh nodes — must agree with from-scratch
 //!    batch recomputation after every commit;
 //! 2. the same under a randomly interleaved *lifecycle*: commits,
-//!    deregistrations and lazy registrations across the 4 view classes,
+//!    deregistrations and lazy registrations across the 5 view classes,
 //!    with every surviving view audited after every commit (lazy-joined
 //!    views must match from-scratch recomputation exactly, from their very
 //!    first commit);
 //! 3. *crash replay*: a write-ahead-logged engine driven through random
 //!    commit/lifecycle interleavings, crashed (dropped) at a random epoch
 //!    and rebuilt with `Engine::recover` must serve answers bit-identical
-//!    to a twin engine that never crashed — for all four view classes,
+//!    to a twin engine that never crashed — for all five view classes,
 //!    both right after recovery and across the remaining commit stream;
 //! 4. *replication*: log-shipped followers attaching at random epochs
 //!    (one pinned via `Engine::replica`, one unpinned via
 //!    `Replica::attach`) and catching up after every commit must serve
-//!    all four classes bit-identical to the leader *and* to a
+//!    all five classes bit-identical to the leader *and* to a
 //!    never-replicated twin at every compared frontier — including a
 //!    fresh follower joining after the log has been compacted;
 //! 5. *coalescing*: random submission streams grouped into arbitrary
@@ -27,7 +28,7 @@
 //!    order, exactly like the ingest front door) and driven through the
 //!    pipelined `prepare`/`apply_prepared` path on a WAL-logged,
 //!    pool-fanned engine must answer bit-identical to a twin that commits
-//!    every submission individually — for all four view classes, with a
+//!    every submission individually — for all five view classes, with a
 //!    deliberately panicking canary view quarantined on both sides, and
 //!    with recovery from the journal landing on the same frontier;
 //! 6. *crash mid-tick*: a torn WAL append inside a coalesced tick must
@@ -41,14 +42,15 @@ use incgraph::prelude::*;
 use proptest::prelude::*;
 use std::sync::Arc;
 
-/// The four classes' canonical answers, as one comparison key for the
+/// The five classes' canonical answers, as one comparison key for the
 /// crash-replay property: (rpq pairs, scc components, kws signature, iso
-/// matches).
+/// matches, rule facts with their support counts).
 type ClassAnswers = (
     Vec<(NodeId, NodeId)>,
     Vec<Vec<NodeId>>,
     Vec<(NodeId, Vec<u32>)>,
     Vec<incgraph::iso::MatchKey>,
+    Vec<(Fact, u32)>,
 );
 
 fn rpq_query() -> Regex {
@@ -58,7 +60,34 @@ fn rpq_query() -> Regex {
     Regex::parse("l0.(l1+l2)*.l2", &mut it).unwrap()
 }
 
-/// Build an engine over the given graph with all four classes registered.
+/// The delta-rule program for the fifth class: executability anchored at
+/// label-1 nodes, propagated along edges — recursive, so random deletion
+/// streams exercise the support-counting + over-delete/re-derive repair
+/// machinery (cycles reachable from an anchor have cyclic support).
+fn rules_program() -> Program {
+    let mut rs = RuleSet::new();
+    let exec = rs.predicate("exec", 1).unwrap();
+    rs.rule(exec, &[v(0)], vec![Atom::has_label(v(0), Label(1))])
+        .unwrap();
+    rs.rule(
+        exec,
+        &[v(1)],
+        vec![Atom::pred(exec, &[v(0)]), Atom::edge(v(0), v(1))],
+    )
+    .unwrap();
+    rs.compile().unwrap()
+}
+
+/// A rule view's bit-identity key: every derived fact *and* its exact
+/// support count, sorted.
+fn rules_answer(view: &IncRules) -> Vec<(Fact, u32)> {
+    view.sorted_facts()
+        .into_iter()
+        .map(|f| (f, view.support(f.pred, f.args())))
+        .collect()
+}
+
+/// Build an engine over the given graph with all five classes registered.
 fn engine_with_views(g: DynamicGraph) -> Engine {
     let mut engine = Engine::new(g);
     engine
@@ -76,6 +105,9 @@ fn engine_with_views(g: DynamicGraph) -> Engine {
             engine.graph(),
             Pattern::from_parts(&[0, 1, 2], &[(0, 1), (1, 2)]),
         ))
+        .unwrap();
+    engine
+        .register(IncRules::new(engine.graph(), rules_program()))
         .unwrap();
     engine
 }
@@ -111,24 +143,26 @@ fn split_groups(batches: &[UpdateBatch], mask: u64) -> Vec<Vec<UpdateBatch>> {
     groups
 }
 
-/// Canonical four-class answers under the default registration labels
+/// Canonical five-class answers under the default registration labels
 /// (the names `engine_with_views` registers under).
-fn four_class_answers(e: &Engine) -> ClassAnswers {
+fn five_class_answers(e: &Engine) -> ClassAnswers {
     let rpq: ViewHandle<IncRpq> = e.typed(e.find("rpq").unwrap()).unwrap();
     let scc: ViewHandle<IncScc> = e.typed(e.find("scc").unwrap()).unwrap();
     let kws: ViewHandle<IncKws> = e.typed(e.find("kws").unwrap()).unwrap();
     let iso: ViewHandle<IncIso> = e.typed(e.find("iso").unwrap()).unwrap();
+    let rules: ViewHandle<IncRules> = e.typed(e.find("rules").unwrap()).unwrap();
     (
         e.view(&rpq).unwrap().sorted_answer(),
         e.view(&scc).unwrap().components(),
         e.view(&kws).unwrap().answer_signature(),
         e.view(&iso).unwrap().sorted_matches(),
+        rules_answer(e.view(&rules).unwrap()),
     )
 }
 
-/// Re-register the four classes under their default labels from the
+/// Re-register the five classes under their default labels from the
 /// engine's *current* graph — the post-recovery re-join step.
-fn register_four_lazily(engine: &mut Engine) {
+fn register_five_lazily(engine: &mut Engine) {
     engine
         .register_lazy("rpq", IncRpq::init(rpq_query()))
         .unwrap();
@@ -144,6 +178,9 @@ fn register_four_lazily(engine: &mut Engine) {
             "iso",
             IncIso::init(Pattern::from_parts(&[0, 1, 2], &[(0, 1), (1, 2)])),
         )
+        .unwrap();
+    engine
+        .register_lazy("rules", IncRules::init(rules_program()))
         .unwrap();
 }
 
@@ -252,7 +289,7 @@ proptest! {
                 prop_assert_eq!(receipt.epoch, last_epoch);
             } else {
                 prop_assert_eq!(receipt.epoch, last_epoch + 1);
-                prop_assert_eq!(receipt.per_view.len(), 4);
+                prop_assert_eq!(receipt.per_view.len(), 5);
             }
             last_epoch = receipt.epoch;
 
@@ -315,7 +352,7 @@ proptest! {
                 // graph, mid-stream.
                 2 => {
                     fresh += 1;
-                    let label = match pick % 4 {
+                    let label = match pick % 5 {
                         0 => {
                             let l = format!("rpq:g{fresh}");
                             engine.register_lazy(l.as_str(), IncRpq::init(rpq_query())).unwrap();
@@ -334,12 +371,17 @@ proptest! {
                             ).unwrap();
                             l
                         }
-                        _ => {
+                        3 => {
                             let l = format!("iso:g{fresh}");
                             engine.register_lazy(
                                 l.as_str(),
                                 IncIso::init(Pattern::from_parts(&[0, 1, 2], &[(0, 1), (1, 2)])),
                             ).unwrap();
+                            l
+                        }
+                        _ => {
+                            let l = format!("rules:g{fresh}");
+                            engine.register_lazy(l.as_str(), IncRules::init(rules_program())).unwrap();
                             l
                         }
                     };
@@ -374,7 +416,7 @@ proptest! {
     }
 
     #[test]
-    fn crash_replay_recovers_all_four_classes_bit_identically(
+    fn crash_replay_recovers_all_five_classes_bit_identically(
         (n, edges, rounds, crash_pick) in (8u32..16).prop_flat_map(|n| (
             Just(n),
             proptest::collection::vec(
@@ -398,7 +440,7 @@ proptest! {
             any::<u32>(),
         ))
     ) {
-        // The canonical answers of the four classes under their
+        // The canonical answers of the five classes under their
         // post-crash labels — the bit-identity comparison key.
         fn class_answers(engine: &Engine) -> Result<ClassAnswers, EngineError> {
             let rpq: ViewHandle<IncRpq> =
@@ -409,14 +451,17 @@ proptest! {
                 engine.typed(engine.find("post:kws").expect("post:kws live"))?;
             let iso: ViewHandle<IncIso> =
                 engine.typed(engine.find("post:iso").expect("post:iso live"))?;
+            let rules: ViewHandle<IncRules> =
+                engine.typed(engine.find("post:rules").expect("post:rules live"))?;
             Ok((
                 engine.view(&rpq)?.sorted_answer(),
                 engine.view(&scc)?.components(),
                 engine.view(&kws)?.answer_signature(),
                 engine.view(&iso)?.sorted_matches(),
+                rules_answer(engine.view(&rules)?),
             ))
         }
-        /// Register the four classes under `post:` labels (used on both
+        /// Register the five classes under `post:` labels (used on both
         /// engines right after the crash point, so both build from what
         /// each believes the graph is — the recovered one from replay).
         fn register_post(engine: &mut Engine) {
@@ -430,6 +475,7 @@ proptest! {
                 "post:iso",
                 IncIso::init(Pattern::from_parts(&[0, 1, 2], &[(0, 1), (1, 2)])),
             ).unwrap();
+            engine.register_lazy("post:rules", IncRules::init(rules_program())).unwrap();
         }
 
         let labels: Vec<u32> = (0..n).map(|i| i % 3).collect();
@@ -448,8 +494,9 @@ proptest! {
         for e in [durable.as_mut().unwrap(), &mut twin] {
             e.register(IncRpq::new(e.graph(), &rpq_query())).unwrap();
             e.register(IncScc::new(e.graph())).unwrap();
+            e.register(IncRules::new(e.graph(), rules_program())).unwrap();
         }
-        let mut live: Vec<String> = vec!["rpq".into(), "scc".into()];
+        let mut live: Vec<String> = vec!["rpq".into(), "scc".into(), "rules".into()];
         let mut fresh = 0u32;
 
         let crash_round = (crash_pick as usize) % rounds.len();
@@ -547,12 +594,13 @@ proptest! {
             (any::<u32>(), any::<u32>()),
         ))
     ) {
-        // A follower's four typed handles, for reading its answers.
+        // A follower's five typed handles, for reading its answers.
         struct FollowerViews {
             rpq: ReplicaHandle<IncRpq>,
             scc: ReplicaHandle<IncScc>,
             kws: ReplicaHandle<IncKws>,
             iso: ReplicaHandle<IncIso>,
+            rules: ReplicaHandle<IncRules>,
         }
         fn register_follower(r: &mut Replica) -> FollowerViews {
             FollowerViews {
@@ -567,6 +615,7 @@ proptest! {
                         IncIso::init(Pattern::from_parts(&[0, 1, 2], &[(0, 1), (1, 2)])),
                     )
                     .unwrap(),
+                rules: r.register("rules", IncRules::init(rules_program())).unwrap(),
             }
         }
         fn follower_answers(r: &Replica, v: &FollowerViews) -> ClassAnswers {
@@ -575,19 +624,11 @@ proptest! {
                 r.view(&v.scc).unwrap().components(),
                 r.view(&v.kws).unwrap().answer_signature(),
                 r.view(&v.iso).unwrap().sorted_matches(),
+                rules_answer(r.view(&v.rules).unwrap()),
             )
         }
         fn leader_answers(e: &Engine) -> ClassAnswers {
-            let rpq: ViewHandle<IncRpq> = e.typed(e.find("rpq").unwrap()).unwrap();
-            let scc: ViewHandle<IncScc> = e.typed(e.find("scc").unwrap()).unwrap();
-            let kws: ViewHandle<IncKws> = e.typed(e.find("kws").unwrap()).unwrap();
-            let iso: ViewHandle<IncIso> = e.typed(e.find("iso").unwrap()).unwrap();
-            (
-                e.view(&rpq).unwrap().sorted_answer(),
-                e.view(&scc).unwrap().components(),
-                e.view(&kws).unwrap().answer_signature(),
-                e.view(&iso).unwrap().sorted_matches(),
-            )
+            five_class_answers(e)
         }
         /// One follower's full convergence check against both references.
         fn assert_converged(r: &mut Replica, v: &FollowerViews, leader: &Engine, twin: &Engine) {
@@ -733,14 +774,14 @@ proptest! {
         });
 
         // The heart of the property: identical graphs and bit-identical
-        // answers for all four classes, despite different tick boundaries
+        // answers for all five classes, despite different tick boundaries
         // (epochs legitimately differ — one bump per non-noop tick vs one
         // per non-noop submission).
         prop_assert_eq!(a.epoch(), ticks_a);
         prop_assert_eq!(b.epoch(), commits_b);
         prop_assert_eq!(a.graph().sorted_edges(), b.graph().sorted_edges());
         prop_assert_eq!(a.graph().node_count(), b.graph().node_count());
-        prop_assert_eq!(four_class_answers(&a), four_class_answers(&b));
+        prop_assert_eq!(five_class_answers(&a), five_class_answers(&b));
         a.verify_all().unwrap();
         b.verify_all().unwrap();
 
@@ -843,7 +884,7 @@ proptest! {
                         epoch_before
                     );
                     r.set_checkpoint_every(2);
-                    register_four_lazily(&mut r);
+                    register_five_lazily(&mut r);
                     // Retrying the whole tick is idempotent under
                     // normalization: it lands exactly once whether or not
                     // the replay already carried it.
@@ -863,7 +904,7 @@ proptest! {
         }
 
         prop_assert_eq!(a.graph().node_count(), b.graph().node_count());
-        prop_assert_eq!(four_class_answers(&a), four_class_answers(&b));
+        prop_assert_eq!(five_class_answers(&a), five_class_answers(&b));
         a.verify_all().unwrap();
         b.verify_all().unwrap();
 
