@@ -5,7 +5,7 @@
 //! ```text
 //! experiments [--scale F] [--no-verify] [--threads N] [--json-out PATH]
 //!             [--log] [--crash-at N] [--log-dir PATH] [--replicas N]
-//!             [--ingest N] [--rules N]
+//!             [--ingest N] [--rules N] [--chaos N]
 //!             [fig8a fig8b … | all | unit | rho | undoable | locality | engine]
 //! ```
 //!
@@ -39,6 +39,14 @@
 //! slide ticks, then a deletion storm retracting half the window in one
 //! coalesced batch, with per-commit latency, derivation counters, oracle
 //! audits, and the storm-phase speedup over from-scratch re-evaluation.
+//! `--chaos N` adds a `chaos` section: `N` deterministic seeded fault
+//! storms (transient append/read/sync failures and torn half-writes
+//! injected into the journal backend) against a logged engine under a
+//! retry policy — absorbed-retry counts, degraded read-only windows with
+//! wall-clock and mean time-to-heal, self-healing replica counters
+//! (transient-read tail retries, post-compaction reattaches), and
+//! no-acked-commit-lost + views-bit-identical audits against a
+//! never-faulted twin.
 
 use igc_bench::experiments::{self, ExpConfig, ALL_FIGS};
 
@@ -84,12 +92,16 @@ fn main() {
                 let v = args.next().expect("--rules needs a slide-tick count");
                 cfg.rules = v.parse().expect("rules must be an integer");
             }
+            "--chaos" => {
+                let v = args.next().expect("--chaos needs a storm count");
+                cfg.chaos = v.parse().expect("chaos must be an integer");
+            }
             "all" => figs.extend(ALL_FIGS.iter().map(|s| s.to_string())),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: experiments [--scale F] [--no-verify] [--threads N] [--json-out PATH] \
                      [--log] [--crash-at N] [--log-dir PATH] [--replicas N] [--ingest N] \
-                     [--rules N] \
+                     [--rules N] [--chaos N] \
                      [fig8a … fig8p | all | unit | rho | undoable | locality | engine]"
                 );
                 return;

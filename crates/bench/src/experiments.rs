@@ -68,6 +68,18 @@ pub struct ExpConfig {
     /// phases, maintenance counters, oracle audits, and the storm-phase
     /// speedup over from-scratch re-evaluation.
     pub rules: usize,
+    /// Seeded fault storms for the chaos resilience run (`--chaos N`):
+    /// `n ≥ 1` adds a `chaos` section to the JSON — `n` deterministic
+    /// storms of injected append/read/sync faults (torn half-writes
+    /// included) driven through a logged engine under a [`RetryPolicy`],
+    /// with absorbed-retry counts, degraded-window counts and wall-clock,
+    /// mean time-to-heal, self-healing replica counters
+    /// (tail retries / post-compaction reattaches), and
+    /// no-acked-commit-lost + views-bit-identical audits against a
+    /// never-faulted twin.
+    ///
+    /// [`RetryPolicy`]: igc_log::RetryPolicy
+    pub chaos: usize,
 }
 
 impl Default for ExpConfig {
@@ -82,6 +94,7 @@ impl Default for ExpConfig {
             replicas: 0,
             ingest: 0,
             rules: 0,
+            chaos: 0,
         }
     }
 }
@@ -1175,6 +1188,7 @@ fn engine_ingest(cfg: &ExpConfig) -> String {
             IngestConfig {
                 max_coalesce,
                 pipeline: true,
+                ..IngestConfig::default()
             },
         );
         let start = Instant::now();
@@ -1479,6 +1493,221 @@ fn engine_rules(cfg: &ExpConfig) -> String {
     )
 }
 
+/// The chaos resilience run (`--chaos N`): `N` deterministic seeded fault
+/// storms against a logged engine, each measuring the full degradation
+/// story end to end:
+///
+/// * a [`ChaosBackend`](igc_log::ChaosBackend) wraps the journal and
+///   executes a seeded [`FaultPlan`](igc_log::FaultPlan) of transient
+///   append/read/sync failures and torn half-writes (no bit-flips — those
+///   corrupt acknowledged records by design);
+/// * the engine runs under a [`RetryPolicy`](igc_log::RetryPolicy); faults
+///   inside the budget are absorbed (counted via
+///   [`CommitReceipt::log_retries`](igc_engine::CommitReceipt)), faults
+///   past it degrade the engine to read-only until
+///   [`Engine::heal`](igc_engine::Engine::heal) lands — degraded windows,
+///   their wall-clock and the mean time-to-heal are recorded;
+/// * a resilient follower tails the same faulted journal throughout
+///   (transient-read retries counted), and a dormant unpinned follower
+///   that compaction outruns reattaches from the newest checkpoint;
+/// * audits: no acknowledged commit is lost (a crash-recovery replays to
+///   the leader's exact graph) and the view answers stay bit-identical to
+///   a never-faulted twin fed the same acknowledged deltas.
+fn engine_chaos(cfg: &ExpConfig) -> String {
+    use igc_engine::{EngineError, Replica, TailResilience};
+    use igc_log::{ChaosBackend, ChaosProfile, FaultPlan, MemBackend, RetryPolicy};
+    use std::sync::atomic::AtomicBool;
+    use std::time::Duration;
+
+    const CHAOS_COMMITS: usize = 12;
+    let storms = cfg.chaos.max(1);
+    let profile = ChaosProfile {
+        horizon: 128,
+        append_fail: 0.12,
+        read_fail: 0.06,
+        sync_fail: 0.10,
+        torn_fraction: 0.5,
+        bit_flip: 0.0,
+        max_burst: 3,
+    };
+    let retry =
+        RetryPolicy::retries(2).with_delays(Duration::from_micros(20), Duration::from_micros(200));
+
+    let mut acked = 0u64;
+    let mut rejected = 0u64;
+    let mut retries_absorbed = 0u64;
+    let mut heal_probes_failed = 0u64;
+    let mut degraded_windows = 0u64;
+    let mut degraded_s = 0.0f64;
+    let mut tail_retries = 0u64;
+    let mut reattaches = 0u64;
+    let (mut append_faults, mut read_faults, mut sync_faults, mut torn_writes) =
+        (0u64, 0u64, 0u64, 0u64);
+    let mut audit = "\"pass\"".to_owned();
+    let mut fail = |what: String| {
+        if audit == "\"pass\"" {
+            audit = format!("\"fail: {what}\"");
+        }
+    };
+
+    for storm in 0..storms as u64 {
+        let chaos = ChaosBackend::new(Arc::new(MemBackend::new()), FaultPlan::none());
+        let g = workloads::dataset(Dataset::DbpediaLike, cfg.scale);
+        let mut leader = Engine::new(g.clone())
+            .with_log(Arc::new(chaos.clone()) as Arc<dyn LogBackend>)
+            .expect("attach chaos log");
+        leader.set_checkpoint_every(ENGINE_LOG_CHECKPOINT_EVERY);
+        leader.set_retry_policy(retry).expect("set retry policy");
+        // Group commit so the storm also exercises the barrier path:
+        // sync faults either get absorbed by the policy or surface as
+        // sync debt that degrades the engine until healed.
+        leader
+            .set_durability(igc_log::DurabilityMode::GroupCommit {
+                max_batch: 4,
+                max_delay: Duration::from_secs(3600),
+            })
+            .expect("set durability");
+        let leader_scc = leader
+            .register(IncScc::new(leader.graph()))
+            .expect("register scc");
+        let mut twin = Engine::new(g);
+        let twin_scc = twin
+            .register(IncScc::new(twin.graph()))
+            .expect("register twin scc");
+
+        // A resilient follower that tails right through the storm, and a
+        // dormant unpinned one for compaction to outrun.
+        let resilience = TailResilience {
+            retry: RetryPolicy::retries(6)
+                .with_delays(Duration::from_micros(20), Duration::from_micros(200)),
+            reattach: true,
+        };
+        let mut tailer = leader.replica().expect("attach tailer");
+        tailer.set_tail_resilience(resilience);
+        let mut dormant = Replica::attach(Arc::new(chaos.clone()) as Arc<dyn LogBackend>)
+            .expect("attach dormant");
+        dormant.set_tail_resilience(resilience);
+        let drained = AtomicBool::new(true); // pre-stopped: tail = one resilient drain
+
+        // The storm proper.
+        chaos.set_plan(FaultPlan::seeded(GRAPH_SEED ^ (0xc4a05 + storm), &profile));
+        for round in 0..CHAOS_COMMITS {
+            let count = (((leader.graph().edge_count() as f64) * 0.02).round() as usize).max(1);
+            let delta = random_update_batch(
+                leader.graph(),
+                count,
+                0.5,
+                GRAPH_SEED ^ (0xc400 + storm * 100 + round as u64),
+            );
+            let mut landed = false;
+            for _ in 0..500 {
+                if leader.is_degraded() {
+                    if leader.heal().is_err() {
+                        heal_probes_failed += 1; // still inside a window
+                    }
+                    continue;
+                }
+                match leader.commit(&delta) {
+                    Ok(receipt) => {
+                        acked += 1;
+                        retries_absorbed += receipt.log_retries;
+                        landed = true;
+                        break;
+                    }
+                    Err(EngineError::RetriesExhausted { .. }) => rejected += 1,
+                    Err(other) => panic!("chaos storm surfaced {other:?}"),
+                }
+            }
+            assert!(landed, "commit did not land within the plan horizon");
+            twin.commit(&delta).expect("twin commit");
+            tailer
+                .tail(&drained, Duration::from_millis(1))
+                .expect("resilient tail");
+        }
+
+        // Quiet the storm, settle debt, and audit the whole story.
+        chaos.set_plan(FaultPlan::none());
+        while leader.is_degraded() {
+            leader.heal().expect("heal under a quiet plan");
+        }
+        leader.sync_log().expect("settle sync debt");
+        degraded_windows += leader.degraded_windows();
+        degraded_s += leader.degraded_elapsed().as_secs_f64();
+        let stats = chaos.stats();
+        append_faults += stats.append_faults;
+        read_faults += stats.read_faults;
+        sync_faults += stats.sync_faults;
+        torn_writes += stats.torn_writes;
+
+        if cfg.verify {
+            if let Err(e) = leader.verify_all() {
+                fail(format!("storm {storm}: leader audit: {e}"));
+            }
+            // Views bit-identical to the never-faulted twin.
+            if leader.view(&leader_scc).expect("leader scc").components()
+                != twin.view(&twin_scc).expect("twin scc").components()
+            {
+                fail(format!("storm {storm}: leader diverged from the twin"));
+            }
+            // No acked commit lost: recovery replays the exact graph.
+            let recovered = Engine::recover(chaos.inner()).expect("recover");
+            if recovered.epoch() != leader.epoch()
+                || recovered.graph().sorted_edges() != leader.graph().sorted_edges()
+            {
+                fail(format!("storm {storm}: recovery lost acked commits"));
+            }
+        }
+
+        // The tailing follower rode the storm out; compaction outruns the
+        // dormant one, whose resilient drain reattaches from the newest
+        // checkpoint.
+        tailer
+            .tail(&drained, Duration::from_millis(1))
+            .expect("final drain");
+        if tailer.frontier() != leader.epoch() {
+            fail(format!("storm {storm}: tailer stranded"));
+        }
+        leader.compact_log().expect("compact");
+        dormant
+            .tail(&drained, Duration::from_millis(1))
+            .expect("dormant reattach drain");
+        if dormant.frontier() != leader.epoch() {
+            fail(format!("storm {storm}: dormant follower stranded"));
+        }
+        tail_retries += tailer.tail_retries();
+        reattaches += dormant.reattaches();
+    }
+
+    let mean_heal_ms = if degraded_windows > 0 {
+        degraded_s * 1e3 / degraded_windows as f64
+    } else {
+        0.0
+    };
+    format!(
+        "{{\"storms\": {storms}, \"commits_per_storm\": {CHAOS_COMMITS}, \
+         \"retry_attempts\": {}, \"profile\": {{\"horizon\": {}, \
+         \"append_fail\": {}, \"read_fail\": {}, \"sync_fail\": {}, \
+         \"torn_fraction\": {}, \"max_burst\": {}}}, \
+         \"acked_commits\": {acked}, \"rejected_commits\": {rejected}, \
+         \"log_retries_absorbed\": {retries_absorbed}, \
+         \"append_faults\": {append_faults}, \"read_faults\": {read_faults}, \
+         \"sync_faults\": {sync_faults}, \"torn_writes\": {torn_writes}, \
+         \"degraded_windows\": {degraded_windows}, \
+         \"degraded_ms\": {:.3}, \"mean_time_to_heal_ms\": {mean_heal_ms:.3}, \
+         \"heal_probes_failed\": {heal_probes_failed}, \
+         \"replica_tail_retries\": {tail_retries}, \
+         \"replica_reattaches\": {reattaches}, \"audit\": {audit}}}",
+        retry.max_attempts,
+        profile.horizon,
+        profile.append_fail,
+        profile.read_fail,
+        profile.sync_fail,
+        profile.torn_fraction,
+        profile.max_burst,
+        degraded_s * 1e3,
+    )
+}
+
 /// One churning multi-view serving run with the full v2 lifecycle: the four
 /// default views plus a deliberately flaky canary registered on a
 /// DBpedia-like graph, `ENGINE_COMMITS` commits of ~2 % of the edges each
@@ -1517,6 +1746,13 @@ fn engine_rules(cfg: &ExpConfig) -> String {
 /// sliding-window edge stream — fill/slide/deletion-storm phases with
 /// per-commit latency, maintenance counters, oracle audits, and the
 /// storm-phase speedup over from-scratch re-evaluation.
+///
+/// With `cfg.chaos = n ≥ 1` the JSON additionally gains a `chaos` section
+/// (see [`engine_chaos`](self)): `n` deterministic seeded fault storms
+/// against a logged engine under a retry policy — absorbed retries,
+/// degraded read-only windows with mean time-to-heal, self-healing
+/// replica counters, and no-acked-commit-lost + views-bit-identical
+/// audits against a never-faulted twin.
 pub fn engine_run(cfg: &ExpConfig) -> EngineRun {
     let g = workloads::dataset(Dataset::DbpediaLike, cfg.scale);
     let logging = cfg.log || cfg.crash_at.is_some();
@@ -1822,6 +2058,10 @@ pub fn engine_run(cfg: &ExpConfig) -> EngineRun {
         let rules = engine_rules(cfg);
         extra_sections.push_str(&format!("  \"rules\": {rules},\n"));
     }
+    if cfg.chaos > 0 {
+        let chaos = engine_chaos(cfg);
+        extra_sections.push_str(&format!("  \"chaos\": {chaos},\n"));
+    }
     let json = format!(
         "{{\n  \"bench\": \"engine_commit\",\n  \"dataset\": \"dbpedia_like\",\n  \
          \"scale\": {},\n  \"seed\": {},\n  \"mode\": \"{}\",\n  \"threads\": {},\n  \
@@ -2120,6 +2360,24 @@ mod tests {
             "all three rules phases audit against the oracle:\n{}",
             r.json
         );
+        assert_eq!(r.json.matches('{').count(), r.json.matches('}').count());
+        assert_eq!(r.json.matches('[').count(), r.json.matches(']').count());
+    }
+
+    #[test]
+    fn engine_run_with_chaos_emits_the_chaos_section() {
+        let cfg = ExpConfig { chaos: 2, ..tiny() };
+        let r = engine_run(&cfg);
+        assert_eq!(r.series.rows.len(), ENGINE_COMMITS);
+        assert!(r.json.contains("\"chaos\": {\"storms\": 2"));
+        assert!(r.json.contains("\"acked_commits\": 24"), "{}", r.json);
+        assert!(r.json.contains("\"degraded_windows\""));
+        assert!(r.json.contains("\"replica_tail_retries\""));
+        assert!(r.json.contains("\"replica_reattaches\""));
+        // The storms must actually storm, the audits must all pass, and
+        // nothing acknowledged may be lost.
+        assert!(!r.json.contains("\"audit\": \"fail"), "{}", r.json);
+        assert!(r.json.contains("\"audit\": \"pass\""));
         assert_eq!(r.json.matches('{').count(), r.json.matches('}').count());
         assert_eq!(r.json.matches('[').count(), r.json.matches(']').count());
     }

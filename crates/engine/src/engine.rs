@@ -11,7 +11,7 @@ use crate::receipt::{CommitReceipt, ViewCommitStats, ViewOutcome, ViewTotals};
 use crate::replica::Replica;
 use igc_core::{panic_cause, IncView, ViewInit, WorkStats};
 use igc_graph::{DynamicGraph, UpdateBatch};
-use igc_log::{CommitLog, Compaction, DurabilityMode, LogBackend};
+use igc_log::{CommitLog, Compaction, DurabilityMode, LogBackend, RetryPolicy};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{mpsc, Arc, Weak};
 use std::time::{Duration, Instant};
@@ -124,6 +124,9 @@ pub struct PreparedCommit {
     submitted: usize,
     prepare_elapsed: Duration,
     base_epoch: u64,
+    /// Journal retries absorbed while preparing this commit (append +
+    /// any policy-driven barrier), surfaced in the receipt.
+    log_retries: u64,
 }
 
 impl PreparedCommit {
@@ -143,6 +146,16 @@ impl PreparedCommit {
     pub fn base_epoch(&self) -> u64 {
         self.base_epoch
     }
+}
+
+/// Why (and since when) the engine is in degraded read-only mode.
+struct DegradedState {
+    /// Graph epoch when the engine degraded.
+    since_epoch: u64,
+    /// Rendered journal failure that triggered it.
+    cause: String,
+    /// When degradation began, for the windows' wall-clock accounting.
+    entered_at: Instant,
 }
 
 /// The multi-view incremental engine: owns the shared [`DynamicGraph`] and
@@ -191,6 +204,14 @@ pub struct Engine {
     /// once the corresponding [`BackgroundBuild`] handle is gone, so
     /// abandoned builds free their label automatically.
     reserved: Vec<(Arc<str>, Weak<()>)>,
+    /// `Some` while the engine is in degraded read-only mode (journal
+    /// retries exhausted, or unsettled sync debt); cleared by
+    /// [`Engine::heal`].
+    degraded: Option<DegradedState>,
+    /// Completed degraded windows (entered *and* healed).
+    degraded_windows: u64,
+    /// Total wall-clock time spent degraded across completed windows.
+    degraded_elapsed: Duration,
 }
 
 impl Engine {
@@ -214,6 +235,9 @@ impl Engine {
             checkpoint_every: DEFAULT_CHECKPOINT_EVERY,
             logged_since_checkpoint: 0,
             reserved: Vec::new(),
+            degraded: None,
+            degraded_windows: 0,
+            degraded_elapsed: Duration::ZERO,
         }
     }
 
@@ -281,6 +305,9 @@ impl Engine {
     /// ([`EngineError::NoLog`] without an attached log). Also resets the
     /// cadence counter.
     pub fn checkpoint(&mut self) -> Result<(), EngineError> {
+        if let Some(e) = self.degraded_error() {
+            return Err(e);
+        }
         let Some(log) = &mut self.log else {
             return Err(EngineError::NoLog {
                 operation: "checkpoint",
@@ -379,8 +406,121 @@ impl Engine {
                 operation: "sync_log",
             });
         };
-        log.sync()?;
+        if let Err(e) = log.sync() {
+            // A failed explicit barrier means records we acknowledged may
+            // not be durable: stop taking new commits until healed.
+            let attempts = log.retry_policy().max_attempts.max(1);
+            if RetryPolicy::is_transient(&e) {
+                let cause = e.to_string();
+                self.enter_degraded(cause.clone());
+                return Err(EngineError::RetriesExhausted {
+                    operation: "sync",
+                    attempts,
+                    cause,
+                });
+            }
+            return Err(e.into());
+        }
         Ok(())
+    }
+
+    /// Set the attached log's [`RetryPolicy`]: bounded exponential-backoff
+    /// retry (with deterministic jitter) for transient journal I/O
+    /// failures on the append and sync paths. The default is
+    /// [`RetryPolicy::none`] — fail on the first error, exactly the
+    /// pre-policy behavior. Retries a commit absorbed are reported in its
+    /// receipt ([`CommitReceipt::log_retries`]).
+    /// [`EngineError::NoLog`] without an attached log.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) -> Result<(), EngineError> {
+        let Some(log) = &mut self.log else {
+            return Err(EngineError::NoLog {
+                operation: "set_retry_policy",
+            });
+        };
+        log.set_retry_policy(policy);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Degraded read-only mode
+    // ------------------------------------------------------------------
+
+    /// Whether the engine is in degraded read-only mode: a journal append
+    /// or durability barrier exhausted its retry budget (or left
+    /// unsettled sync debt), so commits and checkpoints fail fast with
+    /// [`EngineError::Degraded`] until [`Engine::heal`] succeeds. Reads,
+    /// view queries, audits and replica tailing are unaffected.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.is_some()
+    }
+
+    /// The [`EngineError::Degraded`] a commit would be rejected with
+    /// right now, or `None` when healthy. Used by the ingest server to
+    /// fail submissions fast instead of queueing them into a wall.
+    pub fn degraded_error(&self) -> Option<EngineError> {
+        self.degraded.as_ref().map(|d| EngineError::Degraded {
+            since_epoch: d.since_epoch,
+            cause: d.cause.clone(),
+        })
+    }
+
+    /// Completed degraded windows: times the engine entered degraded
+    /// mode *and* was subsequently healed.
+    pub fn degraded_windows(&self) -> u64 {
+        self.degraded_windows
+    }
+
+    /// Total wall-clock time spent degraded across completed windows
+    /// (the current window, if any, is not included until healed).
+    pub fn degraded_elapsed(&self) -> Duration {
+        self.degraded_elapsed
+    }
+
+    /// Leave degraded mode by re-probing the journal: settle any
+    /// outstanding sync debt with a durability barrier, then append a
+    /// fresh checkpoint of the current graph. Both must succeed —
+    /// the checkpoint doubles as the write probe *and* restores a clean
+    /// replay base on the same epoch chain (failed appends never advanced
+    /// the chain, and the log rotates past its own garbage, so healing
+    /// resumes journaling exactly where the last acknowledged commit
+    /// stopped).
+    ///
+    /// On success the engine is read-write again and the window is
+    /// accounted ([`Engine::degraded_windows`],
+    /// [`Engine::degraded_elapsed`]). On failure the engine stays
+    /// degraded and the journal error is returned — call again once the
+    /// fault has actually cleared (the probe itself runs under the log's
+    /// [`RetryPolicy`]). Healthy engines return `Ok(())` immediately;
+    /// [`EngineError::NoLog`] without an attached log.
+    pub fn heal(&mut self) -> Result<(), EngineError> {
+        if self.degraded.is_none() {
+            return Ok(());
+        }
+        let Some(log) = &mut self.log else {
+            return Err(EngineError::NoLog { operation: "heal" });
+        };
+        // Settle sync debt first: acknowledged records must be durable
+        // before we declare the journal healthy again.
+        log.sync()?;
+        log.append_checkpoint(&self.graph)?;
+        self.logged_since_checkpoint = 0;
+        if let Some(d) = self.degraded.take() {
+            self.degraded_windows += 1;
+            self.degraded_elapsed += d.entered_at.elapsed();
+        }
+        Ok(())
+    }
+
+    /// Flip into degraded read-only mode (no-op if already degraded — the
+    /// first cause wins, since later failures are its consequences).
+    fn enter_degraded(&mut self, cause: String) {
+        if self.degraded.is_none() {
+            self.degraded = Some(DegradedState {
+                since_epoch: self.graph.epoch(),
+                cause,
+                entered_at: Instant::now(),
+            });
+        }
     }
 
     /// The shared graph. Eagerly registered views must be constructed
@@ -911,21 +1051,60 @@ impl Engine {
     /// snapshots the *pre*-commit graph and goes down first, so either
     /// failure leaves the engine untouched.
     pub fn prepare(&mut self, batch: &UpdateBatch) -> Result<PreparedCommit, EngineError> {
+        if let Some(e) = self.degraded_error() {
+            return Err(e);
+        }
         self.admit(batch)?;
         let start = Instant::now();
         let submitted = batch.len();
         let delta = batch.normalize_against(&self.graph);
         self.units_dropped += (submitted - delta.len()) as u64;
+        let mut log_retries = 0u64;
         if !delta.is_empty() {
             if let Some(log) = &mut self.log {
-                if self.checkpoint_every > 0
-                    && self.logged_since_checkpoint >= self.checkpoint_every
-                {
-                    log.append_checkpoint(&self.graph)?;
-                    self.logged_since_checkpoint = 0;
+                let retries_before = log.append_retries() + log.sync_retries();
+                let due_checkpoint = self.checkpoint_every > 0
+                    && self.logged_since_checkpoint >= self.checkpoint_every;
+                let mut journaled = Ok(());
+                if due_checkpoint {
+                    journaled = log.append_checkpoint(&self.graph);
                 }
-                log.append_delta(self.graph.epoch() + 1, &delta)?;
+                if journaled.is_ok() {
+                    if due_checkpoint {
+                        self.logged_since_checkpoint = 0;
+                    }
+                    journaled = log.append_delta(self.graph.epoch() + 1, &delta);
+                }
+                log_retries = (log.append_retries() + log.sync_retries()) - retries_before;
+                let attempts = log.retry_policy().max_attempts.max(1);
+                // A policy-driven barrier that failed did NOT fail the
+                // append (the record is stored; failing it would make a
+                // correct caller retry and double-append the epoch — see
+                // CommitLog::sync_debt). But it leaves acknowledged
+                // records non-durable, so no *further* commit may proceed
+                // until Engine::heal settles the debt.
+                let debt = log.sync_debt().map(|d| format!("unsettled sync debt: {d}"));
+                if let Err(e) = journaled {
+                    // Write-ahead ordering rejects this commit atomically
+                    // (the chain never advanced). A transient error that
+                    // survived the whole retry budget means the device is
+                    // genuinely down: degrade to read-only instead of
+                    // grinding every later commit against a dead journal.
+                    if RetryPolicy::is_transient(&e) {
+                        let cause = e.to_string();
+                        self.enter_degraded(cause.clone());
+                        return Err(EngineError::RetriesExhausted {
+                            operation: "append",
+                            attempts,
+                            cause,
+                        });
+                    }
+                    return Err(e.into());
+                }
                 self.logged_since_checkpoint += 1;
+                if let Some(cause) = debt {
+                    self.enter_degraded(cause);
+                }
             }
         }
         Ok(PreparedCommit {
@@ -933,6 +1112,7 @@ impl Engine {
             submitted,
             prepare_elapsed: start.elapsed(),
             base_epoch: self.graph.epoch(),
+            log_retries,
         })
     }
 
@@ -972,6 +1152,7 @@ impl Engine {
             delta,
             submitted,
             prepare_elapsed,
+            log_retries,
             ..
         } = prepared;
         let applied = delta.len();
@@ -992,6 +1173,7 @@ impl Engine {
                 per_view: Vec::new(),
                 skipped_quarantined: 0,
                 work: WorkStats::new(),
+                log_retries,
             };
             let next_prepared = next.map(|b| self.prepare(b));
             return Ok((receipt, next_prepared));
@@ -1184,6 +1366,7 @@ impl Engine {
                 per_view,
                 skipped_quarantined,
                 work: commit_work,
+                log_retries,
             },
             next_prepared,
         ))
@@ -1322,6 +1505,7 @@ impl std::fmt::Debug for Engine {
             .field("commits", &self.commits)
             .field("mode", &self.mode)
             .field("logged", &self.log.is_some())
+            .field("degraded", &self.degraded.is_some())
             .finish()
     }
 }
@@ -2394,46 +2578,11 @@ pub(crate) mod tests {
         });
     }
 
-    /// A backend that can be switched into a failing mode — the fault
-    /// injector behind the commit-atomicity test.
-    #[derive(Debug, Clone, Default)]
-    struct FlakyBackend {
-        inner: MemBackend,
-        failing: Arc<std::sync::atomic::AtomicBool>,
-    }
-
-    impl FlakyBackend {
-        fn fail(&self, on: bool) {
-            self.failing.store(on, std::sync::atomic::Ordering::SeqCst);
-        }
-    }
-
-    impl igc_log::LogBackend for FlakyBackend {
-        fn segments(&self) -> Result<u32, igc_log::LogError> {
-            self.inner.segments()
-        }
-        fn read(&self, segment: u32) -> Result<Vec<u8>, igc_log::LogError> {
-            self.inner.read(segment)
-        }
-        fn append(&self, segment: u32, bytes: &[u8]) -> Result<(), igc_log::LogError> {
-            if self.failing.load(std::sync::atomic::Ordering::SeqCst) {
-                return Err(igc_log::LogError::Io {
-                    operation: "append",
-                    segment,
-                    cause: "injected disk failure".to_owned(),
-                });
-            }
-            self.inner.append(segment, bytes)
-        }
-        fn len(&self, segment: u32) -> Result<u64, igc_log::LogError> {
-            self.inner.len(segment)
-        }
-    }
-
     #[test]
-    fn failed_log_append_rejects_the_commit_atomically() {
-        let flaky = FlakyBackend::default();
-        let backend: Arc<dyn igc_log::LogBackend> = Arc::new(flaky.clone());
+    fn failed_log_append_rejects_the_commit_atomically_and_degrades() {
+        let chaos =
+            igc_log::ChaosBackend::new(Arc::new(MemBackend::new()), igc_log::FaultPlan::none());
+        let backend: Arc<dyn igc_log::LogBackend> = Arc::new(chaos.clone());
         let mut engine = Engine::new(graph_from(&[0, 0, 0], &[]))
             .with_log(backend)
             .unwrap();
@@ -2443,22 +2592,53 @@ pub(crate) mod tests {
         engine
             .commit(&delta(vec![Update::insert(NodeId(0), NodeId(1))]))
             .unwrap();
+        assert!(!engine.is_degraded());
 
         // Disk dies: the write-ahead append fails, so the commit is
-        // rejected before the graph or any view saw it.
-        flaky.fail(true);
+        // rejected before the graph or any view saw it — and with no
+        // retry budget left, the engine degrades to read-only.
+        chaos.fail_next_append(0);
         let err = engine
             .commit(&delta(vec![Update::insert(NodeId(1), NodeId(2))]))
             .unwrap_err();
-        assert!(matches!(err, EngineError::LogCorrupt { .. }), "{err:?}");
+        assert!(
+            matches!(
+                err,
+                EngineError::RetriesExhausted {
+                    operation: "append",
+                    attempts: 1,
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
         assert_eq!(engine.epoch(), 1, "graph untouched");
         assert_eq!(engine.commits(), 1, "commit counters untouched");
         assert_eq!(engine.view(&h).unwrap().count, 1, "views untouched");
         assert!(engine.verify_all().is_ok());
+        assert!(engine.is_degraded());
 
-        // Disk back: committing resumes on the same epoch chain, and the
-        // log replays to exactly the engine's state.
-        flaky.fail(false);
+        // Degraded mode fails further write attempts *fast* — the dead
+        // journal is not hammered again — while reads keep serving.
+        let err = engine
+            .commit(&delta(vec![Update::insert(NodeId(1), NodeId(2))]))
+            .unwrap_err();
+        assert!(
+            matches!(err, EngineError::Degraded { since_epoch: 1, .. }),
+            "{err:?}"
+        );
+        assert!(matches!(
+            engine.checkpoint().unwrap_err(),
+            EngineError::Degraded { .. }
+        ));
+        assert_eq!(engine.view(&h).unwrap().count, 1, "reads still serve");
+
+        // Disk back: heal re-probes the journal, and committing resumes
+        // on the same epoch chain — the log replays to exactly the
+        // engine's state.
+        engine.heal().unwrap();
+        assert!(!engine.is_degraded());
+        assert_eq!(engine.degraded_windows(), 1);
         engine
             .commit(&delta(vec![Update::insert(NodeId(1), NodeId(2))]))
             .unwrap();
@@ -2466,5 +2646,8 @@ pub(crate) mod tests {
         let replayed = engine.log().unwrap().replayer().latest().unwrap();
         assert_eq!(replayed.graph.epoch(), 2);
         assert_eq!(replayed.graph.sorted_edges(), engine.graph().sorted_edges());
+        // heal() on a healthy engine is an idempotent no-op.
+        engine.heal().unwrap();
+        assert_eq!(engine.degraded_windows(), 1);
     }
 }

@@ -152,6 +152,44 @@ pub enum EngineError {
     /// (it was still queued when the server shut down, or the server
     /// thread died). The update batch was **not** applied.
     SubmissionDropped,
+    /// A journal operation exhausted its
+    /// [`RetryPolicy`](igc_log::RetryPolicy) budget on transient I/O
+    /// failures. The failing commit was rejected atomically (write-ahead
+    /// ordering: nothing moved), and the engine entered degraded
+    /// read-only mode — see [`EngineError::Degraded`] and
+    /// [`Engine::heal`](crate::Engine::heal).
+    RetriesExhausted {
+        /// The journal operation that gave up (`"append"` or `"sync"`).
+        operation: &'static str,
+        /// Attempts made, the first included.
+        attempts: u32,
+        /// The rendered final transient error.
+        cause: String,
+    },
+    /// The engine is in **degraded read-only mode**: a past journal
+    /// append or durability barrier exhausted its retries, so accepting
+    /// new commits could silently diverge the log from the graph. Reads,
+    /// view queries and replica tailing all keep working; commits and
+    /// checkpoints fail fast with this error until
+    /// [`Engine::heal`](crate::Engine::heal) re-probes the journal and
+    /// succeeds.
+    Degraded {
+        /// Graph epoch at which the engine entered degraded mode.
+        since_epoch: u64,
+        /// The rendered journal failure that triggered degradation.
+        cause: String,
+    },
+    /// An [`Ingest::submit`](crate::Ingest::submit) found the bounded
+    /// submission queue full and could not enqueue within the configured
+    /// [`submit_timeout`](crate::IngestConfig::submit_timeout) — the
+    /// overload-shedding contract: the batch was **not** accepted, so
+    /// the caller can retry later or route elsewhere.
+    Overloaded {
+        /// The queue bound ([`IngestConfig::max_queue`](crate::IngestConfig::max_queue)).
+        capacity: usize,
+        /// How long the submitter waited for a slot before giving up.
+        waited: std::time::Duration,
+    },
 }
 
 impl From<igc_log::LogError> for EngineError {
@@ -251,6 +289,25 @@ impl fmt::Display for EngineError {
                 f,
                 "ingest submission dropped before commit: the server shut down \
                  (or died) with the batch still queued; the batch was not applied"
+            ),
+            EngineError::RetriesExhausted {
+                operation,
+                attempts,
+                cause,
+            } => write!(
+                f,
+                "journal {operation} failed after {attempts} attempt(s): {cause}; \
+                 the engine is degraded read-only until Engine::heal succeeds"
+            ),
+            EngineError::Degraded { since_epoch, cause } => write!(
+                f,
+                "engine degraded read-only since epoch {since_epoch} ({cause}); \
+                 reads keep working, commits are rejected until Engine::heal succeeds"
+            ),
+            EngineError::Overloaded { capacity, waited } => write!(
+                f,
+                "ingest overloaded: submission queue full (capacity {capacity}) \
+                 for {waited:?}; the batch was not accepted — retry later"
             ),
         }
     }
@@ -379,6 +436,36 @@ mod tests {
                 EngineError::SubmissionDropped,
                 vec!["dropped before commit", "still queued", "not applied"],
             ),
+            (
+                EngineError::RetriesExhausted {
+                    operation: "append",
+                    attempts: 4,
+                    cause: "log I/O failed during append of segment 3: disk on fire".into(),
+                },
+                vec![
+                    "journal append failed after 4 attempt(s)",
+                    "disk on fire",
+                    "Engine::heal",
+                ],
+            ),
+            (
+                EngineError::Degraded {
+                    since_epoch: 57,
+                    cause: "unsettled sync debt".into(),
+                },
+                vec![
+                    "degraded read-only since epoch 57",
+                    "unsettled sync debt",
+                    "Engine::heal",
+                ],
+            ),
+            (
+                EngineError::Overloaded {
+                    capacity: 1024,
+                    waited: std::time::Duration::from_millis(100),
+                },
+                vec!["queue full (capacity 1024)", "100ms", "not accepted"],
+            ),
         ];
         for (err, fragments) in &table {
             // Exhaustiveness guard: every variant must appear in the table
@@ -398,7 +485,10 @@ mod tests {
                 | EngineError::ReplicaLagging { .. }
                 | EngineError::FrontierCompacted { .. }
                 | EngineError::IngestClosed
-                | EngineError::SubmissionDropped => {}
+                | EngineError::SubmissionDropped
+                | EngineError::RetriesExhausted { .. }
+                | EngineError::Degraded { .. }
+                | EngineError::Overloaded { .. } => {}
             }
             let rendered = err.to_string();
             for fragment in fragments {
@@ -408,8 +498,8 @@ mod tests {
                 );
             }
         }
-        // Cheap coverage check in the other direction: 14 variants, 14 rows.
-        assert_eq!(table.len(), 14);
+        // Cheap coverage check in the other direction: 17 variants, 17 rows.
+        assert_eq!(table.len(), 17);
     }
 
     #[test]

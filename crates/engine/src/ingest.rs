@@ -27,15 +27,25 @@
 //! explicit [`Engine::sync_log`] barrier whenever it is about to park on
 //! an empty queue (and once more at shutdown), so "queue drained" always
 //! implies "everything accepted is durable" under group commit.
+//!
+//! Overload and fault propagation: the submission queue is **bounded**
+//! ([`IngestConfig::max_queue`]) — a submitter that cannot enqueue
+//! within [`IngestConfig::submit_timeout`] is shed with
+//! [`EngineError::Overloaded`] instead of growing the queue without
+//! limit. And when the engine is in degraded read-only mode (journal
+//! retries exhausted — see [`Engine::heal`]), submissions are rejected
+//! at admission with [`EngineError::Degraded`] through their tickets,
+//! so callers observe the outage instead of queueing into a wall.
 
 use crate::engine::{Engine, PreparedCommit};
 use crate::error::EngineError;
 use crate::receipt::CommitReceipt;
 use igc_graph::UpdateBatch;
 use igc_log::DurabilityMode;
-use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::mpsc::{self, Receiver, Sender, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// What flows from handles to the server thread.
 enum Msg {
@@ -69,6 +79,17 @@ pub struct IngestConfig {
     /// tick *n*'s view fan-out ([`Engine::apply_prepared`]'s pipelining).
     /// Observable results are identical either way. Default `true`.
     pub pipeline: bool,
+    /// Bound on the submission queue (clamped to ≥ 1). Submissions past
+    /// the bound block in [`Ingest::submit`] up to
+    /// [`submit_timeout`](IngestConfig::submit_timeout), then shed with
+    /// [`EngineError::Overloaded`] — backpressure instead of unbounded
+    /// memory growth when submitters outrun the commit loop. Default
+    /// 1024.
+    pub max_queue: usize,
+    /// How long [`Ingest::submit`] waits for a queue slot before
+    /// shedding the submission ([`EngineError::Overloaded`]). Default
+    /// 100 ms.
+    pub submit_timeout: Duration,
 }
 
 impl Default for IngestConfig {
@@ -76,6 +97,8 @@ impl Default for IngestConfig {
         IngestConfig {
             max_coalesce: 64,
             pipeline: true,
+            max_queue: 1024,
+            submit_timeout: Duration::from_millis(100),
         }
     }
 }
@@ -102,19 +125,45 @@ pub struct IngestReceipt {
 /// concurrently.
 #[derive(Clone)]
 pub struct Ingest {
-    tx: Sender<Msg>,
+    tx: SyncSender<Msg>,
+    capacity: usize,
+    submit_timeout: Duration,
 }
 
 impl Ingest {
-    /// Enqueue a batch for the next commit tick. Returns immediately
-    /// with a ticket to await; errors with [`EngineError::IngestClosed`]
-    /// if the server is gone (the batch was not accepted).
+    /// Enqueue a batch for the next commit tick. Returns with a ticket
+    /// to await — immediately while the bounded queue has room, after a
+    /// bounded wait otherwise. Errors with [`EngineError::Overloaded`]
+    /// when no slot frees up within
+    /// [`IngestConfig::submit_timeout`] (the shed contract: the batch
+    /// was *not* accepted, retry later), and with
+    /// [`EngineError::IngestClosed`] if the server is gone.
     pub fn submit(&self, batch: UpdateBatch) -> Result<IngestTicket, EngineError> {
         let (reply, rx) = mpsc::channel();
-        self.tx
-            .send(Msg::Submit(Submission { batch, reply }))
-            .map_err(|_| EngineError::IngestClosed)?;
-        Ok(IngestTicket { rx })
+        let mut msg = Msg::Submit(Submission { batch, reply });
+        let start = Instant::now();
+        loop {
+            match self.tx.try_send(msg) {
+                Ok(()) => return Ok(IngestTicket { rx }),
+                Err(TrySendError::Disconnected(_)) => return Err(EngineError::IngestClosed),
+                Err(TrySendError::Full(back)) => {
+                    let waited = start.elapsed();
+                    if waited >= self.submit_timeout {
+                        return Err(EngineError::Overloaded {
+                            capacity: self.capacity,
+                            waited,
+                        });
+                    }
+                    msg = back;
+                    // Brief nap, bounded by the remaining budget: the
+                    // commit loop drains in ticks, not per record, so
+                    // busy-spinning would only steal its CPU.
+                    std::thread::sleep(
+                        Duration::from_micros(200).min(self.submit_timeout - waited),
+                    );
+                }
+            }
+        }
     }
 }
 
@@ -162,7 +211,9 @@ impl IngestTicket {
 /// is then simply discarded with the thread.
 #[derive(Debug)]
 pub struct IngestServer {
-    tx: Sender<Msg>,
+    tx: SyncSender<Msg>,
+    capacity: usize,
+    submit_timeout: Duration,
     thread: Option<JoinHandle<Engine>>,
 }
 
@@ -177,18 +228,26 @@ impl IngestServer {
     /// is closed from birth: every submit fails with
     /// [`EngineError::IngestClosed`].)
     pub fn spawn_with(engine: Engine, config: IngestConfig) -> Self {
-        let (tx, rx) = mpsc::channel();
+        let capacity = config.max_queue.max(1);
+        let (tx, rx) = mpsc::sync_channel(capacity);
         let thread = std::thread::Builder::new()
             .name("igc-ingest".into())
             .spawn(move || Self::serve(engine, &rx, config))
             .ok();
-        IngestServer { tx, thread }
+        IngestServer {
+            tx,
+            capacity,
+            submit_timeout: config.submit_timeout,
+            thread,
+        }
     }
 
     /// A fresh submission handle (clone it freely across threads).
     pub fn handle(&self) -> Ingest {
         Ingest {
             tx: self.tx.clone(),
+            capacity: self.capacity,
+            submit_timeout: self.submit_timeout,
         }
     }
 
@@ -313,6 +372,14 @@ impl IngestServer {
         match msg {
             Msg::Submit(sub) => {
                 if *closing {
+                    return;
+                }
+                // A degraded engine rejects every commit anyway: fail the
+                // ticket here, at admission, instead of queueing the
+                // submission into a wall ([`EngineError::Degraded`]
+                // propagates through the ticket like any admission error).
+                if let Some(e) = engine.degraded_error() {
+                    let _ = sub.reply.send(Err(e));
                     return;
                 }
                 match engine.admit(&sub.batch) {

@@ -109,4 +109,4 @@ pub use error::{Divergence, EngineError};
 pub use ingest::{Ingest, IngestConfig, IngestReceipt, IngestServer, IngestTicket};
 pub use lifecycle::{LifecycleEvent, LifecycleEventKind, ViewHandle, ViewId, ViewState};
 pub use receipt::{CommitReceipt, ViewCommitStats, ViewOutcome, ViewTotals};
-pub use replica::{Replica, ReplicaHandle, ReplicaStatus};
+pub use replica::{Replica, ReplicaHandle, ReplicaStatus, TailResilience};

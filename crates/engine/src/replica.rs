@@ -31,6 +31,17 @@
 //! mid-stream checkpoints are all handled by the scan layer underneath —
 //! a replica simply never observes them.
 //!
+//! **Self-healing** ([`TailResilience`]): by default `tail` fails fast on
+//! the first error, byte-for-byte the old behavior. Opt in with
+//! [`Replica::set_tail_resilience`] and the loop absorbs transient I/O
+//! errors under a bounded [`RetryPolicy`] (same backoff + deterministic
+//! jitter as the leader's journal retries, counted by
+//! [`Replica::tail_retries`]), and — when `reattach` is enabled — turns
+//! [`EngineError::FrontierCompacted`] into a [`Replica::reattach`]: the
+//! follower re-seeds from the newest checkpoint and catches its views up
+//! with one synthesized diff batch instead of being rebuilt from
+//! scratch.
+//!
 //! ```
 //! use igc_engine::{Engine, Replica};
 //! use igc_graph::{graph::graph_from, NodeId, Update, UpdateBatch};
@@ -61,8 +72,10 @@
 use crate::error::{Divergence, EngineError};
 use crate::lifecycle::ViewState;
 use igc_core::{panic_cause, IncView, ViewInit};
-use igc_graph::DynamicGraph;
-use igc_log::{LogBackend, LogError, Replayer, RetentionPin};
+use igc_graph::{DynamicGraph, Update, UpdateBatch};
+use igc_log::{LogBackend, LogError, Replayer, RetentionPin, RetryPolicy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -86,6 +99,26 @@ pub struct ReplicaStatus {
     /// `leader_epoch - frontier_epoch` (saturating): deltas still to
     /// replay.
     pub lag: u64,
+}
+
+/// How [`Replica::tail`] reacts to faults mid-loop. The default is
+/// fail-fast on the first error — exactly the pre-resilience behavior —
+/// so opting in is always explicit ([`Replica::set_tail_resilience`]).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TailResilience {
+    /// Retry budget and backoff schedule for *transient* I/O errors
+    /// during catch-up rounds (the same transient-vs-fatal split as the
+    /// leader's journal: [`RetryPolicy::is_transient`]). The default
+    /// [`RetryPolicy::none`] never retries.
+    pub retry: RetryPolicy,
+    /// Whether the loop may recover from
+    /// [`EngineError::FrontierCompacted`] by
+    /// [re-attaching](Replica::reattach) from the newest checkpoint.
+    /// Policy-gated because a reattach silently skips the individual
+    /// deltas of the compacted window — views stay correct (they get the
+    /// net diff), but per-delta observers would miss steps. Default
+    /// `false`.
+    pub reattach: bool,
 }
 
 /// Typed handle to a view registered on a [`Replica`] — the follower-side
@@ -131,6 +164,16 @@ pub struct Replica {
     pin: Option<RetentionPin>,
     /// Epoch of the checkpoint this replica seeded from.
     seed_base: u64,
+    /// Fault policy for [`Replica::tail`] (default: fail fast).
+    resilience: TailResilience,
+    /// Jitter PRNG for resilient tailing's backoff (seeded from the
+    /// policy, so a replayed run makes identical timing decisions).
+    tail_rng: StdRng,
+    /// Transient errors absorbed by resilient tailing.
+    tail_retries: u64,
+    /// Times this replica re-seeded from a newer checkpoint
+    /// ([`Replica::reattach`], manual calls included).
+    reattaches: u64,
 }
 
 impl std::fmt::Debug for Replica {
@@ -169,13 +212,43 @@ impl Replica {
         if let Some(pin) = &pin {
             pin.advance(replayed.graph.epoch());
         }
+        let resilience = TailResilience::default();
         Ok(Replica {
             replayer,
             seed_base: replayed.base_epoch,
             graph: replayed.graph,
             slots: Vec::new(),
             pin,
+            tail_rng: StdRng::seed_from_u64(resilience.retry.seed),
+            resilience,
+            tail_retries: 0,
+            reattaches: 0,
         })
+    }
+
+    /// Set the fault policy of [`Replica::tail`]: bounded retry with
+    /// backoff for transient I/O, and (optionally) automatic
+    /// [`Replica::reattach`] after a [`EngineError::FrontierCompacted`].
+    /// Reseeds the backoff jitter PRNG from the policy's seed.
+    pub fn set_tail_resilience(&mut self, resilience: TailResilience) {
+        self.tail_rng = StdRng::seed_from_u64(resilience.retry.seed);
+        self.resilience = resilience;
+    }
+
+    /// The current [`TailResilience`] policy (default: fail fast).
+    pub fn tail_resilience(&self) -> TailResilience {
+        self.resilience
+    }
+
+    /// Transient catch-up errors absorbed by resilient tailing so far.
+    pub fn tail_retries(&self) -> u64 {
+        self.tail_retries
+    }
+
+    /// Times this replica has re-seeded from a newer checkpoint
+    /// ([`Replica::reattach`] — automatic or manual).
+    pub fn reattaches(&self) -> u64 {
+        self.reattaches
     }
 
     /// Register a view on this replica: its initial state is built from
@@ -231,6 +304,14 @@ impl Replica {
     /// outrun by compaction); [`EngineError::LogCorrupt`] /
     /// [`EngineError::EpochGap`] on genuine log damage.
     pub fn catch_up(&mut self) -> Result<u64, EngineError> {
+        Self::map_catch_up_error(self.catch_up_raw())
+    }
+
+    /// The raw catch-up round, keeping the [`LogError`] shape — resilient
+    /// tailing needs the transient-vs-fatal distinction that
+    /// `From<LogError> for EngineError` (which folds `Io` into
+    /// `LogCorrupt`) would erase.
+    fn catch_up_raw(&mut self) -> Result<u64, LogError> {
         let Self {
             replayer,
             graph,
@@ -250,24 +331,139 @@ impl Replica {
                     };
                 }
             }
-        });
-        let applied = match applied {
-            Ok(n) => n,
-            // The chain itself never runs backwards, so a gap with
-            // `found > expected` means the tail we needed was compacted
-            // away underneath an unpinned follower.
-            Err(LogError::EpochGap { expected, found }) if found > expected => {
-                return Err(EngineError::FrontierCompacted {
-                    frontier: expected.saturating_sub(1),
-                    oldest: found,
-                });
-            }
-            Err(e) => return Err(e.into()),
-        };
+        })?;
         if let Some(pin) = pin {
             pin.advance(graph.epoch());
         }
         Ok(applied)
+    }
+
+    /// Translate a raw catch-up error to the engine surface. The chain
+    /// itself never runs backwards, so a gap with `found > expected`
+    /// means the tail we needed was compacted away underneath an
+    /// unpinned follower.
+    fn map_catch_up_error(r: Result<u64, LogError>) -> Result<u64, EngineError> {
+        match r {
+            Ok(n) => Ok(n),
+            Err(LogError::EpochGap { expected, found }) if found > expected => {
+                Err(EngineError::FrontierCompacted {
+                    frontier: expected.saturating_sub(1),
+                    oldest: found,
+                })
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// One catch-up round under the [`TailResilience`] policy: transient
+    /// I/O errors are retried with backoff (up to the policy's budget,
+    /// counted in [`Replica::tail_retries`]); a compacted-away frontier
+    /// triggers [`Replica::reattach`] when the policy allows it.
+    fn catch_up_resilient(&mut self) -> Result<u64, EngineError> {
+        let mut attempt: u32 = 0;
+        loop {
+            attempt += 1;
+            let raw = self.catch_up_raw();
+            match &raw {
+                Err(e)
+                    if RetryPolicy::is_transient(e)
+                        && attempt < self.resilience.retry.max_attempts.max(1) =>
+                {
+                    self.tail_retries += 1;
+                    let delay = self.resilience.retry.delay(attempt - 1, &mut self.tail_rng);
+                    std::thread::sleep(delay);
+                }
+                _ => match Self::map_catch_up_error(raw) {
+                    Err(EngineError::FrontierCompacted { .. }) if self.resilience.reattach => {
+                        // Re-seed from the newest checkpoint and go round
+                        // again: the reattach leaves the frontier at the
+                        // head, so the next round normally drains clean.
+                        self.reattach()?;
+                        attempt = 0;
+                    }
+                    done => return done,
+                },
+            }
+        }
+    }
+
+    /// Re-seed this replica from the **newest checkpoint** plus the delta
+    /// tail — recovery from [`EngineError::FrontierCompacted`] *without*
+    /// rebuilding the views from scratch. The replica computes the
+    /// edge-set diff between its stale graph and the fresh head,
+    /// synthesizes it as one normalized ΔG batch (deletes for edges only
+    /// the stale graph had, labelled inserts for edges only the head
+    /// has), and fans that batch out to every active view with the new
+    /// graph as post-state — by the views' confluence contract (the same
+    /// one that makes ingest coalescing answer-identical), their answers
+    /// land exactly where replaying the compacted window one delta at a
+    /// time would have put them. Quarantined views stay quarantined.
+    ///
+    /// Returns the number of epochs the frontier jumped. Counted in
+    /// [`Replica::reattaches`]; [`Replica::tail`] calls this
+    /// automatically when [`TailResilience::reattach`] is enabled.
+    pub fn reattach(&mut self) -> Result<u64, EngineError> {
+        let replayed = self.replayer.latest()?;
+        let new = replayed.graph;
+        let old_edges = self.graph.sorted_edges();
+        let new_edges = new.sorted_edges();
+        let mut updates = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < old_edges.len() && j < new_edges.len() {
+            let (o, n) = (old_edges[i], new_edges[j]);
+            match o.cmp(&n) {
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+                std::cmp::Ordering::Less => {
+                    updates.push(Update::delete(o.0, o.1));
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    updates.push(Self::labeled_insert(n, &new));
+                    j += 1;
+                }
+            }
+        }
+        for &o in &old_edges[i..] {
+            updates.push(Update::delete(o.0, o.1));
+        }
+        for &n in &new_edges[j..] {
+            updates.push(Self::labeled_insert(n, &new));
+        }
+        let delta = UpdateBatch::from_updates(updates);
+        if !delta.is_empty() {
+            for slot in self.slots.iter_mut() {
+                if !matches!(slot.state, ViewState::Active) {
+                    continue;
+                }
+                if let Err(cause) = slot.view.apply_caught(&new, &delta) {
+                    slot.state = ViewState::Quarantined {
+                        epoch: new.epoch(),
+                        cause,
+                    };
+                }
+            }
+        }
+        let jumped = new.epoch().saturating_sub(self.graph.epoch());
+        self.graph = new;
+        self.seed_base = replayed.base_epoch;
+        if let Some(pin) = &self.pin {
+            pin.advance(self.graph.epoch());
+        }
+        self.reattaches += 1;
+        Ok(jumped)
+    }
+
+    /// A synthesized insert carrying the head graph's endpoint labels, so
+    /// a reattach that materializes fresh nodes labels them exactly as
+    /// the replayed history did.
+    fn labeled_insert(
+        (from, to): (igc_graph::NodeId, igc_graph::NodeId),
+        g: &DynamicGraph,
+    ) -> Update {
+        Update::insert_labeled(from, to, Some(g.label(from)), Some(g.label(to)))
     }
 
     /// Tail the log until `stop` is raised: repeatedly
@@ -292,12 +488,17 @@ impl Replica {
     /// stop.store(true, std::sync::atomic::Ordering::Release);
     /// let (replica, applied) = worker.join().unwrap().unwrap();
     /// ```
+    /// Under a non-default [`TailResilience`] policy the loop also
+    /// self-heals: transient I/O errors are retried with backoff instead
+    /// of killing the tail, and a compacted-away frontier re-attaches
+    /// from the newest checkpoint when the policy allows it — see
+    /// [`Replica::set_tail_resilience`].
     pub fn tail(&mut self, stop: &AtomicBool, poll: Duration) -> Result<u64, EngineError> {
         let mut total = 0;
         loop {
-            total += self.catch_up()?;
+            total += self.catch_up_resilient()?;
             if stop.load(Ordering::Acquire) {
-                total += self.catch_up()?;
+                total += self.catch_up_resilient()?;
                 return Ok(total);
             }
             std::thread::sleep(poll);

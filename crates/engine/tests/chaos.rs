@@ -1,0 +1,605 @@
+//! Chaos integration: deterministic fault plans driven through the whole
+//! stack — retrying WAL appends, degraded read-only mode with
+//! [`Engine::heal`], sync failures at the group-commit quiesce barrier
+//! and during a runtime durability flip, overload shedding at the ingest
+//! front door, and self-healing replicas (transient-read retry and
+//! post-compaction reattach) — each checked against the four real query
+//! classes, bit-identical to a never-faulted reference.
+
+use igc_engine::{Engine, EngineError, IngestConfig, IngestServer, Replica, TailResilience};
+use igc_graph::generator::{random_update_batch, uniform_graph};
+use igc_graph::{DynamicGraph, Label, LabelInterner, NodeId, UpdateBatch};
+use igc_iso::{IncIso, MatchKey, Pattern};
+use igc_kws::{IncKws, KwsQuery};
+use igc_log::{
+    ChaosBackend, ChaosProfile, DurabilityMode, Fault, FaultKind, FaultOp, FaultPlan, LogBackend,
+    MemBackend, RetryPolicy,
+};
+use igc_nfa::Regex;
+use igc_rpq::IncRpq;
+use igc_scc::IncScc;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn rpq_query() -> Regex {
+    let mut it = LabelInterner::new();
+    Regex::parse("l0.(l1+l2)*.l2", &mut it).unwrap()
+}
+
+fn kws_query() -> KwsQuery {
+    KwsQuery::new(vec![Label(1), Label(2)], 2)
+}
+
+fn iso_pattern() -> Pattern {
+    Pattern::from_parts(&[0, 1, 2], &[(0, 1), (1, 2)])
+}
+
+fn register_all(engine: &mut Engine) {
+    engine
+        .register_lazy("rpq", IncRpq::init(rpq_query()))
+        .unwrap();
+    engine.register_lazy("scc", IncScc::init()).unwrap();
+    engine
+        .register_lazy("kws", IncKws::init(kws_query()))
+        .unwrap();
+    engine
+        .register_lazy("iso", IncIso::init(iso_pattern()))
+        .unwrap();
+}
+
+/// The four views' complete answers in canonical form — the bit-identical
+/// comparison key between a faulted engine and its reference twin.
+#[derive(Debug, PartialEq, Eq)]
+struct Answers {
+    rpq: Vec<(NodeId, NodeId)>,
+    scc: Vec<Vec<NodeId>>,
+    kws: Vec<(NodeId, Vec<u32>)>,
+    iso: Vec<MatchKey>,
+}
+
+fn answers(engine: &Engine) -> Answers {
+    let rpq: &IncRpq = engine
+        .view(&engine.typed(engine.find("rpq").unwrap()).unwrap())
+        .unwrap();
+    let scc: &IncScc = engine
+        .view(&engine.typed(engine.find("scc").unwrap()).unwrap())
+        .unwrap();
+    let kws: &IncKws = engine
+        .view(&engine.typed(engine.find("kws").unwrap()).unwrap())
+        .unwrap();
+    let iso: &IncIso = engine
+        .view(&engine.typed(engine.find("iso").unwrap()).unwrap())
+        .unwrap();
+    Answers {
+        rpq: rpq.sorted_answer(),
+        scc: scc.components(),
+        kws: kws.answer_signature(),
+        iso: iso.sorted_matches(),
+    }
+}
+
+struct ReplicaViews {
+    rpq: igc_engine::ReplicaHandle<IncRpq>,
+    scc: igc_engine::ReplicaHandle<IncScc>,
+    kws: igc_engine::ReplicaHandle<IncKws>,
+    iso: igc_engine::ReplicaHandle<IncIso>,
+}
+
+fn register_replica(replica: &mut Replica) -> ReplicaViews {
+    ReplicaViews {
+        rpq: replica.register("rpq", IncRpq::init(rpq_query())).unwrap(),
+        scc: replica.register("scc", IncScc::init()).unwrap(),
+        kws: replica.register("kws", IncKws::init(kws_query())).unwrap(),
+        iso: replica
+            .register("iso", IncIso::init(iso_pattern()))
+            .unwrap(),
+    }
+}
+
+fn replica_answers(replica: &Replica, views: &ReplicaViews) -> Answers {
+    Answers {
+        rpq: replica.view(&views.rpq).unwrap().sorted_answer(),
+        scc: replica.view(&views.scc).unwrap().components(),
+        kws: replica.view(&views.kws).unwrap().answer_signature(),
+        iso: replica.view(&views.iso).unwrap().sorted_matches(),
+    }
+}
+
+fn backend_pair() -> (ChaosBackend, Arc<dyn LogBackend>) {
+    let chaos = ChaosBackend::new(Arc::new(MemBackend::new()), FaultPlan::none());
+    let arc: Arc<dyn LogBackend> = Arc::new(chaos.clone());
+    (chaos, arc)
+}
+
+/// A retry policy with real attempts but zero sleep — chaos tests want
+/// the retry *logic*, not the wall-clock backoff.
+fn fast_retries(retries: u32) -> RetryPolicy {
+    RetryPolicy::retries(retries).with_delays(Duration::ZERO, Duration::ZERO)
+}
+
+/// Drive one delta into a leader living under a fault storm: heal
+/// whenever degraded, retry the commit until it lands. Bounded — a
+/// finite fault plan must let the commit through eventually.
+fn commit_through_storm(leader: &mut Engine, delta: &UpdateBatch) {
+    for _ in 0..500 {
+        if leader.is_degraded() {
+            // The heal probe itself may hit the next fault window; keep
+            // probing, the plan's horizon is finite.
+            let _ = leader.heal();
+            continue;
+        }
+        match leader.commit(delta) {
+            Ok(_) => return,
+            Err(EngineError::RetriesExhausted { .. }) => {} // degraded now
+            Err(other) => panic!("storm surfaced a non-transient error: {other:?}"),
+        }
+    }
+    panic!("commit did not land within the fault plan's horizon");
+}
+
+/// The tentpole property: under seeded storms of append/read/sync faults
+/// (torn half-writes included, bit-flips excluded — those corrupt
+/// acknowledged records by design), no acknowledged commit is ever lost
+/// and every view stays bit-identical to a never-faulted twin — live,
+/// after crash recovery, and on a follower.
+#[test]
+fn seeded_chaos_storms_lose_no_acked_commit() {
+    let mut total_faults = 0u64;
+    for seed in [11u64, 42, 77, 1234] {
+        let profile = ChaosProfile {
+            horizon: 200,
+            append_fail: 0.10,
+            read_fail: 0.05,
+            sync_fail: 0.10,
+            torn_fraction: 0.5,
+            bit_flip: 0.0,
+            max_burst: 3,
+        };
+        let (chaos, backend) = backend_pair();
+        chaos.set_plan(FaultPlan::seeded(seed, &profile));
+
+        let g = uniform_graph(24, 64, 3, seed);
+        let mut leader = Engine::new(g.clone()).with_log(backend).unwrap();
+        leader.set_checkpoint_every(3);
+        leader.set_retry_policy(fast_retries(2)).unwrap();
+        leader
+            .set_durability(DurabilityMode::GroupCommit {
+                max_batch: 4,
+                max_delay: Duration::from_secs(3600),
+            })
+            .unwrap();
+        register_all(&mut leader);
+
+        // The reference twin never sees a fault and never journals.
+        let mut reference = Engine::new(g);
+        register_all(&mut reference);
+
+        for round in 0..25u64 {
+            let delta = random_update_batch(leader.graph(), 8, 0.5, seed * 1000 + round);
+            commit_through_storm(&mut leader, &delta);
+            reference.commit(&delta).unwrap();
+            assert_eq!(
+                answers(&leader),
+                answers(&reference),
+                "seed {seed} round {round}: views diverged from the \
+                 never-faulted twin"
+            );
+        }
+        let stats = chaos.stats();
+        total_faults += stats.append_faults + stats.read_faults + stats.sync_faults;
+
+        // Quiet the storm, settle, and check every acked commit is
+        // durable: a crash-recovered engine replays to the exact state.
+        chaos.set_plan(FaultPlan::none());
+        while leader.is_degraded() {
+            leader.heal().unwrap();
+        }
+        leader.sync_log().unwrap();
+        leader.verify_all().unwrap();
+
+        let mut recovered = Engine::recover(chaos.inner()).unwrap();
+        assert_eq!(
+            recovered.epoch(),
+            leader.epoch(),
+            "seed {seed}: lost epochs"
+        );
+        assert_eq!(
+            recovered.graph().sorted_edges(),
+            leader.graph().sorted_edges(),
+            "seed {seed}: recovered graph diverged"
+        );
+        register_all(&mut recovered);
+        assert_eq!(answers(&recovered), answers(&leader));
+
+        // And a follower attaching to the same journal converges too.
+        let mut replica = leader.replica().unwrap();
+        let views = register_replica(&mut replica);
+        replica.catch_up().unwrap();
+        assert_eq!(replica.frontier(), leader.epoch());
+        assert_eq!(replica_answers(&replica, &views), answers(&leader));
+        replica.verify_all().unwrap();
+    }
+    assert!(
+        total_faults > 20,
+        "the storms must actually storm (saw {total_faults} faults)"
+    );
+}
+
+/// `heal` keeps failing while the fault window persists (the checkpoint
+/// probe hits the same dead disk), the engine stays degraded, and the
+/// window is only accounted once the probe finally lands.
+#[test]
+fn heal_fails_while_the_fault_persists_then_recovers() {
+    // Append call 0 is the base checkpoint `with_log` writes; call 1 is
+    // the first commit. The window covers calls 2..=4.
+    let plan = FaultPlan::scripted(vec![Fault {
+        op: FaultOp::Append,
+        at: 2,
+        count: 3,
+        kind: FaultKind::Fail,
+    }])
+    .unwrap();
+    let chaos = ChaosBackend::new(Arc::new(MemBackend::new()), plan);
+    let backend: Arc<dyn LogBackend> = Arc::new(chaos.clone());
+
+    let mut engine = Engine::new(uniform_graph(16, 40, 3, 9))
+        .with_log(backend)
+        .unwrap();
+    register_all(&mut engine);
+
+    // Append call 1: fine.
+    let d0 = random_update_batch(engine.graph(), 6, 0.5, 900);
+    engine.commit(&d0).unwrap();
+
+    // Append call 2: the window opens; the commit is rejected and the
+    // engine degrades.
+    let d1 = random_update_batch(engine.graph(), 6, 0.5, 901);
+    let err = engine.commit(&d1).unwrap_err();
+    assert!(
+        matches!(err, EngineError::RetriesExhausted { .. }),
+        "{err:?}"
+    );
+    assert!(engine.is_degraded());
+
+    // Append calls 3 and 4: still inside the window — heal's checkpoint
+    // probe fails, the engine stays degraded, no window is accounted.
+    assert!(engine.heal().is_err());
+    assert!(engine.is_degraded());
+    assert_eq!(engine.degraded_windows(), 0);
+    assert!(engine.heal().is_err());
+    assert!(engine.is_degraded());
+
+    // Append call 5: past the window — heal lands, the window closes.
+    engine.heal().unwrap();
+    assert!(!engine.is_degraded());
+    assert_eq!(engine.degraded_windows(), 1);
+    assert!(engine.degraded_elapsed() > Duration::ZERO);
+
+    // The deferred delta commits on the same epoch chain; replay agrees.
+    engine.commit(&d1).unwrap();
+    engine.verify_all().unwrap();
+    let replayed = engine.log().unwrap().replayer().latest().unwrap();
+    assert_eq!(replayed.graph.sorted_edges(), engine.graph().sorted_edges());
+}
+
+/// A sync failure at the group-commit quiesce barrier (the ingest server
+/// parking on an empty queue) degrades the engine; later submissions are
+/// rejected fast through their tickets; shutdown returns the degraded
+/// engine, which heals and resumes.
+#[test]
+fn sync_failure_at_the_quiesce_barrier_degrades_the_ingest() {
+    let (chaos, backend) = backend_pair();
+    let mut engine = Engine::new(uniform_graph(24, 64, 3, 21))
+        .with_log(backend)
+        .unwrap();
+    register_all(&mut engine);
+    engine
+        .set_durability(DurabilityMode::GroupCommit {
+            max_batch: 64,
+            max_delay: Duration::from_secs(3600),
+        })
+        .unwrap();
+    let seed_graph = engine.graph().clone();
+    let server = IngestServer::spawn(engine);
+    let ingest = server.handle();
+
+    // A clean round trip first — its quiesce barrier settles the log.
+    let d0 = random_update_batch(&seed_graph, 6, 0.5, 2100);
+    ingest.submit(d0).unwrap().wait().unwrap();
+
+    // Arm the one-shot: the *next* barrier with pending records fails.
+    // That barrier is the park after the next commit's records land.
+    chaos.fail_next_sync();
+    let d1 = random_update_batch(&seed_graph, 6, 0.5, 2101);
+    ingest.submit(d1).unwrap().wait().unwrap();
+
+    // The park runs asynchronously after the receipt; poll until the
+    // degradation propagates to submissions (bounded).
+    let mut rejected = None;
+    for i in 0..200u64 {
+        let d = random_update_batch(&seed_graph, 6, 0.5, 2200 + i);
+        match ingest.submit(d).unwrap().wait() {
+            Ok(_) => std::thread::sleep(Duration::from_millis(2)),
+            Err(e) => {
+                rejected = Some(e);
+                break;
+            }
+        }
+    }
+    match rejected {
+        Some(EngineError::Degraded { cause, .. }) => {
+            assert!(cause.contains("injected"), "{cause}")
+        }
+        other => panic!("expected a Degraded rejection, got {other:?}"),
+    }
+
+    // Shutdown hands back the degraded engine; heal restores writes.
+    let mut engine = server.shutdown().unwrap();
+    assert!(engine.is_degraded());
+    engine.heal().unwrap();
+    assert_eq!(engine.degraded_windows(), 1);
+    let d2 = random_update_batch(engine.graph(), 6, 0.5, 2300);
+    engine.commit(&d2).unwrap();
+    engine.verify_all().unwrap();
+    let replayed = engine.log().unwrap().replayer().latest().unwrap();
+    assert_eq!(replayed.graph.sorted_edges(), engine.graph().sorted_edges());
+}
+
+/// A sync failure during a runtime durability flip: records appended
+/// under `None` become the backlog an `EveryAppend` barrier must flush;
+/// when that barrier fails the commit that carried it still succeeds
+/// (its append was acknowledged) but the engine degrades on the unsettled
+/// sync debt — and heal settles exactly that debt.
+#[test]
+fn sync_failure_during_a_durability_flip_degrades_on_sync_debt() {
+    let (chaos, backend) = backend_pair();
+    let mut engine = Engine::new(uniform_graph(24, 64, 3, 31))
+        .with_log(backend)
+        .unwrap();
+    register_all(&mut engine);
+
+    // Build an unsynced backlog under DurabilityMode::None.
+    for round in 0..2u64 {
+        let d = random_update_batch(engine.graph(), 6, 0.5, 3100 + round);
+        engine.commit(&d).unwrap();
+    }
+
+    // Flip to per-append barriers with the fault armed: the next commit's
+    // append succeeds, then its barrier fails, leaving sync debt.
+    engine.set_durability(DurabilityMode::EveryAppend).unwrap();
+    chaos.fail_next_sync();
+    let d = random_update_batch(engine.graph(), 6, 0.5, 3200);
+    let epoch_before = engine.epoch();
+    let receipt = engine.commit(&d).unwrap();
+    assert_eq!(receipt.epoch, epoch_before + 1, "the carrying commit lands");
+    assert!(
+        engine.is_degraded(),
+        "unsettled sync debt must degrade the engine"
+    );
+
+    // Degraded: commits fail fast, reads keep serving.
+    let err = engine
+        .commit(&random_update_batch(engine.graph(), 6, 0.5, 3201))
+        .unwrap_err();
+    assert!(matches!(err, EngineError::Degraded { .. }), "{err:?}");
+    engine.verify_all().unwrap();
+
+    // Heal settles the debt (the barrier retries the still-dirty
+    // segments) and writes resume.
+    engine.heal().unwrap();
+    assert_eq!(engine.degraded_windows(), 1);
+    engine
+        .commit(&random_update_batch(engine.graph(), 6, 0.5, 3202))
+        .unwrap();
+    engine.verify_all().unwrap();
+
+    // Nothing acknowledged was lost across the whole episode.
+    let mut recovered = Engine::recover(chaos.inner()).unwrap();
+    assert_eq!(recovered.epoch(), engine.epoch());
+    register_all(&mut recovered);
+    assert_eq!(answers(&recovered), answers(&engine));
+}
+
+/// A resilient follower absorbs transient read faults inside its retry
+/// budget — the tail keeps going where the fail-fast `catch_up` would
+/// have surfaced an error — and counts what it absorbed.
+#[test]
+fn resilient_tail_absorbs_transient_read_faults() {
+    let (chaos, backend) = backend_pair();
+    let mut leader = Engine::new(uniform_graph(24, 64, 3, 41))
+        .with_log(backend)
+        .unwrap();
+    register_all(&mut leader);
+    let mut replica = leader.replica().unwrap();
+    let views = register_replica(&mut replica);
+    replica.set_tail_resilience(TailResilience {
+        retry: fast_retries(5),
+        reattach: false,
+    });
+
+    let stopped = AtomicBool::new(true); // pre-stopped: tail = one resilient drain
+    for round in 0..4u64 {
+        let d = random_update_batch(leader.graph(), 8, 0.5, 4100 + round);
+        leader.commit(&d).unwrap();
+        chaos.fail_next_read();
+        replica.tail(&stopped, Duration::from_millis(1)).unwrap();
+        assert_eq!(replica.frontier(), leader.epoch(), "round {round}");
+    }
+    assert!(
+        replica.tail_retries() >= 4,
+        "each armed read fault must be absorbed and counted \
+         (tail_retries = {})",
+        replica.tail_retries()
+    );
+    assert_eq!(replica_answers(&replica, &views), answers(&leader));
+    replica.verify_all().unwrap();
+}
+
+/// Compaction outruns an unpinned follower: fail-fast `catch_up` reports
+/// a precise `FrontierCompacted`; under a reattach-enabled resilience
+/// policy the follower re-seeds from the newest checkpoint *through its
+/// live views* — answers match the leader without re-registering.
+#[test]
+fn reattach_recovers_an_unpinned_follower_after_compaction() {
+    let (chaos, backend) = backend_pair();
+    let mut leader = Engine::new(uniform_graph(24, 64, 3, 51))
+        .with_log(backend)
+        .unwrap();
+    leader.set_checkpoint_every(3);
+    register_all(&mut leader);
+
+    // An unpinned (cross-process shape) follower, caught up at epoch 0.
+    let mut follower = Replica::attach(Arc::new(chaos.clone())).unwrap();
+    let views = register_replica(&mut follower);
+    follower.catch_up().unwrap();
+    let stranded_at = follower.frontier();
+
+    // The leader runs ahead and compacts the follower's window away.
+    for round in 0..9u64 {
+        let d = random_update_batch(leader.graph(), 8, 0.5, 5100 + round);
+        leader.commit(&d).unwrap();
+    }
+    let compaction = leader.compact_log().unwrap();
+    assert!(compaction.dropped_segments > 0, "compaction must bite");
+
+    // Fail-fast contract: a precise error, not garbage.
+    match follower.catch_up().unwrap_err() {
+        EngineError::FrontierCompacted { frontier, oldest } => {
+            assert_eq!(frontier, stranded_at);
+            assert!(oldest > frontier + 1, "{oldest} vs {frontier}");
+        }
+        other => panic!("expected FrontierCompacted, got {other:?}"),
+    }
+
+    // Self-healing contract: the resilient tail reattaches and converges.
+    follower.set_tail_resilience(TailResilience {
+        retry: fast_retries(2),
+        reattach: true,
+    });
+    let stopped = AtomicBool::new(true);
+    follower.tail(&stopped, Duration::from_millis(1)).unwrap();
+    assert_eq!(follower.reattaches(), 1);
+    assert_eq!(follower.frontier(), leader.epoch());
+    assert_eq!(replica_answers(&follower, &views), answers(&leader));
+    follower.verify_all().unwrap();
+
+    // And again — reattach is not a one-time trick.
+    for round in 0..9u64 {
+        let d = random_update_batch(leader.graph(), 8, 0.5, 5200 + round);
+        leader.commit(&d).unwrap();
+    }
+    leader.compact_log().unwrap();
+    let jumped = follower.reattach().unwrap();
+    assert!(jumped > 0);
+    assert_eq!(follower.reattaches(), 2);
+    assert_eq!(follower.frontier(), leader.epoch());
+    assert_eq!(replica_answers(&follower, &views), answers(&leader));
+    follower.verify_all().unwrap();
+}
+
+/// Retries a commit absorbed surface in its receipt: a torn append that
+/// the policy retried costs `log_retries ≥ 1` but the commit succeeds
+/// and nothing degrades.
+#[test]
+fn commit_receipts_surface_absorbed_retries() {
+    let (chaos, backend) = backend_pair();
+    let mut engine = Engine::new(uniform_graph(24, 64, 3, 61))
+        .with_log(backend)
+        .unwrap();
+    engine.set_retry_policy(fast_retries(3)).unwrap();
+    register_all(&mut engine);
+
+    let quiet = engine
+        .commit(&random_update_batch(engine.graph(), 6, 0.5, 6100))
+        .unwrap();
+    assert_eq!(quiet.log_retries, 0, "no fault, no retries");
+
+    chaos.fail_next_append(10); // torn: 10 garbage bytes land, then failure
+    let receipt = engine
+        .commit(&random_update_batch(engine.graph(), 6, 0.5, 6101))
+        .unwrap();
+    assert!(
+        receipt.log_retries >= 1,
+        "the absorbed retry must be visible (log_retries = {})",
+        receipt.log_retries
+    );
+    assert!(
+        !engine.is_degraded(),
+        "an absorbed fault is not degradation"
+    );
+    engine.verify_all().unwrap();
+    let replayed = engine.log().unwrap().replayer().latest().unwrap();
+    assert_eq!(replayed.graph.sorted_edges(), engine.graph().sorted_edges());
+}
+
+/// A deliberately slow view, to wedge the commit loop so the submission
+/// queue actually fills.
+#[derive(Debug)]
+struct SlowView;
+
+impl igc_core::IncView for SlowView {
+    fn name(&self) -> &str {
+        "slow"
+    }
+    fn apply(&mut self, _g: &DynamicGraph, _delta: &UpdateBatch) {
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    fn work(&self) -> igc_core::work::WorkStats {
+        igc_core::work::WorkStats::new()
+    }
+    fn reset_work(&mut self) {}
+    fn verify_against_batch(&self, _g: &DynamicGraph) -> Result<(), String> {
+        Ok(())
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Submitters that outrun the commit loop are shed with a precise
+/// `Overloaded` (bounded queue + bounded wait), never queued into a wall;
+/// everything that *was* accepted still resolves to exactly one receipt.
+#[test]
+fn overloaded_ingest_sheds_submissions_with_a_precise_error() {
+    let mut engine = Engine::new(uniform_graph(24, 64, 3, 71));
+    engine.register(SlowView).unwrap();
+    let seed_graph = engine.graph().clone();
+    let server = IngestServer::spawn_with(
+        engine,
+        IngestConfig {
+            max_coalesce: 1,
+            max_queue: 1,
+            submit_timeout: Duration::from_millis(5),
+            ..IngestConfig::default()
+        },
+    );
+    let ingest = server.handle();
+
+    let mut tickets = Vec::new();
+    let mut shed = 0usize;
+    for i in 0..12u64 {
+        match ingest.submit(random_update_batch(&seed_graph, 4, 0.5, 7100 + i)) {
+            Ok(t) => tickets.push(t),
+            Err(EngineError::Overloaded { capacity, waited }) => {
+                assert_eq!(capacity, 1);
+                assert!(waited >= Duration::from_millis(5));
+                shed += 1;
+            }
+            Err(other) => panic!("expected Overloaded, got {other:?}"),
+        }
+    }
+    assert!(
+        shed >= 1,
+        "12 rapid submissions against 25 ms ticks and a \
+                        1-slot queue must shed"
+    );
+    assert!(!tickets.is_empty(), "the queue still admits work");
+    for t in tickets {
+        t.wait().unwrap(); // accepted ⇒ exactly one receipt, no loss
+    }
+    server.shutdown().unwrap();
+}

@@ -59,6 +59,7 @@ fn concurrent_submitters_conserve_units_and_recover_bit_identically() {
         IngestConfig {
             max_coalesce: 16,
             pipeline: true,
+            ..IngestConfig::default()
         },
     );
 

@@ -10,7 +10,7 @@ use igc_graph::generator::{random_update_batch, uniform_graph};
 use igc_graph::{Label, LabelInterner, NodeId};
 use igc_iso::{IncIso, MatchKey, Pattern};
 use igc_kws::{IncKws, KwsQuery};
-use igc_log::{LogBackend, MemBackend};
+use igc_log::{ChaosBackend, FaultPlan, LogBackend, MemBackend};
 use igc_nfa::Regex;
 use igc_rpq::IncRpq;
 use igc_scc::IncScc;
@@ -100,13 +100,13 @@ fn replica_answers(replica: &Replica, views: &ReplicaViews) -> Answers {
     }
 }
 
-fn backend_pair() -> (MemBackend, Arc<dyn LogBackend>) {
-    let mem = MemBackend::new();
-    let arc: Arc<dyn LogBackend> = Arc::new(mem.clone());
-    (mem, arc)
+fn backend_pair() -> (ChaosBackend, Arc<dyn LogBackend>) {
+    let chaos = ChaosBackend::new(Arc::new(MemBackend::new()), FaultPlan::none());
+    let arc: Arc<dyn LogBackend> = Arc::new(chaos.clone());
+    (chaos, arc)
 }
 
-fn logged_leader(seed: u64) -> (MemBackend, Engine) {
+fn logged_leader(seed: u64) -> (ChaosBackend, Engine) {
     let g = uniform_graph(24, 64, 3, seed);
     let (mem, backend) = backend_pair();
     let mut leader = Engine::new(g).with_log(backend).unwrap();
@@ -217,18 +217,24 @@ fn replica_survives_a_failed_then_retried_append() {
     let delta = random_update_batch(leader.graph(), 8, 0.5, 5301);
     mem.fail_next_append(20);
     match leader.commit(&delta).unwrap_err() {
-        EngineError::LogCorrupt { cause } => {
+        EngineError::RetriesExhausted {
+            operation, cause, ..
+        } => {
+            assert_eq!(operation, "append");
             assert!(cause.contains("injected"), "{cause}")
         }
-        other => panic!("expected LogCorrupt, got {other:?}"),
+        other => panic!("expected RetriesExhausted, got {other:?}"),
     }
     assert_eq!(leader.epoch(), epoch_before, "failed commit moved nothing");
+    assert!(leader.is_degraded(), "exhausted retries degrade the leader");
 
-    // The follower sees no phantom epoch and no corruption.
+    // The follower sees no phantom epoch and no corruption — degraded
+    // mode is leader-side only; tailing keeps working.
     assert_eq!(replica.catch_up().unwrap(), 0);
     assert_eq!(replica.frontier(), epoch_before);
 
-    // The leader retries the same batch; the follower converges.
+    // The leader heals and retries the same batch; the follower converges.
+    leader.heal().unwrap();
     leader.commit(&delta).unwrap();
     assert_eq!(leader.epoch(), epoch_before + 1);
     assert_converged(&leader, &mut replica, &views);

@@ -72,19 +72,15 @@ pub trait LogBackend: Send + Sync + std::fmt::Debug {
     }
 }
 
-/// What a [`MemBackend`] actually stores: the retained segments, the
-/// historical index of the oldest one, and the armed fault injector (if
-/// any).
+/// What a [`MemBackend`] actually stores: the retained segments and the
+/// historical index of the oldest one. Fault injection does not live here
+/// — wrap any backend in a [`ChaosBackend`](crate::ChaosBackend) instead.
 #[derive(Debug, Default)]
 struct MemInner {
     /// Historical index of `segments[0]`; bumps on [`remove_below`]
     /// (`LogBackend::remove_below`) so retained indices never shift.
     base: u32,
     segments: Vec<Vec<u8>>,
-    /// When armed (`Some(keep)`), the next append stores only its first
-    /// `keep` bytes and then reports failure — the shape a mid-write
-    /// `ENOSPC` or crash leaves behind.
-    fail_next_append: Option<usize>,
 }
 
 /// In-memory backend for tests and benchmarks. Cloning shares the
@@ -106,32 +102,6 @@ impl MemBackend {
     /// introspection).
     pub fn total_bytes(&self) -> u64 {
         self.lock().segments.iter().map(|s| s.len() as u64).sum()
-    }
-
-    /// Flip one bit of one stored byte — a corruption fault injector for
-    /// tests. Panics (test helper) if the coordinates are out of range or
-    /// the segment was compacted away.
-    pub fn corrupt_byte(&self, segment: u32, offset: u64, mask: u8) {
-        let mut s = self.lock();
-        let i = (segment - s.base) as usize;
-        s.segments[i][offset as usize] ^= mask;
-    }
-
-    /// Truncate a segment to `keep` bytes — a crash/torn-tail fault
-    /// injector for tests.
-    pub fn truncate_segment(&self, segment: u32, keep: u64) {
-        let mut s = self.lock();
-        let i = (segment - s.base) as usize;
-        s.segments[i].truncate(keep as usize);
-    }
-
-    /// Arm a one-shot append fault: the next append stores only its first
-    /// `keep` bytes into the target segment and then returns an I/O error
-    /// — the partial-write shape of a mid-append `ENOSPC` or power cut.
-    /// The write was *not* acknowledged, so a correct writer retries past
-    /// the garbage (see `CommitLog`'s forced rotation).
-    pub fn fail_next_append(&self, keep: usize) {
-        self.lock().fail_next_append = Some(keep);
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, MemInner> {
@@ -185,22 +155,11 @@ impl LogBackend for MemBackend {
                 ),
             });
         }
-        let (stored, inject_fail) = match s.fail_next_append.take() {
-            Some(keep) => (&bytes[..keep.min(bytes.len())], true),
-            None => (bytes, false),
-        };
         if segment == next {
-            s.segments.push(stored.to_vec());
+            s.segments.push(bytes.to_vec());
         } else {
             let i = (segment - s.base) as usize;
-            s.segments[i].extend_from_slice(stored);
-        }
-        if inject_fail {
-            return Err(LogError::Io {
-                operation: "append",
-                segment,
-                cause: "injected mid-write failure".to_owned(),
-            });
+            s.segments[i].extend_from_slice(bytes);
         }
         Ok(())
     }
@@ -486,25 +445,24 @@ mod tests {
         exercise_compaction(&MemBackend::new());
     }
 
+    // A quiet ChaosBackend is a backend like any other: it must satisfy
+    // the same contract it forwards, compaction included.
     #[test]
-    fn mem_backend_injected_append_failure_leaves_a_partial_write() {
-        let b = MemBackend::new();
-        b.append(0, b"committed").unwrap();
-        b.fail_next_append(3);
-        let err = b.append(0, b"DOOMED").unwrap_err();
-        assert!(matches!(
-            err,
-            LogError::Io {
-                operation: "append",
-                ..
-            }
+    fn chaos_backend_contract() {
+        use crate::chaos::{ChaosBackend, FaultPlan};
+        exercise(&ChaosBackend::new(
+            Arc::new(MemBackend::new()),
+            FaultPlan::none(),
         ));
-        // The partial bytes are there (as on a real device), but the
-        // write was never acknowledged.
-        assert_eq!(b.read(0).unwrap(), b"committedDOO");
-        // The injector is one-shot: the retry goes through.
-        b.append(1, b"retried").unwrap();
-        assert_eq!(b.read(1).unwrap(), b"retried");
+    }
+
+    #[test]
+    fn chaos_backend_compaction_contract() {
+        use crate::chaos::{ChaosBackend, FaultPlan};
+        exercise_compaction(&ChaosBackend::new(
+            Arc::new(MemBackend::new()),
+            FaultPlan::none(),
+        ));
     }
 
     #[test]

@@ -1,0 +1,899 @@
+//! Deterministic fault injection for the journal: [`ChaosBackend`] wraps
+//! any [`LogBackend`] and executes a [`FaultPlan`] — a scripted or seeded
+//! schedule of append/read/sync failures, torn half-writes, and bit-flips.
+//!
+//! The point is *reproducibility*: a chaos run is a pure function of the
+//! plan (and the plan of its seed), so a failure found under
+//! `FaultPlan::seeded(42, ..)` replays byte-for-byte under the same seed.
+//! This replaces the ad-hoc one-shot injectors that used to live inside
+//! `MemBackend` and as test-local backend wrappers; the same four fault
+//! shapes are still available as runtime one-shots
+//! ([`ChaosBackend::fail_next_append`], [`ChaosBackend::fail_next_read`],
+//! [`ChaosBackend::fail_next_sync`]) and read-side overlays
+//! ([`ChaosBackend::corrupt_byte`], [`ChaosBackend::truncate_segment`])
+//! for tests that want one precisely-placed fault rather than a schedule.
+//!
+//! Fault semantics mirror what real storage does:
+//!
+//! * **Fail** — the call reports an I/O error and (for appends) stores
+//!   nothing: a clean transient failure the caller may retry.
+//! * **Torn** (append only) — the first `keep` bytes land, then the call
+//!   reports failure: the shape a mid-write `ENOSPC` or power cut leaves
+//!   behind. The write was never acknowledged; a correct writer rotates
+//!   past the garbage (see `CommitLog`'s forced rotation).
+//! * **BitFlip** (append only) — the append *succeeds* but one stored bit
+//!   is flipped: silent corruption, which the CRC-sealed record format
+//!   must detect at read time (detection, not survival, is the contract).
+//!
+//! ```
+//! use igc_log::{ChaosBackend, CommitLog, Fault, FaultKind, FaultOp, FaultPlan, MemBackend};
+//! use igc_graph::graph::graph_from;
+//! use std::sync::Arc;
+//!
+//! // Fail the 2nd and 3rd appends (call indices 1..3), then heal.
+//! let plan = FaultPlan::scripted(vec![Fault {
+//!     op: FaultOp::Append,
+//!     at: 1,
+//!     count: 2,
+//!     kind: FaultKind::Fail,
+//! }])
+//! .unwrap();
+//! let chaos = ChaosBackend::new(Arc::new(MemBackend::new()), plan);
+//! let mut log = CommitLog::create(Arc::new(chaos.clone())).unwrap();
+//! let g = graph_from(&[0, 0], &[]);
+//! log.append_checkpoint(&g).unwrap(); // append #0: clean
+//! assert!(log.append_checkpoint(&g).is_err()); // #1: injected failure
+//! assert!(log.append_checkpoint(&g).is_err()); // #2: injected failure
+//! log.append_checkpoint(&g).unwrap(); // #3: the window is over
+//! assert_eq!(chaos.stats().append_faults, 2);
+//! ```
+
+use crate::backend::LogBackend;
+use crate::error::LogError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// Which backend operation a [`Fault`] targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOp {
+    /// [`LogBackend::append`] calls.
+    Append,
+    /// [`LogBackend::read`] calls.
+    Read,
+    /// [`LogBackend::sync`] calls.
+    Sync,
+}
+
+impl FaultOp {
+    fn index(self) -> usize {
+        match self {
+            FaultOp::Append => 0,
+            FaultOp::Read => 1,
+            FaultOp::Sync => 2,
+        }
+    }
+}
+
+impl fmt::Display for FaultOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FaultOp::Append => "append",
+            FaultOp::Read => "read",
+            FaultOp::Sync => "sync",
+        })
+    }
+}
+
+/// What an injected fault does to the targeted call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The call reports an I/O error; an append stores nothing.
+    Fail,
+    /// Append only: the first `keep` bytes (clamped to the write's length)
+    /// land, then the call reports failure — a mid-write crash.
+    Torn {
+        /// Bytes of the attempted write that reach storage.
+        keep: usize,
+    },
+    /// Append only: the call *succeeds* but the stored byte at `offset`
+    /// (modulo the write's length) is XORed with `mask` — silent
+    /// corruption the CRC layer must catch at read time.
+    BitFlip {
+        /// Byte offset within the written bytes (taken modulo their length).
+        offset: u64,
+        /// XOR mask applied to that byte (0 would be a no-op; use ≥ 1).
+        mask: u8,
+    },
+}
+
+impl FaultKind {
+    fn name(&self) -> &'static str {
+        match self {
+            FaultKind::Fail => "fail",
+            FaultKind::Torn { .. } => "torn write",
+            FaultKind::BitFlip { .. } => "bit-flip",
+        }
+    }
+}
+
+/// One scheduled fault window: calls `at .. at + count` (zero-based,
+/// per-op call indices) of `op` each suffer `kind`. `count == 1` is a
+/// transient blip; a larger window models a persistent outage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// The targeted operation.
+    pub op: FaultOp,
+    /// Zero-based call index (per op) of the first faulted call.
+    pub at: u64,
+    /// How many consecutive calls the window covers (≥ 1).
+    pub count: u64,
+    /// What each faulted call suffers.
+    pub kind: FaultKind,
+}
+
+/// Why [`FaultPlan::scripted`] rejected a schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChaosPlanError {
+    /// [`FaultKind::Torn`] / [`FaultKind::BitFlip`] describe partial or
+    /// corrupted *writes*; scheduling one on a read or sync is meaningless.
+    KindRequiresAppend {
+        /// Call index of the offending fault.
+        at: u64,
+        /// The write-only kind that was scheduled (`"torn write"` / `"bit-flip"`).
+        kind: &'static str,
+        /// The non-append operation it was scheduled on.
+        op: FaultOp,
+    },
+    /// A fault window with `count == 0` covers no calls.
+    EmptyWindow {
+        /// Call index of the offending fault.
+        at: u64,
+        /// The operation it was scheduled on.
+        op: FaultOp,
+    },
+    /// Two windows on the same operation overlap, so a call would have two
+    /// contradictory faults.
+    OverlappingWindows {
+        /// The operation both windows target.
+        op: FaultOp,
+        /// Start of the earlier window.
+        first_at: u64,
+        /// Start of the later (overlapping) window.
+        second_at: u64,
+    },
+}
+
+impl fmt::Display for ChaosPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChaosPlanError::KindRequiresAppend { at, kind, op } => write!(
+                f,
+                "fault plan invalid: {kind} at call {at} targets {op}, \
+                 but that kind only applies to appends"
+            ),
+            ChaosPlanError::EmptyWindow { at, op } => write!(
+                f,
+                "fault plan invalid: window at {op} call {at} has count 0 (covers no calls)"
+            ),
+            ChaosPlanError::OverlappingWindows {
+                op,
+                first_at,
+                second_at,
+            } => write!(
+                f,
+                "fault plan invalid: {op} windows starting at calls {first_at} and \
+                 {second_at} overlap"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ChaosPlanError {}
+
+/// Probabilities and shape parameters for [`FaultPlan::seeded`]. Each
+/// operation's first `horizon` calls are walked with the seeded PRNG; a
+/// call not covered by a window starts one with the op's probability, and
+/// windows last `1..=max_burst` calls.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosProfile {
+    /// Per-op call indices considered (faults never start past this).
+    pub horizon: u64,
+    /// Probability an uncovered append call starts a fault window.
+    pub append_fail: f64,
+    /// Probability an uncovered read call starts a fault window.
+    pub read_fail: f64,
+    /// Probability an uncovered sync call starts a fault window.
+    pub sync_fail: f64,
+    /// Of append faults, the fraction that are torn writes instead of
+    /// clean failures.
+    pub torn_fraction: f64,
+    /// Probability an append fault is a silent bit-flip instead. Off by
+    /// default: bit-flips corrupt *acknowledged* records, which the log
+    /// detects but by design cannot survive — schedule them only in tests
+    /// asserting detection.
+    pub bit_flip: f64,
+    /// Longest persistent window, in consecutive calls (clamped ≥ 1).
+    pub max_burst: u64,
+}
+
+impl Default for ChaosProfile {
+    fn default() -> Self {
+        ChaosProfile {
+            horizon: 256,
+            append_fail: 0.08,
+            read_fail: 0.04,
+            sync_fail: 0.08,
+            torn_fraction: 0.5,
+            bit_flip: 0.0,
+            max_burst: 3,
+        }
+    }
+}
+
+/// A validated, deterministic schedule of [`Fault`]s — the whole behavior
+/// of a [`ChaosBackend`] is a pure function of its plan.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Per-op windows, sorted by `at` (validated non-overlapping).
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// The empty plan: every call passes through (runtime one-shots and
+    /// overlays still work).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Validate an explicit schedule: write-only kinds must target
+    /// appends, windows must cover ≥ 1 call, and windows on the same op
+    /// must not overlap.
+    pub fn scripted(faults: Vec<Fault>) -> Result<Self, ChaosPlanError> {
+        let mut sorted = faults;
+        sorted.sort_by_key(|f| (f.op.index(), f.at));
+        for f in &sorted {
+            if f.count == 0 {
+                return Err(ChaosPlanError::EmptyWindow { at: f.at, op: f.op });
+            }
+            if f.op != FaultOp::Append && !matches!(f.kind, FaultKind::Fail) {
+                return Err(ChaosPlanError::KindRequiresAppend {
+                    at: f.at,
+                    kind: f.kind.name(),
+                    op: f.op,
+                });
+            }
+        }
+        for w in sorted.windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            if a.op == b.op && b.at < a.at + a.count {
+                return Err(ChaosPlanError::OverlappingWindows {
+                    op: a.op,
+                    first_at: a.at,
+                    second_at: b.at,
+                });
+            }
+        }
+        Ok(FaultPlan { faults: sorted })
+    }
+
+    /// Generate a deterministic random schedule: same `seed` + `profile`
+    /// → same plan → same run, which is what makes a chaos failure
+    /// reproducible from its seed alone.
+    pub fn seeded(seed: u64, profile: &ChaosProfile) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut faults = Vec::new();
+        let burst = profile.max_burst.max(1);
+        for op in [FaultOp::Append, FaultOp::Read, FaultOp::Sync] {
+            let p = match op {
+                FaultOp::Append => profile.append_fail,
+                FaultOp::Read => profile.read_fail,
+                FaultOp::Sync => profile.sync_fail,
+            }
+            .clamp(0.0, 1.0);
+            if p == 0.0 {
+                continue;
+            }
+            let mut at = 0u64;
+            while at < profile.horizon {
+                if !rng.gen_bool(p) {
+                    at += 1;
+                    continue;
+                }
+                let count = rng.gen_range(1..=burst);
+                let kind = if op != FaultOp::Append {
+                    FaultKind::Fail
+                } else if rng.gen_bool(profile.bit_flip.clamp(0.0, 1.0)) {
+                    FaultKind::BitFlip {
+                        offset: rng.gen_range(0u64..1024),
+                        mask: 1 << rng.gen_range(0u32..8),
+                    }
+                } else if rng.gen_bool(profile.torn_fraction.clamp(0.0, 1.0)) {
+                    FaultKind::Torn {
+                        keep: rng.gen_range(0usize..48),
+                    }
+                } else {
+                    FaultKind::Fail
+                };
+                faults.push(Fault {
+                    op,
+                    at,
+                    count,
+                    kind,
+                });
+                at += count;
+            }
+        }
+        FaultPlan::scripted(faults).expect("seeded plans are non-overlapping by construction")
+    }
+
+    /// The scheduled windows, sorted per op.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    fn kind_for(&self, op: FaultOp, call: u64) -> Option<FaultKind> {
+        self.faults
+            .iter()
+            .find(|f| f.op == op && f.at <= call && call < f.at + f.count)
+            .map(|f| f.kind)
+    }
+}
+
+/// What a [`ChaosBackend`] observed and injected so far — the raw series
+/// behind retry counters and chaos-drill reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Total append calls (faulted included).
+    pub appends: u64,
+    /// Total read calls (faulted included).
+    pub reads: u64,
+    /// Total sync calls (faulted included).
+    pub syncs: u64,
+    /// Appends that suffered an injected fault of any kind.
+    pub append_faults: u64,
+    /// Reads that suffered an injected failure.
+    pub read_faults: u64,
+    /// Syncs that suffered an injected failure.
+    pub sync_faults: u64,
+    /// Of the append faults, how many were torn (partial bytes landed).
+    pub torn_writes: u64,
+    /// Of the append faults, how many silently flipped a stored bit.
+    pub bit_flips: u64,
+}
+
+/// A read-side mutation of stored bytes, emulating what the old
+/// `MemBackend` hooks did by mutating storage directly — but over *any*
+/// inner backend.
+#[derive(Debug, Clone, Copy)]
+enum Overlay {
+    /// XOR `mask` into the byte at `offset` of `segment` on every read.
+    Corrupt { segment: u32, offset: u64, mask: u8 },
+    /// Splice `removed` bytes out at `from` — the tail chop a crash
+    /// leaves. Bytes appended later still show up after the cut.
+    Truncate {
+        segment: u32,
+        from: u64,
+        removed: u64,
+    },
+}
+
+#[derive(Debug, Default)]
+struct ChaosState {
+    plan: FaultPlan,
+    /// Per-op call counters ([`FaultOp::index`] order), advanced on every
+    /// call whether or not it faults.
+    calls: [u64; 3],
+    /// Runtime one-shot faults, consulted before the plan (front first).
+    armed: [VecDeque<FaultKind>; 3],
+    overlays: Vec<Overlay>,
+    stats: ChaosStats,
+}
+
+impl ChaosState {
+    /// Count the call and decide its fate: a one-shot if armed, else the
+    /// plan's window for this call index.
+    fn dispatch(&mut self, op: FaultOp) -> Option<FaultKind> {
+        let i = op.index();
+        let call = self.calls[i];
+        self.calls[i] += 1;
+        match op {
+            FaultOp::Append => self.stats.appends += 1,
+            FaultOp::Read => self.stats.reads += 1,
+            FaultOp::Sync => self.stats.syncs += 1,
+        }
+        let kind = self.armed[i]
+            .pop_front()
+            .or_else(|| self.plan.kind_for(op, call));
+        if let Some(k) = kind {
+            match op {
+                FaultOp::Append => self.stats.append_faults += 1,
+                FaultOp::Read => self.stats.read_faults += 1,
+                FaultOp::Sync => self.stats.sync_faults += 1,
+            }
+            match k {
+                FaultKind::Torn { .. } => self.stats.torn_writes += 1,
+                FaultKind::BitFlip { .. } => self.stats.bit_flips += 1,
+                FaultKind::Fail => {}
+            }
+        }
+        kind
+    }
+}
+
+/// A [`LogBackend`] wrapper that injects the faults its [`FaultPlan`]
+/// schedules (plus any runtime one-shots and overlays) and passes
+/// everything else through to the wrapped backend. Cloning shares the
+/// plan state and counters — exactly like reopening the same flaky device.
+#[derive(Debug, Clone)]
+pub struct ChaosBackend {
+    inner: Arc<dyn LogBackend>,
+    state: Arc<Mutex<ChaosState>>,
+}
+
+impl ChaosBackend {
+    /// Wrap `inner`, executing `plan`.
+    pub fn new(inner: Arc<dyn LogBackend>, plan: FaultPlan) -> Self {
+        ChaosBackend {
+            inner,
+            state: Arc::new(Mutex::new(ChaosState {
+                plan,
+                ..ChaosState::default()
+            })),
+        }
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> Arc<dyn LogBackend> {
+        self.inner.clone()
+    }
+
+    /// Replace the plan and restart its per-op call indices at 0 (stats
+    /// and overlays are kept).
+    pub fn set_plan(&self, plan: FaultPlan) {
+        let mut s = self.lock();
+        s.plan = plan;
+        s.calls = [0; 3];
+    }
+
+    /// Counters so far (calls, injected faults, by shape).
+    pub fn stats(&self) -> ChaosStats {
+        self.lock().stats
+    }
+
+    /// Arm a one-shot torn append: the next append stores only its first
+    /// `keep` bytes and then reports failure. One-shots stack (FIFO) and
+    /// take precedence over the plan.
+    pub fn fail_next_append(&self, keep: usize) {
+        self.lock().armed[FaultOp::Append.index()].push_back(FaultKind::Torn { keep });
+    }
+
+    /// Arm a one-shot read failure.
+    pub fn fail_next_read(&self) {
+        self.lock().armed[FaultOp::Read.index()].push_back(FaultKind::Fail);
+    }
+
+    /// Arm a one-shot sync failure.
+    pub fn fail_next_sync(&self) {
+        self.lock().armed[FaultOp::Sync.index()].push_back(FaultKind::Fail);
+    }
+
+    /// Flip one stored bit as seen by every later read — the corruption
+    /// injector tests use to assert detection ([`LogError::Corrupt`]).
+    pub fn corrupt_byte(&self, segment: u32, offset: u64, mask: u8) {
+        self.lock().overlays.push(Overlay::Corrupt {
+            segment,
+            offset,
+            mask,
+        });
+    }
+
+    /// Chop `segment` down to `keep` bytes as seen by every later read —
+    /// the tail a crash mid-append leaves behind. Bytes appended *after*
+    /// the chop still read back (after the cut), matching a real
+    /// truncate-then-append history.
+    pub fn truncate_segment(&self, segment: u32, keep: u64) {
+        let len = self.inner.len(segment).unwrap_or(0);
+        let visible = self.visible_len(segment, len);
+        let removed = visible.saturating_sub(keep);
+        if removed == 0 {
+            return;
+        }
+        self.lock().overlays.push(Overlay::Truncate {
+            segment,
+            from: keep,
+            removed,
+        });
+    }
+
+    /// Apply this backend's overlays to raw bytes of `segment`.
+    fn overlay_bytes(&self, segment: u32, mut bytes: Vec<u8>) -> Vec<u8> {
+        for o in self.lock().overlays.iter() {
+            match *o {
+                Overlay::Corrupt {
+                    segment: s,
+                    offset,
+                    mask,
+                } if s == segment => {
+                    if let Some(b) = bytes.get_mut(offset as usize) {
+                        *b ^= mask;
+                    }
+                }
+                Overlay::Truncate {
+                    segment: s,
+                    from,
+                    removed,
+                } if s == segment => {
+                    let from = (from as usize).min(bytes.len());
+                    let end = (from + removed as usize).min(bytes.len());
+                    bytes.drain(from..end);
+                }
+                _ => {}
+            }
+        }
+        bytes
+    }
+
+    /// The post-overlay length of `segment`, given its raw length.
+    fn visible_len(&self, segment: u32, raw: u64) -> u64 {
+        let mut len = raw;
+        for o in self.lock().overlays.iter() {
+            if let Overlay::Truncate {
+                segment: s,
+                from,
+                removed,
+            } = *o
+            {
+                if s == segment {
+                    let end = (from + removed).min(len);
+                    len -= end.saturating_sub(from);
+                }
+            }
+        }
+        len
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, ChaosState> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn injected(op: &'static str, segment: u32) -> LogError {
+        LogError::Io {
+            operation: op,
+            segment,
+            cause: "chaos: injected failure".to_owned(),
+        }
+    }
+}
+
+impl LogBackend for ChaosBackend {
+    fn segments(&self) -> Result<u32, LogError> {
+        self.inner.segments()
+    }
+
+    fn first_segment(&self) -> Result<u32, LogError> {
+        self.inner.first_segment()
+    }
+
+    fn read(&self, segment: u32) -> Result<Vec<u8>, LogError> {
+        if self.lock().dispatch(FaultOp::Read).is_some() {
+            return Err(Self::injected("read segment", segment));
+        }
+        Ok(self.overlay_bytes(segment, self.inner.read(segment)?))
+    }
+
+    fn append(&self, segment: u32, bytes: &[u8]) -> Result<(), LogError> {
+        match self.lock().dispatch(FaultOp::Append) {
+            None => self.inner.append(segment, bytes),
+            Some(FaultKind::Fail) => Err(Self::injected("append", segment)),
+            Some(FaultKind::Torn { keep }) => {
+                // The partial bytes land (as on a real device), but the
+                // write is never acknowledged.
+                self.inner
+                    .append(segment, &bytes[..keep.min(bytes.len())])?;
+                Err(LogError::Io {
+                    operation: "append",
+                    segment,
+                    cause: "chaos: injected mid-write failure".to_owned(),
+                })
+            }
+            Some(FaultKind::BitFlip { offset, mask }) => {
+                let mut flipped = bytes.to_vec();
+                if !flipped.is_empty() {
+                    let i = (offset % flipped.len() as u64) as usize;
+                    flipped[i] ^= mask.max(1);
+                }
+                // Silent: the append is acknowledged with bad bytes down.
+                self.inner.append(segment, &flipped)
+            }
+        }
+    }
+
+    fn len(&self, segment: u32) -> Result<u64, LogError> {
+        Ok(self.visible_len(segment, self.inner.len(segment)?))
+    }
+
+    fn remove_below(&self, segment: u32) -> Result<(), LogError> {
+        self.inner.remove_below(segment)
+    }
+
+    fn sync(&self, segment: u32) -> Result<(), LogError> {
+        if self.lock().dispatch(FaultOp::Sync).is_some() {
+            return Err(Self::injected("sync", segment));
+        }
+        self.inner.sync(segment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemBackend;
+
+    fn chaos(plan: FaultPlan) -> (MemBackend, ChaosBackend) {
+        let mem = MemBackend::new();
+        (mem.clone(), ChaosBackend::new(Arc::new(mem), plan))
+    }
+
+    #[test]
+    fn clean_plan_is_a_transparent_wrapper() {
+        let (_, b) = chaos(FaultPlan::none());
+        b.append(0, b"hello ").unwrap();
+        b.append(0, b"world").unwrap();
+        assert_eq!(b.read(0).unwrap(), b"hello world");
+        assert_eq!(b.len(0).unwrap(), 11);
+        b.sync(0).unwrap();
+        let s = b.stats();
+        assert_eq!((s.appends, s.reads, s.syncs), (2, 1, 1));
+        assert_eq!((s.append_faults, s.read_faults, s.sync_faults), (0, 0, 0));
+    }
+
+    #[test]
+    fn scripted_windows_hit_exactly_their_call_indices() {
+        let plan = FaultPlan::scripted(vec![
+            Fault {
+                op: FaultOp::Append,
+                at: 1,
+                count: 2,
+                kind: FaultKind::Fail,
+            },
+            Fault {
+                op: FaultOp::Sync,
+                at: 0,
+                count: 1,
+                kind: FaultKind::Fail,
+            },
+        ])
+        .unwrap();
+        let (mem, b) = chaos(plan);
+        b.append(0, b"a").unwrap(); // call 0: clean
+        assert!(b.append(0, b"b").is_err()); // 1: window
+        assert!(b.append(0, b"c").is_err()); // 2: window
+        b.append(0, b"d").unwrap(); // 3: clean again
+        assert_eq!(mem.read(0).unwrap(), b"ad", "failed appends stored nothing");
+        assert!(b.sync(0).is_err());
+        b.sync(0).unwrap();
+        let s = b.stats();
+        assert_eq!((s.append_faults, s.sync_faults), (2, 1));
+    }
+
+    #[test]
+    fn torn_append_stores_a_prefix_and_reports_failure() {
+        let (mem, b) = chaos(FaultPlan::none());
+        b.append(0, b"committed").unwrap();
+        b.fail_next_append(3);
+        let err = b.append(0, b"DOOMED").unwrap_err();
+        assert!(matches!(
+            err,
+            LogError::Io {
+                operation: "append",
+                ..
+            }
+        ));
+        // The partial bytes are there (as on a real device), but the
+        // write was never acknowledged.
+        assert_eq!(mem.read(0).unwrap(), b"committedDOO");
+        // The one-shot is spent: the retry goes through.
+        b.append(1, b"retried").unwrap();
+        assert_eq!(b.read(1).unwrap(), b"retried");
+        assert_eq!(b.stats().torn_writes, 1);
+    }
+
+    #[test]
+    fn bit_flip_is_silent_and_corrupts_one_byte() {
+        let plan = FaultPlan::scripted(vec![Fault {
+            op: FaultOp::Append,
+            at: 0,
+            count: 1,
+            kind: FaultKind::BitFlip {
+                offset: 2,
+                mask: 0x01,
+            },
+        }])
+        .unwrap();
+        let (_, b) = chaos(plan);
+        b.append(0, b"abcd").unwrap(); // acknowledged!
+        assert_eq!(b.read(0).unwrap(), b"ab\x62d");
+        assert_eq!(b.stats().bit_flips, 1);
+    }
+
+    #[test]
+    fn read_overlays_replace_the_old_mem_backend_hooks() {
+        let (mem, b) = chaos(FaultPlan::none());
+        b.append(0, b"0123456789").unwrap();
+        // Corrupt: reads see the flip; the store is untouched.
+        b.corrupt_byte(0, 4, 0xFF);
+        assert_eq!(b.read(0).unwrap()[4], b'4' ^ 0xFF);
+        assert_eq!(mem.read(0).unwrap()[4], b'4');
+        // Truncate: reads and len see the chop; later appends land after it.
+        b.truncate_segment(0, 8);
+        assert_eq!(b.len(0).unwrap(), 8);
+        b.append(0, b"XY").unwrap();
+        let back = b.read(0).unwrap();
+        assert_eq!(back.len(), 10);
+        assert_eq!(&back[8..], b"XY");
+    }
+
+    #[test]
+    fn one_shot_read_and_sync_failures() {
+        let (_, b) = chaos(FaultPlan::none());
+        b.append(0, b"x").unwrap();
+        b.fail_next_read();
+        assert!(b.read(0).is_err());
+        assert_eq!(b.read(0).unwrap(), b"x");
+        b.fail_next_sync();
+        assert!(b.sync(0).is_err());
+        b.sync(0).unwrap();
+    }
+
+    #[test]
+    fn scripted_validation_rejects_bad_plans() {
+        let torn_on_read = FaultPlan::scripted(vec![Fault {
+            op: FaultOp::Read,
+            at: 0,
+            count: 1,
+            kind: FaultKind::Torn { keep: 1 },
+        }]);
+        assert_eq!(
+            torn_on_read.unwrap_err(),
+            ChaosPlanError::KindRequiresAppend {
+                at: 0,
+                kind: "torn write",
+                op: FaultOp::Read,
+            }
+        );
+        let empty = FaultPlan::scripted(vec![Fault {
+            op: FaultOp::Sync,
+            at: 3,
+            count: 0,
+            kind: FaultKind::Fail,
+        }]);
+        assert_eq!(
+            empty.unwrap_err(),
+            ChaosPlanError::EmptyWindow {
+                at: 3,
+                op: FaultOp::Sync
+            }
+        );
+        let overlap = FaultPlan::scripted(vec![
+            Fault {
+                op: FaultOp::Append,
+                at: 0,
+                count: 3,
+                kind: FaultKind::Fail,
+            },
+            Fault {
+                op: FaultOp::Append,
+                at: 2,
+                count: 1,
+                kind: FaultKind::Fail,
+            },
+        ]);
+        assert_eq!(
+            overlap.unwrap_err(),
+            ChaosPlanError::OverlappingWindows {
+                op: FaultOp::Append,
+                first_at: 0,
+                second_at: 2,
+            }
+        );
+    }
+
+    #[test]
+    fn chaos_plan_errors_display_their_details() {
+        // Exhaustive: one row per variant, each rendering its payload.
+        let table = [
+            (
+                ChaosPlanError::KindRequiresAppend {
+                    at: 7,
+                    kind: "bit-flip",
+                    op: FaultOp::Sync,
+                },
+                vec!["bit-flip", "7", "sync", "append"],
+            ),
+            (
+                ChaosPlanError::EmptyWindow {
+                    at: 9,
+                    op: FaultOp::Read,
+                },
+                vec!["read", "9", "count 0"],
+            ),
+            (
+                ChaosPlanError::OverlappingWindows {
+                    op: FaultOp::Append,
+                    first_at: 4,
+                    second_at: 5,
+                },
+                vec!["append", "4", "5", "overlap"],
+            ),
+        ];
+        for (err, needles) in table {
+            // The exhaustive match keeps this test honest when variants
+            // are added: extend the table or fail to compile.
+            match &err {
+                ChaosPlanError::KindRequiresAppend { .. }
+                | ChaosPlanError::EmptyWindow { .. }
+                | ChaosPlanError::OverlappingWindows { .. } => {}
+            }
+            let shown = err.to_string();
+            for needle in needles {
+                assert!(
+                    shown.contains(needle),
+                    "{shown:?} should contain {needle:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_valid() {
+        let profile = ChaosProfile::default();
+        let a = FaultPlan::seeded(42, &profile);
+        let b = FaultPlan::seeded(42, &profile);
+        assert_eq!(a, b, "same seed, same plan");
+        let c = FaultPlan::seeded(43, &profile);
+        assert_ne!(a, c, "different seeds diverge");
+        assert!(
+            !a.faults().is_empty(),
+            "the default profile over 256 calls schedules something"
+        );
+        // No bit-flips unless explicitly asked for: they corrupt
+        // acknowledged records, which recovery by design cannot survive.
+        assert!(a
+            .faults()
+            .iter()
+            .all(|f| !matches!(f.kind, FaultKind::BitFlip { .. })));
+        // And identical *behavior*, not just identical plans.
+        let (_, ba) = chaos(a);
+        let (_, bb) = chaos(b);
+        for i in 0..32u32 {
+            let bytes = format!("record {i}");
+            assert_eq!(
+                ba.append(0, bytes.as_bytes()).is_ok(),
+                bb.append(0, bytes.as_bytes()).is_ok()
+            );
+        }
+        assert_eq!(ba.stats(), bb.stats());
+    }
+
+    #[test]
+    fn clones_share_the_schedule() {
+        let plan = FaultPlan::scripted(vec![Fault {
+            op: FaultOp::Append,
+            at: 1,
+            count: 1,
+            kind: FaultKind::Fail,
+        }])
+        .unwrap();
+        let (_, b) = chaos(plan);
+        let clone = b.clone();
+        b.append(0, b"a").unwrap(); // call 0 via the original
+        assert!(clone.append(0, b"b").is_err(), "call 1 via the clone");
+        assert_eq!(b.stats().append_faults, 1);
+    }
+}

@@ -33,6 +33,14 @@
 //!   or batched group-commit barriers — one backend `sync` covering every
 //!   record appended since the last barrier, issued when the window's
 //!   `max_batch`/`max_delay` closes.
+//! * **Fault tolerance** ([`chaos`], [`RetryPolicy`]) — a deterministic
+//!   fault-injection wrapper over any backend ([`ChaosBackend`] executing
+//!   a scripted or seeded [`FaultPlan`] of append/read/sync failures, torn
+//!   writes and bit-flips), plus bounded exponential-backoff retry with
+//!   deterministic jitter on the append/sync paths
+//!   ([`CommitLog::set_retry_policy`]); a failed policy-driven barrier
+//!   becomes *sync debt* ([`CommitLog::sync_debt`]) rather than failing an
+//!   already-stored append.
 //! * **Compaction** ([`CommitLog::compact`], [`RetentionPin`]) — every
 //!   checkpoint starts a fresh segment, so whole segments behind the
 //!   newest checkpoint can be dropped once no registered follower
@@ -62,14 +70,20 @@
 //! ```
 
 pub mod backend;
+pub mod chaos;
 pub mod codec;
 pub mod error;
 mod log;
 pub mod record;
 mod replay;
+mod retry;
 
 pub use backend::{FileBackend, LogBackend, MemBackend};
+pub use chaos::{
+    ChaosBackend, ChaosPlanError, ChaosProfile, ChaosStats, Fault, FaultKind, FaultOp, FaultPlan,
+};
 pub use error::LogError;
 pub use log::{CommitLog, Compaction, DurabilityMode, RetentionPin, DEFAULT_SEGMENT_BYTES};
 pub use record::Record;
 pub use replay::{LogSummary, Replayed, Replayer};
+pub use retry::RetryPolicy;

@@ -8,7 +8,10 @@ use crate::record::{
     check_segment_header, read_frame, segment_header, RawFrame, RawFramed, Record,
     SEGMENT_HEADER_BYTES,
 };
+use crate::retry::RetryPolicy;
 use igc_graph::{DynamicGraph, UpdateBatch};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
@@ -254,6 +257,19 @@ pub struct CommitLog {
     /// Barriers issued so far (for observability: fsyncs ÷ appends is the
     /// measured group-commit batching factor).
     syncs: u64,
+    /// Retry schedule for transient append/sync failures (default
+    /// [`RetryPolicy::none`]: fail on the first error).
+    retry: RetryPolicy,
+    /// Jitter PRNG, seeded from the policy so backoff timing is
+    /// deterministic per run.
+    retry_rng: StdRng,
+    /// Transient append failures absorbed by retries so far.
+    append_retries: u64,
+    /// Transient sync failures absorbed by retries so far.
+    sync_retries: u64,
+    /// The error a failed *policy-driven* barrier left behind, while the
+    /// debt is outstanding (see [`CommitLog::sync_debt`]).
+    sync_debt: Option<LogError>,
 }
 
 impl CommitLog {
@@ -265,6 +281,7 @@ impl CommitLog {
         if segments != 0 {
             return Err(LogError::NotEmpty { segments });
         }
+        let retry = RetryPolicy::none();
         Ok(CommitLog {
             backend,
             segment_bytes: DEFAULT_SEGMENT_BYTES,
@@ -279,6 +296,11 @@ impl CommitLog {
             unsynced: 0,
             first_unsynced: None,
             syncs: 0,
+            retry_rng: StdRng::seed_from_u64(retry.seed),
+            retry,
+            append_retries: 0,
+            sync_retries: 0,
+            sync_debt: None,
         })
     }
 
@@ -305,6 +327,7 @@ impl CommitLog {
             }
             last_epoch = Some(r.epoch);
         }
+        let retry = RetryPolicy::none();
         Ok(CommitLog {
             backend,
             segment_bytes: DEFAULT_SEGMENT_BYTES,
@@ -319,6 +342,11 @@ impl CommitLog {
             unsynced: 0,
             first_unsynced: None,
             syncs: 0,
+            retry_rng: StdRng::seed_from_u64(retry.seed),
+            retry,
+            append_retries: 0,
+            sync_retries: 0,
+            sync_debt: None,
         })
     }
 
@@ -379,35 +407,45 @@ impl CommitLog {
 
     fn write(&mut self, record: &Record) -> Result<(), LogError> {
         let framed = record.encode_framed();
-        let segments = self.backend.segments()?;
-        let fresh = self.force_fresh_segment
-            || segments == 0
-            || self.backend.len(segments - 1)? >= self.segment_bytes;
-        let target = if fresh { segments } else { segments - 1 };
-        let result = if fresh {
-            // Header and record go down in one atomic append, so a
-            // concurrent reader (or a crash) never sees a headered-but-
-            // empty segment with committed data pending.
-            let mut bytes = segment_header().to_vec();
-            bytes.extend_from_slice(&framed);
-            self.backend.append(segments, &bytes)
-        } else {
-            self.backend.append(segments - 1, &framed)
-        };
-        match result {
-            Ok(()) => {
-                self.force_fresh_segment = false;
-                self.apply_durability(target)
-            }
-            Err(e) => {
-                // The failed append may have left *partial* bytes in the
-                // target segment (write_all can die mid-way). Appending
-                // another record after them would bury committed data
-                // behind garbage mid-segment — unrecoverable corruption.
-                // Rotating turns the partial bytes into an ordinary torn
-                // tail every scan skips.
-                self.force_fresh_segment = true;
-                Err(e)
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let segments = self.backend.segments()?;
+            let fresh = self.force_fresh_segment
+                || segments == 0
+                || self.backend.len(segments - 1)? >= self.segment_bytes;
+            let target = if fresh { segments } else { segments - 1 };
+            let result = if fresh {
+                // Header and record go down in one atomic append, so a
+                // concurrent reader (or a crash) never sees a headered-but-
+                // empty segment with committed data pending.
+                let mut bytes = segment_header().to_vec();
+                bytes.extend_from_slice(&framed);
+                self.backend.append(segments, &bytes)
+            } else {
+                self.backend.append(segments - 1, &framed)
+            };
+            match result {
+                Ok(()) => {
+                    self.force_fresh_segment = false;
+                    return self.apply_durability(target);
+                }
+                Err(e) => {
+                    // The failed append may have left *partial* bytes in the
+                    // target segment (write_all can die mid-way). Appending
+                    // another record after them would bury committed data
+                    // behind garbage mid-segment — unrecoverable corruption.
+                    // Rotating turns the partial bytes into an ordinary torn
+                    // tail every scan skips — which also makes each retry
+                    // attempt below land in a fresh segment past the garbage
+                    // of the previous one.
+                    self.force_fresh_segment = true;
+                    if attempt >= self.retry.max_attempts.max(1) || !RetryPolicy::is_transient(&e) {
+                        return Err(e);
+                    }
+                    self.append_retries += 1;
+                    std::thread::sleep(self.retry.delay(attempt - 1, &mut self.retry_rng));
+                }
             }
         }
     }
@@ -438,7 +476,17 @@ impl CommitLog {
             }
         };
         if due {
-            self.sync()?;
+            // A failed policy-driven barrier must not fail the append: the
+            // record is already stored and the caller will advance the
+            // epoch chain, so an error here would make a correct caller
+            // retry an append that *succeeded* — appending the same epoch
+            // twice and corrupting the chain. The un-flushed segments stay
+            // dirty (a later barrier retries them); the failure is
+            // surfaced as sync debt for the caller to observe and settle
+            // ([`CommitLog::sync_debt`]).
+            if let Err(e) = self.sync() {
+                self.sync_debt = Some(e);
+            }
         }
         Ok(())
     }
@@ -458,23 +506,84 @@ impl CommitLog {
 
     /// Force a durability barrier right now: [`LogBackend::sync`] every
     /// segment appended to since the last barrier, oldest first. A no-op
-    /// (and no `syncs()` increment) when nothing is pending. On failure
-    /// the un-flushed segments stay pending, so a later barrier retries
-    /// them.
+    /// (and no `syncs()` increment) when nothing is pending. Transient
+    /// failures are retried per the [`RetryPolicy`]; on final failure the
+    /// un-flushed segments stay pending, so a later barrier retries them.
+    /// Success settles any outstanding sync debt.
     pub fn sync(&mut self) -> Result<(), LogError> {
         if self.dirty.is_empty() {
             self.unsynced = 0;
             self.first_unsynced = None;
+            self.sync_debt = None;
             return Ok(());
         }
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            match self.sync_dirty() {
+                Ok(()) => {
+                    self.unsynced = 0;
+                    self.first_unsynced = None;
+                    self.syncs += 1;
+                    self.sync_debt = None;
+                    return Ok(());
+                }
+                Err(e) => {
+                    if attempt >= self.retry.max_attempts.max(1) || !RetryPolicy::is_transient(&e) {
+                        return Err(e);
+                    }
+                    self.sync_retries += 1;
+                    std::thread::sleep(self.retry.delay(attempt - 1, &mut self.retry_rng));
+                }
+            }
+        }
+    }
+
+    /// One pass over the dirty segments; on failure the remainder stays
+    /// pending (already-flushed segments are not re-synced by a retry).
+    fn sync_dirty(&mut self) -> Result<(), LogError> {
         while let Some(&seg) = self.dirty.first() {
             self.backend.sync(seg)?;
             self.dirty.remove(0);
         }
-        self.unsynced = 0;
-        self.first_unsynced = None;
-        self.syncs += 1;
         Ok(())
+    }
+
+    /// Set the retry schedule for transient append/sync failures (default
+    /// [`RetryPolicy::none`]: fail on the first error — the pre-retry
+    /// behavior). Re-seeds the jitter PRNG from the policy's seed, so
+    /// setting the same policy twice replays the same backoff stream.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry_rng = StdRng::seed_from_u64(policy.seed);
+        self.retry = policy;
+    }
+
+    /// The active retry schedule.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Transient append failures absorbed by retries so far (the series
+    /// behind the `log_retries` receipt counter).
+    pub fn append_retries(&self) -> u64 {
+        self.append_retries
+    }
+
+    /// Transient sync failures absorbed by retries so far.
+    pub fn sync_retries(&self) -> u64 {
+        self.sync_retries
+    }
+
+    /// The error the last failed *policy-driven* barrier left behind,
+    /// while the debt is outstanding. The appended records are stored and
+    /// the epoch chain advanced — only durability lags; the dirty
+    /// segments stay pending and the next successful [`CommitLog::sync`]
+    /// (explicit or policy-driven) settles the debt. This is how append
+    /// acknowledgement is kept separate from barrier failure: failing the
+    /// append after its bytes landed would push callers into appending
+    /// the same epoch twice.
+    pub fn sync_debt(&self) -> Option<&LogError> {
+        self.sync_debt.as_ref()
     }
 
     /// Durability barriers issued so far ([`CommitLog::sync`] calls that
@@ -623,6 +732,7 @@ impl CommitLog {
 mod tests {
     use super::*;
     use crate::backend::MemBackend;
+    use crate::chaos::{ChaosBackend, FaultPlan};
     use igc_graph::graph::graph_from;
     use igc_graph::{NodeId, Update};
 
@@ -634,6 +744,14 @@ mod tests {
         let b = MemBackend::new();
         let arc: Arc<dyn LogBackend> = Arc::new(b.clone());
         (b, arc)
+    }
+
+    /// A quiet chaos wrapper over a fresh `MemBackend` — the shared
+    /// injector for every fault-shaped test below.
+    fn chaos_backend() -> (ChaosBackend, Arc<dyn LogBackend>) {
+        let c = ChaosBackend::new(Arc::new(MemBackend::new()), FaultPlan::none());
+        let arc: Arc<dyn LogBackend> = Arc::new(c.clone());
+        (c, arc)
     }
 
     #[test]
@@ -739,7 +857,7 @@ mod tests {
 
     #[test]
     fn torn_tail_is_skipped_and_writes_rotate_past_it() {
-        let (mem, arc) = backend();
+        let (chaos, arc) = chaos_backend();
         let mut log = CommitLog::create(arc.clone()).unwrap();
         let mut g = graph_from(&[0, 0], &[]);
         log.append_checkpoint(&g).unwrap();
@@ -747,55 +865,22 @@ mod tests {
         g.apply_batch(&b);
         log.append_delta(1, &b).unwrap();
         // Simulate a crash mid-append: chop the last record in half.
-        let full = mem.len(0).unwrap();
-        mem.truncate_segment(0, full - 5);
+        let full = chaos.len(0).unwrap();
+        chaos.truncate_segment(0, full - 5);
 
         let mut reopened = CommitLog::open(arc.clone()).unwrap();
         assert_eq!(reopened.last_epoch(), Some(0), "torn delta never committed");
         // The re-appended delta lands in a fresh segment, past the garbage.
         reopened.append_delta(1, &b).unwrap();
-        assert_eq!(mem.segments().unwrap(), 2);
+        assert_eq!(chaos.segments().unwrap(), 2);
         let scanned = scan(&*arc).unwrap();
         assert_eq!(scanned.records.len(), 2);
         assert_eq!(scanned.torn_tails, 1);
     }
 
-    /// Fault injector: when armed, the next append writes only *half* its
-    /// bytes into the inner store and then reports failure — the shape a
-    /// mid-write `ENOSPC` leaves on disk.
-    #[derive(Debug, Clone, Default)]
-    struct HalfWriteBackend {
-        inner: MemBackend,
-        armed: Arc<std::sync::atomic::AtomicBool>,
-    }
-
-    impl LogBackend for HalfWriteBackend {
-        fn segments(&self) -> Result<u32, LogError> {
-            self.inner.segments()
-        }
-        fn read(&self, segment: u32) -> Result<Vec<u8>, LogError> {
-            self.inner.read(segment)
-        }
-        fn append(&self, segment: u32, bytes: &[u8]) -> Result<(), LogError> {
-            if self.armed.swap(false, std::sync::atomic::Ordering::SeqCst) {
-                self.inner.append(segment, &bytes[..bytes.len() / 2])?;
-                return Err(LogError::Io {
-                    operation: "append",
-                    segment,
-                    cause: "injected mid-write failure".to_owned(),
-                });
-            }
-            self.inner.append(segment, bytes)
-        }
-        fn len(&self, segment: u32) -> Result<u64, LogError> {
-            self.inner.len(segment)
-        }
-    }
-
     #[test]
     fn partial_append_failure_rotates_instead_of_corrupting() {
-        let half = HalfWriteBackend::default();
-        let arc: Arc<dyn LogBackend> = Arc::new(half.clone());
+        let (chaos, arc) = chaos_backend();
         let mut log = CommitLog::create(arc.clone()).unwrap();
         let mut g = graph_from(&[0, 0, 0], &[]);
         log.append_checkpoint(&g).unwrap();
@@ -803,8 +888,8 @@ mod tests {
         g.apply_batch(&b1);
         log.append_delta(1, &b1).unwrap();
 
-        // A mid-write failure leaves half a record in the tail segment.
-        half.armed.store(true, std::sync::atomic::Ordering::SeqCst);
+        // A mid-write failure leaves part of a record in the tail segment.
+        chaos.fail_next_append(11);
         let b2 = delta(vec![Update::insert(NodeId(1), NodeId(2))]);
         assert!(log.append_delta(2, &b2).is_err());
         assert_eq!(log.last_epoch(), Some(1), "failed append never committed");
@@ -814,7 +899,7 @@ mod tests {
         // tail, and the whole chain stays scannable.
         g.apply_batch(&b2);
         log.append_delta(2, &b2).unwrap();
-        assert_eq!(half.inner.segments().unwrap(), 2, "retry rotated");
+        assert_eq!(chaos.segments().unwrap(), 2, "retry rotated");
         let scanned = scan(&*arc).unwrap();
         assert_eq!(scanned.records.len(), 3);
         assert_eq!(scanned.torn_tails, 1);
@@ -824,6 +909,100 @@ mod tests {
         let replayed = reopened.replayer().latest().unwrap();
         assert_eq!(replayed.graph.epoch(), 2);
         assert_eq!(replayed.graph.sorted_edges(), g.sorted_edges());
+    }
+
+    #[test]
+    fn retry_policy_absorbs_a_transient_append_window() {
+        let (chaos, arc) = chaos_backend();
+        let mut log = CommitLog::create(arc.clone()).unwrap();
+        log.set_retry_policy(RetryPolicy::retries(3).with_delays(Duration::ZERO, Duration::ZERO));
+        let mut g = graph_from(&[0, 0, 0], &[]);
+        log.append_checkpoint(&g).unwrap();
+        // Two consecutive torn appends, then the device recovers: well
+        // inside the 4-attempt budget, so the caller never sees an error.
+        chaos.fail_next_append(9);
+        chaos.fail_next_append(5);
+        let b = delta(vec![Update::insert(NodeId(0), NodeId(1))]);
+        g.apply_batch(&b);
+        log.append_delta(1, &b).unwrap();
+        assert_eq!(log.last_epoch(), Some(1));
+        assert_eq!(log.append_retries(), 2);
+        // Each failed attempt rotated past its own garbage: the committed
+        // record lives alone in the third segment, and the chain replays.
+        assert_eq!(chaos.segments().unwrap(), 3);
+        let scanned = scan(&*arc).unwrap();
+        assert_eq!(scanned.records.len(), 2);
+        assert_eq!(scanned.torn_tails, 2);
+        let replayed = log.replayer().latest().unwrap();
+        assert_eq!(replayed.graph.sorted_edges(), g.sorted_edges());
+    }
+
+    #[test]
+    fn retry_exhaustion_surfaces_the_transient_error() {
+        let (chaos, arc) = chaos_backend();
+        let mut log = CommitLog::create(arc).unwrap();
+        log.set_retry_policy(RetryPolicy::retries(2).with_delays(Duration::ZERO, Duration::ZERO));
+        let g = graph_from(&[0, 0], &[]);
+        // A persistent outage covering the whole 3-attempt budget.
+        for _ in 0..3 {
+            chaos.fail_next_append(0);
+        }
+        let err = log.append_checkpoint(&g).unwrap_err();
+        assert!(matches!(err, LogError::Io { .. }));
+        assert_eq!(log.append_retries(), 2, "both retries were spent");
+        assert_eq!(log.last_epoch(), None, "nothing was committed");
+        // The outage ends: the same checkpoint goes through unchanged.
+        log.append_checkpoint(&g).unwrap();
+        assert_eq!(log.last_epoch(), Some(0));
+    }
+
+    #[test]
+    fn fatal_errors_are_never_retried() {
+        let (_, arc) = backend();
+        let mut log = CommitLog::create(arc).unwrap();
+        log.set_retry_policy(RetryPolicy::retries(5));
+        let g = graph_from(&[0, 0], &[]);
+        log.append_checkpoint(&g).unwrap();
+        // An epoch-chain violation is the caller's bug, not the device's
+        // weather: it must surface immediately, with no retries burned.
+        let b = delta(vec![Update::insert(NodeId(0), NodeId(1))]);
+        assert_eq!(
+            log.append_delta(7, &b).unwrap_err(),
+            LogError::EpochGap {
+                expected: 1,
+                found: 7
+            }
+        );
+        assert_eq!(log.append_retries(), 0);
+    }
+
+    #[test]
+    fn failed_policy_barrier_becomes_sync_debt_not_an_append_error() {
+        let (chaos, arc) = chaos_backend();
+        let mut log = CommitLog::create(arc).unwrap();
+        log.set_durability(DurabilityMode::EveryAppend);
+        let mut g = graph_from(&[0, 0], &[]);
+        log.append_checkpoint(&g).unwrap();
+        assert!(log.sync_debt().is_none());
+
+        // The append lands, then its policy-driven barrier dies. Failing
+        // the append here would push a correct caller into re-appending
+        // epoch 1 — an on-disk chain violation — so the append must
+        // succeed and the failure must park as debt.
+        chaos.fail_next_sync();
+        let b = delta(vec![Update::insert(NodeId(0), NodeId(1))]);
+        g.apply_batch(&b);
+        log.append_delta(1, &b).unwrap();
+        assert_eq!(log.last_epoch(), Some(1), "the record is committed");
+        assert!(log.sync_debt().is_some(), "the barrier failure is visible");
+        assert!(log.unsynced_appends() > 0, "the window is still open");
+
+        // An explicit barrier settles the debt (the dirty segment was
+        // still pending).
+        log.sync().unwrap();
+        assert!(log.sync_debt().is_none());
+        assert_eq!(log.unsynced_appends(), 0);
+        assert_eq!(chaos.stats().sync_faults, 1);
     }
 
     /// A scripted history with periodic checkpoints: checkpoint at 0,
@@ -952,39 +1131,11 @@ mod tests {
         assert_eq!(log.pinned_frontier(), Some(6));
     }
 
-    /// A backend that counts `sync` barriers and remembers how many bytes
-    /// each barrier covered since the previous one.
-    #[derive(Debug, Clone, Default)]
-    struct SyncCountingBackend {
-        inner: MemBackend,
-        syncs: Arc<std::sync::atomic::AtomicU64>,
-    }
-
-    impl LogBackend for SyncCountingBackend {
-        fn segments(&self) -> Result<u32, LogError> {
-            self.inner.segments()
-        }
-        fn read(&self, segment: u32) -> Result<Vec<u8>, LogError> {
-            self.inner.read(segment)
-        }
-        fn append(&self, segment: u32, bytes: &[u8]) -> Result<(), LogError> {
-            self.inner.append(segment, bytes)
-        }
-        fn len(&self, segment: u32) -> Result<u64, LogError> {
-            self.inner.len(segment)
-        }
-        fn sync(&self, _segment: u32) -> Result<(), LogError> {
-            self.syncs.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-            Ok(())
-        }
-    }
-
-    /// A scripted run of `n` deltas against a sync-counting backend under
-    /// the given durability mode; returns backend-observed sync calls and
-    /// the log's own barrier count.
-    fn durability_run(mode: DurabilityMode, n: u32) -> (SyncCountingBackend, CommitLog) {
-        let counting = SyncCountingBackend::default();
-        let arc: Arc<dyn LogBackend> = Arc::new(counting.clone());
+    /// A scripted run of `n` deltas against a sync-counting (quiet chaos)
+    /// backend under the given durability mode; returns backend-observed
+    /// sync calls and the log's own barrier count.
+    fn durability_run(mode: DurabilityMode, n: u32) -> (ChaosBackend, CommitLog) {
+        let (counting, arc) = chaos_backend();
         let mut log = CommitLog::create(arc).unwrap();
         log.set_durability(mode);
         let mut g = graph_from(&[0, 0, 0], &[]);
@@ -1007,11 +1158,7 @@ mod tests {
         let (backend, log) = durability_run(DurabilityMode::EveryAppend, 6);
         // 1 checkpoint + 6 deltas, one barrier each.
         assert_eq!(log.syncs(), 7);
-        assert_eq!(
-            backend.syncs.load(std::sync::atomic::Ordering::SeqCst),
-            7,
-            "one backend sync per record"
-        );
+        assert_eq!(backend.stats().syncs, 7, "one backend sync per record");
         assert_eq!(log.unsynced_appends(), 0);
     }
 
@@ -1025,7 +1172,7 @@ mod tests {
         // 7 appends with a barrier every 4th: barriers after appends 4 and
         // 8 → only one fired, 3 records still pending.
         assert_eq!(log.syncs(), 1);
-        assert_eq!(backend.syncs.load(std::sync::atomic::Ordering::SeqCst), 1);
+        assert_eq!(backend.stats().syncs, 1);
         assert_eq!(log.unsynced_appends(), 3);
         // An explicit barrier flushes the pending window…
         log.sync().unwrap();
@@ -1038,8 +1185,7 @@ mod tests {
 
     #[test]
     fn group_commit_max_delay_closes_a_stale_window() {
-        let counting = SyncCountingBackend::default();
-        let arc: Arc<dyn LogBackend> = Arc::new(counting.clone());
+        let (_, arc) = chaos_backend();
         let mut log = CommitLog::create(arc).unwrap();
         log.set_durability(DurabilityMode::GroupCommit {
             max_batch: 1_000_000,
@@ -1060,18 +1206,17 @@ mod tests {
     fn durability_none_never_barriers_but_explicit_sync_flushes() {
         let (backend, mut log) = durability_run(DurabilityMode::None, 5);
         assert_eq!(log.syncs(), 0);
-        assert_eq!(backend.syncs.load(std::sync::atomic::Ordering::SeqCst), 0);
+        assert_eq!(backend.stats().syncs, 0);
         assert_eq!(log.unsynced_appends(), 6);
         log.sync().unwrap();
         assert_eq!(log.syncs(), 1);
-        assert!(backend.syncs.load(std::sync::atomic::Ordering::SeqCst) >= 1);
+        assert!(backend.stats().syncs >= 1);
         assert_eq!(log.unsynced_appends(), 0);
     }
 
     #[test]
     fn barriers_cover_rotated_segments_too() {
-        let counting = SyncCountingBackend::default();
-        let arc: Arc<dyn LogBackend> = Arc::new(counting.clone());
+        let (counting, arc) = chaos_backend();
         let mut log = CommitLog::create(arc.clone()).unwrap();
         log.set_segment_bytes(1024);
         log.set_durability(DurabilityMode::GroupCommit {
@@ -1094,7 +1239,7 @@ mod tests {
         // One explicit barrier covers every dirty segment of the window.
         log.sync().unwrap();
         assert_eq!(log.syncs(), 1);
-        let backend_syncs = counting.syncs.load(std::sync::atomic::Ordering::SeqCst) as u32;
+        let backend_syncs = counting.stats().syncs as u32;
         assert_eq!(
             backend_syncs,
             arc.segments().unwrap(),
@@ -1105,7 +1250,7 @@ mod tests {
 
     #[test]
     fn corruption_is_detected_not_skipped() {
-        let (mem, arc) = backend();
+        let (chaos, arc) = chaos_backend();
         let mut log = CommitLog::create(arc.clone()).unwrap();
         let mut g = graph_from(&[0, 0], &[]);
         log.append_checkpoint(&g).unwrap();
@@ -1113,10 +1258,46 @@ mod tests {
         g.apply_batch(&b);
         log.append_delta(1, &b).unwrap();
         // Flip one payload bit in the middle of the segment.
-        let len = mem.len(0).unwrap();
-        mem.corrupt_byte(0, len / 2, 0x10);
+        let len = chaos.len(0).unwrap();
+        chaos.corrupt_byte(0, len / 2, 0x10);
         match CommitLog::open(arc).unwrap_err() {
             LogError::Corrupt { segment: 0, .. } => {}
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn silent_bit_flip_on_an_acknowledged_append_is_detected_at_open() {
+        use crate::chaos::{Fault, FaultKind, FaultOp};
+        let (chaos, arc) = chaos_backend();
+        let mut log = CommitLog::create(arc.clone()).unwrap();
+        let mut g = graph_from(&[0, 0], &[]);
+        log.append_checkpoint(&g).unwrap();
+        // Schedule a bit-flip on the next append: the write is
+        // *acknowledged* with bad bytes down — the fault class the log
+        // detects (CRC) but by design cannot survive.
+        chaos.set_plan(
+            FaultPlan::scripted(vec![Fault {
+                op: FaultOp::Append,
+                at: 0,
+                count: 1,
+                // Offset 6 sits inside the record *body* (the frame is
+                // `len u32 | body | crc u32`), so the flip is a CRC
+                // mismatch — corruption — never a shortened length that
+                // would read as a skippable torn tail.
+                kind: FaultKind::BitFlip {
+                    offset: 6,
+                    mask: 0x04,
+                },
+            }])
+            .unwrap(),
+        );
+        let b = delta(vec![Update::insert(NodeId(0), NodeId(1))]);
+        g.apply_batch(&b);
+        log.append_delta(1, &b).unwrap(); // acknowledged!
+        assert_eq!(chaos.stats().bit_flips, 1);
+        match CommitLog::open(arc).unwrap_err() {
+            LogError::Corrupt { .. } => {}
             other => panic!("expected Corrupt, got {other:?}"),
         }
     }

@@ -62,6 +62,7 @@ fn main() -> Result<(), EngineError> {
         IngestConfig {
             max_coalesce: 64,
             pipeline: true,
+            ..IngestConfig::default()
         },
     );
     // 2. Group commit: one barrier per tick (or per 5 ms, whichever

@@ -125,15 +125,15 @@ pub mod prelude {
     pub use igc_engine::{
         BackgroundBuild, CommitMode, CommitReceipt, Engine, EngineError, Ingest, IngestConfig,
         IngestReceipt, IngestServer, IngestTicket, LifecycleEvent, LifecycleEventKind,
-        PreparedCommit, Replica, ReplicaHandle, ReplicaStatus, ViewCommitStats, ViewHandle, ViewId,
-        ViewOutcome, ViewState, ViewTotals,
+        PreparedCommit, Replica, ReplicaHandle, ReplicaStatus, TailResilience, ViewCommitStats,
+        ViewHandle, ViewId, ViewOutcome, ViewState, ViewTotals,
     };
     pub use igc_graph::{DynamicGraph, Edge, Label, LabelInterner, NodeId, Update, UpdateBatch};
     pub use igc_iso::{IncIso, Pattern};
     pub use igc_kws::{IncKws, KwsQuery};
     pub use igc_log::{
-        CommitLog, Compaction, DurabilityMode, FileBackend, LogBackend, LogError, MemBackend,
-        Replayer, RetentionPin,
+        ChaosBackend, ChaosProfile, ChaosStats, CommitLog, Compaction, DurabilityMode, FaultPlan,
+        FileBackend, LogBackend, LogError, MemBackend, Replayer, RetentionPin, RetryPolicy,
     };
     pub use igc_nfa::{Nfa, Regex};
     pub use igc_rpq::IncRpq;

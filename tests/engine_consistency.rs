@@ -832,7 +832,7 @@ proptest! {
         let labels: Vec<u32> = (0..n).map(|i| i % 3).collect();
         let g = graph_from(&labels, &edges);
 
-        let backend = MemBackend::new();
+        let backend = ChaosBackend::new(Arc::new(MemBackend::new()), FaultPlan::none());
         let mut a = engine_with_views(g.clone())
             .with_log(Arc::new(backend.clone()) as Arc<dyn LogBackend>)
             .unwrap();
