@@ -5,7 +5,7 @@
 //! ```text
 //! experiments [--scale F] [--no-verify] [--threads N] [--json-out PATH]
 //!             [--log] [--crash-at N] [--log-dir PATH] [--replicas N]
-//!             [--ingest N] [--rules N] [--chaos N]
+//!             [--ingest N] [--rules N] [--chaos N] [--snapshots N]
 //!             [fig8a fig8b … | all | unit | rho | undoable | locality | engine]
 //! ```
 //!
@@ -47,6 +47,12 @@
 //! (transient-read tail retries, post-compaction reattaches), and
 //! no-acked-commit-lost + views-bit-identical audits against a
 //! never-faulted twin.
+//! `--snapshots N` adds a `snapshots` section: MVCC publish overhead per
+//! commit vs the median commit latency (audited < 5 %), commit latency
+//! and version-window size under a sliding set of pinned reader
+//! snapshots plus one long-lived frozen pin (audited bit-identical at
+//! the end of the run), and lock-free reader throughput from `N`
+//! snapshot-pinning threads under sustained writes.
 
 use igc_bench::experiments::{self, ExpConfig, ALL_FIGS};
 
@@ -96,12 +102,16 @@ fn main() {
                 let v = args.next().expect("--chaos needs a storm count");
                 cfg.chaos = v.parse().expect("chaos must be an integer");
             }
+            "--snapshots" => {
+                let v = args.next().expect("--snapshots needs a reader count");
+                cfg.snapshots = v.parse().expect("snapshots must be an integer");
+            }
             "all" => figs.extend(ALL_FIGS.iter().map(|s| s.to_string())),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: experiments [--scale F] [--no-verify] [--threads N] [--json-out PATH] \
                      [--log] [--crash-at N] [--log-dir PATH] [--replicas N] [--ingest N] \
-                     [--rules N] [--chaos N] \
+                     [--rules N] [--chaos N] [--snapshots N] \
                      [fig8a … fig8p | all | unit | rho | undoable | locality | engine]"
                 );
                 return;

@@ -80,6 +80,14 @@ pub struct ExpConfig {
     ///
     /// [`RetryPolicy`]: igc_log::RetryPolicy
     pub chaos: usize,
+    /// Concurrent snapshot-reader threads for the MVCC serving run
+    /// (`--snapshots N`): `n ≥ 1` adds a `snapshots` section to the JSON —
+    /// publish overhead on the commit hot path (MVCC bookkeeping as a
+    /// share of commit latency — target < 5 % of the median commit),
+    /// copy-on-write cost under held pins, reader throughput from `n`
+    /// threads pinning and reading snapshots while commits flow, the
+    /// version-window memory series, and frozen-pin + window-bound audits.
+    pub snapshots: usize,
 }
 
 impl Default for ExpConfig {
@@ -95,6 +103,7 @@ impl Default for ExpConfig {
             ingest: 0,
             rules: 0,
             chaos: 0,
+            snapshots: 0,
         }
     }
 }
@@ -603,6 +612,7 @@ pub const COMPARE_COMMITS: usize = 8;
 /// A deliberately buggy fifth view registered alongside the four default
 /// ones: panics on its 3rd `apply`, so the serving trajectory exercises —
 /// and `BENCH_engine.json` records — a real quarantine event.
+#[derive(Clone)]
 struct EngineCanary {
     applies: u64,
 }
@@ -629,6 +639,9 @@ impl igc_core::IncView for EngineCanary {
     }
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
+    }
+    fn clone_view(&self) -> Box<dyn igc_core::IncView> {
+        Box::new(self.clone())
     }
 }
 
@@ -1708,6 +1721,235 @@ fn engine_chaos(cfg: &ExpConfig) -> String {
     )
 }
 
+/// Number of commits each arm of the MVCC snapshot experiment drives.
+const SNAPSHOT_COMMITS: usize = 16;
+
+/// Pinned-reader depth of the copy-on-write arm: the newest
+/// `SNAPSHOT_PIN_DEPTH` epochs stay pinned throughout.
+const SNAPSHOT_PIN_DEPTH: usize = 4;
+
+/// The MVCC snapshot serving run (`--snapshots N`): the `snapshots`
+/// section of `BENCH_engine.json`.
+///
+/// Three arms over identical DBpedia-like engines (all four view classes
+/// registered) fed identical ~2 %-of-edges deltas:
+///
+/// * **publish** — no pins held: per-commit MVCC bookkeeping (version GC +
+///   publication, measured directly by the store) as a share of the median
+///   commit. This is the hot-path cost every deployment pays; the audit
+///   requires < 5 % of the median commit.
+/// * **pinned** — the newest [`SNAPSHOT_PIN_DEPTH`] epochs stay pinned by
+///   readers throughout: the first commit after each pin copy-on-writes the
+///   shared graph and views, the version GC must still hold the window at
+///   ≤ pin-depth + 1, and a pin frozen early in the run must serve
+///   bit-identical answers at the end (checked on graph edges + SCC
+///   components).
+/// * **reader throughput** — `N` reader threads pin-and-read snapshots in a
+///   loop (no locks, no coordination) while the writer drives the same
+///   commit stream; reports sustained reads/s.
+fn engine_snapshots(cfg: &ExpConfig) -> String {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    let readers = cfg.snapshots.max(1);
+    let mut audit = "\"pass\"".to_owned();
+    let mut fail = |what: String| {
+        if audit == "\"pass\"" {
+            audit = format!("\"fail: {what}\"");
+        }
+    };
+    let median = |series: &[f64]| -> f64 {
+        let mut s = series.to_vec();
+        s.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        s[(s.len() - 1) / 2]
+    };
+    let build = |g: &DynamicGraph| -> Engine {
+        let mut e = Engine::new(g.clone());
+        e.register(IncRpq::new(e.graph(), &workloads::default_rpq(495)))
+            .expect("register rpq");
+        e.register(IncScc::new(e.graph())).expect("register scc");
+        e.register(IncKws::new(e.graph(), workloads::default_kws()))
+            .expect("register kws");
+        e.register(IncIso::new(e.graph(), workloads::default_iso()))
+            .expect("register iso");
+        e
+    };
+    let g = workloads::dataset(Dataset::DbpediaLike, cfg.scale);
+    let deltas: Vec<UpdateBatch> = {
+        // Same stream for every arm: sized against the starting graph
+        // (ρ = 0.5 keeps the size stable, so the arms stay comparable).
+        let count = (((g.edge_count() as f64) * 0.02).round() as usize).max(1);
+        (0..SNAPSHOT_COMMITS)
+            .map(|i| random_update_batch(&g, count, 0.5, GRAPH_SEED ^ (0x5a4b + i as u64)))
+            .collect()
+    };
+
+    // Arm 1: publish overhead, no pins. The window must stay at 1 and the
+    // store-measured MVCC time must be a sliver of the commit.
+    let mut baseline = build(&g);
+    let publish_at_start = baseline.snapshot_store().publish_elapsed();
+    let mut base_lat = Vec::with_capacity(SNAPSHOT_COMMITS);
+    for delta in &deltas {
+        let receipt = baseline.commit(delta).expect("baseline commit");
+        base_lat.push(receipt.elapsed.as_secs_f64());
+        if baseline.snapshot_store().window() != 1 {
+            fail(format!(
+                "no-pins window is {}, expected 1",
+                baseline.snapshot_store().window()
+            ));
+        }
+    }
+    let publish_s = (baseline.snapshot_store().publish_elapsed() - publish_at_start).as_secs_f64();
+    let publish_per_commit_s = publish_s / SNAPSHOT_COMMITS as f64;
+    let base_median = median(&base_lat);
+    let publish_overhead_pct = if base_median > 0.0 {
+        publish_per_commit_s / base_median * 100.0
+    } else {
+        0.0
+    };
+    if publish_overhead_pct >= 5.0 {
+        fail(format!(
+            "publish overhead {publish_overhead_pct:.3} % of the median commit (target < 5 %)"
+        ));
+    }
+
+    // Arm 2: the same stream with the newest SNAPSHOT_PIN_DEPTH epochs
+    // pinned throughout, plus one pin frozen early and held to the end.
+    let mut pinned = build(&g);
+    let mut pin_lat = Vec::with_capacity(SNAPSHOT_COMMITS);
+    let mut live_pins: std::collections::VecDeque<igc_engine::Snapshot> =
+        std::collections::VecDeque::new();
+    let mut frozen: Option<(
+        igc_engine::Snapshot,
+        Vec<igc_graph::Edge>,
+        Vec<Vec<igc_graph::NodeId>>,
+    )> = None;
+    let mut max_window = 0usize;
+    let mut window_rows = Vec::with_capacity(SNAPSHOT_COMMITS);
+    for (i, delta) in deltas.iter().enumerate() {
+        let receipt = pinned.commit(delta).expect("pinned commit");
+        pin_lat.push(receipt.elapsed.as_secs_f64());
+        live_pins.push_back(pinned.snapshot().expect("pin the new head"));
+        if live_pins.len() > SNAPSHOT_PIN_DEPTH {
+            live_pins.pop_front();
+        }
+        if i == 2 {
+            let s = pinned.snapshot().expect("freeze a pin");
+            let scc: &IncScc = s
+                .view_dyn(s.find("scc").expect("scc published"))
+                .expect("scc active")
+                .as_any()
+                .downcast_ref()
+                .expect("scc type");
+            frozen = Some((s.clone(), s.graph().sorted_edges(), scc.components()));
+        }
+        let stats = pinned.snapshot_store().retained_stats();
+        max_window = max_window.max(stats.versions);
+        window_rows.push(format!(
+            "{{\"epoch\": {}, \"versions\": {}, \"distinct_graphs\": {}, \
+             \"distinct_view_cells\": {}}}",
+            receipt.epoch, stats.versions, stats.distinct_graphs, stats.distinct_view_cells
+        ));
+        // +2, not +1: the frozen pin from commit 2 is a fifth distinct
+        // pinned epoch once the sliding window has moved past it.
+        let bound = SNAPSHOT_PIN_DEPTH + if i >= 2 { 1 } else { 0 } + 1;
+        if stats.versions > bound {
+            fail(format!(
+                "commit {i}: window {} exceeds pin bound {bound}",
+                stats.versions
+            ));
+        }
+    }
+    let pin_median = median(&pin_lat);
+    let cow_overhead_pct = if base_median > 0.0 {
+        (pin_median - base_median) / base_median * 100.0
+    } else {
+        0.0
+    };
+    let (frozen_pin, frozen_edges, frozen_scc) = frozen.expect("frozen pin captured");
+    if frozen_pin.graph().sorted_edges() != frozen_edges {
+        fail("frozen pin's graph drifted".to_owned());
+    }
+    let scc_now: &IncScc = frozen_pin
+        .view_dyn(frozen_pin.find("scc").expect("scc still in the pin"))
+        .expect("scc active in the pin")
+        .as_any()
+        .downcast_ref()
+        .expect("scc type");
+    if scc_now.components() != frozen_scc {
+        fail("frozen pin's scc answers drifted".to_owned());
+    }
+    if cfg.verify {
+        if let Err(e) = pinned.verify_all() {
+            fail(format!("pinned-arm live views diverged: {e}"));
+        }
+    }
+    drop(live_pins);
+    drop(frozen_pin);
+
+    // Arm 3: reader threads pin-and-read while the writer commits the
+    // same stream over the arm-2 engine (its pins just dropped, so the
+    // window re-collapses as the commits flow).
+    let stop = Arc::new(AtomicBool::new(false));
+    let reads = Arc::new(AtomicU64::new(0));
+    let handles: Vec<std::thread::JoinHandle<()>> = (0..readers)
+        .map(|_| {
+            let store = Arc::clone(pinned.snapshot_store());
+            let stop = Arc::clone(&stop);
+            let reads = Arc::clone(&reads);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let Ok(s) = store.snapshot() else { continue };
+                    // A real read: resolve a label and touch the graph —
+                    // both plain derefs on the pinned version.
+                    let _ = s.find("scc");
+                    std::hint::black_box(s.graph().edge_count());
+                    reads.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+    let write_start = std::time::Instant::now();
+    let count = (((pinned.graph().edge_count() as f64) * 0.02).round() as usize).max(1);
+    for i in 0..SNAPSHOT_COMMITS {
+        let delta = random_update_batch(
+            pinned.graph(),
+            count,
+            0.5,
+            GRAPH_SEED ^ (0x5a4c00 + i as u64),
+        );
+        pinned.commit(&delta).expect("commit under readers");
+    }
+    let write_s = write_start.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        let _ = h.join();
+    }
+    let total_reads = reads.load(Ordering::Relaxed);
+    let reads_per_s = if write_s > 0.0 {
+        total_reads as f64 / write_s
+    } else {
+        0.0
+    };
+    if total_reads == 0 {
+        fail("readers made no progress under sustained writes".to_owned());
+    }
+
+    format!(
+        "{{\"readers\": {readers}, \"commits_per_arm\": {SNAPSHOT_COMMITS}, \
+         \"pin_depth\": {SNAPSHOT_PIN_DEPTH}, \
+         \"publish\": {{\"median_commit_s\": {base_median:.9}, \
+         \"per_commit_s\": {publish_per_commit_s:.9}, \
+         \"overhead_pct\": {publish_overhead_pct:.4}}}, \
+         \"pinned\": {{\"median_commit_s\": {pin_median:.9}, \
+         \"cow_overhead_pct\": {cow_overhead_pct:.3}, \
+         \"max_window\": {max_window}, \"window\": [{}]}}, \
+         \"reader_throughput\": {{\"threads\": {readers}, \"reads\": {total_reads}, \
+         \"writer_elapsed_s\": {write_s:.9}, \"reads_per_s\": {reads_per_s:.1}}}, \
+         \"audit\": {audit}}}",
+        window_rows.join(", "),
+    )
+}
+
 /// One churning multi-view serving run with the full v2 lifecycle: the four
 /// default views plus a deliberately flaky canary registered on a
 /// DBpedia-like graph, `ENGINE_COMMITS` commits of ~2 % of the edges each
@@ -1753,6 +1995,13 @@ fn engine_chaos(cfg: &ExpConfig) -> String {
 /// degraded read-only windows with mean time-to-heal, self-healing
 /// replica counters, and no-acked-commit-lost + views-bit-identical
 /// audits against a never-faulted twin.
+///
+/// With `cfg.snapshots = n ≥ 1` the JSON additionally gains a `snapshots`
+/// section (see [`engine_snapshots`](self)): MVCC publish overhead on the
+/// commit hot path (target < 5 % of the median commit), copy-on-write
+/// cost and the version-window memory series under held reader pins, and
+/// sustained reader throughput from `n` snapshot-pinning threads — with
+/// frozen-pin bit-identity and window-bound audits.
 pub fn engine_run(cfg: &ExpConfig) -> EngineRun {
     let g = workloads::dataset(Dataset::DbpediaLike, cfg.scale);
     let logging = cfg.log || cfg.crash_at.is_some();
@@ -2061,6 +2310,10 @@ pub fn engine_run(cfg: &ExpConfig) -> EngineRun {
     if cfg.chaos > 0 {
         let chaos = engine_chaos(cfg);
         extra_sections.push_str(&format!("  \"chaos\": {chaos},\n"));
+    }
+    if cfg.snapshots > 0 {
+        let snapshots = engine_snapshots(cfg);
+        extra_sections.push_str(&format!("  \"snapshots\": {snapshots},\n"));
     }
     let json = format!(
         "{{\n  \"bench\": \"engine_commit\",\n  \"dataset\": \"dbpedia_like\",\n  \
@@ -2376,6 +2629,36 @@ mod tests {
         assert!(r.json.contains("\"replica_reattaches\""));
         // The storms must actually storm, the audits must all pass, and
         // nothing acknowledged may be lost.
+        assert!(!r.json.contains("\"audit\": \"fail"), "{}", r.json);
+        assert!(r.json.contains("\"audit\": \"pass\""));
+        assert_eq!(r.json.matches('{').count(), r.json.matches('}').count());
+        assert_eq!(r.json.matches('[').count(), r.json.matches(']').count());
+    }
+
+    #[test]
+    fn engine_run_with_snapshots_emits_the_snapshots_section() {
+        let cfg = ExpConfig {
+            snapshots: 2,
+            ..tiny()
+        };
+        let r = engine_run(&cfg);
+        assert_eq!(r.series.rows.len(), ENGINE_COMMITS);
+        assert!(r.json.contains("\"snapshots\": {\"readers\": 2"));
+        assert!(r
+            .json
+            .contains(&format!("\"commits_per_arm\": {SNAPSHOT_COMMITS}")));
+        assert!(r
+            .json
+            .contains(&format!("\"pin_depth\": {SNAPSHOT_PIN_DEPTH}")));
+        // All three arms report.
+        assert!(r.json.contains("\"publish\": {\"median_commit_s\""));
+        assert!(r.json.contains("\"overhead_pct\""));
+        assert!(r.json.contains("\"cow_overhead_pct\""));
+        assert!(r.json.contains("\"max_window\""));
+        assert!(r.json.contains("\"reader_throughput\": {\"threads\": 2"));
+        assert!(r.json.contains("\"reads_per_s\""));
+        // The audits: frozen pins stay frozen, the version window stays
+        // within the pin bound, publish overhead stays under 5 %.
         assert!(!r.json.contains("\"audit\": \"fail"), "{}", r.json);
         assert!(r.json.contains("\"audit\": \"pass\""));
         assert_eq!(r.json.matches('{').count(), r.json.matches('}').count());

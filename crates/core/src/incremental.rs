@@ -65,12 +65,14 @@ pub trait IncrementalAlgorithm {
 /// `Box<dyn IncView>`s of heterogeneous query classes (RPQ, SCC, KWS, ISO,
 /// …) in one registry.
 ///
-/// `Send` is a supertrait so the engine's commit pipeline may fan a
-/// normalized delta out to views on worker threads (each view is touched by
-/// exactly one thread per commit, against a shared `&DynamicGraph`). Views
-/// built from ordinary owned data satisfy it for free; a view holding
-/// `Rc`/raw-pointer state must be refactored (or wrapped) before it can
-/// register.
+/// `Send + Sync` are supertraits. `Send` lets the engine's commit pipeline
+/// fan a normalized delta out to views on worker threads (each view is
+/// touched by exactly one thread per commit, against a shared
+/// `&DynamicGraph`); `Sync` lets an MVCC snapshot publish a frozen view
+/// behind an `Arc` that any number of reader threads dereference
+/// concurrently. Views built from ordinary owned data satisfy both for
+/// free; a view holding `Rc`/`Cell`/raw-pointer state must be refactored
+/// (or wrapped) before it can register.
 ///
 /// # Quarantine contract
 ///
@@ -97,10 +99,20 @@ pub trait IncrementalAlgorithm {
 /// thread is caught on that worker, the commit joins every worker before
 /// journaling, and the quarantine record is identical to what a sequential
 /// commit would have produced.
-pub trait IncView: Send {
+pub trait IncView: Send + Sync {
     /// A stable human-readable identifier for registry listings, receipts
     /// and logs (e.g. `"rpq"`, `"scc:communities"`).
     fn name(&self) -> &str;
+
+    /// An owned deep copy of this view behind a fresh box — the seam MVCC
+    /// snapshot publication relies on for copy-on-write: when a pinned
+    /// snapshot still shares a view's storage, the engine clones the view
+    /// once (here) before mutating it, so the pinned reader keeps serving
+    /// the frozen state. For every ordinary view the implementation is
+    /// one line: `Box::new(self.clone())` (derive `Clone`). The copy must
+    /// be answer-identical and independent — mutating the original must
+    /// never affect the clone.
+    fn clone_view(&self) -> Box<dyn IncView>;
 
     /// Process a committed batch; `g` already reflects `delta`, and `delta`
     /// is normalized against the pre-commit graph.
@@ -230,6 +242,7 @@ mod tests {
     use igc_graph::{NodeId, Update};
 
     /// A toy incremental algorithm: maintains the edge count.
+    #[derive(Clone)]
     struct EdgeCounter {
         count: usize,
         work: WorkStats,
@@ -293,6 +306,9 @@ mod tests {
         }
         fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
             self
+        }
+        fn clone_view(&self) -> Box<dyn IncView> {
+            Box::new(self.clone())
         }
     }
 

@@ -9,6 +9,7 @@ use crate::lifecycle::{LifecycleEvent, LifecycleEventKind, ViewHandle, ViewId, V
 use crate::pool::{drive_apply, InFlightView, PoolRecord, PoolTask, WorkerPool};
 use crate::receipt::{CommitReceipt, ViewCommitStats, ViewOutcome, ViewTotals};
 use crate::replica::Replica;
+use crate::snapshot::{CellState, SnapCell, Snapshot, SnapshotStore};
 use igc_core::{panic_cause, IncView, ViewInit, WorkStats};
 use igc_graph::{DynamicGraph, UpdateBatch};
 use igc_log::{CommitLog, Compaction, DurabilityMode, LogBackend, RetryPolicy};
@@ -17,13 +18,33 @@ use std::sync::{mpsc, Arc, Weak};
 use std::time::{Duration, Instant};
 
 /// A registered view plus its health and cumulative accounting.
+///
+/// The view sits behind an `Arc` so publishing an MVCC version
+/// ([`Engine::snapshot`]) is a pointer clone, never a data copy. The
+/// engine still mutates it as if it owned it outright: every mutation
+/// goes through [`cow_view_mut`], which reclaims unique ownership in
+/// place when no snapshot pins the allocation (the common case — the
+/// store's pre-commit GC drops unpinned versions) and deep-clones via
+/// [`IncView::clone_view`] exactly once when a live pin does.
 struct Registered {
     label: Arc<str>,
-    view: Box<dyn IncView>,
+    view: Arc<dyn IncView>,
     state: ViewState,
     commits: u64,
     elapsed: Duration,
     work: WorkStats,
+}
+
+/// Unique mutable access to a slot's view, copy-on-writing when a pinned
+/// snapshot still shares the allocation. `None` is impossible — the
+/// replacement `Arc` is unique by construction — but per the engine's
+/// no-panic contract it surfaces as a caller-side error instead of an
+/// `unreachable!`.
+fn cow_view_mut(view: &mut Arc<dyn IncView>) -> Option<&mut (dyn IncView + 'static)> {
+    if Arc::get_mut(view).is_none() {
+        *view = Arc::from(view.clone_view());
+    }
+    Arc::get_mut(view)
 }
 
 impl Registered {
@@ -204,6 +225,12 @@ pub struct Engine {
     /// once the corresponding [`BackgroundBuild`] handle is gone, so
     /// abandoned builds free their label automatically.
     reserved: Vec<(Arc<str>, Weak<()>)>,
+    /// The MVCC snapshot store: epoch-tagged published versions of the
+    /// graph + view answers, pinned by [`Snapshot`] handles and served
+    /// lock-free to reader threads. Behind an `Arc` so the ingest front
+    /// door can hand out snapshot access while the engine lives on its
+    /// commit-tick thread.
+    snapshots: Arc<SnapshotStore>,
     /// `Some` while the engine is in degraded read-only mode (journal
     /// retries exhausted, or unsettled sync debt); cleared by
     /// [`Engine::heal`].
@@ -217,7 +244,7 @@ pub struct Engine {
 impl Engine {
     /// An engine serving queries over `graph`.
     pub fn new(graph: DynamicGraph) -> Self {
-        Engine {
+        let engine = Engine {
             graph: Arc::new(graph),
             slots: Vec::new(),
             free: Vec::new(),
@@ -235,10 +262,15 @@ impl Engine {
             checkpoint_every: DEFAULT_CHECKPOINT_EVERY,
             logged_since_checkpoint: 0,
             reserved: Vec::new(),
+            snapshots: Arc::new(SnapshotStore::new()),
             degraded: None,
             degraded_windows: 0,
             degraded_elapsed: Duration::ZERO,
-        }
+        };
+        // Publish the initial version so epoch-0 (or, after recovery, the
+        // recovered-epoch) snapshots exist before the first commit.
+        engine.publish_version();
+        engine
     }
 
     // ------------------------------------------------------------------
@@ -785,6 +817,10 @@ impl Engine {
             kind: LifecycleEventKind::Deregistered,
             label: r.label,
         });
+        // Republish the current epoch without the tombstoned slot, so
+        // snapshots taken from now on reflect the deregistration (pinned
+        // older versions keep serving the departed view, as MVCC demands).
+        self.publish_version();
         Ok(totals)
     }
 
@@ -812,7 +848,7 @@ impl Engine {
         }
         let entry = Registered {
             label: label.clone(),
-            view,
+            view: Arc::from(view),
             state: ViewState::Active,
             commits: 0,
             elapsed: Duration::ZERO,
@@ -851,6 +887,9 @@ impl Engine {
             kind,
             label,
         });
+        // Republish the current epoch with the new view included, so a
+        // snapshot taken right after registration already serves it.
+        self.publish_version();
         Ok(ViewId { index, generation })
     }
 
@@ -917,11 +956,25 @@ impl Engine {
 
     /// Mutable concrete access (e.g. to raise a KWS bound between
     /// commits). Same error conditions as [`Engine::view`].
+    ///
+    /// Snapshot semantics: a mutation made here becomes visible to
+    /// snapshot readers at the *next published version* (the next commit
+    /// or lifecycle event); versions pinned before the mutation keep
+    /// serving the pre-mutation answers. If a pinned snapshot shares the
+    /// view's storage, this access copy-on-writes it — the pin is never
+    /// disturbed.
     pub fn view_mut<V: 'static>(&mut self, h: &ViewHandle<V>) -> Result<&mut V, EngineError> {
         let r = self.active_mut(h.id)?;
         let label = r.label.clone();
-        r.view
-            .as_any_mut()
+        let Some(view) = cow_view_mut(&mut r.view) else {
+            // Unreachable (see cow_view_mut); kept fallible per the
+            // no-panic contract.
+            return Err(EngineError::StaleHandle {
+                index: h.id.index,
+                generation: h.id.generation,
+            });
+        };
+        view.as_any_mut()
             .downcast_mut::<V>()
             .ok_or(EngineError::WrongViewType {
                 label,
@@ -1179,10 +1232,20 @@ impl Engine {
             return Ok((receipt, next_prepared));
         }
 
+        // Open the MVCC publish window: GC every version no live snapshot
+        // pins. Crucially that includes the unpinned newest version, which
+        // returns unique ownership of the graph and view `Arc`s to the
+        // engine — so with no pins outstanding the whole commit mutates in
+        // place and versioning costs nothing on the hot path. From here to
+        // the publish at the end of this function there is no early
+        // return, so the window always closes.
+        self.snapshots.begin_commit();
         let graph_start = Instant::now();
-        // Ref count is 1 on the quiescent path, so this mutates in place;
-        // if a dead worker still holds a graph handle, make_mut falls back
-        // to a clone instead of blocking or panicking.
+        // Ref count is 1 on the quiescent path (the pre-commit GC above
+        // just dropped the published version's handle), so this mutates in
+        // place; if a pinned snapshot or dead worker still holds a graph
+        // handle, make_mut falls back to a clone instead of blocking or
+        // panicking — the pinned reader keeps its frozen graph.
         Arc::make_mut(&mut self.graph).apply_batch(&delta);
         let graph_elapsed = graph_start.elapsed();
         let epoch = self.graph.epoch();
@@ -1215,7 +1278,16 @@ impl Engine {
                     skipped_quarantined += 1;
                     continue;
                 }
-                let (elapsed, work, result) = drive_apply(r.view.as_mut(), &graph, &delta);
+                let (elapsed, work, result) = match cow_view_mut(&mut r.view) {
+                    Some(view) => drive_apply(view, &graph, &delta),
+                    // Unreachable (see cow_view_mut): surface as a failed
+                    // record — quarantine — rather than panic.
+                    None => (
+                        Duration::ZERO,
+                        WorkStats::new(),
+                        Err("view arc still shared after copy-on-write".into()),
+                    ),
+                };
                 records.push(ApplyRecord {
                     slot: i,
                     elapsed,
@@ -1241,9 +1313,16 @@ impl Engine {
                     skipped_quarantined += 1;
                     continue;
                 }
+                // Copy-on-write *before* dispatch: the worker mutates the
+                // view through `Arc::get_mut`, which the engine guarantees
+                // by handing it a uniquely-owned `Arc` (a pinned snapshot
+                // sharing the old allocation keeps it, untouched).
+                if Arc::get_mut(&mut r.view).is_none() {
+                    r.view = Arc::from(r.view.clone_view());
+                }
                 let task = PoolTask {
                     slot: i,
-                    view: std::mem::replace(&mut r.view, Box::new(InFlightView)),
+                    view: std::mem::replace(&mut r.view, Arc::new(InFlightView)),
                     graph: Arc::clone(&self.graph),
                     delta: Arc::clone(&delta),
                     reply: reply_tx.clone(),
@@ -1255,8 +1334,14 @@ impl Engine {
                 match submit {
                     Ok(()) => outstanding.push(i),
                     Err(mut task) => {
-                        let (elapsed, work, result) =
-                            drive_apply(task.view.as_mut(), &task.graph, &task.delta);
+                        let (elapsed, work, result) = match Arc::get_mut(&mut task.view) {
+                            Some(view) => drive_apply(view, &task.graph, &task.delta),
+                            None => (
+                                Duration::ZERO,
+                                WorkStats::new(),
+                                Err("view arc still shared after copy-on-write".into()),
+                            ),
+                        };
                         r.view = task.view;
                         records.push(ApplyRecord {
                             slot: i,
@@ -1355,6 +1440,12 @@ impl Engine {
         let elapsed = prepare_elapsed + apply_start.elapsed();
         self.total_elapsed += elapsed;
 
+        // Close the MVCC publish window: publish this epoch's version —
+        // the graph behind its existing `Arc` plus one answer cell per
+        // slot (quarantines from this very commit included). Off the hot
+        // path: a handful of `Arc` clones after all view work is done.
+        self.publish_version();
+
         Ok((
             CommitReceipt {
                 epoch,
@@ -1440,6 +1531,76 @@ impl Engine {
     }
 
     // ------------------------------------------------------------------
+    // MVCC snapshot reads
+    // ------------------------------------------------------------------
+
+    /// Snapshot every occupied slot's answer state as `Arc`-shared cells.
+    fn current_cells(&self) -> Vec<SnapCell> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| {
+                let r = slot.entry.as_ref()?;
+                let state = match &r.state {
+                    ViewState::Active => CellState::Active(Arc::clone(&r.view)),
+                    ViewState::Quarantined { epoch, cause } => CellState::Quarantined {
+                        epoch: *epoch,
+                        cause: cause.clone(),
+                    },
+                };
+                Some(SnapCell {
+                    index: i as u32,
+                    generation: slot.generation,
+                    label: Arc::clone(&r.label),
+                    state,
+                })
+            })
+            .collect()
+    }
+
+    /// Publish the engine's current state (graph + every view's answers)
+    /// as the version at the current epoch — a handful of `Arc` clones.
+    /// Runs at the end of every non-noop commit and after every lifecycle
+    /// event, replacing the entry at this epoch if one exists.
+    fn publish_version(&self) {
+        self.snapshots.publish(
+            self.graph.epoch(),
+            Arc::clone(&self.graph),
+            self.current_cells(),
+        );
+    }
+
+    /// Pin the newest published version: the graph and every view's
+    /// answers exactly as the last commit (or lifecycle event) left them,
+    /// served lock-free for as long as the [`Snapshot`] lives. Commits
+    /// keep flowing while pins are held; the first commit after a pin
+    /// copy-on-writes the shared state, so the pin's answers never move.
+    ///
+    /// **Degraded mode does not gate this**: a degraded engine rejects
+    /// commits, but snapshot creation and pinned reads keep working —
+    /// exactly like every other read path.
+    pub fn snapshot(&self) -> Result<Snapshot, EngineError> {
+        self.snapshots.snapshot()
+    }
+
+    /// Pin the version published at exactly `epoch`. Retired epochs (GC'd
+    /// because no live pin held them) are [`EngineError::EpochRetired`];
+    /// epochs beyond the newest published version are
+    /// [`EngineError::SnapshotUnavailable`]. Never gated on degraded mode.
+    pub fn snapshot_at(&self, epoch: u64) -> Result<Snapshot, EngineError> {
+        self.snapshots.snapshot_at(epoch)
+    }
+
+    /// The engine's snapshot store — a cloneable `Arc` read front door.
+    /// The ingest server hands a clone to every [`Ingest`](crate::Ingest)
+    /// handle so readers pin versions without stopping the commit-tick
+    /// thread; benches use it for window accounting
+    /// ([`SnapshotStore::window`], [`SnapshotStore::retained_stats`]).
+    pub fn snapshot_store(&self) -> &Arc<SnapshotStore> {
+        &self.snapshots
+    }
+
+    // ------------------------------------------------------------------
     // Cumulative accounting
     // ------------------------------------------------------------------
 
@@ -1518,7 +1679,7 @@ pub(crate) mod tests {
 
     /// Toy view: maintains the edge count, with a work counter per batch
     /// unit.
-    #[derive(Debug)]
+    #[derive(Clone, Debug)]
     struct EdgeCount {
         name: &'static str,
         count: usize,
@@ -1562,10 +1723,13 @@ pub(crate) mod tests {
         fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
             self
         }
+        fn clone_view(&self) -> Box<dyn IncView> {
+            Box::new(self.clone())
+        }
     }
 
     /// Toy view that panics on its `n`-th apply (1-based), healthy before.
-    #[derive(Debug)]
+    #[derive(Clone, Debug)]
     struct PanicOn {
         n: u64,
         seen: u64,
@@ -1608,6 +1772,9 @@ pub(crate) mod tests {
         }
         fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
             self
+        }
+        fn clone_view(&self) -> Box<dyn IncView> {
+            Box::new(self.clone())
         }
     }
 
@@ -2009,7 +2176,7 @@ pub(crate) mod tests {
 
     /// A maximally hostile view: `apply` panics, and afterwards even
     /// `work()` panics (its state is wrecked). The engine must fence both.
-    #[derive(Debug)]
+    #[derive(Clone, Debug)]
     struct PoisonedWork {
         wrecked: bool,
     }
@@ -2037,6 +2204,9 @@ pub(crate) mod tests {
         }
         fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
             self
+        }
+        fn clone_view(&self) -> Box<dyn IncView> {
+            Box::new(self.clone())
         }
     }
 

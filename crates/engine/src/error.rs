@@ -190,6 +190,27 @@ pub enum EngineError {
         /// How long the submitter waited for a slot before giving up.
         waited: std::time::Duration,
     },
+    /// A [`snapshot_at`](crate::SnapshotStore::snapshot_at) asked for an
+    /// epoch the version GC already retired: no live
+    /// [`Snapshot`](crate::Snapshot) pinned it, so the store dropped it
+    /// at a later commit. Only epochs ≥ the oldest retained version (or
+    /// ones still pinned by a live snapshot) can be served.
+    EpochRetired {
+        /// The requested epoch.
+        epoch: u64,
+        /// The oldest epoch the store still retains.
+        oldest: u64,
+    },
+    /// A snapshot could not be taken: the requested epoch lies beyond
+    /// every published version (the future), or the store's publish
+    /// window did not settle within its wait bound (the committer died
+    /// mid-publish). Nothing is pinned; retry after the next commit.
+    SnapshotUnavailable {
+        /// The requested epoch.
+        epoch: u64,
+        /// The newest published epoch at the time of the request.
+        head: u64,
+    },
 }
 
 impl From<igc_log::LogError> for EngineError {
@@ -308,6 +329,16 @@ impl fmt::Display for EngineError {
                 f,
                 "ingest overloaded: submission queue full (capacity {capacity}) \
                  for {waited:?}; the batch was not accepted — retry later"
+            ),
+            EngineError::EpochRetired { epoch, oldest } => write!(
+                f,
+                "snapshot epoch {epoch} retired: no live pin held it, so version \
+                 GC dropped it (oldest retained epoch is {oldest})"
+            ),
+            EngineError::SnapshotUnavailable { epoch, head } => write!(
+                f,
+                "snapshot at epoch {epoch} unavailable: newest published version \
+                 is epoch {head}; retry after the next commit publishes"
             ),
         }
     }
@@ -466,6 +497,24 @@ mod tests {
                 },
                 vec!["queue full (capacity 1024)", "100ms", "not accepted"],
             ),
+            (
+                EngineError::EpochRetired {
+                    epoch: 14,
+                    oldest: 21,
+                },
+                vec!["epoch 14 retired", "GC", "oldest retained epoch is 21"],
+            ),
+            (
+                EngineError::SnapshotUnavailable {
+                    epoch: 99,
+                    head: 42,
+                },
+                vec![
+                    "epoch 99 unavailable",
+                    "epoch 42",
+                    "retry after the next commit",
+                ],
+            ),
         ];
         for (err, fragments) in &table {
             // Exhaustiveness guard: every variant must appear in the table
@@ -488,7 +537,9 @@ mod tests {
                 | EngineError::SubmissionDropped
                 | EngineError::RetriesExhausted { .. }
                 | EngineError::Degraded { .. }
-                | EngineError::Overloaded { .. } => {}
+                | EngineError::Overloaded { .. }
+                | EngineError::EpochRetired { .. }
+                | EngineError::SnapshotUnavailable { .. } => {}
             }
             let rendered = err.to_string();
             for fragment in fragments {
@@ -498,8 +549,8 @@ mod tests {
                 );
             }
         }
-        // Cheap coverage check in the other direction: 17 variants, 17 rows.
-        assert_eq!(table.len(), 17);
+        // Cheap coverage check in the other direction: 19 variants, 19 rows.
+        assert_eq!(table.len(), 19);
     }
 
     #[test]

@@ -40,6 +40,7 @@
 use crate::engine::{Engine, PreparedCommit};
 use crate::error::EngineError;
 use crate::receipt::CommitReceipt;
+use crate::snapshot::{Snapshot, SnapshotStore};
 use igc_graph::UpdateBatch;
 use igc_log::DurabilityMode;
 use std::sync::mpsc::{self, Receiver, Sender, SyncSender, TrySendError};
@@ -128,6 +129,7 @@ pub struct Ingest {
     tx: SyncSender<Msg>,
     capacity: usize,
     submit_timeout: Duration,
+    snapshots: Arc<SnapshotStore>,
 }
 
 impl Ingest {
@@ -164,6 +166,29 @@ impl Ingest {
                 }
             }
         }
+    }
+
+    /// Pin the newest published MVCC version as a [`Snapshot`] — the
+    /// graph and every view's answers exactly as the most recently
+    /// *published* commit tick left them — without stopping or even
+    /// contending with the commit-tick thread (the pin is a short store
+    /// lock, never the queue). Snapshots keep serving while the engine is
+    /// in degraded read-only mode ([`Ingest::submit`] would be shed with
+    /// [`EngineError::Degraded`], but reads stay up). Errors with
+    /// [`EngineError::SnapshotUnavailable`] only if a publish stalls past
+    /// its internal wait — see [`Engine::snapshot`] for the full
+    /// contract.
+    pub fn snapshot(&self) -> Result<Snapshot, EngineError> {
+        self.snapshots.snapshot()
+    }
+
+    /// Pin the retained version at exactly `epoch` — see
+    /// [`Engine::snapshot_at`] for the retention contract
+    /// ([`EngineError::EpochRetired`] when GC already dropped it,
+    /// [`EngineError::SnapshotUnavailable`] when it has not been
+    /// published yet).
+    pub fn snapshot_at(&self, epoch: u64) -> Result<Snapshot, EngineError> {
+        self.snapshots.snapshot_at(epoch)
     }
 }
 
@@ -214,6 +239,7 @@ pub struct IngestServer {
     tx: SyncSender<Msg>,
     capacity: usize,
     submit_timeout: Duration,
+    snapshots: Arc<SnapshotStore>,
     thread: Option<JoinHandle<Engine>>,
 }
 
@@ -230,6 +256,9 @@ impl IngestServer {
     pub fn spawn_with(engine: Engine, config: IngestConfig) -> Self {
         let capacity = config.max_queue.max(1);
         let (tx, rx) = mpsc::sync_channel(capacity);
+        // The snapshot store is shared by `Arc`, so handles keep pinning
+        // versions after the engine itself moves onto the tick thread.
+        let snapshots = Arc::clone(engine.snapshot_store());
         let thread = std::thread::Builder::new()
             .name("igc-ingest".into())
             .spawn(move || Self::serve(engine, &rx, config))
@@ -238,6 +267,7 @@ impl IngestServer {
             tx,
             capacity,
             submit_timeout: config.submit_timeout,
+            snapshots,
             thread,
         }
     }
@@ -248,6 +278,7 @@ impl IngestServer {
             tx: self.tx.clone(),
             capacity: self.capacity,
             submit_timeout: self.submit_timeout,
+            snapshots: Arc::clone(&self.snapshots),
         }
     }
 
@@ -595,5 +626,29 @@ mod tests {
         for t in tickets {
             t.wait().unwrap();
         }
+    }
+
+    #[test]
+    fn snapshots_pin_published_versions_while_the_tick_thread_runs() {
+        let engine = Engine::new(graph_from(&[0; 8], &[]));
+        let server = IngestServer::spawn(engine);
+        let ingest = server.handle();
+        // Before any commit the initial (epoch-0) version is published.
+        let s0 = ingest.snapshot().unwrap();
+        assert_eq!(s0.epoch(), 0);
+        assert_eq!(s0.graph().edge_count(), 0);
+        // Commit through the front door, then pin the result: the pinned
+        // epoch-0 snapshot must keep serving the pre-commit graph.
+        let r = ingest
+            .submit(batch(vec![Update::insert(NodeId(0), NodeId(1))]))
+            .unwrap()
+            .wait()
+            .unwrap();
+        let s1 = ingest.snapshot_at(r.epoch).unwrap();
+        assert_eq!(s1.graph().edge_count(), 1);
+        assert_eq!(s0.graph().edge_count(), 0, "pinned snapshot is frozen");
+        drop(server);
+        // Handles keep serving pinned reads even after the server is gone.
+        assert_eq!(s1.epoch(), r.epoch);
     }
 }

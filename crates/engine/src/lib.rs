@@ -66,6 +66,20 @@
 //! fsyncs across a tick's records — one barrier instead of one per
 //! submission ([`Engine::set_durability`]).
 //!
+//! **MVCC snapshot reads** ([`snapshot` module](SnapshotStore)):
+//! [`Engine::snapshot`] pins the newest published version — the graph and
+//! every view's answers exactly as the last commit left them — as a
+//! [`Snapshot`] handle served *lock-free* to any number of reader threads
+//! while commits keep flowing ([`Engine::snapshot_at`] pins a specific
+//! retained epoch). Publication is `Arc`-sharing, not copying: the first
+//! commit after a pin copy-on-writes exactly the shared pieces
+//! ([`IncView::clone_view`](igc_core::IncView::clone_view)), and a
+//! pre-commit GC drops every unpinned version, so with no pins MVCC costs
+//! nothing and the retained window stays ≤ distinct pinned epochs + 1.
+//! Through the ingest front door, [`Ingest::snapshot`] pins versions
+//! without stopping the commit-tick thread; degraded read-only mode never
+//! gates snapshot creation or pinned reads.
+//!
 //! **Replication** ([`replica` module](Replica)): [`Engine::replica`]
 //! creates a log-shipped read [`Replica`] — a follower with its own
 //! graph and views that tails the journal ([`Replica::catch_up`] /
@@ -100,6 +114,7 @@ mod lifecycle;
 mod pool;
 mod receipt;
 mod replica;
+mod snapshot;
 
 pub use background::BackgroundBuild;
 pub use engine::{
@@ -110,3 +125,4 @@ pub use ingest::{Ingest, IngestConfig, IngestReceipt, IngestServer, IngestTicket
 pub use lifecycle::{LifecycleEvent, LifecycleEventKind, ViewHandle, ViewId, ViewState};
 pub use receipt::{CommitReceipt, ViewCommitStats, ViewOutcome, ViewTotals};
 pub use replica::{Replica, ReplicaHandle, ReplicaStatus, TailResilience};
+pub use snapshot::{Snapshot, SnapshotStore, SnapshotStoreStats};

@@ -5,8 +5,13 @@
 //!
 //! Ownership model: the engine cannot lend `&mut` borrows of registry
 //! slots to threads that outlive the commit, so each task *takes* the
-//! boxed view out of its slot (leaving an [`InFlightView`] placeholder)
+//! view's `Arc` out of its slot (leaving an [`InFlightView`] placeholder)
 //! and the worker sends it back inside its [`PoolRecord`]. The engine
+//! guarantees the `Arc` is uniquely owned at dispatch (it copy-on-writes
+//! any view still shared with a pinned MVCC snapshot *before* fan-out),
+//! so the worker's `Arc::get_mut` always succeeds; a shared `Arc`
+//! reaching a worker anyway is reported as a failed record — the view
+//! quarantines instead of anything panicking. The engine
 //! puts every returned view back before the commit's merge step; a view
 //! that never comes back (its worker died) leaves the placeholder in the
 //! slot, and the engine quarantines it — exactly the dead-worker contract
@@ -35,8 +40,10 @@ use std::time::{Duration, Instant};
 pub(crate) struct PoolTask {
     /// Registry slot index the view was taken from.
     pub slot: usize,
-    /// The view itself, moved out of the slot for the duration.
-    pub view: Box<dyn IncView>,
+    /// The view itself, moved out of the slot for the duration. The
+    /// engine sends a uniquely-owned `Arc` (post-COW), so the worker can
+    /// mutate in place via [`Arc::get_mut`].
+    pub view: Arc<dyn IncView>,
     /// The post-commit graph (shared, read-only).
     pub graph: Arc<DynamicGraph>,
     /// The normalized delta of this commit (shared, read-only).
@@ -49,7 +56,7 @@ pub(crate) struct PoolTask {
 /// same measurements [`drive_apply`] reports inline.
 pub(crate) struct PoolRecord {
     pub slot: usize,
-    pub view: Box<dyn IncView>,
+    pub view: Arc<dyn IncView>,
     pub elapsed: Duration,
     pub work: WorkStats,
     pub result: Result<(), String>,
@@ -98,7 +105,7 @@ pub(crate) fn drive_apply(
 /// quarantined in that same merge — and quarantined slots are skipped by
 /// every later fan-out, audit, and read (reads surface the quarantine
 /// error, never this stub).
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub(crate) struct InFlightView;
 
 impl IncView for InFlightView {
@@ -118,6 +125,9 @@ impl IncView for InFlightView {
     }
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
+    }
+    fn clone_view(&self) -> Box<dyn IncView> {
+        Box::new(InFlightView)
     }
 }
 
@@ -177,7 +187,17 @@ impl WorkerPool {
                 }
             };
             let mut task = task;
-            let (elapsed, work, result) = drive_apply(task.view.as_mut(), &task.graph, &task.delta);
+            // The engine guarantees uniqueness at dispatch; a shared Arc
+            // here means that invariant broke — fail the record (the view
+            // quarantines) rather than panic in a worker.
+            let (elapsed, work, result) = match Arc::get_mut(&mut task.view) {
+                Some(view) => drive_apply(view, &task.graph, &task.delta),
+                None => (
+                    Duration::ZERO,
+                    WorkStats::new(),
+                    Err("view arc still shared at dispatch (engine COW invariant broken)".into()),
+                ),
+            };
             // A failed send means the commit already gave up on this
             // record (reply receiver dropped); nothing to do with it.
             let _ = task.reply.send(PoolRecord {
@@ -234,7 +254,7 @@ mod tests {
     use super::*;
 
     /// Minimal counting view for pool plumbing tests.
-    #[derive(Debug)]
+    #[derive(Clone, Debug)]
     struct Count {
         applies: u64,
         work: WorkStats,
@@ -277,6 +297,9 @@ mod tests {
         fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
             self
         }
+        fn clone_view(&self) -> Box<dyn IncView> {
+            Box::new(self.clone())
+        }
     }
 
     fn inputs() -> (Arc<DynamicGraph>, Arc<UpdateBatch>) {
@@ -294,7 +317,7 @@ mod tests {
         for slot in 0..4 {
             pool.submit(PoolTask {
                 slot,
-                view: Box::new(Count::new()),
+                view: Arc::new(Count::new()),
                 graph: Arc::clone(&graph),
                 delta: Arc::clone(&delta),
                 reply: reply_tx.clone(),
@@ -325,7 +348,7 @@ mod tests {
         crate::engine::tests::quiet_panics(|| {
             pool.submit(PoolTask {
                 slot: 0,
-                view: Box::new(canary),
+                view: Arc::new(canary),
                 graph: Arc::clone(&graph),
                 delta: Arc::clone(&delta),
                 reply: reply_tx.clone(),
@@ -338,7 +361,7 @@ mod tests {
             // The worker survived the fenced panic: it still takes work.
             pool.submit(PoolTask {
                 slot: 1,
-                view: Box::new(Count::new()),
+                view: Arc::new(Count::new()),
                 graph,
                 delta,
                 reply: reply_tx,

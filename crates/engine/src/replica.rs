@@ -71,6 +71,7 @@
 
 use crate::error::{Divergence, EngineError};
 use crate::lifecycle::ViewState;
+use crate::snapshot::Snapshot;
 use igc_core::{panic_cause, IncView, ViewInit};
 use igc_graph::{DynamicGraph, Update, UpdateBatch};
 use igc_log::{LogBackend, LogError, Replayer, RetentionPin, RetryPolicy};
@@ -632,6 +633,45 @@ impl Replica {
             generation: 0,
         })
     }
+
+    /// Freeze the replica at its current replay frontier as a
+    /// [`Snapshot`]: an immutable, independently-owned version of the
+    /// follower's graph and every follower-side view, safe to hand to
+    /// reader threads while the replica keeps tailing.
+    ///
+    /// Unlike the leader's [`Engine::snapshot`](crate::Engine::snapshot)
+    /// (which `Arc`-shares published versions and costs nothing), a
+    /// replica snapshot deep-clones the graph and views *on this call* —
+    /// the reader pays, the tail loop never does. Look views up by label
+    /// ([`Snapshot::find`]) — replica snapshots carry no engine handles.
+    pub fn snapshot(&self) -> Snapshot {
+        let cells = self
+            .slots
+            .iter()
+            .enumerate()
+            .map(|(i, s)| crate::snapshot::SnapCell {
+                index: i as u32,
+                generation: 0,
+                label: Arc::clone(&s.label),
+                state: match &s.state {
+                    ViewState::Active => {
+                        crate::snapshot::CellState::Active(Arc::from(s.view.clone_view()))
+                    }
+                    ViewState::Quarantined { epoch, cause } => {
+                        crate::snapshot::CellState::Quarantined {
+                            epoch: *epoch,
+                            cause: cause.clone(),
+                        }
+                    }
+                },
+            })
+            .collect();
+        Snapshot::detached(crate::snapshot::VersionData {
+            epoch: self.graph.epoch(),
+            graph: Arc::new(self.graph.clone()),
+            cells,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -642,7 +682,7 @@ mod tests {
 
     /// A minimal follower-side view: counts edges incrementally, recounts
     /// from scratch for the audit, and can be armed to panic.
-    #[derive(Debug)]
+    #[derive(Clone, Debug)]
     struct EdgeCount {
         edges: i64,
         panic_at: Option<u64>,
@@ -685,6 +725,9 @@ mod tests {
         }
         fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
             self
+        }
+        fn clone_view(&self) -> Box<dyn IncView> {
+            Box::new(self.clone())
         }
     }
 

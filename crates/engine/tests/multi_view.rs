@@ -252,7 +252,7 @@ fn quiet_panics<T>(f: impl FnOnce() -> T) -> T {
 
 /// A view that panics on its first apply, used to prove quarantine does not
 /// poison the real query classes sharing the engine.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Grenade;
 
 impl IncView for Grenade {
@@ -274,6 +274,9 @@ impl IncView for Grenade {
     }
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
+    }
+    fn clone_view(&self) -> Box<dyn IncView> {
+        Box::new(self.clone())
     }
 }
 

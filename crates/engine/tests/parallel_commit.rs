@@ -20,6 +20,7 @@ fn rpq_query() -> Regex {
 }
 
 /// A canary that panics on its `n`-th apply, healthy otherwise.
+#[derive(Clone)]
 struct Grenade {
     n: u64,
     seen: u64,
@@ -47,6 +48,9 @@ impl IncView for Grenade {
     }
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
+    }
+    fn clone_view(&self) -> Box<dyn IncView> {
+        Box::new(self.clone())
     }
 }
 

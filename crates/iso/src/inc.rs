@@ -228,6 +228,10 @@ impl igc_core::IncView for IncIso {
         self
     }
 
+    fn clone_view(&self) -> Box<dyn igc_core::IncView> {
+        Box::new(self.clone())
+    }
+
     /// Audit the maintained match set against a fresh VF2 enumeration (with
     /// its indexes rebuilt from scratch).
     fn verify_against_batch(&self, g: &DynamicGraph) -> Result<(), String> {

@@ -524,6 +524,10 @@ impl igc_core::IncView for IncKws {
         self
     }
 
+    fn clone_view(&self) -> Box<dyn igc_core::IncView> {
+        Box::new(self.clone())
+    }
+
     /// Audit the answer signature (qualified roots with their distance
     /// vectors) against a from-scratch batch construction. `next`-pointer
     /// choices are not compared: equal-length shortest paths are selected

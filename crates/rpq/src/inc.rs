@@ -600,6 +600,10 @@ impl igc_core::IncView for IncRpq {
         self
     }
 
+    fn clone_view(&self) -> Box<dyn igc_core::IncView> {
+        Box::new(self.clone())
+    }
+
     /// Audit both layers of maintained state: the answer against a
     /// marking-free batch `RPQ_NFA` evaluation, and the auxiliary markings
     /// against a fresh instrumented construction.

@@ -683,6 +683,10 @@ impl IncView for IncRules {
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
     }
+
+    fn clone_view(&self) -> Box<dyn IncView> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

@@ -684,6 +684,10 @@ impl igc_core::IncView for IncScc {
         self
     }
 
+    fn clone_view(&self) -> Box<dyn igc_core::IncView> {
+        Box::new(self.clone())
+    }
+
     /// Audit the maintained partition against one fresh Tarjan run, and the
     /// condensation's structural invariants (rank order, member maps).
     fn verify_against_batch(&self, g: &DynamicGraph) -> Result<(), String> {

@@ -24,6 +24,7 @@ use incgraph::prelude::*;
 /// A deliberately buggy tenant view: panics on its 3rd commit, to
 /// demonstrate per-view quarantine (the engine catches the panic, fences
 /// this view off, and keeps serving the others).
+#[derive(Clone)]
 struct FlakyTenant {
     applies: u64,
 }
@@ -50,6 +51,9 @@ impl IncView for FlakyTenant {
     }
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
+    }
+    fn clone_view(&self) -> Box<dyn IncView> {
+        Box::new(self.clone())
     }
 }
 

@@ -57,7 +57,11 @@
 //! snapshot reads need no downcasting; views can also join lazily at any
 //! epoch, be deregistered, and are quarantined — not the whole engine — if
 //! their `apply` panics. Every user-input path returns
-//! `Result<_, EngineError>`.
+//! `Result<_, EngineError>`. For serving readers while commits flow,
+//! [`Engine::snapshot`](engine::Engine::snapshot) pins the newest published
+//! version — graph plus every view's answers — as an immutable
+//! [`Snapshot`](engine::Snapshot) handle any number of threads can read
+//! lock-free (see the `snapshot_readers` example).
 //!
 //! ```
 //! use incgraph::prelude::*;
@@ -125,8 +129,9 @@ pub mod prelude {
     pub use igc_engine::{
         BackgroundBuild, CommitMode, CommitReceipt, Engine, EngineError, Ingest, IngestConfig,
         IngestReceipt, IngestServer, IngestTicket, LifecycleEvent, LifecycleEventKind,
-        PreparedCommit, Replica, ReplicaHandle, ReplicaStatus, TailResilience, ViewCommitStats,
-        ViewHandle, ViewId, ViewOutcome, ViewState, ViewTotals,
+        PreparedCommit, Replica, ReplicaHandle, ReplicaStatus, Snapshot, SnapshotStore,
+        SnapshotStoreStats, TailResilience, ViewCommitStats, ViewHandle, ViewId, ViewOutcome,
+        ViewState, ViewTotals,
     };
     pub use igc_graph::{DynamicGraph, Edge, Label, LabelInterner, NodeId, Update, UpdateBatch};
     pub use igc_iso::{IncIso, Pattern};

@@ -187,7 +187,7 @@ fn register_five_lazily(engine: &mut Engine) {
 /// A deliberately faulty view: panics on its first apply and is
 /// quarantined by the engine. Rides on both engines in the coalescing
 /// property so bit-identity is pinned *under quarantine* too.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct Canary {
     applies: u64,
 }
@@ -214,6 +214,9 @@ impl incgraph::core::IncView for Canary {
     }
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
+    }
+    fn clone_view(&self) -> Box<dyn incgraph::core::IncView> {
+        Box::new(self.clone())
     }
 }
 
@@ -913,5 +916,196 @@ proptest! {
         let r2 = Engine::recover(Arc::new(backend.clone()) as Arc<dyn LogBackend>).unwrap();
         prop_assert_eq!(r2.epoch(), a.epoch());
         prop_assert_eq!(r2.graph().sorted_edges(), a.graph().sorted_edges());
+    }
+
+    #[test]
+    fn pinned_snapshots_stay_bit_identical_while_commits_and_lifecycle_flow(
+        (n, edges, rounds, crash_pick) in (8u32..14).prop_flat_map(|n| (
+            Just(n),
+            proptest::collection::vec(
+                (0..n, 0..n).prop_filter("no initial self-loops", |(a, b)| a != b),
+                10..30,
+            ),
+            // ≥ 8 rounds; each: a lifecycle op on *extra* views (0 = none,
+            // 1 = deregister, 2 = lazy-register — the five core classes
+            // stay registered so their labels resolve in every snapshot),
+            // its target pick, a raw commit batch, and whether a reader
+            // pins a snapshot right after the commit.
+            proptest::collection::vec(
+                (
+                    0u32..3,
+                    0u32..64,
+                    proptest::collection::vec(
+                        (any::<bool>(), 0..n + 3, 0..n + 3),
+                        1..8,
+                    ),
+                    any::<bool>(),
+                ),
+                8..12,
+            ),
+            any::<u32>(),
+        ))
+    ) {
+        /// The five classes' answers as served by a pinned snapshot —
+        /// label-resolved and downcast, so the key is comparable with
+        /// `five_class_answers` on a live engine.
+        fn snap_answers(s: &Snapshot) -> ClassAnswers {
+            fn get<'a, V: 'static>(s: &'a Snapshot, label: &str) -> &'a V {
+                s.view_dyn(s.find(label).expect("core label published"))
+                    .expect("core view active in snapshot")
+                    .as_any()
+                    .downcast_ref::<V>()
+                    .expect("published cell has the registered type")
+            }
+            (
+                get::<IncRpq>(s, "rpq").sorted_answer(),
+                get::<IncScc>(s, "scc").components(),
+                get::<IncKws>(s, "kws").answer_signature(),
+                get::<IncIso>(s, "iso").sorted_matches(),
+                rules_answer(get::<IncRules>(s, "rules")),
+            )
+        }
+
+        let labels: Vec<u32> = (0..n).map(|i| i % 3).collect();
+        let g = graph_from(&labels, &edges);
+
+        // The serving engine journals through a WAL (it will crash at a
+        // random round and recover); the twin never snapshots, never
+        // crashes — it is the frozen reference a pin is compared against:
+        // its answers *at the pinned epoch* are captured at pin time and
+        // must keep matching the snapshot forever after.
+        let backend = MemBackend::new();
+        let mut engine = Some(
+            engine_with_views(g.clone())
+                .with_log(Arc::new(backend.clone()) as Arc<dyn LogBackend>)
+                .unwrap(),
+        );
+        engine.as_mut().unwrap().set_checkpoint_every(3);
+        let mut twin = engine_with_views(g);
+
+        let crash_round = (crash_pick as usize) % rounds.len();
+        let mut extra: Vec<String> = Vec::new();
+        let mut fresh = 0u32;
+        // Every pin ever taken: (snapshot, frozen expectation at its epoch).
+        let mut pins: Vec<(Snapshot, ClassAnswers, Vec<Edge>)> = Vec::new();
+
+        for (round, (op, pick, raw, pin)) in rounds.iter().enumerate() {
+            let e = engine.as_mut().unwrap();
+            // Lifecycle churn on extra views, mirrored on the twin so the
+            // two engines stay structurally identical.
+            match op {
+                1 if !extra.is_empty() => {
+                    let victim = extra.remove((*pick as usize) % extra.len());
+                    for e in [&mut *e, &mut twin] {
+                        let id = e.find(&victim).expect("extra view live");
+                        e.deregister(id).unwrap();
+                    }
+                }
+                2 => {
+                    fresh += 1;
+                    let label = format!("rpq:extra{fresh}");
+                    for e in [&mut *e, &mut twin] {
+                        e.register_lazy(label.as_str(), IncRpq::init(rpq_query())).unwrap();
+                    }
+                    extra.push(label);
+                }
+                _ => {}
+            }
+
+            let batch = batch_from_raw(raw);
+            let receipt = e.commit(&batch).unwrap();
+            let receipt_twin = twin.commit(&batch).unwrap();
+            prop_assert_eq!(receipt.epoch, receipt_twin.epoch);
+
+            if *pin || round == 0 {
+                // A reader pins the newest published version; the frozen
+                // expectation comes from the *twin* at this very epoch.
+                let s = e.snapshot().unwrap();
+                prop_assert_eq!(s.epoch(), e.epoch(), "head snapshot pins the commit frontier");
+                let expected = five_class_answers(&twin);
+                prop_assert_eq!(
+                    &snap_answers(&s),
+                    &expected,
+                    "snapshot serves the twin's answers at pin time"
+                );
+                // Pinning the same epoch explicitly lands on the same data.
+                let again = e.snapshot_at(s.epoch()).unwrap();
+                prop_assert_eq!(again.epoch(), s.epoch());
+                pins.push((s, expected, twin.graph().sorted_edges()));
+            }
+
+            // The heart of the property: *every* pin ever taken still
+            // serves its frozen answers and graph, no matter how many
+            // commits and lifecycle events have flowed since.
+            for (s, expected, frozen_edges) in &pins {
+                prop_assert_eq!(&snap_answers(s), expected, "pinned answers frozen");
+                prop_assert_eq!(&s.graph().sorted_edges(), frozen_edges, "pinned graph frozen");
+            }
+            // GC keeps the version window bounded by the live pins:
+            // retained versions ≤ distinct pinned epochs + the head.
+            let mut pinned_epochs: Vec<u64> = pins.iter().map(|(s, _, _)| s.epoch()).collect();
+            pinned_epochs.sort_unstable();
+            pinned_epochs.dedup();
+            prop_assert!(
+                e.snapshot_store().window() <= pinned_epochs.len() + 1,
+                "version window {} exceeds pins {} + 1",
+                e.snapshot_store().window(),
+                pinned_epochs.len()
+            );
+
+            if round == crash_round {
+                // CRASH: the serving engine dies. Pinned snapshots are
+                // self-contained Arcs — they must keep serving unchanged —
+                // and the recovered engine publishes fresh versions.
+                drop(engine.take());
+                for (s, expected, _) in &pins {
+                    prop_assert_eq!(&snap_answers(s), expected, "pins outlive the engine");
+                }
+                let mut r = Engine::recover(Arc::new(backend.clone()) as Arc<dyn LogBackend>)
+                    .unwrap();
+                prop_assert_eq!(r.epoch(), twin.epoch(), "recovered at the crash frontier");
+                r.set_checkpoint_every(3);
+                register_five_lazily(&mut r);
+                for label in &extra {
+                    r.register_lazy(label.as_str(), IncRpq::init(rpq_query())).unwrap();
+                }
+                // Re-registration republished: a fresh pin on the recovered
+                // engine serves the twin's current answers immediately.
+                let s = r.snapshot().unwrap();
+                prop_assert_eq!(
+                    snap_answers(&s),
+                    five_class_answers(&twin),
+                    "post-recovery snapshot matches the never-crashed twin"
+                );
+                engine = Some(r);
+            }
+        }
+
+        // Epochs no pin held are gone (EpochRetired), future epochs are
+        // not yet published (SnapshotUnavailable) — the error contract at
+        // the window's two edges.
+        let e = engine.as_ref().unwrap();
+        let future = e.snapshot_store().head() + 1;
+        prop_assert!(matches!(
+            e.snapshot_at(future),
+            Err(EngineError::SnapshotUnavailable { .. })
+        ));
+        let oldest = e.snapshot_store().oldest();
+        if oldest > 0 {
+            prop_assert!(matches!(
+                e.snapshot_at(oldest - 1),
+                Err(EngineError::EpochRetired { .. })
+            ));
+        }
+        // Dropping every pin lets the next commit's GC shrink the window
+        // to the head version alone.
+        pins.clear();
+        let e = engine.as_mut().unwrap();
+        e.commit(&UpdateBatch::from_updates(vec![Update::insert(
+            NodeId(0),
+            NodeId(n),
+        )]))
+        .unwrap();
+        prop_assert_eq!(e.snapshot_store().window(), 1, "no pins → head-only window");
     }
 }
